@@ -1,0 +1,505 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md section 4 and EXPERIMENTS.md), plus a
+   Bechamel micro-benchmark per experiment kernel.
+
+   Usage:
+     dune exec bench/main.exe                  # everything, reduced scale
+     dune exec bench/main.exe table2 fig7      # selected experiments
+     dune exec bench/main.exe -- --full        # 3 seeds, more samples *)
+
+open Accals_network
+module Engine = Accals.Engine
+module Config = Accals.Config
+module Trace = Accals.Trace
+module Metric = Accals_metrics.Metric
+module Bench_suite = Accals_circuits.Bench_suite
+module Seals = Accals_baselines.Seals
+module Amosa = Accals_baselines.Amosa
+
+let full = ref false
+
+let seeds () = if !full then [ 1; 2; 3 ] else [ 1 ]
+
+let samples () = if !full then 4096 else 2048
+
+(* Paper threshold sets (fractions, not percent). *)
+let er_thresholds = [ 0.0003; 0.001; 0.005; 0.03; 0.05 ]
+let nmed_thresholds = [ 0.0000153; 0.0000610; 0.00024414; 0.0019531 ]
+
+let small_set =
+  [ "alu4"; "c1908"; "c3540"; "c880"; "cla32"; "ksa32"; "mtp8"; "rca32"; "wal8" ]
+
+let arith_set = Bench_suite.small_arithmetic
+let epfl_set = [ "div"; "log2"; "sin"; "sqrt"; "square" ]
+let lgsynt_set = [ "alu2"; "apex6"; "frg2"; "term1" ]
+
+(* ---------- circuit and run caches ---------- *)
+
+let circuit_cache : (string, Network.t) Hashtbl.t = Hashtbl.create 32
+
+let circuit name =
+  match Hashtbl.find_opt circuit_cache name with
+  | Some c -> c
+  | None ->
+    let c = Bench_suite.load name in
+    Hashtbl.add circuit_cache name c;
+    c
+
+type outcome = {
+  area : float;
+  delay : float;
+  adp : float;
+  time : float;
+  rounds : float;
+  indp_ratio : float;
+  error : float;
+}
+
+let outcome_of_report (r : Engine.report) =
+  {
+    area = r.Engine.area_ratio;
+    delay = r.Engine.delay_ratio;
+    adp = r.Engine.adp_ratio;
+    time = r.Engine.runtime_seconds;
+    rounds = float_of_int (List.length r.Engine.rounds);
+    indp_ratio = Trace.indp_ratio r.Engine.rounds;
+    error = r.Engine.error;
+  }
+
+let average outcomes =
+  let n = float_of_int (List.length outcomes) in
+  let sum f = List.fold_left (fun acc o -> acc +. f o) 0.0 outcomes /. n in
+  {
+    area = sum (fun o -> o.area);
+    delay = sum (fun o -> o.delay);
+    adp = sum (fun o -> o.adp);
+    time = sum (fun o -> o.time);
+    rounds = sum (fun o -> o.rounds);
+    indp_ratio = sum (fun o -> o.indp_ratio);
+    error = sum (fun o -> o.error);
+  }
+
+let run_cache : (string, outcome) Hashtbl.t = Hashtbl.create 64
+
+let config_for net seed =
+  Config.for_network ~base:{ Config.default with seed; samples = samples () } net
+
+let run_one method_ name metric bound seed =
+  let net = circuit name in
+  let config = config_for net seed in
+  match method_ with
+  | `Accals ->
+    outcome_of_report (Engine.run ~config net ~metric ~error_bound:bound)
+  | `Seals ->
+    outcome_of_report (Seals.run ~config net ~metric ~error_bound:bound)
+
+let run method_ name metric bound =
+  let tag = match method_ with `Accals -> "accals" | `Seals -> "seals" in
+  let key =
+    Printf.sprintf "%s/%s/%s/%g/%b" tag name (Metric.kind_to_string metric)
+      bound !full
+  in
+  match Hashtbl.find_opt run_cache key with
+  | Some o -> o
+  | None ->
+    let o = average (List.map (run_one method_ name metric bound) (seeds ())) in
+    Hashtbl.add run_cache key o;
+    o
+
+let section title =
+  Printf.printf "\n==================== %s ====================\n%!" title
+
+let pct x = 100.0 *. x
+
+(* ---------- Table I ---------- *)
+
+let table1 () =
+  section "Table I: benchmark circuits (#Nd = structurally hashed AIG nodes)";
+  List.iter
+    (fun cat ->
+      Printf.printf "-- %s --\n" (Bench_suite.category_to_string cat);
+      Printf.printf "%-8s %8s %8s %10s %8s\n" "Ckt" "#Nd" "depth" "Area" "Delay";
+      List.iter
+        (fun name ->
+          let c = circuit name in
+          let aig = Accals_aig.Aig.of_network c in
+          Printf.printf "%-8s %8d %8d %10.1f %8.1f\n" name
+            (Accals_aig.Aig.node_count aig)
+            (Accals_aig.Aig.depth aig) (Cost.area c) (Cost.delay c))
+        (Bench_suite.category_circuits cat))
+    [ Bench_suite.Iscas_small; Bench_suite.Epfl; Bench_suite.Lgsynt91 ]
+
+(* ---------- Fig. 4 ---------- *)
+
+let fig4 () =
+  section "Fig. 4: L_indp ratio on small arithmetic circuits";
+  Printf.printf "%-8s %10s %10s %10s\n" "Ckt" "ER" "NMED" "MRED";
+  let cases =
+    [ (Metric.Error_rate, 0.05); (Metric.Nmed, 0.0019531); (Metric.Mred, 0.0019531) ]
+  in
+  let totals = Array.make 3 0.0 in
+  List.iter
+    (fun name ->
+      let ratios =
+        List.map (fun (metric, bound) -> (run `Accals name metric bound).indp_ratio) cases
+      in
+      List.iteri (fun i r -> totals.(i) <- totals.(i) +. r) ratios;
+      match ratios with
+      | [ a; b; c ] -> Printf.printf "%-8s %10.2f %10.2f %10.2f\n" name a b c
+      | _ -> assert false)
+    arith_set;
+  let n = float_of_int (List.length arith_set) in
+  Printf.printf "%-8s %10.2f %10.2f %10.2f   (paper: averages all > 0.7)\n"
+    "avg" (totals.(0) /. n) (totals.(1) /. n) (totals.(2) /. n)
+
+(* ---------- Fig. 5 ---------- *)
+
+let fig5 () =
+  section "Fig. 5: avg ADP ratio and runtime vs ER threshold (small set)";
+  Printf.printf "%-10s %12s %12s %12s %12s %9s\n" "ER thresh" "AccALS ADP"
+    "SEALS ADP" "AccALS t(s)" "SEALS t(s)" "speedup";
+  List.iter
+    (fun bound ->
+      let acc =
+        average (List.map (fun c -> run `Accals c Metric.Error_rate bound) small_set)
+      in
+      let se =
+        average (List.map (fun c -> run `Seals c Metric.Error_rate bound) small_set)
+      in
+      Printf.printf "%9.2f%% %12.3f %12.3f %12.2f %12.2f %8.1fx\n" (pct bound)
+        acc.adp se.adp acc.time se.time (se.time /. max 1e-6 acc.time))
+    er_thresholds
+
+(* ---------- Fig. 6 ---------- *)
+
+let fig6 tag metric thresholds set =
+  section
+    (Printf.sprintf
+       "Fig. 6%s: per-circuit ADP and runtime under %s (avg over %d thresholds)"
+       tag (Metric.kind_to_string metric) (List.length thresholds));
+  Printf.printf "%-8s %12s %12s %12s %12s %9s\n" "Ckt" "AccALS ADP" "SEALS ADP"
+    "AccALS t(s)" "SEALS t(s)" "speedup";
+  let acc_tot = ref [] and se_tot = ref [] in
+  List.iter
+    (fun name ->
+      let acc = average (List.map (fun b -> run `Accals name metric b) thresholds) in
+      let se = average (List.map (fun b -> run `Seals name metric b) thresholds) in
+      acc_tot := acc :: !acc_tot;
+      se_tot := se :: !se_tot;
+      Printf.printf "%-8s %12.3f %12.3f %12.2f %12.2f %8.1fx\n" name acc.adp
+        se.adp acc.time se.time (se.time /. max 1e-6 acc.time))
+    set;
+  let acc = average !acc_tot and se = average !se_tot in
+  Printf.printf "%-8s %12.3f %12.3f %12.2f %12.2f %8.1fx\n" "avg" acc.adp se.adp
+    acc.time se.time (se.time /. max 1e-6 acc.time)
+
+let fig6a () = fig6 "(a)" Metric.Error_rate er_thresholds small_set
+let fig6b () = fig6 "(b)" Metric.Nmed nmed_thresholds arith_set
+let fig6c () = fig6 "(c)" Metric.Mred nmed_thresholds arith_set
+
+(* ---------- Table II ---------- *)
+
+let table2 () =
+  section "Table II: large (scaled) EPFL circuits under ER <= 0.1%";
+  Printf.printf "%-8s %12s %12s %12s %12s %10s %10s %9s\n" "Ckt" "AccALS area"
+    "SEALS area" "AccALS dly" "SEALS dly" "AccALS(s)" "SEALS(s)" "speedup";
+  let acc_tot = ref [] and se_tot = ref [] in
+  List.iter
+    (fun name ->
+      let acc = run `Accals name Metric.Error_rate 0.001 in
+      let se = run `Seals name Metric.Error_rate 0.001 in
+      acc_tot := acc :: !acc_tot;
+      se_tot := se :: !se_tot;
+      Printf.printf "%-8s %11.2f%% %11.2f%% %11.2f%% %11.2f%% %10.1f %10.1f %8.1fx\n"
+        name (pct acc.area) (pct se.area) (pct acc.delay) (pct se.delay)
+        acc.time se.time (se.time /. max 1e-6 acc.time))
+    epfl_set;
+  let acc = average !acc_tot and se = average !se_tot in
+  Printf.printf "%-8s %11.2f%% %11.2f%% %11.2f%% %11.2f%% %10.1f %10.1f %8.1fx\n"
+    "Avg" (pct acc.area) (pct se.area) (pct acc.delay) (pct se.delay) acc.time
+    se.time (se.time /. max 1e-6 acc.time)
+
+(* ---------- Fig. 7 and Table III ---------- *)
+
+let fig7_bound = 0.30
+let fig7_grid = [ 0.05; 0.10; 0.15; 0.20; 0.25; 0.30 ]
+
+type fig7_result = {
+  accals_points : (float * float) list;  (* (error, area ratio) *)
+  amosa_points : (float * float) list;
+  accals_time : float;
+  amosa_time : float;
+}
+
+let fig7_cache : (string, fig7_result) Hashtbl.t = Hashtbl.create 8
+
+let fig7_run name =
+  match Hashtbl.find_opt fig7_cache name with
+  | Some r -> r
+  | None ->
+    let net = circuit name in
+    let config = config_for net 1 in
+    (* One AccALS run per grid bound gives the curve; the max-bound run's
+       time is the Table III "single run" figure. *)
+    let accals_points =
+      List.map
+        (fun bound ->
+          let report =
+            Engine.run ~config net ~metric:Metric.Error_rate ~error_bound:bound
+          in
+          (bound, report.Engine.area_ratio, report.Engine.runtime_seconds))
+        fig7_grid
+    in
+    let accals_time =
+      match List.rev accals_points with
+      | (_, _, t) :: _ -> t
+      | [] -> 0.0
+    in
+    let amosa =
+      Amosa.run ~config net ~metric:Metric.Error_rate ~error_bound:fig7_bound
+    in
+    let r =
+      {
+        accals_points = List.map (fun (b, a, _) -> (b, a)) accals_points;
+        amosa_points = amosa.Amosa.archive;
+        accals_time;
+        amosa_time = amosa.Amosa.report.Engine.runtime_seconds;
+      }
+    in
+    Hashtbl.add fig7_cache name r;
+    r
+
+let best_at points threshold =
+  List.fold_left
+    (fun acc (e, a) -> if e <= threshold then min acc a else acc)
+    1.0 points
+
+let fig7 () =
+  section "Fig. 7: area ratio vs ER, AccALS vs AMOSA (LGSynt91 set)";
+  List.iter
+    (fun name ->
+      let r = fig7_run name in
+      Printf.printf "%-8s %-8s" name "ER:";
+      List.iter (fun t -> Printf.printf " %7.0f%%" (pct t)) fig7_grid;
+      Printf.printf "\n%-8s %-8s" "" "AccALS:";
+      List.iter
+        (fun t -> Printf.printf " %7.3f" (best_at r.accals_points t))
+        fig7_grid;
+      Printf.printf "\n%-8s %-8s" "" "AMOSA:";
+      List.iter
+        (fun t -> Printf.printf " %7.3f" (best_at r.amosa_points t))
+        fig7_grid;
+      print_newline ())
+    lgsynt_set
+
+let table3 () =
+  section "Table III: runtime (s) for the LGSynt91 circuits (single run)";
+  Printf.printf "%-8s" "method";
+  List.iter (fun name -> Printf.printf " %9s" name) lgsynt_set;
+  Printf.printf " %9s\n" "average";
+  let times f =
+    let ts = List.map (fun name -> f (fig7_run name)) lgsynt_set in
+    (ts, List.fold_left ( +. ) 0.0 ts /. float_of_int (List.length ts))
+  in
+  let amosa_ts, amosa_avg = times (fun r -> r.amosa_time) in
+  let accals_ts, accals_avg = times (fun r -> r.accals_time) in
+  Printf.printf "%-8s" "AMOSA";
+  List.iter (fun t -> Printf.printf " %9.2f" t) amosa_ts;
+  Printf.printf " %9.2f\n" amosa_avg;
+  Printf.printf "%-8s" "AccALS";
+  List.iter (fun t -> Printf.printf " %9.2f" t) accals_ts;
+  Printf.printf " %9.2f\n" accals_avg;
+  Printf.printf "speedup: %.1fx (paper: 13x)\n" (amosa_avg /. max 1e-6 accals_avg)
+
+(* ---------- Ablation: AccALS design choices ---------- *)
+
+let ablation () =
+  section "Ablation: AccALS component contributions";
+  let variants =
+    [
+      ("full", fun c -> c);
+      ("no-MIS", fun c -> { c with Config.use_mis = false });
+      ("no-L_rand", fun c -> { c with Config.use_random_comparison = false });
+      ("no-improv-1", fun c -> { c with Config.use_improvement_1 = false });
+      ("no-improv-2", fun c -> { c with Config.use_improvement_2 = false });
+      ("approx-est", fun c -> { c with Config.exact_estimation = false });
+    ]
+  in
+  let workloads =
+    [
+      ("mtp8", Metric.Error_rate, 0.05);
+      ("cla32", Metric.Nmed, 0.0019531);
+      ("sqrt", Metric.Error_rate, 0.001);
+    ]
+  in
+  List.iter
+    (fun (name, metric, bound) ->
+      Printf.printf "-- %s under %s <= %g --\n" name
+        (Metric.kind_to_string metric) bound;
+      Printf.printf "%-12s %10s %10s %8s %9s %12s\n" "variant" "ADP" "error"
+        "rounds" "time(s)" "L_indp ratio";
+      List.iter
+        (fun (label, tweak) ->
+          let net = circuit name in
+          let config = tweak (config_for net 1) in
+          let r = Engine.run ~config net ~metric ~error_bound:bound in
+          Printf.printf "%-12s %10.3f %10.5f %8d %9.2f %12.2f\n" label
+            r.Engine.adp_ratio r.Engine.error
+            (List.length r.Engine.rounds)
+            r.Engine.runtime_seconds
+            (Trace.indp_ratio r.Engine.rounds))
+        variants)
+    workloads
+
+(* ---------- Sampling sensitivity (methodology check, not in the paper) ---------- *)
+
+let sensitivity () =
+  section "Sampling sensitivity: sampled vs exhaustive error (mtp8, ER <= 1%)";
+  Printf.printf "%-8s %14s %16s %12s %10s\n" "samples" "sampled ER" "exhaustive ER"
+    "area ratio" "rounds";
+  let net = circuit "mtp8" in
+  List.iter
+    (fun samples ->
+      let config =
+        Config.for_network
+          ~base:{ Config.default with Config.samples; exhaustive_limit = 10 }
+          net
+      in
+      let r = Engine.run ~config net ~metric:Metric.Error_rate ~error_bound:0.01 in
+      let exact =
+        Accals_analysis.Exhaustive.compare_networks ~golden:net
+          ~approx:r.Engine.approximate
+      in
+      Printf.printf "%-8d %14.5f %16.5f %12.3f %10d\n" samples r.Engine.error
+        exact.Accals_analysis.Exhaustive.error_rate r.Engine.area_ratio
+        (List.length r.Engine.rounds))
+    [ 256; 1024; 4096; 16384 ];
+  Printf.printf
+    "(the sampled estimate drives synthesis; the exhaustive value is the \
+     ground truth a user would certify against)\n"
+
+(* ---------- Bechamel micro-benchmarks: one Test.make per table/figure ---------- *)
+
+let micro () =
+  section "Micro-benchmarks (Bechamel): one kernel per table/figure";
+  let open Bechamel in
+  let open Toolkit in
+  (* Fixtures shared by the staged kernels. *)
+  let mtp8 = circuit "mtp8" in
+  let patterns = Sim.for_network ~seed:1 ~count:1024 ~exhaustive_limit:10 mtp8 in
+  let ctx = Accals_lac.Round_ctx.create mtp8 patterns in
+  let golden = Accals_lac.Round_ctx.output_sigs ctx in
+  let estimator metric = Accals_esterr.Estimator.create ctx ~golden ~metric in
+  let est_er = estimator Metric.Error_rate in
+  let est_nmed = estimator Metric.Nmed in
+  let est_mred = estimator Metric.Mred in
+  let candidates =
+    Accals_lac.Candidate_gen.generate ctx Accals_lac.Candidate_gen.default_config
+  in
+  let first_candidate = List.hd candidates in
+  let scored = Accals_esterr.Estimator.score est_er ~shortlist:60 candidates in
+  let targets =
+    Array.of_list
+      (List.map (fun l -> l.Accals_lac.Lac.target)
+         (fst (Accals.Conflict_graph.find_and_solve scored)))
+  in
+  let big_cycle =
+    let g = Accals_mis.Graph.create 300 in
+    for i = 0 to 298 do
+      Accals_mis.Graph.add_edge g i (i + 1)
+    done;
+    Accals_mis.Graph.add_edge g 299 0;
+    g
+  in
+  let alu4 = circuit "alu4" in
+  let order = Structure.topo_order mtp8 in
+  let tests =
+    Test.make_grouped ~name:"accals"
+      [
+        Test.make ~name:"table1:load+cost(alu4)"
+          (Staged.stage (fun () -> Cost.area (Bench_suite.load "alu4")));
+        Test.make ~name:"fig4:score-round(mtp8,ER)"
+          (Staged.stage (fun () ->
+               Accals_esterr.Estimator.score est_er ~shortlist:40 candidates));
+        Test.make ~name:"fig5:engine(alu4,ER3%)"
+          (Staged.stage (fun () ->
+               Engine.run alu4 ~metric:Metric.Error_rate ~error_bound:0.03));
+        Test.make ~name:"fig6a:seals(alu4,ER3%)"
+          (Staged.stage (fun () ->
+               Seals.run alu4 ~metric:Metric.Error_rate ~error_bound:0.03));
+        Test.make ~name:"fig6b:score-round(mtp8,NMED)"
+          (Staged.stage (fun () ->
+               Accals_esterr.Estimator.score est_nmed ~shortlist:40 candidates));
+        Test.make ~name:"fig6c:score-round(mtp8,MRED)"
+          (Staged.stage (fun () ->
+               Accals_esterr.Estimator.score est_mred ~shortlist:40 candidates));
+        Test.make ~name:"table2:cone-resim(mtp8)"
+          (Staged.stage (fun () ->
+               Accals_esterr.Estimator.exact_delta est_er first_candidate));
+        Test.make ~name:"fig7:influence+mis(mtp8)"
+          (Staged.stage (fun () ->
+               let g = Accals.Influence.build_graph ctx ~targets ~t_b:0.5 in
+               Accals_mis.Mis.solve g));
+        Test.make ~name:"table3:mis(cycle300)"
+          (Staged.stage (fun () -> Accals_mis.Mis.solve big_cycle));
+        Test.make ~name:"substrate:simulate(mtp8x1024)"
+          (Staged.stage (fun () -> Sim.run mtp8 patterns ~order));
+      ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ t ] ->
+        if t > 1e9 then Printf.printf "%-36s %10.2f s/run\n" name (t /. 1e9)
+        else if t > 1e6 then Printf.printf "%-36s %10.2f ms/run\n" name (t /. 1e6)
+        else Printf.printf "%-36s %10.2f us/run\n" name (t /. 1e3)
+      | Some _ | None -> Printf.printf "%-36s %10s\n" name "n/a")
+    (List.sort compare rows)
+
+(* ---------- driver ---------- *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6a", fig6a);
+    ("fig6b", fig6b);
+    ("fig6c", fig6c);
+    ("table2", table2);
+    ("fig7", fig7);
+    ("table3", table3);
+    ("ablation", ablation);
+    ("sensitivity", sensitivity);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (fun a -> a <> "--") args in
+  let selected, flags = List.partition (fun a -> List.mem_assoc a experiments) args in
+  List.iter
+    (fun flag ->
+      match flag with
+      | "--full" -> full := true
+      | other ->
+        Printf.eprintf "unknown argument %s\n" other;
+        Printf.eprintf "experiments: %s\n"
+          (String.concat " " (List.map fst experiments));
+        exit 1)
+    flags;
+  let to_run = if selected = [] then List.map fst experiments else selected in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun name -> (List.assoc name experiments) ()) to_run;
+  Printf.printf "\ntotal bench time: %.1fs%s\n"
+    (Unix.gettimeofday () -. t0)
+    (if !full then " (full mode)" else "")

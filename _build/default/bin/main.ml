@@ -1,0 +1,255 @@
+(* accals: command-line front end for the AccALS library. *)
+
+open Accals_network
+open Cmdliner
+module Engine = Accals.Engine
+module Config = Accals.Config
+module Trace = Accals.Trace
+module Metric = Accals_metrics.Metric
+module Bench_suite = Accals_circuits.Bench_suite
+module Blif = Accals_io.Blif
+
+let load_circuit spec =
+  (* A registered benchmark name, or a path to a BLIF / AIGER file. *)
+  if Sys.file_exists spec then begin
+    if Filename.check_suffix spec ".aag" then
+      Accals_aig.Aig.to_network (Accals_aig.Aiger.parse_file spec)
+    else Blif.parse_file spec
+  end
+  else
+    try Bench_suite.load spec
+    with Not_found ->
+      Printf.eprintf
+        "unknown circuit %s (not a file, not a registered benchmark)\n" spec;
+      exit 1
+
+let print_stats net =
+  Printf.printf "%-10s %6d PIs %4d POs %6d AIG nodes  area %10.1f  delay %8.1f\n"
+    (Network.name net)
+    (Array.length (Network.inputs net))
+    (Array.length (Network.outputs net))
+    (Cost.aig_node_count net) (Cost.area net) (Cost.delay net)
+
+(* --- list --- *)
+
+let list_cmd =
+  let doc = "List the registered benchmark circuits." in
+  let run () =
+    List.iter
+      (fun (name, cat) ->
+        Printf.printf "%-10s %s\n" name (Bench_suite.category_to_string cat))
+      Bench_suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- stats --- *)
+
+let circuit_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"CIRCUIT" ~doc:"Benchmark name or BLIF file path.")
+
+let stats_cmd =
+  let doc = "Print size/area/delay statistics of a circuit." in
+  let run spec = print_stats (load_circuit spec) in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ circuit_arg)
+
+(* --- synth --- *)
+
+let metric_arg =
+  let parse s =
+    match Metric.kind_of_string s with
+    | Some k -> `Ok k
+    | None -> `Error (Printf.sprintf "unknown metric %s" s)
+  in
+  let print fmt k = Format.pp_print_string fmt (Metric.kind_to_string k) in
+  let metric_conv = (parse, print) in
+  Arg.(
+    value
+    & opt metric_conv Metric.Error_rate
+    & info [ "m"; "metric" ] ~docv:"METRIC" ~doc:"Error metric: ER, NMED or MRED.")
+
+let bound_arg =
+  Arg.(
+    required
+    & opt (some float) None
+    & info [ "b"; "bound" ] ~docv:"BOUND" ~doc:"Error bound, e.g. 0.05 for 5%.")
+
+let method_arg =
+  Arg.(
+    value
+    & opt (enum [ ("accals", `Accals); ("seals", `Seals); ("amosa", `Amosa) ]) `Accals
+    & info [ "method" ] ~docv:"METHOD" ~doc:"Synthesis flow: accals, seals or amosa.")
+
+let samples_arg =
+  Arg.(
+    value
+    & opt int 2048
+    & info [ "samples" ] ~docv:"N" ~doc:"Random simulation patterns.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the result as BLIF.")
+
+let verilog_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "verilog" ] ~docv:"FILE" ~doc:"Write the result as Verilog.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the per-round trace.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc:"Write the per-round trace as CSV.")
+
+let synth_cmd =
+  let doc = "Synthesize an approximate circuit under an error bound." in
+  let run spec metric bound method_ samples seed out verilog verbose trace =
+    let net = load_circuit spec in
+    let config =
+      let base = { Config.default with samples; seed } in
+      Config.for_network ~base net
+    in
+    let report =
+      match method_ with
+      | `Accals -> Engine.run ~config net ~metric ~error_bound:bound
+      | `Seals -> Accals_baselines.Seals.run ~config net ~metric ~error_bound:bound
+      | `Amosa ->
+        (Accals_baselines.Amosa.run ~config net ~metric ~error_bound:bound)
+          .Accals_baselines.Amosa.report
+    in
+    Printf.printf "circuit      : %s\n" (Network.name net);
+    Printf.printf "metric       : %s <= %g\n" (Metric.kind_to_string metric) bound;
+    Printf.printf "error        : %.6f\n" report.Engine.error;
+    Printf.printf "area ratio   : %.4f\n" report.Engine.area_ratio;
+    Printf.printf "delay ratio  : %.4f\n" report.Engine.delay_ratio;
+    Printf.printf "adp ratio    : %.4f\n" report.Engine.adp_ratio;
+    Printf.printf "rounds       : %d\n" (List.length report.Engine.rounds);
+    Printf.printf "runtime      : %.2fs\n" report.Engine.runtime_seconds;
+    Printf.printf "evaluations  : %d\n" report.Engine.exact_evaluations;
+    Printf.printf "trace        : %s\n" (Trace.summary report.Engine.rounds);
+    if verbose then
+      List.iter
+        (fun r ->
+          Printf.printf
+            "  round %3d %s top=%d sol=%d indp=%d rand=%d applied=%d e %.5f -> %.5f (est %.5f)%s\n"
+            r.Trace.index
+            (match r.Trace.mode with Trace.Multi -> "multi " | Trace.Single -> "single")
+            r.Trace.top_count r.Trace.sol_count r.Trace.indp_count
+            r.Trace.rand_count r.Trace.applied r.Trace.error_before
+            r.Trace.error_after r.Trace.estimated_error
+            (if r.Trace.reverted then " [reverted]" else ""))
+        report.Engine.rounds;
+    Option.iter (fun path -> Blif.write_file report.Engine.approximate path) out;
+    Option.iter
+      (fun path -> Accals_io.Verilog_writer.write_file report.Engine.approximate path)
+      verilog;
+    Option.iter (fun path -> Trace.write_csv report.Engine.rounds path) trace
+  in
+  Cmd.v (Cmd.info "synth" ~doc)
+    Term.(
+      const run $ circuit_arg $ metric_arg $ bound_arg $ method_arg $ samples_arg
+      $ seed_arg $ out_arg $ verilog_arg $ verbose_arg $ trace_arg)
+
+(* --- convert --- *)
+
+let convert_cmd =
+  let doc = "Convert a circuit to BLIF / Verilog / DOT / AIGER." in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write Graphviz DOT.")
+  in
+  let aiger_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "aiger" ] ~docv:"FILE" ~doc:"Write ASCII AIGER (aag).")
+  in
+  let run spec out verilog dot aiger =
+    let net = load_circuit spec in
+    print_stats net;
+    Option.iter (fun path -> Blif.write_file net path) out;
+    Option.iter (fun path -> Accals_io.Verilog_writer.write_file net path) verilog;
+    Option.iter (fun path -> Accals_io.Dot.write_file net path) dot;
+    Option.iter
+      (fun path ->
+        Accals_aig.Aiger.write_file (Accals_aig.Aig.of_network net) path)
+      aiger
+  in
+  Cmd.v (Cmd.info "convert" ~doc)
+    Term.(const run $ circuit_arg $ out_arg $ verilog_arg $ dot_arg $ aiger_arg)
+
+(* --- verify --- *)
+
+let verify_cmd =
+  let doc =
+    "Exactly compare an approximate circuit against its golden reference \
+     (exhaustive simulation, up to 24 inputs)."
+  in
+  let approx_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"APPROX" ~doc:"Approximate circuit (name or file).")
+  in
+  let run golden_spec approx_spec =
+    let golden = load_circuit golden_spec in
+    let approx = load_circuit approx_spec in
+    let report = Accals_analysis.Exhaustive.compare_networks ~golden ~approx in
+    Printf.printf "vectors      : %d (exhaustive)\n"
+      report.Accals_analysis.Exhaustive.vectors;
+    Printf.printf "ER           : %.8f\n" report.Accals_analysis.Exhaustive.error_rate;
+    Printf.printf "MED          : %.6f\n"
+      report.Accals_analysis.Exhaustive.mean_error_distance;
+    Printf.printf "NMED         : %.8f\n"
+      report.Accals_analysis.Exhaustive.normalized_mean_error_distance;
+    Printf.printf "MRED         : %.8f\n"
+      report.Accals_analysis.Exhaustive.mean_relative_error_distance;
+    Printf.printf "WCE          : %.1f\n"
+      report.Accals_analysis.Exhaustive.worst_case_error
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ circuit_arg $ approx_arg)
+
+(* --- sweep --- *)
+
+let sweep_cmd =
+  let doc = "Sweep error bounds and print the quality/error trade-off." in
+  let bounds_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.001; 0.005; 0.02; 0.05 ]
+      & info [ "bounds" ] ~docv:"B1,B2,.." ~doc:"Error bounds to sweep.")
+  in
+  let run spec metric bounds =
+    let net = load_circuit spec in
+    let results = Accals.Pareto.sweep net ~metric ~bounds in
+    Printf.printf "%-12s %12s %12s %12s %8s\n" "bound" "error" "area ratio"
+      "delay ratio" "rounds";
+    List.iter
+      (fun (bound, r) ->
+        Printf.printf "%-12g %12.6f %12.4f %12.4f %8d\n" bound
+          r.Engine.error r.Engine.area_ratio r.Engine.delay_ratio
+          (List.length r.Engine.rounds))
+      results
+  in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ circuit_arg $ metric_arg $ bounds_arg)
+
+let () =
+  let doc = "Approximate logic synthesis with multi-LAC selection (AccALS)." in
+  let info = Cmd.info "accals" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; stats_cmd; synth_cmd; convert_cmd; verify_cmd; sweep_cmd ]))

@@ -1,0 +1,1 @@
+examples/adder_tradeoff.ml: Accals Accals_circuits Accals_metrics Adders List Printf

@@ -1,0 +1,1 @@
+examples/custom_netlist.ml: Accals Accals_esterr Accals_io Accals_metrics Accals_network Array Cost Network Printf Sim

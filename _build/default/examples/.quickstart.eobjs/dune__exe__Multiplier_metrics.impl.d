@@ -1,0 +1,1 @@
+examples/multiplier_metrics.ml: Accals Accals_circuits Accals_metrics Accals_network List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Accals Accals_circuits Accals_io Accals_metrics Accals_network Cost Printf

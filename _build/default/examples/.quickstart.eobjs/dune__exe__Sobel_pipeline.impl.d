@@ -1,0 +1,1 @@
+examples/sobel_pipeline.ml: Accals Accals_bitvec Accals_circuits Accals_metrics Accals_network Array Cost Hashtbl Network Printf

@@ -1,0 +1,32 @@
+(* Scenario: an image-processing datapath tolerates adder noise; sweep the
+   error-rate budget and chart the area saved for three adder
+   architectures.
+
+   Run with: dune exec examples/adder_tradeoff.exe *)
+
+open Accals_circuits
+module Engine = Accals.Engine
+module Metric = Accals_metrics.Metric
+
+let thresholds = [ 0.001; 0.005; 0.02; 0.05 ]
+
+let adders =
+  [
+    ("rca16", Adders.ripple_carry ~width:16);
+    ("cla16", Adders.carry_lookahead ~width:16);
+    ("ksa16", Adders.kogge_stone ~width:16);
+  ]
+
+let () =
+  Printf.printf "%-8s %10s %12s %12s %10s\n" "adder" "ER bound" "area ratio"
+    "delay ratio" "rounds";
+  List.iter
+    (fun (name, net) ->
+      List.iter
+        (fun bound ->
+          let report = Engine.run net ~metric:Metric.Error_rate ~error_bound:bound in
+          Printf.printf "%-8s %9.3f%% %12.3f %12.3f %10d\n" name (100.0 *. bound)
+            report.Engine.area_ratio report.Engine.delay_ratio
+            (List.length report.Engine.rounds))
+        thresholds)
+    adders

@@ -1,0 +1,33 @@
+(* Scenario: a neural-network accelerator multiplier is error-tolerant, but
+   the right tolerance metric depends on how the product is consumed.
+   Approximate an 8-bit multiplier under all three statistical metrics and
+   compare what each one buys, including the engine's L_indp statistics
+   (the paper's Fig. 4 quantity).
+
+   Run with: dune exec examples/multiplier_metrics.exe *)
+
+module Engine = Accals.Engine
+module Trace = Accals.Trace
+module Metric = Accals_metrics.Metric
+
+let cases =
+  [
+    (Metric.Error_rate, 0.05, "5%");
+    (Metric.Nmed, 0.0019531, "0.195%");
+    (Metric.Mred, 0.0019531, "0.195%");
+  ]
+
+let () =
+  let net = Accals_circuits.Multipliers.array_multiplier ~width:8 in
+  Printf.printf "8x8 array multiplier, area %.1f\n\n" (Accals_network.Cost.area net);
+  Printf.printf "%-6s %8s %12s %12s %12s %8s\n" "metric" "bound" "area ratio"
+    "measured" "L_indp ratio" "rounds";
+  List.iter
+    (fun (metric, bound, label) ->
+      let report = Engine.run net ~metric ~error_bound:bound in
+      Printf.printf "%-6s %8s %12.3f %12.5f %12.2f %8d\n"
+        (Metric.kind_to_string metric)
+        label report.Engine.area_ratio report.Engine.error
+        (Trace.indp_ratio report.Engine.rounds)
+        (List.length report.Engine.rounds))
+    cases

@@ -1,0 +1,34 @@
+(* Quickstart: approximate a 16-bit adder under an NMED bound (mean error
+   distance of at most ~0.2% of the output range) and inspect the result.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Accals_network
+module Engine = Accals.Engine
+module Trace = Accals.Trace
+module Metric = Accals_metrics.Metric
+
+let () =
+  (* 1. Get a circuit: generated here; Accals_io.Blif.parse_file works too. *)
+  let adder = Accals_circuits.Adders.ripple_carry ~width:16 in
+  Printf.printf "original: area %.1f, delay %.1f, %d AIG nodes\n"
+    (Cost.area adder) (Cost.delay adder) (Cost.aig_node_count adder);
+
+  (* 2. Run AccALS: NMED bound 0.195%, paper-default parameters. *)
+  let report =
+    Engine.run adder ~metric:Metric.Nmed ~error_bound:0.0019531
+  in
+
+  (* 3. Inspect the result. *)
+  let approx = report.Engine.approximate in
+  Printf.printf "approximate: area %.1f (ratio %.3f), delay %.1f (ratio %.3f)\n"
+    (Cost.area approx) report.Engine.area_ratio (Cost.delay approx)
+    report.Engine.delay_ratio;
+  Printf.printf "NMED: %.6f (bound 0.0019531)\n" report.Engine.error;
+  Printf.printf "synthesis: %s in %.2fs (%d exact ΔE evaluations)\n"
+    (Trace.summary report.Engine.rounds)
+    report.Engine.runtime_seconds report.Engine.exact_evaluations;
+
+  (* 4. The result is an ordinary network: export it. *)
+  Accals_io.Blif.write_file approx "quickstart_approx.blif";
+  Printf.printf "wrote quickstart_approx.blif\n"

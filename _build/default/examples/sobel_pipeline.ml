@@ -1,0 +1,83 @@
+(* Scenario: an edge-detection accelerator. The Sobel gradient-magnitude
+   datapath is error-tolerant — small magnitude errors barely move the edge
+   map — so we approximate it under an MED budget and measure the mean
+   pixel deviation on a synthetic test image.
+
+   Run with: dune exec examples/sobel_pipeline.exe *)
+
+open Accals_network
+module Engine = Accals.Engine
+module Metric = Accals_metrics.Metric
+module Prng = Accals_bitvec.Prng
+
+let pixel_bits = 6
+let pixel_max = (1 lsl pixel_bits) - 1
+
+(* Reference software Sobel for one window. *)
+let sobel_reference p =
+  let gx =
+    p.(0).(2) + (2 * p.(1).(2)) + p.(2).(2)
+    - (p.(0).(0) + (2 * p.(1).(0)) + p.(2).(0))
+  in
+  let gy =
+    p.(2).(0) + (2 * p.(2).(1)) + p.(2).(2)
+    - (p.(0).(0) + (2 * p.(0).(1)) + p.(0).(2))
+  in
+  abs gx + abs gy
+
+(* Evaluate the circuit on one window. *)
+let sobel_circuit net p =
+  let env = Hashtbl.create 64 in
+  for r = 0 to 2 do
+    for c = 0 to 2 do
+      for i = 0 to pixel_bits - 1 do
+        Hashtbl.replace env
+          (Printf.sprintf "p%d%d%d" r c i)
+          (p.(r).(c) lsr i land 1 = 1)
+      done
+    done
+  done;
+  let values =
+    Array.map
+      (fun nm -> try Hashtbl.find env nm with Not_found -> false)
+      (Network.input_names net)
+  in
+  let outs = Network.eval net values in
+  let v = ref 0 in
+  Array.iteri (fun i b -> if b then v := !v lor (1 lsl i)) outs;
+  !v
+
+let random_window rng =
+  Array.init 3 (fun _ -> Array.init 3 (fun _ -> Prng.int rng (pixel_max + 1)))
+
+let () =
+  let net = Accals_circuits.Image.sobel_magnitude ~pixel_bits in
+  Printf.printf "sobel datapath: %d inputs, area %.1f, delay %.1f\n"
+    (Array.length (Network.inputs net))
+    (Cost.area net) (Cost.delay net);
+  (* Sanity: circuit matches the software reference. *)
+  let rng = Prng.create 2024 in
+  for _ = 1 to 200 do
+    let w = random_window rng in
+    assert (sobel_circuit net w = sobel_reference w)
+  done;
+  (* Approximate under a mean-error-distance budget of 2 gray levels. *)
+  let report = Engine.run net ~metric:Metric.Med ~error_bound:2.0 in
+  let approx = report.Engine.approximate in
+  Printf.printf "approximated: area ratio %.3f, delay ratio %.3f, MED %.3f\n"
+    report.Engine.area_ratio report.Engine.delay_ratio report.Engine.error;
+  (* Application-level check: mean pixel deviation over random windows. *)
+  let total = ref 0 and worst = ref 0 in
+  let trials = 2000 in
+  for _ = 1 to trials do
+    let w = random_window rng in
+    let d = abs (sobel_circuit approx w - sobel_reference w) in
+    total := !total + d;
+    worst := max !worst d
+  done;
+  Printf.printf
+    "application check over %d random windows: mean deviation %.2f gray \
+     levels, worst %d\n"
+    trials
+    (float_of_int !total /. float_of_int trials)
+    !worst

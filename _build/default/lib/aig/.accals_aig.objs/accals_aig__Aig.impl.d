@@ -1,0 +1,1 @@
+lib/aig/aig.ml: Accals_network Array Gate Hashtbl Network Structure

@@ -1,0 +1,239 @@
+open Accals_network
+
+type lit = int
+
+(* Node 0 is the constant; nodes 1..n_inputs are PIs; others are ANDs. *)
+type node = Const_node | Input_node of string | And_node of lit * lit
+
+type t = {
+  mutable nodes : node array;
+  mutable used : int;
+  mutable input_lits : (string * lit) array;
+  mutable output_lits : (string * lit) array;
+  strash : (lit * lit, lit) Hashtbl.t;
+}
+
+let false_ = 0
+let true_ = 1
+
+let lit_of_node idx = 2 * idx
+let node_of_lit l = l / 2
+let complemented l = l land 1 = 1
+let lnot_ l = l lxor 1
+
+let create () =
+  {
+    nodes = Array.make 64 Const_node;
+    used = 1;
+    input_lits = [||];
+    output_lits = [||];
+    strash = Hashtbl.create 256;
+  }
+
+let grow t =
+  if t.used = Array.length t.nodes then begin
+    let nodes = Array.make (2 * Array.length t.nodes) Const_node in
+    Array.blit t.nodes 0 nodes 0 t.used;
+    t.nodes <- nodes
+  end
+
+let alloc t node =
+  grow t;
+  let idx = t.used in
+  t.nodes.(idx) <- node;
+  t.used <- t.used + 1;
+  idx
+
+let add_input t name =
+  let idx = alloc t (Input_node name) in
+  let l = lit_of_node idx in
+  t.input_lits <- Array.append t.input_lits [| (name, l) |];
+  l
+
+let land_ t a b =
+  let a, b = if a <= b then (a, b) else (b, a) in
+  if a = false_ then false_
+  else if a = true_ then b
+  else if a = b then a
+  else if a = lnot_ b then false_
+  else
+    match Hashtbl.find_opt t.strash (a, b) with
+    | Some l -> l
+    | None ->
+      let idx = alloc t (And_node (a, b)) in
+      let l = lit_of_node idx in
+      Hashtbl.add t.strash (a, b) l;
+      l
+
+let lor_ t a b = lnot_ (land_ t (lnot_ a) (lnot_ b))
+
+let lxor_ t a b =
+  (* a xor b = (a and ~b) or (~a and b) *)
+  lor_ t (land_ t a (lnot_ b)) (land_ t (lnot_ a) b)
+
+let mux t ~sel a b = lor_ t (land_ t sel a) (land_ t (lnot_ sel) b)
+
+let set_outputs t outs = t.output_lits <- outs
+
+let inputs t = t.input_lits
+let outputs t = t.output_lits
+let input_count t = Array.length t.input_lits
+let output_count t = Array.length t.output_lits
+
+let is_and t idx =
+  idx >= 0 && idx < t.used
+  && (match t.nodes.(idx) with And_node _ -> true | Const_node | Input_node _ -> false)
+
+let is_input t idx =
+  idx >= 0 && idx < t.used
+  && (match t.nodes.(idx) with Input_node _ -> true | Const_node | And_node _ -> false)
+
+let fanins t idx =
+  match t.nodes.(idx) with
+  | And_node (a, b) -> (a, b)
+  | Const_node | Input_node _ -> invalid_arg "Aig.fanins: not an AND node"
+
+let total_ands t =
+  let count = ref 0 in
+  for i = 0 to t.used - 1 do
+    match t.nodes.(i) with
+    | And_node _ -> incr count
+    | Const_node | Input_node _ -> ()
+  done;
+  !count
+
+let reachable t =
+  let seen = Array.make t.used false in
+  let rec walk idx =
+    if not seen.(idx) then begin
+      seen.(idx) <- true;
+      match t.nodes.(idx) with
+      | And_node (a, b) ->
+        walk (node_of_lit a);
+        walk (node_of_lit b)
+      | Const_node | Input_node _ -> ()
+    end
+  in
+  Array.iter (fun (_, l) -> walk (node_of_lit l)) t.output_lits;
+  seen
+
+let node_count t =
+  let seen = reachable t in
+  let count = ref 0 in
+  for i = 0 to t.used - 1 do
+    if seen.(i) then
+      match t.nodes.(i) with
+      | And_node _ -> incr count
+      | Const_node | Input_node _ -> ()
+  done;
+  !count
+
+let depth t =
+  let level = Array.make t.used 0 in
+  (* Nodes are created fanins-first, so index order is topological. *)
+  for i = 0 to t.used - 1 do
+    match t.nodes.(i) with
+    | And_node (a, b) ->
+      level.(i) <- 1 + max level.(node_of_lit a) level.(node_of_lit b)
+    | Const_node | Input_node _ -> ()
+  done;
+  Array.fold_left
+    (fun acc (_, l) -> max acc level.(node_of_lit l))
+    0 t.output_lits
+
+let eval t input_values =
+  if Array.length input_values <> input_count t then
+    invalid_arg "Aig.eval: wrong input count";
+  let value = Array.make t.used false in
+  let input_rank = Hashtbl.create 16 in
+  Array.iteri (fun i (_, l) -> Hashtbl.replace input_rank (node_of_lit l) i) t.input_lits;
+  let lit_value l =
+    let v = value.(node_of_lit l) in
+    if complemented l then not v else v
+  in
+  for i = 0 to t.used - 1 do
+    match t.nodes.(i) with
+    | Const_node -> value.(i) <- false
+    | Input_node _ -> value.(i) <- input_values.(Hashtbl.find input_rank i)
+    | And_node (a, b) -> value.(i) <- lit_value a && lit_value b
+  done;
+  (* Constant node literal 1 = true: lit 0 is node 0 with value false. *)
+  Array.map (fun (_, l) -> lit_value l) t.output_lits
+
+let of_network net =
+  let t = create () in
+  let lits = Array.make (Network.num_nodes net) false_ in
+  Array.iteri
+    (fun i id -> lits.(id) <- add_input t (Network.input_names net).(i))
+    (Network.inputs net);
+  let order = Structure.topo_order net in
+  let reduce f init arr = Array.fold_left f init arr in
+  Array.iter
+    (fun id ->
+      if not (Network.is_input net id) then begin
+        let fi = Array.map (fun f -> lits.(f)) (Network.fanins net id) in
+        let l =
+          match Network.op net id with
+          | Gate.Input -> assert false
+          | Gate.Const b -> if b then true_ else false_
+          | Gate.Buf -> fi.(0)
+          | Gate.Not -> lnot_ fi.(0)
+          | Gate.And -> reduce (land_ t) true_ fi
+          | Gate.Nand -> lnot_ (reduce (land_ t) true_ fi)
+          | Gate.Or -> reduce (lor_ t) false_ fi
+          | Gate.Nor -> lnot_ (reduce (lor_ t) false_ fi)
+          | Gate.Xor -> reduce (lxor_ t) false_ fi
+          | Gate.Xnor -> lnot_ (reduce (lxor_ t) false_ fi)
+          | Gate.Mux -> mux t ~sel:fi.(0) fi.(1) fi.(2)
+        in
+        lits.(id) <- l
+      end)
+    order;
+  set_outputs t
+    (Array.map2
+       (fun nm id -> (nm, lits.(id)))
+       (Network.output_names net) (Network.outputs net));
+  t
+
+let to_network t =
+  let net = Network.create ~name:"aig" () in
+  let node_ids = Array.make t.used (-1) in
+  let const0 = ref (-1) in
+  let get_const0 () =
+    if !const0 < 0 then const0 := Network.add_node net (Gate.Const false) [||];
+    !const0
+  in
+  (* Map a literal to a network node computing it; inverters are created on
+     demand and cached. *)
+  let inv_cache = Hashtbl.create 64 in
+  let rec node_of idx =
+    if node_ids.(idx) >= 0 then node_ids.(idx)
+    else begin
+      let id =
+        match t.nodes.(idx) with
+        | Const_node -> get_const0 ()
+        | Input_node name -> Network.add_input net name
+        | And_node (a, b) ->
+          let fa = lit_node a and fb = lit_node b in
+          Network.add_node net Gate.And [| fa; fb |]
+      in
+      node_ids.(idx) <- id;
+      id
+    end
+  and lit_node l =
+    let base = node_of (node_of_lit l) in
+    if complemented l then begin
+      match Hashtbl.find_opt inv_cache base with
+      | Some id -> id
+      | None ->
+        let id = Network.add_node net Gate.Not [| base |] in
+        Hashtbl.add inv_cache base id;
+        id
+    end
+    else base
+  in
+  (* Create inputs first, in declaration order. *)
+  Array.iter (fun (_, l) -> ignore (node_of (node_of_lit l))) t.input_lits;
+  let outs = Array.map (fun (nm, l) -> (nm, lit_node l)) t.output_lits in
+  Network.set_outputs net outs;
+  net

@@ -1,0 +1,66 @@
+(** And-inverter graphs.
+
+    The canonical representation of ALS tools (ABC, and the paper's "#Nd"
+    node counts): two-input AND nodes with complementable edges, built with
+    structural hashing and constant folding so equivalent structure is
+    shared on construction.
+
+    A signal is a {!lit}: node index times two, plus one when complemented
+    (AIGER convention). Literal 0 is constant false, literal 1 constant
+    true. *)
+
+type t
+
+type lit = int
+
+val false_ : lit
+val true_ : lit
+
+val create : unit -> t
+
+val add_input : t -> string -> lit
+
+val land_ : t -> lit -> lit -> lit
+(** Hashed, folded AND: returns an existing node when possible, applies
+    the constant/idempotence/complement rules. *)
+
+val lor_ : t -> lit -> lit -> lit
+val lxor_ : t -> lit -> lit -> lit
+val lnot_ : lit -> lit
+val mux : t -> sel:lit -> lit -> lit -> lit
+
+val set_outputs : t -> (string * lit) array -> unit
+
+val input_count : t -> int
+val output_count : t -> int
+
+val node_count : t -> int
+(** Number of AND nodes reachable from the outputs (the paper's #Nd). *)
+
+val total_ands : t -> int
+(** All constructed AND nodes, including ones no output reaches. *)
+
+val depth : t -> int
+(** Maximum number of AND nodes on any output-to-input path. *)
+
+val eval : t -> bool array -> bool array
+(** Evaluate outputs for one input vector (inputs in declaration order). *)
+
+val inputs : t -> (string * lit) array
+val outputs : t -> (string * lit) array
+
+val fanins : t -> int -> lit * lit
+(** Fanin literals of an AND node (by node index). Raises
+    [Invalid_argument] for inputs/constant. *)
+
+val is_and : t -> int -> bool
+val is_input : t -> int -> bool
+
+(** {1 Conversions} *)
+
+val of_network : Accals_network.Network.t -> t
+(** Structural conversion; n-ary gates become balanced AND trees, XORs and
+    muxes the usual 3-AND structures. *)
+
+val to_network : t -> Accals_network.Network.t
+(** Back to the gate-level network (AND2/NOT gates). *)

@@ -1,0 +1,18 @@
+(** AIGER interchange format (ASCII "aag" variant, combinational subset).
+
+    The standard exchange format of the AIG world (ABC, model checkers, the
+    EPFL suite distribution). Latches are not supported. *)
+
+exception Parse_error of string
+
+val to_string : Aig.t -> string
+(** Serialize the reachable part of the AIG, inputs first, ANDs in
+    topological order, with a symbol table. *)
+
+val parse_string : string -> Aig.t
+(** Parse an "aag" document. The AIG is rebuilt through the hashed
+    constructors, so structurally redundant input files come back
+    simplified (function preserved). *)
+
+val write_file : Aig.t -> string -> unit
+val parse_file : string -> Aig.t

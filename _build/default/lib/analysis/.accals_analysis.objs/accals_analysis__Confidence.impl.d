@@ -1,0 +1,1 @@
+lib/analysis/confidence.ml:

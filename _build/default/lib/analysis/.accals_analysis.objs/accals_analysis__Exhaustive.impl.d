@@ -1,0 +1,1 @@
+lib/analysis/exhaustive.ml: Accals_bitvec Accals_metrics Accals_network Array Network Sim Structure

@@ -1,0 +1,1 @@
+lib/analysis/exhaustive.mli: Accals_metrics Accals_network Network

@@ -1,0 +1,37 @@
+(* Normal quantiles for the confidence levels used in practice; linear
+   interpolation between entries. *)
+let z_of confidence =
+  let table =
+    [ (0.80, 1.2816); (0.90, 1.6449); (0.95, 1.9600); (0.98, 2.3263);
+      (0.99, 2.5758); (0.999, 3.2905) ]
+  in
+  let rec lookup = function
+    | (c1, z1) :: ((c2, z2) :: _ as rest) ->
+      if confidence <= c1 then z1
+      else if confidence <= c2 then
+        z1 +. ((z2 -. z1) *. (confidence -. c1) /. (c2 -. c1))
+      else lookup rest
+    | [ (_, z) ] -> z
+    | [] -> 1.96
+  in
+  lookup table
+
+let wilson_interval ~errors ~samples ~confidence =
+  if samples <= 0 then invalid_arg "Confidence: no samples";
+  if errors < 0 || errors > samples then invalid_arg "Confidence: bad error count";
+  let z = z_of confidence in
+  let n = float_of_int samples in
+  let p = float_of_int errors /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half =
+    z /. denom *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+  in
+  (max 0.0 (center -. half), min 1.0 (center +. half))
+
+let samples_for_resolution ~error_rate ~confidence =
+  if error_rate <= 0.0 || error_rate >= 1.0 then
+    invalid_arg "Confidence: error rate must be in (0,1)";
+  (* (1-e)^n <= 1-c  =>  n >= log(1-c) / log(1-e) *)
+  int_of_float (ceil (log (1.0 -. confidence) /. log (1.0 -. error_rate)))

@@ -1,0 +1,16 @@
+(** Statistical confidence for sampled error-rate estimates.
+
+    The synthesis loop measures ER on a finite sample; the Wilson score
+    interval quantifies how far the true error rate can plausibly be from
+    the estimate, which matters when certifying a circuit against a bound
+    close to the sampling resolution. *)
+
+val wilson_interval :
+  errors:int -> samples:int -> confidence:float -> float * float
+(** [(low, high)] interval for the true error probability. [confidence] is
+    e.g. 0.95 or 0.99. *)
+
+val samples_for_resolution : error_rate:float -> confidence:float -> int
+(** Rough number of uniform samples needed before an error rate of the
+    given magnitude is distinguishable from zero at the given confidence
+    (coupon-style bound: P(no error seen) <= 1 - confidence). *)

@@ -1,0 +1,83 @@
+open Accals_network
+module Bitvec = Accals_bitvec.Bitvec
+module Metric = Accals_metrics.Metric
+
+let max_inputs = 24
+
+let chunk_bits = 13
+
+type report = {
+  error_rate : float;
+  mean_error_distance : float;
+  normalized_mean_error_distance : float;
+  mean_relative_error_distance : float;
+  worst_case_error : float;
+  vectors : int;
+}
+
+(* Patterns for the input-vector range [base, base + 2^chunk_bits). *)
+let chunk_patterns k base =
+  let count = 1 lsl min k chunk_bits in
+  let by_input =
+    Array.init k (fun i ->
+        let bv = Bitvec.create count in
+        for p = 0 to count - 1 do
+          if (base + p) lsr i land 1 = 1 then Bitvec.set bv p true
+        done;
+        bv)
+  in
+  { Sim.count; by_input }
+
+let compare_networks ~golden ~approx =
+  let k = Array.length (Network.inputs golden) in
+  if k > max_inputs then invalid_arg "Exhaustive: too many inputs";
+  if Array.length (Network.inputs approx) <> k then
+    invalid_arg "Exhaustive: input interface mismatch";
+  let m = Array.length (Network.outputs golden) in
+  if Array.length (Network.outputs approx) <> m then
+    invalid_arg "Exhaustive: output interface mismatch";
+  if m > 60 then invalid_arg "Exhaustive: more than 60 outputs";
+  let golden_order = Structure.topo_order golden in
+  let approx_order = Structure.topo_order approx in
+  let total = 1 lsl k in
+  let per_chunk = 1 lsl min k chunk_bits in
+  let chunks = total / per_chunk in
+  let wrong = ref 0 in
+  let distance_sum = ref 0.0 in
+  let relative_sum = ref 0.0 in
+  let worst = ref 0 in
+  for c = 0 to chunks - 1 do
+    let patterns = chunk_patterns k (c * per_chunk) in
+    let gs = Sim.run golden patterns ~order:golden_order in
+    let asigs = Sim.run approx patterns ~order:approx_order in
+    let gout = Array.map (fun id -> gs.(id)) (Network.outputs golden) in
+    let aout = Array.map (fun id -> asigs.(id)) (Network.outputs approx) in
+    for p = 0 to per_chunk - 1 do
+      let gv = Metric.output_value gout ~pattern:p in
+      let av = Metric.output_value aout ~pattern:p in
+      if gv <> av then begin
+        incr wrong;
+        let d = abs (av - gv) in
+        distance_sum := !distance_sum +. float_of_int d;
+        relative_sum := !relative_sum +. (float_of_int d /. float_of_int (max 1 gv));
+        if d > !worst then worst := d
+      end
+    done
+  done;
+  let n = float_of_int total in
+  let max_value = float_of_int ((1 lsl m) - 1) in
+  {
+    error_rate = float_of_int !wrong /. n;
+    mean_error_distance = !distance_sum /. n;
+    normalized_mean_error_distance = !distance_sum /. n /. max_value;
+    mean_relative_error_distance = !relative_sum /. n;
+    worst_case_error = float_of_int !worst;
+    vectors = total;
+  }
+
+let value r = function
+  | Metric.Error_rate -> r.error_rate
+  | Metric.Med -> r.mean_error_distance
+  | Metric.Nmed -> r.normalized_mean_error_distance
+  | Metric.Mred -> r.mean_relative_error_distance
+  | Metric.Wce -> r.worst_case_error

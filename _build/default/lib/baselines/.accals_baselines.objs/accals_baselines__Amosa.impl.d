@@ -1,0 +1,1 @@
+lib/baselines/amosa.ml: Accals Accals_bitvec Accals_esterr Accals_lac Accals_metrics Accals_network Array Candidate_gen Cleanup Cost Lac List Network Round_ctx Sim Unix

@@ -1,0 +1,1 @@
+lib/baselines/amosa.mli: Accals Accals_metrics Accals_network Network Sim

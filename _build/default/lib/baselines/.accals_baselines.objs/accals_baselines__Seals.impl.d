@@ -1,0 +1,1 @@
+lib/baselines/seals.ml: Accals Accals_esterr Accals_lac Accals_metrics Accals_network Candidate_gen Cleanup Cost Lac List Network Round_ctx Sim Unix

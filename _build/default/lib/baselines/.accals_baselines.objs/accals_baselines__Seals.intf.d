@@ -1,0 +1,1 @@
+lib/baselines/seals.mli: Accals Accals_metrics Accals_network Network Sim

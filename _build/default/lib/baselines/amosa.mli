@@ -1,0 +1,44 @@
+(** AMOSA-style evolutionary baseline [15] (Section III-C).
+
+    Selects multiple LACs per round with archived multi-objective simulated
+    annealing over subsets of the round's conflict-free candidate LACs. A
+    state is a LAC subset; its objectives are the exact-on-samples error and
+    the circuit area after application. Non-dominated (error, area) points
+    are archived; acceptance follows the AMOSA rule (always accept
+    dominating moves, accept dominated moves with a temperature-scaled
+    probability of the domination amount). At the end of a round the
+    archived point with the largest area reduction within the error bound is
+    applied, and the process repeats on the new circuit.
+
+    Every annealing proposal costs a full circuit evaluation, which is what
+    makes the approach slow relative to AccALS (Table III). *)
+
+open Accals_network
+module Metric := Accals_metrics.Metric
+
+type config = {
+  iterations_per_round : int;  (** annealing proposals per round *)
+  subset_limit : int;  (** max LACs in a state *)
+  pool_size : int;  (** conflict-free candidates fed to the annealer *)
+  initial_temperature : float;
+  cooling : float;  (** geometric factor per proposal *)
+  seed : int;
+}
+
+val default_config : config
+
+type result = {
+  report : Accals.Engine.report;
+  archive : (float * float) list;
+      (** non-dominated (error, area ratio) points collected over the whole
+          run — the Fig. 7 curve *)
+}
+
+val run :
+  ?config:Accals.Config.t ->
+  ?amosa:config ->
+  ?patterns:Sim.patterns ->
+  Network.t ->
+  metric:Metric.kind ->
+  error_bound:float ->
+  result

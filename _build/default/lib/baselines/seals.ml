@@ -1,0 +1,99 @@
+open Accals_network
+open Accals_lac
+module Metric = Accals_metrics.Metric
+module Estimator = Accals_esterr.Estimator
+module Evaluate = Accals_esterr.Evaluate
+module Config = Accals.Config
+module Engine = Accals.Engine
+module Trace = Accals.Trace
+
+let run ?config ?patterns ?shortlist net ~metric ~error_bound =
+  if error_bound <= 0.0 then invalid_arg "Seals.run: error bound must be positive";
+  let config = match config with Some c -> c | None -> Config.for_network net in
+  let shortlist =
+    match shortlist with Some s -> s | None -> config.Config.shortlist
+  in
+  let patterns =
+    match patterns with
+    | Some p -> p
+    | None ->
+      Sim.for_network ~seed:config.Config.seed ~count:config.Config.samples
+        ~exhaustive_limit:config.Config.exhaustive_limit net
+  in
+  let started = Unix.gettimeofday () in
+  let golden = Evaluate.output_signatures net patterns in
+  let area0 = Cost.area net in
+  let delay0 = Cost.delay net in
+  let current = ref (Network.copy net) in
+  let error = ref 0.0 in
+  let best = ref (Network.copy net) in
+  let best_error = ref 0.0 in
+  let rounds = ref [] in
+  let evaluations = ref 0 in
+  let round_index = ref 0 in
+  let finished = ref false in
+  while (not !finished) && !round_index < config.Config.max_rounds do
+    incr round_index;
+    let ctx = Round_ctx.create !current patterns in
+    let est = Estimator.create ctx ~golden ~metric in
+    let candidates = Candidate_gen.generate ctx config.Config.candidate in
+    if candidates = [] then finished := true
+    else begin
+      let scored = Estimator.score est ~shortlist candidates in
+      evaluations := !evaluations + Estimator.evaluations est;
+      let rec try_apply = function
+        | [] -> None
+        | lac :: rest -> (
+          let copy = Network.copy !current in
+          match Lac.apply copy lac with
+          | () -> Some (copy, lac)
+          | exception Network.Cycle _ -> try_apply rest)
+      in
+      match try_apply scored with
+      | None -> finished := true
+      | Some (circuit, lac) ->
+        Cleanup.sweep circuit;
+        let e_new = Evaluate.actual_error circuit patterns ~golden metric in
+        let e_before = !error in
+        current := circuit;
+        error := e_new;
+        rounds :=
+          {
+            Trace.index = !round_index;
+            mode = Trace.Single;
+            candidates = List.length candidates;
+            top_count = 1;
+            sol_count = 1;
+            indp_count = 0;
+            rand_count = 0;
+            chose_indp = None;
+            applied = 1;
+            skipped_cycles = 0;
+            error_before = e_before;
+            error_after = e_new;
+            estimated_error = e_before +. lac.Lac.delta_error;
+            reverted = false;
+            area = Cost.area circuit;
+          }
+          :: !rounds;
+        if e_new <= error_bound then begin
+          best := Network.copy circuit;
+          best_error := e_new
+        end
+        else finished := true
+    end
+  done;
+  let approximate = Cleanup.compact !best in
+  {
+    Engine.original = net;
+    approximate;
+    error = !best_error;
+    metric;
+    error_bound;
+    rounds = List.rev !rounds;
+    runtime_seconds = Unix.gettimeofday () -. started;
+    exact_evaluations = !evaluations;
+    area_ratio = Cost.area approximate /. area0;
+    delay_ratio = Cost.delay approximate /. delay0;
+    adp_ratio = Cost.adp approximate /. (area0 *. delay0);
+  }

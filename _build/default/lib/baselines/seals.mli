@@ -1,0 +1,25 @@
+(** SEALS [12]: the state-of-the-art single-selection iterative ALS flow
+    AccALS is compared against (Section III-B).
+
+    Each round evaluates the candidate LACs with the same sensitivity-driven
+    two-level estimator as AccALS but applies only the single best LAC
+    (minimum ΔE, ties by larger area gain). The per-round estimation
+    shortlist is small — the flow only needs the argmin — which is exactly
+    the pruning benefit SEALS gets from its sensitivity metric. *)
+
+open Accals_network
+module Metric := Accals_metrics.Metric
+
+val run :
+  ?config:Accals.Config.t ->
+  ?patterns:Sim.patterns ->
+  ?shortlist:int ->
+  Network.t ->
+  metric:Metric.kind ->
+  error_bound:float ->
+  Accals.Engine.report
+(** Same report shape as {!Accals.Engine.run}; every round is a
+    [Trace.Single] round. [shortlist] defaults to the config's shortlist so
+    that per-round estimation effort matches AccALS — the controlled
+    variable of the paper's comparison is single- versus multi-LAC
+    selection. *)

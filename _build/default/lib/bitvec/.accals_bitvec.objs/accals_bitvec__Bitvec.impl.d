@@ -1,0 +1,1 @@
+lib/bitvec/bitvec.ml: Array Bytes Char Format Prng

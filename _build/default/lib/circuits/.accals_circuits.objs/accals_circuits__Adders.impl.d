@@ -1,0 +1,1 @@
+lib/circuits/adders.ml: Accals_network Array Builder Network Printf

@@ -1,0 +1,1 @@
+lib/circuits/alu.ml: Accals_network Array Builder Network

@@ -1,0 +1,1 @@
+lib/circuits/alu.mli: Accals_network Network

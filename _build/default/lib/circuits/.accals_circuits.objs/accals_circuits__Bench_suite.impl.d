@@ -1,0 +1,1 @@
+lib/circuits/bench_suite.ml: Accals_network Accals_twolevel Adders Alu Cleanup Datapath Divider Dsp Ecc Image List Multipliers Network Random_logic Unary_fns

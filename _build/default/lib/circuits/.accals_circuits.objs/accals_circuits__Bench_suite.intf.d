@@ -1,0 +1,1 @@
+lib/circuits/bench_suite.mli: Accals_network Network

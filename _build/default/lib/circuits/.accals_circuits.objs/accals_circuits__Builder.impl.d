@@ -1,0 +1,1 @@
+lib/circuits/builder.ml: Accals_network Array Gate Network Printf

@@ -1,0 +1,1 @@
+lib/circuits/builder.mli: Accals_network Network

@@ -1,0 +1,1 @@
+lib/circuits/datapath.ml: Accals_network Array Builder Multipliers Network Printf

@@ -1,0 +1,1 @@
+lib/circuits/divider.ml: Accals_network Array Builder Network Printf

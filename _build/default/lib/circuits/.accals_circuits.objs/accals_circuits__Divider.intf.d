@@ -1,0 +1,1 @@
+lib/circuits/divider.mli: Accals_network Network

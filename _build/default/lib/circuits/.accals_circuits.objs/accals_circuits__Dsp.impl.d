@@ -1,0 +1,1 @@
+lib/circuits/dsp.ml: Accals_network Array Builder List Network Printf

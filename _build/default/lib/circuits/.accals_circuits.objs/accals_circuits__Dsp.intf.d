@@ -1,0 +1,1 @@
+lib/circuits/dsp.mli: Accals_network Network

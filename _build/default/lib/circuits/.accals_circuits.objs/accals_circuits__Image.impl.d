@@ -1,0 +1,1 @@
+lib/circuits/image.ml: Accals_network Array Builder Network Printf

@@ -1,0 +1,1 @@
+lib/circuits/image.mli: Accals_network Network

@@ -1,0 +1,1 @@
+lib/circuits/multipliers.mli: Accals_network Network

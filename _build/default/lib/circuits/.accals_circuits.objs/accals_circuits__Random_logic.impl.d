@@ -1,0 +1,1 @@
+lib/circuits/random_logic.ml: Accals_bitvec Accals_network Array Builder Gate List Network Sim Structure

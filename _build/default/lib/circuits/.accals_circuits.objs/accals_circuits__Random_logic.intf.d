@@ -1,0 +1,1 @@
+lib/circuits/random_logic.mli: Accals_network Network

@@ -1,0 +1,1 @@
+lib/circuits/unary_fns.ml: Accals_network Array Builder Multipliers Network Printf

@@ -1,0 +1,1 @@
+lib/circuits/unary_fns.mli: Accals_network Network

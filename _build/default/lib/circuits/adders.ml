@@ -1,0 +1,118 @@
+open Accals_network
+module B = Builder
+
+let interface ~name ~width =
+  let t = Network.create ~name () in
+  let a = B.bus t "a" width in
+  let b = B.bus t "b" width in
+  let cin = Network.add_input t "cin" in
+  (t, a, b, cin)
+
+let finish t sums cout =
+  let outs = Array.append (B.set_output_bus t "s" sums) [| ("cout", cout) |] in
+  Network.set_outputs t outs;
+  t
+
+let ripple_carry ~width =
+  let t, a, b, cin = interface ~name:(Printf.sprintf "rca%d" width) ~width in
+  let sums, cout = B.ripple_add t a b ~cin in
+  finish t sums cout
+
+let carry_lookahead ~width =
+  let t, a, b, cin = interface ~name:(Printf.sprintf "cla%d" width) ~width in
+  let p = Array.init width (fun i -> B.xor2 t a.(i) b.(i)) in
+  let g = Array.init width (fun i -> B.and2 t a.(i) b.(i)) in
+  let sums = Array.make width 0 in
+  let group = 4 in
+  let carry_in = ref cin in
+  let i = ref 0 in
+  while !i < width do
+    let k = min group (width - !i) in
+    (* Carries within the group by two-level lookahead:
+       c_{j+1} = g_j + p_j g_{j-1} + ... + p_j..p_lo c_in *)
+    let carries = Array.make (k + 1) !carry_in in
+    for j = 0 to k - 1 do
+      let terms = ref [] in
+      for m = 0 to j do
+        (* product p_{i+j} ... p_{i+m+1} g_{i+m} *)
+        let lits = ref [ g.(!i + m) ] in
+        for q = m + 1 to j do
+          lits := p.(!i + q) :: !lits
+        done;
+        terms := B.andn t (Array.of_list !lits) :: !terms
+      done;
+      let prop_all =
+        let lits = Array.init (j + 1) (fun q -> p.(!i + q)) in
+        B.and2 t (B.andn t lits) !carry_in
+      in
+      carries.(j + 1) <- B.orn t (Array.of_list (prop_all :: !terms))
+    done;
+    for j = 0 to k - 1 do
+      sums.(!i + j) <- B.xor2 t p.(!i + j) carries.(j)
+    done;
+    carry_in := carries.(k);
+    i := !i + k
+  done;
+  finish t sums !carry_in
+
+let carry_select ?(block = 4) ~width () =
+  let t, a, b, cin = interface ~name:(Printf.sprintf "csel%d" width) ~width in
+  let sums = Array.make width 0 in
+  let carry = ref cin in
+  let i = ref 0 in
+  while !i < width do
+    let k = min block (width - !i) in
+    let sub arr = Array.sub arr !i k in
+    let zero = B.const_ t false and one = B.const_ t true in
+    let s0, c0 = B.ripple_add t (sub a) (sub b) ~cin:zero in
+    let s1, c1 = B.ripple_add t (sub a) (sub b) ~cin:one in
+    let chosen = B.mux_bus t ~sel:!carry s1 s0 in
+    Array.blit chosen 0 sums !i k;
+    carry := B.mux t ~sel:!carry c1 c0;
+    i := !i + k
+  done;
+  finish t sums !carry
+
+let carry_skip ?(block = 4) ~width () =
+  let t, a, b, cin = interface ~name:(Printf.sprintf "cskip%d" width) ~width in
+  let sums = Array.make width 0 in
+  let carry = ref cin in
+  let i = ref 0 in
+  while !i < width do
+    let k = min block (width - !i) in
+    let s, ripple_cout = B.ripple_add t (Array.sub a !i k) (Array.sub b !i k) ~cin:!carry in
+    Array.blit s 0 sums !i k;
+    let propagate =
+      B.andn t (Array.init k (fun j -> B.xor2 t a.(!i + j) b.(!i + j)))
+    in
+    carry := B.mux t ~sel:propagate !carry ripple_cout;
+    i := !i + k
+  done;
+  finish t sums !carry
+
+let kogge_stone ~width =
+  let t, a, b, cin = interface ~name:(Printf.sprintf "ksa%d" width) ~width in
+  let p0 = Array.init width (fun i -> B.xor2 t a.(i) b.(i)) in
+  let g0 = Array.init width (fun i -> B.and2 t a.(i) b.(i)) in
+  (* Fold cin into bit 0: g'_0 = g_0 + p_0 cin. *)
+  let g = Array.copy g0 in
+  let p = Array.copy p0 in
+  g.(0) <- B.or2 t g0.(0) (B.and2 t p0.(0) cin);
+  let gg = ref g and pp = ref p in
+  let dist = ref 1 in
+  while !dist < width do
+    let g' = Array.copy !gg and p' = Array.copy !pp in
+    for i = width - 1 downto !dist do
+      g'.(i) <- B.or2 t !gg.(i) (B.and2 t !pp.(i) !gg.(i - !dist));
+      p'.(i) <- B.and2 t !pp.(i) !pp.(i - !dist)
+    done;
+    gg := g';
+    pp := p';
+    dist := !dist * 2
+  done;
+  (* carry into bit i is prefix generate of bit i-1; carry into bit 0 = cin. *)
+  let sums =
+    Array.init width (fun i ->
+        if i = 0 then B.xor2 t p0.(0) cin else B.xor2 t p0.(i) !gg.(i - 1))
+  in
+  finish t sums !gg.(width - 1)

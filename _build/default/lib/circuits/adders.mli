@@ -1,0 +1,21 @@
+(** Adder generators (the paper's rca32 / cla32 / ksa32 benchmarks).
+
+    All adders take buses a and b (LSB first) plus a carry-in input and
+    expose sum bits s0..s{w-1} and carry-out [cout]. *)
+
+open Accals_network
+
+val ripple_carry : width:int -> Network.t
+
+val carry_lookahead : width:int -> Network.t
+(** 4-bit lookahead groups, groups connected in ripple fashion. *)
+
+val kogge_stone : width:int -> Network.t
+(** Parallel-prefix adder. *)
+
+val carry_select : ?block:int -> width:int -> unit -> Network.t
+(** Carry-select adder: each block computes both carry hypotheses and muxes
+    on the incoming carry (default block size 4). *)
+
+val carry_skip : ?block:int -> width:int -> unit -> Network.t
+(** Carry-skip adder: ripple blocks with a propagate bypass mux. *)

@@ -1,0 +1,81 @@
+open Accals_network
+module B = Builder
+
+let make ?(rich = false) ?(ops = 8) ~width ~name () =
+  if ops <> 4 && ops <> 8 then invalid_arg "Alu.make: ops must be 4 or 8";
+  let t = Network.create ~name () in
+  let a = B.bus t "a" width in
+  let b = B.bus t "b" width in
+  let sel_bits = if ops = 4 then 2 else 3 in
+  let sel = B.bus t "op" sel_bits in
+  let and_bus = Array.init width (fun i -> B.and2 t a.(i) b.(i)) in
+  let or_bus = Array.init width (fun i -> B.or2 t a.(i) b.(i)) in
+  let xor_bus = Array.init width (fun i -> B.xor2 t a.(i) b.(i)) in
+  let nor_bus = Array.init width (fun i -> B.nor2 t a.(i) b.(i)) in
+  let zero = B.const_ t false in
+  let add_bus, add_carry = B.ripple_add t a b ~cin:zero in
+  let sub_bus, no_borrow = B.ripple_sub t a b in
+  (* Signed less-than: sign(a) & ~sign(b)  |  (sign equal & sign(diff)). *)
+  let sa = a.(width - 1) and sb = b.(width - 1) in
+  let slt =
+    B.or2 t
+      (B.and2 t sa (B.not_ t sb))
+      (B.and2 t (B.xnor2 t sa sb) sub_bus.(width - 1))
+  in
+  let slt_bus = Array.init width (fun i -> if i = 0 then slt else zero) in
+  let result =
+    if ops = 4 then begin
+      (* 00:and 01:or 10:add 11:sub *)
+      let lo = B.mux_bus t ~sel:sel.(0) or_bus and_bus in
+      let hi = B.mux_bus t ~sel:sel.(0) sub_bus add_bus in
+      B.mux_bus t ~sel:sel.(1) hi lo
+    end
+    else begin
+      (* 000:and 001:or 010:xor 011:nor 100:add 101:sub 110:slt 111:passb *)
+      let m00 = B.mux_bus t ~sel:sel.(0) or_bus and_bus in
+      let m01 = B.mux_bus t ~sel:sel.(0) nor_bus xor_bus in
+      let m10 = B.mux_bus t ~sel:sel.(0) sub_bus add_bus in
+      let m11 = B.mux_bus t ~sel:sel.(0) b slt_bus in
+      let lo = B.mux_bus t ~sel:sel.(1) m01 m00 in
+      let hi = B.mux_bus t ~sel:sel.(1) m11 m10 in
+      B.mux_bus t ~sel:sel.(2) hi lo
+    end
+  in
+  let result =
+    if rich then begin
+      (* Left barrel shift of the result by the low log2(width) bits of b. *)
+      let shift_bits =
+        let rec log2 acc v = if v >= width then acc else log2 (acc + 1) (v * 2) in
+        log2 0 1
+      in
+      let shifted = ref result in
+      for s = 0 to shift_bits - 1 do
+        let amount = 1 lsl s in
+        let moved =
+          Array.init width (fun i ->
+              if i < amount then zero else !shifted.(i - amount))
+        in
+        shifted := B.mux_bus t ~sel:b.(s) moved !shifted
+      done;
+      B.mux_bus t ~sel:(B.and2 t sel.(sel_bits - 1) a.(0)) !shifted result
+    end
+    else result
+  in
+  let zero_flag = B.zero_detect t result in
+  let base = Array.append (B.set_output_bus t "r" result) [| ("zero", zero_flag) |] in
+  let outs =
+    if rich then begin
+      let overflow =
+        (* Signed overflow of the add path. *)
+        B.and2 t (B.xnor2 t sa sb) (B.xor2 t sa add_bus.(width - 1))
+      in
+      let parity = B.xorn t result in
+      Array.append base
+        [| ("carry", B.or2 t add_carry (B.not_ t no_borrow));
+           ("overflow", overflow);
+           ("parity", parity) |]
+    end
+    else base
+  in
+  Network.set_outputs t outs;
+  t

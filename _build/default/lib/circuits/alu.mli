@@ -1,0 +1,14 @@
+(** Parameterizable ALU generators.
+
+    Stand-ins for the ALU-class benchmarks: alu2/alu4 (LGSynt91) and
+    c880/c3540 (ISCAS-85, both reverse-engineered as ALUs). The 8 base
+    operations are AND, OR, XOR, NOR, ADD, SUB, set-less-than and pass-B;
+    [rich] adds a left barrel shifter, a parity output and carry/overflow
+    flags, growing the circuit towards c3540 scale. *)
+
+open Accals_network
+
+val make : ?rich:bool -> ?ops:int -> width:int -> name:string -> unit -> Network.t
+(** [ops] restricts the operation count to 4 or 8 (default 8). Outputs:
+    r0..r{w-1} plus flag [zero] (and [carry], [overflow], [parity] when
+    [rich]). *)

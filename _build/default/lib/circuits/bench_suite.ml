@@ -1,0 +1,79 @@
+open Accals_network
+
+type category = Iscas_small | Epfl | Lgsynt91 | Extras
+
+let category_to_string = function
+  | Iscas_small -> "ISCAS & small arithmetic"
+  | Epfl -> "EPFL arithmetic"
+  | Lgsynt91 -> "LGSynt91"
+  | Extras -> "Extras"
+
+let registry : (string * (category * (unit -> Network.t))) list =
+  [
+    ("alu4", (Iscas_small, fun () -> Alu.make ~width:4 ~name:"alu4" ()));
+    ("c1908", (Iscas_small, fun () -> Ecc.secded_decoder ~data_bits:16));
+    ("c3540", (Iscas_small, fun () -> Alu.make ~rich:true ~width:8 ~name:"c3540" ()));
+    ("c880", (Iscas_small, fun () -> Alu.make ~width:8 ~name:"c880" ()));
+    ("cla32", (Iscas_small, fun () -> Adders.carry_lookahead ~width:32));
+    ("ksa32", (Iscas_small, fun () -> Adders.kogge_stone ~width:32));
+    ("mtp8", (Iscas_small, fun () -> Multipliers.array_multiplier ~width:8));
+    ("rca32", (Iscas_small, fun () -> Adders.ripple_carry ~width:32));
+    ("wal8", (Iscas_small, fun () -> Multipliers.wallace ~width:8));
+    ("div", (Epfl, fun () -> Divider.restoring ~dividend_width:24 ~divisor_width:12));
+    ("log2", (Epfl, fun () -> Unary_fns.log2 ~width:32 ~fraction_bits:8));
+    ("sin", (Epfl, fun () -> Unary_fns.sin_parabola ~width:10));
+    ("sqrt", (Epfl, fun () -> Unary_fns.sqrt_restoring ~width:24));
+    ("square", (Epfl, fun () -> Multipliers.square ~width:12));
+    ("alu2", (Lgsynt91, fun () -> Alu.make ~width:4 ~ops:4 ~name:"alu2" ()));
+    ( "apex6",
+      (Lgsynt91, fun () ->
+        Random_logic.make ~name:"apex6" ~inputs:60 ~outputs:40 ~gates:520 ~seed:6001) );
+    ( "frg2",
+      (Lgsynt91, fun () ->
+        Random_logic.make ~name:"frg2" ~inputs:60 ~outputs:60 ~gates:600 ~seed:6002) );
+    ( "term1",
+      (Lgsynt91, fun () ->
+        Random_logic.pla ~name:"term1" ~inputs:34 ~outputs:10 ~terms:56 ~seed:6003) );
+    ("dadda8", (Extras, fun () -> Multipliers.dadda ~width:8));
+    ("csel32", (Extras, fun () -> Adders.carry_select ~width:32 ()));
+    ("cskip32", (Extras, fun () -> Adders.carry_skip ~width:32 ()));
+    ("popcnt16", (Extras, fun () -> Datapath.popcount ~width:16));
+    ("bshift16", (Extras, fun () -> Datapath.barrel_shifter ~width:16));
+    ("mac6", (Extras, fun () -> Datapath.multiply_accumulate ~width:6));
+    ("satadd16", (Extras, fun () -> Datapath.saturating_adder ~width:16));
+    ( "fir5",
+      (Extras, fun () -> Dsp.fir_filter ~coefficients:[ 1; 4; 6; 4; 1 ] ~width:8) );
+    ("fadd8", (Extras, fun () -> Dsp.float_adder ~exp_bits:5 ~mantissa_bits:8));
+    ("sobel6", (Extras, fun () -> Image.sobel_magnitude ~pixel_bits:6));
+    ("gray12", (Extras, fun () -> Image.rgb_to_gray ~pixel_bits:12));
+  ]
+
+let all = List.map (fun (name, (cat, _)) -> (name, cat)) registry
+
+let category_circuits cat =
+  List.filter_map
+    (fun (name, (c, _)) -> if c = cat then Some name else None)
+    registry
+
+let small_arithmetic = [ "cla32"; "ksa32"; "mtp8"; "rca32"; "wal8" ]
+
+let build name =
+  match List.assoc_opt name registry with
+  | Some (_, gen) -> gen ()
+  | None -> raise Not_found
+
+let load name =
+  let t = build name in
+  (* Stand-in for the paper's ABC optimization script (strash; resyn2; amap):
+     simplify, share structure, rewrite small cones exactly, simplify again,
+     and renumber densely. *)
+  Cleanup.sweep t;
+  Cleanup.strash t;
+  Cleanup.sweep t;
+  ignore (Accals_twolevel.Refactor.run t);
+  Cleanup.sweep t;
+  Cleanup.strash t;
+  Cleanup.sweep t;
+  let t = Cleanup.compact t in
+  Network.set_name t name;
+  t

@@ -1,0 +1,35 @@
+(** Registry of the paper's benchmark circuits (Table I).
+
+    ISCAS-85 / LGSynt91 / full-size EPFL netlists are not redistributable
+    inside this repository, so each name maps to a generated functional
+    stand-in at a comparable (EPFL: reduced) scale; see DESIGN.md section 3
+    for the substitution rationale. *)
+
+open Accals_network
+
+type category =
+  | Iscas_small
+  | Epfl
+  | Lgsynt91
+  | Extras
+      (** additional approximate-computing workloads (not in the paper's
+          Table I): datapath, DSP and image-processing circuits *)
+
+val category_to_string : category -> string
+
+val all : (string * category) list
+(** Registered circuit names with their Table I column group. *)
+
+val category_circuits : category -> string list
+
+val small_arithmetic : string list
+(** The five small arithmetic circuits used for Fig. 4 and Fig. 6(b,c):
+    cla32, ksa32, mtp8, rca32, wal8. *)
+
+val build : string -> Network.t
+(** Construct the raw generated network. Raises [Not_found] for unknown
+    names. *)
+
+val load : string -> Network.t
+(** [build] followed by constant propagation, buffer sweeping and
+    compaction — the stand-in for the paper's ABC optimization script. *)

@@ -1,0 +1,158 @@
+open Accals_network
+module B = Builder
+
+let barrel_shifter ~width =
+  if width land (width - 1) <> 0 then
+    invalid_arg "barrel_shifter: width must be a power of two";
+  let shift_bits =
+    let rec go acc v = if v >= width then acc else go (acc + 1) (v * 2) in
+    go 0 1
+  in
+  let t = Network.create ~name:(Printf.sprintf "bshift%d" width) () in
+  let a = B.bus t "a" width in
+  let s = B.bus t "s" shift_bits in
+  let zero = B.const_ t false in
+  let value = ref a in
+  for b = 0 to shift_bits - 1 do
+    let amount = 1 lsl b in
+    let moved =
+      Array.init width (fun i ->
+          if i + amount < width then !value.(i + amount) else zero)
+    in
+    value := B.mux_bus t ~sel:s.(b) moved !value
+  done;
+  Network.set_outputs t (B.set_output_bus t "y" !value);
+  t
+
+let priority_encoder ~width =
+  let t = Network.create ~name:(Printf.sprintf "prienc%d" width) () in
+  let x = B.bus t "x" width in
+  let exp_bits =
+    let rec go acc v = if v >= width then acc else go (acc + 1) (v * 2) in
+    go 0 1
+  in
+  (* One-hot leading-one detection from the MSB down. *)
+  let above = ref (B.const_ t false) in
+  let lead = Array.make width 0 in
+  for i = width - 1 downto 0 do
+    lead.(i) <- B.and2 t x.(i) (B.not_ t !above);
+    above := B.or2 t !above x.(i)
+  done;
+  let encoded =
+    Array.init (max 1 exp_bits) (fun b ->
+        let members = ref [] in
+        for i = 0 to width - 1 do
+          if i lsr b land 1 = 1 then members := lead.(i) :: !members
+        done;
+        match !members with
+        | [] -> B.const_ t false
+        | ms -> B.orn t (Array.of_list ms))
+  in
+  Network.set_outputs t
+    (Array.append (B.set_output_bus t "e" encoded) [| ("valid", !above) |]);
+  t
+
+let comparator ~width =
+  let t = Network.create ~name:(Printf.sprintf "cmp%d" width) () in
+  let a = B.bus t "a" width in
+  let b = B.bus t "b" width in
+  (* Ripple from the MSB: track equality so far. *)
+  let eq = ref (B.const_ t true) in
+  let lt = ref (B.const_ t false) in
+  let gt = ref (B.const_ t false) in
+  for i = width - 1 downto 0 do
+    let bit_eq = B.xnor2 t a.(i) b.(i) in
+    let a_gt = B.and2 t a.(i) (B.not_ t b.(i)) in
+    let a_lt = B.and2 t b.(i) (B.not_ t a.(i)) in
+    gt := B.or2 t !gt (B.and2 t !eq a_gt);
+    lt := B.or2 t !lt (B.and2 t !eq a_lt);
+    eq := B.and2 t !eq bit_eq
+  done;
+  Network.set_outputs t [| ("eq", !eq); ("lt", !lt); ("gt", !gt) |];
+  t
+
+let popcount ~width =
+  let t = Network.create ~name:(Printf.sprintf "popcnt%d" width) () in
+  let x = B.bus t "x" width in
+  let out_bits =
+    let rec go acc v = if v > width then acc else go (acc + 1) (v * 2) in
+    go 0 1
+  in
+  (* Carry-save reduction: a list of columns of bits by weight. *)
+  let columns = Array.make out_bits [] in
+  Array.iter (fun bit -> columns.(0) <- bit :: columns.(0)) x;
+  (* Total count <= width < 2^out_bits, so no carry ever leaves the top
+     column. *)
+  let more = ref true in
+  while !more do
+    more := false;
+    let next = Array.make out_bits [] in
+    for c = 0 to out_bits - 1 do
+      let rec chew = function
+        | p :: q :: r :: rest ->
+          let s, carry = B.full_adder t p q r in
+          next.(c) <- s :: next.(c);
+          if c + 1 < out_bits then next.(c + 1) <- carry :: next.(c + 1);
+          more := true;
+          chew rest
+        | rest -> next.(c) <- rest @ next.(c)
+      in
+      chew columns.(c)
+    done;
+    Array.blit next 0 columns 0 out_bits
+  done;
+  (* Now each column has <= 2 bits: finish with a ripple addition. *)
+  let zero = B.const_ t false in
+  let pick n col = match col with
+    | [] -> zero
+    | u :: rest -> if n = 0 then u else (match rest with [] -> zero | v :: _ -> v)
+  in
+  let row0 = Array.init out_bits (fun c -> pick 0 columns.(c)) in
+  let row1 = Array.init out_bits (fun c -> pick 1 columns.(c)) in
+  let sums, _ = B.ripple_add t row0 row1 ~cin:zero in
+  Network.set_outputs t (B.set_output_bus t "c" sums);
+  t
+
+let multiply_accumulate ~width =
+  let t = Network.create ~name:(Printf.sprintf "mac%d" width) () in
+  let a = B.bus t "a" width in
+  let b = B.bus t "b" width in
+  let c = B.bus t "c" (2 * width) in
+  let product = Multipliers.wallace_core t a b in
+  let zero = B.const_ t false in
+  let sums, carry = B.ripple_add t product c ~cin:zero in
+  Network.set_outputs t
+    (Array.append (B.set_output_bus t "p" sums) [| (Printf.sprintf "p%d" (2 * width), carry) |]);
+  t
+
+let gray_encoder ~width =
+  let t = Network.create ~name:(Printf.sprintf "gray_enc%d" width) () in
+  let b = B.bus t "b" width in
+  let g =
+    Array.init width (fun i ->
+        if i = width - 1 then B.buf t b.(i) else B.xor2 t b.(i) b.(i + 1))
+  in
+  Network.set_outputs t (B.set_output_bus t "g" g);
+  t
+
+let gray_decoder ~width =
+  let t = Network.create ~name:(Printf.sprintf "gray_dec%d" width) () in
+  let g = B.bus t "g" width in
+  let b = Array.make width 0 in
+  b.(width - 1) <- B.buf t g.(width - 1);
+  for i = width - 2 downto 0 do
+    b.(i) <- B.xor2 t g.(i) b.(i + 1)
+  done;
+  Network.set_outputs t (B.set_output_bus t "b" b);
+  t
+
+let saturating_adder ~width =
+  let t = Network.create ~name:(Printf.sprintf "satadd%d" width) () in
+  let a = B.bus t "a" width in
+  let b = B.bus t "b" width in
+  let zero = B.const_ t false in
+  let sums, carry = B.ripple_add t a b ~cin:zero in
+  let one = B.const_ t true in
+  let clamped = Array.map (fun s -> B.mux t ~sel:carry one s) sums in
+  Network.set_outputs t (B.set_output_bus t "s" clamped);
+  t

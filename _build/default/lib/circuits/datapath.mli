@@ -1,0 +1,31 @@
+(** Assorted datapath generators: useful approximate-computing workloads
+    beyond the paper's benchmark set, and realistic substrates for library
+    users' experiments. All buses are LSB first. *)
+
+open Accals_network
+
+val barrel_shifter : width:int -> Network.t
+(** Logical right shift: inputs a0.. and shift amount s0..
+    ([width] must be a power of two); outputs y0... *)
+
+val priority_encoder : width:int -> Network.t
+(** Index of the most significant set input bit (e0..) plus [valid]. *)
+
+val comparator : width:int -> Network.t
+(** Unsigned comparison of a and b: outputs [eq], [lt], [gt]. *)
+
+val popcount : width:int -> Network.t
+(** Population count of the input bus via a full-adder tree; outputs c0... *)
+
+val multiply_accumulate : width:int -> Network.t
+(** p = a * b + c with c of width [2*width]; outputs p0..p{2w}. *)
+
+val gray_encoder : width:int -> Network.t
+(** Binary to Gray code; outputs g0... *)
+
+val gray_decoder : width:int -> Network.t
+(** Gray code to binary; outputs b0... *)
+
+val saturating_adder : width:int -> Network.t
+(** Unsigned addition clamped to the maximum representable value;
+    outputs s0..s{w-1}. *)

@@ -1,0 +1,32 @@
+open Accals_network
+module B = Builder
+
+(* Classic restoring long division, unrolled: process dividend bits from the
+   most significant down, shifting them into a partial remainder that is
+   compared against the divisor. Remainder register is divisor_width+1 bits
+   to hold the shifted-in bit before subtraction. *)
+let restoring ~dividend_width ~divisor_width =
+  let t =
+    Network.create
+      ~name:(Printf.sprintf "div%d_%d" dividend_width divisor_width) ()
+  in
+  let n = B.bus t "n" dividend_width in
+  let d = B.bus t "d" divisor_width in
+  let zero = B.const_ t false in
+  let rem = ref (Array.make divisor_width zero) in
+  let quotient = Array.make dividend_width zero in
+  let d_ext = Array.append d [| zero |] in
+  for i = dividend_width - 1 downto 0 do
+    (* shifted = (rem << 1) | n_i, one bit wider than rem *)
+    let shifted = Array.append [| n.(i) |] !rem in
+    let diff, no_borrow = B.ripple_sub t shifted d_ext in
+    quotient.(i) <- no_borrow;
+    (* keep diff when it fits, else restore shifted; drop the top bit. *)
+    let next = B.mux_bus t ~sel:no_borrow diff shifted in
+    rem := Array.sub next 0 divisor_width
+  done;
+  let outs =
+    Array.append (B.set_output_bus t "q" quotient) (B.set_output_bus t "r" !rem)
+  in
+  Network.set_outputs t outs;
+  t

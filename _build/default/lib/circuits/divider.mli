@@ -1,0 +1,11 @@
+(** Combinational restoring array divider (EPFL 'div' stand-in).
+
+    Unsigned division: dividend n0..n{nw-1} by divisor d0..d{dw-1}.
+    Outputs quotient q0..q{nw-1} and remainder r0..r{dw-1}. Division by
+    zero yields an all-ones quotient (standard restoring-array behavior is
+    unspecified; we pick a total function for testability: q = all ones,
+    r = dividend's low bits folded through the array). *)
+
+open Accals_network
+
+val restoring : dividend_width:int -> divisor_width:int -> Network.t

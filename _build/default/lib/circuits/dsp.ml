@@ -1,0 +1,129 @@
+open Accals_network
+module B = Builder
+
+let output_width_for coefficients width =
+  let worst =
+    List.fold_left (fun acc c -> acc + (c * ((1 lsl width) - 1))) 0 coefficients
+  in
+  let rec bits acc v = if v = 0 then max acc 1 else bits (acc + 1) (v lsr 1) in
+  bits 0 worst
+
+let fir_filter ~coefficients ~width =
+  if coefficients = [] then invalid_arg "fir_filter: no coefficients";
+  List.iter (fun c -> if c < 0 then invalid_arg "fir_filter: negative coefficient")
+    coefficients;
+  let taps = List.length coefficients in
+  let t = Network.create ~name:(Printf.sprintf "fir%d" taps) () in
+  let xs = Array.init taps (fun i -> B.bus t (Printf.sprintf "x%d" i) width) in
+  let out_width = output_width_for coefficients width in
+  let zero = B.const_ t false in
+  let extend bus =
+    Array.init out_width (fun i -> if i < Array.length bus then bus.(i) else zero)
+  in
+  let shifted bus k =
+    Array.init out_width (fun i ->
+        if i < k then zero
+        else if i - k < Array.length bus then bus.(i - k)
+        else zero)
+  in
+  (* c * x as a sum of shifted copies, one per set bit of c. *)
+  let scaled c x =
+    let terms = ref [] in
+    let bit = ref 0 in
+    let v = ref c in
+    while !v <> 0 do
+      if !v land 1 = 1 then terms := shifted x !bit :: !terms;
+      incr bit;
+      v := !v lsr 1
+    done;
+    !terms
+  in
+  let all_terms =
+    List.concat (List.mapi (fun i c -> scaled c xs.(i)) coefficients)
+  in
+  let acc =
+    match all_terms with
+    | [] -> extend [||]
+    | first :: rest ->
+      List.fold_left
+        (fun acc term ->
+          let sums, _ = B.ripple_add t acc term ~cin:zero in
+          sums)
+        first rest
+  in
+  Network.set_outputs t (B.set_output_bus t "y" acc);
+  t
+
+let float_adder ~exp_bits ~mantissa_bits =
+  if exp_bits < 2 || mantissa_bits < 2 then invalid_arg "float_adder: too small";
+  let t = Network.create ~name:(Printf.sprintf "fadd%dm%d" exp_bits mantissa_bits) () in
+  let ae = B.bus t "ae" exp_bits in
+  let am = B.bus t "am" mantissa_bits in
+  let be = B.bus t "be" exp_bits in
+  let bm = B.bus t "bm" mantissa_bits in
+  let zero = B.const_ t false in
+  let one = B.const_ t true in
+  let is_zero_op e m = B.and2 t (B.zero_detect t e) (B.zero_detect t m) in
+  let a_zero = is_zero_op ae am in
+  let b_zero = is_zero_op be bm in
+  (* Exponent comparison: a >= b when a - b has no borrow. *)
+  let ediff_ab, a_ge_b = B.ripple_sub t ae be in
+  let ediff_ba, _ = B.ripple_sub t be ae in
+  let big_e = B.mux_bus t ~sel:a_ge_b ae be in
+  let diff = B.mux_bus t ~sel:a_ge_b ediff_ab ediff_ba in
+  (* Significands with the implicit leading one. *)
+  let sig_of m = Array.append m [| one |] in
+  let big_m = B.mux_bus t ~sel:a_ge_b (sig_of am) (sig_of bm) in
+  let small_m = B.mux_bus t ~sel:a_ge_b (sig_of bm) (sig_of am) in
+  (* Align: right shift small_m by diff (truncating); amounts beyond the
+     significand width flush to zero. *)
+  let sig_width = mantissa_bits + 1 in
+  let shift_ctl_bits =
+    let rec go acc v = if v >= sig_width + 1 then acc else go (acc + 1) (v * 2) in
+    go 0 1
+  in
+  let aligned = ref small_m in
+  for b = 0 to min (exp_bits - 1) (shift_ctl_bits - 1) do
+    let amount = 1 lsl b in
+    let moved =
+      Array.init sig_width (fun i ->
+          if i + amount < sig_width then !aligned.(i + amount) else zero)
+    in
+    aligned := B.mux_bus t ~sel:diff.(b) moved !aligned
+  done;
+  (* Any high diff bit set -> shifted out entirely. *)
+  let flush =
+    if exp_bits > shift_ctl_bits then begin
+      let high = Array.sub diff shift_ctl_bits (exp_bits - shift_ctl_bits) in
+      B.orn t high
+    end
+    else begin
+      (* diff >= sig_width+? handled partially by the barrel; compare. *)
+      zero
+    end
+  in
+  let aligned =
+    Array.map (fun bit -> B.and2 t bit (B.not_ t flush)) !aligned
+  in
+  (* Add significands: sig_width + 1 bits. *)
+  let sums, carry = B.ripple_add t big_m aligned ~cin:zero in
+  (* Normalize: on carry, shift right one and bump the exponent. *)
+  let norm_m =
+    Array.init mantissa_bits (fun i ->
+        (* result mantissa drops the implicit bit: bits [0..m-1] of the
+           normalized significand *)
+        B.mux t ~sel:carry sums.(i + 1) sums.(i))
+  in
+  let e_plus_1, e_carry = B.ripple_add t big_e
+      (Array.init exp_bits (fun i -> if i = 0 then one else zero)) ~cin:zero in
+  let exp_overflow = B.and2 t carry e_carry in
+  let norm_e = B.mux_bus t ~sel:carry e_plus_1 big_e in
+  (* Saturate on exponent overflow. *)
+  let sat_e = Array.map (fun e -> B.or2 t e exp_overflow) norm_e in
+  let sat_m = Array.map (fun m -> B.or2 t m exp_overflow) norm_m in
+  (* Zero-operand bypasses. *)
+  let result_e = B.mux_bus t ~sel:a_zero be (B.mux_bus t ~sel:b_zero ae sat_e) in
+  let result_m = B.mux_bus t ~sel:a_zero bm (B.mux_bus t ~sel:b_zero am sat_m) in
+  Network.set_outputs t
+    (Array.append (B.set_output_bus t "e" result_e) (B.set_output_bus t "m" result_m));
+  t

@@ -1,0 +1,17 @@
+(** DSP-flavored generators: FIR filtering and a small floating-point adder
+    — the error-tolerant workloads approximate computing targets. *)
+
+open Accals_network
+
+val fir_filter : coefficients:int list -> width:int -> Network.t
+(** Constant-coefficient FIR dot product y = sum_i c_i * x_i over unsigned
+    [width]-bit samples x0.., built from shift-and-add multipliers.
+    Coefficients must be non-negative. Output width covers the worst-case
+    sum exactly. *)
+
+val float_adder : exp_bits:int -> mantissa_bits:int -> Network.t
+(** Unsigned floating-point adder (educational format: no sign, no
+    subnormals except zero, no infinities): value = 1.M * 2^E, zero encoded
+    as E = 0, M = 0. Truncating alignment and normalization, exponent
+    saturation on overflow. Inputs ae0.., am0.., be0.., bm0..; outputs
+    e0.., m0... *)

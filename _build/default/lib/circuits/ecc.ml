@@ -1,0 +1,84 @@
+open Accals_network
+module B = Builder
+
+let check_bit_count data_bits =
+  let rec go r = if 1 lsl r >= data_bits + r + 1 then r else go (r + 1) in
+  go 1
+
+(* Position map: codeword positions 1.. are check bits at powers of two,
+   data bits elsewhere (standard Hamming layout). *)
+let layout data_bits =
+  let r = check_bit_count data_bits in
+  let total = data_bits + r in
+  let positions = Array.make (total + 1) (`Unused) in
+  let d = ref 0 in
+  for pos = 1 to total do
+    let is_pow2 = pos land (pos - 1) = 0 in
+    if is_pow2 then positions.(pos) <- `Check
+    else begin
+      positions.(pos) <- `Data !d;
+      incr d
+    end
+  done;
+  (r, total, positions)
+
+let secded_decoder ~data_bits =
+  let r, total, positions = layout data_bits in
+  let t = Network.create ~name:(Printf.sprintf "secded%d" data_bits) () in
+  let data = B.bus t "d" data_bits in
+  let checks = B.bus t "c" r in
+  let pall = Network.add_input t "pall" in
+  (* Value at each codeword position. *)
+  let at_pos =
+    Array.init (total + 1) (fun pos ->
+        if pos = 0 then None
+        else
+          match positions.(pos) with
+          | `Check ->
+            let rec index_of p i = if 1 lsl i = p then i else index_of p (i + 1) in
+            Some checks.(index_of pos 0)
+          | `Data d -> Some data.(d)
+          | `Unused -> None)
+  in
+  (* Syndrome bit i = XOR of all positions with bit i set (checks included). *)
+  let syndrome =
+    Array.init r (fun i ->
+        let members = ref [] in
+        for pos = 1 to total do
+          if pos lsr i land 1 = 1 then
+            match at_pos.(pos) with Some id -> members := id :: !members | None -> ()
+        done;
+        B.xorn t (Array.of_list !members))
+  in
+  (* Overall parity across the whole received word plus pall. *)
+  let everything =
+    Array.of_list
+      (pall :: List.filter_map (fun x -> x) (Array.to_list at_pos))
+  in
+  let overall = B.xorn t everything in
+  let syndrome_nonzero = B.orn t syndrome in
+  (* single error: overall parity wrong; double: syndrome != 0 but parity ok *)
+  let single_err = B.buf t overall in
+  let double_err = B.and2 t syndrome_nonzero (B.not_ t overall) in
+  (* Correct data bit d when the syndrome equals its position. *)
+  let corrected =
+    Array.init data_bits (fun d ->
+        (* find position of data bit d *)
+        let pos = ref 0 in
+        for p = 1 to total do
+          match positions.(p) with `Data d' when d' = d -> pos := p | _ -> ()
+        done;
+        let match_bits =
+          Array.init r (fun i ->
+              if !pos lsr i land 1 = 1 then syndrome.(i) else B.not_ t syndrome.(i))
+        in
+        let here = B.and2 t (B.andn t match_bits) single_err in
+        B.xor2 t data.(d) here)
+  in
+  let outs =
+    Array.append
+      (B.set_output_bus t "q" corrected)
+      [| ("single_err", single_err); ("double_err", double_err) |]
+  in
+  Network.set_outputs t outs;
+  t

@@ -1,0 +1,11 @@
+(** Hamming SEC/DED encoder-decoder (stand-in for ISCAS c1908, which is a
+    16-bit SEC/DED error-correcting circuit). *)
+
+open Accals_network
+
+val secded_decoder : data_bits:int -> Network.t
+(** Inputs: received data bits d0.. and check bits c0.. plus overall parity
+    [pall]; outputs: corrected data, [single_err], [double_err]. *)
+
+val check_bit_count : int -> int
+(** Number of Hamming check bits needed for the given data width. *)

@@ -1,0 +1,56 @@
+open Accals_network
+module B = Builder
+
+let zero_extend t bus width =
+  let zero = B.const_ t false in
+  Array.init width (fun i -> if i < Array.length bus then bus.(i) else zero)
+
+let shift_left t bus k width =
+  let zero = B.const_ t false in
+  Array.init width (fun i -> if i < k then zero else if i - k < Array.length bus then bus.(i - k) else zero)
+
+(* a + b at the given width (carries beyond the width are kept by sizing
+   the width generously at the call sites). *)
+let add t a b width =
+  let zero = B.const_ t false in
+  let sums, _ = B.ripple_add t (zero_extend t a width) (zero_extend t b width) ~cin:zero in
+  sums
+
+(* |a - b| for unsigned buses of equal width. *)
+let abs_diff t a b =
+  let diff, a_ge_b = B.ripple_sub t a b in
+  let rdiff, _ = B.ripple_sub t b a in
+  B.mux_bus t ~sel:a_ge_b diff rdiff
+
+let sobel_magnitude ~pixel_bits =
+  let t = Network.create ~name:(Printf.sprintf "sobel%d" pixel_bits) () in
+  let px r c = B.bus t (Printf.sprintf "p%d%d" r c) pixel_bits in
+  let p = Array.init 3 (fun r -> Array.init 3 (fun c -> px r c)) in
+  (* Weighted sums fit in pixel_bits + 2. *)
+  let w = pixel_bits + 2 in
+  let side a b2 c =
+    (* a + 2*b + c *)
+    let doubled = shift_left t b2 1 w in
+    add t (add t a doubled w) c w
+  in
+  let gx_pos = side p.(0).(2) p.(1).(2) p.(2).(2) in
+  let gx_neg = side p.(0).(0) p.(1).(0) p.(2).(0) in
+  let gy_pos = side p.(2).(0) p.(2).(1) p.(2).(2) in
+  let gy_neg = side p.(0).(0) p.(0).(1) p.(0).(2) in
+  let gx = abs_diff t gx_pos gx_neg in
+  let gy = abs_diff t gy_pos gy_neg in
+  let m = add t gx gy (pixel_bits + 3) in
+  Network.set_outputs t (B.set_output_bus t "m" m);
+  t
+
+let rgb_to_gray ~pixel_bits =
+  let t = Network.create ~name:(Printf.sprintf "gray%d" pixel_bits) () in
+  let r = B.bus t "r" pixel_bits in
+  let g = B.bus t "g" pixel_bits in
+  let b = B.bus t "b" pixel_bits in
+  let w = pixel_bits + 2 in
+  let total = add t (add t r (shift_left t g 1 w) w) b w in
+  (* divide by 4: drop the two low bits *)
+  let y = Array.sub total 2 pixel_bits in
+  Network.set_outputs t (B.set_output_bus t "y" y);
+  t

@@ -1,0 +1,15 @@
+(** Image-processing datapath generators — the paper's motivating
+    error-tolerant application domain. *)
+
+open Accals_network
+
+val sobel_magnitude : pixel_bits:int -> Network.t
+(** Sobel gradient magnitude over a 3x3 pixel window (inputs p00..p22, each
+    [pixel_bits] wide, row-major): |Gx| + |Gy| with
+    Gx = (p02+2*p12+p22) - (p00+2*p10+p20) and
+    Gy = (p20+2*p21+p22) - (p00+2*p01+p02).
+    Outputs m0.. ([pixel_bits+3] bits). *)
+
+val rgb_to_gray : pixel_bits:int -> Network.t
+(** Luma approximation y = (r + 2*g + b) / 4 (shift-add BT.601 surrogate).
+    Inputs r0.., g0.., b0..; outputs y0.. ([pixel_bits] bits). *)

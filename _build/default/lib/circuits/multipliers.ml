@@ -1,0 +1,150 @@
+open Accals_network
+module B = Builder
+
+let partial_products t a b =
+  let wa = Array.length a and wb = Array.length b in
+  Array.init wa (fun i -> Array.init wb (fun j -> B.and2 t a.(i) b.(j)))
+
+let finish t prod =
+  Network.set_outputs t (B.set_output_bus t "p" prod);
+  t
+
+(* Row-by-row carry-save accumulation. *)
+let array_core t a b =
+  let wa = Array.length a and wb = Array.length b in
+  let pp = partial_products t a b in
+  let width = wa + wb in
+  let zero = B.const_ t false in
+  (* Accumulate row j of partial products, shifted by j, into a running sum. *)
+  let sum = ref (Array.make width zero) in
+  for j = 0 to wb - 1 do
+    let row = Array.make width zero in
+    for i = 0 to wa - 1 do
+      row.(i + j) <- pp.(i).(j)
+    done;
+    if j = 0 then sum := row
+    else begin
+      let s, _carry = B.ripple_add t !sum row ~cin:zero in
+      sum := s
+    end
+  done;
+  !sum
+
+let array_multiplier ~width =
+  let t = Network.create ~name:(Printf.sprintf "mtp%d" width) () in
+  let a = B.bus t "a" width in
+  let b = B.bus t "b" width in
+  finish t (array_core t a b)
+
+(* Wallace reduction: per-column dot counts reduced with full/half adders
+   until every column has at most two bits, then one ripple addition. *)
+let wallace_core t a b =
+  let wa = Array.length a and wb = Array.length b in
+  let width = wa + wb in
+  let pp = partial_products t a b in
+  let columns = Array.make width [] in
+  for i = 0 to wa - 1 do
+    for j = 0 to wb - 1 do
+      columns.(i + j) <- pp.(i).(j) :: columns.(i + j)
+    done
+  done;
+  let reduced = ref false in
+  while not !reduced do
+    reduced := true;
+    let next = Array.make width [] in
+    for c = 0 to width - 1 do
+      let rec chew = function
+        | x :: y :: z :: rest ->
+          let s, carry = B.full_adder t x y z in
+          next.(c) <- s :: next.(c);
+          if c + 1 < width then next.(c + 1) <- carry :: next.(c + 1);
+          reduced := false;
+          chew rest
+        | [ x; y ] when List.length columns.(c) > 2 ->
+          let s, carry = B.half_adder t x y in
+          next.(c) <- s :: next.(c);
+          if c + 1 < width then next.(c + 1) <- carry :: next.(c + 1)
+        | rest -> next.(c) <- rest @ next.(c)
+      in
+      chew columns.(c)
+    done;
+    Array.blit next 0 columns 0 width
+  done;
+  let zero = B.const_ t false in
+  let pick n col = match col with
+    | [] -> zero
+    | x :: rest -> if n = 0 then x else (match rest with [] -> zero | y :: _ -> y)
+  in
+  let row0 = Array.init width (fun c -> pick 0 columns.(c)) in
+  let row1 = Array.init width (fun c -> pick 1 columns.(c)) in
+  let sums, _ = B.ripple_add t row0 row1 ~cin:zero in
+  sums
+
+let wallace ~width =
+  let t = Network.create ~name:(Printf.sprintf "wal%d" width) () in
+  let a = B.bus t "a" width in
+  let b = B.bus t "b" width in
+  finish t (wallace_core t a b)
+
+(* Dadda reduction: bring every column height down to the largest member of
+   the 2,3,4,6,9,13,... sequence below the current maximum, stage by stage,
+   using as few counters as possible. *)
+let dadda ~width =
+  let t = Network.create ~name:(Printf.sprintf "dadda%d" width) () in
+  let a = B.bus t "a" width in
+  let b = B.bus t "b" width in
+  let pp = partial_products t a b in
+  let total = 2 * width in
+  let columns = Array.make total [] in
+  for i = 0 to width - 1 do
+    for j = 0 to width - 1 do
+      columns.(i + j) <- pp.(i).(j) :: columns.(i + j)
+    done
+  done;
+  let height () = Array.fold_left (fun acc col -> max acc (List.length col)) 0 columns in
+  let stage_below h =
+    let rec go d = if d * 3 / 2 >= h then d else go (d * 3 / 2) in
+    if h <= 2 then 2 else go 2
+  in
+  while height () > 2 do
+    let limit = stage_below (height ()) in
+    for c = 0 to total - 1 do
+      (* Reduce column c until it fits the limit, counting carries that
+         earlier columns have already pushed into it. *)
+      let rec reduce col =
+        let extra = List.length col - limit in
+        if extra >= 2 then begin
+          match col with
+          | x :: y :: z :: rest ->
+            let s, carry = B.full_adder t x y z in
+            if c + 1 < total then columns.(c + 1) <- carry :: columns.(c + 1);
+            reduce (s :: rest)
+          | _ -> col
+        end
+        else if extra = 1 then begin
+          match col with
+          | x :: y :: rest ->
+            let s, carry = B.half_adder t x y in
+            if c + 1 < total then columns.(c + 1) <- carry :: columns.(c + 1);
+            reduce (s :: rest)
+          | _ -> col
+        end
+        else col
+      in
+      columns.(c) <- reduce columns.(c)
+    done
+  done;
+  let zero = B.const_ t false in
+  let pick n col = match col with
+    | [] -> zero
+    | x :: rest -> if n = 0 then x else (match rest with [] -> zero | y :: _ -> y)
+  in
+  let row0 = Array.init total (fun c -> pick 0 columns.(c)) in
+  let row1 = Array.init total (fun c -> pick 1 columns.(c)) in
+  let sums, _ = B.ripple_add t row0 row1 ~cin:zero in
+  finish t sums
+
+let square ~width =
+  let t = Network.create ~name:(Printf.sprintf "square%d" width) () in
+  let a = B.bus t "a" width in
+  finish t (array_core t a a)

@@ -1,0 +1,24 @@
+(** Unsigned multiplier generators (the paper's mtp8 / wal8 benchmarks).
+
+    Inputs a0..a{w-1}, b0..b{w-1}; outputs p0..p{2w-1}. *)
+
+open Accals_network
+
+val array_multiplier : width:int -> Network.t
+(** Carry-save array multiplier (mtp8 at width 8). *)
+
+val wallace : width:int -> Network.t
+(** Wallace-tree multiplier with a ripple-carry final stage (wal8 at
+    width 8). *)
+
+val dadda : width:int -> Network.t
+(** Dadda multiplier: column heights reduced along the 2,3,4,6,9,13,...
+    schedule with the minimum number of counters. *)
+
+val square : width:int -> Network.t
+(** Squarer p = a * a (the EPFL 'square' stand-in). *)
+
+val wallace_core : Network.t -> int array -> int array -> int array
+(** Wallace-tree product of two existing buses inside a network under
+    construction; returns the product bus (width = sum of input widths).
+    Exposed for composite datapaths (e.g. the sine approximation). *)

@@ -1,0 +1,113 @@
+open Accals_network
+module B = Builder
+module Prng = Accals_bitvec.Prng
+
+(* Geometric-ish locality: prefer recently created signals so the DAG gets
+   deep rather than flat. A quarter of the picks are uniform over the whole
+   pool (inputs included), which keeps deep regions from collapsing into an
+   all-constant absorbing state. *)
+let pick_local rng pool_size =
+  if Prng.float rng < 0.25 then Prng.int rng pool_size
+  else begin
+    let rec back acc = if acc > 0 && Prng.float rng < 0.6 then back (acc - 1) else acc in
+    let hop = back (min 24 (pool_size - 1)) in
+    let offset = Prng.int rng (hop + 1) in
+    pool_size - 1 - offset
+  end
+
+let make ~name ~inputs ~outputs ~gates ~seed =
+  if inputs < 2 || outputs < 1 || gates < outputs then
+    invalid_arg "Random_logic.make: degenerate shape";
+  let rng = Prng.create seed in
+  let t = Network.create ~name () in
+  let ins = B.bus t "x" inputs in
+  let pool = ref (Array.to_list ins) in
+  let pool_arr () = Array.of_list (List.rev !pool) in
+  (* Seed phase: combine consecutive inputs so each input is used. *)
+  let seeded = ref 0 in
+  for i = 0 to inputs - 2 do
+    let op = match Prng.int rng 4 with
+      | 0 -> Gate.And | 1 -> Gate.Or | 2 -> Gate.Nand | _ -> Gate.Xor
+    in
+    let id = Network.add_node t op [| ins.(i); ins.(i + 1) |] in
+    pool := id :: !pool;
+    incr seeded
+  done;
+  let remaining = max 0 (gates - !seeded) in
+  for _ = 1 to remaining do
+    let arr = pool_arr () in
+    let size = Array.length arr in
+    let f1 = arr.(pick_local rng size) in
+    let f2 = arr.(pick_local rng size) in
+    (* Balance-preserving operators (XOR/XNOR/MUX) keep deep signals from
+       drifting to constants, as real control logic does through its
+       reconvergence; AND/OR-family gates provide the covering structure. *)
+    let id =
+      match Prng.int rng 12 with
+      | 0 | 1 -> Network.add_node t Gate.And [| f1; f2 |]
+      | 2 | 3 -> Network.add_node t Gate.Or [| f1; f2 |]
+      | 4 -> Network.add_node t Gate.Nand [| f1; f2 |]
+      | 5 -> Network.add_node t Gate.Nor [| f1; f2 |]
+      | 6 | 7 -> Network.add_node t Gate.Xor [| f1; f2 |]
+      | 8 -> Network.add_node t Gate.Xnor [| f1; f2 |]
+      | 9 -> Network.add_node t Gate.Not [| f1 |]
+      | _ ->
+        let f3 = arr.(pick_local rng size) in
+        Network.add_node t Gate.Mux [| f1; f2; f3 |]
+    in
+    pool := id :: !pool
+  done;
+  (* Outputs: prefer deep signals whose sampled activity is balanced, so the
+     circuit is not trivially approximable by constants (control-dominated
+     LGSynt91 circuits have busy outputs). *)
+  let arr = pool_arr () in
+  let size = Array.length arr in
+  let probe = Array.init size (fun i -> ("y" ^ string_of_int i, arr.(i))) in
+  Network.set_outputs t probe;
+  let patterns = Sim.random ~seed:(seed + 101) ~count:512 inputs in
+  let order = Structure.topo_order t in
+  let sigs = Sim.run t patterns ~order in
+  let levels = Structure.levels t in
+  (* Only deep signals qualify (so the surviving cones are substantial);
+     among them prefer balanced activity. *)
+  let max_level = Array.fold_left max 0 levels in
+  let depth_floor = max 1 (max_level / 3) in
+  let deep = Array.of_list (List.filter (fun id -> levels.(id) >= depth_floor)
+                              (Array.to_list arr)) in
+  let candidates = if Array.length deep >= outputs then deep else arr in
+  let score id =
+    let ones = Accals_bitvec.Bitvec.popcount sigs.(id) in
+    let balance = abs_float (float_of_int ones /. 512.0 -. 0.5) in
+    balance -. (0.001 *. float_of_int levels.(id))
+  in
+  let ranked = Array.copy candidates in
+  Array.sort (fun a b -> compare (score a) (score b)) ranked;
+  let chosen = Array.sub ranked 0 outputs in
+  Array.sort compare chosen;
+  Network.set_outputs t
+    (Array.mapi (fun i id -> ("y" ^ string_of_int i, id)) chosen);
+  t
+
+let pla ~name ~inputs ~outputs ~terms ~seed =
+  if inputs < 2 || outputs < 1 || terms < 1 then invalid_arg "Random_logic.pla";
+  let rng = Prng.create seed in
+  let t = Network.create ~name () in
+  let ins = B.bus t "x" inputs in
+  let literal () =
+    let v = ins.(Prng.int rng inputs) in
+    if Prng.bool rng then v else B.not_ t v
+  in
+  let term_ids =
+    Array.init terms (fun _ ->
+        let k = 2 + Prng.int rng (min 4 (inputs - 1)) in
+        let lits = Array.init k (fun _ -> literal ()) in
+        B.andn t lits)
+  in
+  let outs =
+    Array.init outputs (fun i ->
+        let k = 2 + Prng.int rng (max 2 (terms / 2)) in
+        let chosen = Array.init k (fun _ -> term_ids.(Prng.int rng terms)) in
+        ("y" ^ string_of_int i, B.orn t chosen))
+  in
+  Network.set_outputs t outs;
+  t

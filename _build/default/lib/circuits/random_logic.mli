@@ -1,0 +1,15 @@
+(** Seeded pseudo-random multi-level logic (stand-in for the LGSynt91
+    control-dominated benchmarks apex6 / frg2 / term1). *)
+
+open Accals_network
+
+val make :
+  name:string -> inputs:int -> outputs:int -> gates:int -> seed:int -> Network.t
+(** Random DAG with locality-biased fanin selection so depth grows with
+    size, every input used, and the requested number of outputs drawn from
+    the deepest signals. Deterministic in [seed]. *)
+
+val pla :
+  name:string -> inputs:int -> outputs:int -> terms:int -> seed:int -> Network.t
+(** Random two-level (PLA-style) logic: shared random product terms ORed
+    into each output. Deterministic in [seed]. *)

@@ -1,0 +1,94 @@
+open Accals_network
+module B = Builder
+
+let sqrt_restoring ~width =
+  if width mod 2 <> 0 then invalid_arg "sqrt_restoring: width must be even";
+  let t = Network.create ~name:(Printf.sprintf "sqrt%d" width) () in
+  let x = B.bus t "x" width in
+  let result_width = width / 2 in
+  let w = width + 2 in
+  let zero = B.const_ t false in
+  let one = B.const_ t true in
+  let pad bus = Array.append bus (Array.make (w - Array.length bus) zero) in
+  let rem = ref (pad [||]) in
+  let root = ref (pad [||]) in
+  for i = result_width - 1 downto 0 do
+    (* rem = (rem << 2) | x[2i+1..2i] *)
+    let shifted = pad (Array.append [| x.(2 * i); x.(2 * i + 1) |] (Array.sub !rem 0 (w - 2))) in
+    (* trial = (root << 2) | 1 *)
+    let trial = pad (Array.append [| one; zero |] (Array.sub !root 0 (w - 2))) in
+    let diff, no_borrow = B.ripple_sub t shifted trial in
+    rem := B.mux_bus t ~sel:no_borrow diff shifted;
+    (* root = (root << 1) | no_borrow *)
+    root := pad (Array.append [| no_borrow |] (Array.sub !root 0 (w - 1)))
+  done;
+  let outs =
+    Array.append
+      (B.set_output_bus t "r" (Array.sub !root 0 result_width))
+      (B.set_output_bus t "m" (Array.sub !rem 0 (result_width + 1)))
+  in
+  Network.set_outputs t outs;
+  t
+
+let log2 ~width ~fraction_bits =
+  if width land (width - 1) <> 0 then invalid_arg "log2: width must be a power of two";
+  let exp_bits =
+    let rec go acc v = if v >= width then acc else go (acc + 1) (v * 2) in
+    go 0 1
+  in
+  if fraction_bits >= width then invalid_arg "log2: too many fraction bits";
+  let t = Network.create ~name:(Printf.sprintf "log2_%d" width) () in
+  let x = B.bus t "x" width in
+  (* One-hot leading-one detect from the MSB down. *)
+  let any_above = Array.make width 0 in
+  let acc = ref (B.const_ t false) in
+  for i = width - 1 downto 0 do
+    any_above.(i) <- !acc;
+    acc := B.or2 t !acc x.(i)
+  done;
+  let valid = !acc in
+  let lead = Array.init width (fun i -> B.and2 t x.(i) (B.not_ t any_above.(i))) in
+  (* Exponent bits: OR of the one-hot lines whose index has that bit set. *)
+  let exponent =
+    Array.init exp_bits (fun b ->
+        let members = ref [] in
+        for i = 0 to width - 1 do
+          if i lsr b land 1 = 1 then members := lead.(i) :: !members
+        done;
+        match !members with [] -> B.const_ t false | ms -> B.orn t (Array.of_list ms))
+  in
+  (* Normalize: shift left by (width-1 - e); for power-of-two widths the
+     shift-amount bits are the complements of the exponent bits. *)
+  let shifted = ref x in
+  for b = 0 to exp_bits - 1 do
+    let amount = 1 lsl b in
+    let moved =
+      Array.init width (fun i ->
+          if i < amount then B.const_ t false else !shifted.(i - amount))
+    in
+    let ctrl = B.not_ t exponent.(b) in
+    shifted := B.mux_bus t ~sel:ctrl moved !shifted
+  done;
+  (* Fraction = bits just below the (now top) leading one. *)
+  let fraction =
+    Array.init fraction_bits (fun k -> !shifted.(width - 2 - (fraction_bits - 1 - k)))
+  in
+  let outs =
+    Array.concat
+      [ B.set_output_bus t "e" exponent;
+        B.set_output_bus t "f" fraction;
+        [| ("valid", valid) |] ]
+  in
+  Network.set_outputs t outs;
+  t
+
+let sin_parabola ~width =
+  if width < 2 then invalid_arg "sin_parabola: width too small";
+  let t = Network.create ~name:(Printf.sprintf "sin%d" width) () in
+  let x = B.bus t "x" width in
+  let complement = Array.map (fun b -> B.not_ t b) x in
+  let product = Multipliers.wallace_core t x complement in
+  (* y = 4 * x * (1-x): take 2w-bit product bits [w-2 .. 2w-3]. *)
+  let y = Array.init width (fun k -> product.(width - 2 + k)) in
+  Network.set_outputs t (B.set_output_bus t "y" y);
+  t

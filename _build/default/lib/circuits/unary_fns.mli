@@ -1,0 +1,18 @@
+(** Unary arithmetic function generators: sqrt, log2, sin (EPFL stand-ins). *)
+
+open Accals_network
+
+val sqrt_restoring : width:int -> Network.t
+(** Integer square root of a [width]-bit input ([width] must be even);
+    outputs [width/2] root bits r0.. and the remainder bits m0... *)
+
+val log2 : width:int -> fraction_bits:int -> Network.t
+(** Piecewise-linear base-2 logarithm of a [width]-bit input ([width] must
+    be a power of two): outputs the exponent e0.. (floor log2), the
+    [fraction_bits] bits after the leading one (linear mantissa
+    approximation), and [valid] (input nonzero). *)
+
+val sin_parabola : width:int -> Network.t
+(** Parabolic sine approximation y = 4 x (1 - x) on a [width]-bit fixed-point
+    input in [0,1); outputs y0..y{width-1}. The "1 - x" term uses the
+    one's-complement approximation, as in low-power DSP practice. *)

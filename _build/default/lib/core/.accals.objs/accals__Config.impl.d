@@ -1,0 +1,1 @@
+lib/core/config.ml: Accals_lac Accals_network Candidate_gen

@@ -1,0 +1,1 @@
+lib/core/config.mli: Accals_lac Accals_network Candidate_gen

@@ -1,0 +1,1 @@
+lib/core/conflict_graph.ml: Accals_lac Accals_mis Array Lac List

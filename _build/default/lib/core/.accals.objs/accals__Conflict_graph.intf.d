@@ -1,0 +1,1 @@
+lib/core/conflict_graph.mli: Accals_lac Accals_mis Lac

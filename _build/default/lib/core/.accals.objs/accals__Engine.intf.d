@@ -1,0 +1,1 @@
+lib/core/engine.mli: Accals_bitvec Accals_metrics Accals_network Bitvec Config Network Sim Trace

@@ -1,0 +1,1 @@
+lib/core/independent_select.ml: Accals_bitvec Accals_lac Accals_mis Array Config Influence Lac List

@@ -1,0 +1,1 @@
+lib/core/independent_select.mli: Accals_bitvec Accals_lac Config Lac Round_ctx

@@ -1,0 +1,1 @@
+lib/core/influence.ml: Accals_bitvec Accals_lac Accals_mis Accals_network Array Network Round_ctx Structure

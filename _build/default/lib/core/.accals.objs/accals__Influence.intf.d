@@ -1,0 +1,1 @@
+lib/core/influence.mli: Accals_lac Accals_mis Round_ctx

@@ -1,0 +1,1 @@
+lib/core/pareto.ml: Accals_metrics Accals_network Config Engine List Sim

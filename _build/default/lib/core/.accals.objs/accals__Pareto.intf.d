@@ -1,0 +1,1 @@
+lib/core/pareto.mli: Accals_metrics Accals_network Config Engine Network

@@ -1,0 +1,1 @@
+lib/core/top_set.ml: Accals_lac Lac List

@@ -1,0 +1,1 @@
+lib/core/top_set.mli: Accals_lac Lac

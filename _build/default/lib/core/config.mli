@@ -1,0 +1,44 @@
+(** AccALS parameters (Section III of the paper).
+
+    Defaults mirror the paper's experimental setup: [t_b = 0.5],
+    [lambda = 0.9], [l_e = 0.9], [l_d = 0.3], and size-dependent
+    [(r_ref, r_sel)] of (100, 20) below 600 AIG nodes, (200, 40) up to
+    4999, and (400, 80) from 5000. *)
+
+open Accals_lac
+
+type t = {
+  r_ref : int;  (** reference top-LAC count (Eq. 2) *)
+  r_sel : int;  (** reference selected-LAC count (Section II-D3) *)
+  t_b : float;  (** mutual-influence index bound (Section II-D2) *)
+  lambda : float;  (** per-round estimated-error budget factor λ *)
+  l_e : float;  (** improvement 1: single-LAC mode above l_e·e_b *)
+  l_d : float;  (** improvement 2: negative-set detection bound on β *)
+  sigma : float;  (** tolerance σ classifying LAC sets (for the trace) *)
+  seed : int;  (** PRNG seed for patterns and random selection *)
+  samples : int;  (** random simulation patterns when not exhaustive *)
+  exhaustive_limit : int;  (** exhaustive simulation up to this many PIs *)
+  shortlist : int;  (** exact ΔE evaluations per round *)
+  candidate : Candidate_gen.config;
+  max_rounds : int;  (** safety valve *)
+  (* Ablation switches (all true in the paper's flow): *)
+  use_mis : bool;
+      (** select N_indp by MIS on the influence graph; off: N_indp = N_sol *)
+  use_random_comparison : bool;
+      (** build and race L_rand against L_indp; off: always apply L_indp *)
+  use_improvement_1 : bool;  (** single-LAC mode near the bound *)
+  use_improvement_2 : bool;  (** negative-set detection and revert *)
+  exact_estimation : bool;
+      (** resimulate shortlisted candidates exactly (default); off: take
+          the cheap criticality estimate as ΔE (VECBEE's fast mode) *)
+}
+
+val default : t
+(** Small-circuit bucket with 2048 samples. *)
+
+val for_size : ?base:t -> int -> t
+(** [for_size aig_nodes] applies the paper's (r_ref, r_sel) size buckets on
+    top of [base] (default {!default}), scaling the exact-evaluation
+    shortlist along with r_ref. *)
+
+val for_network : ?base:t -> Accals_network.Network.t -> t

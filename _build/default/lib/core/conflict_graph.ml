@@ -1,0 +1,42 @@
+open Accals_lac
+module Graph = Accals_mis.Graph
+
+let build lacs =
+  let arr = Array.of_list lacs in
+  let n = Array.length arr in
+  let g = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Lac.conflicts arr.(i) arr.(j) then Graph.add_edge g i j
+    done
+  done;
+  g
+
+let find_and_solve lacs =
+  let arr = Array.of_list lacs in
+  let n = Array.length arr in
+  let g = build lacs in
+  (* Ascending weight = ascending ΔE; stable on ties. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match compare arr.(a).Lac.delta_error arr.(b).Lac.delta_error with
+      | 0 -> compare a b
+      | c -> c)
+    order;
+  let selected = Array.make n false in
+  Array.iter
+    (fun i ->
+      let clash =
+        List.exists (fun j -> selected.(j)) (Graph.neighbors g i)
+      in
+      if not clash then selected.(i) <- true)
+    order;
+  let l_sol = ref [] and n_sol = ref [] in
+  for i = n - 1 downto 0 do
+    if selected.(i) then begin
+      l_sol := arr.(i) :: !l_sol;
+      n_sol := arr.(i).Lac.target :: !n_sol
+    end
+  done;
+  (!l_sol, !n_sol)

@@ -1,0 +1,17 @@
+(** FindSolveLACConf (Section II-C).
+
+    Builds the LAC conflict graph (Definition 1: nodes are the LACs of
+    L_top, weighted by ΔE; edges join Type-1 and Type-2 conflicts) and
+    extracts a conflict-free subset by visiting nodes in ascending weight
+    order, keeping each node that conflicts with nothing already kept. *)
+
+open Accals_lac
+module Graph := Accals_mis.Graph
+
+val build : Lac.t list -> Graph.t
+(** Conflict graph; vertex [i] is the [i]-th LAC of the input list. *)
+
+val find_and_solve : Lac.t list -> Lac.t list * int list
+(** [(l_sol, n_sol)]: the conflict-free LAC set and its target-node set.
+    The result preserves ascending-ΔE order; every target in [n_sol] is
+    unique. *)

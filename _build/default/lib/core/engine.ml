@@ -1,0 +1,235 @@
+open Accals_network
+open Accals_lac
+module Metric = Accals_metrics.Metric
+module Estimator = Accals_esterr.Estimator
+module Evaluate = Accals_esterr.Evaluate
+module Prng = Accals_bitvec.Prng
+
+type report = {
+  original : Network.t;
+  approximate : Network.t;
+  error : float;
+  metric : Metric.kind;
+  error_bound : float;
+  rounds : Trace.round list;
+  runtime_seconds : float;
+  exact_evaluations : int;
+  area_ratio : float;
+  delay_ratio : float;
+  adp_ratio : float;
+}
+
+let patterns_for config net =
+  Sim.for_network ~seed:config.Config.seed ~count:config.Config.samples
+    ~exhaustive_limit:config.Config.exhaustive_limit net
+
+let golden_signatures ?config ?patterns net =
+  let config = match config with Some c -> c | None -> Config.for_network net in
+  let patterns =
+    match patterns with Some p -> p | None -> patterns_for config net
+  in
+  Evaluate.output_signatures net patterns
+
+(* Eq. (1): estimated error of applying a LAC set on a circuit with error e. *)
+let estimate_for e lacs =
+  List.fold_left (fun acc lac -> acc +. lac.Lac.delta_error) e lacs
+
+(* Apply a LAC set to a copy of [net]; return (copy, applied, skipped). *)
+let apply_to_copy net lacs =
+  let copy = Network.copy net in
+  let ordered =
+    List.sort (fun a b -> compare a.Lac.delta_error b.Lac.delta_error) lacs
+  in
+  let applied, skipped = Lac.apply_many copy ordered in
+  (copy, applied, skipped)
+
+let run ?config ?patterns net ~metric ~error_bound =
+  if error_bound <= 0.0 then invalid_arg "Engine.run: error bound must be positive";
+  let config = match config with Some c -> c | None -> Config.for_network net in
+  let patterns =
+    match patterns with Some p -> p | None -> patterns_for config net
+  in
+  let started = Unix.gettimeofday () in
+  let golden = Evaluate.output_signatures net patterns in
+  let area0 = Cost.area net in
+  let delay0 = Cost.delay net in
+  let rng = Prng.create (config.Config.seed + 77) in
+  let current = ref (Network.copy net) in
+  let error = ref 0.0 in
+  let best = ref (Network.copy net) in
+  let best_error = ref 0.0 in
+  let rounds = ref [] in
+  let evaluations = ref 0 in
+  let round_index = ref 0 in
+  let e_b = error_bound in
+  let finished = ref false in
+  while (not !finished) && !round_index < config.Config.max_rounds do
+    incr round_index;
+    let ctx = Round_ctx.create !current patterns in
+    let est = Estimator.create ctx ~golden ~metric in
+    let candidates = Candidate_gen.generate ctx config.Config.candidate in
+    if candidates = [] then finished := true
+    else begin
+      let single_mode =
+        config.Config.use_improvement_1 && !error > config.Config.l_e *. e_b
+      in
+      let mode =
+        if config.Config.exact_estimation then Estimator.Exact
+        else Estimator.Approximate
+      in
+      let scored =
+        Estimator.score ~mode est
+          ~shortlist:(if single_mode then min 64 config.Config.shortlist
+                      else config.Config.shortlist)
+          candidates
+      in
+      evaluations := !evaluations + Estimator.evaluations est;
+      let record ~mode ~top ~sol ~indp ~rand ~chose ~applied ~skipped ~e_before
+          ~e_after ~e_est ~reverted =
+        rounds :=
+          {
+            Trace.index = !round_index;
+            mode;
+            candidates = List.length candidates;
+            top_count = top;
+            sol_count = sol;
+            indp_count = indp;
+            rand_count = rand;
+            chose_indp = chose;
+            applied;
+            skipped_cycles = skipped;
+            error_before = e_before;
+            error_after = e_after;
+            estimated_error = e_est;
+            reverted;
+            area = Cost.area !current;
+          }
+          :: !rounds
+      in
+      (* Apply the single best LAC; used by single mode and by reverts. *)
+      let apply_single () =
+        let rec try_apply = function
+          | [] -> None
+          | lac :: rest -> (
+            let copy = Network.copy !current in
+            match Lac.apply copy lac with
+            | () -> Some (copy, lac)
+            | exception Network.Cycle _ -> try_apply rest)
+        in
+        try_apply scored
+      in
+      match scored with
+      | [] -> finished := true
+      | _ when single_mode -> begin
+        match apply_single () with
+        | None -> finished := true
+        | Some (circuit, lac) ->
+          Cleanup.sweep circuit;
+          let e_new = Evaluate.actual_error circuit patterns ~golden metric in
+          let e_before = !error in
+          current := circuit;
+          error := e_new;
+          record ~mode:Trace.Single ~top:1 ~sol:1 ~indp:0 ~rand:0 ~chose:None
+            ~applied:1 ~skipped:0 ~e_before ~e_after:e_new
+            ~e_est:(estimate_for e_before [ lac ]) ~reverted:false;
+          if e_new <= e_b then begin
+            best := Network.copy circuit;
+            best_error := e_new
+          end
+          else finished := true
+      end
+      | _ -> begin
+        let l_top = Top_set.obtain ~r_ref:config.Config.r_ref ~e:!error ~e_b scored in
+        let l_sol, _n_sol = Conflict_graph.find_and_solve l_top in
+        let l_indp =
+          Independent_select.select config ctx ~l_sol ~e:!error ~e_b
+        in
+        let l_rand =
+          if config.Config.use_random_comparison then
+            Independent_select.select_random config rng ~l_sol ~e:!error ~e_b
+          else []
+        in
+        let c1, applied1, skipped1 = apply_to_copy !current l_indp in
+        let c2, applied2, skipped2 = apply_to_copy !current l_rand in
+        let e1 = Evaluate.actual_error c1 patterns ~golden metric in
+        let e2 =
+          if l_rand = [] then infinity
+          else Evaluate.actual_error c2 patterns ~golden metric
+        in
+        if applied1 = [] && applied2 = [] then finished := true
+        else begin
+          (* Paper's choice rule: error first, then LAC count. *)
+          let choose_indp =
+            (applied2 = [])
+            || (applied1 <> []
+                && (e1 < e2
+                    || (e1 = e2 && List.length applied1 >= List.length applied2)))
+          in
+          let circuit, e_new, applied, skipped =
+            if choose_indp then (c1, e1, applied1, skipped1)
+            else (c2, e2, applied2, skipped2)
+          in
+          let e_before = !error in
+          let e_est = estimate_for e_before applied in
+          (* Improvement 2: detect a negative LAC set and revert. *)
+          let beta =
+            if e_new > 0.0 then (e_new -. e_est) /. e_new else 0.0
+          in
+          if config.Config.use_improvement_2 && e_new > 0.0 && beta > config.Config.l_d
+          then begin
+            match apply_single () with
+            | None -> finished := true
+            | Some (single_circuit, lac) ->
+              Cleanup.sweep single_circuit;
+              let e_s =
+                Evaluate.actual_error single_circuit patterns ~golden metric
+              in
+              current := single_circuit;
+              error := e_s;
+              record ~mode:Trace.Multi ~top:(List.length l_top)
+                ~sol:(List.length l_sol) ~indp:(List.length l_indp)
+                ~rand:(List.length l_rand)
+                ~chose:(Some choose_indp) ~applied:1 ~skipped:0
+                ~e_before ~e_after:e_s
+                ~e_est:(estimate_for e_before [ lac ]) ~reverted:true;
+              if e_s <= e_b then begin
+                best := Network.copy single_circuit;
+                best_error := e_s
+              end
+              else finished := true
+          end
+          else begin
+            Cleanup.sweep circuit;
+            current := circuit;
+            error := e_new;
+            record ~mode:Trace.Multi ~top:(List.length l_top)
+              ~sol:(List.length l_sol) ~indp:(List.length l_indp)
+              ~rand:(List.length l_rand) ~chose:(Some choose_indp)
+              ~applied:(List.length applied)
+              ~skipped:(List.length skipped)
+              ~e_before ~e_after:e_new ~e_est ~reverted:false;
+            if e_new <= e_b then begin
+              best := Network.copy circuit;
+              best_error := e_new
+            end
+            else finished := true
+          end
+        end
+      end
+    end
+  done;
+  let approximate = Cleanup.compact !best in
+  let runtime_seconds = Unix.gettimeofday () -. started in
+  {
+    original = net;
+    approximate;
+    error = !best_error;
+    metric;
+    error_bound;
+    rounds = List.rev !rounds;
+    runtime_seconds;
+    exact_evaluations = !evaluations;
+    area_ratio = Cost.area approximate /. area0;
+    delay_ratio = Cost.delay approximate /. delay0;
+    adp_ratio = Cost.adp approximate /. (area0 *. delay0);
+  }

@@ -1,0 +1,39 @@
+(** The AccALS synthesis engine (Algorithm 1 with the Section II-E
+    improvement techniques). *)
+
+open Accals_network
+open Accals_bitvec
+module Metric := Accals_metrics.Metric
+
+type report = {
+  original : Network.t;
+  approximate : Network.t;  (** compacted final circuit, error <= bound *)
+  error : float;  (** exact-on-samples error of [approximate] *)
+  metric : Metric.kind;
+  error_bound : float;
+  rounds : Trace.round list;  (** chronological *)
+  runtime_seconds : float;
+  exact_evaluations : int;  (** estimator cone resimulations *)
+  area_ratio : float;
+  delay_ratio : float;
+  adp_ratio : float;
+}
+
+val run :
+  ?config:Config.t ->
+  ?patterns:Sim.patterns ->
+  Network.t ->
+  metric:Metric.kind ->
+  error_bound:float ->
+  report
+(** Synthesize an approximate version of the network whose [metric] error
+    (measured on the shared pattern set against the original) does not
+    exceed [error_bound]. When [config] is omitted, the paper's
+    size-bucketed parameters are chosen from the circuit's AIG node count.
+    When [patterns] is omitted, they are derived from [config]
+    (exhaustive below the input-count limit, seeded-random otherwise). *)
+
+val golden_signatures :
+  ?config:Config.t -> ?patterns:Sim.patterns -> Network.t -> Bitvec.t array
+(** The golden output signatures [run] scores against, for external
+    verification of a report. *)

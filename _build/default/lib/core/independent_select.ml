@@ -1,0 +1,51 @@
+open Accals_lac
+module Prng = Accals_bitvec.Prng
+module Mis = Accals_mis.Mis
+
+let budget_prefix ~r_sel ~lambda ~e ~e_b lacs =
+  match lacs with
+  | [] -> []
+  | first :: _ ->
+    let non_positive = List.filter (fun l -> l.Lac.delta_error <= 0.0) lacs in
+    if List.length non_positive >= r_sel then non_positive
+    else begin
+      let limit = lambda *. e_b in
+      let rec scan acc est count = function
+        | [] -> List.rev acc
+        | _ when count >= r_sel -> List.rev acc
+        | lac :: rest ->
+          let est' = est +. lac.Lac.delta_error in
+          if est' <= limit then scan (lac :: acc) est' (count + 1) rest
+          else List.rev acc
+      in
+      match scan [] e 0 lacs with
+      | [] -> [ first ] (* even the best LAC busts the budget: take it alone *)
+      | chosen -> chosen
+    end
+
+let select cfg ctx ~l_sol ~e ~e_b =
+  match l_sol with
+  | [] -> []
+  | _ ->
+    let targets = Array.of_list (List.map (fun l -> l.Lac.target) l_sol) in
+    let keep = Array.make (Array.length targets) false in
+    if cfg.Config.use_mis then begin
+      let graph = Influence.build_graph ctx ~targets ~t_b:cfg.Config.t_b in
+      let chosen_indices = Mis.solve ~seed:cfg.Config.seed graph in
+      List.iter (fun i -> keep.(i) <- true) chosen_indices
+    end
+    else Array.fill keep 0 (Array.length keep) true;
+    let l_pote =
+      List.filteri (fun i _ -> keep.(i)) l_sol
+      |> List.sort (fun a b -> compare a.Lac.delta_error b.Lac.delta_error)
+    in
+    budget_prefix ~r_sel:cfg.Config.r_sel ~lambda:cfg.Config.lambda ~e ~e_b l_pote
+
+let select_random cfg rng ~l_sol ~e ~e_b =
+  match l_sol with
+  | [] -> []
+  | _ ->
+    let arr = Array.of_list l_sol in
+    Prng.shuffle rng arr;
+    budget_prefix ~r_sel:cfg.Config.r_sel ~lambda:cfg.Config.lambda ~e ~e_b
+      (Array.to_list arr)

@@ -1,0 +1,27 @@
+(** SelectIndpLACs and SelectRandomLACs (Sections II-D2, II-D3 and
+    Algorithm 1 line 7).
+
+    [select] builds the influence graph over the conflict-free targets,
+    solves a maximum independent set on it to get N_indp, keeps the LACs
+    whose targets lie in N_indp (the potential set L_pote), and sizes the
+    final set by the paper's rule: all non-positive-ΔE LACs when there are
+    at least [r_sel] of them, otherwise the longest ascending-ΔE prefix of
+    the first [r_sel] whose Eq. (1) estimate stays within λ·e_b (at least
+    one LAC always survives).
+
+    [select_random] applies the same sizing discipline to a uniformly
+    shuffled L_sol, giving the randomized comparison set L_rand. *)
+
+open Accals_lac
+module Prng := Accals_bitvec.Prng
+
+val budget_prefix :
+  r_sel:int -> lambda:float -> e:float -> e_b:float -> Lac.t list -> Lac.t list
+(** The sizing rule applied to an already-ordered list (exposed for
+    tests). *)
+
+val select :
+  Config.t -> Round_ctx.t -> l_sol:Lac.t list -> e:float -> e_b:float -> Lac.t list
+
+val select_random :
+  Config.t -> Prng.t -> l_sol:Lac.t list -> e:float -> e_b:float -> Lac.t list

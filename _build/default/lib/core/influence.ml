@@ -1,0 +1,49 @@
+open Accals_network
+open Accals_lac
+module Graph = Accals_mis.Graph
+module Bitvec = Accals_bitvec.Bitvec
+
+let pair_index (ctx : Round_ctx.t) ~tfo_j ~tfo_i n_j n_i =
+  (* n_j is topologically before n_i. *)
+  if Bitvec.get tfo_j n_i then begin
+    match
+      Structure.shortest_path_bounded ctx.net ~fanouts:ctx.fanouts ~src:n_j
+        ~dst:n_i ~limit:(Network.num_nodes ctx.net)
+    with
+    | Some d when d > 0 -> 1.0 /. float_of_int d
+    | Some _ | None -> 1.0
+  end
+  else begin
+    let inter = Bitvec.popcount (Bitvec.logand tfo_j tfo_i) in
+    let fi = Bitvec.popcount tfo_i in
+    if fi = 0 then 0.0 else float_of_int inter /. float_of_int fi
+  end
+
+let orient (ctx : Round_ctx.t) a b =
+  if ctx.topo_pos.(a) <= ctx.topo_pos.(b) then (a, b) else (b, a)
+
+let index (ctx : Round_ctx.t) a b =
+  let n_j, n_i = orient ctx a b in
+  let tfo_j = Structure.tfo_set ctx.net ~fanouts:ctx.fanouts n_j in
+  let tfo_i = Structure.tfo_set ctx.net ~fanouts:ctx.fanouts n_i in
+  pair_index ctx ~tfo_j ~tfo_i n_j n_i
+
+let build_graph (ctx : Round_ctx.t) ~targets ~t_b =
+  let n = Array.length targets in
+  let g = Graph.create n in
+  let tfos =
+    Array.map (fun id -> Structure.tfo_set ctx.net ~fanouts:ctx.fanouts id) targets
+  in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      let j, i =
+        if ctx.topo_pos.(targets.(a)) <= ctx.topo_pos.(targets.(b)) then (a, b)
+        else (b, a)
+      in
+      let p =
+        pair_index ctx ~tfo_j:tfos.(j) ~tfo_i:tfos.(i) targets.(j) targets.(i)
+      in
+      if p > t_b then Graph.add_edge g a b
+    done
+  done;
+  g

@@ -1,0 +1,20 @@
+(** Mutual-influence index between two LAC targets (Section II-D1).
+
+    For targets n_j before n_i in topological order:
+    - with a path from n_j to n_i of shortest length d: p = 1/d,
+    - without a path: p = |F(n_j) ∩ F(n_i)| / |F(n_i)| over transitive
+      fanouts F.
+
+    Pairs with p > t_b are considered likely to form a dependent LAC set
+    and get an edge in the influence graph. *)
+
+open Accals_lac
+module Graph := Accals_mis.Graph
+
+val index : Round_ctx.t -> int -> int -> float
+(** [index ctx a b]: the order of arguments is irrelevant; the function
+    orients the pair by topological position internally. *)
+
+val build_graph : Round_ctx.t -> targets:int array -> t_b:float -> Graph.t
+(** Influence graph G_sol over target indices: vertex [k] stands for
+    [targets.(k)]; edges join pairs with index > t_b. *)

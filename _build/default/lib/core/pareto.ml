@@ -1,0 +1,27 @@
+open Accals_network
+module Metric = Accals_metrics.Metric
+
+let sweep ?config net ~metric ~bounds =
+  let config = match config with Some c -> c | None -> Config.for_network net in
+  let patterns =
+    Sim.for_network ~seed:config.Config.seed ~count:config.Config.samples
+      ~exhaustive_limit:config.Config.exhaustive_limit net
+  in
+  List.map
+    (fun bound ->
+      (bound, Engine.run ~config ~patterns net ~metric ~error_bound:bound))
+    bounds
+
+let frontier points =
+  let sorted =
+    List.sort
+      (fun (e1, c1) (e2, c2) ->
+        match compare e1 e2 with 0 -> compare c1 c2 | c -> c)
+      points
+  in
+  let rec keep best = function
+    | [] -> []
+    | (e, c) :: rest ->
+      if c < best then (e, c) :: keep c rest else keep best rest
+  in
+  keep infinity sorted

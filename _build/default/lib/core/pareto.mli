@@ -1,0 +1,20 @@
+(** Design-space exploration: sweep error bounds and collect the
+    quality/error trade-off curve (the paper's Fig. 7 methodology as a
+    library function). *)
+
+open Accals_network
+module Metric := Accals_metrics.Metric
+
+val sweep :
+  ?config:Config.t ->
+  Network.t ->
+  metric:Metric.kind ->
+  bounds:float list ->
+  (float * Engine.report) list
+(** One synthesis per bound, sharing the pattern set so results are
+    comparable; returned in the input order as (bound, report). *)
+
+val frontier : (float * float) list -> (float * float) list
+(** Non-dominated subset of (error, cost) points, sorted by error
+    ascending: every kept point has strictly lower cost than all points
+    with smaller error. *)

@@ -1,0 +1,19 @@
+open Accals_lac
+
+let r_top_value ~r_ref ~r_min ~e ~e_b ~total =
+  let scale = if e_b > 0.0 then (e_b -. e) /. e_b else 0.0 in
+  let raw = int_of_float (scale *. float_of_int (max r_ref r_min)) in
+  max 1 (min raw total)
+
+let obtain ~r_ref ~e ~e_b lacs =
+  match lacs with
+  | [] -> []
+  | first :: _ ->
+    let min_delta = first.Lac.delta_error in
+    let r_min =
+      List.length
+        (List.filter (fun l -> l.Lac.delta_error <= min_delta +. 1e-12) lacs)
+    in
+    let total = List.length lacs in
+    let r_top = r_top_value ~r_ref ~r_min ~e ~e_b ~total in
+    List.filteri (fun i _ -> i < r_top) lacs

@@ -1,0 +1,17 @@
+(** ObtainTopSet (Section II-B, Eq. (2)).
+
+    Given the candidate LACs scored by the estimator (ascending ΔE), keeps
+    the top [r_top] where
+
+    r_top = ((e_b - e) / e_b) * max(r_ref, r_min),
+
+    r_min being the number of candidates sharing the minimum error increase,
+    clamped to [1, |L_cand|]. *)
+
+open Accals_lac
+
+val obtain : r_ref:int -> e:float -> e_b:float -> Lac.t list -> Lac.t list
+(** Input must be sorted by ascending [delta_error]. *)
+
+val r_top_value : r_ref:int -> r_min:int -> e:float -> e_b:float -> total:int -> int
+(** The raw Eq. (2) computation with clamping, exposed for tests. *)

@@ -1,0 +1,69 @@
+type mode = Multi | Single
+
+type round = {
+  index : int;
+  mode : mode;
+  candidates : int;
+  top_count : int;
+  sol_count : int;
+  indp_count : int;
+  rand_count : int;
+  chose_indp : bool option;
+  applied : int;
+  skipped_cycles : int;
+  error_before : float;
+  error_after : float;
+  estimated_error : float;
+  reverted : bool;
+  area : float;
+}
+
+let indp_ratio rounds =
+  let decided = List.filter_map (fun r -> r.chose_indp) rounds in
+  match decided with
+  | [] -> 0.0
+  | _ ->
+    let wins = List.length (List.filter (fun b -> b) decided) in
+    float_of_int wins /. float_of_int (List.length decided)
+
+let classify ~sigma r =
+  match r.mode with
+  | Single -> None
+  | Multi ->
+    let gap = r.estimated_error -. r.error_after in
+    if gap > sigma then Some `Positive
+    else if gap < -.sigma then Some `Negative
+    else Some `Independent
+
+let to_csv rounds =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "round,mode,candidates,top,sol,indp,rand,chose_indp,applied,skipped,\
+     error_before,error_after,estimated_error,reverted,area\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%d,%d,%d,%d,%d,%s,%d,%d,%.9f,%.9f,%.9f,%b,%.1f\n"
+           r.index
+           (match r.mode with Multi -> "multi" | Single -> "single")
+           r.candidates r.top_count r.sol_count r.indp_count r.rand_count
+           (match r.chose_indp with
+            | Some true -> "indp"
+            | Some false -> "rand"
+            | None -> "-")
+           r.applied r.skipped_cycles r.error_before r.error_after
+           r.estimated_error r.reverted r.area))
+    rounds;
+  Buffer.contents buf
+
+let write_csv rounds path =
+  let oc = open_out path in
+  (try output_string oc (to_csv rounds) with e -> close_out oc; raise e);
+  close_out oc
+
+let summary rounds =
+  let n = List.length rounds in
+  let applied = List.fold_left (fun acc r -> acc + r.applied) 0 rounds in
+  let reverts = List.length (List.filter (fun r -> r.reverted) rounds) in
+  Printf.sprintf "%d rounds, %d LACs applied, %d reverts, L_indp ratio %.2f" n
+    applied reverts (indp_ratio rounds)

@@ -1,0 +1,38 @@
+(** Per-round synthesis trace, used for the paper's statistical analysis
+    (Fig. 4) and for debugging. *)
+
+type mode = Multi | Single
+
+type round = {
+  index : int;
+  mode : mode;
+  candidates : int;  (** candidate LACs generated *)
+  top_count : int;  (** |L_top| *)
+  sol_count : int;  (** |L_sol| after conflict resolution *)
+  indp_count : int;  (** |L_indp| *)
+  rand_count : int;  (** |L_rand| *)
+  chose_indp : bool option;  (** [None] in single-LAC rounds *)
+  applied : int;  (** LACs actually applied this round *)
+  skipped_cycles : int;  (** LACs skipped by the acyclicity guard *)
+  error_before : float;
+  error_after : float;
+  estimated_error : float;  (** Eq. (1) estimate for the applied set *)
+  reverted : bool;  (** improvement technique 2 fired *)
+  area : float;  (** circuit area after the round *)
+}
+
+val indp_ratio : round list -> float
+(** Fraction of multi-LAC rounds in which the independent set won (the
+    paper's L_indp ratio, Fig. 4). 0 when there were no such rounds. *)
+
+val classify : sigma:float -> round -> [ `Positive | `Independent | `Negative ] option
+(** Classification of the round's applied LAC set per Section II-A; [None]
+    for single-LAC rounds. *)
+
+val summary : round list -> string
+
+val to_csv : round list -> string
+(** One header line plus one row per round; loads directly into pandas /
+    gnuplot for trajectory plots. *)
+
+val write_csv : round list -> string -> unit

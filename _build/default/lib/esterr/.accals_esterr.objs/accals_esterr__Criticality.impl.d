@@ -1,0 +1,1 @@
+lib/esterr/criticality.ml: Accals_bitvec Accals_lac Accals_network Array Gate Network Round_ctx Sim

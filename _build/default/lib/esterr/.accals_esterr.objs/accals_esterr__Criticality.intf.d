@@ -1,0 +1,1 @@
+lib/esterr/criticality.mli: Accals_bitvec Accals_lac Bitvec Round_ctx

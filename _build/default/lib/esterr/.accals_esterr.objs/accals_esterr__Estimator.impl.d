@@ -1,0 +1,1 @@
+lib/esterr/estimator.ml: Accals_bitvec Accals_lac Accals_metrics Accals_network Accals_twolevel Array Criticality Gate Hashtbl Lac List Network Round_ctx Sim Structure

@@ -1,0 +1,1 @@
+lib/esterr/estimator.mli: Accals_bitvec Accals_lac Accals_metrics Bitvec Lac Round_ctx

@@ -1,0 +1,1 @@
+lib/esterr/evaluate.ml: Accals_metrics Accals_network Array Network Sim Structure

@@ -1,0 +1,1 @@
+lib/esterr/evaluate.mli: Accals_bitvec Accals_metrics Accals_network Bitvec Network Sim

@@ -1,0 +1,59 @@
+open Accals_network
+open Accals_lac
+module Bitvec = Accals_bitvec.Bitvec
+
+(* Mask of patterns where the output of [id] flips if fanin [which] flips,
+   all other fanins held at their simulated values. *)
+let edge_sensitivity net sigs id which ~dst =
+  let fis = Network.fanins net id in
+  match Network.op net id with
+  | Gate.Input | Gate.Const _ -> Bitvec.fill dst false
+  | Gate.Buf | Gate.Not -> Bitvec.fill dst true
+  | Gate.Xor | Gate.Xnor -> Bitvec.fill dst true
+  | Gate.And | Gate.Nand ->
+    Bitvec.fill dst true;
+    Array.iteri
+      (fun i f -> if i <> which then Bitvec.logand_into dst sigs.(f) ~dst)
+      fis
+  | Gate.Or | Gate.Nor ->
+    Bitvec.fill dst true;
+    Array.iteri
+      (fun i f ->
+        if i <> which then begin
+          (* dst &= ~sig(f) without allocating: use De Morgan on masks. *)
+          let tmp = Bitvec.lognot sigs.(f) in
+          Bitvec.logand_into dst tmp ~dst
+        end)
+      fis
+  | Gate.Mux ->
+    (match which with
+     | 0 -> Bitvec.logxor_into sigs.(fis.(1)) sigs.(fis.(2)) ~dst
+     | 1 -> Bitvec.blit ~src:sigs.(fis.(0)) ~dst
+     | _ -> Bitvec.lognot_into sigs.(fis.(0)) ~dst)
+
+let masks (ctx : Round_ctx.t) =
+  let net = ctx.net in
+  let n = Network.num_nodes net in
+  let samples = ctx.patterns.Sim.count in
+  let dummy = Bitvec.create 0 in
+  let crit = Array.make n dummy in
+  Array.iter (fun id -> crit.(id) <- Bitvec.create samples) ctx.order;
+  Array.iter
+    (fun id -> if Bitvec.length crit.(id) > 0 then Bitvec.fill crit.(id) true)
+    (Network.outputs net);
+  let sens = Bitvec.create samples in
+  let contribution = Bitvec.create samples in
+  (* Reverse topological sweep: push criticality from fanouts to fanins. *)
+  for i = Array.length ctx.order - 1 downto 0 do
+    let id = ctx.order.(i) in
+    let fis = Network.fanins net id in
+    Array.iteri
+      (fun which f ->
+        if Bitvec.length crit.(f) > 0 then begin
+          edge_sensitivity net ctx.sigs id which ~dst:sens;
+          Bitvec.logand_into sens crit.(id) ~dst:contribution;
+          Bitvec.logor_into crit.(f) contribution ~dst:crit.(f)
+        end)
+      fis
+  done;
+  crit

@@ -1,0 +1,15 @@
+(** Backward observability (criticality) analysis.
+
+    For every node, computes the mask of simulation patterns on which a
+    value flip at the node is expected to propagate to at least one primary
+    output. Propagation is approximated edge-by-edge in one reverse
+    topological pass (the classical testability approximation: reconvergence
+    is ignored), which is the sensitivity ingredient of SEALS [12]. The
+    result is a ranking heuristic, not a bound. *)
+
+open Accals_lac
+open Accals_bitvec
+
+val masks : Round_ctx.t -> Bitvec.t array
+(** [masks ctx].(id) is the criticality mask of node [id]; dead nodes get a
+    zero-length dummy. Primary-output drivers are fully critical. *)

@@ -1,0 +1,223 @@
+open Accals_network
+open Accals_lac
+module Bitvec = Accals_bitvec.Bitvec
+module Metric = Accals_metrics.Metric
+
+type t = {
+  ctx : Round_ctx.t;
+  golden : Bitvec.t array;
+  prepared : Metric.prepared;
+  metric : Metric.kind;
+  base_error : float;
+  crit : Bitvec.t array;
+  err_mask : Bitvec.t;  (* samples where the current circuit is wrong *)
+  cone_cache : (int, int array) Hashtbl.t;
+  (* resimulation scratch *)
+  overlay : Bitvec.t array;
+  have : bool array;
+  mutable pool : Bitvec.t list;
+  scratch : Bitvec.t;
+  mutable evaluations : int;
+}
+
+let samples t = t.ctx.Round_ctx.patterns.Sim.count
+
+let compute_err_mask ctx golden =
+  let out = Round_ctx.output_sigs ctx in
+  let n = ctx.Round_ctx.patterns.Sim.count in
+  let err = Bitvec.create n in
+  let tmp = Bitvec.create n in
+  Array.iteri
+    (fun i g ->
+      Bitvec.logxor_into g out.(i) ~dst:tmp;
+      Bitvec.logor_into err tmp ~dst:err)
+    golden;
+  err
+
+let create ctx ~golden ~metric =
+  let approx = Round_ctx.output_sigs ctx in
+  let base_error = Metric.measure metric ~golden ~approx in
+  let n = Network.num_nodes ctx.Round_ctx.net in
+  let dummy = Bitvec.create 0 in
+  {
+    ctx;
+    golden;
+    prepared = Metric.prepare metric ~golden;
+    metric;
+    base_error;
+    crit = Criticality.masks ctx;
+    err_mask = compute_err_mask ctx golden;
+    cone_cache = Hashtbl.create 64;
+    overlay = Array.make n dummy;
+    have = Array.make n false;
+    pool = [];
+    scratch = Bitvec.create ctx.Round_ctx.patterns.Sim.count;
+    evaluations = 0;
+  }
+
+let base_error t = t.base_error
+
+let take_buf t =
+  match t.pool with
+  | b :: rest ->
+    t.pool <- rest;
+    b
+  | [] -> Bitvec.create (samples t)
+
+let give_buf t b = t.pool <- b :: t.pool
+
+let candidate_signature t lac =
+  let sigs = t.ctx.Round_ctx.sigs in
+  let dst = take_buf t in
+  (match lac.Lac.kind with
+   | Lac.Const0 -> Bitvec.fill dst false
+   | Lac.Const1 -> Bitvec.fill dst true
+   | Lac.Wire v -> Bitvec.blit ~src:sigs.(v) ~dst
+   | Lac.Inv_wire v -> Bitvec.lognot_into sigs.(v) ~dst
+   | Lac.Gate2 (op, a, b) ->
+     (match op with
+      | Gate.And -> Bitvec.logand_into sigs.(a) sigs.(b) ~dst
+      | Gate.Or -> Bitvec.logor_into sigs.(a) sigs.(b) ~dst
+      | Gate.Xor -> Bitvec.logxor_into sigs.(a) sigs.(b) ~dst
+      | Gate.Nand ->
+        Bitvec.logand_into sigs.(a) sigs.(b) ~dst;
+        Bitvec.lognot_into dst ~dst
+      | Gate.Nor ->
+        Bitvec.logor_into sigs.(a) sigs.(b) ~dst;
+        Bitvec.lognot_into dst ~dst
+      | Gate.Xnor ->
+        Bitvec.logxor_into sigs.(a) sigs.(b) ~dst;
+        Bitvec.lognot_into dst ~dst
+      | Gate.Const _ | Gate.Input | Gate.Buf | Gate.Not | Gate.Mux ->
+        invalid_arg "Estimator: unsupported Gate2 op")
+   | Lac.Gate3 (op, a, b, c) ->
+     (match op with
+      | Gate.And ->
+        Bitvec.logand_into sigs.(a) sigs.(b) ~dst;
+        Bitvec.logand_into dst sigs.(c) ~dst
+      | Gate.Or ->
+        Bitvec.logor_into sigs.(a) sigs.(b) ~dst;
+        Bitvec.logor_into dst sigs.(c) ~dst
+      | Gate.Xor ->
+        Bitvec.logxor_into sigs.(a) sigs.(b) ~dst;
+        Bitvec.logxor_into dst sigs.(c) ~dst
+      | Gate.Mux -> Bitvec.mux_into ~sel:sigs.(a) sigs.(b) sigs.(c) ~dst
+      | Gate.Nand | Gate.Nor | Gate.Xnor | Gate.Const _ | Gate.Input
+      | Gate.Buf | Gate.Not ->
+        invalid_arg "Estimator: unsupported Gate3 op")
+   | Lac.Sop { leaves; cubes } ->
+     let product = take_buf t in
+     let negated = take_buf t in
+     Bitvec.fill dst false;
+     List.iter
+       (fun cube ->
+         Bitvec.fill product true;
+         Array.iteri
+           (fun i leaf ->
+             if cube.Accals_twolevel.Qm.mask lsr i land 1 = 1 then
+               if cube.Accals_twolevel.Qm.value lsr i land 1 = 1 then
+                 Bitvec.logand_into product sigs.(leaf) ~dst:product
+               else begin
+                 Bitvec.lognot_into sigs.(leaf) ~dst:negated;
+                 Bitvec.logand_into product negated ~dst:product
+               end)
+           leaves;
+         Bitvec.logor_into dst product ~dst)
+       cubes;
+     give_buf t product;
+     give_buf t negated);
+  dst
+
+let rank_score t lac =
+  let target = lac.Lac.target in
+  let cand = candidate_signature t lac in
+  Bitvec.logxor_into cand t.ctx.Round_ctx.sigs.(target) ~dst:t.scratch;
+  Bitvec.logand_into t.scratch t.crit.(target) ~dst:t.scratch;
+  give_buf t cand;
+  (* Potential fresh errors: observable changes on currently-correct
+     samples. Changes landing on already-wrong samples are free (they may
+     even fix the error), so they do not count against the LAC. *)
+  let err_free = Bitvec.lognot t.err_mask in
+  Bitvec.logand_into t.scratch err_free ~dst:t.scratch;
+  float_of_int (Bitvec.popcount t.scratch) /. float_of_int (samples t)
+
+let cone t target =
+  match Hashtbl.find_opt t.cone_cache target with
+  | Some c -> c
+  | None ->
+    let c =
+      Structure.tfo_list t.ctx.Round_ctx.net ~fanouts:t.ctx.Round_ctx.fanouts
+        ~topo_pos:t.ctx.Round_ctx.topo_pos target
+    in
+    Hashtbl.add t.cone_cache target c;
+    c
+
+let exact_delta t lac =
+  let ctx = t.ctx in
+  let net = ctx.Round_ctx.net in
+  let sigs = ctx.Round_ctx.sigs in
+  let target = lac.Lac.target in
+  let cand = candidate_signature t lac in
+  if Bitvec.equal cand sigs.(target) then begin
+    give_buf t cand;
+    0.0
+  end
+  else begin
+    t.evaluations <- t.evaluations + 1;
+    let touched = ref [ target ] in
+    t.overlay.(target) <- cand;
+    t.have.(target) <- true;
+    let lookup id = if t.have.(id) then t.overlay.(id) else sigs.(id) in
+    Array.iter
+      (fun id ->
+        let fis = Network.fanins net id in
+        let dirty = Array.exists (fun f -> t.have.(f)) fis in
+        if dirty then begin
+          let dst = take_buf t in
+          Sim.eval_node_into net ~lookup id ~dst;
+          if Bitvec.equal dst sigs.(id) then give_buf t dst
+          else begin
+            t.overlay.(id) <- dst;
+            t.have.(id) <- true;
+            touched := id :: !touched
+          end
+        end)
+      (cone t target);
+    let approx = Array.map lookup (Network.outputs net) in
+    let e_new = Metric.measure_prepared t.prepared ~approx in
+    List.iter
+      (fun id ->
+        give_buf t t.overlay.(id);
+        t.have.(id) <- false)
+      !touched;
+    e_new -. t.base_error
+  end
+
+type mode = Exact | Approximate
+
+let score ?(mode = Exact) t ~shortlist lacs =
+  let ranked =
+    List.map (fun lac -> (rank_score t lac, lac)) lacs
+    |> List.sort (fun (ra, la) (rb, lb) ->
+           match compare ra rb with
+           | 0 -> compare lb.Lac.area_gain la.Lac.area_gain
+           | c -> c)
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | (_, lac) :: rest -> lac :: take (n - 1) rest
+  in
+  let chosen = take shortlist ranked in
+  let evaluate =
+    match mode with Exact -> exact_delta t | Approximate -> rank_score t
+  in
+  let scored = List.map (fun lac -> Lac.with_delta lac (evaluate lac)) chosen in
+  List.sort
+    (fun a b ->
+      match compare a.Lac.delta_error b.Lac.delta_error with
+      | 0 -> compare b.Lac.area_gain a.Lac.area_gain
+      | c -> c)
+    scored
+
+let evaluations t = t.evaluations

@@ -1,0 +1,50 @@
+(** SEALS-style batch error-increase estimation [12].
+
+    Two levels, as in the paper's sensitivity-driven flow:
+
+    + a cheap criticality ranking over all candidates (one mask intersection
+      per candidate), and
+    + exact-on-samples evaluation by bit-parallel resimulation of the
+      target's transitive-fanout cone with the candidate signature
+      substituted, for a shortlist of the best-ranked candidates.
+
+    The exact pass gives ΔE(ψ) = e_est_new − e where e_est_new is the exact
+    metric value of the modified circuit on the shared sample set. *)
+
+open Accals_lac
+open Accals_bitvec
+module Metric := Accals_metrics.Metric
+
+type t
+
+val create : Round_ctx.t -> golden:Bitvec.t array -> metric:Metric.kind -> t
+(** [golden] must be the output signatures of the *original* circuit on the
+    same pattern set as [ctx]. *)
+
+val base_error : t -> float
+(** Error of the current circuit against the golden outputs. *)
+
+val candidate_signature : t -> Lac.t -> Bitvec.t
+(** The target's new signature under the LAC (freshly allocated). *)
+
+val rank_score : t -> Lac.t -> float
+(** Cheap ranking heuristic: fraction of samples on which the LAC changes
+    the target's value, the change is deemed observable, and the sample is
+    currently error-free. Smaller is more promising. *)
+
+val exact_delta : t -> Lac.t -> float
+(** ΔE(ψ): exact-on-samples error increase (can be negative). *)
+
+type mode = Exact | Approximate
+
+val score : ?mode:mode -> t -> shortlist:int -> Lac.t list -> Lac.t list
+(** Rank all candidates, evaluate the best [shortlist] of them, and return
+    those with [delta_error] filled, sorted by ascending ΔE (ties: larger
+    area gain first). [Exact] (default) resimulates each shortlisted
+    candidate's fanout cone; [Approximate] takes the criticality estimate as
+    ΔE without resimulation — the cheap end of the VECBEE [11]
+    accuracy/effort trade-off, exposed for the ablation study. *)
+
+val evaluations : t -> int
+(** Number of exact cone resimulations performed so far (for the bench
+    harness's work accounting). *)

@@ -1,0 +1,11 @@
+open Accals_network
+module Metric = Accals_metrics.Metric
+
+let output_signatures net patterns =
+  let order = Structure.topo_order net in
+  let sigs = Sim.run net patterns ~order in
+  Array.map (fun id -> sigs.(id)) (Network.outputs net)
+
+let actual_error net patterns ~golden metric =
+  let approx = output_signatures net patterns in
+  Metric.measure metric ~golden ~approx

@@ -1,0 +1,13 @@
+(** Whole-circuit exact-on-samples evaluation helpers. *)
+
+open Accals_network
+open Accals_bitvec
+module Metric := Accals_metrics.Metric
+
+val output_signatures : Network.t -> Sim.patterns -> Bitvec.t array
+(** Simulate the network and return its primary-output signatures. *)
+
+val actual_error :
+  Network.t -> Sim.patterns -> golden:Bitvec.t array -> Metric.kind -> float
+(** Exact error of the network against golden outputs on the pattern set
+    (the paper's "accurate error" in Algorithm 1, lines 8-9). *)

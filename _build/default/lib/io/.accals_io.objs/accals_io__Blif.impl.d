@@ -1,0 +1,1 @@
+lib/io/blif.ml: Accals_network Array Buffer Gate Hashtbl List Network Printf String Structure

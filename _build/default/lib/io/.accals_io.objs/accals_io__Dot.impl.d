@@ -1,0 +1,1 @@
+lib/io/dot.ml: Accals_network Array Buffer Gate Hashtbl List Network Printf Structure

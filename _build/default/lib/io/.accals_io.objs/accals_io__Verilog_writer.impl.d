@@ -1,0 +1,1 @@
+lib/io/verilog_writer.ml: Accals_network Array Buffer Gate Network Printf String Structure

@@ -1,0 +1,1 @@
+lib/io/verilog_writer.mli: Accals_network Network

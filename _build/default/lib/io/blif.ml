@@ -1,0 +1,248 @@
+open Accals_network
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ----- writing ----- *)
+
+let cover_of_gate op k =
+  (* Rows of (input-pattern, output-bit) covering the ON-set. *)
+  let dashes = String.make k '-' in
+  let row_with i c = String.mapi (fun j d -> if j = i then c else d) dashes in
+  match op with
+  | Gate.Const false -> []
+  | Gate.Const true -> [ ("", '1') ]
+  | Gate.Buf -> [ ("1", '1') ]
+  | Gate.Not -> [ ("0", '1') ]
+  | Gate.And -> [ (String.make k '1', '1') ]
+  | Gate.Nor -> [ (String.make k '0', '1') ]
+  | Gate.Nand -> List.init k (fun i -> (row_with i '0', '1'))
+  | Gate.Or -> List.init k (fun i -> (row_with i '1', '1'))
+  | Gate.Xor | Gate.Xnor ->
+    if k > 10 then fail "BLIF writer: xor arity %d too large" k;
+    let want_odd = op = Gate.Xor in
+    let rows = ref [] in
+    for v = 0 to (1 lsl k) - 1 do
+      let ones = ref 0 in
+      for b = 0 to k - 1 do
+        if v lsr b land 1 = 1 then incr ones
+      done;
+      if !ones mod 2 = (if want_odd then 1 else 0) then begin
+        let row = String.init k (fun b -> if v lsr b land 1 = 1 then '1' else '0') in
+        rows := (row, '1') :: !rows
+      end
+    done;
+    List.rev !rows
+  | Gate.Mux -> [ ("11-", '1'); ("0-1", '1') ]
+  | Gate.Input -> fail "BLIF writer: input has no cover"
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let live = Structure.live_set t in
+  let node_name = Array.make (Network.num_nodes t) "" in
+  Array.iteri
+    (fun i id -> node_name.(id) <- (Network.input_names t).(i))
+    (Network.inputs t);
+  for id = 0 to Network.num_nodes t - 1 do
+    if node_name.(id) = "" then node_name.(id) <- Printf.sprintf "n%d" id
+  done;
+  (* A PO may be driven by a PI or shared driver; emit alias .names then. *)
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" (Network.name t));
+  Buffer.add_string buf ".inputs";
+  Array.iter (fun nm -> Buffer.add_string buf (" " ^ nm)) (Network.input_names t);
+  Buffer.add_string buf "\n.outputs";
+  Array.iter (fun nm -> Buffer.add_string buf (" " ^ nm)) (Network.output_names t);
+  Buffer.add_string buf "\n";
+  let order = Structure.topo_order t in
+  Array.iter
+    (fun id ->
+      if live.(id) && not (Network.is_input t id) then begin
+        let fis = Network.fanins t id in
+        Buffer.add_string buf ".names";
+        Array.iter (fun f -> Buffer.add_string buf (" " ^ node_name.(f))) fis;
+        Buffer.add_string buf (" " ^ node_name.(id) ^ "\n");
+        List.iter
+          (fun (row, out) ->
+            if row = "" then Buffer.add_string buf (Printf.sprintf "%c\n" out)
+            else Buffer.add_string buf (Printf.sprintf "%s %c\n" row out))
+          (cover_of_gate (Network.op t id) (Array.length fis))
+      end)
+    order;
+  (* Output aliases where the PO name differs from the driver's name. *)
+  Array.iteri
+    (fun i id ->
+      let po = (Network.output_names t).(i) in
+      if node_name.(id) <> po then
+        Buffer.add_string buf
+          (Printf.sprintf ".names %s %s\n1 1\n" node_name.(id) po))
+    (Network.outputs t);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_file t path =
+  let oc = open_out path in
+  (try output_string oc (to_string t) with e -> close_out oc; raise e);
+  close_out oc
+
+(* ----- parsing ----- *)
+
+type raw_names = { fanin_names : string list; target : string; rows : (string * char) list }
+
+let tokenize_lines text =
+  (* Join continuation lines (trailing backslash), drop comments. *)
+  let lines = String.split_on_char '\n' text in
+  let rec join acc = function
+    | [] -> List.rev acc
+    | line :: rest ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let line = String.trim line in
+      if String.length line > 0 && line.[String.length line - 1] = '\\' then
+        match rest with
+        | next :: rest' ->
+          join acc ((String.sub line 0 (String.length line - 1) ^ " " ^ next) :: rest')
+        | [] -> fail "dangling line continuation"
+      else join (line :: acc) rest
+  in
+  join [] lines
+  |> List.filter (fun l -> l <> "")
+  |> List.map (fun l ->
+         String.split_on_char ' ' l |> List.filter (fun s -> s <> ""))
+
+let parse_string text =
+  let groups = tokenize_lines text in
+  let model = ref "blif" in
+  let inputs = ref [] in
+  let outputs = ref [] in
+  let names : raw_names list ref = ref [] in
+  let current : raw_names option ref = ref None in
+  let flush () =
+    match !current with
+    | Some r -> names := { r with rows = List.rev r.rows } :: !names; current := None
+    | None -> ()
+  in
+  List.iter
+    (fun tokens ->
+      match tokens with
+      | ".model" :: rest ->
+        flush ();
+        (match rest with [ m ] -> model := m | _ -> ())
+      | ".inputs" :: rest -> flush (); inputs := !inputs @ rest
+      | ".outputs" :: rest -> flush (); outputs := !outputs @ rest
+      | ".names" :: rest ->
+        flush ();
+        (match List.rev rest with
+         | target :: rev_fanins ->
+           current := Some { fanin_names = List.rev rev_fanins; target; rows = [] }
+         | [] -> fail ".names with no signals")
+      | ".end" :: _ -> flush ()
+      | ".latch" :: _ -> fail "latches are not supported"
+      | ".subckt" :: _ -> fail "subcircuits are not supported"
+      | directive :: _ when String.length directive > 0 && directive.[0] = '.' ->
+        flush () (* ignore unknown directives such as .default_input_arrival *)
+      | row_tokens -> begin
+        match !current with
+        | None -> fail "cover row outside .names: %s" (String.concat " " row_tokens)
+        | Some r ->
+          let pattern, out =
+            match row_tokens with
+            | [ out ] when r.fanin_names = [] -> ("", out)
+            | [ pattern; out ] -> (pattern, out)
+            | _ -> fail "malformed cover row"
+          in
+          let out_char =
+            if out = "1" then '1'
+            else if out = "0" then '0'
+            else fail "cover output must be 0 or 1, got %s" out
+          in
+          if String.length pattern <> List.length r.fanin_names then
+            fail "cover row width mismatch for %s" r.target;
+          String.iter
+            (fun c ->
+              match c with
+              | '0' | '1' | '-' -> ()
+              | c -> fail "bad cover character %c" c)
+            pattern;
+          current := Some { r with rows = (pattern, out_char) :: r.rows }
+      end)
+    groups;
+  flush ();
+  let names = List.rev !names in
+  let net = Network.create ~name:!model () in
+  let by_name : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun nm ->
+      if Hashtbl.mem by_name nm then fail "duplicate input %s" nm;
+      Hashtbl.add by_name nm (Network.add_input net nm))
+    !inputs;
+  (* Create placeholder nodes for every defined signal, then fill in
+     definitions; BLIF permits use-before-definition. *)
+  List.iter
+    (fun r ->
+      if not (Hashtbl.mem by_name r.target) then
+        Hashtbl.add by_name r.target (Network.add_node net (Gate.Const false) [||]))
+    names;
+  let lookup nm =
+    match Hashtbl.find_opt by_name nm with
+    | Some id -> id
+    | None -> fail "undefined signal %s" nm
+  in
+  let build_product fanin_ids pattern =
+    (* AND of literals selected by the row pattern; None when all dashes. *)
+    let lits = ref [] in
+    String.iteri
+      (fun i c ->
+        let id = fanin_ids.(i) in
+        match c with
+        | '1' -> lits := id :: !lits
+        | '0' -> lits := Network.add_node net Gate.Not [| id |] :: !lits
+        | _ -> ())
+      pattern;
+    match !lits with
+    | [] -> None
+    | [ x ] -> Some x
+    | xs -> Some (Network.add_node net Gate.And (Array.of_list (List.rev xs)))
+  in
+  List.iter
+    (fun r ->
+      let target = lookup r.target in
+      let fanin_ids = Array.of_list (List.map lookup r.fanin_names) in
+      let out_values = List.map snd r.rows in
+      (match out_values with
+       | [] -> Network.replace ~check_cycle:false net target (Gate.Const false) [||]
+       | v :: rest ->
+         if List.exists (fun v' -> v' <> v) rest then
+           fail "mixed ON/OFF cover for %s" r.target;
+         let products = List.map (fun (p, _) -> build_product fanin_ids p) r.rows in
+         let tautology = List.exists (fun p -> p = None) products in
+         let sum =
+           if tautology then None
+           else begin
+             let ids = List.filter_map (fun p -> p) products in
+             match ids with
+             | [] -> None
+             | [ x ] -> Some x
+             | xs -> Some (Network.add_node net Gate.Or (Array.of_list xs))
+           end
+         in
+         match sum, v with
+         | None, '1' -> Network.replace ~check_cycle:false net target (Gate.Const true) [||]
+         | None, _ -> Network.replace ~check_cycle:false net target (Gate.Const false) [||]
+         | Some s, '1' -> Network.replace ~check_cycle:false net target Gate.Buf [| s |]
+         | Some s, _ -> Network.replace ~check_cycle:false net target Gate.Not [| s |]))
+    names;
+  Network.set_outputs net
+    (Array.of_list (List.map (fun nm -> (nm, lookup nm)) !outputs));
+  (try Network.validate net with Failure m -> fail "invalid network: %s" m);
+  net
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text

@@ -1,0 +1,22 @@
+(** BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+    Only the combinational subset is supported: [.model], [.inputs],
+    [.outputs], [.names] with single-output covers, and [.end]. Latches and
+    subcircuits raise {!Parse_error}. The reader accepts covers whose rows
+    are in any order and signals defined after use. *)
+
+open Accals_network
+
+exception Parse_error of string
+
+val parse_string : string -> Network.t
+(** Parse a BLIF document. Raises {!Parse_error} with a diagnostic on
+    malformed input. *)
+
+val parse_file : string -> Network.t
+
+val to_string : Network.t -> string
+(** Serialize the live part of a network as BLIF. N-ary XOR/XNOR gates with
+    more than 10 fanins are decomposed before writing. *)
+
+val write_file : Network.t -> string -> unit

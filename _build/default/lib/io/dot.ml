@@ -1,0 +1,38 @@
+open Accals_network
+
+let to_string ?(highlight = []) t =
+  let buf = Buffer.create 1024 in
+  let live = Structure.live_set t in
+  Buffer.add_string buf "digraph net {\n  rankdir=LR;\n";
+  let hl = Hashtbl.create 8 in
+  List.iter (fun id -> Hashtbl.replace hl id ()) highlight;
+  for id = 0 to Network.num_nodes t - 1 do
+    if live.(id) then begin
+      let label =
+        if Network.is_input t id then
+          Printf.sprintf "%s" (Network.input_names t).(
+            (* position of id among inputs *)
+            let rec find i = if (Network.inputs t).(i) = id then i else find (i + 1) in
+            find 0)
+        else Printf.sprintf "%d:%s" id (Gate.to_string (Network.op t id))
+      in
+      let extra = if Hashtbl.mem hl id then ", style=filled, fillcolor=orange" else "" in
+      Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"%s];\n" id label extra);
+      Array.iter
+        (fun f -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" f id))
+        (Network.fanins t id)
+    end
+  done;
+  Array.iteri
+    (fun i id ->
+      Buffer.add_string buf
+        (Printf.sprintf "  o%d [label=\"%s\", shape=box];\n  n%d -> o%d;\n" i
+           (Network.output_names t).(i) id i))
+    (Network.outputs t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?highlight t path =
+  let oc = open_out path in
+  (try output_string oc (to_string ?highlight t) with e -> close_out oc; raise e);
+  close_out oc

@@ -1,0 +1,8 @@
+(** Graphviz DOT export for debugging and documentation. *)
+
+open Accals_network
+
+val to_string : ?highlight:int list -> Network.t -> string
+(** [highlight] nodes are drawn filled (e.g. LAC targets). *)
+
+val write_file : ?highlight:int list -> Network.t -> string -> unit

@@ -1,0 +1,71 @@
+open Accals_network
+
+let sanitize nm =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    nm
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let live = Structure.live_set t in
+  let node_name = Array.make (Network.num_nodes t) "" in
+  Array.iteri
+    (fun i id -> node_name.(id) <- sanitize (Network.input_names t).(i))
+    (Network.inputs t);
+  for id = 0 to Network.num_nodes t - 1 do
+    if node_name.(id) = "" then node_name.(id) <- Printf.sprintf "n%d" id
+  done;
+  let in_names = Array.map sanitize (Network.input_names t) in
+  let out_names = Array.map sanitize (Network.output_names t) in
+  Buffer.add_string buf (Printf.sprintf "module %s (\n" (sanitize (Network.name t)));
+  let ports = Array.to_list in_names @ Array.to_list out_names in
+  Buffer.add_string buf ("  " ^ String.concat ", " ports ^ "\n);\n");
+  Array.iter (fun nm -> Buffer.add_string buf (Printf.sprintf "  input %s;\n" nm)) in_names;
+  Array.iter (fun nm -> Buffer.add_string buf (Printf.sprintf "  output %s;\n" nm)) out_names;
+  let order = Structure.topo_order t in
+  Array.iter
+    (fun id ->
+      if live.(id) && not (Network.is_input t id) then
+        Buffer.add_string buf (Printf.sprintf "  wire %s;\n" node_name.(id)))
+    order;
+  let expr id =
+    let fis = Network.fanins t id in
+    let f i = node_name.(fis.(i)) in
+    let joined sep =
+      String.concat sep (Array.to_list (Array.map (fun x -> node_name.(x)) fis))
+    in
+    match Network.op t id with
+    | Gate.Const false -> "1'b0"
+    | Gate.Const true -> "1'b1"
+    | Gate.Input -> node_name.(id)
+    | Gate.Buf -> f 0
+    | Gate.Not -> "~" ^ f 0
+    | Gate.And -> joined " & "
+    | Gate.Or -> joined " | "
+    | Gate.Xor -> joined " ^ "
+    | Gate.Nand -> "~(" ^ joined " & " ^ ")"
+    | Gate.Nor -> "~(" ^ joined " | " ^ ")"
+    | Gate.Xnor -> "~(" ^ joined " ^ " ^ ")"
+    | Gate.Mux -> Printf.sprintf "%s ? %s : %s" (f 0) (f 1) (f 2)
+  in
+  Array.iter
+    (fun id ->
+      if live.(id) && not (Network.is_input t id) then
+        Buffer.add_string buf
+          (Printf.sprintf "  assign %s = %s;\n" node_name.(id) (expr id)))
+    order;
+  Array.iteri
+    (fun i id ->
+      Buffer.add_string buf
+        (Printf.sprintf "  assign %s = %s;\n" out_names.(i) node_name.(id)))
+    (Network.outputs t);
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let write_file t path =
+  let oc = open_out path in
+  (try output_string oc (to_string t) with e -> close_out oc; raise e);
+  close_out oc

@@ -1,0 +1,7 @@
+(** Structural Verilog netlist writer (assign-style, combinational only). *)
+
+open Accals_network
+
+val to_string : Network.t -> string
+
+val write_file : Network.t -> string -> unit

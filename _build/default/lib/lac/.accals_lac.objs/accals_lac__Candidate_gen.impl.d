@@ -1,0 +1,1 @@
+lib/lac/candidate_gen.ml: Accals_bitvec Accals_network Accals_twolevel Array Cost Gate Hashtbl Lac List Network Queue Round_ctx Sim Structure

@@ -1,0 +1,1 @@
+lib/lac/candidate_gen.mli: Lac Round_ctx

@@ -1,0 +1,1 @@
+lib/lac/lac.ml: Accals_network Accals_twolevel Array Gate List Network Printf String

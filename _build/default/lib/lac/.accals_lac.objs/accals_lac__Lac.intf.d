@@ -1,0 +1,1 @@
+lib/lac/lac.mli: Accals_network Accals_twolevel Gate Network

@@ -1,0 +1,1 @@
+lib/lac/round_ctx.ml: Accals_bitvec Accals_network Array Network Sim Structure

@@ -1,0 +1,1 @@
+lib/lac/round_ctx.mli: Accals_bitvec Accals_network Bitvec Network Sim

@@ -1,0 +1,385 @@
+open Accals_network
+module Bitvec = Accals_bitvec.Bitvec
+
+let default_window = 24
+let default_wires_per_target = 6
+let default_pairs_per_target = 6
+
+type config = {
+  window : int;
+  wires_per_target : int;
+  pairs_per_target : int;
+  triples_per_target : int;
+  global_wires : int;
+  wire_distance_fraction : float;
+  sops_per_target : int;
+  cut_size : int;
+  cuts_per_node : int;
+}
+
+let default_config =
+  {
+    window = default_window;
+    wires_per_target = default_wires_per_target;
+    pairs_per_target = default_pairs_per_target;
+    triples_per_target = 4;
+    global_wires = 4;
+    wire_distance_fraction = 0.25;
+    sops_per_target = 2;
+    cut_size = 4;
+    cuts_per_node = 4;
+  }
+
+(* Global SASIMI candidates: buckets of signals sharing a signature prefix
+   (and, separately, the complemented prefix) find almost-identical signals
+   far outside the structural window. *)
+let similarity_buckets (ctx : Round_ctx.t) =
+  let buckets : (int, int list) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun id ->
+      let key = Bitvec.prefix_word ctx.sigs.(id) in
+      let prev = try Hashtbl.find buckets key with Not_found -> [] in
+      Hashtbl.replace buckets key (id :: prev))
+    ctx.order;
+  buckets
+
+let global_matches buckets (ctx : Round_ctx.t) config target =
+  if config.global_wires = 0 then []
+  else begin
+    let tsig = ctx.sigs.(target) in
+    let direct = try Hashtbl.find buckets (Bitvec.prefix_word tsig) with Not_found -> [] in
+    let inverted =
+      let complement = Bitvec.lognot tsig in
+      try Hashtbl.find buckets (Bitvec.prefix_word complement) with Not_found -> []
+    in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> if x = target then take n rest else x :: take (n - 1) rest
+    in
+    take config.global_wires direct @ take config.global_wires inverted
+  end
+
+(* Structural window around [target]: transitive fanins (BFS) plus siblings
+   (other fanins of the target's fanouts), capped at [config.window]. *)
+let window_of (ctx : Round_ctx.t) config target =
+  let net = ctx.net in
+  let seen = Hashtbl.create 32 in
+  Hashtbl.add seen target ();
+  let result = ref [] in
+  let count = ref 0 in
+  let push id =
+    if (not (Hashtbl.mem seen id)) && ctx.live.(id) && !count < config.window
+    then begin
+      Hashtbl.add seen id ();
+      result := id :: !result;
+      incr count
+    end
+  in
+  (* Siblings first: cheap shared logic nearby. *)
+  Array.iter
+    (fun fanout -> Array.iter push (Network.fanins net fanout))
+    ctx.fanouts.(target);
+  (* BFS through fanins. *)
+  let queue = Queue.create () in
+  Queue.add target queue;
+  while (not (Queue.is_empty queue)) && !count < config.window do
+    let id = Queue.pop queue in
+    Array.iter
+      (fun f ->
+        if not (Hashtbl.mem seen f) then begin
+          push f;
+          Queue.add f queue
+        end)
+      (Network.fanins net id)
+  done;
+  !result
+
+let mffc_nodes (ctx : Round_ctx.t) target =
+  Structure.mffc ctx.net ~fanout_counts:ctx.fanout_counts ~live:ctx.live target
+
+(* Area freed when [target]'s definition is replaced by a function of
+   [sns]: the target's MFFC minus whatever part of it the substitute
+   signals still need. MFFC members have no fanouts outside the cone, so
+   only SNs that are themselves inside the cone can retain MFFC nodes. *)
+let freed_area (ctx : Round_ctx.t) ~mffc target sns =
+  let in_mffc = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace in_mffc id ()) mffc;
+  let kept = Hashtbl.create 8 in
+  let rec keep id =
+    if id <> target && Hashtbl.mem in_mffc id && not (Hashtbl.mem kept id)
+    then begin
+      Hashtbl.replace kept id ();
+      Array.iter keep (Network.fanins ctx.net id)
+    end
+  in
+  List.iter keep sns;
+  Cost.area_of_nodes ctx.net
+    (List.filter (fun id -> not (Hashtbl.mem kept id)) mffc)
+
+module Truth = Accals_twolevel.Truth
+module Qm = Accals_twolevel.Qm
+module Sop_synth = Accals_twolevel.Sop_synth
+module Cut_enum = Accals_twolevel.Cut_enum
+
+(* Sampled probability of each cut-input minterm, from leaf signatures. *)
+let minterm_probabilities (ctx : Round_ctx.t) leaves =
+  let samples = ctx.patterns.Sim.count in
+  let vars = Array.length leaves in
+  let product = Bitvec.create samples in
+  let negated = Bitvec.create samples in
+  Array.init (Truth.rows vars) (fun m ->
+      Bitvec.fill product true;
+      Array.iteri
+        (fun i leaf ->
+          if m lsr i land 1 = 1 then
+            Bitvec.logand_into product ctx.sigs.(leaf) ~dst:product
+          else begin
+            Bitvec.lognot_into ctx.sigs.(leaf) ~dst:negated;
+            Bitvec.logand_into product negated ~dst:product
+          end)
+        leaves;
+      float_of_int (Bitvec.popcount product) /. float_of_int samples)
+
+(* SOP rewriting candidates for one target: re-minimize the cut function
+   exactly, and with the rarest minterms declared don't-care (the
+   approximate-cut idea of [15]). *)
+let sop_candidates (ctx : Round_ctx.t) config ~mffc target cuts_of_target =
+  let net = ctx.net in
+  let results = ref [] in
+  List.iter
+    (fun leaves ->
+      if Array.length leaves >= 2 && Array.length leaves <= Truth.max_vars then begin
+        match Truth.of_cone net ~leaves ~root:target with
+        | exception Invalid_argument _ -> ()
+        | truth ->
+          let vars = Array.length leaves in
+          let probs = minterm_probabilities ctx leaves in
+          let order =
+            let idx = Array.init (Truth.rows vars) (fun i -> i) in
+            Array.sort (fun a b -> compare probs.(a) probs.(b)) idx;
+            idx
+          in
+          let dc_of count =
+            let dc = ref 0 in
+            for i = 0 to count - 1 do
+              dc := Truth.set !dc order.(i) true
+            done;
+            !dc
+          in
+          let freed = freed_area ctx ~mffc target (Array.to_list leaves) in
+          let consider dc =
+            let on = truth land lnot dc land Truth.mask vars in
+            let cubes = Qm.minimize ~vars ~on ~dc () in
+            let gain = freed -. Sop_synth.estimated_area cubes in
+            if gain > 0.0 then
+              results :=
+                (gain, Lac.make ~target (Lac.Sop { leaves; cubes }) ~area_gain:gain)
+                :: !results
+          in
+          consider 0;
+          consider (dc_of 1);
+          consider (dc_of 2);
+          if vars >= 3 then consider (dc_of 4)
+      end)
+    cuts_of_target;
+  (* Largest gains first; dedup identical covers. *)
+  let sorted =
+    List.sort_uniq
+      (fun (ga, la) (gb, lb) ->
+        match compare gb ga with 0 -> compare la.Lac.kind lb.Lac.kind | c -> c)
+      !results
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | (_, lac) :: rest -> lac :: take (n - 1) rest
+  in
+  take config.sops_per_target sorted
+
+(* Take the k elements with the smallest measure. *)
+let take_best k measure items =
+  let scored = List.map (fun x -> (measure x, x)) items in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) scored in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | (_, x) :: rest -> x :: take (n - 1) rest
+  in
+  take k sorted
+
+let generate (ctx : Round_ctx.t) config =
+  let net = ctx.net in
+  let samples = ctx.patterns.Sim.count in
+  let wire_limit =
+    int_of_float (config.wire_distance_fraction *. float_of_int samples)
+  in
+  let inv_area = Cost.gate_area Gate.Not 1 in
+  let buckets = similarity_buckets ctx in
+  let all_cuts =
+    if config.sops_per_target > 0 then
+      Cut_enum.enumerate net ~order:ctx.order ~k:(min config.cut_size Truth.max_vars)
+        ~per_node:config.cuts_per_node
+    else [||]
+  in
+  let acc = ref [] in
+  let emit lac = acc := lac :: !acc in
+  Array.iter
+    (fun target ->
+      let op = Network.op net target in
+      let worth_replacing =
+        match op with
+        | Gate.Input | Gate.Const _ | Gate.Buf -> false
+        | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor
+        | Gate.Xnor | Gate.Mux -> true
+      in
+      if worth_replacing then begin
+        let mffc = mffc_nodes ctx target in
+        let gain_base = Cost.area_of_nodes net mffc in
+        if gain_base > 0.0 then begin
+          (* Constant LACs. *)
+          emit (Lac.make ~target Lac.Const0 ~area_gain:gain_base);
+          emit (Lac.make ~target Lac.Const1 ~area_gain:gain_base);
+          (* Substitution pool: structural window, minus the target's TFO
+             (using an SN inside the TFO would close a cycle). *)
+          let tfo = Structure.tfo_set net ~fanouts:ctx.fanouts target in
+          let usable v = v <> target && not (Bitvec.get tfo v) in
+          let pool = List.filter usable (window_of ctx config target) in
+          let tsig = ctx.sigs.(target) in
+          let distance v =
+            let d = Bitvec.hamming tsig ctx.sigs.(v) in
+            min d (samples - d)
+          in
+          (* Wire / inverted-wire candidates: structural window plus global
+             signature matches. *)
+          let global = List.filter usable (global_matches buckets ctx config target) in
+          let wires =
+            List.sort_uniq compare
+              (take_best config.wires_per_target distance pool @ global)
+          in
+          List.iter
+            (fun v ->
+              let d = Bitvec.hamming tsig ctx.sigs.(v) in
+              if min d (samples - d) <= wire_limit then begin
+                let freed = freed_area ctx ~mffc target [ v ] in
+                if d <= samples - d then begin
+                  if freed > 0.0 then
+                    emit (Lac.make ~target (Lac.Wire v) ~area_gain:freed)
+                end
+                else if freed -. inv_area > 0.0 then
+                  emit
+                    (Lac.make ~target (Lac.Inv_wire v)
+                       ~area_gain:(freed -. inv_area))
+              end)
+            wires;
+          (* 2-input resubstitution over the closest pool signals. *)
+          if config.pairs_per_target > 0 then begin
+            let shortlist = take_best 5 distance pool in
+            let scratch = Bitvec.create samples in
+            let pair_candidates = ref [] in
+            let consider op a b =
+              if a <> b then begin
+                (match op with
+                 | Gate.And | Gate.Nand ->
+                   Bitvec.logand_into ctx.sigs.(a) ctx.sigs.(b) ~dst:scratch
+                 | Gate.Or | Gate.Nor ->
+                   Bitvec.logor_into ctx.sigs.(a) ctx.sigs.(b) ~dst:scratch
+                 | Gate.Xor | Gate.Xnor ->
+                   Bitvec.logxor_into ctx.sigs.(a) ctx.sigs.(b) ~dst:scratch
+                 | Gate.Const _ | Gate.Input | Gate.Buf | Gate.Not | Gate.Mux ->
+                   invalid_arg "Candidate_gen: unsupported pair op");
+                (match op with
+                 | Gate.Nand | Gate.Nor | Gate.Xnor ->
+                   Bitvec.lognot_into scratch ~dst:scratch
+                 | Gate.And | Gate.Or | Gate.Xor | Gate.Const _ | Gate.Input
+                 | Gate.Buf | Gate.Not | Gate.Mux -> ());
+                let d = Bitvec.hamming tsig scratch in
+                let gain =
+                  freed_area ctx ~mffc target [ a; b ] -. Cost.gate_area op 2
+                in
+                if gain > 0.0 then
+                  pair_candidates := (d, Lac.make ~target (Lac.Gate2 (op, a, b)) ~area_gain:gain) :: !pair_candidates
+              end
+            in
+            let rec pairs = function
+              | [] -> ()
+              | a :: rest ->
+                List.iter
+                  (fun b ->
+                    consider Gate.And a b;
+                    consider Gate.Or a b;
+                    consider Gate.Xor a b;
+                    consider Gate.Nand a b;
+                    consider Gate.Nor a b;
+                    consider Gate.Xnor a b)
+                  rest;
+                pairs rest
+            in
+            pairs shortlist;
+            let best =
+              take_best config.pairs_per_target fst !pair_candidates
+            in
+            List.iter (fun (_, lac) -> emit lac) best
+          end;
+          (* 3-input resubstitution (ALSRAC with k = 3): AND/OR/XOR trees
+             and muxes over the closest pool signals. *)
+          if config.triples_per_target > 0 then begin
+            let shortlist = take_best 4 distance pool in
+            let scratch = Bitvec.create samples in
+            let triple_candidates = ref [] in
+            let consider3 op a b c =
+              if a <> b && b <> c && a <> c then begin
+                (match op with
+                 | Gate.And ->
+                   Bitvec.logand_into ctx.sigs.(a) ctx.sigs.(b) ~dst:scratch;
+                   Bitvec.logand_into scratch ctx.sigs.(c) ~dst:scratch
+                 | Gate.Or ->
+                   Bitvec.logor_into ctx.sigs.(a) ctx.sigs.(b) ~dst:scratch;
+                   Bitvec.logor_into scratch ctx.sigs.(c) ~dst:scratch
+                 | Gate.Xor ->
+                   Bitvec.logxor_into ctx.sigs.(a) ctx.sigs.(b) ~dst:scratch;
+                   Bitvec.logxor_into scratch ctx.sigs.(c) ~dst:scratch
+                 | Gate.Mux ->
+                   Bitvec.mux_into ~sel:ctx.sigs.(a) ctx.sigs.(b) ctx.sigs.(c)
+                     ~dst:scratch
+                 | Gate.Nand | Gate.Nor | Gate.Xnor | Gate.Const _
+                 | Gate.Input | Gate.Buf | Gate.Not ->
+                   invalid_arg "Candidate_gen: unsupported triple op");
+                let d = Bitvec.hamming tsig scratch in
+                let gain =
+                  freed_area ctx ~mffc target [ a; b; c ] -. Cost.gate_area op 3
+                in
+                if gain > 0.0 then
+                  triple_candidates :=
+                    (d, Lac.make ~target (Lac.Gate3 (op, a, b, c)) ~area_gain:gain)
+                    :: !triple_candidates
+              end
+            in
+            let rec triples = function
+              | a :: (b :: rest2 as rest) ->
+                List.iter
+                  (fun c ->
+                    consider3 Gate.And a b c;
+                    consider3 Gate.Or a b c;
+                    consider3 Gate.Xor a b c;
+                    consider3 Gate.Mux a b c;
+                    consider3 Gate.Mux b a c;
+                    consider3 Gate.Mux c a b)
+                  rest2;
+                triples rest
+              | [ _ ] | [] -> ()
+            in
+            triples shortlist;
+            let best =
+              take_best config.triples_per_target fst !triple_candidates
+            in
+            List.iter (fun (_, lac) -> emit lac) best
+          end;
+          (* Cut-rewriting (SOP) candidates. *)
+          if config.sops_per_target > 0 && all_cuts.(target) <> [] then
+            List.iter emit
+              (sop_candidates ctx config ~mffc target all_cuts.(target))
+        end
+      end)
+    ctx.order;
+  List.rev !acc

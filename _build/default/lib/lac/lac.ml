@@ -1,0 +1,82 @@
+open Accals_network
+
+type kind =
+  | Const0
+  | Const1
+  | Wire of int
+  | Inv_wire of int
+  | Gate2 of Gate.op * int * int
+  | Gate3 of Gate.op * int * int * int
+  | Sop of sop
+
+and sop = { leaves : int array; cubes : Accals_twolevel.Qm.cube list }
+
+type t = { target : int; kind : kind; area_gain : float; delta_error : float }
+
+let make ~target kind ~area_gain = { target; kind; area_gain; delta_error = nan }
+
+let with_delta t delta_error = { t with delta_error }
+
+let substitute_nodes t =
+  match t.kind with
+  | Const0 | Const1 -> []
+  | Wire v | Inv_wire v -> [ v ]
+  | Gate2 (_, a, b) -> if a = b then [ a ] else [ a; b ]
+  | Gate3 (_, a, b, c) -> List.sort_uniq compare [ a; b; c ]
+  | Sop { leaves; _ } -> Array.to_list leaves
+
+let new_definition t =
+  match t.kind with
+  | Const0 -> (Gate.Const false, [||])
+  | Const1 -> (Gate.Const true, [||])
+  | Wire v -> (Gate.Buf, [| v |])
+  | Inv_wire v -> (Gate.Not, [| v |])
+  | Gate2 (op, a, b) -> (op, [| a; b |])
+  | Gate3 (op, a, b, c) -> (op, [| a; b; c |])
+  | Sop _ -> invalid_arg "Lac.new_definition: Sop is a multi-gate replacement"
+
+let conflicts a b =
+  a.target = b.target
+  || List.mem b.target (substitute_nodes a)
+  || List.mem a.target (substitute_nodes b)
+
+let apply net t =
+  match t.kind with
+  | Sop { leaves; cubes } ->
+    (* Guard against cycles before materializing any gates: the new cone
+       depends exactly on the leaves. *)
+    Array.iter
+      (fun leaf ->
+        if leaf = t.target || Network.reaches net ~src:t.target ~dst:leaf then
+          raise (Network.Cycle t.target))
+      leaves;
+    let root = Accals_twolevel.Sop_synth.build net ~leaves cubes in
+    Network.replace ~check_cycle:false net t.target Gate.Buf [| root |]
+  | Const0 | Const1 | Wire _ | Inv_wire _ | Gate2 _ | Gate3 _ ->
+    let op, fanins = new_definition t in
+    Network.replace net t.target op fanins
+
+let apply_many net lacs =
+  let applied = ref [] and skipped = ref [] in
+  List.iter
+    (fun lac ->
+      match apply net lac with
+      | () -> applied := lac :: !applied
+      | exception Network.Cycle _ -> skipped := lac :: !skipped)
+    lacs;
+  (List.rev !applied, List.rev !skipped)
+
+let kind_string = function
+  | Const0 -> "const0"
+  | Const1 -> "const1"
+  | Wire _ -> "wire"
+  | Inv_wire _ -> "inv-wire"
+  | Gate2 (op, _, _) -> Gate.to_string op ^ "2"
+  | Gate3 (op, _, _, _) -> Gate.to_string op ^ "3"
+  | Sop { cubes; _ } -> Printf.sprintf "sop[%d cubes]" (List.length cubes)
+
+let describe t =
+  let sns = substitute_nodes t in
+  Printf.sprintf "L({%s}, %d) %s gain=%.1f dE=%g"
+    (String.concat "," (List.map string_of_int sns))
+    t.target (kind_string t.kind) t.area_gain t.delta_error

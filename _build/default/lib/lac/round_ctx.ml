@@ -1,0 +1,24 @@
+open Accals_network
+
+type t = {
+  net : Network.t;
+  live : bool array;
+  order : int array;
+  topo_pos : int array;
+  fanouts : int array array;
+  fanout_counts : int array;
+  sigs : Accals_bitvec.Bitvec.t array;
+  patterns : Sim.patterns;
+}
+
+let create net patterns =
+  let live = Structure.live_set net in
+  let order = Structure.topo_order net in
+  let topo_pos = Array.make (Network.num_nodes net) (-1) in
+  Array.iteri (fun i id -> topo_pos.(id) <- i) order;
+  let fanouts = Structure.fanouts net in
+  let fanout_counts = Structure.fanout_counts net ~live in
+  let sigs = Sim.run net patterns ~order in
+  { net; live; order; topo_pos; fanouts; fanout_counts; sigs; patterns }
+
+let output_sigs t = Array.map (fun id -> t.sigs.(id)) (Network.outputs t.net)

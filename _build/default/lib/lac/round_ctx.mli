@@ -1,0 +1,24 @@
+(** Per-round analysis context.
+
+    AccALS recomputes structural and simulation analyses once per synthesis
+    round; candidate generation, error estimation and the selection steps
+    all share this bundle. *)
+
+open Accals_network
+open Accals_bitvec
+
+type t = {
+  net : Network.t;
+  live : bool array;
+  order : int array;  (** topological order over live nodes *)
+  topo_pos : int array;  (** node id -> position in [order] (-1 if dead) *)
+  fanouts : int array array;
+  fanout_counts : int array;
+  sigs : Bitvec.t array;  (** per-node simulation signatures *)
+  patterns : Sim.patterns;
+}
+
+val create : Network.t -> Sim.patterns -> t
+
+val output_sigs : t -> Bitvec.t array
+(** Signatures of the primary outputs, in PO order. *)

@@ -1,0 +1,1 @@
+lib/metrics/metric.ml: Accals_bitvec Array String

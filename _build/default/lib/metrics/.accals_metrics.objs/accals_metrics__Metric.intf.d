@@ -1,0 +1,1 @@
+lib/metrics/metric.mli: Accals_bitvec Bitvec

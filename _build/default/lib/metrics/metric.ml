@@ -1,0 +1,156 @@
+module Bitvec = Accals_bitvec.Bitvec
+
+type kind = Error_rate | Nmed | Mred | Med | Wce
+
+let kind_to_string = function
+  | Error_rate -> "ER"
+  | Nmed -> "NMED"
+  | Mred -> "MRED"
+  | Med -> "MED"
+  | Wce -> "WCE"
+
+let kind_of_string s =
+  match String.uppercase_ascii s with
+  | "ER" -> Some Error_rate
+  | "NMED" -> Some Nmed
+  | "MRED" -> Some Mred
+  | "MED" -> Some Med
+  | "WCE" -> Some Wce
+  | _ -> None
+
+let check golden approx =
+  if Array.length golden <> Array.length approx then
+    invalid_arg "Metric: output count mismatch";
+  if Array.length golden = 0 then invalid_arg "Metric: no outputs";
+  let samples = Bitvec.length golden.(0) in
+  Array.iter
+    (fun bv -> if Bitvec.length bv <> samples then invalid_arg "Metric: length mismatch")
+    golden;
+  Array.iter
+    (fun bv -> if Bitvec.length bv <> samples then invalid_arg "Metric: length mismatch")
+    approx;
+  samples
+
+let error_rate ~golden ~approx =
+  let samples = check golden approx in
+  if samples = 0 then 0.0
+  else begin
+    let diff = Bitvec.create samples in
+    let scratch = Bitvec.create samples in
+    Array.iteri
+      (fun i g ->
+        Bitvec.logxor_into g approx.(i) ~dst:scratch;
+        Bitvec.logor_into diff scratch ~dst:diff)
+      golden;
+    float_of_int (Bitvec.popcount diff) /. float_of_int samples
+  end
+
+let output_value sigs ~pattern =
+  let v = ref 0 in
+  for i = Array.length sigs - 1 downto 0 do
+    v := (!v lsl 1) lor (if Bitvec.get sigs.(i) pattern then 1 else 0)
+  done;
+  !v
+
+let fold_distances golden approx f init =
+  let samples = check golden approx in
+  let m = Array.length golden in
+  if m > 60 then invalid_arg "Metric: more than 60 outputs";
+  let acc = ref init in
+  for p = 0 to samples - 1 do
+    let g = output_value golden ~pattern:p in
+    let a = output_value approx ~pattern:p in
+    acc := f !acc ~golden_value:g ~distance:(abs (a - g))
+  done;
+  !acc
+
+let med ~golden ~approx =
+  let samples = check golden approx in
+  if samples = 0 then 0.0
+  else
+    let total =
+      fold_distances golden approx
+        (fun acc ~golden_value:_ ~distance -> acc +. float_of_int distance)
+        0.0
+    in
+    total /. float_of_int samples
+
+let nmed ~golden ~approx =
+  let m = Array.length golden in
+  let max_value = float_of_int ((1 lsl m) - 1) in
+  med ~golden ~approx /. max_value
+
+let mred ~golden ~approx =
+  let samples = check golden approx in
+  if samples = 0 then 0.0
+  else
+    let total =
+      fold_distances golden approx
+        (fun acc ~golden_value ~distance ->
+          acc +. (float_of_int distance /. float_of_int (max 1 golden_value)))
+        0.0
+    in
+    total /. float_of_int samples
+
+let worst_case_error ~golden ~approx =
+  fold_distances golden approx
+    (fun acc ~golden_value:_ ~distance -> max acc (float_of_int distance))
+    0.0
+
+let measure kind ~golden ~approx =
+  match kind with
+  | Error_rate -> error_rate ~golden ~approx
+  | Nmed -> nmed ~golden ~approx
+  | Mred -> mred ~golden ~approx
+  | Med -> med ~golden ~approx
+  | Wce -> worst_case_error ~golden ~approx
+
+type prepared = {
+  p_kind : kind;
+  p_golden : Bitvec.t array;
+  p_values : int array;  (* golden per-sample values (distance metrics) *)
+  p_max_value : float;
+}
+
+let prepare kind ~golden =
+  let samples = if Array.length golden = 0 then 0 else Bitvec.length golden.(0) in
+  let values =
+    match kind with
+    | Error_rate -> [||]
+    | Nmed | Mred | Med | Wce ->
+      if Array.length golden > 60 then invalid_arg "Metric.prepare: > 60 outputs";
+      Array.init samples (fun p -> output_value golden ~pattern:p)
+  in
+  let m = Array.length golden in
+  {
+    p_kind = kind;
+    p_golden = golden;
+    p_values = values;
+    p_max_value = float_of_int ((1 lsl min m 60) - 1);
+  }
+
+let measure_prepared prep ~approx =
+  match prep.p_kind with
+  | Error_rate -> error_rate ~golden:prep.p_golden ~approx
+  | Nmed | Mred | Med | Wce ->
+    let samples = check prep.p_golden approx in
+    if samples = 0 then 0.0
+    else begin
+      let total = ref 0.0 in
+      for p = 0 to samples - 1 do
+        let g = prep.p_values.(p) in
+        let a = output_value approx ~pattern:p in
+        let distance = abs (a - g) in
+        match prep.p_kind with
+        | Nmed | Med -> total := !total +. float_of_int distance
+        | Mred ->
+          total := !total +. (float_of_int distance /. float_of_int (max 1 g))
+        | Wce -> total := max !total (float_of_int distance)
+        | Error_rate -> assert false
+      done;
+      match prep.p_kind with
+      | Nmed -> !total /. float_of_int samples /. prep.p_max_value
+      | Med | Mred -> !total /. float_of_int samples
+      | Wce -> !total
+      | Error_rate -> assert false
+    end

@@ -1,0 +1,58 @@
+(** Statistical error metrics between a golden and an approximate circuit.
+
+    All metrics are computed over a common set of simulation patterns (the
+    paper samples uniformly distributed inputs). Outputs are interpreted as
+    an unsigned binary number, least-significant output first, for the
+    distance metrics.
+
+    - ER: probability that any output bit differs.
+    - NMED: mean error distance normalized by the maximum output value.
+    - MRED: mean of |ED| / max(1, golden value).
+    - MED and WCE are provided as extras for library users. *)
+
+open Accals_bitvec
+
+type kind =
+  | Error_rate
+  | Nmed
+  | Mred
+  | Med  (** unnormalized mean error distance *)
+  | Wce  (** worst observed error distance on the sample set *)
+
+val kind_to_string : kind -> string
+
+val kind_of_string : string -> kind option
+
+val error_rate : golden:Bitvec.t array -> approx:Bitvec.t array -> float
+
+val med : golden:Bitvec.t array -> approx:Bitvec.t array -> float
+(** Mean error distance (unnormalized). *)
+
+val nmed : golden:Bitvec.t array -> approx:Bitvec.t array -> float
+
+val mred : golden:Bitvec.t array -> approx:Bitvec.t array -> float
+
+val worst_case_error : golden:Bitvec.t array -> approx:Bitvec.t array -> float
+(** Maximum observed error distance over the sample set. *)
+
+val measure : kind -> golden:Bitvec.t array -> approx:Bitvec.t array -> float
+(** Dispatch on [kind]. The two signature arrays must have equal lengths
+    (same output count) and equal per-signature bit lengths (same pattern
+    count). Output count must be at most 60 for the distance metrics. *)
+
+val output_value : Bitvec.t array -> pattern:int -> int
+(** Unsigned integer value of the outputs on one pattern (output 0 is the
+    least significant bit). *)
+
+(** {1 Prepared measurement}
+
+    When one golden circuit is compared against many approximate candidates
+    (the estimator's inner loop), preprocessing the golden signatures once
+    amortizes the per-sample value extraction. *)
+
+type prepared
+
+val prepare : kind -> golden:Bitvec.t array -> prepared
+
+val measure_prepared : prepared -> approx:Bitvec.t array -> float
+(** Same value as {!measure} with the prepared kind and golden outputs. *)

@@ -1,0 +1,1 @@
+lib/mis/graph.mli:

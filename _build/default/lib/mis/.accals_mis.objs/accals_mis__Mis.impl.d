@@ -1,0 +1,1 @@
+lib/mis/mis.ml: Accals_bitvec Array Graph List

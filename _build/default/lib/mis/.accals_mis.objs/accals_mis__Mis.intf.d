@@ -1,0 +1,1 @@
+lib/mis/mis.mli: Graph

@@ -1,0 +1,42 @@
+type t = {
+  n : int;
+  adj : (int, unit) Hashtbl.t array;
+  mutable edges : int;
+}
+
+let create n = { n; adj = Array.init n (fun _ -> Hashtbl.create 4); edges = 0 }
+
+let vertex_count t = t.n
+
+let check t v = if v < 0 || v >= t.n then invalid_arg "Graph: vertex out of range"
+
+let connected t a b =
+  check t a;
+  check t b;
+  Hashtbl.mem t.adj.(a) b
+
+let add_edge t a b =
+  check t a;
+  check t b;
+  if a <> b && not (Hashtbl.mem t.adj.(a) b) then begin
+    Hashtbl.add t.adj.(a) b ();
+    Hashtbl.add t.adj.(b) a ();
+    t.edges <- t.edges + 1
+  end
+
+let neighbors t v =
+  check t v;
+  Hashtbl.fold (fun u () acc -> u :: acc) t.adj.(v) []
+
+let degree t v =
+  check t v;
+  Hashtbl.length t.adj.(v)
+
+let edge_count t = t.edges
+
+let is_independent t vs =
+  let rec go = function
+    | [] -> true
+    | v :: rest -> List.for_all (fun u -> not (connected t v u)) rest && go rest
+  in
+  go vs

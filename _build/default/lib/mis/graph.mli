@@ -1,0 +1,21 @@
+(** Simple undirected graph on vertices [0 .. n-1]. *)
+
+type t
+
+val create : int -> t
+
+val vertex_count : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** Self-loops and duplicate edges are ignored. *)
+
+val connected : t -> int -> int -> bool
+
+val neighbors : t -> int -> int list
+
+val degree : t -> int -> int
+
+val edge_count : t -> int
+
+val is_independent : t -> int list -> bool
+(** True when no two listed vertices are adjacent. *)

@@ -1,0 +1,127 @@
+module Prng = Accals_bitvec.Prng
+
+let exact_limit = 26
+
+let greedy g =
+  let n = Graph.vertex_count g in
+  let removed = Array.make n false in
+  let chosen = ref [] in
+  let remaining = ref n in
+  (* Repeatedly take a minimum-residual-degree vertex. *)
+  let residual_degree v =
+    List.length (List.filter (fun u -> not removed.(u)) (Graph.neighbors g v))
+  in
+  while !remaining > 0 do
+    let best = ref (-1) and best_deg = ref max_int in
+    for v = 0 to n - 1 do
+      if not removed.(v) then begin
+        let d = residual_degree v in
+        if d < !best_deg then begin
+          best := v;
+          best_deg := d
+        end
+      end
+    done;
+    let v = !best in
+    chosen := v :: !chosen;
+    removed.(v) <- true;
+    decr remaining;
+    List.iter
+      (fun u ->
+        if not removed.(u) then begin
+          removed.(u) <- true;
+          decr remaining
+        end)
+      (Graph.neighbors g v)
+  done;
+  List.rev !chosen
+
+(* Exact branch and bound on vertex lists. *)
+let solve_exact g =
+  let best = ref [] in
+  let rec branch chosen candidates =
+    match candidates with
+    | [] -> if List.length chosen > List.length !best then best := chosen
+    | v :: rest ->
+      if List.length chosen + List.length candidates > List.length !best then begin
+        (* Include v. *)
+        let rest_excl = List.filter (fun u -> not (Graph.connected g u v)) rest in
+        branch (v :: chosen) rest_excl;
+        (* Exclude v. *)
+        branch chosen rest
+      end
+  in
+  let vertices = List.init (Graph.vertex_count g) (fun i -> i) in
+  (* Order by increasing degree: good for pruning. *)
+  let vertices =
+    List.sort (fun a b -> compare (Graph.degree g a) (Graph.degree g b)) vertices
+  in
+  branch [] vertices;
+  !best
+
+(* (1,2)-swap local search: try to remove one chosen vertex and insert two
+   of its currently-blocked neighbors. *)
+let improve g rng chosen =
+  let n = Graph.vertex_count g in
+  let in_set = Array.make n false in
+  List.iter (fun v -> in_set.(v) <- true) chosen;
+  (* blockers v = number of chosen neighbors *)
+  let blockers = Array.make n 0 in
+  for v = 0 to n - 1 do
+    blockers.(v) <-
+      List.length (List.filter (fun u -> in_set.(u)) (Graph.neighbors g v))
+  done;
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < 50 do
+    improved := false;
+    incr rounds;
+    let order = Array.init n (fun i -> i) in
+    Prng.shuffle rng order;
+    Array.iter
+      (fun x ->
+        if in_set.(x) then begin
+          (* Candidates blocked only by x. *)
+          let free_if_removed =
+            List.filter
+              (fun u -> (not in_set.(u)) && blockers.(u) = 1)
+              (Graph.neighbors g x)
+          in
+          (* Find two nonadjacent such vertices. *)
+          let rec find_pair = function
+            | [] -> None
+            | a :: rest -> (
+              match List.find_opt (fun b -> not (Graph.connected g a b)) rest with
+              | Some b -> Some (a, b)
+              | None -> find_pair rest)
+          in
+          match find_pair free_if_removed with
+          | None -> ()
+          | Some (a, b) ->
+            (* Swap: remove x, add a and b. *)
+            in_set.(x) <- false;
+            List.iter (fun u -> blockers.(u) <- blockers.(u) - 1) (Graph.neighbors g x);
+            in_set.(a) <- true;
+            List.iter (fun u -> blockers.(u) <- blockers.(u) + 1) (Graph.neighbors g a);
+            in_set.(b) <- true;
+            List.iter (fun u -> blockers.(u) <- blockers.(u) + 1) (Graph.neighbors g b);
+            improved := true
+        end)
+      order;
+    (* Also absorb any now-free vertices. *)
+    for v = 0 to n - 1 do
+      if (not in_set.(v)) && blockers.(v) = 0 then begin
+        in_set.(v) <- true;
+        List.iter (fun u -> blockers.(u) <- blockers.(u) + 1) (Graph.neighbors g v);
+        improved := true
+      end
+    done
+  done;
+  List.filter (fun v -> in_set.(v)) (List.init n (fun i -> i))
+
+let solve ?(seed = 1) g =
+  if Graph.vertex_count g <= exact_limit then solve_exact g
+  else begin
+    let rng = Prng.create seed in
+    improve g rng (greedy g)
+  end

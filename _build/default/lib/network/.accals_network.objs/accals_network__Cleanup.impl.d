@@ -1,0 +1,1 @@
+lib/network/cleanup.ml: Array Gate Hashtbl List Network String Structure

@@ -1,0 +1,1 @@
+lib/network/cost.mli: Gate Network

@@ -1,0 +1,1 @@
+lib/network/network.ml: Array Gate Printf

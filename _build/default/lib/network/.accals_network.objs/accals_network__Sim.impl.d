@@ -1,0 +1,1 @@
+lib/network/sim.ml: Accals_bitvec Array Gate Network

@@ -1,0 +1,1 @@
+lib/network/sim.mli: Accals_bitvec Network

@@ -1,0 +1,1 @@
+lib/network/structure.ml: Accals_bitvec Array Hashtbl List Network Queue

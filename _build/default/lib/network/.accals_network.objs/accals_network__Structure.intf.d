@@ -1,0 +1,1 @@
+lib/network/structure.mli: Accals_bitvec Network

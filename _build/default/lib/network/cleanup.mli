@@ -1,0 +1,23 @@
+(** Network simplification after LAC application.
+
+    {!sweep} simplifies in place without renumbering: it resolves buffer
+    chains, propagates constants, removes duplicate/complementary fanins and
+    rewires the primary outputs. Node ids stay stable so LAC bookkeeping
+    survives. Nodes that become unreachable are left allocated; the live-set
+    analysis and the cost model ignore them.
+
+    {!compact} rebuilds a dense equivalent network for export. *)
+
+val sweep : Network.t -> unit
+(** Simplify in place. Preserves the Boolean function of every primary
+    output. *)
+
+val strash : Network.t -> unit
+(** Structural hashing: merge gates with identical operator and fanins
+    (commutative operators compare fanins as multisets). Duplicates become
+    buffers to the surviving representative; run {!sweep} afterwards to
+    resolve them. Increases logic sharing the way ABC's [strash] does. *)
+
+val compact : Network.t -> Network.t
+(** Fresh network containing only live nodes, densely renumbered, same PI/PO
+    names and functions. *)

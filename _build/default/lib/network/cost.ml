@@ -1,0 +1,79 @@
+(* Areas/delays normalized to an inverter, loosely following the MCNC
+   library's relative gate sizes. *)
+let base = function
+  | Gate.Const _ | Gate.Input | Gate.Buf -> (0.0, 0.0)
+  | Gate.Not -> (1.0, 1.0)
+  | Gate.Nand -> (2.0, 1.0)
+  | Gate.Nor -> (2.0, 1.4)
+  | Gate.And -> (3.0, 1.9)
+  | Gate.Or -> (3.0, 2.4)
+  | Gate.Xor -> (5.0, 1.9)
+  | Gate.Xnor -> (5.0, 2.1)
+  | Gate.Mux -> (6.0, 2.4)
+
+let ceil_log2 k =
+  let rec go acc v = if v >= k then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+let gate_area op k =
+  let a, _ = base op in
+  match op with
+  | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor | Gate.Xnor ->
+    a *. float_of_int (max 1 (k - 1))
+  | Gate.Const _ | Gate.Input | Gate.Buf | Gate.Not | Gate.Mux -> a
+
+let gate_delay op k =
+  let _, d = base op in
+  match op with
+  | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor | Gate.Xnor ->
+    d *. float_of_int (max 1 (ceil_log2 (max 2 k)))
+  | Gate.Const _ | Gate.Input | Gate.Buf | Gate.Not | Gate.Mux -> d
+
+let area t =
+  let live = Structure.live_set t in
+  let total = ref 0.0 in
+  for id = 0 to Network.num_nodes t - 1 do
+    if live.(id) then
+      total :=
+        !total +. gate_area (Network.op t id) (Array.length (Network.fanins t id))
+  done;
+  !total
+
+let delay t =
+  let order = Structure.topo_order t in
+  let arrival = Array.make (Network.num_nodes t) 0.0 in
+  Array.iter
+    (fun id ->
+      let fis = Network.fanins t id in
+      let worst = Array.fold_left (fun acc f -> max acc arrival.(f)) 0.0 fis in
+      arrival.(id) <-
+        worst +. gate_delay (Network.op t id) (Array.length fis))
+    order;
+  Array.fold_left (fun acc id -> max acc arrival.(id)) 0.0 (Network.outputs t)
+
+let area_of_nodes t ids =
+  List.fold_left
+    (fun acc id ->
+      acc +. gate_area (Network.op t id) (Array.length (Network.fanins t id)))
+    0.0 ids
+
+let adp t = area t *. delay t
+
+(* AND-node count of the gate's AIG decomposition. *)
+let aig_nodes_of_gate op k =
+  match op with
+  | Gate.Const _ | Gate.Input | Gate.Buf | Gate.Not -> 0
+  | Gate.And | Gate.Or | Gate.Nand | Gate.Nor -> max 0 (k - 1)
+  | Gate.Xor | Gate.Xnor -> 3 * max 0 (k - 1)
+  | Gate.Mux -> 3
+
+let aig_node_count t =
+  let live = Structure.live_set t in
+  let total = ref 0 in
+  for id = 0 to Network.num_nodes t - 1 do
+    if live.(id) then
+      total :=
+        !total
+        + aig_nodes_of_gate (Network.op t id) (Array.length (Network.fanins t id))
+  done;
+  !total

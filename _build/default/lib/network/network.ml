@@ -1,0 +1,185 @@
+type t = {
+  mutable name : string;
+  mutable ops : Gate.op array;
+  mutable fanin_arrays : int array array;
+  mutable used : int;
+  mutable input_ids : int array;
+  mutable input_name_list : string array;
+  mutable output_ids : int array;
+  mutable output_name_array : string array;
+}
+
+exception Cycle of int
+
+let create ?(name = "net") () =
+  {
+    name;
+    ops = Array.make 64 (Gate.Const false);
+    fanin_arrays = Array.make 64 [||];
+    used = 0;
+    input_ids = [||];
+    input_name_list = [||];
+    output_ids = [||];
+    output_name_array = [||];
+  }
+
+let name t = t.name
+let set_name t s = t.name <- s
+
+let grow t =
+  let cap = Array.length t.ops in
+  if t.used = cap then begin
+    let ops = Array.make (2 * cap) (Gate.Const false) in
+    let fis = Array.make (2 * cap) [||] in
+    Array.blit t.ops 0 ops 0 cap;
+    Array.blit t.fanin_arrays 0 fis 0 cap;
+    t.ops <- ops;
+    t.fanin_arrays <- fis
+  end
+
+let alloc t op fanins =
+  grow t;
+  let id = t.used in
+  t.ops.(id) <- op;
+  t.fanin_arrays.(id) <- fanins;
+  t.used <- t.used + 1;
+  id
+
+let add_input t nm =
+  let id = alloc t Gate.Input [||] in
+  t.input_ids <- Array.append t.input_ids [| id |];
+  t.input_name_list <- Array.append t.input_name_list [| nm |];
+  id
+
+let check_def t op fanins =
+  if not (Gate.arity_ok op (Array.length fanins)) then
+    invalid_arg "Network: arity violation";
+  Array.iter
+    (fun f ->
+      if f < 0 || f >= t.used then invalid_arg "Network: unknown fanin id")
+    fanins
+
+let add_node t op fanins =
+  if op = Gate.Input then invalid_arg "Network.add_node: use add_input";
+  check_def t op fanins;
+  alloc t op fanins
+
+let set_outputs t pairs =
+  Array.iter
+    (fun (_, id) ->
+      if id < 0 || id >= t.used then invalid_arg "Network: unknown output id")
+    pairs;
+  t.output_ids <- Array.map snd pairs;
+  t.output_name_array <- Array.map fst pairs
+
+let num_nodes t = t.used
+let op t id = t.ops.(id)
+let fanins t id = t.fanin_arrays.(id)
+let inputs t = t.input_ids
+let outputs t = t.output_ids
+let output_names t = t.output_name_array
+let input_names t = t.input_name_list
+let is_input t id = t.ops.(id) = Gate.Input
+
+(* Is [src] in the transitive fanin of [dst]? Iterative DFS over fanins. *)
+let reaches t ~src ~dst =
+  if src = dst then true
+  else begin
+    let seen = Array.make t.used false in
+    let stack = ref [ dst ] in
+    let found = ref false in
+    while (not !found) && !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | id :: rest ->
+        stack := rest;
+        if not seen.(id) then begin
+          seen.(id) <- true;
+          let fis = t.fanin_arrays.(id) in
+          for i = 0 to Array.length fis - 1 do
+            let f = fis.(i) in
+            if f = src then found := true else if not seen.(f) then stack := f :: !stack
+          done
+        end
+    done;
+    !found
+  end
+
+let replace ?(check_cycle = true) t id op fanins =
+  if id < 0 || id >= t.used then invalid_arg "Network.replace: unknown id";
+  if t.ops.(id) = Gate.Input then invalid_arg "Network.replace: primary input";
+  if op = Gate.Input then invalid_arg "Network.replace: cannot become input";
+  check_def t op fanins;
+  if check_cycle then
+    Array.iter
+      (fun f -> if f = id || reaches t ~src:id ~dst:f then raise (Cycle id))
+      fanins;
+  t.ops.(id) <- op;
+  t.fanin_arrays.(id) <- fanins
+
+let eval t input_values =
+  if Array.length input_values <> Array.length t.input_ids then
+    invalid_arg "Network.eval: wrong input count";
+  let value = Array.make t.used false in
+  let computed = Array.make t.used false in
+  Array.iteri
+    (fun i id ->
+      value.(id) <- input_values.(i);
+      computed.(id) <- true)
+    t.input_ids;
+  (* Evaluate on demand with an explicit stack (the network can be deep). *)
+  let rec force id =
+    if not computed.(id) then begin
+      let fis = t.fanin_arrays.(id) in
+      Array.iter force fis;
+      let vs = Array.map (fun f -> value.(f)) fis in
+      value.(id) <- Gate.eval t.ops.(id) vs;
+      computed.(id) <- true
+    end
+  in
+  Array.map
+    (fun id ->
+      force id;
+      value.(id))
+    t.output_ids
+
+let copy t =
+  {
+    name = t.name;
+    ops = Array.copy t.ops;
+    fanin_arrays = Array.map Array.copy (Array.sub t.fanin_arrays 0 (Array.length t.fanin_arrays));
+    used = t.used;
+    input_ids = Array.copy t.input_ids;
+    input_name_list = Array.copy t.input_name_list;
+    output_ids = Array.copy t.output_ids;
+    output_name_array = Array.copy t.output_name_array;
+  }
+
+let validate t =
+  for id = 0 to t.used - 1 do
+    let fis = t.fanin_arrays.(id) in
+    if not (Gate.arity_ok t.ops.(id) (Array.length fis)) then
+      failwith (Printf.sprintf "node %d: arity violation" id);
+    Array.iter
+      (fun f ->
+        if f < 0 || f >= t.used then
+          failwith (Printf.sprintf "node %d: fanin %d out of range" id f))
+      fis
+  done;
+  (* Acyclicity via DFS coloring. *)
+  let color = Array.make t.used 0 in
+  let rec visit id =
+    if color.(id) = 1 then failwith (Printf.sprintf "cycle through node %d" id);
+    if color.(id) = 0 then begin
+      color.(id) <- 1;
+      Array.iter visit t.fanin_arrays.(id);
+      color.(id) <- 2
+    end
+  in
+  for id = 0 to t.used - 1 do
+    visit id
+  done;
+  Array.iter
+    (fun id ->
+      if id < 0 || id >= t.used then failwith "output id out of range")
+    t.output_ids

@@ -1,0 +1,75 @@
+(** Mutable combinational Boolean network.
+
+    Nodes are identified by dense integer ids. A node is created once and
+    its definition (operator + fanins) may later be replaced in place — this
+    is how LACs are applied. Nodes are never deallocated; nodes that become
+    unreachable from the primary outputs are simply excluded by the live-set
+    analysis ({!Structure.live_set}) and by the cost model. {!Cleanup.compact}
+    rebuilds a dense copy.
+
+    The network must stay acyclic; {!replace} enforces this. *)
+
+type t
+
+exception Cycle of int
+(** Raised by {!replace} when the new definition would close a combinational
+    cycle through the given node. *)
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+val set_name : t -> string -> unit
+
+val add_input : t -> string -> int
+(** Append a primary input; returns its node id. *)
+
+val add_node : t -> Gate.op -> int array -> int
+(** [add_node t op fanins] appends a gate. All fanins must be existing node
+    ids. Raises [Invalid_argument] on arity violation or unknown fanin. *)
+
+val set_outputs : t -> (string * int) array -> unit
+(** Declare the primary outputs as (name, driver id) pairs, replacing any
+    previous declaration. *)
+
+val num_nodes : t -> int
+(** Number of allocated node ids (including dead nodes). *)
+
+val op : t -> int -> Gate.op
+
+val fanins : t -> int -> int array
+(** The fanin ids of a node. The returned array must not be mutated. *)
+
+val inputs : t -> int array
+(** Primary input ids, in declaration order. Do not mutate. *)
+
+val outputs : t -> int array
+(** Primary output driver ids, in declaration order. Do not mutate. *)
+
+val output_names : t -> string array
+
+val input_names : t -> string array
+
+val is_input : t -> int -> bool
+
+val replace : ?check_cycle:bool -> t -> int -> Gate.op -> int array -> unit
+(** [replace t id op fanins] redefines node [id]. Raises {!Cycle} if the new
+    fanin cone reaches [id] (checked unless [check_cycle:false]), and
+    [Invalid_argument] on arity violations, on unknown fanins, or when [id]
+    is a primary input. *)
+
+val reaches : t -> src:int -> dst:int -> bool
+(** True when there is a directed path of fanin edges from [dst] back to
+    [src]; i.e. [src] is in the transitive fanin of [dst]. *)
+
+val eval : t -> bool array -> bool array
+(** [eval t input_values] evaluates every primary output on one input
+    vector (ordered as {!inputs}/{!outputs}). Reference semantics used as a
+    test oracle for the bit-parallel simulator. *)
+
+val copy : t -> t
+(** Deep copy; node ids are preserved. *)
+
+val validate : t -> unit
+(** Check structural invariants (arities, fanin ranges, acyclicity); raises
+    [Failure] with a diagnostic on violation. Used by tests. *)

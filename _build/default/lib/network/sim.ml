@@ -1,0 +1,83 @@
+module Bitvec = Accals_bitvec.Bitvec
+module Prng = Accals_bitvec.Prng
+
+type patterns = { count : int; by_input : Bitvec.t array }
+
+let exhaustive k =
+  if k < 0 || k > 20 then invalid_arg "Sim.exhaustive: input count out of range";
+  let count = 1 lsl k in
+  let by_input =
+    Array.init k (fun i ->
+        let bv = Bitvec.create count in
+        for p = 0 to count - 1 do
+          if p lsr i land 1 = 1 then Bitvec.set bv p true
+        done;
+        bv)
+  in
+  { count; by_input }
+
+let random ~seed ~count k =
+  if count <= 0 then invalid_arg "Sim.random: count must be positive";
+  let rng = Prng.create seed in
+  let by_input =
+    Array.init k (fun _ ->
+        let bv = Bitvec.create count in
+        Bitvec.randomize rng bv;
+        bv)
+  in
+  { count; by_input }
+
+let for_network ?(seed = 1) ?(count = 2048) ?(exhaustive_limit = 14) t =
+  let k = Array.length (Network.inputs t) in
+  if k <= exhaustive_limit then exhaustive k else random ~seed ~count k
+
+let dummy = Bitvec.create 0
+
+let eval_node_into t ~lookup id ~dst =
+  let fis = Network.fanins t id in
+  match Network.op t id with
+  | Gate.Input -> invalid_arg "Sim.eval_node_into: primary input"
+  | Gate.Const b -> Bitvec.fill dst b
+  | Gate.Buf -> Bitvec.blit ~src:(lookup fis.(0)) ~dst
+  | Gate.Not -> Bitvec.lognot_into (lookup fis.(0)) ~dst
+  | Gate.And | Gate.Nand ->
+    Bitvec.blit ~src:(lookup fis.(0)) ~dst;
+    for i = 1 to Array.length fis - 1 do
+      Bitvec.logand_into dst (lookup fis.(i)) ~dst
+    done;
+    if Network.op t id = Gate.Nand then Bitvec.lognot_into dst ~dst
+  | Gate.Or | Gate.Nor ->
+    Bitvec.blit ~src:(lookup fis.(0)) ~dst;
+    for i = 1 to Array.length fis - 1 do
+      Bitvec.logor_into dst (lookup fis.(i)) ~dst
+    done;
+    if Network.op t id = Gate.Nor then Bitvec.lognot_into dst ~dst
+  | Gate.Xor | Gate.Xnor ->
+    Bitvec.blit ~src:(lookup fis.(0)) ~dst;
+    for i = 1 to Array.length fis - 1 do
+      Bitvec.logxor_into dst (lookup fis.(i)) ~dst
+    done;
+    if Network.op t id = Gate.Xnor then Bitvec.lognot_into dst ~dst
+  | Gate.Mux ->
+    Bitvec.mux_into ~sel:(lookup fis.(0)) (lookup fis.(1)) (lookup fis.(2)) ~dst
+
+let run t pats ~order =
+  let n = Network.num_nodes t in
+  let sigs = Array.make n dummy in
+  let input_ids = Network.inputs t in
+  if Array.length input_ids <> Array.length pats.by_input then
+    invalid_arg "Sim.run: pattern/input mismatch";
+  Array.iteri (fun i id -> sigs.(id) <- pats.by_input.(i)) input_ids;
+  let lookup id = sigs.(id) in
+  Array.iter
+    (fun id ->
+      if not (Network.is_input t id) then begin
+        let dst = Bitvec.create pats.count in
+        eval_node_into t ~lookup id ~dst;
+        sigs.(id) <- dst
+      end)
+    order;
+  sigs
+
+let output_values t sigs ~pattern =
+  Array.map (fun id -> Bitvec.get sigs.(id) pattern) (Network.outputs t)

@@ -1,0 +1,195 @@
+module Bitvec = Accals_bitvec.Bitvec
+
+let live_set t =
+  let n = Network.num_nodes t in
+  let live = Array.make n false in
+  let stack = ref [] in
+  Array.iter
+    (fun id ->
+      if not live.(id) then begin
+        live.(id) <- true;
+        stack := id :: !stack
+      end)
+    (Network.outputs t);
+  let rec walk () =
+    match !stack with
+    | [] -> ()
+    | id :: rest ->
+      stack := rest;
+      Array.iter
+        (fun f ->
+          if not live.(f) then begin
+            live.(f) <- true;
+            stack := f :: !stack
+          end)
+        (Network.fanins t id);
+      walk ()
+  in
+  walk ();
+  live
+
+(* Kahn's algorithm over the relevant node set. *)
+let topo_order ?(live_only = true) t =
+  let n = Network.num_nodes t in
+  let keep = if live_only then live_set t else Array.make n true in
+  let indeg = Array.make n 0 in
+  let fanout_lists = Array.make n [] in
+  for id = 0 to n - 1 do
+    if keep.(id) then begin
+      let seen_fanin = Hashtbl.create 4 in
+      Array.iter
+        (fun f ->
+          if keep.(f) && not (Hashtbl.mem seen_fanin f) then begin
+            Hashtbl.add seen_fanin f ();
+            indeg.(id) <- indeg.(id) + 1;
+            fanout_lists.(f) <- id :: fanout_lists.(f)
+          end)
+        (Network.fanins t id)
+    end
+  done;
+  let order = Array.make n 0 in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  for id = 0 to n - 1 do
+    if keep.(id) && indeg.(id) = 0 then Queue.add id queue
+  done;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order.(!count) <- id;
+    incr count;
+    List.iter
+      (fun g ->
+        indeg.(g) <- indeg.(g) - 1;
+        if indeg.(g) = 0 then Queue.add g queue)
+      fanout_lists.(id)
+  done;
+  Array.sub order 0 !count
+
+let fanouts ?(live_only = true) t =
+  let n = Network.num_nodes t in
+  let keep = if live_only then live_set t else Array.make n true in
+  let lists = Array.make n [] in
+  for id = 0 to n - 1 do
+    if keep.(id) then begin
+      let seen = Hashtbl.create 4 in
+      Array.iter
+        (fun f ->
+          if not (Hashtbl.mem seen f) then begin
+            Hashtbl.add seen f ();
+            lists.(f) <- id :: lists.(f)
+          end)
+        (Network.fanins t id)
+    end
+  done;
+  Array.map Array.of_list lists
+
+let levels t =
+  let n = Network.num_nodes t in
+  let lvl = Array.make n 0 in
+  let order = topo_order t in
+  Array.iter
+    (fun id ->
+      let fis = Network.fanins t id in
+      let m = Array.fold_left (fun acc f -> max acc lvl.(f)) (-1) fis in
+      lvl.(id) <- (if Array.length fis = 0 then 0 else m + 1))
+    order;
+  lvl
+
+let tfo_set t ~fanouts id =
+  let n = Network.num_nodes t in
+  let bv = Bitvec.create n in
+  let stack = ref [ id ] in
+  Bitvec.set bv id true;
+  let rec walk () =
+    match !stack with
+    | [] -> ()
+    | x :: rest ->
+      stack := rest;
+      Array.iter
+        (fun g ->
+          if not (Bitvec.get bv g) then begin
+            Bitvec.set bv g true;
+            stack := g :: !stack
+          end)
+        fanouts.(x);
+      walk ()
+  in
+  walk ();
+  bv
+
+let tfo_list t ~fanouts ~topo_pos id =
+  let bv = tfo_set t ~fanouts id in
+  let nodes = ref [] in
+  Bitvec.iter_set bv (fun x -> if x <> id then nodes := x :: !nodes);
+  let arr = Array.of_list !nodes in
+  Array.sort (fun a b -> compare topo_pos.(a) topo_pos.(b)) arr;
+  arr
+
+let shortest_path_bounded t ~fanouts ~src ~dst ~limit =
+  ignore t;
+  if src = dst then Some 0
+  else begin
+    let dist = Hashtbl.create 64 in
+    Hashtbl.add dist src 0;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    let result = ref None in
+    (try
+       while not (Queue.is_empty queue) do
+         let x = Queue.pop queue in
+         let d = Hashtbl.find dist x in
+         if d < limit then
+           Array.iter
+             (fun g ->
+               if not (Hashtbl.mem dist g) then begin
+                 if g = dst then begin
+                   result := Some (d + 1);
+                   raise Exit
+                 end;
+                 Hashtbl.add dist g (d + 1);
+                 Queue.add g queue
+               end)
+             fanouts.(x)
+       done
+     with Exit -> ());
+    !result
+  end
+
+let fanout_counts t ~live =
+  let n = Network.num_nodes t in
+  let counts = Array.make n 0 in
+  for id = 0 to n - 1 do
+    if live.(id) then begin
+      let seen = Hashtbl.create 4 in
+      Array.iter
+        (fun f ->
+          if not (Hashtbl.mem seen f) then begin
+            Hashtbl.add seen f ();
+            counts.(f) <- counts.(f) + 1
+          end)
+        (Network.fanins t id)
+    end
+  done;
+  Array.iter (fun id -> counts.(id) <- counts.(id) + 1) (Network.outputs t);
+  counts
+
+let mffc t ~fanout_counts ~live id =
+  let counts = Array.copy fanout_counts in
+  let acc = ref [ id ] in
+  (* Decrement once per distinct fanin, mirroring how fanout_counts counts. *)
+  let rec deref x =
+    let seen = Hashtbl.create 4 in
+    Array.iter
+      (fun f ->
+        if not (Hashtbl.mem seen f) then begin
+          Hashtbl.add seen f ();
+          counts.(f) <- counts.(f) - 1;
+          if counts.(f) = 0 && live.(f) && not (Network.is_input t f) then begin
+            acc := f :: !acc;
+            deref f
+          end
+        end)
+      (Network.fanins t x)
+  in
+  deref id;
+  !acc

@@ -1,0 +1,47 @@
+(** Structural analyses over a {!Network.t}.
+
+    All functions treat the network as it currently stands; after a
+    {!Network.replace} the analyses must be recomputed. The AccALS engine
+    recomputes them once per round. *)
+
+val live_set : Network.t -> bool array
+(** [live_set t].(id) is true when node [id] is reachable from some primary
+    output through fanin edges (primary outputs themselves included). *)
+
+val topo_order : ?live_only:bool -> Network.t -> int array
+(** Topological order (fanins before fanouts). With [live_only] (default
+    true) only live nodes appear. *)
+
+val fanouts : ?live_only:bool -> Network.t -> int array array
+(** [fanouts t].(id) lists the nodes that use [id] as a fanin (each fanout
+    listed once even if it uses [id] several times). *)
+
+val levels : Network.t -> int array
+(** Unit-delay level of every live node (inputs and constants at level 0);
+    dead nodes get level 0. *)
+
+val tfo_set : Network.t -> fanouts:int array array -> int -> Accals_bitvec.Bitvec.t
+(** Transitive fanout of a node as a bitset over node ids (the node itself
+    included). *)
+
+val tfo_list : Network.t -> fanouts:int array array -> topo_pos:int array -> int -> int array
+(** Transitive fanout of a node (the node excluded), sorted in topological
+    order using [topo_pos] (node id -> position). Used for cone
+    resimulation. *)
+
+val shortest_path_bounded :
+  Network.t -> fanouts:int array array -> src:int -> dst:int -> limit:int -> int option
+(** Length (in edges) of the shortest directed path from [src] to [dst]
+    following fanout edges, or [None] if it exceeds [limit] or there is no
+    path. [Some 0] iff [src = dst]. *)
+
+val mffc : Network.t -> fanout_counts:int array -> live:bool array -> int -> int list
+(** Maximum fanout-free cone of a node: the node plus every live non-input
+    node that only feeds the cone (and drives no primary output). These are
+    the nodes that die when the node's definition stops using them.
+    [fanout_counts].(id) must give the number of distinct live fanouts of
+    [id]; the array is not modified. *)
+
+val fanout_counts : Network.t -> live:bool array -> int array
+(** Number of distinct live fanout nodes per node, plus 1 for each primary
+    output the node drives. *)

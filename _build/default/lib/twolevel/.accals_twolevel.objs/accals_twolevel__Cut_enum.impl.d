@@ -1,0 +1,1 @@
+lib/twolevel/cut_enum.ml: Accals_network Array Gate Hashtbl List Network

@@ -1,0 +1,1 @@
+lib/twolevel/cut_enum.mli: Accals_network Network

@@ -1,0 +1,1 @@
+lib/twolevel/qm.ml: Hashtbl List Truth

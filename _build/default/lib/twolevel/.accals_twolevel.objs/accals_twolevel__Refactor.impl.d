@@ -1,0 +1,1 @@
+lib/twolevel/refactor.ml: Accals_network Array Cost Cut_enum Gate Hashtbl List Network Qm Sop_synth Structure Truth

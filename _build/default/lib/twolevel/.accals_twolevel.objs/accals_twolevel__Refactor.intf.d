@@ -1,0 +1,1 @@
+lib/twolevel/refactor.mli: Accals_network Network

@@ -1,0 +1,1 @@
+lib/twolevel/sop_synth.ml: Accals_network Array Cost Gate List Network Qm

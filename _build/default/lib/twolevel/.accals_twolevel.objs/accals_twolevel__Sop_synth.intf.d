@@ -1,0 +1,1 @@
+lib/twolevel/sop_synth.mli: Accals_network Network Qm

@@ -1,0 +1,1 @@
+lib/twolevel/truth.ml: Accals_network Array Gate Hashtbl Network

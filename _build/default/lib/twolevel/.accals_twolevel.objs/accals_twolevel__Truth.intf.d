@@ -1,0 +1,1 @@
+lib/twolevel/truth.mli: Accals_network

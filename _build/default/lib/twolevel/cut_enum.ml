@@ -1,0 +1,115 @@
+open Accals_network
+
+let merge_leaves ~k a b =
+  (* Union of two sorted arrays, or None if the union exceeds k. *)
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (min (la + lb) (k + 1)) 0 in
+  let rec go i j n =
+    if n > k then None
+    else if i = la && j = lb then Some (Array.sub out 0 n)
+    else if j = lb || (i < la && a.(i) < b.(j)) then begin
+      out.(n) <- a.(i);
+      go (i + 1) j (n + 1)
+    end
+    else if i = la || b.(j) < a.(i) then begin
+      out.(n) <- b.(j);
+      go i (j + 1) (n + 1)
+    end
+    else begin
+      out.(n) <- a.(i);
+      go (i + 1) (j + 1) (n + 1)
+    end
+  in
+  if la > k || lb > k then None else go 0 0 0
+
+let subsumes a b =
+  (* a subsumes b when a ⊆ b (a is the better cut). Arrays sorted. *)
+  let la = Array.length a and lb = Array.length b in
+  la <= lb
+  && begin
+    let rec go i j =
+      if i = la then true
+      else if j = lb then false
+      else if a.(i) = b.(j) then go (i + 1) (j + 1)
+      else if a.(i) > b.(j) then go i (j + 1)
+      else false
+    in
+    go 0 0
+  end
+
+let enumerate net ~order ~k ~per_node =
+  let n = Network.num_nodes net in
+  let cuts = Array.make n [] in
+  (* Internal sets include the trivial cut so fanout merging works; the
+     reported lists drop it. *)
+  let internal = Array.make n [] in
+  Array.iter
+    (fun id ->
+      let trivial = [| id |] in
+      let merged =
+        if Network.is_input net id then []
+        else begin
+          let fis = Network.fanins net id in
+          if Array.length fis = 0 then []
+          else begin
+            let acc = ref (List.map (fun c -> c) internal.(fis.(0))) in
+            for i = 1 to Array.length fis - 1 do
+              let next = ref [] in
+              List.iter
+                (fun a ->
+                  List.iter
+                    (fun b ->
+                      match merge_leaves ~k a b with
+                      | Some u -> next := u :: !next
+                      | None -> ())
+                    internal.(fis.(i)))
+                !acc;
+              acc := !next
+            done;
+            !acc
+          end
+        end
+      in
+      (* Dedup, remove subsumed, keep the smallest. *)
+      let unique = List.sort_uniq compare merged in
+      let filtered =
+        List.filter
+          (fun c ->
+            not
+              (List.exists (fun c' -> c' <> c && subsumes c' c) unique))
+          unique
+      in
+      let sorted =
+        List.sort
+          (fun a b -> compare (Array.length a) (Array.length b))
+          filtered
+      in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      let kept = take per_node sorted in
+      cuts.(id) <- kept;
+      internal.(id) <- trivial :: kept)
+    order;
+  cuts
+
+let is_cut net ~root ~leaves =
+  let leaf = Hashtbl.create 8 in
+  Array.iter (fun id -> Hashtbl.replace leaf id ()) leaves;
+  let seen = Hashtbl.create 32 in
+  let ok = ref true in
+  let rec walk id =
+    if (not (Hashtbl.mem leaf id)) && not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      match Network.op net id with
+      | Gate.Input -> ok := false
+      | Gate.Const _ -> ()
+      | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor
+      | Gate.Xor | Gate.Xnor | Gate.Mux ->
+        Array.iter walk (Network.fanins net id)
+    end
+  in
+  walk root;
+  !ok

@@ -1,0 +1,17 @@
+(** K-feasible cut enumeration (bottom-up merge, as in FPGA mapping).
+
+    A cut of node [n] is a set of nodes ("leaves") such that every path from
+    a primary input to [n] passes through a leaf; the node's local function
+    in terms of its leaves is what SOP rewriting minimizes. *)
+
+open Accals_network
+
+val enumerate :
+  Network.t -> order:int array -> k:int -> per_node:int -> int array list array
+(** [enumerate net ~order ~k ~per_node] returns, per node id, the list of
+    cuts (sorted leaf arrays, each of size <= k, smallest cuts first,
+    at most [per_node] kept, the trivial cut {n} excluded). [order] must be
+    a topological order covering the nodes of interest. *)
+
+val is_cut : Network.t -> root:int -> leaves:int array -> bool
+(** Check the cut property by walking the cone (test helper). *)

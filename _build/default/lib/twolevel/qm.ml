@@ -1,0 +1,131 @@
+type cube = { mask : int; value : int }
+
+let cube_covers c m = m land c.mask = c.value
+
+let cube_literals c =
+  let v = ref c.mask and count = ref 0 in
+  while !v <> 0 do
+    v := !v land (!v - 1);
+    incr count
+  done;
+  !count
+
+let cubes_truth ~vars cubes =
+  let t = ref 0 in
+  for m = 0 to Truth.rows vars - 1 do
+    if List.exists (fun c -> cube_covers c m) cubes then t := Truth.set !t m true
+  done;
+  !t
+
+(* Prime implicant generation: start from the minterms of on ∪ dc and merge
+   cubes differing in exactly one care bit until fixpoint; cubes never
+   merged at any stage are prime. *)
+let primes ~vars ~care =
+  let full_mask = (1 lsl vars) - 1 in
+  let current = Hashtbl.create 64 in
+  for m = 0 to Truth.rows vars - 1 do
+    if Truth.get care m then
+      Hashtbl.replace current { mask = full_mask; value = m } false
+  done;
+  let result = ref [] in
+  let continue_ = ref (Hashtbl.length current > 0) in
+  let generation = ref current in
+  while !continue_ do
+    let next = Hashtbl.create 64 in
+    let cubes = Hashtbl.fold (fun c _ acc -> c :: acc) !generation [] in
+    let merged = Hashtbl.create 64 in
+    List.iteri
+      (fun i a ->
+        List.iteri
+          (fun j b ->
+            if j > i && a.mask = b.mask then begin
+              let diff = a.value lxor b.value in
+              (* exactly one differing care bit *)
+              if diff <> 0 && diff land (diff - 1) = 0 then begin
+                let c = { mask = a.mask land lnot diff; value = a.value land lnot diff } in
+                Hashtbl.replace next c false;
+                Hashtbl.replace merged a ();
+                Hashtbl.replace merged b ()
+              end
+            end)
+          cubes)
+      cubes;
+    List.iter
+      (fun c -> if not (Hashtbl.mem merged c) then result := c :: !result)
+      cubes;
+    generation := next;
+    continue_ := Hashtbl.length next > 0
+  done;
+  List.sort_uniq compare !result
+
+let minimize ~vars ~on ?(dc = 0) () =
+  let on = on land Truth.mask vars in
+  let dc = dc land Truth.mask vars land lnot on in
+  if on = 0 then []
+  else begin
+    let care = on lor dc in
+    let prime_list = primes ~vars ~care in
+    (* Cover the ON minterms (DC minterms need not be covered). *)
+    let required = ref [] in
+    for m = Truth.rows vars - 1 downto 0 do
+      if Truth.get on m then required := m :: !required
+    done;
+    let chosen = ref [] in
+    let uncovered = ref !required in
+    let covers_of c = List.filter (cube_covers c) !required in
+    (* Essential primes first. *)
+    List.iter
+      (fun m ->
+        match List.filter (fun c -> cube_covers c m) prime_list with
+        | [ only ] when not (List.mem only !chosen) -> chosen := only :: !chosen
+        | _ -> ())
+      !required;
+    let update_uncovered () =
+      uncovered :=
+        List.filter
+          (fun m -> not (List.exists (fun c -> cube_covers c m) !chosen))
+          !required
+    in
+    update_uncovered ();
+    (* Greedy: pick the prime covering the most uncovered minterms; ties by
+       fewer literals. *)
+    while !uncovered <> [] do
+      let best = ref None in
+      List.iter
+        (fun c ->
+          if not (List.mem c !chosen) then begin
+            let gain =
+              List.length (List.filter (fun m -> List.mem m !uncovered) (covers_of c))
+            in
+            if gain > 0 then
+              match !best with
+              | Some (g, bc)
+                when g > gain || (g = gain && cube_literals bc <= cube_literals c) ->
+                ()
+              | Some _ | None -> best := Some (gain, c)
+          end)
+        prime_list;
+      match !best with
+      | None -> uncovered := [] (* unreachable: primes cover all of on *)
+      | Some (_, c) ->
+        chosen := c :: !chosen;
+        update_uncovered ()
+    done;
+    (* Drop redundant chosen cubes (an essential pass can overshoot). *)
+    let rec prune kept = function
+      | [] -> kept
+      | c :: rest ->
+        let others = kept @ rest in
+        let still_covered =
+          List.for_all
+            (fun m ->
+              (not (cube_covers c m))
+              || List.exists (fun c' -> cube_covers c' m) others)
+            !required
+        in
+        if still_covered then prune kept rest else prune (c :: kept) rest
+    in
+    prune [] !chosen
+  end
+
+let literal_cost cubes = List.fold_left (fun acc c -> acc + cube_literals c) 0 cubes

@@ -1,0 +1,75 @@
+open Accals_network
+
+(* Area of the MFFC a rewrite would free, with the cut leaves kept. *)
+let freed_area net ~mffc target leaves =
+  let in_mffc = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace in_mffc id ()) mffc;
+  let kept = Hashtbl.create 8 in
+  let rec keep id =
+    if id <> target && Hashtbl.mem in_mffc id && not (Hashtbl.mem kept id)
+    then begin
+      Hashtbl.replace kept id ();
+      Array.iter keep (Network.fanins net id)
+    end
+  in
+  Array.iter keep leaves;
+  Cost.area_of_nodes net
+    (List.filter (fun id -> not (Hashtbl.mem kept id)) mffc)
+
+(* Two phases so every analysis is computed on a frozen network: first
+   collect profitable rewrites, then apply a non-overlapping subset (MFFCs
+   pairwise disjoint, no leaf inside an applied MFFC). Exact SOP rewrites
+   preserve every node function, so the collected truths stay valid. *)
+let run ?(cut_size = 4) ?(cuts_per_node = 4) net =
+  let order = Structure.topo_order net in
+  let cuts = Cut_enum.enumerate net ~order ~k:cut_size ~per_node:cuts_per_node in
+  let live = Structure.live_set net in
+  let fanout_counts = Structure.fanout_counts net ~live in
+  let proposals = ref [] in
+  Array.iter
+    (fun target ->
+      if live.(target) && not (Network.is_input net target) then begin
+        let mffc = Structure.mffc net ~fanout_counts ~live target in
+        let best = ref None in
+        List.iter
+          (fun leaves ->
+            if Array.length leaves >= 2 && Array.length leaves <= Truth.max_vars
+            then
+              match Truth.of_cone net ~leaves ~root:target with
+              | exception Invalid_argument _ -> ()
+              | truth ->
+                let cubes = Qm.minimize ~vars:(Array.length leaves) ~on:truth () in
+                let gain =
+                  freed_area net ~mffc target leaves
+                  -. Sop_synth.estimated_area cubes
+                in
+                if gain > 0.0 then
+                  match !best with
+                  | Some (g, _, _) when g >= gain -> ()
+                  | Some _ | None -> best := Some (gain, leaves, cubes))
+          cuts.(target);
+        match !best with
+        | None -> ()
+        | Some (gain, leaves, cubes) ->
+          proposals := (gain, target, mffc, leaves, cubes) :: !proposals
+      end)
+    order;
+  let ordered =
+    List.sort (fun (g1, _, _, _, _) (g2, _, _, _, _) -> compare g2 g1) !proposals
+  in
+  let claimed = Array.make (Network.num_nodes net) false in
+  let rewritten = ref 0 in
+  List.iter
+    (fun (_, target, mffc, leaves, cubes) ->
+      let clash =
+        List.exists (fun id -> claimed.(id)) mffc
+        || Array.exists (fun id -> claimed.(id)) leaves
+      in
+      if not clash then begin
+        List.iter (fun id -> claimed.(id) <- true) mffc;
+        let root = Sop_synth.build net ~leaves cubes in
+        Network.replace ~check_cycle:false net target Gate.Buf [| root |];
+        incr rewritten
+      end)
+    ordered;
+  !rewritten

@@ -1,0 +1,62 @@
+open Accals_network
+
+let negated_literals cubes =
+  (* Bitmask of variables used negated anywhere in the cover. *)
+  List.fold_left (fun acc c -> acc lor (c.Qm.mask land lnot c.Qm.value)) 0 cubes
+
+let estimated_area cubes =
+  match cubes with
+  | [] -> 0.0
+  | _ ->
+    let inverters =
+      let v = ref (negated_literals cubes) and count = ref 0 in
+      while !v <> 0 do
+        v := !v land (!v - 1);
+        incr count
+      done;
+      !count
+    in
+    let and_area =
+      List.fold_left
+        (fun acc c ->
+          let k = Qm.cube_literals c in
+          if k >= 2 then acc +. Cost.gate_area Gate.And k else acc)
+        0.0 cubes
+    in
+    let or_area =
+      let n = List.length cubes in
+      if n >= 2 then Cost.gate_area Gate.Or n else 0.0
+    in
+    (float_of_int inverters *. Cost.gate_area Gate.Not 1) +. and_area +. or_area
+
+let build net ~leaves cubes =
+  match cubes with
+  | [] -> Network.add_node net (Gate.Const false) [||]
+  | _ when List.exists (fun c -> c.Qm.mask = 0) cubes ->
+    Network.add_node net (Gate.Const true) [||]
+  | _ ->
+    let vars = Array.length leaves in
+    let inverted = Array.make vars (-1) in
+    let literal i positive =
+      if positive then leaves.(i)
+      else begin
+        if inverted.(i) < 0 then
+          inverted.(i) <- Network.add_node net Gate.Not [| leaves.(i) |];
+        inverted.(i)
+      end
+    in
+    let product c =
+      let lits = ref [] in
+      for i = vars - 1 downto 0 do
+        if c.Qm.mask lsr i land 1 = 1 then
+          lits := literal i (c.Qm.value lsr i land 1 = 1) :: !lits
+      done;
+      match !lits with
+      | [] -> assert false (* universal cube handled above *)
+      | [ x ] -> x
+      | xs -> Network.add_node net Gate.And (Array.of_list xs)
+    in
+    let products = List.map product cubes in
+    (match products with
+     | [ x ] -> x
+     | xs -> Network.add_node net Gate.Or (Array.of_list xs))

@@ -1,0 +1,11 @@
+(** Construct gate-level logic from an SOP cover. *)
+
+open Accals_network
+
+val estimated_area : Qm.cube list -> float
+(** Area of the gates {!build} would create (inverters shared per leaf). *)
+
+val build : Network.t -> leaves:int array -> Qm.cube list -> int
+(** Add the gates computing the SOP of [cubes] over [leaves] and return the
+    root node id. The empty cover gives a constant-0 node; a cover
+    containing the universal cube gives constant 1. *)

@@ -1,0 +1,1 @@
+test/test_aig.ml: Accals_aig Accals_bitvec Accals_circuits Accals_network Alcotest Array Cost Filename List Network Sys Test_util

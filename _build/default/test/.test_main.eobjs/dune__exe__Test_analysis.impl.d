@@ -1,0 +1,1 @@
+test/test_analysis.ml: Accals Accals_analysis Accals_circuits Accals_metrics Accals_network Alcotest Array Gate List Network

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Accals Accals_baselines Accals_circuits Accals_esterr Accals_metrics Accals_network Alcotest Lazy List Network Sim

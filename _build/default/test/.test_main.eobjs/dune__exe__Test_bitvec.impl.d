@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Accals_bitvec Alcotest Array List QCheck2 Test_util

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Accals_bitvec Accals_circuits Accals_network Adders Alcotest Alu Array Bench_suite Cost Divider Ecc List Multipliers Network Printf Random_logic Test_util Unary_fns

@@ -1,0 +1,1 @@
+test/test_core.ml: Accals Accals_analysis Accals_circuits Accals_esterr Accals_lac Accals_metrics Accals_mis Accals_network Alcotest Array Gate Lac Lazy List Network QCheck2 Round_ctx Sim Test_util

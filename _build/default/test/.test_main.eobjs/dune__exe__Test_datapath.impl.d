@@ -1,0 +1,1 @@
+test/test_datapath.ml: Accals Accals_bitvec Accals_circuits Accals_metrics Accals_network Adders Alcotest Array Cost Datapath List Multipliers Network Printf Test_util

@@ -1,0 +1,1 @@
+test/test_dsp.ml: Accals Accals_bitvec Accals_circuits Accals_metrics Accals_network Alcotest Dsp Lazy List Network Printf Test_util

@@ -1,0 +1,1 @@
+test/test_esterr.ml: Accals_bitvec Accals_circuits Accals_esterr Accals_lac Accals_metrics Accals_network Alcotest Array Candidate_gen Float Gate Lac List Network Round_ctx Sim

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Accals Accals_bitvec Accals_circuits Accals_metrics Accals_network Accals_twolevel Alcotest Array Cleanup Cost Gate Network Random_logic Structure Test_util

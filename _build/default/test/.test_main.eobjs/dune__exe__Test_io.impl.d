@@ -1,0 +1,1 @@
+test/test_io.ml: Accals_bitvec Accals_circuits Accals_io Accals_network Adders Alcotest Array Filename Gate List Network Random_logic String Sys Test_util

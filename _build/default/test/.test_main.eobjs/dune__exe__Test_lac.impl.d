@@ -1,0 +1,1 @@
+test/test_lac.ml: Accals Accals_bitvec Accals_circuits Accals_esterr Accals_lac Accals_network Alcotest Array Candidate_gen Cleanup Cost Gate Lac Lazy List Network Round_ctx Sim String

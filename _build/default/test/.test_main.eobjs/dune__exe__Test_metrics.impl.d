@@ -1,0 +1,1 @@
+test/test_metrics.ml: Accals_bitvec Accals_metrics Alcotest Array List QCheck2 Test_util

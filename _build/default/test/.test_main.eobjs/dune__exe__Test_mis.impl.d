@@ -1,0 +1,1 @@
+test/test_mis.ml: Accals_bitvec Accals_mis Alcotest List Printf

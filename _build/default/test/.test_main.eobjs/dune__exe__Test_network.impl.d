@@ -1,0 +1,1 @@
+test/test_network.ml: Accals_bitvec Accals_circuits Accals_network Alcotest Array Cleanup Cost Gate List Network QCheck2 Random_logic Sim Structure Test_util

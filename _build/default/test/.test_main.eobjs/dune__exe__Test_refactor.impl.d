@@ -1,0 +1,1 @@
+test/test_refactor.ml: Accals Accals_bitvec Accals_circuits Accals_metrics Accals_network Accals_twolevel Alcotest Array Cleanup Cost Filename Gate List Network String Sys Test_util

@@ -1,0 +1,1 @@
+test/test_twolevel.ml: Accals_bitvec Accals_circuits Accals_lac Accals_network Accals_twolevel Alcotest Array Cost Gate List Network Printf QCheck2 Sim Structure Test_util

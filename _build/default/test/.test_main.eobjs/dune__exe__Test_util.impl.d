@@ -1,0 +1,1 @@
+test/test_util.ml: Accals_network Array List Network Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,196 @@
+open Accals_network
+module Aig = Accals_aig.Aig
+module Aiger = Accals_aig.Aiger
+module Prng = Accals_bitvec.Prng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_constants_and_folding () =
+  let t = Aig.create () in
+  let a = Aig.add_input t "a" in
+  check_int "a AND 0" Aig.false_ (Aig.land_ t a Aig.false_);
+  check_int "a AND 1" a (Aig.land_ t a Aig.true_);
+  check_int "a AND a" a (Aig.land_ t a a);
+  check_int "a AND ~a" Aig.false_ (Aig.land_ t a (Aig.lnot_ a));
+  check_int "double negation" a (Aig.lnot_ (Aig.lnot_ a))
+
+let test_strashing () =
+  let t = Aig.create () in
+  let a = Aig.add_input t "a" in
+  let b = Aig.add_input t "b" in
+  let x = Aig.land_ t a b in
+  let y = Aig.land_ t b a in
+  check_int "commutative hash" x y;
+  check_int "one AND built" 1 (Aig.total_ands t)
+
+let test_eval () =
+  let t = Aig.create () in
+  let a = Aig.add_input t "a" in
+  let b = Aig.add_input t "b" in
+  let f = Aig.lxor_ t a b in
+  let g = Aig.lnot_ (Aig.lor_ t a b) in
+  Aig.set_outputs t [| ("f", f); ("g", g) |];
+  let cases =
+    [
+      ([| false; false |], [| false; true |]);
+      ([| true; false |], [| true; false |]);
+      ([| true; true |], [| false; false |]);
+    ]
+  in
+  List.iter
+    (fun (ins, outs) ->
+      Alcotest.(check (array bool)) "eval" outs (Aig.eval t ins))
+    cases
+
+let test_mux () =
+  let t = Aig.create () in
+  let s = Aig.add_input t "s" in
+  let a = Aig.add_input t "a" in
+  let b = Aig.add_input t "b" in
+  Aig.set_outputs t [| ("m", Aig.mux t ~sel:s a b) |];
+  for v = 0 to 7 do
+    let ins = Test_util.bits_of_int v 3 in
+    let expected = if ins.(0) then ins.(1) else ins.(2) in
+    check "mux" expected (Aig.eval t ins).(0)
+  done
+
+let test_node_count_reachable_only () =
+  let t = Aig.create () in
+  let a = Aig.add_input t "a" in
+  let b = Aig.add_input t "b" in
+  let keep = Aig.land_ t a b in
+  let _dead = Aig.land_ t a (Aig.lnot_ b) in
+  Aig.set_outputs t [| ("f", keep) |];
+  check_int "total" 2 (Aig.total_ands t);
+  check_int "reachable" 1 (Aig.node_count t)
+
+let test_depth () =
+  let t = Aig.create () in
+  let a = Aig.add_input t "a" in
+  let b = Aig.add_input t "b" in
+  let c = Aig.add_input t "c" in
+  let ab = Aig.land_ t a b in
+  let abc = Aig.land_ t ab c in
+  Aig.set_outputs t [| ("f", abc) |];
+  check_int "depth" 2 (Aig.depth t)
+
+(* Conversion roundtrips. *)
+
+let roundtrip_net net =
+  let aig = Aig.of_network net in
+  let back = Aig.to_network aig in
+  let k = Array.length (Network.inputs net) in
+  let rng = Prng.create 17 in
+  let trials = if k <= 10 then 1 lsl k else 150 in
+  let ok = ref true in
+  for i = 0 to trials - 1 do
+    let ins =
+      if k <= 10 then Test_util.bits_of_int i k
+      else Array.init k (fun _ -> Prng.bool rng)
+    in
+    let direct = Network.eval net ins in
+    if direct <> Aig.eval aig ins then ok := false;
+    if direct <> Network.eval back ins then ok := false
+  done;
+  !ok
+
+let test_roundtrip_adder () =
+  check "adder roundtrip" true (roundtrip_net (Accals_circuits.Adders.ripple_carry ~width:4))
+
+let test_roundtrip_random () =
+  for seed = 1 to 10 do
+    let net =
+      Accals_circuits.Random_logic.make ~name:"r" ~inputs:7 ~outputs:4 ~gates:60 ~seed
+    in
+    check "random roundtrip" true (roundtrip_net net)
+  done
+
+let test_node_count_close_to_estimate () =
+  (* The real AIG size should be within 2x of Cost.aig_node_count (the
+     decomposition estimate); strashing only shrinks it. *)
+  let net = Accals_circuits.Bench_suite.load "mtp8" in
+  let aig = Aig.of_network net in
+  let estimate = Cost.aig_node_count net in
+  let real = Aig.node_count aig in
+  check "within range" true (real <= estimate && real * 2 >= estimate)
+
+(* AIGER *)
+
+let test_aiger_roundtrip () =
+  let net = Accals_circuits.Adders.ripple_carry ~width:4 in
+  let aig = Aig.of_network net in
+  let text = Aiger.to_string aig in
+  let parsed = Aiger.parse_string text in
+  check_int "inputs survive" (Aig.input_count aig) (Aig.input_count parsed);
+  check_int "outputs survive" (Aig.output_count aig) (Aig.output_count parsed);
+  let k = Aig.input_count aig in
+  for v = 0 to (1 lsl k) - 1 do
+    let ins = Test_util.bits_of_int v k in
+    Alcotest.(check (array bool)) "same function" (Aig.eval aig ins) (Aig.eval parsed ins)
+  done
+
+let test_aiger_preserves_names () =
+  let t = Aig.create () in
+  let a = Aig.add_input t "alpha" in
+  let b = Aig.add_input t "beta" in
+  Aig.set_outputs t [| ("gamma", Aig.land_ t a b) |];
+  let parsed = Aiger.parse_string (Aiger.to_string t) in
+  Alcotest.(check string) "input name" "alpha" (fst (Aig.inputs parsed).(0));
+  Alcotest.(check string) "output name" "gamma" (fst (Aig.outputs parsed).(0))
+
+let test_aiger_complemented_output () =
+  let t = Aig.create () in
+  let a = Aig.add_input t "a" in
+  Aig.set_outputs t [| ("na", Aig.lnot_ a) |];
+  let parsed = Aiger.parse_string (Aiger.to_string t) in
+  check "not a" true (Aig.eval parsed [| false |]).(0);
+  check "not a (2)" false (Aig.eval parsed [| true |]).(0)
+
+let test_aiger_parse_errors () =
+  List.iter
+    (fun text ->
+      check "rejected" true
+        (try ignore (Aiger.parse_string text); false with Aiger.Parse_error _ -> true))
+    [
+      "";
+      "aag x y z";
+      "aag 1 1 1 0 0\n2\n";
+      (* latches *)
+      "aag 1 1 0 1 0\n3\n2\n";
+      (* complemented input definition *)
+      "aig 1 1 0 1 0\n2\n2\n";
+      (* binary format *)
+    ]
+
+let test_aiger_file_io () =
+  let aig = Aig.of_network (Accals_circuits.Adders.ripple_carry ~width:3) in
+  let path = Filename.temp_file "accals" ".aag" in
+  Aiger.write_file aig path;
+  let parsed = Aiger.parse_file path in
+  Sys.remove path;
+  check_int "inputs" (Aig.input_count aig) (Aig.input_count parsed)
+
+let suite =
+  [
+    ( "aig",
+      [
+        Alcotest.test_case "constant folding" `Quick test_constants_and_folding;
+        Alcotest.test_case "structural hashing" `Quick test_strashing;
+        Alcotest.test_case "eval" `Quick test_eval;
+        Alcotest.test_case "mux" `Quick test_mux;
+        Alcotest.test_case "node count reachable" `Quick test_node_count_reachable_only;
+        Alcotest.test_case "depth" `Quick test_depth;
+        Alcotest.test_case "adder roundtrip" `Quick test_roundtrip_adder;
+        Alcotest.test_case "random roundtrips" `Quick test_roundtrip_random;
+        Alcotest.test_case "count near estimate" `Quick test_node_count_close_to_estimate;
+      ] );
+    ( "aiger",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_aiger_roundtrip;
+        Alcotest.test_case "names preserved" `Quick test_aiger_preserves_names;
+        Alcotest.test_case "complemented output" `Quick test_aiger_complemented_output;
+        Alcotest.test_case "malformed rejected" `Quick test_aiger_parse_errors;
+        Alcotest.test_case "file io" `Quick test_aiger_file_io;
+      ] );
+  ]

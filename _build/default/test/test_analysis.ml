@@ -1,0 +1,153 @@
+open Accals_network
+module Exhaustive = Accals_analysis.Exhaustive
+module Confidence = Accals_analysis.Confidence
+module Metric = Accals_metrics.Metric
+module Engine = Accals.Engine
+module Pareto = Accals.Pareto
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_identical_networks () =
+  let net = Accals_circuits.Adders.ripple_carry ~width:4 in
+  let r = Exhaustive.compare_networks ~golden:net ~approx:(Network.copy net) in
+  checkf "er" 0.0 r.Exhaustive.error_rate;
+  checkf "med" 0.0 r.Exhaustive.mean_error_distance;
+  checkf "wce" 0.0 r.Exhaustive.worst_case_error;
+  Alcotest.(check int) "vectors" (1 lsl 9) r.Exhaustive.vectors
+
+let test_known_error () =
+  (* Flip the LSB output: every vector wrong, distance always 1. *)
+  let golden = Accals_circuits.Adders.ripple_carry ~width:3 in
+  let approx = Network.copy golden in
+  let s0 = (Network.outputs approx).(0) in
+  let replacement = Network.add_node approx Gate.Not [| s0 |] in
+  let outs =
+    Array.mapi
+      (fun i id -> ((Network.output_names approx).(i), if i = 0 then replacement else id))
+      (Network.outputs approx)
+  in
+  Network.set_outputs approx outs;
+  let r = Exhaustive.compare_networks ~golden ~approx in
+  checkf "er all wrong" 1.0 r.Exhaustive.error_rate;
+  checkf "med is 1" 1.0 r.Exhaustive.mean_error_distance;
+  checkf "wce is 1" 1.0 r.Exhaustive.worst_case_error
+
+let test_chunking_crosses_boundaries () =
+  (* 15 inputs forces multiple chunks (chunk = 2^13). *)
+  let golden = Accals_circuits.Adders.ripple_carry ~width:7 in
+  let approx = Network.copy golden in
+  let r = Exhaustive.compare_networks ~golden ~approx in
+  Alcotest.(check int) "vectors" (1 lsl 15) r.Exhaustive.vectors;
+  checkf "still equal" 0.0 r.Exhaustive.error_rate
+
+let test_exhaustive_matches_sampled_estimate () =
+  (* The engine's sampled error and the exhaustive error agree when the
+     pattern set itself is exhaustive. *)
+  let net = Accals_circuits.Multipliers.array_multiplier ~width:4 in
+  let report = Engine.run net ~metric:Metric.Error_rate ~error_bound:0.03 in
+  let r =
+    Exhaustive.compare_networks ~golden:net ~approx:report.Engine.approximate
+  in
+  checkf "sampled = exhaustive (8 PIs)" report.Engine.error r.Exhaustive.error_rate
+
+let test_interface_mismatch () =
+  let a = Accals_circuits.Adders.ripple_carry ~width:3 in
+  let b = Accals_circuits.Adders.ripple_carry ~width:4 in
+  check "rejected" true
+    (try ignore (Exhaustive.compare_networks ~golden:a ~approx:b); false
+     with Invalid_argument _ -> true)
+
+let test_value_dispatch () =
+  let net = Accals_circuits.Adders.ripple_carry ~width:3 in
+  let r = Exhaustive.compare_networks ~golden:net ~approx:(Network.copy net) in
+  List.iter
+    (fun kind -> checkf (Metric.kind_to_string kind) 0.0 (Exhaustive.value r kind))
+    [ Metric.Error_rate; Metric.Med; Metric.Nmed; Metric.Mred; Metric.Wce ]
+
+(* Confidence *)
+
+let test_wilson_basic () =
+  let low, high = Confidence.wilson_interval ~errors:0 ~samples:1000 ~confidence:0.95 in
+  checkf "zero errors low" 0.0 low;
+  check "zero errors high small" true (high < 0.01);
+  let low, high = Confidence.wilson_interval ~errors:500 ~samples:1000 ~confidence:0.95 in
+  check "centered" true (low < 0.5 && 0.5 < high);
+  check "tight" true (high -. low < 0.07)
+
+let test_wilson_monotone_in_samples () =
+  let _, h1 = Confidence.wilson_interval ~errors:10 ~samples:100 ~confidence:0.95 in
+  let _, h2 = Confidence.wilson_interval ~errors:100 ~samples:1000 ~confidence:0.95 in
+  check "more samples, tighter" true (h2 < h1)
+
+let test_wilson_bounds () =
+  List.iter
+    (fun (errors, samples) ->
+      let low, high =
+        Confidence.wilson_interval ~errors ~samples ~confidence:0.99
+      in
+      check "ordered" true (0.0 <= low && low <= high && high <= 1.0))
+    [ (0, 10); (10, 10); (3, 17); (1, 2048) ]
+
+let test_samples_for_resolution () =
+  let n = Confidence.samples_for_resolution ~error_rate:0.001 ~confidence:0.95 in
+  (* Around 3/e ~ 3000. *)
+  check "ballpark" true (n > 2000 && n < 4000);
+  (* Sanity: detecting 0.03% ER needs ~10k samples - the quantization note
+     in EXPERIMENTS.md. *)
+  let n2 = Confidence.samples_for_resolution ~error_rate:0.0003 ~confidence:0.95 in
+  check "small rates need many samples" true (n2 > 9000)
+
+(* Pareto *)
+
+let test_pareto_sweep_monotone () =
+  let net = Accals_circuits.Bench_suite.load "mtp8" in
+  let results =
+    Pareto.sweep net ~metric:Metric.Error_rate ~bounds:[ 0.001; 0.01; 0.05 ]
+  in
+  Alcotest.(check int) "three points" 3 (List.length results);
+  List.iter
+    (fun (bound, r) -> check "bound respected" true (r.Engine.error <= bound))
+    results;
+  let areas = List.map (fun (_, r) -> r.Engine.area_ratio) results in
+  match areas with
+  | [ a1; _; a3 ] -> check "looser bound helps" true (a3 <= a1 +. 1e-9)
+  | _ -> Alcotest.fail "expected three"
+
+let test_frontier () =
+  let pts = [ (0.1, 0.5); (0.05, 0.9); (0.2, 0.4); (0.15, 0.6); (0.0, 1.0) ] in
+  let f = Pareto.frontier pts in
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "non-dominated, sorted"
+    [ (0.0, 1.0); (0.05, 0.9); (0.1, 0.5); (0.2, 0.4) ]
+    f
+
+let test_frontier_empty () =
+  Alcotest.(check (list (pair (float 0.0) (float 0.0)))) "empty" [] (Pareto.frontier [])
+
+let suite =
+  [
+    ( "exhaustive",
+      [
+        Alcotest.test_case "identical networks" `Quick test_identical_networks;
+        Alcotest.test_case "known error" `Quick test_known_error;
+        Alcotest.test_case "chunk boundaries" `Quick test_chunking_crosses_boundaries;
+        Alcotest.test_case "matches sampled on 8 PIs" `Quick
+          test_exhaustive_matches_sampled_estimate;
+        Alcotest.test_case "interface mismatch" `Quick test_interface_mismatch;
+        Alcotest.test_case "value dispatch" `Quick test_value_dispatch;
+      ] );
+    ( "confidence",
+      [
+        Alcotest.test_case "wilson basics" `Quick test_wilson_basic;
+        Alcotest.test_case "monotone in samples" `Quick test_wilson_monotone_in_samples;
+        Alcotest.test_case "interval bounds" `Quick test_wilson_bounds;
+        Alcotest.test_case "samples for resolution" `Quick test_samples_for_resolution;
+      ] );
+    ( "pareto",
+      [
+        Alcotest.test_case "sweep monotone" `Quick test_pareto_sweep_monotone;
+        Alcotest.test_case "frontier" `Quick test_frontier;
+        Alcotest.test_case "frontier empty" `Quick test_frontier_empty;
+      ] );
+  ]

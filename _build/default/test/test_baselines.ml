@@ -1,0 +1,102 @@
+open Accals_network
+module Engine = Accals.Engine
+module Trace = Accals.Trace
+module Metric = Accals_metrics.Metric
+module Seals = Accals_baselines.Seals
+module Amosa = Accals_baselines.Amosa
+module Evaluate = Accals_esterr.Evaluate
+
+let check = Alcotest.(check bool)
+
+let fixture = lazy (Accals_circuits.Bench_suite.load "alu4")
+
+let test_seals_respects_bound () =
+  let net = Lazy.force fixture in
+  let r = Seals.run net ~metric:Metric.Error_rate ~error_bound:0.03 in
+  check "bound" true (r.Engine.error <= 0.03);
+  check "area reduced or equal" true (r.Engine.area_ratio <= 1.0 +. 1e-9);
+  Network.validate r.Engine.approximate
+
+let test_seals_single_rounds () =
+  let net = Lazy.force fixture in
+  let r = Seals.run net ~metric:Metric.Error_rate ~error_bound:0.03 in
+  check "all rounds single" true
+    (List.for_all
+       (fun round -> round.Trace.mode = Trace.Single && round.Trace.applied = 1)
+       r.Engine.rounds)
+
+let test_seals_deterministic () =
+  let net = Lazy.force fixture in
+  let a = Seals.run net ~metric:Metric.Error_rate ~error_bound:0.02 in
+  let b = Seals.run net ~metric:Metric.Error_rate ~error_bound:0.02 in
+  Alcotest.(check (float 0.0)) "same area" a.Engine.area_ratio b.Engine.area_ratio
+
+let test_seals_verified_independently () =
+  let net = Lazy.force fixture in
+  let config = Accals.Config.for_network net in
+  let patterns =
+    Sim.for_network ~seed:config.Accals.Config.seed
+      ~count:config.Accals.Config.samples
+      ~exhaustive_limit:config.Accals.Config.exhaustive_limit net
+  in
+  let r = Seals.run ~config ~patterns net ~metric:Metric.Nmed ~error_bound:0.002 in
+  let golden = Evaluate.output_signatures net patterns in
+  let e = Evaluate.actual_error r.Engine.approximate patterns ~golden Metric.Nmed in
+  Alcotest.(check (float 1e-12)) "error matches" r.Engine.error e
+
+let test_accals_not_slower_than_seals_rounds () =
+  (* The whole point: AccALS needs no more rounds than SEALS. *)
+  let net = Accals_circuits.Bench_suite.load "c880" in
+  let acc = Engine.run net ~metric:Metric.Error_rate ~error_bound:0.03 in
+  let seals = Seals.run net ~metric:Metric.Error_rate ~error_bound:0.03 in
+  check "fewer or equal rounds" true
+    (List.length acc.Engine.rounds <= List.length seals.Engine.rounds)
+
+let test_amosa_respects_bound () =
+  let net = Lazy.force fixture in
+  let r = Amosa.run net ~metric:Metric.Error_rate ~error_bound:0.03 in
+  check "bound" true (r.Amosa.report.Engine.error <= 0.03);
+  Network.validate r.Amosa.report.Engine.approximate
+
+let test_amosa_archive_pareto () =
+  let net = Lazy.force fixture in
+  let r = Amosa.run net ~metric:Metric.Error_rate ~error_bound:0.05 in
+  let archive = r.Amosa.archive in
+  check "nonempty archive" true (archive <> []);
+  (* No point dominates another. *)
+  let dominates (e1, a1) (e2, a2) =
+    e1 <= e2 && a1 <= a2 && (e1 < e2 || a1 < a2)
+  in
+  let rec pairwise = function
+    | [] -> true
+    | p :: rest ->
+      List.for_all (fun q -> (not (dominates p q)) && not (dominates q p)) rest
+      && pairwise rest
+  in
+  check "pareto front" true (pairwise archive)
+
+let test_amosa_deterministic () =
+  let net = Lazy.force fixture in
+  let a = Amosa.run net ~metric:Metric.Error_rate ~error_bound:0.02 in
+  let b = Amosa.run net ~metric:Metric.Error_rate ~error_bound:0.02 in
+  Alcotest.(check (float 0.0)) "same area"
+    a.Amosa.report.Engine.area_ratio b.Amosa.report.Engine.area_ratio
+
+let suite =
+  [
+    ( "seals",
+      [
+        Alcotest.test_case "respects bound" `Quick test_seals_respects_bound;
+        Alcotest.test_case "single-LAC rounds" `Quick test_seals_single_rounds;
+        Alcotest.test_case "deterministic" `Quick test_seals_deterministic;
+        Alcotest.test_case "independently verified" `Quick test_seals_verified_independently;
+        Alcotest.test_case "AccALS rounds <= SEALS rounds" `Quick
+          test_accals_not_slower_than_seals_rounds;
+      ] );
+    ( "amosa",
+      [
+        Alcotest.test_case "respects bound" `Quick test_amosa_respects_bound;
+        Alcotest.test_case "archive is a pareto front" `Quick test_amosa_archive_pareto;
+        Alcotest.test_case "deterministic" `Quick test_amosa_deterministic;
+      ] );
+  ]

@@ -1,0 +1,341 @@
+open Accals_network
+open Accals_lac
+module Config = Accals.Config
+module Engine = Accals.Engine
+module Trace = Accals.Trace
+module Top_set = Accals.Top_set
+module Influence = Accals.Influence
+module Independent_select = Accals.Independent_select
+module Metric = Accals_metrics.Metric
+module Evaluate = Accals_esterr.Evaluate
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Config --- *)
+
+let test_config_buckets () =
+  let c1 = Config.for_size 100 in
+  check_int "small r_ref" 100 c1.Config.r_ref;
+  check_int "small r_sel" 20 c1.Config.r_sel;
+  let c2 = Config.for_size 600 in
+  check_int "mid r_ref" 200 c2.Config.r_ref;
+  check_int "mid r_sel" 40 c2.Config.r_sel;
+  let c3 = Config.for_size 5000 in
+  check_int "large r_ref" 400 c3.Config.r_ref;
+  check_int "large r_sel" 80 c3.Config.r_sel
+
+let test_config_paper_params () =
+  let c = Config.default in
+  Alcotest.(check (float 0.0)) "t_b" 0.5 c.Config.t_b;
+  Alcotest.(check (float 0.0)) "lambda" 0.9 c.Config.lambda;
+  Alcotest.(check (float 0.0)) "l_e" 0.9 c.Config.l_e;
+  Alcotest.(check (float 0.0)) "l_d" 0.3 c.Config.l_d
+
+(* --- Top_set (Eq. 2) --- *)
+
+let mk_lac target delta =
+  Lac.with_delta (Lac.make ~target (Lac.Wire 0) ~area_gain:1.0) delta
+
+let test_r_top_formula () =
+  (* e = 0: full max(r_ref, r_min). *)
+  check_int "fresh" 10
+    (Top_set.r_top_value ~r_ref:10 ~r_min:1 ~e:0.0 ~e_b:0.05 ~total:100);
+  (* halfway to the bound: half. *)
+  check_int "halfway" 5
+    (Top_set.r_top_value ~r_ref:10 ~r_min:1 ~e:0.025 ~e_b:0.05 ~total:100);
+  (* r_min dominates r_ref. *)
+  check_int "r_min dominates" 50
+    (Top_set.r_top_value ~r_ref:10 ~r_min:50 ~e:0.0 ~e_b:0.05 ~total:100);
+  (* clamped below. *)
+  check_int "min 1" 1
+    (Top_set.r_top_value ~r_ref:10 ~r_min:1 ~e:0.0499 ~e_b:0.05 ~total:100);
+  (* clamped above. *)
+  check_int "max total" 7
+    (Top_set.r_top_value ~r_ref:10 ~r_min:50 ~e:0.0 ~e_b:0.05 ~total:7)
+
+let test_obtain_keeps_smallest () =
+  let lacs = List.mapi (fun i d -> mk_lac (i + 1) d) [ 0.0; 0.01; 0.02; 0.03 ] in
+  let kept = Top_set.obtain ~r_ref:2 ~e:0.0 ~e_b:1.0 lacs in
+  check_int "keeps r_ref" 2 (List.length kept);
+  check "keeps smallest" true
+    (List.for_all (fun l -> l.Lac.delta_error <= 0.01) kept)
+
+let test_obtain_r_min_expansion () =
+  (* Four LACs tie at the minimum: all are kept even with r_ref = 2. *)
+  let lacs = List.mapi (fun i d -> mk_lac (i + 1) d) [ 0.0; 0.0; 0.0; 0.0; 0.5 ] in
+  let kept = Top_set.obtain ~r_ref:2 ~e:0.0 ~e_b:1.0 lacs in
+  check_int "expands to r_min" 4 (List.length kept)
+
+(* --- Influence index --- *)
+
+let chain_net () =
+  (* a -> x1 -> x2 -> x3 -> out, plus a parallel cone. *)
+  let t = Network.create () in
+  let a = Network.add_input t "a" in
+  let b = Network.add_input t "b" in
+  let x1 = Network.add_node t Gate.Not [| a |] in
+  let x2 = Network.add_node t Gate.And [| x1; b |] in
+  let x3 = Network.add_node t Gate.Not [| x2 |] in
+  let y1 = Network.add_node t Gate.Not [| b |] in
+  let y2 = Network.add_node t Gate.Not [| y1 |] in
+  Network.set_outputs t [| ("o1", x3); ("o2", y2) |];
+  (t, x1, x2, x3, y1, y2)
+
+let test_influence_path_case () =
+  let t, x1, x2, x3, _, _ = chain_net () in
+  let ctx = Round_ctx.create t (Sim.exhaustive 2) in
+  (* adjacent: d=1 -> p=1 *)
+  Alcotest.(check (float 1e-9)) "adjacent" 1.0 (Influence.index ctx x1 x2);
+  (* distance 2 -> p=0.5 *)
+  Alcotest.(check (float 1e-9)) "distance 2" 0.5 (Influence.index ctx x1 x3)
+
+let test_influence_disjoint_cones () =
+  let t, x1, _, _, y1, _ = chain_net () in
+  let ctx = Round_ctx.create t (Sim.exhaustive 2) in
+  (* x-chain and y-chain share no TFO: index 0. *)
+  Alcotest.(check (float 1e-9)) "disjoint" 0.0 (Influence.index ctx x1 y1)
+
+let test_influence_graph_edges () =
+  let t, x1, x2, _, y1, _ = chain_net () in
+  let ctx = Round_ctx.create t (Sim.exhaustive 2) in
+  let g = Influence.build_graph ctx ~targets:[| x1; x2; y1 |] ~t_b:0.5 in
+  check "x1-x2 edge (p=1)" true (Accals_mis.Graph.connected g 0 1);
+  check "x1-y1 no edge" false (Accals_mis.Graph.connected g 0 2)
+
+(* --- Independent_select sizing rule --- *)
+
+let test_budget_prefix_non_positive () =
+  (* >= r_sel non-positive LACs: take all of them. *)
+  let lacs = List.mapi (fun i d -> mk_lac (i + 1) d) [ -0.01; 0.0; -0.002; 0.5 ] in
+  let chosen =
+    Independent_select.budget_prefix ~r_sel:2 ~lambda:0.9 ~e:0.0 ~e_b:0.05 lacs
+  in
+  check_int "all non-positive" 3 (List.length chosen);
+  check "only non-positive" true
+    (List.for_all (fun l -> l.Lac.delta_error <= 0.0) chosen)
+
+let test_budget_prefix_lambda () =
+  (* budget λ e_b = 0.045; prefix 0.01+0.02 fits, +0.03 does not. *)
+  let lacs = List.mapi (fun i d -> mk_lac (i + 1) d) [ 0.01; 0.02; 0.03 ] in
+  let chosen =
+    Independent_select.budget_prefix ~r_sel:10 ~lambda:0.9 ~e:0.0 ~e_b:0.05 lacs
+  in
+  check_int "prefix" 2 (List.length chosen)
+
+let test_budget_prefix_rsel_cap () =
+  let lacs = List.mapi (fun i _ -> mk_lac (i + 1) 0.0001) (List.init 30 (fun i -> i)) in
+  let chosen =
+    Independent_select.budget_prefix ~r_sel:5 ~lambda:0.9 ~e:0.0 ~e_b:0.05 lacs
+  in
+  check_int "capped at r_sel" 5 (List.length chosen)
+
+let test_budget_prefix_at_least_one () =
+  let lacs = [ mk_lac 1 10.0 ] in
+  let chosen =
+    Independent_select.budget_prefix ~r_sel:5 ~lambda:0.9 ~e:0.0 ~e_b:0.05 lacs
+  in
+  check_int "at least one" 1 (List.length chosen)
+
+let test_budget_prefix_empty () =
+  check_int "empty in, empty out" 0
+    (List.length
+       (Independent_select.budget_prefix ~r_sel:5 ~lambda:0.9 ~e:0.0 ~e_b:0.05 []))
+
+(* --- Trace --- *)
+
+let mk_round ?(chose = None) ?(mode = Trace.Multi) ?(e_est = 0.0) ?(e_after = 0.0) index =
+  {
+    Trace.index;
+    mode;
+    candidates = 10;
+    top_count = 5;
+    sol_count = 4;
+    indp_count = 2;
+    rand_count = 2;
+    chose_indp = chose;
+    applied = 2;
+    skipped_cycles = 0;
+    error_before = 0.0;
+    error_after = e_after;
+    estimated_error = e_est;
+    reverted = false;
+    area = 100.0;
+  }
+
+let test_indp_ratio () =
+  let rounds =
+    [
+      mk_round ~chose:(Some true) 1;
+      mk_round ~chose:(Some true) 2;
+      mk_round ~chose:(Some false) 3;
+      mk_round ~mode:Trace.Single 4;
+    ]
+  in
+  Alcotest.(check (float 1e-9)) "ratio" (2.0 /. 3.0) (Trace.indp_ratio rounds)
+
+let test_indp_ratio_empty () =
+  Alcotest.(check (float 1e-9)) "no multi rounds" 0.0
+    (Trace.indp_ratio [ mk_round ~mode:Trace.Single 1 ])
+
+let test_classify () =
+  let positive = mk_round ~chose:(Some true) ~e_est:0.1 ~e_after:0.05 1 in
+  let negative = mk_round ~chose:(Some true) ~e_est:0.05 ~e_after:0.1 2 in
+  let indep = mk_round ~chose:(Some true) ~e_est:0.05 ~e_after:0.0500001 3 in
+  check "positive" true (Trace.classify ~sigma:0.001 positive = Some `Positive);
+  check "negative" true (Trace.classify ~sigma:0.001 negative = Some `Negative);
+  check "independent" true (Trace.classify ~sigma:0.001 indep = Some `Independent);
+  check "single none" true
+    (Trace.classify ~sigma:0.001 (mk_round ~mode:Trace.Single 4) = None)
+
+(* --- Engine end-to-end --- *)
+
+let engine_fixture = lazy (Accals_circuits.Bench_suite.load "mtp8")
+
+let test_engine_respects_bound () =
+  let net = Lazy.force engine_fixture in
+  List.iter
+    (fun bound ->
+      let r = Engine.run net ~metric:Metric.Error_rate ~error_bound:bound in
+      check "error within bound" true (r.Engine.error <= bound);
+      check "area not larger" true (r.Engine.area_ratio <= 1.0 +. 1e-9))
+    [ 0.005; 0.05 ]
+
+let test_engine_verified_independently () =
+  (* Measure the report's circuit against the original with a fresh
+     simulation of the same patterns. *)
+  let net = Lazy.force engine_fixture in
+  let config = Config.for_network net in
+  let patterns =
+    Sim.for_network ~seed:config.Config.seed ~count:config.Config.samples
+      ~exhaustive_limit:config.Config.exhaustive_limit net
+  in
+  let r = Engine.run ~config ~patterns net ~metric:Metric.Error_rate ~error_bound:0.02 in
+  let golden = Evaluate.output_signatures net patterns in
+  let e =
+    Evaluate.actual_error r.Engine.approximate patterns ~golden Metric.Error_rate
+  in
+  Alcotest.(check (float 1e-12)) "report error matches" r.Engine.error e;
+  check "bound respected" true (e <= 0.02)
+
+let test_engine_interface_preserved () =
+  let net = Lazy.force engine_fixture in
+  let r = Engine.run net ~metric:Metric.Error_rate ~error_bound:0.01 in
+  let a = r.Engine.approximate in
+  check_int "inputs" (Array.length (Network.inputs net)) (Array.length (Network.inputs a));
+  check_int "outputs" (Array.length (Network.outputs net)) (Array.length (Network.outputs a));
+  Alcotest.(check (array string)) "output names"
+    (Network.output_names net) (Network.output_names a);
+  Network.validate a
+
+let test_engine_monotone_in_bound () =
+  let net = Lazy.force engine_fixture in
+  let r1 = Engine.run net ~metric:Metric.Error_rate ~error_bound:0.002 in
+  let r2 = Engine.run net ~metric:Metric.Error_rate ~error_bound:0.05 in
+  check "looser bound, no worse area" true
+    (r2.Engine.area_ratio <= r1.Engine.area_ratio +. 0.02)
+
+let test_engine_deterministic () =
+  let net = Lazy.force engine_fixture in
+  let r1 = Engine.run net ~metric:Metric.Error_rate ~error_bound:0.01 in
+  let r2 = Engine.run net ~metric:Metric.Error_rate ~error_bound:0.01 in
+  Alcotest.(check (float 0.0)) "same area" r1.Engine.area_ratio r2.Engine.area_ratio;
+  Alcotest.(check (float 0.0)) "same error" r1.Engine.error r2.Engine.error;
+  check_int "same rounds" (List.length r1.Engine.rounds) (List.length r2.Engine.rounds)
+
+let test_engine_all_metrics () =
+  let net = Lazy.force engine_fixture in
+  List.iter
+    (fun metric ->
+      let r = Engine.run net ~metric ~error_bound:0.001 in
+      check "bound" true (r.Engine.error <= 0.001);
+      Network.validate r.Engine.approximate)
+    [ Metric.Error_rate; Metric.Nmed; Metric.Mred ]
+
+let test_engine_rejects_bad_bound () =
+  let net = Lazy.force engine_fixture in
+  check "zero bound rejected" true
+    (try ignore (Engine.run net ~metric:Metric.Error_rate ~error_bound:0.0); false
+     with Invalid_argument _ -> true)
+
+let prop_engine_bound_on_random_nets =
+  Test_util.qcheck_case ~count:10 "engine bound on random circuits"
+    QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let net =
+        Accals_circuits.Random_logic.make ~name:"fuzz" ~inputs:8 ~outputs:5
+          ~gates:70 ~seed
+      in
+      let r = Engine.run net ~metric:Metric.Error_rate ~error_bound:0.04 in
+      Network.validate r.Engine.approximate;
+      (* Exhaustive cross-check: 8 inputs. *)
+      let exact =
+        Accals_analysis.Exhaustive.compare_networks ~golden:net
+          ~approx:r.Engine.approximate
+      in
+      r.Engine.error <= 0.04
+      && exact.Accals_analysis.Exhaustive.error_rate <= 0.04 +. 1e-9)
+
+let test_engine_trace_consistent () =
+  let net = Lazy.force engine_fixture in
+  let r = Engine.run net ~metric:Metric.Error_rate ~error_bound:0.05 in
+  let rec indices i = function
+    | [] -> true
+    | round :: rest -> round.Trace.index = i && indices (i + 1) rest
+  in
+  check "round indices" true (indices 1 r.Engine.rounds);
+  (* error_before chains to the previous round's error_after, except for
+     reverted rounds which restart from the same error_before. *)
+  let rec chained prev = function
+    | [] -> true
+    | round :: rest ->
+      round.Trace.error_before = prev && chained round.Trace.error_after rest
+  in
+  check "error chain" true (chained 0.0 r.Engine.rounds)
+
+let suite =
+  [
+    ( "config",
+      [
+        Alcotest.test_case "size buckets" `Quick test_config_buckets;
+        Alcotest.test_case "paper parameters" `Quick test_config_paper_params;
+      ] );
+    ( "top set (Eq. 2)",
+      [
+        Alcotest.test_case "formula" `Quick test_r_top_formula;
+        Alcotest.test_case "keeps smallest" `Quick test_obtain_keeps_smallest;
+        Alcotest.test_case "r_min expansion" `Quick test_obtain_r_min_expansion;
+      ] );
+    ( "influence index",
+      [
+        Alcotest.test_case "path case" `Quick test_influence_path_case;
+        Alcotest.test_case "disjoint cones" `Quick test_influence_disjoint_cones;
+        Alcotest.test_case "graph edges" `Quick test_influence_graph_edges;
+      ] );
+    ( "independent select",
+      [
+        Alcotest.test_case "non-positive rule" `Quick test_budget_prefix_non_positive;
+        Alcotest.test_case "lambda budget" `Quick test_budget_prefix_lambda;
+        Alcotest.test_case "r_sel cap" `Quick test_budget_prefix_rsel_cap;
+        Alcotest.test_case "at least one" `Quick test_budget_prefix_at_least_one;
+        Alcotest.test_case "empty" `Quick test_budget_prefix_empty;
+      ] );
+    ( "trace",
+      [
+        Alcotest.test_case "indp ratio" `Quick test_indp_ratio;
+        Alcotest.test_case "indp ratio no multi" `Quick test_indp_ratio_empty;
+        Alcotest.test_case "classification" `Quick test_classify;
+      ] );
+    ( "engine",
+      [
+        Alcotest.test_case "respects bound" `Quick test_engine_respects_bound;
+        Alcotest.test_case "independently verified" `Quick test_engine_verified_independently;
+        Alcotest.test_case "interface preserved" `Quick test_engine_interface_preserved;
+        Alcotest.test_case "monotone in bound" `Quick test_engine_monotone_in_bound;
+        Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
+        Alcotest.test_case "all metrics" `Slow test_engine_all_metrics;
+        Alcotest.test_case "rejects bad bound" `Quick test_engine_rejects_bad_bound;
+        Alcotest.test_case "trace consistent" `Quick test_engine_trace_consistent;
+        prop_engine_bound_on_random_nets;
+      ] );
+  ]

@@ -1,0 +1,230 @@
+open Accals_network
+open Accals_circuits
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mask w = (1 lsl w) - 1
+
+(* --- new adders reuse the adder harness from test_circuits --- *)
+
+let adder_env a b cin width =
+  Test_util.bus_env "a" a width
+  @ Test_util.bus_env "b" b width
+  @ [ ("cin", cin) ]
+
+let check_adder net width cases =
+  List.iter
+    (fun (a, b, cin) ->
+      let outs = Test_util.eval_named net (adder_env a b cin width) in
+      let s = Test_util.out_int ~prefix:"s" net outs in
+      let names = Network.output_names net in
+      let cout_idx =
+        let rec find i = if names.(i) = "cout" then i else find (i + 1) in
+        find 0
+      in
+      let got = s lor (if outs.(cout_idx) then 1 lsl width else 0) in
+      check_int (Printf.sprintf "%d+%d+%b" a b cin)
+        (a + b + if cin then 1 else 0)
+        got)
+    cases
+
+let random_triples width n =
+  let rng = Accals_bitvec.Prng.create 13 in
+  List.init n (fun _ ->
+      ( Accals_bitvec.Prng.int rng (mask width + 1),
+        Accals_bitvec.Prng.int rng (mask width + 1),
+        Accals_bitvec.Prng.bool rng ))
+
+let test_carry_select () =
+  check_adder (Adders.carry_select ~width:13 ()) 13 (random_triples 13 60)
+
+let test_carry_skip () =
+  check_adder (Adders.carry_skip ~width:13 ()) 13 (random_triples 13 60)
+
+let test_carry_select_block1 () =
+  check_adder (Adders.carry_select ~block:1 ~width:6 ()) 6 (random_triples 6 40)
+
+let test_dadda_exhaustive4 () =
+  let net = Multipliers.dadda ~width:4 in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      let env = Test_util.bus_env "a" a 4 @ Test_util.bus_env "b" b 4 in
+      let outs = Test_util.eval_named net env in
+      check_int "dadda" (a * b) (Test_util.out_int ~prefix:"p" net outs)
+    done
+  done
+
+let test_dadda8_random () =
+  let net = Multipliers.dadda ~width:8 in
+  let rng = Accals_bitvec.Prng.create 21 in
+  for _ = 1 to 40 do
+    let a = Accals_bitvec.Prng.int rng 256 in
+    let b = Accals_bitvec.Prng.int rng 256 in
+    let env = Test_util.bus_env "a" a 8 @ Test_util.bus_env "b" b 8 in
+    let outs = Test_util.eval_named net env in
+    check_int "dadda8" (a * b) (Test_util.out_int ~prefix:"p" net outs)
+  done
+
+let test_dadda_smaller_than_wallace_depthwise () =
+  (* The Dadda multiplier should use no more counters than Wallace. *)
+  let d = Multipliers.dadda ~width:8 in
+  let w = Multipliers.wallace ~width:8 in
+  check "dadda not larger" true (Cost.area d <= Cost.area w +. 1.0)
+
+let test_barrel_shifter () =
+  let net = Datapath.barrel_shifter ~width:8 in
+  for a = 0 to 255 do
+    for s = 0 to 7 do
+      let env = Test_util.bus_env "a" a 8 @ Test_util.bus_env "s" s 3 in
+      let outs = Test_util.eval_named net env in
+      check_int
+        (Printf.sprintf "%d >> %d" a s)
+        (a lsr s)
+        (Test_util.out_int ~prefix:"y" net outs)
+    done
+  done
+
+let test_priority_encoder () =
+  let net = Datapath.priority_encoder ~width:8 in
+  for x = 1 to 255 do
+    let outs = Test_util.eval_named net (Test_util.bus_env "x" x 8) in
+    let e = Test_util.out_int ~prefix:"e" net outs in
+    let expected =
+      let rec go i = if x lsr i land 1 = 1 then i else go (i - 1) in
+      go 7
+    in
+    check_int (Printf.sprintf "prienc %d" x) expected e
+  done;
+  let outs = Test_util.eval_named net (Test_util.bus_env "x" 0 8) in
+  let names = Network.output_names net in
+  let valid_idx =
+    let rec find i = if names.(i) = "valid" then i else find (i + 1) in
+    find 0
+  in
+  check "invalid on zero" false outs.(valid_idx)
+
+let test_comparator () =
+  let net = Datapath.comparator ~width:5 in
+  for a = 0 to 31 do
+    for b = 0 to 31 do
+      let env = Test_util.bus_env "a" a 5 @ Test_util.bus_env "b" b 5 in
+      let outs = Test_util.eval_named net env in
+      let names = Network.output_names net in
+      let get nm =
+        let rec find i = if names.(i) = nm then outs.(i) else find (i + 1) in
+        find 0
+      in
+      check "eq" (a = b) (get "eq");
+      check "lt" (a < b) (get "lt");
+      check "gt" (a > b) (get "gt")
+    done
+  done
+
+let test_popcount () =
+  let net = Datapath.popcount ~width:11 in
+  let rng = Accals_bitvec.Prng.create 31 in
+  for _ = 1 to 200 do
+    let x = Accals_bitvec.Prng.int rng 2048 in
+    let outs = Test_util.eval_named net (Test_util.bus_env "x" x 11) in
+    let expected =
+      let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+      go x 0
+    in
+    check_int (Printf.sprintf "popcount %d" x) expected
+      (Test_util.out_int ~prefix:"c" net outs)
+  done
+
+let test_mac () =
+  let net = Datapath.multiply_accumulate ~width:5 in
+  let rng = Accals_bitvec.Prng.create 41 in
+  for _ = 1 to 100 do
+    let a = Accals_bitvec.Prng.int rng 32 in
+    let b = Accals_bitvec.Prng.int rng 32 in
+    let c = Accals_bitvec.Prng.int rng 1024 in
+    let env =
+      Test_util.bus_env "a" a 5 @ Test_util.bus_env "b" b 5
+      @ Test_util.bus_env "c" c 10
+    in
+    let outs = Test_util.eval_named net env in
+    check_int
+      (Printf.sprintf "%d*%d+%d" a b c)
+      ((a * b) + c)
+      (Test_util.out_int ~prefix:"p" net outs)
+  done
+
+let test_gray_roundtrip () =
+  let enc = Datapath.gray_encoder ~width:6 in
+  let dec = Datapath.gray_decoder ~width:6 in
+  for v = 0 to 63 do
+    let outs = Test_util.eval_named enc (Test_util.bus_env "b" v 6) in
+    let g = Test_util.out_int ~prefix:"g" enc outs in
+    check_int "gray encode" (v lxor (v lsr 1)) g;
+    let outs2 = Test_util.eval_named dec (Test_util.bus_env "g" g 6) in
+    check_int "gray roundtrip" v (Test_util.out_int ~prefix:"b" dec outs2)
+  done
+
+let test_gray_adjacent_differ_by_one () =
+  let enc = Datapath.gray_encoder ~width:6 in
+  for v = 0 to 62 do
+    let g1 =
+      Test_util.out_int ~prefix:"g" enc
+        (Test_util.eval_named enc (Test_util.bus_env "b" v 6))
+    in
+    let g2 =
+      Test_util.out_int ~prefix:"g" enc
+        (Test_util.eval_named enc (Test_util.bus_env "b" (v + 1) 6))
+    in
+    let diff = g1 lxor g2 in
+    check "one bit flips" true (diff <> 0 && diff land (diff - 1) = 0)
+  done
+
+let test_saturating_adder () =
+  let net = Datapath.saturating_adder ~width:6 in
+  let rng = Accals_bitvec.Prng.create 55 in
+  for _ = 1 to 150 do
+    let a = Accals_bitvec.Prng.int rng 64 in
+    let b = Accals_bitvec.Prng.int rng 64 in
+    let env = Test_util.bus_env "a" a 6 @ Test_util.bus_env "b" b 6 in
+    let outs = Test_util.eval_named net env in
+    check_int
+      (Printf.sprintf "sat %d+%d" a b)
+      (min 63 (a + b))
+      (Test_util.out_int ~prefix:"s" net outs)
+  done
+
+(* New circuits are approximable substrates too: the engine respects bounds
+   on them. *)
+let test_engine_on_datapath () =
+  List.iter
+    (fun net ->
+      let r =
+        Accals.Engine.run net ~metric:Accals_metrics.Metric.Error_rate
+          ~error_bound:0.02
+      in
+      check "bound respected" true (r.Accals.Engine.error <= 0.02);
+      Network.validate r.Accals.Engine.approximate)
+    [ Datapath.popcount ~width:12; Multipliers.dadda ~width:6 ]
+
+let suite =
+  [
+    ( "datapath",
+      [
+        Alcotest.test_case "carry-select adder" `Quick test_carry_select;
+        Alcotest.test_case "carry-skip adder" `Quick test_carry_skip;
+        Alcotest.test_case "carry-select block=1" `Quick test_carry_select_block1;
+        Alcotest.test_case "dadda exhaustive w4" `Quick test_dadda_exhaustive4;
+        Alcotest.test_case "dadda random w8" `Quick test_dadda8_random;
+        Alcotest.test_case "dadda vs wallace area" `Quick
+          test_dadda_smaller_than_wallace_depthwise;
+        Alcotest.test_case "barrel shifter" `Slow test_barrel_shifter;
+        Alcotest.test_case "priority encoder" `Quick test_priority_encoder;
+        Alcotest.test_case "comparator" `Quick test_comparator;
+        Alcotest.test_case "popcount" `Quick test_popcount;
+        Alcotest.test_case "multiply-accumulate" `Quick test_mac;
+        Alcotest.test_case "gray roundtrip" `Quick test_gray_roundtrip;
+        Alcotest.test_case "gray adjacency" `Quick test_gray_adjacent_differ_by_one;
+        Alcotest.test_case "saturating adder" `Quick test_saturating_adder;
+        Alcotest.test_case "engine on new circuits" `Quick test_engine_on_datapath;
+      ] );
+  ]

@@ -1,0 +1,153 @@
+open Accals_network
+open Accals_circuits
+module Prng = Accals_bitvec.Prng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- FIR --- *)
+
+let fir_env taps width samples =
+  List.concat (List.mapi (fun i v -> Test_util.bus_env (Printf.sprintf "x%d" i) v width) samples)
+  |> fun env -> env @ [ ("", false) ] |> List.filter (fun (n, _) -> n <> "")
+  |> fun env -> env |> fun e -> ignore taps; e
+
+let test_fir_basic () =
+  let coefficients = [ 1; 2; 3 ] in
+  let net = Dsp.fir_filter ~coefficients ~width:4 in
+  let rng = Prng.create 3 in
+  for _ = 1 to 100 do
+    let samples = List.init 3 (fun _ -> Prng.int rng 16) in
+    let env = fir_env 3 4 samples in
+    let outs = Test_util.eval_named net env in
+    let expected =
+      List.fold_left2 (fun acc c x -> acc + (c * x)) 0 coefficients samples
+    in
+    check_int "fir" expected (Test_util.out_int ~prefix:"y" net outs)
+  done
+
+let test_fir_gaussian_kernel () =
+  (* 5-tap binomial smoothing kernel 1 4 6 4 1. *)
+  let coefficients = [ 1; 4; 6; 4; 1 ] in
+  let net = Dsp.fir_filter ~coefficients ~width:6 in
+  let rng = Prng.create 9 in
+  for _ = 1 to 60 do
+    let samples = List.init 5 (fun _ -> Prng.int rng 64) in
+    let outs = Test_util.eval_named net (fir_env 5 6 samples) in
+    let expected =
+      List.fold_left2 (fun acc c x -> acc + (c * x)) 0 coefficients samples
+    in
+    check_int "gaussian" expected (Test_util.out_int ~prefix:"y" net outs)
+  done
+
+let test_fir_zero_coefficient () =
+  let net = Dsp.fir_filter ~coefficients:[ 0; 5 ] ~width:4 in
+  let outs = Test_util.eval_named net (fir_env 2 4 [ 15; 3 ]) in
+  check_int "zero tap ignored" 15 (Test_util.out_int ~prefix:"y" net outs)
+
+let test_fir_rejects_negative () =
+  check "rejected" true
+    (try ignore (Dsp.fir_filter ~coefficients:[ 1; -2 ] ~width:4); false
+     with Invalid_argument _ -> true)
+
+(* --- float adder --- *)
+
+let eb = 4
+let mb = 4
+
+(* Software reference with truncating alignment/normalization. *)
+let float_add_reference (ea, ma) (eb_, mbv) =
+  if ea = 0 && ma = 0 then (eb_, mbv)
+  else if eb_ = 0 && mbv = 0 then (ea, ma)
+  else begin
+    let siga = ma lor (1 lsl mb) and sigb = mbv lor (1 lsl mb) in
+    let ebig, big, small, d =
+      if ea >= eb_ then (ea, siga, sigb, ea - eb_) else (eb_, sigb, siga, eb_ - ea)
+    in
+    let aligned = if d > mb + 1 then 0 else small lsr d in
+    let sum = big + aligned in
+    let e', m' =
+      if sum lsr (mb + 1) = 1 then (ebig + 1, (sum lsr 1) land ((1 lsl mb) - 1))
+      else (ebig, sum land ((1 lsl mb) - 1))
+    in
+    if e' >= 1 lsl eb then ((1 lsl eb) - 1, (1 lsl mb) - 1) else (e', m')
+  end
+
+let adder = lazy (Dsp.float_adder ~exp_bits:eb ~mantissa_bits:mb)
+
+let run_adder (ea, ma) (eb_, mbv) =
+  let net = Lazy.force adder in
+  let env =
+    Test_util.bus_env "ae" ea eb @ Test_util.bus_env "am" ma mb
+    @ Test_util.bus_env "be" eb_ eb
+    @ Test_util.bus_env "bm" mbv mb
+  in
+  let outs = Test_util.eval_named net env in
+  (Test_util.out_int ~prefix:"e" net outs, Test_util.out_int ~prefix:"m" net outs)
+
+let test_fadd_zero_identity () =
+  let cases = [ (3, 5); (0, 1); (15, 15); (7, 0) ] in
+  List.iter
+    (fun v ->
+      check "a + 0 = a" true (run_adder v (0, 0) = v);
+      check "0 + b = b" true (run_adder (0, 0) v = v))
+    cases
+
+let test_fadd_equal_exponents () =
+  (* 1.m + 1.m' with equal exponents always carries: e+1. *)
+  let got = run_adder (3, 0) (3, 0) in
+  (* 1.0 + 1.0 = 2.0 -> e=4, m=0 *)
+  check "double" true (got = (4, 0))
+
+let test_fadd_random_matches_reference () =
+  let rng = Prng.create 31 in
+  for _ = 1 to 500 do
+    let a = (Prng.int rng 16, Prng.int rng 16) in
+    let b = (Prng.int rng 16, Prng.int rng 16) in
+    let expected = float_add_reference a b in
+    let got = run_adder a b in
+    if got <> expected then
+      Alcotest.failf "fadd (%d,%d)+(%d,%d): expected (%d,%d), got (%d,%d)"
+        (fst a) (snd a) (fst b) (snd b) (fst expected) (snd expected) (fst got)
+        (snd got)
+  done
+
+let test_fadd_saturates () =
+  (* max exponent + carry saturates. *)
+  let got = run_adder (15, 15) (15, 15) in
+  check "saturated" true (got = (15, 15))
+
+let test_fadd_alignment_flush () =
+  (* Tiny operand is entirely shifted out: big survives unchanged. *)
+  let got = run_adder (15, 8) (1, 3) in
+  check "flushed" true (got = (15, 8))
+
+(* The DSP circuits are valid engine substrates. *)
+let test_engine_on_dsp () =
+  let fir = Dsp.fir_filter ~coefficients:[ 1; 4; 6; 4; 1 ] ~width:4 in
+  let r =
+    Accals.Engine.run fir ~metric:Accals_metrics.Metric.Nmed ~error_bound:0.002
+  in
+  check "bound" true (r.Accals.Engine.error <= 0.002);
+  Network.validate r.Accals.Engine.approximate
+
+let suite =
+  [
+    ( "fir",
+      [
+        Alcotest.test_case "dot product" `Quick test_fir_basic;
+        Alcotest.test_case "gaussian kernel" `Quick test_fir_gaussian_kernel;
+        Alcotest.test_case "zero coefficient" `Quick test_fir_zero_coefficient;
+        Alcotest.test_case "negative rejected" `Quick test_fir_rejects_negative;
+      ] );
+    ( "float adder",
+      [
+        Alcotest.test_case "zero identity" `Quick test_fadd_zero_identity;
+        Alcotest.test_case "equal exponents" `Quick test_fadd_equal_exponents;
+        Alcotest.test_case "matches reference" `Quick test_fadd_random_matches_reference;
+        Alcotest.test_case "exponent saturation" `Quick test_fadd_saturates;
+        Alcotest.test_case "alignment flush" `Quick test_fadd_alignment_flush;
+      ] );
+    ( "dsp engine",
+      [ Alcotest.test_case "approximable" `Quick test_engine_on_dsp ] );
+  ]

@@ -1,0 +1,289 @@
+(* Tests for the extension features: MED/WCE metrics, Gate3 and SOP LAC
+   kinds, the approximate estimation mode, the ablation config switches,
+   structural hashing, and the global SASIMI candidate search. *)
+
+open Accals_network
+open Accals_lac
+module Bitvec = Accals_bitvec.Bitvec
+module Metric = Accals_metrics.Metric
+module Estimator = Accals_esterr.Estimator
+module Evaluate = Accals_esterr.Evaluate
+module Config = Accals.Config
+module Engine = Accals.Engine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* --- MED / WCE metric kinds --- *)
+
+let sigs_of_values width values =
+  let n = List.length values in
+  let sigs = Array.init width (fun _ -> Bitvec.create n) in
+  List.iteri
+    (fun p v ->
+      for b = 0 to width - 1 do
+        if v lsr b land 1 = 1 then Bitvec.set sigs.(b) p true
+      done)
+    values;
+  sigs
+
+let test_med_kind () =
+  let golden = sigs_of_values 4 [ 10; 5; 0; 8 ] in
+  let approx = sigs_of_values 4 [ 8; 5; 1; 12 ] in
+  checkf "med via kind" 1.75 (Metric.measure Metric.Med ~golden ~approx);
+  checkf "wce via kind" 4.0 (Metric.measure Metric.Wce ~golden ~approx)
+
+let test_med_wce_prepared () =
+  let golden = sigs_of_values 4 [ 10; 5; 0; 8 ] in
+  let approx = sigs_of_values 4 [ 8; 5; 1; 12 ] in
+  List.iter
+    (fun kind ->
+      let prepared = Metric.prepare kind ~golden in
+      checkf
+        (Metric.kind_to_string kind)
+        (Metric.measure kind ~golden ~approx)
+        (Metric.measure_prepared prepared ~approx))
+    [ Metric.Med; Metric.Wce; Metric.Nmed; Metric.Mred; Metric.Error_rate ]
+
+let test_new_kind_strings () =
+  check "med roundtrip" true (Metric.kind_of_string "MED" = Some Metric.Med);
+  check "wce roundtrip" true (Metric.kind_of_string "wce" = Some Metric.Wce)
+
+let test_engine_under_med () =
+  let net = Accals_circuits.Bench_suite.load "rca32" in
+  let r = Engine.run net ~metric:Metric.Med ~error_bound:1000.0 in
+  check "bound respected" true (r.Engine.error <= 1000.0);
+  check "area reduced" true (r.Engine.area_ratio < 1.0)
+
+(* --- Gate3 and SOP LAC kinds --- *)
+
+let fixture =
+  lazy
+    (let net = Accals_circuits.Bench_suite.load "mtp8" in
+     let patterns = Sim.for_network ~seed:1 ~count:1024 ~exhaustive_limit:10 net in
+     let ctx = Round_ctx.create net patterns in
+     (net, patterns, ctx))
+
+let test_gate3_definition () =
+  let l = Lac.make ~target:9 (Lac.Gate3 (Gate.Mux, 1, 2, 3)) ~area_gain:1.0 in
+  check "mux3 def" true (Lac.new_definition l = (Gate.Mux, [| 1; 2; 3 |]));
+  Alcotest.(check (list int)) "sns" [ 1; 2; 3 ] (Lac.substitute_nodes l)
+
+let test_candidates_include_new_kinds () =
+  (* c880 has positive-gain 3-input resubstitutions; mtp8 (very shared after
+     strash) has SOP rewrites. *)
+  let c880 = Accals_circuits.Bench_suite.load "c880" in
+  let patterns = Sim.for_network ~seed:1 ~count:1024 ~exhaustive_limit:10 c880 in
+  let ctx880 = Round_ctx.create c880 patterns in
+  let cands880 = Candidate_gen.generate ctx880 Candidate_gen.default_config in
+  let has cands pred = List.exists (fun l -> pred l.Lac.kind) cands in
+  check "has gate3" true
+    (has cands880 (function Lac.Gate3 _ -> true | Lac.Const0 | Lac.Const1
+        | Lac.Wire _ | Lac.Inv_wire _ | Lac.Gate2 _ | Lac.Sop _ -> false));
+  let _, _, ctx = Lazy.force fixture in
+  let cands = Candidate_gen.generate ctx Candidate_gen.default_config in
+  check "has sop" true
+    (has cands (function Lac.Sop _ -> true | Lac.Const0 | Lac.Const1
+        | Lac.Wire _ | Lac.Inv_wire _ | Lac.Gate2 _ | Lac.Gate3 _ -> false))
+
+let test_sop_disabled_by_config () =
+  let _, _, ctx = Lazy.force fixture in
+  let config =
+    { Candidate_gen.default_config with
+      Candidate_gen.sops_per_target = 0; triples_per_target = 0 }
+  in
+  let cands = Candidate_gen.generate ctx config in
+  check "no sop/gate3" true
+    (List.for_all
+       (fun l ->
+         match l.Lac.kind with
+         | Lac.Sop _ | Lac.Gate3 _ -> false
+         | Lac.Const0 | Lac.Const1 | Lac.Wire _ | Lac.Inv_wire _ | Lac.Gate2 _ -> true)
+       cands)
+
+let test_delta_exact_includes_sop_and_gate3 () =
+  (* The central exactness property must hold for the new kinds too. *)
+  let net, patterns, ctx = Lazy.force fixture in
+  let golden = Round_ctx.output_sigs ctx in
+  let est = Estimator.create ctx ~golden ~metric:Metric.Error_rate in
+  let cands = Candidate_gen.generate ctx Candidate_gen.default_config in
+  let interesting =
+    List.filter
+      (fun l ->
+        match l.Lac.kind with
+        | Lac.Sop _ | Lac.Gate3 _ -> true
+        | Lac.Const0 | Lac.Const1 | Lac.Wire _ | Lac.Inv_wire _ | Lac.Gate2 _ -> false)
+      cands
+  in
+  check "enough new-kind candidates" true (List.length interesting > 10);
+  let rec take n = function
+    | [] -> [] | x :: r -> if n = 0 then [] else x :: take (n - 1) r
+  in
+  List.iter
+    (fun lac ->
+      let delta = Estimator.exact_delta est lac in
+      let copy = Network.copy net in
+      match Lac.apply copy lac with
+      | exception Network.Cycle _ -> ()
+      | () ->
+        let actual = Evaluate.actual_error copy patterns ~golden Metric.Error_rate in
+        if abs_float (actual -. delta) > 1e-9 then
+          Alcotest.failf "ΔE mismatch for %s: est %.6f actual %.6f"
+            (Lac.describe lac) delta actual)
+    (take 40 interesting)
+
+let test_sop_conflicts_via_leaves () =
+  let sop =
+    Lac.make ~target:9
+      (Lac.Sop { Lac.leaves = [| 4; 5 |]; cubes = [ { Accals_twolevel.Qm.mask = 3; value = 3 } ] })
+      ~area_gain:1.0
+  in
+  let other = Lac.make ~target:5 (Lac.Wire 2) ~area_gain:1.0 in
+  check "leaf is other's target" true (Lac.conflicts sop other)
+
+(* --- approximate estimation mode --- *)
+
+let test_approximate_mode_scores () =
+  let _, _, ctx = Lazy.force fixture in
+  let golden = Round_ctx.output_sigs ctx in
+  let est = Estimator.create ctx ~golden ~metric:Metric.Error_rate in
+  let cands = Candidate_gen.generate ctx Candidate_gen.default_config in
+  let scored = Estimator.score ~mode:Estimator.Approximate est ~shortlist:50 cands in
+  check "no exact evaluations" true (Estimator.evaluations est = 0);
+  check "all scored" true
+    (List.for_all (fun l -> not (Float.is_nan l.Lac.delta_error)) scored)
+
+let test_engine_with_approx_estimation () =
+  let net = Accals_circuits.Bench_suite.load "alu4" in
+  let config =
+    { (Config.for_network net) with Config.exact_estimation = false }
+  in
+  let r = Engine.run ~config net ~metric:Metric.Error_rate ~error_bound:0.03 in
+  (* The engine measures actual errors each round, so the bound holds even
+     with sloppy estimation. *)
+  check "bound respected" true (r.Engine.error <= 0.03);
+  Network.validate r.Engine.approximate
+
+(* --- ablation switches --- *)
+
+let test_ablation_switches_run () =
+  let net = Accals_circuits.Bench_suite.load "alu4" in
+  List.iter
+    (fun tweak ->
+      let config = tweak (Config.for_network net) in
+      let r = Engine.run ~config net ~metric:Metric.Error_rate ~error_bound:0.03 in
+      check "bound" true (r.Engine.error <= 0.03);
+      check "not larger" true (r.Engine.area_ratio <= 1.0 +. 1e-9))
+    [
+      (fun c -> { c with Config.use_mis = false });
+      (fun c -> { c with Config.use_random_comparison = false });
+      (fun c -> { c with Config.use_improvement_1 = false });
+      (fun c -> { c with Config.use_improvement_2 = false });
+    ]
+
+let test_no_random_comparison_always_indp () =
+  let net = Accals_circuits.Bench_suite.load "mtp8" in
+  let config =
+    { (Config.for_network net) with Config.use_random_comparison = false }
+  in
+  let r = Engine.run ~config net ~metric:Metric.Error_rate ~error_bound:0.03 in
+  check "rand sets empty" true
+    (List.for_all (fun round -> round.Accals.Trace.rand_count = 0) r.Engine.rounds)
+
+(* --- strash --- *)
+
+let test_strash_merges_duplicates () =
+  let t = Network.create () in
+  let a = Network.add_input t "a" in
+  let b = Network.add_input t "b" in
+  let x1 = Network.add_node t Gate.And [| a; b |] in
+  let x2 = Network.add_node t Gate.And [| b; a |] in
+  (* commutative duplicate *)
+  let y = Network.add_node t Gate.Xor [| x1; x2 |] in
+  Network.set_outputs t [| ("y", y) |];
+  Cleanup.strash t;
+  Cleanup.sweep t;
+  (* x1 xor x2 = 0 after merging. *)
+  check "const after merge" true
+    (match Network.op t (Network.outputs t).(0) with
+     | Gate.Const false -> true
+     | Gate.Const true | Gate.Input | Gate.Buf | Gate.Not | Gate.And | Gate.Or
+     | Gate.Nand | Gate.Nor | Gate.Xor | Gate.Xnor | Gate.Mux -> false)
+
+let test_strash_preserves_function () =
+  let rng = Accals_bitvec.Prng.create 77 in
+  for seed = 1 to 20 do
+    let t =
+      Accals_circuits.Random_logic.make ~name:"s" ~inputs:6 ~outputs:4 ~gates:50
+        ~seed
+    in
+    let t' = Network.copy t in
+    Cleanup.strash t';
+    Cleanup.sweep t';
+    for _ = 1 to 30 do
+      let v = Array.init 6 (fun _ -> Accals_bitvec.Prng.bool rng) in
+      Alcotest.(check (array bool)) "same" (Network.eval t v) (Network.eval t' v)
+    done
+  done
+
+let test_strash_reduces_multiplier () =
+  let raw = Accals_circuits.Multipliers.array_multiplier ~width:6 in
+  let before = Cost.area raw in
+  Cleanup.sweep raw;
+  Cleanup.strash raw;
+  Cleanup.sweep raw;
+  check "area reduced" true (Cost.area raw < before)
+
+(* --- global similarity wires --- *)
+
+let test_global_wires_disabled () =
+  (* With global_wires = 0 the candidate set is no larger. *)
+  let _, _, ctx = Lazy.force fixture in
+  let base = Candidate_gen.default_config in
+  let without = { base with Candidate_gen.global_wires = 0 } in
+  let n_with = List.length (Candidate_gen.generate ctx base) in
+  let n_without = List.length (Candidate_gen.generate ctx without) in
+  check "global adds candidates" true (n_with >= n_without)
+
+let suite =
+  [
+    ( "metric extensions",
+      [
+        Alcotest.test_case "MED and WCE kinds" `Quick test_med_kind;
+        Alcotest.test_case "prepared matches direct" `Quick test_med_wce_prepared;
+        Alcotest.test_case "kind strings" `Quick test_new_kind_strings;
+        Alcotest.test_case "engine under MED" `Quick test_engine_under_med;
+      ] );
+    ( "lac extensions",
+      [
+        Alcotest.test_case "gate3 definition" `Quick test_gate3_definition;
+        Alcotest.test_case "candidates include new kinds" `Quick
+          test_candidates_include_new_kinds;
+        Alcotest.test_case "sop disabled by config" `Quick test_sop_disabled_by_config;
+        Alcotest.test_case "ΔE exact for new kinds" `Quick
+          test_delta_exact_includes_sop_and_gate3;
+        Alcotest.test_case "sop conflicts via leaves" `Quick test_sop_conflicts_via_leaves;
+      ] );
+    ( "estimation modes",
+      [
+        Alcotest.test_case "approximate mode scores" `Quick test_approximate_mode_scores;
+        Alcotest.test_case "engine with approx estimation" `Quick
+          test_engine_with_approx_estimation;
+      ] );
+    ( "ablation switches",
+      [
+        Alcotest.test_case "all variants run" `Quick test_ablation_switches_run;
+        Alcotest.test_case "no-random means no L_rand" `Quick
+          test_no_random_comparison_always_indp;
+      ] );
+    ( "strash",
+      [
+        Alcotest.test_case "merges commutative duplicates" `Quick
+          test_strash_merges_duplicates;
+        Alcotest.test_case "preserves functions" `Quick test_strash_preserves_function;
+        Alcotest.test_case "reduces multiplier" `Quick test_strash_reduces_multiplier;
+      ] );
+    ( "global wires",
+      [ Alcotest.test_case "toggle" `Quick test_global_wires_disabled ] );
+  ]

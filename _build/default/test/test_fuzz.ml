@@ -1,0 +1,118 @@
+(* Stress test of the whole substrate stack: random mutation sequences
+   through the public API must keep the network valid, and the optimization
+   passes must preserve functions through arbitrary intermediate shapes. *)
+
+open Accals_network
+open Accals_circuits
+module Prng = Accals_bitvec.Prng
+
+let check = Alcotest.(check bool)
+
+(* Apply [steps] random function-changing replacements with the cycle guard,
+   interleaved with cleanup passes; the network must stay structurally valid
+   throughout. *)
+let random_mutations rng net steps =
+  let pick_live () =
+    let live = Structure.live_set net in
+    let ids = ref [] in
+    for id = 0 to Network.num_nodes net - 1 do
+      if live.(id) && not (Network.is_input net id) then ids := id :: !ids
+    done;
+    match !ids with
+    | [] -> None
+    | ids ->
+      let arr = Array.of_list ids in
+      Some arr.(Prng.int rng (Array.length arr))
+  in
+  for step = 1 to steps do
+    (match pick_live () with
+     | None -> ()
+     | Some target -> (
+       let any_node () = Prng.int rng (Network.num_nodes net) in
+       let attempt =
+         match Prng.int rng 5 with
+         | 0 -> (Gate.Const (Prng.bool rng), [||])
+         | 1 -> (Gate.Buf, [| any_node () |])
+         | 2 -> (Gate.Not, [| any_node () |])
+         | 3 -> (Gate.And, [| any_node (); any_node () |])
+         | _ -> (Gate.Xor, [| any_node (); any_node () |])
+       in
+       match Network.replace net target (fst attempt) (snd attempt) with
+       | () -> ()
+       | exception Network.Cycle _ -> ()
+       | exception Invalid_argument _ -> ()));
+    if step mod 7 = 0 then Cleanup.sweep net;
+    if step mod 13 = 0 then Cleanup.strash net
+  done;
+  Network.validate net
+
+let test_mutation_storm () =
+  let rng = Prng.create 20260704 in
+  for seed = 1 to 8 do
+    let net =
+      Random_logic.make ~name:"fuzz" ~inputs:6 ~outputs:4 ~gates:40 ~seed
+    in
+    random_mutations rng net 120;
+    (* Still a sane circuit: simulate and compact it. *)
+    let compacted = Cleanup.compact net in
+    Network.validate compacted;
+    for v = 0 to 63 do
+      let ins = Test_util.bits_of_int v 6 in
+      Alcotest.(check (array bool)) "compact consistent"
+        (Network.eval net ins) (Network.eval compacted ins)
+    done
+  done
+
+(* Optimization pipeline stress: the full sweep/strash/refactor pipeline on
+   arbitrary mutated circuits preserves functions. *)
+let test_pipeline_after_mutation () =
+  let rng = Prng.create 7 in
+  for seed = 1 to 5 do
+    let net =
+      Random_logic.make ~name:"fuzz" ~inputs:6 ~outputs:3 ~gates:50 ~seed
+    in
+    random_mutations rng net 40;
+    let frozen = Cleanup.compact net in
+    let optimized = Network.copy frozen in
+    Cleanup.sweep optimized;
+    Cleanup.strash optimized;
+    Cleanup.sweep optimized;
+    ignore (Accals_twolevel.Refactor.run optimized);
+    Cleanup.sweep optimized;
+    Network.validate optimized;
+    check "area not larger" true (Cost.area optimized <= Cost.area frozen +. 1e-6);
+    for v = 0 to 63 do
+      let ins = Test_util.bits_of_int v 6 in
+      Alcotest.(check (array bool)) "pipeline preserves"
+        (Network.eval frozen ins) (Network.eval optimized ins)
+    done
+  done
+
+(* The engine itself on mutated inputs: report must be coherent. *)
+let test_engine_on_mutated () =
+  let rng = Prng.create 99 in
+  for seed = 1 to 3 do
+    let net =
+      Random_logic.make ~name:"fuzz" ~inputs:7 ~outputs:4 ~gates:60 ~seed
+    in
+    random_mutations rng net 30;
+    let net = Cleanup.compact net in
+    if Cost.area net > 0.0 then begin
+      let r =
+        Accals.Engine.run net ~metric:Accals_metrics.Metric.Error_rate
+          ~error_bound:0.03
+      in
+      check "bound" true (r.Accals.Engine.error <= 0.03);
+      Network.validate r.Accals.Engine.approximate
+    end
+  done
+
+let suite =
+  [
+    ( "fuzz",
+      [
+        Alcotest.test_case "mutation storm" `Quick test_mutation_storm;
+        Alcotest.test_case "pipeline after mutation" `Quick test_pipeline_after_mutation;
+        Alcotest.test_case "engine on mutated" `Quick test_engine_on_mutated;
+      ] );
+  ]

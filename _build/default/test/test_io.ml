@@ -1,0 +1,178 @@
+open Accals_network
+open Accals_circuits
+module Blif = Accals_io.Blif
+module Verilog_writer = Accals_io.Verilog_writer
+module Dot = Accals_io.Dot
+
+let check = Alcotest.(check bool)
+
+let sample_blif =
+  {|# a comment
+.model demo
+.inputs a b c
+.outputs f g
+.names a b t1
+11 1
+.names t1 c f
+1- 1
+-1 1
+.names a c t2
+00 1
+.names t2 g
+1 1
+.end
+|}
+
+let test_parse_basic () =
+  let net = Blif.parse_string sample_blif in
+  Alcotest.(check int) "inputs" 3 (Array.length (Network.inputs net));
+  Alcotest.(check int) "outputs" 2 (Array.length (Network.outputs net));
+  (* f = (a AND b) OR c ; g = NOR(a, c) *)
+  let cases =
+    [
+      ([| false; false; false |], [| false; true |]);
+      ([| true; true; false |], [| true; false |]);
+      ([| false; false; true |], [| true; false |]);
+    ]
+  in
+  List.iter
+    (fun (ins, expected) ->
+      Alcotest.(check (array bool)) "function" expected (Network.eval net ins))
+    cases
+
+let test_parse_off_set () =
+  (* cover with output 0 encodes the complement *)
+  let text = ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n" in
+  let net = Blif.parse_string text in
+  check "nand 00" true (Network.eval net [| false; false |]).(0);
+  check "nand 11" false (Network.eval net [| true; true |]).(0)
+
+let test_parse_const () =
+  let text = ".model m\n.inputs a\n.outputs f g\n.names f\n.names g\n1\n.end\n" in
+  let net = Blif.parse_string text in
+  let outs = Network.eval net [| true |] in
+  check "const0" false outs.(0);
+  check "const1" true outs.(1)
+
+let test_parse_use_before_def () =
+  let text =
+    ".model m\n.inputs a\n.outputs f\n.names t f\n1 1\n.names a t\n0 1\n.end\n"
+  in
+  let net = Blif.parse_string text in
+  check "f = not a" true (Network.eval net [| false |]).(0)
+
+let test_parse_errors () =
+  let bad cases =
+    List.iter
+      (fun text ->
+        check "rejected" true
+          (try ignore (Blif.parse_string text); false with Blif.Parse_error _ -> true))
+      cases
+  in
+  bad
+    [
+      ".model m\n.inputs a\n.outputs f\n.latch a f\n.end\n";
+      ".model m\n.inputs a\n.outputs f\n.names a f\n1 2\n.end\n";
+      ".model m\n.inputs a\n.outputs f\n.names a f\n11 1\n.end\n";
+      ".model m\n.inputs a\n.outputs f\n1 1\n.end\n";
+      ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n0 0\n.end\n";
+      ".model m\n.inputs a\n.outputs f\n.end\n";
+    ]
+
+let roundtrip net =
+  let text = Blif.to_string net in
+  let parsed = Blif.parse_string text in
+  let k = Array.length (Network.inputs net) in
+  let rng = Accals_bitvec.Prng.create 31 in
+  let trials = if k <= 10 then 1 lsl k else 200 in
+  let ok = ref true in
+  for i = 0 to trials - 1 do
+    let ins =
+      if k <= 10 then Test_util.bits_of_int i k
+      else Array.init k (fun _ -> Accals_bitvec.Prng.bool rng)
+    in
+    if Network.eval net ins <> Network.eval parsed ins then ok := false
+  done;
+  !ok
+
+let test_roundtrip_small () =
+  let t = Network.create ~name:"rt" () in
+  let a = Network.add_input t "a" in
+  let b = Network.add_input t "b" in
+  let c = Network.add_input t "c" in
+  let x = Network.add_node t Gate.Xor [| a; b |] in
+  let m = Network.add_node t Gate.Mux [| c; x; a |] in
+  let n = Network.add_node t Gate.Nand [| x; m; b |] in
+  Network.set_outputs t [| ("f", n); ("g", x) |];
+  check "roundtrip" true (roundtrip t)
+
+let test_roundtrip_adder () =
+  check "adder roundtrip" true (roundtrip (Adders.ripple_carry ~width:4))
+
+let test_roundtrip_output_is_input () =
+  let t = Network.create ~name:"wire" () in
+  let a = Network.add_input t "a" in
+  Network.set_outputs t [| ("f", a) |];
+  check "PO = PI roundtrip" true (roundtrip t)
+
+let test_roundtrip_random_logic () =
+  let t = Random_logic.make ~name:"rl" ~inputs:8 ~outputs:5 ~gates:80 ~seed:17 in
+  check "random logic roundtrip" true (roundtrip t)
+
+let test_roundtrip_shared_output_driver () =
+  let t = Network.create ~name:"sh" () in
+  let a = Network.add_input t "a" in
+  let b = Network.add_input t "b" in
+  let x = Network.add_node t Gate.And [| a; b |] in
+  Network.set_outputs t [| ("f", x); ("g", x) |];
+  check "shared driver roundtrip" true (roundtrip t)
+
+let test_verilog_contains_structure () =
+  let t = Adders.ripple_carry ~width:2 in
+  let text = Verilog_writer.to_string t in
+  check "module" true
+    (String.length text > 0
+     && String.sub text 0 6 = "module");
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  check "has assign" true (contains "assign");
+  check "has endmodule" true (contains "endmodule")
+
+let test_dot_output () =
+  let t = Adders.ripple_carry ~width:2 in
+  let text = Dot.to_string t in
+  check "digraph" true (String.sub text 0 7 = "digraph")
+
+let test_file_io () =
+  let t = Adders.ripple_carry ~width:4 in
+  let path = Filename.temp_file "accals" ".blif" in
+  Blif.write_file t path;
+  let parsed = Blif.parse_file path in
+  Sys.remove path;
+  Alcotest.(check int) "inputs survive" 9 (Array.length (Network.inputs parsed))
+
+let suite =
+  [
+    ( "blif",
+      [
+        Alcotest.test_case "parse basic" `Quick test_parse_basic;
+        Alcotest.test_case "parse off-set cover" `Quick test_parse_off_set;
+        Alcotest.test_case "parse constants" `Quick test_parse_const;
+        Alcotest.test_case "use before definition" `Quick test_parse_use_before_def;
+        Alcotest.test_case "malformed inputs rejected" `Quick test_parse_errors;
+        Alcotest.test_case "roundtrip small" `Quick test_roundtrip_small;
+        Alcotest.test_case "roundtrip adder" `Quick test_roundtrip_adder;
+        Alcotest.test_case "roundtrip PO = PI" `Quick test_roundtrip_output_is_input;
+        Alcotest.test_case "roundtrip random logic" `Quick test_roundtrip_random_logic;
+        Alcotest.test_case "roundtrip shared PO driver" `Quick test_roundtrip_shared_output_driver;
+        Alcotest.test_case "file io" `Quick test_file_io;
+      ] );
+    ( "verilog/dot",
+      [
+        Alcotest.test_case "verilog structure" `Quick test_verilog_contains_structure;
+        Alcotest.test_case "dot output" `Quick test_dot_output;
+      ] );
+  ]

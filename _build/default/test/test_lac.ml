@@ -1,0 +1,222 @@
+open Accals_network
+open Accals_lac
+module Bitvec = Accals_bitvec.Bitvec
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Shared fixture: a loaded small multiplier with its round context. *)
+let fixture =
+  lazy
+    (let net = Accals_circuits.Bench_suite.load "mtp8" in
+     let patterns = Sim.for_network ~seed:1 ~count:1024 ~exhaustive_limit:10 net in
+     let ctx = Round_ctx.create net patterns in
+     (net, patterns, ctx))
+
+let test_kinds_definitions () =
+  let l = Lac.make ~target:5 Lac.Const0 ~area_gain:1.0 in
+  check "const0 def" true (Lac.new_definition l = (Gate.Const false, [||]));
+  let l = Lac.make ~target:5 (Lac.Wire 3) ~area_gain:1.0 in
+  check "wire def" true (Lac.new_definition l = (Gate.Buf, [| 3 |]));
+  let l = Lac.make ~target:5 (Lac.Inv_wire 3) ~area_gain:1.0 in
+  check "inv def" true (Lac.new_definition l = (Gate.Not, [| 3 |]));
+  let l = Lac.make ~target:5 (Lac.Gate2 (Gate.Or, 1, 2)) ~area_gain:1.0 in
+  check "gate2 def" true (Lac.new_definition l = (Gate.Or, [| 1; 2 |]))
+
+let test_substitute_nodes () =
+  check "const sns" true
+    (Lac.substitute_nodes (Lac.make ~target:5 Lac.Const1 ~area_gain:1.0) = []);
+  check "wire sns" true
+    (Lac.substitute_nodes (Lac.make ~target:5 (Lac.Wire 3) ~area_gain:1.0) = [ 3 ]);
+  check "pair sns" true
+    (Lac.substitute_nodes
+       (Lac.make ~target:5 (Lac.Gate2 (Gate.And, 1, 2)) ~area_gain:1.0)
+     = [ 1; 2 ])
+
+let test_conflicts_type1 () =
+  (* Same TN. *)
+  let a = Lac.make ~target:4 (Lac.Wire 2) ~area_gain:1.0 in
+  let b = Lac.make ~target:4 (Lac.Gate2 (Gate.And, 1, 3)) ~area_gain:1.0 in
+  check "type 1" true (Lac.conflicts a b)
+
+let test_conflicts_type2 () =
+  (* SN of one is the TN of the other: the paper's Fig. 2 example. *)
+  let a = Lac.make ~target:3 (Lac.Wire 1) ~area_gain:1.0 in
+  let b = Lac.make ~target:4 (Lac.Gate2 (Gate.And, 1, 3)) ~area_gain:1.0 in
+  check "type 2" true (Lac.conflicts a b);
+  check "symmetric" true (Lac.conflicts b a)
+
+let test_no_conflict () =
+  let a = Lac.make ~target:3 (Lac.Wire 1) ~area_gain:1.0 in
+  let b = Lac.make ~target:6 (Lac.Wire 5) ~area_gain:1.0 in
+  check "independent lacs" false (Lac.conflicts a b)
+
+let test_paper_example_conflicts () =
+  (* Fig. 2 / Example 3: 6 LACs, expected selected set {T1, T3, T5, T6}
+     given ascending weights in index order. *)
+  let mk target kind delta =
+    Lac.with_delta (Lac.make ~target kind ~area_gain:1.0) delta
+  in
+  let t1 = mk 3 (Lac.Wire 1) 0.01 in
+  let t2 = mk 4 (Lac.Gate2 (Gate.And, 1, 3)) 0.02 in
+  let t3 = mk 4 (Lac.Wire 2) 0.03 in
+  let t4 = mk 5 (Lac.Gate2 (Gate.And, 3, 4)) 0.04 in
+  let t5 = mk 6 (Lac.Wire 5) 0.05 in
+  let t6 = mk 7 (Lac.Gate2 (Gate.And, 8, 9)) 0.06 in
+  let sol, targets =
+    Accals.Conflict_graph.find_and_solve [ t1; t2; t3; t4; t5; t6 ]
+  in
+  check_int "solution size" 4 (List.length sol);
+  Alcotest.(check (list int)) "targets" [ 3; 4; 6; 7 ] (List.sort compare targets)
+
+let test_apply_cycle_guard () =
+  let t = Network.create () in
+  let a = Network.add_input t "a" in
+  let x = Network.add_node t Gate.Not [| a |] in
+  let y = Network.add_node t Gate.Not [| x |] in
+  Network.set_outputs t [| ("y", y) |];
+  (* y <- Buf x is fine; x <- Buf y closes a cycle. *)
+  let bad = Lac.make ~target:x (Lac.Wire y) ~area_gain:1.0 in
+  check "cycle rejected" true
+    (try Lac.apply t bad; false with Network.Cycle _ -> true)
+
+let test_apply_many_skips_cycles () =
+  let t = Network.create () in
+  let a = Network.add_input t "a" in
+  let x = Network.add_node t Gate.Not [| a |] in
+  let y = Network.add_node t Gate.Not [| x |] in
+  let z = Network.add_node t Gate.And [| x; y |] in
+  Network.set_outputs t [| ("z", z) |];
+  (* First LAC rewires y <- wire(a); second then tries x <- wire(y):
+     after the first, y no longer depends on x, so both succeed. But
+     x <- wire(z) must always be skipped. *)
+  let l1 = Lac.make ~target:y (Lac.Wire a) ~area_gain:1.0 in
+  let l2 = Lac.make ~target:x (Lac.Wire z) ~area_gain:1.0 in
+  let applied, skipped = Lac.apply_many t [ l1; l2 ] in
+  check_int "applied" 1 (List.length applied);
+  check_int "skipped" 1 (List.length skipped);
+  Network.validate t
+
+let test_candidate_positive_gain () =
+  let _, _, ctx = Lazy.force fixture in
+  let cands = Candidate_gen.generate ctx Candidate_gen.default_config in
+  check "nonempty" true (cands <> []);
+  List.iter
+    (fun lac -> check "positive gain" true (lac.Lac.area_gain > 0.0))
+    cands
+
+let test_candidate_targets_live_gates () =
+  let net, _, ctx = Lazy.force fixture in
+  let cands = Candidate_gen.generate ctx Candidate_gen.default_config in
+  List.iter
+    (fun lac ->
+      check "live" true ctx.Round_ctx.live.(lac.Lac.target);
+      check "not an input" true (not (Network.is_input net lac.Lac.target)))
+    cands
+
+let test_candidates_acyclic_individually () =
+  let net, _, ctx = Lazy.force fixture in
+  let cands = Candidate_gen.generate ctx Candidate_gen.default_config in
+  (* Every candidate must be applicable in isolation. *)
+  List.iter
+    (fun lac ->
+      let copy = Network.copy net in
+      Lac.apply copy lac;
+      Network.validate copy)
+    cands
+
+let test_candidate_gain_is_real () =
+  (* Applying a single LAC then sweeping reduces area by at least ~the
+     advertised gain (sweep can find more). *)
+  let net, _, ctx = Lazy.force fixture in
+  let cands = Candidate_gen.generate ctx Candidate_gen.default_config in
+  let area0 = Cost.area net in
+  let rec take n = function
+    | [] -> []
+    | x :: r -> if n = 0 then [] else x :: take (n - 1) r
+  in
+  List.iter
+    (fun lac ->
+      let copy = Network.copy net in
+      Lac.apply copy lac;
+      Cleanup.sweep copy;
+      let saved = area0 -. Cost.area copy in
+      if saved +. 1e-6 < lac.Lac.area_gain then
+        Alcotest.failf "gain overstated for %s: claimed %.1f, got %.1f"
+          (Lac.describe lac) lac.Lac.area_gain saved)
+    (take 100 cands)
+
+let test_apply_preserves_validity () =
+  let net, _, ctx = Lazy.force fixture in
+  let cands = Candidate_gen.generate ctx Candidate_gen.default_config in
+  let copy = Network.copy net in
+  let sorted =
+    List.sort (fun a b -> compare a.Lac.target b.Lac.target) cands
+  in
+  (* Apply a spread of non-conflicting LACs. *)
+  let chosen, _ =
+    List.fold_left
+      (fun (acc, seen) lac ->
+        let sns = Lac.substitute_nodes lac in
+        let clash =
+          List.mem lac.Lac.target seen
+          || List.exists (fun s -> List.mem s seen) sns
+        in
+        if clash then (acc, seen) else (lac :: acc, (lac.Lac.target :: sns) @ seen))
+      ([], []) sorted
+  in
+  let _, _ = Lac.apply_many copy (List.rev chosen) in
+  Network.validate copy
+
+let test_describe () =
+  let l =
+    Lac.with_delta
+      (Lac.make ~target:7 (Lac.Gate2 (Gate.Or, 2, 3)) ~area_gain:3.0)
+      0.5
+  in
+  check "mentions target" true
+    (let s = Lac.describe l in
+     String.length s > 0
+     &&
+     let contains needle =
+       let n = String.length needle and h = String.length s in
+       let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+       go 0
+     in
+     contains "7" && contains "or2")
+
+let test_round_ctx_consistency () =
+  let net, patterns, ctx = Lazy.force fixture in
+  check_int "order covers live nodes"
+    (Array.length ctx.Round_ctx.order)
+    (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 ctx.Round_ctx.live);
+  (* Signatures of outputs match a fresh evaluation. *)
+  let fresh = Accals_esterr.Evaluate.output_signatures net patterns in
+  Array.iteri
+    (fun i bv -> check "output sig" true (Bitvec.equal bv fresh.(i)))
+    (Round_ctx.output_sigs ctx)
+
+let suite =
+  [
+    ( "lac",
+      [
+        Alcotest.test_case "kind definitions" `Quick test_kinds_definitions;
+        Alcotest.test_case "substitute nodes" `Quick test_substitute_nodes;
+        Alcotest.test_case "type-1 conflict" `Quick test_conflicts_type1;
+        Alcotest.test_case "type-2 conflict" `Quick test_conflicts_type2;
+        Alcotest.test_case "no conflict" `Quick test_no_conflict;
+        Alcotest.test_case "paper example 3/4" `Quick test_paper_example_conflicts;
+        Alcotest.test_case "apply cycle guard" `Quick test_apply_cycle_guard;
+        Alcotest.test_case "apply_many skips cycles" `Quick test_apply_many_skips_cycles;
+        Alcotest.test_case "describe" `Quick test_describe;
+      ] );
+    ( "candidate generation",
+      [
+        Alcotest.test_case "positive gains" `Quick test_candidate_positive_gain;
+        Alcotest.test_case "targets live gates" `Quick test_candidate_targets_live_gates;
+        Alcotest.test_case "individually applicable" `Slow test_candidates_acyclic_individually;
+        Alcotest.test_case "gains not overstated" `Slow test_candidate_gain_is_real;
+        Alcotest.test_case "bulk apply stays valid" `Quick test_apply_preserves_validity;
+        Alcotest.test_case "round context consistency" `Quick test_round_ctx_consistency;
+      ] );
+  ]

@@ -1,0 +1,142 @@
+open Accals_network
+module Refactor = Accals_twolevel.Refactor
+module Trace = Accals.Trace
+module Prng = Accals_bitvec.Prng
+
+let check = Alcotest.(check bool)
+
+let test_refactor_preserves_function () =
+  List.iter
+    (fun net ->
+      let original = Network.copy net in
+      let n = Refactor.run net in
+      Cleanup.sweep net;
+      Network.validate net;
+      ignore n;
+      let k = Array.length (Network.inputs net) in
+      let rng = Prng.create 3 in
+      let trials = if k <= 10 then 1 lsl k else 300 in
+      for i = 0 to trials - 1 do
+        let ins =
+          if k <= 10 then Test_util.bits_of_int i k
+          else Array.init k (fun _ -> Prng.bool rng)
+        in
+        Alcotest.(check (array bool)) "function preserved"
+          (Network.eval original ins) (Network.eval net ins)
+      done)
+    [
+      Accals_circuits.Adders.ripple_carry ~width:6;
+      Accals_circuits.Multipliers.array_multiplier ~width:4;
+      Accals_circuits.Alu.make ~width:4 ~name:"t" ();
+    ]
+
+let test_refactor_reduces_redundancy () =
+  (* A deliberately redundant structure: (a AND b) OR (a AND b AND c) = a AND b. *)
+  let t = Network.create () in
+  let a = Network.add_input t "a" in
+  let b = Network.add_input t "b" in
+  let c = Network.add_input t "c" in
+  let ab = Network.add_node t Gate.And [| a; b |] in
+  let abc = Network.add_node t Gate.And [| a; b; c |] in
+  let f = Network.add_node t Gate.Or [| ab; abc |] in
+  Network.set_outputs t [| ("f", f) |];
+  let before = Cost.area t in
+  let rewrites = Refactor.run t in
+  Cleanup.sweep t;
+  check "rewrote something" true (rewrites > 0);
+  check "area reduced" true (Cost.area t < before)
+
+let test_refactor_on_random_nets () =
+  for seed = 1 to 10 do
+    let net =
+      Accals_circuits.Random_logic.make ~name:"r" ~inputs:7 ~outputs:4 ~gates:80 ~seed
+    in
+    let original = Network.copy net in
+    ignore (Refactor.run net);
+    Cleanup.sweep net;
+    Network.validate net;
+    for v = 0 to 127 do
+      let ins = Test_util.bits_of_int v 7 in
+      Alcotest.(check (array bool)) "preserved"
+        (Network.eval original ins) (Network.eval net ins)
+    done
+  done
+
+let test_refactor_never_increases_area_much () =
+  (* Gains are estimated against frozen analyses, so allow a tiny slack,
+     but the pass must never blow the circuit up. *)
+  List.iter
+    (fun name ->
+      let net = Accals_circuits.Bench_suite.build name in
+      Cleanup.sweep net;
+      let before = Cost.area net in
+      ignore (Refactor.run net);
+      Cleanup.sweep net;
+      check (name ^ " no blowup") true (Cost.area net <= before *. 1.02))
+    [ "mtp8"; "alu4"; "cla32" ]
+
+(* Trace CSV *)
+
+let test_trace_csv () =
+  let round =
+    {
+      Trace.index = 1;
+      mode = Trace.Multi;
+      candidates = 10;
+      top_count = 5;
+      sol_count = 4;
+      indp_count = 2;
+      rand_count = 2;
+      chose_indp = Some true;
+      applied = 2;
+      skipped_cycles = 0;
+      error_before = 0.0;
+      error_after = 0.015;
+      estimated_error = 0.014;
+      reverted = false;
+      area = 123.0;
+    }
+  in
+  let csv = Trace.to_csv [ round; { round with Trace.index = 2; mode = Trace.Single; chose_indp = None } ] in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+  check "header" true
+    (match lines with
+     | header :: _ -> String.length header > 0 && header.[0] = 'r'
+     | [] -> false);
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  check "row content" true (contains "1,multi" csv && contains "2,single" csv);
+  check "choice column" true (contains ",indp," csv && contains ",-," csv)
+
+let test_trace_csv_file () =
+  let net = Accals_circuits.Bench_suite.load "alu4" in
+  let r =
+    Accals.Engine.run net ~metric:Accals_metrics.Metric.Error_rate ~error_bound:0.02
+  in
+  let path = Filename.temp_file "accals" ".csv" in
+  Trace.write_csv r.Accals.Engine.rounds path;
+  let ic = open_in path in
+  let header = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  check "header written" true (String.length header > 10)
+
+let suite =
+  [
+    ( "refactor",
+      [
+        Alcotest.test_case "preserves functions" `Quick test_refactor_preserves_function;
+        Alcotest.test_case "reduces redundancy" `Quick test_refactor_reduces_redundancy;
+        Alcotest.test_case "random networks" `Quick test_refactor_on_random_nets;
+        Alcotest.test_case "no area blowup" `Quick test_refactor_never_increases_area_much;
+      ] );
+    ( "trace csv",
+      [
+        Alcotest.test_case "format" `Quick test_trace_csv;
+        Alcotest.test_case "file output" `Quick test_trace_csv_file;
+      ] );
+  ]
