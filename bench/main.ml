@@ -15,8 +15,26 @@ module Metric = Accals_metrics.Metric
 module Bench_suite = Accals_circuits.Bench_suite
 module Seals = Accals_baselines.Seals
 module Amosa = Accals_baselines.Amosa
+module Pool = Accals_runtime.Pool
+module Fan_out = Accals_runtime.Fan_out
+module Stats = Accals_runtime.Stats
 
 let full = ref false
+
+let jobs = ref (Domain.recommended_domain_count ())
+
+(* One pool for the whole bench run: circuit-level sweeps fan out over it
+   (each inner synthesis staying sequential), and it is reused batch after
+   batch, so domain spawn cost is paid once. *)
+let pool_cell = ref None
+
+let pool () =
+  match !pool_cell with
+  | Some p -> p
+  | None ->
+    let p = Pool.create ~jobs:(max 1 !jobs) in
+    pool_cell := Some p;
+    p
 
 let seeds () = if !full then [ 1; 2; 3 ] else [ 1 ]
 
@@ -93,18 +111,45 @@ let run_one method_ name metric bound seed =
   | `Seals ->
     outcome_of_report (Seals.run ~config net ~metric ~error_bound:bound)
 
-let run method_ name metric bound =
+let key_of method_ name metric bound =
   let tag = match method_ with `Accals -> "accals" | `Seals -> "seals" in
-  let key =
-    Printf.sprintf "%s/%s/%s/%g/%b" tag name (Metric.kind_to_string metric)
-      bound !full
-  in
+  Printf.sprintf "%s/%s/%s/%g/%b" tag name (Metric.kind_to_string metric)
+    bound !full
+
+let run method_ name metric bound =
+  let key = key_of method_ name metric bound in
   match Hashtbl.find_opt run_cache key with
   | Some o -> o
   | None ->
     let o = average (List.map (run_one method_ name metric bound) (seeds ())) in
     Hashtbl.add run_cache key o;
     o
+
+(* Fill [run_cache] for every spec before a table prints.  With jobs > 1 the
+   independent synthesis runs fan out over the pool; circuits are loaded
+   into [circuit_cache] sequentially first so workers only ever read the
+   table.  Each inner run keeps jobs = 1, so the printed numbers are
+   identical to a sequential bench run. *)
+let prefetch specs =
+  let missing =
+    List.filter
+      (fun (m, n, metric, b) -> not (Hashtbl.mem run_cache (key_of m n metric b)))
+      (List.sort_uniq compare specs)
+  in
+  match missing with
+  | [] -> ()
+  | _ when !jobs <= 1 -> ()
+  | missing ->
+    List.iter (fun (_, n, _, _) -> ignore (circuit n)) missing;
+    let outcomes =
+      Fan_out.map_list (pool ())
+        ~f:(fun (m, n, metric, b) ->
+          average (List.map (run_one m n metric b) (seeds ())))
+        missing
+    in
+    List.iter2
+      (fun (m, n, metric, b) o -> Hashtbl.replace run_cache (key_of m n metric b) o)
+      missing outcomes
 
 let section title =
   Printf.printf "\n==================== %s ====================\n%!" title
@@ -137,6 +182,11 @@ let fig4 () =
   let cases =
     [ (Metric.Error_rate, 0.05); (Metric.Nmed, 0.0019531); (Metric.Mred, 0.0019531) ]
   in
+  prefetch
+    (List.concat_map
+       (fun name ->
+         List.map (fun (metric, bound) -> (`Accals, name, metric, bound)) cases)
+       arith_set);
   let totals = Array.make 3 0.0 in
   List.iter
     (fun name ->
@@ -158,6 +208,15 @@ let fig5 () =
   section "Fig. 5: avg ADP ratio and runtime vs ER threshold (small set)";
   Printf.printf "%-10s %12s %12s %12s %12s %9s\n" "ER thresh" "AccALS ADP"
     "SEALS ADP" "AccALS t(s)" "SEALS t(s)" "speedup";
+  prefetch
+    (List.concat_map
+       (fun bound ->
+         List.concat_map
+           (fun c ->
+             [ (`Accals, c, Metric.Error_rate, bound);
+               (`Seals, c, Metric.Error_rate, bound) ])
+           small_set)
+       er_thresholds);
   List.iter
     (fun bound ->
       let acc =
@@ -179,6 +238,13 @@ let fig6 tag metric thresholds set =
        tag (Metric.kind_to_string metric) (List.length thresholds));
   Printf.printf "%-8s %12s %12s %12s %12s %9s\n" "Ckt" "AccALS ADP" "SEALS ADP"
     "AccALS t(s)" "SEALS t(s)" "speedup";
+  prefetch
+    (List.concat_map
+       (fun name ->
+         List.concat_map
+           (fun b -> [ (`Accals, name, metric, b); (`Seals, name, metric, b) ])
+           thresholds)
+       set);
   let acc_tot = ref [] and se_tot = ref [] in
   List.iter
     (fun name ->
@@ -203,6 +269,12 @@ let table2 () =
   section "Table II: large (scaled) EPFL circuits under ER <= 0.1%";
   Printf.printf "%-8s %12s %12s %12s %12s %10s %10s %9s\n" "Ckt" "AccALS area"
     "SEALS area" "AccALS dly" "SEALS dly" "AccALS(s)" "SEALS(s)" "speedup";
+  prefetch
+    (List.concat_map
+       (fun name ->
+         [ (`Accals, name, Metric.Error_rate, 0.001);
+           (`Seals, name, Metric.Error_rate, 0.001) ])
+       epfl_set);
   let acc_tot = ref [] and se_tot = ref [] in
   List.iter
     (fun name ->
@@ -378,6 +450,82 @@ let sensitivity () =
     "(the sampled estimate drives synthesis; the exhaustive value is the \
      ground truth a user would certify against)\n"
 
+(* ---------- Runtime speedup: jobs=1 vs jobs=N, with JSON output ---------- *)
+
+let speedup_json_file = "bench_speedup.json"
+
+let speedup () =
+  let n_jobs = max 2 !jobs in
+  section
+    (Printf.sprintf "Runtime speedup: jobs=1 vs jobs=%d (JSON -> %s)" n_jobs
+       speedup_json_file);
+  let name = "mtp8" and metric = Metric.Error_rate and bound = 0.03 in
+  let net = circuit name in
+  let run_with j =
+    let config =
+      Config.for_network
+        ~base:{ Config.default with seed = 1; samples = samples (); jobs = j }
+        net
+    in
+    Engine.run ~config net ~metric ~error_bound:bound
+  in
+  let seq = run_with 1 in
+  let par = run_with n_jobs in
+  let deterministic =
+    seq.Engine.error = par.Engine.error
+    && seq.Engine.area_ratio = par.Engine.area_ratio
+    && List.length seq.Engine.rounds = List.length par.Engine.rounds
+  in
+  let phases =
+    List.map
+      (fun (nm, t1) -> (nm, t1, Stats.phase_seconds par.Engine.stats nm))
+      seq.Engine.stats.Stats.phases
+  in
+  let ratio t1 tn = t1 /. max 1e-9 tn in
+  Printf.printf "%-12s %12s %12s %9s\n" "phase" "jobs=1 (s)"
+    (Printf.sprintf "jobs=%d (s)" n_jobs)
+    "speedup";
+  List.iter
+    (fun (nm, t1, tn) ->
+      Printf.printf "%-12s %12.3f %12.3f %8.2fx\n" nm t1 tn (ratio t1 tn))
+    phases;
+  Printf.printf "%-12s %12.3f %12.3f %8.2fx   deterministic=%b\n" "total"
+    seq.Engine.runtime_seconds par.Engine.runtime_seconds
+    (ratio seq.Engine.runtime_seconds par.Engine.runtime_seconds)
+    deterministic;
+  (* Hand-rolled JSON so future PRs have a machine-readable perf trajectory
+     without a JSON dependency. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"circuit\": \"%s\",\n" name;
+  Printf.bprintf buf "  \"metric\": \"%s\",\n" (Metric.kind_to_string metric);
+  Printf.bprintf buf "  \"bound\": %g,\n" bound;
+  Printf.bprintf buf "  \"samples\": %d,\n" (samples ());
+  Printf.bprintf buf "  \"jobs\": %d,\n" n_jobs;
+  Printf.bprintf buf "  \"deterministic\": %b,\n" deterministic;
+  Printf.bprintf buf
+    "  \"total\": { \"jobs1_s\": %.6f, \"jobsN_s\": %.6f, \"speedup\": %.4f },\n"
+    seq.Engine.runtime_seconds par.Engine.runtime_seconds
+    (ratio seq.Engine.runtime_seconds par.Engine.runtime_seconds);
+  Printf.bprintf buf
+    "  \"pool\": { \"tasks\": %d, \"batches\": %d, \"waits\": %d },\n"
+    par.Engine.stats.Stats.tasks par.Engine.stats.Stats.batches
+    par.Engine.stats.Stats.waits;
+  Buffer.add_string buf "  \"phases\": [\n";
+  List.iteri
+    (fun i (nm, t1, tn) ->
+      Printf.bprintf buf
+        "    { \"name\": \"%s\", \"jobs1_s\": %.6f, \"jobsN_s\": %.6f, \
+         \"speedup\": %.4f }%s\n"
+        nm t1 tn (ratio t1 tn)
+        (if i = List.length phases - 1 then "" else ","))
+    phases;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out speedup_json_file in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote %s\n" speedup_json_file
+
 (* ---------- Bechamel micro-benchmarks: one Test.make per table/figure ---------- *)
 
 let micro () =
@@ -480,26 +628,51 @@ let experiments =
     ("table3", table3);
     ("ablation", ablation);
     ("sensitivity", sensitivity);
+    ("speedup", speedup);
     ("micro", micro);
   ]
+
+let usage () =
+  Printf.eprintf "experiments: %s\n" (String.concat " " (List.map fst experiments));
+  Printf.eprintf "flags: --full    -j/--jobs N (worker domains, default %d)\n"
+    (Domain.recommended_domain_count ());
+  exit 1
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
-  let selected, flags = List.partition (fun a -> List.mem_assoc a experiments) args in
-  List.iter
-    (fun flag ->
-      match flag with
-      | "--full" -> full := true
-      | other ->
-        Printf.eprintf "unknown argument %s\n" other;
-        Printf.eprintf "experiments: %s\n"
-          (String.concat " " (List.map fst experiments));
-        exit 1)
-    flags;
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | ("-j" | "--jobs") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+        jobs := j;
+        parse acc rest
+      | _ ->
+        Printf.eprintf "-j expects a positive integer, got %s\n" n;
+        usage ())
+    | [ ("-j" | "--jobs") ] ->
+      Printf.eprintf "-j expects an argument\n";
+      usage ()
+    | "--full" :: rest ->
+      full := true;
+      parse acc rest
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let rest = parse [] args in
+  let selected, unknown =
+    List.partition (fun a -> List.mem_assoc a experiments) rest
+  in
+  (match unknown with
+  | [] -> ()
+  | other :: _ ->
+    Printf.eprintf "unknown argument %s\n" other;
+    usage ());
   let to_run = if selected = [] then List.map fst experiments else selected in
   let t0 = Unix.gettimeofday () in
   List.iter (fun name -> (List.assoc name experiments) ()) to_run;
-  Printf.printf "\ntotal bench time: %.1fs%s\n"
+  (match !pool_cell with Some p -> Pool.shutdown p | None -> ());
+  Printf.printf "\ntotal bench time: %.1fs%s (jobs=%d)\n"
     (Unix.gettimeofday () -. t0)
     (if !full then " (full mode)" else "")
+    !jobs

@@ -91,6 +91,16 @@ let samples_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for the parallel runtime (default: the \
+           recommended domain count). Results are bit-identical for every \
+           value; 1 runs the reference sequential path.")
+
 let out_arg =
   Arg.(
     value
@@ -114,10 +124,10 @@ let trace_arg =
 
 let synth_cmd =
   let doc = "Synthesize an approximate circuit under an error bound." in
-  let run spec metric bound method_ samples seed out verilog verbose trace =
+  let run spec metric bound method_ samples seed jobs out verilog verbose trace =
     let net = load_circuit spec in
     let config =
-      let base = { Config.default with samples; seed } in
+      let base = { Config.default with samples; seed; jobs = max 1 jobs } in
       Config.for_network ~base net
     in
     let report =
@@ -138,6 +148,8 @@ let synth_cmd =
     Printf.printf "runtime      : %.2fs\n" report.Engine.runtime_seconds;
     Printf.printf "evaluations  : %d\n" report.Engine.exact_evaluations;
     Printf.printf "trace        : %s\n" (Trace.summary report.Engine.rounds);
+    Printf.printf "runtime pool : %s\n" (Trace.stats_summary report.Engine.stats);
+    Printf.printf "phases       : %s\n" (Trace.phases_summary report.Engine.stats);
     if verbose then
       List.iter
         (fun r ->
@@ -159,7 +171,7 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
       const run $ circuit_arg $ metric_arg $ bound_arg $ method_arg $ samples_arg
-      $ seed_arg $ out_arg $ verilog_arg $ verbose_arg $ trace_arg)
+      $ seed_arg $ jobs_arg $ out_arg $ verilog_arg $ verbose_arg $ trace_arg)
 
 (* --- convert --- *)
 
@@ -204,10 +216,16 @@ let verify_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"APPROX" ~doc:"Approximate circuit (name or file).")
   in
-  let run golden_spec approx_spec =
+  let run golden_spec approx_spec jobs =
     let golden = load_circuit golden_spec in
     let approx = load_circuit approx_spec in
-    let report = Accals_analysis.Exhaustive.compare_networks ~golden ~approx in
+    let report =
+      if jobs > 1 then
+        Accals_runtime.Pool.with_pool ~jobs (fun pool ->
+            Accals_analysis.Exhaustive.compare_networks_with ~pool ~golden
+              ~approx)
+      else Accals_analysis.Exhaustive.compare_networks ~golden ~approx
+    in
     Printf.printf "vectors      : %d (exhaustive)\n"
       report.Accals_analysis.Exhaustive.vectors;
     Printf.printf "ER           : %.8f\n" report.Accals_analysis.Exhaustive.error_rate;
@@ -220,7 +238,8 @@ let verify_cmd =
     Printf.printf "WCE          : %.1f\n"
       report.Accals_analysis.Exhaustive.worst_case_error
   in
-  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ circuit_arg $ approx_arg)
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run $ circuit_arg $ approx_arg $ jobs_arg)
 
 (* --- sweep --- *)
 
@@ -232,9 +251,14 @@ let sweep_cmd =
       & opt (list float) [ 0.001; 0.005; 0.02; 0.05 ]
       & info [ "bounds" ] ~docv:"B1,B2,.." ~doc:"Error bounds to sweep.")
   in
-  let run spec metric bounds =
+  let run spec metric bounds jobs =
     let net = load_circuit spec in
-    let results = Accals.Pareto.sweep net ~metric ~bounds in
+    let config =
+      Config.for_network
+        ~base:{ Config.default with jobs = max 1 jobs }
+        net
+    in
+    let results = Accals.Pareto.sweep ~config net ~metric ~bounds in
     Printf.printf "%-12s %12s %12s %12s %8s\n" "bound" "error" "area ratio"
       "delay ratio" "rounds";
     List.iter
@@ -244,7 +268,8 @@ let sweep_cmd =
           (List.length r.Engine.rounds))
       results
   in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ circuit_arg $ metric_arg $ bounds_arg)
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ circuit_arg $ metric_arg $ bounds_arg $ jobs_arg)
 
 let () =
   let doc = "Approximate logic synthesis with multi-LAC selection (AccALS)." in

@@ -28,7 +28,16 @@ let chunk_patterns k base =
   in
   { Sim.count; by_input }
 
-let compare_networks ~golden ~approx =
+(* Per-chunk error tallies; chunks are independent, so they fan out over a
+   pool and merge in chunk order. *)
+type partial = {
+  p_wrong : int;
+  p_distance : float;
+  p_relative : float;
+  p_worst : int;
+}
+
+let compare_gen pool ~golden ~approx =
   let k = Array.length (Network.inputs golden) in
   if k > max_inputs then invalid_arg "Exhaustive: too many inputs";
   if Array.length (Network.inputs approx) <> k then
@@ -42,16 +51,18 @@ let compare_networks ~golden ~approx =
   let total = 1 lsl k in
   let per_chunk = 1 lsl min k chunk_bits in
   let chunks = total / per_chunk in
-  let wrong = ref 0 in
-  let distance_sum = ref 0.0 in
-  let relative_sum = ref 0.0 in
-  let worst = ref 0 in
-  for c = 0 to chunks - 1 do
+  (* The chunk layout depends only on the input count, never on the pool
+     size, so the merged result is identical for every [jobs]. *)
+  let tally c =
     let patterns = chunk_patterns k (c * per_chunk) in
     let gs = Sim.run golden patterns ~order:golden_order in
     let asigs = Sim.run approx patterns ~order:approx_order in
     let gout = Array.map (fun id -> gs.(id)) (Network.outputs golden) in
     let aout = Array.map (fun id -> asigs.(id)) (Network.outputs approx) in
+    let wrong = ref 0 in
+    let distance_sum = ref 0.0 in
+    let relative_sum = ref 0.0 in
+    let worst = ref 0 in
     for p = 0 to per_chunk - 1 do
       let gv = Metric.output_value gout ~pattern:p in
       let av = Metric.output_value aout ~pattern:p in
@@ -62,8 +73,39 @@ let compare_networks ~golden ~approx =
         relative_sum := !relative_sum +. (float_of_int d /. float_of_int (max 1 gv));
         if d > !worst then worst := d
       end
-    done
-  done;
+    done;
+    {
+      p_wrong = !wrong;
+      p_distance = !distance_sum;
+      p_relative = !relative_sum;
+      p_worst = !worst;
+    }
+  in
+  let merge a b =
+    {
+      p_wrong = a.p_wrong + b.p_wrong;
+      p_distance = a.p_distance +. b.p_distance;
+      p_relative = a.p_relative +. b.p_relative;
+      p_worst = max a.p_worst b.p_worst;
+    }
+  in
+  let zero = { p_wrong = 0; p_distance = 0.0; p_relative = 0.0; p_worst = 0 } in
+  let totals =
+    match pool with
+    | Some pool ->
+      Accals_runtime.Fan_out.map_reduce pool ~n:chunks ~map:tally ~merge
+        ~init:zero
+    | None ->
+      let acc = ref zero in
+      for c = 0 to chunks - 1 do
+        acc := merge !acc (tally c)
+      done;
+      !acc
+  in
+  let wrong = ref totals.p_wrong in
+  let distance_sum = ref totals.p_distance in
+  let relative_sum = ref totals.p_relative in
+  let worst = ref totals.p_worst in
   let n = float_of_int total in
   let max_value = float_of_int ((1 lsl m) - 1) in
   {
@@ -81,3 +123,8 @@ let value r = function
   | Metric.Nmed -> r.normalized_mean_error_distance
   | Metric.Mred -> r.mean_relative_error_distance
   | Metric.Wce -> r.worst_case_error
+
+let compare_networks ~golden ~approx = compare_gen None ~golden ~approx
+
+let compare_networks_with ~pool ~golden ~approx =
+  compare_gen (Some pool) ~golden ~approx

@@ -27,4 +27,10 @@ val compare_networks : golden:Network.t -> approx:Network.t -> report
     [Invalid_argument] when interfaces differ or the input count exceeds
     {!max_inputs}. *)
 
+val compare_networks_with :
+  pool:Accals_runtime.Pool.t -> golden:Network.t -> approx:Network.t -> report
+(** Like {!compare_networks}, with the simulation chunks fanned out across
+    the pool's domains. The chunk layout and merge order are fixed, so the
+    report is identical to {!compare_networks} for every pool size. *)
+
 val value : report -> Metric.kind -> float

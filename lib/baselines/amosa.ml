@@ -38,9 +38,15 @@ let archive_insert archive point =
   if List.exists (fun p -> dominates p point || p = point) archive then archive
   else point :: List.filter (fun p -> not (dominates point p)) archive
 
-let run ?config ?(amosa = default_config) ?patterns net ~metric ~error_bound =
+let run ?config ?(amosa = default_config) ?patterns ?pool net ~metric
+    ~error_bound =
   if error_bound <= 0.0 then invalid_arg "Amosa.run: error bound must be positive";
   let config = match config with Some c -> c | None -> Config.for_network net in
+  let dpool, owned_pool =
+    match pool with
+    | Some p -> (p, false)
+    | None -> (Accals_runtime.Pool.create ~jobs:config.Config.jobs, true)
+  in
   let patterns =
     match patterns with
     | Some p -> p
@@ -49,6 +55,9 @@ let run ?config ?(amosa = default_config) ?patterns net ~metric ~error_bound =
         ~exhaustive_limit:config.Config.exhaustive_limit net
   in
   let started = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () -> if owned_pool then Accals_runtime.Pool.shutdown dpool)
+  @@ fun () ->
   let golden = Evaluate.output_signatures net patterns in
   let area0 = Cost.area net in
   let delay0 = Cost.delay net in
@@ -66,10 +75,14 @@ let run ?config ?(amosa = default_config) ?patterns net ~metric ~error_bound =
     incr round_index;
     let ctx = Round_ctx.create !current patterns in
     let est = Estimator.create ctx ~golden ~metric in
-    let candidates = Candidate_gen.generate ctx config.Config.candidate in
+    let candidates =
+      Candidate_gen.generate ~pool:dpool ctx config.Config.candidate
+    in
     if candidates = [] then finished := true
     else begin
-      let scored = Estimator.score est ~shortlist:amosa.pool_size candidates in
+      let scored =
+        Estimator.score ~pool:dpool est ~shortlist:amosa.pool_size candidates
+      in
       evaluations := !evaluations + Estimator.evaluations est;
       let l_sol, _ = Conflict_graph.find_and_solve scored in
       let pool = Array.of_list l_sol in
@@ -203,6 +216,7 @@ let run ?config ?(amosa = default_config) ?patterns net ~metric ~error_bound =
       area_ratio = Cost.area approximate /. area0;
       delay_ratio = Cost.delay approximate /. delay0;
       adp_ratio = Cost.adp approximate /. (area0 *. delay0);
+      stats = Accals_runtime.Stats.snapshot (Accals_runtime.Pool.stats dpool);
     }
   in
   { report; archive = List.sort compare !global_archive }

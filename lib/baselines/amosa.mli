@@ -38,6 +38,7 @@ val run :
   ?config:Accals.Config.t ->
   ?amosa:config ->
   ?patterns:Sim.patterns ->
+  ?pool:Accals_runtime.Pool.t ->
   Network.t ->
   metric:Metric.kind ->
   error_bound:float ->

@@ -7,11 +7,16 @@ module Config = Accals.Config
 module Engine = Accals.Engine
 module Trace = Accals.Trace
 
-let run ?config ?patterns ?shortlist net ~metric ~error_bound =
+let run ?config ?patterns ?shortlist ?pool net ~metric ~error_bound =
   if error_bound <= 0.0 then invalid_arg "Seals.run: error bound must be positive";
   let config = match config with Some c -> c | None -> Config.for_network net in
   let shortlist =
     match shortlist with Some s -> s | None -> config.Config.shortlist
+  in
+  let pool, owned_pool =
+    match pool with
+    | Some p -> (p, false)
+    | None -> (Accals_runtime.Pool.create ~jobs:config.Config.jobs, true)
   in
   let patterns =
     match patterns with
@@ -21,6 +26,9 @@ let run ?config ?patterns ?shortlist net ~metric ~error_bound =
         ~exhaustive_limit:config.Config.exhaustive_limit net
   in
   let started = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () -> if owned_pool then Accals_runtime.Pool.shutdown pool)
+  @@ fun () ->
   let golden = Evaluate.output_signatures net patterns in
   let area0 = Cost.area net in
   let delay0 = Cost.delay net in
@@ -36,10 +44,10 @@ let run ?config ?patterns ?shortlist net ~metric ~error_bound =
     incr round_index;
     let ctx = Round_ctx.create !current patterns in
     let est = Estimator.create ctx ~golden ~metric in
-    let candidates = Candidate_gen.generate ctx config.Config.candidate in
+    let candidates = Candidate_gen.generate ~pool ctx config.Config.candidate in
     if candidates = [] then finished := true
     else begin
-      let scored = Estimator.score est ~shortlist candidates in
+      let scored = Estimator.score ~pool est ~shortlist candidates in
       evaluations := !evaluations + Estimator.evaluations est;
       let rec try_apply = function
         | [] -> None
@@ -96,4 +104,5 @@ let run ?config ?patterns ?shortlist net ~metric ~error_bound =
     area_ratio = Cost.area approximate /. area0;
     delay_ratio = Cost.delay approximate /. delay0;
     adp_ratio = Cost.adp approximate /. (area0 *. delay0);
+    stats = Accals_runtime.Stats.snapshot (Accals_runtime.Pool.stats pool);
   }

@@ -14,6 +14,7 @@ val run :
   ?config:Accals.Config.t ->
   ?patterns:Sim.patterns ->
   ?shortlist:int ->
+  ?pool:Accals_runtime.Pool.t ->
   Network.t ->
   metric:Metric.kind ->
   error_bound:float ->

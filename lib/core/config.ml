@@ -19,6 +19,7 @@ type t = {
   use_improvement_1 : bool;
   use_improvement_2 : bool;
   exact_estimation : bool;
+  jobs : int;
 }
 
 let default =
@@ -41,7 +42,14 @@ let default =
     use_improvement_1 = true;
     use_improvement_2 = true;
     exact_estimation = true;
+    jobs = 1;
   }
+
+let parallel ?jobs base =
+  let jobs =
+    match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
+  in
+  { base with jobs = max 1 jobs }
 
 let for_size ?(base = default) aig_nodes =
   let r_ref, r_sel =

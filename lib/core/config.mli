@@ -31,10 +31,18 @@ type t = {
   exact_estimation : bool;
       (** resimulate shortlisted candidates exactly (default); off: take
           the cheap criticality estimate as ΔE (VECBEE's fast mode) *)
+  jobs : int;
+      (** domains for the parallel runtime; 1 (default) runs the reference
+          sequential path with no pool. Results are bit-identical for every
+          value, see [lib/runtime]. *)
 }
 
 val default : t
 (** Small-circuit bucket with 2048 samples. *)
+
+val parallel : ?jobs:int -> t -> t
+(** [parallel base] sets [jobs] (default
+    [Domain.recommended_domain_count ()], clamped to at least 1). *)
 
 val for_size : ?base:t -> int -> t
 (** [for_size aig_nodes] applies the paper's (r_ref, r_sel) size buckets on

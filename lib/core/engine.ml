@@ -4,6 +4,8 @@ module Metric = Accals_metrics.Metric
 module Estimator = Accals_esterr.Estimator
 module Evaluate = Accals_esterr.Evaluate
 module Prng = Accals_bitvec.Prng
+module Pool = Accals_runtime.Pool
+module Stats = Accals_runtime.Stats
 
 type report = {
   original : Network.t;
@@ -17,6 +19,7 @@ type report = {
   area_ratio : float;
   delay_ratio : float;
   adp_ratio : float;
+  stats : Stats.snapshot;
 }
 
 let patterns_for config net =
@@ -43,14 +46,21 @@ let apply_to_copy net lacs =
   let applied, skipped = Lac.apply_many copy ordered in
   (copy, applied, skipped)
 
-let run ?config ?patterns net ~metric ~error_bound =
+let run ?config ?patterns ?pool net ~metric ~error_bound =
   if error_bound <= 0.0 then invalid_arg "Engine.run: error bound must be positive";
   let config = match config with Some c -> c | None -> Config.for_network net in
+  let pool, owned_pool =
+    match pool with
+    | Some p -> (p, false)
+    | None -> (Pool.create ~jobs:config.Config.jobs, true)
+  in
+  let stats = Pool.stats pool in
+  let phase name f = Stats.time_phase stats name f in
   let patterns =
     match patterns with Some p -> p | None -> patterns_for config net
   in
   let started = Unix.gettimeofday () in
-  let golden = Evaluate.output_signatures net patterns in
+  let golden = phase "simulate" (fun () -> Evaluate.output_signatures net patterns) in
   let area0 = Cost.area net in
   let delay0 = Cost.delay net in
   let rng = Prng.create (config.Config.seed + 77) in
@@ -63,11 +73,16 @@ let run ?config ?patterns net ~metric ~error_bound =
   let round_index = ref 0 in
   let e_b = error_bound in
   let finished = ref false in
+  Fun.protect ~finally:(fun () -> if owned_pool then Pool.shutdown pool)
+  @@ fun () ->
   while (not !finished) && !round_index < config.Config.max_rounds do
     incr round_index;
-    let ctx = Round_ctx.create !current patterns in
-    let est = Estimator.create ctx ~golden ~metric in
-    let candidates = Candidate_gen.generate ctx config.Config.candidate in
+    let ctx = phase "simulate" (fun () -> Round_ctx.create !current patterns) in
+    let est = phase "simulate" (fun () -> Estimator.create ctx ~golden ~metric) in
+    let candidates =
+      phase "candidates" (fun () ->
+          Candidate_gen.generate ~pool ctx config.Config.candidate)
+    in
     if candidates = [] then finished := true
     else begin
       let single_mode =
@@ -78,10 +93,11 @@ let run ?config ?patterns net ~metric ~error_bound =
         else Estimator.Approximate
       in
       let scored =
-        Estimator.score ~mode est
-          ~shortlist:(if single_mode then min 64 config.Config.shortlist
-                      else config.Config.shortlist)
-          candidates
+        phase "estimate" (fun () ->
+            Estimator.score ~mode ~pool est
+              ~shortlist:(if single_mode then min 64 config.Config.shortlist
+                          else config.Config.shortlist)
+              candidates)
       in
       evaluations := !evaluations + Estimator.evaluations est;
       let record ~mode ~top ~sol ~indp ~rand ~chose ~applied ~skipped ~e_before
@@ -121,11 +137,14 @@ let run ?config ?patterns net ~metric ~error_bound =
       match scored with
       | [] -> finished := true
       | _ when single_mode -> begin
-        match apply_single () with
+        match phase "evaluate" apply_single with
         | None -> finished := true
         | Some (circuit, lac) ->
           Cleanup.sweep circuit;
-          let e_new = Evaluate.actual_error circuit patterns ~golden metric in
+          let e_new =
+            phase "evaluate" (fun () ->
+                Evaluate.actual_error circuit patterns ~golden metric)
+          in
           let e_before = !error in
           current := circuit;
           error := e_new;
@@ -139,22 +158,34 @@ let run ?config ?patterns net ~metric ~error_bound =
           else finished := true
       end
       | _ -> begin
-        let l_top = Top_set.obtain ~r_ref:config.Config.r_ref ~e:!error ~e_b scored in
-        let l_sol, _n_sol = Conflict_graph.find_and_solve l_top in
-        let l_indp =
-          Independent_select.select config ctx ~l_sol ~e:!error ~e_b
+        let l_indp, l_rand, l_top, l_sol =
+          phase "select" (fun () ->
+              let l_top =
+                Top_set.obtain ~r_ref:config.Config.r_ref ~e:!error ~e_b scored
+              in
+              let l_sol, _n_sol = Conflict_graph.find_and_solve l_top in
+              let l_indp =
+                Independent_select.select config ctx ~l_sol ~e:!error ~e_b
+              in
+              let l_rand =
+                if config.Config.use_random_comparison then
+                  Independent_select.select_random config rng ~l_sol ~e:!error
+                    ~e_b
+                else []
+              in
+              (l_indp, l_rand, l_top, l_sol))
         in
-        let l_rand =
-          if config.Config.use_random_comparison then
-            Independent_select.select_random config rng ~l_sol ~e:!error ~e_b
-          else []
-        in
-        let c1, applied1, skipped1 = apply_to_copy !current l_indp in
-        let c2, applied2, skipped2 = apply_to_copy !current l_rand in
-        let e1 = Evaluate.actual_error c1 patterns ~golden metric in
-        let e2 =
-          if l_rand = [] then infinity
-          else Evaluate.actual_error c2 patterns ~golden metric
+        let (c1, applied1, skipped1), (c2, applied2, skipped2), e1, e2 =
+          phase "evaluate" (fun () ->
+              let r1 = apply_to_copy !current l_indp in
+              let r2 = apply_to_copy !current l_rand in
+              let c1, _, _ = r1 and c2, _, _ = r2 in
+              let e1 = Evaluate.actual_error c1 patterns ~golden metric in
+              let e2 =
+                if l_rand = [] then infinity
+                else Evaluate.actual_error c2 patterns ~golden metric
+              in
+              (r1, r2, e1, e2))
         in
         if applied1 = [] && applied2 = [] then finished := true
         else begin
@@ -177,12 +208,13 @@ let run ?config ?patterns net ~metric ~error_bound =
           in
           if config.Config.use_improvement_2 && e_new > 0.0 && beta > config.Config.l_d
           then begin
-            match apply_single () with
+            match phase "evaluate" apply_single with
             | None -> finished := true
             | Some (single_circuit, lac) ->
               Cleanup.sweep single_circuit;
               let e_s =
-                Evaluate.actual_error single_circuit patterns ~golden metric
+                phase "evaluate" (fun () ->
+                    Evaluate.actual_error single_circuit patterns ~golden metric)
               in
               current := single_circuit;
               error := e_s;
@@ -232,4 +264,5 @@ let run ?config ?patterns net ~metric ~error_bound =
     area_ratio = Cost.area approximate /. area0;
     delay_ratio = Cost.delay approximate /. delay0;
     adp_ratio = Cost.adp approximate /. (area0 *. delay0);
+    stats = Stats.snapshot stats;
   }

@@ -17,11 +17,15 @@ type report = {
   area_ratio : float;
   delay_ratio : float;
   adp_ratio : float;
+  stats : Accals_runtime.Stats.snapshot;
+      (** parallel-runtime work accounting and per-phase wall time
+          ("simulate", "candidates", "estimate", "select", "evaluate") *)
 }
 
 val run :
   ?config:Config.t ->
   ?patterns:Sim.patterns ->
+  ?pool:Accals_runtime.Pool.t ->
   Network.t ->
   metric:Metric.kind ->
   error_bound:float ->
@@ -31,7 +35,14 @@ val run :
     exceed [error_bound]. When [config] is omitted, the paper's
     size-bucketed parameters are chosen from the circuit's AIG node count.
     When [patterns] is omitted, they are derived from [config]
-    (exhaustive below the input-count limit, seeded-random otherwise). *)
+    (exhaustive below the input-count limit, seeded-random otherwise).
+
+    When [pool] is given it is used (and left running) for the parallel
+    phases; otherwise a pool of [config.jobs] domains is created for the
+    run and shut down before returning. The report is bit-identical for
+    every [jobs] value — the parallel fan-out merges in submission order
+    (see [lib/runtime]) — so [jobs = 1] remains the reference
+    implementation. *)
 
 val golden_signatures :
   ?config:Config.t -> ?patterns:Sim.patterns -> Network.t -> Bitvec.t array

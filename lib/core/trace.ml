@@ -67,3 +67,20 @@ let summary rounds =
   let reverts = List.length (List.filter (fun r -> r.reverted) rounds) in
   Printf.sprintf "%d rounds, %d LACs applied, %d reverts, L_indp ratio %.2f" n
     applied reverts (indp_ratio rounds)
+
+(* Runtime accounting (from lib/runtime), formatted next to the round trace
+   so synthesis reports carry both the algorithmic and the execution view. *)
+
+let stats_summary (s : Accals_runtime.Stats.snapshot) =
+  Printf.sprintf "%d domain%s, %d tasks in %d batches, %d worker waits"
+    s.Accals_runtime.Stats.jobs
+    (if s.Accals_runtime.Stats.jobs = 1 then "" else "s")
+    s.Accals_runtime.Stats.tasks s.Accals_runtime.Stats.batches
+    s.Accals_runtime.Stats.waits
+
+let phases_summary (s : Accals_runtime.Stats.snapshot) =
+  match s.Accals_runtime.Stats.phases with
+  | [] -> "no phases recorded"
+  | phases ->
+    String.concat ", "
+      (List.map (fun (name, t) -> Printf.sprintf "%s %.2fs" name t) phases)

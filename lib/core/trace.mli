@@ -36,3 +36,14 @@ val to_csv : round list -> string
     gnuplot for trajectory plots. *)
 
 val write_csv : round list -> string -> unit
+
+(** {1 Parallel-runtime accounting}
+
+    The engine's report carries an {!Accals_runtime.Stats.snapshot}; these
+    helpers render it alongside the round trace. *)
+
+val stats_summary : Accals_runtime.Stats.snapshot -> string
+(** e.g. ["4 domains, 1280 tasks in 12 batches, 31 worker waits"]. *)
+
+val phases_summary : Accals_runtime.Stats.snapshot -> string
+(** Per-phase wall time, e.g. ["simulate 0.12s, estimate 1.40s, ..."]. *)

@@ -2,6 +2,19 @@ open Accals_network
 open Accals_lac
 module Bitvec = Accals_bitvec.Bitvec
 module Metric = Accals_metrics.Metric
+module Pool = Accals_runtime.Pool
+module Fan_out = Accals_runtime.Fan_out
+
+(* Resimulation scratch. Every domain participating in a parallel shortlist
+   pass owns a private [scratch]; the estimator's own one serves the
+   sequential entry points. All buffers are write-before-read, so a fresh
+   scratch produces bit-identical results to a reused one. *)
+type scratch = {
+  overlay : Bitvec.t array;  (* per-node substituted signatures *)
+  have : bool array;  (* overlay validity *)
+  mutable pool : Bitvec.t list;  (* recycled signature buffers *)
+  tmp : Bitvec.t;
+}
 
 type t = {
   ctx : Round_ctx.t;
@@ -11,13 +24,10 @@ type t = {
   base_error : float;
   crit : Bitvec.t array;
   err_mask : Bitvec.t;  (* samples where the current circuit is wrong *)
+  err_free : Bitvec.t;  (* complement of [err_mask] *)
   cone_cache : (int, int array) Hashtbl.t;
-  (* resimulation scratch *)
-  overlay : Bitvec.t array;
-  have : bool array;
-  mutable pool : Bitvec.t list;
-  scratch : Bitvec.t;
-  mutable evaluations : int;
+  scratch : scratch;
+  evaluations : int Atomic.t;
 }
 
 let samples t = t.ctx.Round_ctx.patterns.Sim.count
@@ -34,11 +44,23 @@ let compute_err_mask ctx golden =
     golden;
   err
 
+let make_scratch nodes samples =
+  let dummy = Bitvec.create 0 in
+  {
+    overlay = Array.make nodes dummy;
+    have = Array.make nodes false;
+    pool = [];
+    tmp = Bitvec.create samples;
+  }
+
+let fresh_scratch t =
+  make_scratch (Network.num_nodes t.ctx.Round_ctx.net) (samples t)
+
 let create ctx ~golden ~metric =
   let approx = Round_ctx.output_sigs ctx in
   let base_error = Metric.measure metric ~golden ~approx in
   let n = Network.num_nodes ctx.Round_ctx.net in
-  let dummy = Bitvec.create 0 in
+  let err_mask = compute_err_mask ctx golden in
   {
     ctx;
     golden;
@@ -46,29 +68,27 @@ let create ctx ~golden ~metric =
     metric;
     base_error;
     crit = Criticality.masks ctx;
-    err_mask = compute_err_mask ctx golden;
+    err_mask;
+    err_free = Bitvec.lognot err_mask;
     cone_cache = Hashtbl.create 64;
-    overlay = Array.make n dummy;
-    have = Array.make n false;
-    pool = [];
-    scratch = Bitvec.create ctx.Round_ctx.patterns.Sim.count;
-    evaluations = 0;
+    scratch = make_scratch n ctx.Round_ctx.patterns.Sim.count;
+    evaluations = Atomic.make 0;
   }
 
 let base_error t = t.base_error
 
-let take_buf t =
-  match t.pool with
+let take_buf t s =
+  match s.pool with
   | b :: rest ->
-    t.pool <- rest;
+    s.pool <- rest;
     b
   | [] -> Bitvec.create (samples t)
 
-let give_buf t b = t.pool <- b :: t.pool
+let give_buf s b = s.pool <- b :: s.pool
 
-let candidate_signature t lac =
+let candidate_signature_in t s lac =
   let sigs = t.ctx.Round_ctx.sigs in
-  let dst = take_buf t in
+  let dst = take_buf t s in
   (match lac.Lac.kind with
    | Lac.Const0 -> Bitvec.fill dst false
    | Lac.Const1 -> Bitvec.fill dst true
@@ -106,8 +126,8 @@ let candidate_signature t lac =
       | Gate.Buf | Gate.Not ->
         invalid_arg "Estimator: unsupported Gate3 op")
    | Lac.Sop { leaves; cubes } ->
-     let product = take_buf t in
-     let negated = take_buf t in
+     let product = take_buf t s in
+     let negated = take_buf t s in
      Bitvec.fill dst false;
      List.iter
        (fun cube ->
@@ -124,22 +144,25 @@ let candidate_signature t lac =
            leaves;
          Bitvec.logor_into dst product ~dst)
        cubes;
-     give_buf t product;
-     give_buf t negated);
+     give_buf s product;
+     give_buf s negated);
   dst
 
-let rank_score t lac =
+let candidate_signature t lac = candidate_signature_in t t.scratch lac
+
+let rank_score_in t s lac =
   let target = lac.Lac.target in
-  let cand = candidate_signature t lac in
-  Bitvec.logxor_into cand t.ctx.Round_ctx.sigs.(target) ~dst:t.scratch;
-  Bitvec.logand_into t.scratch t.crit.(target) ~dst:t.scratch;
-  give_buf t cand;
+  let cand = candidate_signature_in t s lac in
+  Bitvec.logxor_into cand t.ctx.Round_ctx.sigs.(target) ~dst:s.tmp;
+  Bitvec.logand_into s.tmp t.crit.(target) ~dst:s.tmp;
+  give_buf s cand;
   (* Potential fresh errors: observable changes on currently-correct
      samples. Changes landing on already-wrong samples are free (they may
      even fix the error), so they do not count against the LAC. *)
-  let err_free = Bitvec.lognot t.err_mask in
-  Bitvec.logand_into t.scratch err_free ~dst:t.scratch;
-  float_of_int (Bitvec.popcount t.scratch) /. float_of_int (samples t)
+  Bitvec.logand_into s.tmp t.err_free ~dst:s.tmp;
+  float_of_int (Bitvec.popcount s.tmp) /. float_of_int (samples t)
+
+let rank_score t lac = rank_score_in t t.scratch lac
 
 let cone t target =
   match Hashtbl.find_opt t.cone_cache target with
@@ -152,33 +175,33 @@ let cone t target =
     Hashtbl.add t.cone_cache target c;
     c
 
-let exact_delta t lac =
+let exact_delta_in t s lac =
   let ctx = t.ctx in
   let net = ctx.Round_ctx.net in
   let sigs = ctx.Round_ctx.sigs in
   let target = lac.Lac.target in
-  let cand = candidate_signature t lac in
+  let cand = candidate_signature_in t s lac in
   if Bitvec.equal cand sigs.(target) then begin
-    give_buf t cand;
+    give_buf s cand;
     0.0
   end
   else begin
-    t.evaluations <- t.evaluations + 1;
+    Atomic.incr t.evaluations;
     let touched = ref [ target ] in
-    t.overlay.(target) <- cand;
-    t.have.(target) <- true;
-    let lookup id = if t.have.(id) then t.overlay.(id) else sigs.(id) in
+    s.overlay.(target) <- cand;
+    s.have.(target) <- true;
+    let lookup id = if s.have.(id) then s.overlay.(id) else sigs.(id) in
     Array.iter
       (fun id ->
         let fis = Network.fanins net id in
-        let dirty = Array.exists (fun f -> t.have.(f)) fis in
+        let dirty = Array.exists (fun f -> s.have.(f)) fis in
         if dirty then begin
-          let dst = take_buf t in
+          let dst = take_buf t s in
           Sim.eval_node_into net ~lookup id ~dst;
-          if Bitvec.equal dst sigs.(id) then give_buf t dst
+          if Bitvec.equal dst sigs.(id) then give_buf s dst
           else begin
-            t.overlay.(id) <- dst;
-            t.have.(id) <- true;
+            s.overlay.(id) <- dst;
+            s.have.(id) <- true;
             touched := id :: !touched
           end
         end)
@@ -187,15 +210,17 @@ let exact_delta t lac =
     let e_new = Metric.measure_prepared t.prepared ~approx in
     List.iter
       (fun id ->
-        give_buf t t.overlay.(id);
-        t.have.(id) <- false)
+        give_buf s s.overlay.(id);
+        s.have.(id) <- false)
       !touched;
     e_new -. t.base_error
   end
 
+let exact_delta t lac = exact_delta_in t t.scratch lac
+
 type mode = Exact | Approximate
 
-let score ?(mode = Exact) t ~shortlist lacs =
+let score ?(mode = Exact) ?pool t ~shortlist lacs =
   let ranked =
     List.map (fun lac -> (rank_score t lac, lac)) lacs
     |> List.sort (fun (ra, la) (rb, lb) ->
@@ -209,10 +234,23 @@ let score ?(mode = Exact) t ~shortlist lacs =
     | (_, lac) :: rest -> lac :: take (n - 1) rest
   in
   let chosen = take shortlist ranked in
-  let evaluate =
-    match mode with Exact -> exact_delta t | Approximate -> rank_score t
+  let scored =
+    match (mode, pool) with
+    | Exact, Some pool when Pool.jobs pool > 1 ->
+      (* Exact-on-samples cone resimulation is the estimator-bound phase:
+         fan the shortlist out over the pool. Cones are prefetched here so
+         workers only ever read the cache; each chunk of candidates gets a
+         private resimulation scratch. *)
+      List.iter (fun lac -> ignore (cone t lac.Lac.target)) chosen;
+      Fan_out.map_list_with pool
+        ~state:(fun () -> fresh_scratch t)
+        ~f:(fun s lac -> Lac.with_delta lac (exact_delta_in t s lac))
+        chosen
+    | Exact, _ ->
+      List.map (fun lac -> Lac.with_delta lac (exact_delta t lac)) chosen
+    | Approximate, _ ->
+      List.map (fun lac -> Lac.with_delta lac (rank_score t lac)) chosen
   in
-  let scored = List.map (fun lac -> Lac.with_delta lac (evaluate lac)) chosen in
   List.sort
     (fun a b ->
       match compare a.Lac.delta_error b.Lac.delta_error with
@@ -220,4 +258,4 @@ let score ?(mode = Exact) t ~shortlist lacs =
       | c -> c)
     scored
 
-let evaluations t = t.evaluations
+let evaluations t = Atomic.get t.evaluations

@@ -37,14 +37,27 @@ val exact_delta : t -> Lac.t -> float
 
 type mode = Exact | Approximate
 
-val score : ?mode:mode -> t -> shortlist:int -> Lac.t list -> Lac.t list
+val score :
+  ?mode:mode ->
+  ?pool:Accals_runtime.Pool.t ->
+  t ->
+  shortlist:int ->
+  Lac.t list ->
+  Lac.t list
 (** Rank all candidates, evaluate the best [shortlist] of them, and return
     those with [delta_error] filled, sorted by ascending ΔE (ties: larger
     area gain first). [Exact] (default) resimulates each shortlisted
     candidate's fanout cone; [Approximate] takes the criticality estimate as
     ΔE without resimulation — the cheap end of the VECBEE [11]
-    accuracy/effort trade-off, exposed for the ablation study. *)
+    accuracy/effort trade-off, exposed for the ablation study.
+
+    When [pool] is a multi-domain pool and the mode is [Exact], the
+    shortlist resimulations fan out across the pool's domains, each domain
+    resimulating on private scratch buffers; results are merged in
+    candidate order, so the outcome is bit-identical to the sequential
+    pass. *)
 
 val evaluations : t -> int
 (** Number of exact cone resimulations performed so far (for the bench
-    harness's work accounting). *)
+    harness's work accounting). [Atomic.t]-backed, so the count stays exact
+    when [score] fans out over a pool. *)

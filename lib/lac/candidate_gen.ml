@@ -208,24 +208,19 @@ let take_best k measure items =
   in
   take k sorted
 
-let generate (ctx : Round_ctx.t) config =
+(* All candidates for one target, in emission order. Reads only immutable
+   views of [ctx] (plus the prebuilt similarity buckets and cut sets), so
+   distinct targets can be enumerated on different domains concurrently. *)
+let candidates_for_target (ctx : Round_ctx.t) config ~buckets ~all_cuts target =
   let net = ctx.net in
   let samples = ctx.patterns.Sim.count in
   let wire_limit =
     int_of_float (config.wire_distance_fraction *. float_of_int samples)
   in
   let inv_area = Cost.gate_area Gate.Not 1 in
-  let buckets = similarity_buckets ctx in
-  let all_cuts =
-    if config.sops_per_target > 0 then
-      Cut_enum.enumerate net ~order:ctx.order ~k:(min config.cut_size Truth.max_vars)
-        ~per_node:config.cuts_per_node
-    else [||]
-  in
   let acc = ref [] in
   let emit lac = acc := lac :: !acc in
-  Array.iter
-    (fun target ->
+  (fun target ->
       let op = Network.op net target in
       let worth_replacing =
         match op with
@@ -381,5 +376,23 @@ let generate (ctx : Round_ctx.t) config =
               (sop_candidates ctx config ~mffc target all_cuts.(target))
         end
       end)
-    ctx.order;
+    target;
   List.rev !acc
+
+let generate ?pool (ctx : Round_ctx.t) config =
+  let buckets = similarity_buckets ctx in
+  let all_cuts =
+    if config.sops_per_target > 0 then
+      Cut_enum.enumerate ctx.net ~order:ctx.order
+        ~k:(min config.cut_size Truth.max_vars)
+        ~per_node:config.cuts_per_node
+    else [||]
+  in
+  let per_target = candidates_for_target ctx config ~buckets ~all_cuts in
+  match pool with
+  | Some pool when Accals_runtime.Pool.jobs pool > 1 ->
+    (* Per-target enumeration fans out; concatenating the per-target lists
+       in topological-order position reproduces the sequential emission
+       order exactly. *)
+    Accals_runtime.Fan_out.concat_map_array pool ~f:per_target ctx.order
+  | _ -> List.concat_map per_target (Array.to_list ctx.order)

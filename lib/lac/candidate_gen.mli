@@ -37,6 +37,10 @@ type config = {
 
 val default_config : config
 
-val generate : Round_ctx.t -> config -> Lac.t list
+val generate :
+  ?pool:Accals_runtime.Pool.t -> Round_ctx.t -> config -> Lac.t list
 (** All candidate LACs for the current round, unscored
-    ([delta_error = nan]). Deterministic. *)
+    ([delta_error = nan]). Deterministic: with a multi-domain [pool] the
+    per-target enumeration fans out across domains and per-target results
+    are concatenated in topological order, byte-identical to the
+    sequential run. *)

@@ -1,0 +1,61 @@
+(* All result assembly is positional: task [i] writes slot [i] (or the slots
+   of chunk [i]), so the merged output never depends on scheduling. *)
+
+let map_array pool ~f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    Pool.run pool ~count:n (fun i -> results.(i) <- Some (f arr.(i)));
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let map_list pool ~f items =
+  Array.to_list (map_array pool ~f (Array.of_list items))
+
+(* Contiguous chunk ranges covering [0, n): at most [chunks] of them, sized
+   within one element of each other. The layout depends only on [n] and
+   [chunks], never on scheduling. *)
+let ranges ~chunks n =
+  let chunks = max 1 (min chunks n) in
+  let base = n / chunks and extra = n mod chunks in
+  Array.init chunks (fun c ->
+      let lo = (c * base) + min c extra in
+      let len = base + if c < extra then 1 else 0 in
+      (lo, len))
+
+let default_chunks pool n =
+  (* Enough chunks for dynamic load balancing, few enough that per-chunk
+     state creation stays negligible. *)
+  min n (4 * Pool.jobs pool)
+
+let map_array_with pool ~state ~f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let ranges = ranges ~chunks:(default_chunks pool n) n in
+    Pool.run pool ~count:(Array.length ranges) (fun c ->
+        let lo, len = ranges.(c) in
+        let s = state () in
+        for i = lo to lo + len - 1 do
+          results.(i) <- Some (f s arr.(i))
+        done);
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let map_list_with pool ~state ~f items =
+  Array.to_list (map_array_with pool ~state ~f (Array.of_list items))
+
+let map_reduce pool ~n ~map ~merge ~init =
+  if n = 0 then init
+  else begin
+    let results = Array.make n None in
+    Pool.run pool ~count:n (fun i -> results.(i) <- Some (map i));
+    Array.fold_left
+      (fun acc r -> match r with Some r -> merge acc r | None -> assert false)
+      init results
+  end
+
+let concat_map_array pool ~f arr =
+  List.concat (Array.to_list (map_array pool ~f arr))

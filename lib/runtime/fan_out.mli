@@ -1,0 +1,39 @@
+(** Deterministic fan-out over index ranges, arrays and lists.
+
+    Every function here splits its work into ordered units, runs the units
+    on the pool's domains, and assembles results in submission order, so the
+    output is bit-identical to a sequential run no matter how many domains
+    execute it or how the scheduler interleaves them. Work units are
+    claimed dynamically (an atomic cursor), which load-balances irregular
+    task costs without affecting where each result lands.
+
+    [state]-carrying variants create one private scratch state per chunk
+    with [state ()]; the state must be pure scratch — per-element results
+    must not depend on which elements share a state, or determinism across
+    [jobs] values is lost. *)
+
+val map_array : Pool.t -> f:('a -> 'b) -> 'a array -> 'b array
+(** One task per element; [result.(i) = f arr.(i)]. *)
+
+val map_list : Pool.t -> f:('a -> 'b) -> 'a list -> 'b list
+
+val map_array_with :
+  Pool.t -> state:(unit -> 's) -> f:('s -> 'a -> 'b) -> 'a array -> 'b array
+(** Elements are grouped into contiguous chunks; each chunk task calls
+    [state ()] once and folds its elements through [f] left to right.
+    Results land by element index. *)
+
+val map_list_with :
+  Pool.t -> state:(unit -> 's) -> f:('s -> 'a -> 'b) -> 'a list -> 'b list
+
+val map_reduce :
+  Pool.t -> n:int -> map:(int -> 'b) -> merge:('b -> 'b -> 'b) -> init:'b -> 'b
+(** [map_reduce p ~n ~map ~merge ~init] computes [map i] for [0 <= i < n]
+    in parallel and folds [merge] over the results in index order:
+    [merge (... (merge init (map 0)) ...) (map (n-1))]. The merge runs on
+    the submitting domain, so [merge] needs no synchronization and the
+    association order is fixed — the result does not depend on [jobs]. *)
+
+val concat_map_array : Pool.t -> f:('a -> 'b list) -> 'a array -> 'b list
+(** [concat_map_array p ~f arr] is [List.concat_map f (Array.to_list arr)]
+    with the per-element lists computed in parallel. *)

@@ -1,0 +1,149 @@
+type batch = {
+  id : int;
+  count : int;
+  task : int -> unit;  (* exception-safe wrapper around the user task *)
+  next : int Atomic.t;  (* next index to claim *)
+  completed : int Atomic.t;  (* finished tasks, equals [count] when done *)
+}
+
+type t = {
+  jobs : int;
+  stats : Stats.t;
+  mutex : Mutex.t;
+  cond : Condition.t;  (* workers: batch posted; submitter: batch finished *)
+  mutable batch : batch option;
+  mutable batch_id : int;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let stats t = t.stats
+
+(* Claim and run tasks until the batch's index space is exhausted. The last
+   task to finish clears [t.batch] and wakes everyone: idle workers go back
+   to waiting for the next id, the submitter returns from [run]. *)
+let drain t b =
+  let rec go () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < b.count then begin
+      b.task i;
+      Stats.incr_tasks t.stats;
+      let finished = 1 + Atomic.fetch_and_add b.completed 1 in
+      if finished = b.count then begin
+        Mutex.lock t.mutex;
+        t.batch <- None;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mutex
+      end;
+      go ()
+    end
+  in
+  go ()
+
+let worker t =
+  let last_seen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec await () =
+      match t.batch with
+      | Some b when b.id <> !last_seen -> Some b
+      | _ ->
+        if t.stop then None
+        else begin
+          Stats.incr_waits t.stats;
+          Condition.wait t.cond t.mutex;
+          await ()
+        end
+    in
+    let next = await () in
+    Mutex.unlock t.mutex;
+    match next with
+    | None -> ()
+    | Some b ->
+      last_seen := b.id;
+      drain t b;
+      loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be at least 1";
+  let t =
+    {
+      jobs;
+      stats = Stats.create ~jobs;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      batch = None;
+      batch_id = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  if jobs > 1 then
+    t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let run t ~count task =
+  if count < 0 then invalid_arg "Pool.run: negative count";
+  if count > 0 then begin
+    if t.jobs = 1 || count = 1 then begin
+      (* Sequential bypass: no batch machinery, no synchronization. *)
+      for i = 0 to count - 1 do
+        task i
+      done;
+      Stats.add_tasks t.stats count
+    end
+    else begin
+      let first_error = Atomic.make None in
+      let safe i =
+        try task i
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set first_error None (Some (e, bt)))
+      in
+      Mutex.lock t.mutex;
+      if t.stop then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool.run: pool is shut down"
+      end;
+      assert (t.batch = None);
+      t.batch_id <- t.batch_id + 1;
+      let b =
+        {
+          id = t.batch_id;
+          count;
+          task = safe;
+          next = Atomic.make 0;
+          completed = Atomic.make 0;
+        }
+      in
+      t.batch <- Some b;
+      Stats.incr_batches t.stats;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex;
+      drain t b;
+      Mutex.lock t.mutex;
+      while Atomic.get b.completed < b.count do
+        Condition.wait t.cond t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      match Atomic.get first_error with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

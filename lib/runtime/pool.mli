@@ -1,0 +1,36 @@
+(** Fixed-size domain pool.
+
+    A pool spawns [jobs - 1] worker domains once and reuses them for every
+    subsequent {!run}; the submitting domain always participates too, so a
+    [jobs]-pool applies [jobs] domains to each batch. With [jobs = 1] no
+    domain is ever spawned and {!run} degenerates to a plain sequential
+    loop — the sequential path stays the reference implementation.
+
+    {!run} is synchronous and must only be driven from one domain at a time
+    (the engine's main loop); workers never submit batches themselves. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains. [jobs] must be at
+    least 1. The workers idle on a condition variable between batches. *)
+
+val jobs : t -> int
+
+val stats : t -> Stats.t
+(** Shared work-accounting record; see {!Stats}. *)
+
+val run : t -> count:int -> (int -> unit) -> unit
+(** [run t ~count task] executes [task 0 .. task (count - 1)], each exactly
+    once, distributing indices over the pool's domains, and returns when all
+    have finished. Tasks must not depend on execution order or domain
+    placement. If any task raises, the first exception (by completion time)
+    is re-raised in the caller after the whole batch has drained. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent; the pool must be idle. A pool that
+    is never shut down leaks its domains until program exit. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, also on exception. *)

@@ -1,0 +1,64 @@
+type t = {
+  jobs : int;
+  tasks : int Atomic.t;
+  batches : int Atomic.t;
+  waits : int Atomic.t;
+  mutex : Mutex.t;  (* guards [phases] *)
+  mutable phases : (string * float ref) list;  (* reverse insertion order *)
+}
+
+let create ~jobs =
+  {
+    jobs;
+    tasks = Atomic.make 0;
+    batches = Atomic.make 0;
+    waits = Atomic.make 0;
+    mutex = Mutex.create ();
+    phases = [];
+  }
+
+let jobs t = t.jobs
+
+let incr_tasks t = Atomic.incr t.tasks
+
+let add_tasks t n = ignore (Atomic.fetch_and_add t.tasks n)
+
+let incr_batches t = Atomic.incr t.batches
+
+let incr_waits t = Atomic.incr t.waits
+
+let add_phase t name seconds =
+  Mutex.lock t.mutex;
+  (match List.assoc_opt name t.phases with
+   | Some cell -> cell := !cell +. seconds
+   | None -> t.phases <- (name, ref seconds) :: t.phases);
+  Mutex.unlock t.mutex
+
+let time_phase t name f =
+  let started = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> add_phase t name (Unix.gettimeofday () -. started)) f
+
+type snapshot = {
+  jobs : int;
+  tasks : int;
+  batches : int;
+  waits : int;
+  phases : (string * float) list;
+}
+
+let snapshot t =
+  Mutex.lock t.mutex;
+  let phases = List.rev_map (fun (name, cell) -> (name, !cell)) t.phases in
+  Mutex.unlock t.mutex;
+  {
+    jobs = t.jobs;
+    tasks = Atomic.get t.tasks;
+    batches = Atomic.get t.batches;
+    waits = Atomic.get t.waits;
+    phases;
+  }
+
+let empty = { jobs = 1; tasks = 0; batches = 0; waits = 0; phases = [] }
+
+let phase_seconds snap name =
+  match List.assoc_opt name snap.phases with Some s -> s | None -> 0.0

@@ -1,0 +1,55 @@
+(** Work accounting for the domain-parallel runtime.
+
+    A [Stats.t] is attached to a {!Pool.t} and accumulates, across the
+    pool's whole lifetime: the number of tasks executed, the number of
+    batches (one per {!Pool.run}), and the number of times a worker went to
+    sleep waiting for work. Counters are [Atomic.t]-backed so workers on
+    different domains can bump them without locks.
+
+    Independently, named phases ("simulate", "estimate", ...) accumulate
+    wall-clock seconds via {!time_phase}; phase timing is only ever driven
+    from the submitting domain, so it needs no synchronization beyond the
+    counters themselves. A {!snapshot} freezes everything into a plain
+    record for reports and the bench harness. *)
+
+type t
+
+val create : jobs:int -> t
+
+val jobs : t -> int
+
+(** {1 Counters (used by [Pool])} *)
+
+val incr_tasks : t -> unit
+val add_tasks : t -> int -> unit
+val incr_batches : t -> unit
+val incr_waits : t -> unit
+
+(** {1 Phase timing} *)
+
+val time_phase : t -> string -> (unit -> 'a) -> 'a
+(** [time_phase t name f] runs [f ()] and adds its wall-clock duration to
+    the accumulated time of phase [name]. Phases appear in snapshots in
+    first-recorded order. Re-entrant calls to the same phase are summed. *)
+
+val add_phase : t -> string -> float -> unit
+(** Add [seconds] to phase [name] directly. *)
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  jobs : int;  (** pool size the stats were collected under *)
+  tasks : int;  (** tasks executed (including sequential bypass) *)
+  batches : int;  (** [Pool.run] invocations that fanned out *)
+  waits : int;  (** times a worker domain slept waiting for work *)
+  phases : (string * float) list;  (** per-phase wall seconds, in order *)
+}
+
+val snapshot : t -> snapshot
+
+val empty : snapshot
+(** All-zero snapshot with [jobs = 1]; the placeholder for flows that never
+    touched a pool. *)
+
+val phase_seconds : snapshot -> string -> float
+(** Accumulated seconds of a phase, 0 if never recorded. *)

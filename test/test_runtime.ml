@@ -1,0 +1,235 @@
+(* lib/runtime: pool lifecycle, deterministic fan-out, and the end-to-end
+   guarantee that jobs > 1 reproduces the sequential reference bit for bit. *)
+
+open Accals_network
+module Pool = Accals_runtime.Pool
+module Fan_out = Accals_runtime.Fan_out
+module Stats = Accals_runtime.Stats
+module Engine = Accals.Engine
+module Config = Accals.Config
+module Metric = Accals_metrics.Metric
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Pool lifecycle --- *)
+
+let test_pool_lifecycle () =
+  let pool = Pool.create ~jobs:4 in
+  check_int "jobs" 4 (Pool.jobs pool);
+  (* The same pool services many batches; workers are spawned once. *)
+  for round = 1 to 5 do
+    let n = 17 * round in
+    let hits = Array.make n 0 in
+    Pool.run pool ~count:n (fun i -> hits.(i) <- hits.(i) + 1);
+    check "each task ran exactly once" true (Array.for_all (( = ) 1) hits)
+  done;
+  let snap = Stats.snapshot (Pool.stats pool) in
+  check_int "tasks counted" (17 * (1 + 2 + 3 + 4 + 5)) snap.Stats.tasks;
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *)
+
+let test_pool_sequential_bypass () =
+  (* jobs = 1 never spawns a domain and runs inline, in order. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let order = ref [] in
+      Pool.run pool ~count:5 (fun i -> order := i :: !order);
+      check "inline order" true (!order = [ 4; 3; 2; 1; 0 ]))
+
+let test_pool_empty_batch () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      Pool.run pool ~count:0 (fun _ -> assert false))
+
+exception Boom of int
+
+let test_pool_exception () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let raised =
+        try
+          Pool.run pool ~count:32 (fun i -> if i = 13 then raise (Boom i));
+          false
+        with Boom 13 -> true
+      in
+      check "task exception re-raised in caller" true raised;
+      (* The pool survives a failed batch. *)
+      let sum = Atomic.make 0 in
+      Pool.run pool ~count:10 (fun i -> ignore (Atomic.fetch_and_add sum i));
+      check_int "pool usable after exception" 45 (Atomic.get sum))
+
+(* --- Fan_out: chunking edge cases and determinism --- *)
+
+let sizes = [ 0; 1; 2; 3; 7; 16; 33; 100 ]
+
+let test_map_matches_sequential () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          List.iter
+            (fun n ->
+              let xs = List.init n (fun i -> i) in
+              let expect = List.map (fun i -> (i * i) + 1) xs in
+              let got = Fan_out.map_list pool ~f:(fun i -> (i * i) + 1) xs in
+              check "map_list" true (got = expect);
+              let arr = Array.of_list xs in
+              let got_a = Fan_out.map_array pool ~f:(fun i -> i * 3) arr in
+              check "map_array" true
+                (got_a = Array.map (fun i -> i * 3) arr))
+            sizes))
+    [ 1; 2; 5 ]
+
+let test_map_with_state () =
+  (* One scratch state per chunk; results land by element index even when
+     there are fewer items than workers. *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          List.iter
+            (fun n ->
+              let xs = List.init n (fun i -> i) in
+              let got =
+                Fan_out.map_list_with pool
+                  ~state:(fun () -> Buffer.create 8)
+                  ~f:(fun buf i ->
+                    Buffer.clear buf;
+                    Buffer.add_string buf (string_of_int (i + 1));
+                    int_of_string (Buffer.contents buf))
+                  xs
+              in
+              check "map_list_with" true (got = List.map (( + ) 1) xs))
+            sizes))
+    [ 1; 2; 5 ]
+
+let test_map_reduce_order () =
+  (* String concatenation is non-commutative: any merge out of submission
+     order would scramble the result. *)
+  let expect n =
+    String.concat "" (List.init n (fun i -> Printf.sprintf "[%d]" i))
+  in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          List.iter
+            (fun n ->
+              let got =
+                Fan_out.map_reduce pool ~n
+                  ~map:(fun i -> Printf.sprintf "[%d]" i)
+                  ~merge:( ^ ) ~init:""
+              in
+              check "merge in submission order" true (got = expect n))
+            sizes))
+    [ 1; 2; 5 ]
+
+let test_concat_map () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let arr = Array.init 23 (fun i -> i) in
+      let f i = List.init (i mod 3) (fun j -> (i, j)) in
+      check "concat_map_array" true
+        (Fan_out.concat_map_array pool ~f arr
+        = List.concat_map f (Array.to_list arr)))
+
+(* --- End-to-end determinism: jobs=N reproduces jobs=1 exactly --- *)
+
+let small_config ~jobs net =
+  Config.for_network
+    ~base:{ Config.default with samples = 512; seed = 1; jobs }
+    net
+
+let test_engine_jobs_deterministic () =
+  List.iter
+    (fun (name, metric, bound) ->
+      let net = Accals_circuits.Bench_suite.load name in
+      let seq =
+        Engine.run ~config:(small_config ~jobs:1 net) net ~metric
+          ~error_bound:bound
+      in
+      let par =
+        Engine.run ~config:(small_config ~jobs:4 net) net ~metric
+          ~error_bound:bound
+      in
+      Alcotest.(check (float 0.0))
+        (name ^ " error") seq.Engine.error par.Engine.error;
+      Alcotest.(check (float 0.0))
+        (name ^ " area ratio") seq.Engine.area_ratio par.Engine.area_ratio;
+      Alcotest.(check (float 0.0))
+        (name ^ " delay ratio") seq.Engine.delay_ratio par.Engine.delay_ratio;
+      check_int (name ^ " evaluations") seq.Engine.exact_evaluations
+        par.Engine.exact_evaluations;
+      check (name ^ " identical round trace") true
+        (seq.Engine.rounds = par.Engine.rounds);
+      check (name ^ " parallel stats recorded") true
+        (par.Engine.stats.Stats.jobs = 4 && par.Engine.stats.Stats.tasks > 0);
+      check (name ^ " phases timed") true
+        (List.mem_assoc "estimate" par.Engine.stats.Stats.phases))
+    [
+      ("mtp8", Metric.Error_rate, 0.03);
+      ("rca32", Metric.Error_rate, 0.01);
+      ("mtp8", Metric.Nmed, 0.0019531);
+    ]
+
+let test_estimator_score_deterministic () =
+  let net = Accals_circuits.Bench_suite.load "mtp8" in
+  let patterns = Sim.for_network ~seed:1 ~count:512 ~exhaustive_limit:10 net in
+  let ctx = Accals_lac.Round_ctx.create net patterns in
+  let golden = Accals_lac.Round_ctx.output_sigs ctx in
+  let est =
+    Accals_esterr.Estimator.create ctx ~golden ~metric:Metric.Error_rate
+  in
+  let cands =
+    Accals_lac.Candidate_gen.generate ctx Accals_lac.Candidate_gen.default_config
+  in
+  let seq = Accals_esterr.Estimator.score est ~shortlist:40 cands in
+  let par =
+    Pool.with_pool ~jobs:3 (fun pool ->
+        Accals_esterr.Estimator.score ~pool est ~shortlist:40 cands)
+  in
+  check "scored LACs identical" true (compare seq par = 0);
+  let par_gen =
+    Pool.with_pool ~jobs:3 (fun pool ->
+        Accals_lac.Candidate_gen.generate ~pool ctx
+          Accals_lac.Candidate_gen.default_config)
+  in
+  check "generated candidates identical" true (compare cands par_gen = 0)
+
+let test_exhaustive_pool_deterministic () =
+  let net = Accals_circuits.Bench_suite.load "mtp8" in
+  let r =
+    Engine.run ~config:(small_config ~jobs:1 net) net ~metric:Metric.Error_rate
+      ~error_bound:0.05
+  in
+  let approx = r.Engine.approximate in
+  let seq = Accals_analysis.Exhaustive.compare_networks ~golden:net ~approx in
+  let par =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Accals_analysis.Exhaustive.compare_networks_with ~pool ~golden:net
+          ~approx)
+  in
+  check "exhaustive reports identical" true (seq = par)
+
+let suite =
+  [
+    ( "runtime pool",
+      [
+        Alcotest.test_case "lifecycle and reuse" `Quick test_pool_lifecycle;
+        Alcotest.test_case "jobs=1 bypass" `Quick test_pool_sequential_bypass;
+        Alcotest.test_case "empty batch" `Quick test_pool_empty_batch;
+        Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+      ] );
+    ( "runtime fan-out",
+      [
+        Alcotest.test_case "map matches sequential" `Quick
+          test_map_matches_sequential;
+        Alcotest.test_case "per-chunk state" `Quick test_map_with_state;
+        Alcotest.test_case "map_reduce merge order" `Quick
+          test_map_reduce_order;
+        Alcotest.test_case "concat_map" `Quick test_concat_map;
+      ] );
+    ( "runtime determinism",
+      [
+        Alcotest.test_case "engine jobs=4 = jobs=1" `Slow
+          test_engine_jobs_deterministic;
+        Alcotest.test_case "estimator and candidate_gen" `Quick
+          test_estimator_score_deterministic;
+        Alcotest.test_case "exhaustive comparison" `Quick
+          test_exhaustive_pool_deterministic;
+      ] );
+  ]
