@@ -23,6 +23,11 @@ let full = ref false
 
 let jobs = ref (Domain.recommended_domain_count ())
 
+(* Per-synthesis wall-clock budget (--timeout). Wired into the engine's
+   run-deadline watchdog: an overrunning circuit reports its best-so-far
+   result with [degraded = true] instead of hanging the whole bench. *)
+let timeout = ref None
+
 (* One pool for the whole bench run: circuit-level sweeps fan out over it
    (each inner synthesis staying sequential), and it is reused batch after
    batch, so domain spawn cost is paid once. *)
@@ -73,6 +78,32 @@ type outcome = {
   error : float;
 }
 
+(* Runs that die (runtime fault, invariant violation) are skipped rather
+   than aborting the bench: they contribute an all-NaN outcome that
+   [average] filters out, and are listed in the end-of-run summary.
+   Degraded (timed-out) runs keep their partial numbers but are listed
+   too. The list is mutex-guarded because [prefetch] records incidents
+   from pool workers. *)
+let incidents : (string * string) list ref = ref []
+let incidents_mutex = Mutex.create ()
+
+let note_incident key reason =
+  Mutex.protect incidents_mutex (fun () ->
+      incidents := (key, reason) :: !incidents)
+
+let skip_outcome =
+  {
+    area = nan;
+    delay = nan;
+    adp = nan;
+    time = nan;
+    rounds = nan;
+    indp_ratio = nan;
+    error = nan;
+  }
+
+let is_skip o = Float.is_nan o.area
+
 let outcome_of_report (r : Engine.report) =
   {
     area = r.Engine.area_ratio;
@@ -85,6 +116,9 @@ let outcome_of_report (r : Engine.report) =
   }
 
 let average outcomes =
+  let outcomes = List.filter (fun o -> not (is_skip o)) outcomes in
+  if outcomes = [] then skip_outcome
+  else
   let n = float_of_int (List.length outcomes) in
   let sum f = List.fold_left (fun acc o -> acc +. f o) 0.0 outcomes /. n in
   {
@@ -100,16 +134,34 @@ let average outcomes =
 let run_cache : (string, outcome) Hashtbl.t = Hashtbl.create 64
 
 let config_for net seed =
-  Config.for_network ~base:{ Config.default with seed; samples = samples () } net
+  Config.for_network
+    ~base:
+      { Config.default with seed; samples = samples (); run_deadline = !timeout }
+    net
 
 let run_one method_ name metric bound seed =
   let net = circuit name in
   let config = config_for net seed in
-  match method_ with
-  | `Accals ->
-    outcome_of_report (Engine.run ~config net ~metric ~error_bound:bound)
-  | `Seals ->
-    outcome_of_report (Seals.run ~config net ~metric ~error_bound:bound)
+  let key =
+    Printf.sprintf "%s/%s/%s/%g/seed%d"
+      (match method_ with `Accals -> "accals" | `Seals -> "seals")
+      name
+      (Metric.kind_to_string metric)
+      bound seed
+  in
+  match
+    match method_ with
+    | `Accals -> Engine.run ~config net ~metric ~error_bound:bound
+    | `Seals -> Seals.run ~config net ~metric ~error_bound:bound
+  with
+  | report ->
+    if report.Engine.degraded then
+      note_incident key "degraded: run deadline expired, partial result kept";
+    outcome_of_report report
+  | exception ((Fan_out.Runtime_failure _ | Network.Invariant_violation _) as e)
+    ->
+    note_incident key (Printexc.to_string e);
+    skip_outcome
 
 let key_of method_ name metric bound =
   let tag = match method_ with `Accals -> "accals" | `Seals -> "seals" in
@@ -305,10 +357,18 @@ type fig7_result = {
 
 let fig7_cache : (string, fig7_result) Hashtbl.t = Hashtbl.create 8
 
+let fig7_skip = {
+  accals_points = [];
+  amosa_points = [];
+  accals_time = 0.0;
+  amosa_time = 0.0;
+}
+
 let fig7_run name =
   match Hashtbl.find_opt fig7_cache name with
   | Some r -> r
   | None ->
+    try
     let net = circuit name in
     let config = config_for net 1 in
     (* One AccALS run per grid bound gives the curve; the max-bound run's
@@ -340,6 +400,10 @@ let fig7_run name =
     in
     Hashtbl.add fig7_cache name r;
     r
+    with (Fan_out.Runtime_failure _ | Network.Invariant_violation _) as e ->
+      note_incident (Printf.sprintf "fig7/%s" name) (Printexc.to_string e);
+      Hashtbl.add fig7_cache name fig7_skip;
+      fig7_skip
 
 let best_at points threshold =
   List.fold_left
@@ -634,7 +698,9 @@ let experiments =
 
 let usage () =
   Printf.eprintf "experiments: %s\n" (String.concat " " (List.map fst experiments));
-  Printf.eprintf "flags: --full    -j/--jobs N (worker domains, default %d)\n"
+  Printf.eprintf
+    "flags: --full    -j/--jobs N (worker domains, default %d)    --timeout \
+     SECS (per-synthesis budget; overrunning circuits keep partial results)\n"
     (Domain.recommended_domain_count ());
   exit 1
 
@@ -654,6 +720,18 @@ let () =
     | [ ("-j" | "--jobs") ] ->
       Printf.eprintf "-j expects an argument\n";
       usage ()
+    | "--timeout" :: n :: rest -> (
+      match float_of_string_opt n with
+      | Some t when t > 0.0 ->
+        timeout := Some t;
+        parse acc rest
+      | _ ->
+        Printf.eprintf "--timeout expects a positive number of seconds, got %s\n"
+          n;
+        usage ())
+    | [ "--timeout" ] ->
+      Printf.eprintf "--timeout expects an argument\n";
+      usage ()
     | "--full" :: rest ->
       full := true;
       parse acc rest
@@ -672,6 +750,11 @@ let () =
   let t0 = Unix.gettimeofday () in
   List.iter (fun name -> (List.assoc name experiments) ()) to_run;
   (match !pool_cell with Some p -> Pool.shutdown p | None -> ());
+  (match List.rev !incidents with
+  | [] -> ()
+  | inc ->
+    Printf.printf "\nskipped or degraded runs (%d):\n" (List.length inc);
+    List.iter (fun (key, reason) -> Printf.printf "  %-40s %s\n" key reason) inc);
   Printf.printf "\ntotal bench time: %.1fs%s (jobs=%d)\n"
     (Unix.gettimeofday () -. t0)
     (if !full then " (full mode)" else "")

@@ -8,6 +8,25 @@ module Trace = Accals.Trace
 module Metric = Accals_metrics.Metric
 module Bench_suite = Accals_circuits.Bench_suite
 module Blif = Accals_io.Blif
+module Checkpoint = Accals_resilience.Checkpoint
+
+(* Exit codes (also listed in `accals --help`):
+     0   success
+     1   run failure — runtime fault exhausted its retries, invariant
+         violation, corrupt checkpoint
+     2   usage error — bad command line, unknown circuit, unreadable or
+         malformed input file
+     125 unexpected internal error *)
+let usage_exit = 2
+let failure_exit = 1
+let internal_exit = 125
+
+let user_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "accals: %s\n" msg;
+      exit usage_exit)
+    fmt
 
 let load_circuit spec =
   (* A registered benchmark name, or a path to a BLIF / AIGER file. *)
@@ -19,9 +38,8 @@ let load_circuit spec =
   else
     try Bench_suite.load spec
     with Not_found ->
-      Printf.eprintf
-        "unknown circuit %s (not a file, not a registered benchmark)\n" spec;
-      exit 1
+      user_error "unknown circuit %s (not a file, not a registered benchmark)"
+        spec
 
 let print_stats net =
   Printf.printf "%-10s %6d PIs %4d POs %6d AIG nodes  area %10.1f  delay %8.1f\n"
@@ -122,24 +140,127 @@ let trace_arg =
     & opt (some string) None
     & info [ "trace" ] ~docv:"FILE" ~doc:"Write the per-round trace as CSV.")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"DIR"
+        ~doc:
+          "Save the engine state to $(docv)/$(i,CIRCUIT).ckpt after every \
+           round (atomic write-then-rename). Combine with $(b,--resume) to \
+           continue a killed run.")
+
+let resume_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from the checkpoint in $(b,--checkpoint) $(i,DIR). The \
+           continued run is bit-identical to the uninterrupted one for any \
+           $(b,--jobs) value; metric, bound and seed are taken from the \
+           checkpoint. Starts fresh when no checkpoint exists yet.")
+
+let run_deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "run-deadline" ] ~docv:"SECS"
+        ~doc:
+          "Whole-run budget in seconds; on expiry the best circuit found so \
+           far is reported with degraded = true.")
+
+let round_deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "round-deadline" ] ~docv:"SECS"
+        ~doc:
+          "Per-round budget in seconds; an overrunning round falls back \
+           from multi-LAC to single-LAC selection.")
+
+let validate_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "validate" ]
+        ~doc:
+          "Check the network invariants (acyclicity, arity, fanin ranges) \
+           at every round boundary, not only before checkpoints.")
+
+let ckpt_tag = "accals-engine"
+
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
 let synth_cmd =
   let doc = "Synthesize an approximate circuit under an error bound." in
-  let run spec metric bound method_ samples seed jobs out verilog verbose trace =
+  let run spec metric bound method_ samples seed jobs out verilog verbose trace
+      ckpt_dir resume run_deadline round_deadline validate =
+    if resume && ckpt_dir = None then
+      user_error "--resume requires --checkpoint DIR";
+    if resume && method_ <> `Accals then
+      user_error "--resume is only supported with --method accals";
     let net = load_circuit spec in
     let config =
-      let base = { Config.default with samples; seed; jobs = max 1 jobs } in
+      let base =
+        {
+          Config.default with
+          samples;
+          seed;
+          jobs = max 1 jobs;
+          run_deadline;
+          round_deadline;
+          validate_rounds = validate;
+        }
+      in
       Config.for_network ~base net
+    in
+    let ckpt_path =
+      Option.map
+        (fun dir ->
+          ensure_dir dir;
+          Filename.concat dir (Network.name net ^ ".ckpt"))
+        ckpt_dir
+    in
+    let checkpoint =
+      Option.map
+        (fun path snap -> Checkpoint.save ~path ~tag:ckpt_tag snap)
+        ckpt_path
     in
     let report =
       match method_ with
-      | `Accals -> Engine.run ~config net ~metric ~error_bound:bound
+      | `Accals -> begin
+        let snapshot =
+          if resume then
+            Option.bind ckpt_path (fun path ->
+                Checkpoint.load ~path ~tag:ckpt_tag)
+          else None
+        in
+        match snapshot with
+        | Some snap ->
+          Printf.printf "resumed      : %s at round %d\n"
+            (Engine.snapshot_circuit snap)
+            (Engine.snapshot_round snap);
+          Engine.resume ~jobs:(max 1 jobs) ?checkpoint snap
+        | None ->
+          if resume then
+            Printf.printf "resumed      : no checkpoint yet, starting fresh\n";
+          Engine.run ~config ?checkpoint net ~metric ~error_bound:bound
+      end
       | `Seals -> Accals_baselines.Seals.run ~config net ~metric ~error_bound:bound
       | `Amosa ->
         (Accals_baselines.Amosa.run ~config net ~metric ~error_bound:bound)
           .Accals_baselines.Amosa.report
     in
     Printf.printf "circuit      : %s\n" (Network.name net);
-    Printf.printf "metric       : %s <= %g\n" (Metric.kind_to_string metric) bound;
+    Printf.printf "metric       : %s <= %g\n"
+      (Metric.kind_to_string report.Engine.metric)
+      report.Engine.error_bound;
     Printf.printf "error        : %.6f\n" report.Engine.error;
     Printf.printf "area ratio   : %.4f\n" report.Engine.area_ratio;
     Printf.printf "delay ratio  : %.4f\n" report.Engine.delay_ratio;
@@ -147,6 +268,7 @@ let synth_cmd =
     Printf.printf "rounds       : %d\n" (List.length report.Engine.rounds);
     Printf.printf "runtime      : %.2fs\n" report.Engine.runtime_seconds;
     Printf.printf "evaluations  : %d\n" report.Engine.exact_evaluations;
+    Printf.printf "degraded     : %b\n" report.Engine.degraded;
     Printf.printf "trace        : %s\n" (Trace.summary report.Engine.rounds);
     Printf.printf "runtime pool : %s\n" (Trace.stats_summary report.Engine.stats);
     Printf.printf "phases       : %s\n" (Trace.phases_summary report.Engine.stats);
@@ -171,7 +293,9 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
       const run $ circuit_arg $ metric_arg $ bound_arg $ method_arg $ samples_arg
-      $ seed_arg $ jobs_arg $ out_arg $ verilog_arg $ verbose_arg $ trace_arg)
+      $ seed_arg $ jobs_arg $ out_arg $ verilog_arg $ verbose_arg $ trace_arg
+      $ checkpoint_arg $ resume_arg $ run_deadline_arg $ round_deadline_arg
+      $ validate_arg)
 
 (* --- convert --- *)
 
@@ -273,8 +397,50 @@ let sweep_cmd =
 
 let () =
   let doc = "Approximate logic synthesis with multi-LAC selection (AccALS)." in
-  let info = Cmd.info "accals" ~version:"1.0.0" ~doc in
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"on success.";
+      Cmd.Exit.info failure_exit
+        ~doc:
+          "on run failure: a runtime fault exhausted its retries, a network \
+           invariant was violated, or a checkpoint was corrupt.";
+      Cmd.Exit.info usage_exit
+        ~doc:
+          "on usage errors: bad command line, unknown circuit, unreadable \
+           or malformed input file.";
+      Cmd.Exit.info internal_exit ~doc:"on unexpected internal errors.";
+    ]
+  in
+  let info = Cmd.info "accals" ~version:"1.0.0" ~doc ~exits in
+  let group =
+    Cmd.group info
+      [ list_cmd; stats_cmd; synth_cmd; convert_cmd; verify_cmd; sweep_cmd ]
+  in
+  let fail code fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "accals: %s\n" msg;
+        code)
+      fmt
+  in
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [ list_cmd; stats_cmd; synth_cmd; convert_cmd; verify_cmd; sweep_cmd ]))
+    (match Cmd.eval_value ~catch:false group with
+    | Ok (`Ok ()) -> 0
+    | Ok (`Version | `Help) -> 0
+    | Error (`Parse | `Term) -> usage_exit
+    | Error `Exn -> internal_exit (* unreachable with ~catch:false *)
+    | exception Blif.Parse_error msg -> fail usage_exit "%s" msg
+    | exception Accals_aig.Aiger.Parse_error msg -> fail usage_exit "%s" msg
+    | exception Sys_error msg -> fail usage_exit "%s" msg
+    | exception (Accals_runtime.Fan_out.Runtime_failure _ as e) ->
+      fail failure_exit "%s" (Printexc.to_string e)
+    | exception (Network.Invariant_violation _ as e) ->
+      fail failure_exit "%s" (Printexc.to_string e)
+    | exception Checkpoint.Corrupt msg ->
+      fail failure_exit "corrupt checkpoint: %s" msg
+    | exception Unix.Unix_error (err, fn, arg) ->
+      fail failure_exit "%s: %s (%s)" fn (Unix.error_message err) arg
+    | exception e ->
+      Printf.eprintf "accals: internal error: %s\n%s" (Printexc.to_string e)
+        (Printexc.get_backtrace ());
+      internal_exit)

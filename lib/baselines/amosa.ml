@@ -216,6 +216,7 @@ let run ?config ?(amosa = default_config) ?patterns ?pool net ~metric
       area_ratio = Cost.area approximate /. area0;
       delay_ratio = Cost.delay approximate /. delay0;
       adp_ratio = Cost.adp approximate /. (area0 *. delay0);
+      degraded = false;
       stats = Accals_runtime.Stats.snapshot (Accals_runtime.Pool.stats dpool);
     }
   in

@@ -104,5 +104,6 @@ let run ?config ?patterns ?shortlist ?pool net ~metric ~error_bound =
     area_ratio = Cost.area approximate /. area0;
     delay_ratio = Cost.delay approximate /. delay0;
     adp_ratio = Cost.adp approximate /. (area0 *. delay0);
+    degraded = false;
     stats = Accals_runtime.Stats.snapshot (Accals_runtime.Pool.stats pool);
   }

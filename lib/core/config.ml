@@ -20,6 +20,9 @@ type t = {
   use_improvement_2 : bool;
   exact_estimation : bool;
   jobs : int;
+  round_deadline : float option;
+  run_deadline : float option;
+  validate_rounds : bool;
 }
 
 let default =
@@ -43,6 +46,9 @@ let default =
     use_improvement_2 = true;
     exact_estimation = true;
     jobs = 1;
+    round_deadline = None;
+    run_deadline = None;
+    validate_rounds = false;
   }
 
 let parallel ?jobs base =

@@ -35,6 +35,19 @@ type t = {
       (** domains for the parallel runtime; 1 (default) runs the reference
           sequential path with no pool. Results are bit-identical for every
           value, see [lib/runtime]. *)
+  (* Resilience (all off by default; see [lib/resilience] and README
+     "Failure semantics"): *)
+  round_deadline : float option;
+      (** per-round watchdog budget in seconds; when a round overruns it,
+          the engine falls back from multi-LAC to single-LAC selection for
+          that round instead of dying *)
+  run_deadline : float option;
+      (** whole-run watchdog budget in seconds; when it expires the engine
+          stops and reports the best circuit found so far with
+          [report.degraded = true] *)
+  validate_rounds : bool;
+      (** run {!Accals_network.Network.validate} on the working circuit at
+          every round boundary (always done before checkpointing) *)
 }
 
 val default : t

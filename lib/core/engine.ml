@@ -6,6 +6,7 @@ module Evaluate = Accals_esterr.Evaluate
 module Prng = Accals_bitvec.Prng
 module Pool = Accals_runtime.Pool
 module Stats = Accals_runtime.Stats
+module Watchdog = Accals_resilience.Watchdog
 
 type report = {
   original : Network.t;
@@ -19,8 +20,42 @@ type report = {
   area_ratio : float;
   delay_ratio : float;
   adp_ratio : float;
+  degraded : bool;
   stats : Stats.snapshot;
 }
+
+(* Everything Algorithm 1 carries from one round to the next. A snapshot at
+   a round boundary fully determines the rest of the run: the input
+   patterns, golden signatures and cost baselines are all deterministic
+   functions of [s_config] and [s_original], and the only other mutable
+   loop state is the PRNG. Snapshots are what [lib/resilience]'s
+   [Checkpoint] persists and what [resume] continues from. *)
+type snapshot = {
+  s_version : int;
+  s_original : Network.t;
+  s_current : Network.t;
+  s_best : Network.t;
+  s_error : float;
+  s_best_error : float;
+  s_rounds : Trace.round list;  (* newest first *)
+  s_evaluations : int;
+  s_round : int;
+  s_finished : bool;
+  s_degraded : bool;
+  s_rng : Prng.t;
+  s_config : Config.t;
+  s_metric : Metric.kind;
+  s_error_bound : float;
+}
+
+let snapshot_version = 1
+
+let snapshot_round s = s.s_round
+let snapshot_finished s = s.s_finished
+let snapshot_circuit s = Network.name s.s_original
+let snapshot_metric s = s.s_metric
+let snapshot_error_bound s = s.s_error_bound
+let snapshot_jobs s = s.s_config.Config.jobs
 
 let patterns_for config net =
   Sim.for_network ~seed:config.Config.seed ~count:config.Config.samples
@@ -46,9 +81,11 @@ let apply_to_copy net lacs =
   let applied, skipped = Lac.apply_many copy ordered in
   (copy, applied, skipped)
 
-let run ?config ?patterns ?pool net ~metric ~error_bound =
-  if error_bound <= 0.0 then invalid_arg "Engine.run: error bound must be positive";
-  let config = match config with Some c -> c | None -> Config.for_network net in
+let run_loop ?patterns ?pool ?checkpoint st =
+  let config = st.s_config in
+  let metric = st.s_metric in
+  let e_b = st.s_error_bound in
+  let net = st.s_original in
   let pool, owned_pool =
     match pool with
     | Some p -> (p, false)
@@ -63,19 +100,52 @@ let run ?config ?patterns ?pool net ~metric ~error_bound =
   let golden = phase "simulate" (fun () -> Evaluate.output_signatures net patterns) in
   let area0 = Cost.area net in
   let delay0 = Cost.delay net in
-  let rng = Prng.create (config.Config.seed + 77) in
-  let current = ref (Network.copy net) in
-  let error = ref 0.0 in
-  let best = ref (Network.copy net) in
-  let best_error = ref 0.0 in
-  let rounds = ref [] in
-  let evaluations = ref 0 in
-  let round_index = ref 0 in
-  let e_b = error_bound in
-  let finished = ref false in
+  let rng = st.s_rng in
+  let current = ref st.s_current in
+  let error = ref st.s_error in
+  let best = ref st.s_best in
+  let best_error = ref st.s_best_error in
+  let rounds = ref st.s_rounds in
+  let evaluations = ref st.s_evaluations in
+  let round_index = ref st.s_round in
+  let finished = ref st.s_finished in
+  let degraded = ref st.s_degraded in
+  let run_watchdog = Watchdog.start config.Config.run_deadline in
+  (* Checkpointed state is validated first: persisting (or handing out) a
+     structurally broken network would silently poison every later resume,
+     so fail loudly here instead. The PRNG is copied because the loop keeps
+     mutating it after the hook returns. *)
+  let emit_checkpoint () =
+    match checkpoint with
+    | None -> ()
+    | Some save ->
+      Network.validate !current;
+      Network.validate !best;
+      save
+        {
+          st with
+          s_current = !current;
+          s_best = !best;
+          s_error = !error;
+          s_best_error = !best_error;
+          s_rounds = !rounds;
+          s_evaluations = !evaluations;
+          s_round = !round_index;
+          s_finished = !finished;
+          s_degraded = !degraded;
+          s_rng = Prng.copy rng;
+        }
+  in
   Fun.protect ~finally:(fun () -> if owned_pool then Pool.shutdown pool)
   @@ fun () ->
   while (not !finished) && !round_index < config.Config.max_rounds do
+    if Watchdog.expired run_watchdog then begin
+      (* Run deadline: stop gracefully with the best circuit so far. *)
+      degraded := true;
+      finished := true
+    end
+    else begin
+    let round_watchdog = Watchdog.start config.Config.round_deadline in
     incr round_index;
     let ctx = phase "simulate" (fun () -> Round_ctx.create !current patterns) in
     let est = phase "simulate" (fun () -> Estimator.create ctx ~golden ~metric) in
@@ -100,6 +170,9 @@ let run ?config ?patterns ?pool net ~metric ~error_bound =
               candidates)
       in
       evaluations := !evaluations + Estimator.evaluations est;
+      (* Round deadline: degrade this round from multi-LAC selection to the
+         cheap single-LAC path rather than blowing the budget further. *)
+      let single_mode = single_mode || Watchdog.expired round_watchdog in
       let record ~mode ~top ~sol ~indp ~rand ~chose ~applied ~skipped ~e_before
           ~e_after ~e_est ~reverted =
         rounds :=
@@ -248,8 +321,15 @@ let run ?config ?patterns ?pool net ~metric ~error_bound =
           end
         end
       end
+    end;
+    if config.Config.validate_rounds then Network.validate !current;
+    emit_checkpoint ()
     end
   done;
+  (* Persist the terminal state so resuming a completed (or degraded) run
+     reproduces its report without redoing any round. *)
+  finished := true;
+  emit_checkpoint ();
   let approximate = Cleanup.compact !best in
   let runtime_seconds = Unix.gettimeofday () -. started in
   {
@@ -257,12 +337,56 @@ let run ?config ?patterns ?pool net ~metric ~error_bound =
     approximate;
     error = !best_error;
     metric;
-    error_bound;
+    error_bound = e_b;
     rounds = List.rev !rounds;
     runtime_seconds;
     exact_evaluations = !evaluations;
     area_ratio = Cost.area approximate /. area0;
     delay_ratio = Cost.delay approximate /. delay0;
     adp_ratio = Cost.adp approximate /. (area0 *. delay0);
+    degraded = !degraded;
     stats = Stats.snapshot stats;
   }
+
+let run ?config ?patterns ?pool ?checkpoint net ~metric ~error_bound =
+  if error_bound <= 0.0 then invalid_arg "Engine.run: error bound must be positive";
+  let config = match config with Some c -> c | None -> Config.for_network net in
+  run_loop ?patterns ?pool ?checkpoint
+    {
+      s_version = snapshot_version;
+      s_original = net;
+      s_current = Network.copy net;
+      s_best = Network.copy net;
+      s_error = 0.0;
+      s_best_error = 0.0;
+      s_rounds = [];
+      s_evaluations = 0;
+      s_round = 0;
+      s_finished = false;
+      s_degraded = false;
+      s_rng = Prng.create (config.Config.seed + 77);
+      s_config = config;
+      s_metric = metric;
+      s_error_bound = error_bound;
+    }
+
+let resume ?jobs ?patterns ?pool ?checkpoint snapshot =
+  if snapshot.s_version <> snapshot_version then
+    invalid_arg
+      (Printf.sprintf "Engine.resume: snapshot version %d, this build expects %d"
+         snapshot.s_version snapshot_version);
+  let config =
+    match jobs with
+    | None -> snapshot.s_config
+    | Some j -> { snapshot.s_config with Config.jobs = max 1 j }
+  in
+  (* Deep-copy the mutable pieces so the caller's snapshot stays reusable
+     (resume the same snapshot twice and both runs are identical). *)
+  run_loop ?patterns ?pool ?checkpoint
+    {
+      snapshot with
+      s_config = config;
+      s_current = Network.copy snapshot.s_current;
+      s_best = Network.copy snapshot.s_best;
+      s_rng = Prng.copy snapshot.s_rng;
+    }

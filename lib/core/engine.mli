@@ -17,15 +17,39 @@ type report = {
   area_ratio : float;
   delay_ratio : float;
   adp_ratio : float;
+  degraded : bool;
+      (** the run-deadline watchdog expired: the report carries the best
+          circuit found before the budget ran out rather than a converged
+          result *)
   stats : Accals_runtime.Stats.snapshot;
       (** parallel-runtime work accounting and per-phase wall time
           ("simulate", "candidates", "estimate", "select", "evaluate") *)
 }
 
+type snapshot
+(** The engine's complete deterministic state at a round boundary: original
+    and working circuits, best feasible circuit, errors, round trace, PRNG
+    state, configuration, metric and bound. A snapshot plus this module's
+    code fully determines the remainder of the run — patterns and golden
+    signatures are regenerated from the configuration and original circuit.
+    Snapshots contain no closures and are safe to persist with
+    [Accals_resilience.Checkpoint]. *)
+
+val snapshot_version : int
+(** Stored inside every snapshot; {!resume} rejects mismatches. *)
+
+val snapshot_round : snapshot -> int
+val snapshot_finished : snapshot -> bool
+val snapshot_circuit : snapshot -> string
+val snapshot_metric : snapshot -> Metric.kind
+val snapshot_error_bound : snapshot -> float
+val snapshot_jobs : snapshot -> int
+
 val run :
   ?config:Config.t ->
   ?patterns:Sim.patterns ->
   ?pool:Accals_runtime.Pool.t ->
+  ?checkpoint:(snapshot -> unit) ->
   Network.t ->
   metric:Metric.kind ->
   error_bound:float ->
@@ -42,7 +66,32 @@ val run :
     run and shut down before returning. The report is bit-identical for
     every [jobs] value — the parallel fan-out merges in submission order
     (see [lib/runtime]) — so [jobs = 1] remains the reference
-    implementation. *)
+    implementation.
+
+    When [checkpoint] is given it is called with the engine's snapshot
+    after every completed round and once more when the run ends; both the
+    working and best circuits are validated
+    ({!Accals_network.Network.validate}) before each call. The deadline
+    fields of [config] ([round_deadline], [run_deadline]) arm the
+    watchdogs described in {!Config.t}; deadline expiry only selects an
+    alternative deterministic path (single-LAC fallback, early stop with
+    [degraded = true]) — it never interrupts a computation midway. *)
+
+val resume :
+  ?jobs:int ->
+  ?patterns:Sim.patterns ->
+  ?pool:Accals_runtime.Pool.t ->
+  ?checkpoint:(snapshot -> unit) ->
+  snapshot ->
+  report
+(** Continue a run from a snapshot. The remainder of the run — and hence
+    the final report, minus wall-clock fields ([runtime_seconds], [stats])
+    — is bit-identical to the uninterrupted run the snapshot was taken
+    from, for any [jobs] value. [jobs] overrides the snapshot's stored job
+    count (the fan-out order, and therefore the result, does not depend on
+    it). The snapshot is not consumed: resuming the same snapshot twice
+    yields identical reports. Raises [Invalid_argument] when the
+    snapshot's version does not match {!snapshot_version}. *)
 
 val golden_signatures :
   ?config:Config.t -> ?patterns:Sim.patterns -> Network.t -> Bitvec.t array

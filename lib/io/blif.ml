@@ -87,109 +87,183 @@ let write_file t path =
 
 (* ----- parsing ----- *)
 
-type raw_names = { fanin_names : string list; target : string; rows : (string * char) list }
+(* Every diagnostic carries the 1-based source line it was detected on, and
+   [parse_string] guarantees that the only exception escaping on any byte
+   string whatsoever is [Parse_error]. *)
+
+let fail_at line fmt =
+  Printf.ksprintf
+    (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s)))
+    fmt
+
+type raw_names = {
+  decl_line : int;  (* line of the .names directive *)
+  fanin_names : string list;
+  target : string;
+  rows : (int * string * char) list;  (* (line, pattern, output) *)
+}
 
 let tokenize_lines text =
-  (* Join continuation lines (trailing backslash), drop comments. *)
-  let lines = String.split_on_char '\n' text in
+  (* Join continuation lines (trailing backslash), drop comments, keep the
+     1-based line number of each logical line. *)
+  let lines = List.mapi (fun i l -> (i + 1, l)) (String.split_on_char '\n' text) in
   let rec join acc = function
     | [] -> List.rev acc
-    | line :: rest ->
+    | (n, line) :: rest ->
       let line =
         match String.index_opt line '#' with
         | Some i -> String.sub line 0 i
         | None -> line
       in
+      let line =
+        String.map (fun c -> if c = '\t' || c = '\r' then ' ' else c) line
+      in
       let line = String.trim line in
       if String.length line > 0 && line.[String.length line - 1] = '\\' then
         match rest with
-        | next :: rest' ->
-          join acc ((String.sub line 0 (String.length line - 1) ^ " " ^ next) :: rest')
-        | [] -> fail "dangling line continuation"
-      else join (line :: acc) rest
+        | (_, next) :: rest' ->
+          join acc
+            ((n, String.sub line 0 (String.length line - 1) ^ " " ^ next)
+             :: rest')
+        | [] -> fail_at n "dangling line continuation"
+      else join ((n, line) :: acc) rest
   in
   join [] lines
-  |> List.filter (fun l -> l <> "")
-  |> List.map (fun l ->
-         String.split_on_char ' ' l |> List.filter (fun s -> s <> ""))
+  |> List.filter (fun (_, l) -> l <> "")
+  |> List.map (fun (n, l) ->
+         (n, String.split_on_char ' ' l |> List.filter (fun s -> s <> "")))
 
 let parse_string text =
+  let guarded body =
+    (* Anything other than [Parse_error] leaking from here is a parser bug;
+       convert it rather than crash callers feeding untrusted bytes. *)
+    try body () with
+    | Parse_error _ as e -> raise e
+    | Network.Invariant_violation { node; reason } ->
+      raise
+        (Parse_error
+           (match node with
+            | Some id -> Printf.sprintf "invalid network: node %d: %s" id reason
+            | None -> Printf.sprintf "invalid network: %s" reason))
+    | Failure m -> raise (Parse_error ("internal failure: " ^ m))
+    | Invalid_argument m -> raise (Parse_error ("internal error: " ^ m))
+    | Stack_overflow -> raise (Parse_error "input too deeply nested")
+  in
+  guarded @@ fun () ->
   let groups = tokenize_lines text in
   let model = ref "blif" in
-  let inputs = ref [] in
-  let outputs = ref [] in
+  let inputs : (string * int) list ref = ref [] in
+  let outputs : (string * int) list ref = ref [] in
   let names : raw_names list ref = ref [] in
   let current : raw_names option ref = ref None in
+  let saw_end = ref false in
   let flush () =
     match !current with
     | Some r -> names := { r with rows = List.rev r.rows } :: !names; current := None
     | None -> ()
   in
   List.iter
-    (fun tokens ->
-      match tokens with
-      | ".model" :: rest ->
-        flush ();
-        (match rest with [ m ] -> model := m | _ -> ())
-      | ".inputs" :: rest -> flush (); inputs := !inputs @ rest
-      | ".outputs" :: rest -> flush (); outputs := !outputs @ rest
-      | ".names" :: rest ->
-        flush ();
-        (match List.rev rest with
-         | target :: rev_fanins ->
-           current := Some { fanin_names = List.rev rev_fanins; target; rows = [] }
-         | [] -> fail ".names with no signals")
-      | ".end" :: _ -> flush ()
-      | ".latch" :: _ -> fail "latches are not supported"
-      | ".subckt" :: _ -> fail "subcircuits are not supported"
-      | directive :: _ when String.length directive > 0 && directive.[0] = '.' ->
-        flush () (* ignore unknown directives such as .default_input_arrival *)
-      | row_tokens -> begin
-        match !current with
-        | None -> fail "cover row outside .names: %s" (String.concat " " row_tokens)
-        | Some r ->
-          let pattern, out =
-            match row_tokens with
-            | [ out ] when r.fanin_names = [] -> ("", out)
-            | [ pattern; out ] -> (pattern, out)
-            | _ -> fail "malformed cover row"
-          in
-          let out_char =
-            if out = "1" then '1'
-            else if out = "0" then '0'
-            else fail "cover output must be 0 or 1, got %s" out
-          in
-          if String.length pattern <> List.length r.fanin_names then
-            fail "cover row width mismatch for %s" r.target;
-          String.iter
-            (fun c ->
-              match c with
-              | '0' | '1' | '-' -> ()
-              | c -> fail "bad cover character %c" c)
-            pattern;
-          current := Some { r with rows = (pattern, out_char) :: r.rows }
-      end)
+    (fun (ln, tokens) ->
+      if not !saw_end then
+        match tokens with
+        | ".model" :: rest ->
+          flush ();
+          (match rest with
+           | [ m ] -> model := m
+           | [] -> fail_at ln ".model expects a name"
+           | _ -> fail_at ln ".model expects a single name")
+        | ".inputs" :: rest ->
+          flush ();
+          inputs := !inputs @ List.map (fun nm -> (nm, ln)) rest
+        | ".outputs" :: rest ->
+          flush ();
+          outputs := !outputs @ List.map (fun nm -> (nm, ln)) rest
+        | ".names" :: rest ->
+          flush ();
+          (match List.rev rest with
+           | target :: rev_fanins ->
+             current :=
+               Some
+                 {
+                   decl_line = ln;
+                   fanin_names = List.rev rev_fanins;
+                   target;
+                   rows = [];
+                 }
+           | [] -> fail_at ln ".names with no signals")
+        | ".end" :: _ ->
+          flush ();
+          saw_end := true
+        | ".latch" :: _ -> fail_at ln "latches are not supported"
+        | ".subckt" :: _ -> fail_at ln "subcircuits are not supported"
+        | directive :: _ when String.length directive > 0 && directive.[0] = '.'
+          ->
+          flush () (* ignore unknown directives such as .default_input_arrival *)
+        | row_tokens -> begin
+          match !current with
+          | None ->
+            fail_at ln "cover row outside .names: %s"
+              (String.concat " " row_tokens)
+          | Some r ->
+            let pattern, out =
+              match row_tokens with
+              | [ out ] when r.fanin_names = [] -> ("", out)
+              | [ pattern; out ] -> (pattern, out)
+              | _ -> fail_at ln "malformed cover row"
+            in
+            let out_char =
+              if out = "1" then '1'
+              else if out = "0" then '0'
+              else fail_at ln "cover output must be 0 or 1, got %s" out
+            in
+            if String.length pattern <> List.length r.fanin_names then
+              fail_at ln "cover row width %d does not match the %d inputs of %s"
+                (String.length pattern)
+                (List.length r.fanin_names)
+                r.target;
+            String.iter
+              (fun c ->
+                match c with
+                | '0' | '1' | '-' -> ()
+                | c -> fail_at ln "bad cover character %c" c)
+              pattern;
+            current := Some { r with rows = (ln, pattern, out_char) :: r.rows }
+        end)
     groups;
-  flush ();
+  if not !saw_end then raise (Parse_error "missing .end");
   let names = List.rev !names in
   let net = Network.create ~name:!model () in
   let by_name : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let input_names : (string, int) Hashtbl.t = Hashtbl.create 64 in
   List.iter
-    (fun nm ->
-      if Hashtbl.mem by_name nm then fail "duplicate input %s" nm;
+    (fun (nm, ln) ->
+      (match Hashtbl.find_opt input_names nm with
+       | Some first ->
+         fail_at ln "duplicate input %s (first declared at line %d)" nm first
+       | None -> Hashtbl.add input_names nm ln);
       Hashtbl.add by_name nm (Network.add_input net nm))
     !inputs;
   (* Create placeholder nodes for every defined signal, then fill in
      definitions; BLIF permits use-before-definition. *)
+  let defined : (string, int) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun r ->
+      (match Hashtbl.find_opt defined r.target with
+       | Some first ->
+         fail_at r.decl_line
+           "duplicate .names output %s (first defined at line %d)" r.target
+           first
+       | None -> Hashtbl.add defined r.target r.decl_line);
+      if Hashtbl.mem input_names r.target then
+        fail_at r.decl_line ".names output %s redefines a primary input"
+          r.target;
       if not (Hashtbl.mem by_name r.target) then
         Hashtbl.add by_name r.target (Network.add_node net (Gate.Const false) [||]))
     names;
-  let lookup nm =
+  let lookup ~line nm =
     match Hashtbl.find_opt by_name nm with
     | Some id -> id
-    | None -> fail "undefined signal %s" nm
+    | None -> fail_at line "undefined signal %s" nm
   in
   let build_product fanin_ids pattern =
     (* AND of literals selected by the row pattern; None when all dashes. *)
@@ -209,15 +283,24 @@ let parse_string text =
   in
   List.iter
     (fun r ->
-      let target = lookup r.target in
-      let fanin_ids = Array.of_list (List.map lookup r.fanin_names) in
-      let out_values = List.map snd r.rows in
+      let target = lookup ~line:r.decl_line r.target in
+      let fanin_ids =
+        Array.of_list (List.map (lookup ~line:r.decl_line) r.fanin_names)
+      in
+      let out_values = List.map (fun (_, _, v) -> v) r.rows in
       (match out_values with
        | [] -> Network.replace ~check_cycle:false net target (Gate.Const false) [||]
        | v :: rest ->
-         if List.exists (fun v' -> v' <> v) rest then
-           fail "mixed ON/OFF cover for %s" r.target;
-         let products = List.map (fun (p, _) -> build_product fanin_ids p) r.rows in
+         (match List.find_opt (fun v' -> v' <> v) rest with
+          | Some _ ->
+            let mixed_line =
+              match r.rows with (ln, _, _) :: _ -> ln | [] -> r.decl_line
+            in
+            fail_at mixed_line "mixed ON/OFF cover for %s" r.target
+          | None -> ());
+         let products =
+           List.map (fun (_, p, _) -> build_product fanin_ids p) r.rows
+         in
          let tautology = List.exists (fun p -> p = None) products in
          let sum =
            if tautology then None
@@ -236,8 +319,8 @@ let parse_string text =
          | Some s, _ -> Network.replace ~check_cycle:false net target Gate.Not [| s |]))
     names;
   Network.set_outputs net
-    (Array.of_list (List.map (fun nm -> (nm, lookup nm)) !outputs));
-  (try Network.validate net with Failure m -> fail "invalid network: %s" m);
+    (Array.of_list (List.map (fun (nm, ln) -> (nm, lookup ~line:ln nm)) !outputs));
+  Network.validate net;
   net
 
 let parse_file path =

@@ -8,10 +8,15 @@
 open Accals_network
 
 exception Parse_error of string
+(** The diagnostic names the offending 1-based source line
+    (["line 12: ..."]) whenever one can be identified. *)
 
 val parse_string : string -> Network.t
-(** Parse a BLIF document. Raises {!Parse_error} with a diagnostic on
-    malformed input. *)
+(** Parse a BLIF document. Raises {!Parse_error} with a line-numbered
+    diagnostic on malformed input — malformed covers, duplicate [.names]
+    outputs, redefined primary inputs, undeclared signals, missing [.end],
+    cyclic definitions. [Parse_error] is the only exception this function
+    raises, on any byte string. *)
 
 val parse_file : string -> Network.t
 

@@ -155,31 +155,92 @@ let copy t =
     output_name_array = Array.copy t.output_name_array;
   }
 
+type violation = { node : int option; reason : string }
+
+exception Invariant_violation of violation
+
+let () =
+  Printexc.register_printer (function
+    | Invariant_violation { node; reason } ->
+      Some
+        (match node with
+         | Some id -> Printf.sprintf "Invariant_violation (node %d: %s)" id reason
+         | None -> Printf.sprintf "Invariant_violation (%s)" reason)
+    | _ -> None)
+
+let violated ?node fmt =
+  Printf.ksprintf (fun reason -> raise (Invariant_violation { node; reason })) fmt
+
 let validate t =
+  (* Name-table consistency: ids and names must pair up, and the PI tables
+     must agree with the node operators in both directions. *)
+  if Array.length t.input_ids <> Array.length t.input_name_list then
+    violated "input table: %d ids but %d names" (Array.length t.input_ids)
+      (Array.length t.input_name_list);
+  if Array.length t.output_ids <> Array.length t.output_name_array then
+    violated "output table: %d ids but %d names" (Array.length t.output_ids)
+      (Array.length t.output_name_array);
+  let is_registered_input = Array.make (max 1 t.used) false in
+  Array.iter
+    (fun id ->
+      if id < 0 || id >= t.used then violated "input id %d out of range" id;
+      if is_registered_input.(id) then
+        violated ~node:id "node registered as primary input twice";
+      is_registered_input.(id) <- true;
+      if t.ops.(id) <> Gate.Input then
+        violated ~node:id "input-table entry is not an Input node")
+    t.input_ids;
+  (* Local structure: arity, fanin ranges, no self-loops, and every Input
+     operator accounted for in the input table. *)
   for id = 0 to t.used - 1 do
     let fis = t.fanin_arrays.(id) in
     if not (Gate.arity_ok t.ops.(id) (Array.length fis)) then
-      failwith (Printf.sprintf "node %d: arity violation" id);
+      violated ~node:id "%s with %d fanins (arity violation)"
+        (Gate.to_string t.ops.(id))
+        (Array.length fis);
     Array.iter
       (fun f ->
         if f < 0 || f >= t.used then
-          failwith (Printf.sprintf "node %d: fanin %d out of range" id f))
-      fis
+          violated ~node:id "fanin %d out of range [0, %d)" f t.used;
+        if f = id then violated ~node:id "self-loop")
+      fis;
+    if t.ops.(id) = Gate.Input && not is_registered_input.(id) then
+      violated ~node:id "Input node missing from the input table"
   done;
-  (* Acyclicity via DFS coloring. *)
-  let color = Array.make t.used 0 in
-  let rec visit id =
-    if color.(id) = 1 then failwith (Printf.sprintf "cycle through node %d" id);
-    if color.(id) = 0 then begin
-      color.(id) <- 1;
-      Array.iter visit t.fanin_arrays.(id);
-      color.(id) <- 2
+  (* Acyclicity via iterative DFS coloring (the explicit stack keeps
+     adversarial deep inputs — e.g. fuzzed BLIF — from overflowing). *)
+  let color = Array.make (max 1 t.used) 0 in
+  let visit root =
+    if color.(root) = 0 then begin
+      let stack = ref [ (root, 0) ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (id, next_fanin) :: rest ->
+          if next_fanin = 0 then color.(id) <- 1;
+          let fis = t.fanin_arrays.(id) in
+          if next_fanin >= Array.length fis then begin
+            color.(id) <- 2;
+            stack := rest
+          end
+          else begin
+            stack := (id, next_fanin + 1) :: rest;
+            let f = fis.(next_fanin) in
+            if color.(f) = 1 then violated ~node:f "combinational cycle";
+            if color.(f) = 0 then stack := (f, 0) :: !stack
+          end
+      done
     end
   in
   for id = 0 to t.used - 1 do
     visit id
   done;
-  Array.iter
-    (fun id ->
-      if id < 0 || id >= t.used then failwith "output id out of range")
+  (* Primary outputs must have live drivers. *)
+  Array.iteri
+    (fun i id ->
+      if id < 0 || id >= t.used then
+        violated "output %s: driver id %d out of range"
+          (if i < Array.length t.output_name_array then t.output_name_array.(i)
+           else string_of_int i)
+          id)
     t.output_ids

@@ -70,6 +70,17 @@ val eval : t -> bool array -> bool array
 val copy : t -> t
 (** Deep copy; node ids are preserved. *)
 
+type violation = { node : int option; reason : string }
+(** A broken structural invariant: the offending node (when one can be
+    named) and a human-readable reason. *)
+
+exception Invariant_violation of violation
+
 val validate : t -> unit
-(** Check structural invariants (arities, fanin ranges, acyclicity); raises
-    [Failure] with a diagnostic on violation. Used by tests. *)
+(** Check structural invariants — per-node arity, fanin ranges, no
+    self-loops, acyclicity, live PO drivers, and name-table consistency
+    (PI/PO id and name tables pair up, Input operators and the input table
+    agree in both directions). Raises {!Invariant_violation} naming the
+    offending node on the first violation found. Run by the engine at round
+    boundaries (when [Config.validate_rounds] is set) and always before a
+    state is checkpointed. *)

@@ -1,0 +1,47 @@
+let version = 1
+
+exception Corrupt of string
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt msg -> Some (Printf.sprintf "Checkpoint.Corrupt %S" msg)
+    | _ -> None)
+
+let header tag = Printf.sprintf "ACCALS-CKPT %d %s" version tag
+
+let save ~path ~tag v =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (header tag);
+     output_char oc '\n';
+     Marshal.to_channel oc v [];
+     flush oc;
+     (* Land the bytes before the rename makes them the checkpoint. *)
+     Unix.fsync (Unix.descr_of_out_channel oc)
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let load ~path ~tag =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let line =
+      try input_line ic
+      with End_of_file -> raise (Corrupt (path ^ ": empty checkpoint"))
+    in
+    if line <> header tag then
+      raise
+        (Corrupt
+           (Printf.sprintf "%s: bad checkpoint header %S (want %S)" path line
+              (header tag)));
+    match Marshal.from_channel ic with
+    | v -> Some v
+    | exception (End_of_file | Failure _) ->
+      raise (Corrupt (path ^ ": truncated or unreadable payload"))
+  end

@@ -1,0 +1,30 @@
+(** Versioned, atomically-replaced checkpoint files.
+
+    A checkpoint is a one-line header ([ACCALS-CKPT <version> <tag>])
+    followed by a marshalled OCaml value.  {!save} writes to a temporary
+    file in the same directory and renames it over the target, so a reader
+    (or a resumed run) only ever sees either the previous complete
+    checkpoint or the new complete one — never a torn write, even if the
+    writer is SIGKILLed mid-save.
+
+    The [tag] names the payload type (e.g. ["engine"]); {!load} refuses a
+    file whose version or tag does not match, raising {!Corrupt} instead of
+    letting [Marshal] segfault on a foreign payload.  As with any use of
+    [Marshal], a checkpoint is only portable between binaries built from the
+    same sources. *)
+
+val version : int
+
+exception Corrupt of string
+(** Raised by {!load} on a bad magic line, version/tag mismatch, or a
+    truncated/unreadable payload. *)
+
+val save : path:string -> tag:string -> 'a -> unit
+(** [save ~path ~tag v] atomically replaces [path] with a checkpoint
+    holding [v]. The parent directory must exist. *)
+
+val load : path:string -> tag:string -> 'a option
+(** [load ~path ~tag] is [None] when [path] does not exist, the decoded
+    value when it holds a matching checkpoint, and raises {!Corrupt}
+    otherwise. The caller must ascribe the expected type; the [tag] is the
+    guard against mixing payload types. *)

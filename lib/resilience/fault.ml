@@ -1,0 +1,114 @@
+type mode = Raise | Stall of float
+
+type spec = { seed : int; every : int; attempts : int; mode : mode }
+
+exception Injected of { batch : int; index : int; attempt : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { batch; index; attempt } ->
+      Some
+        (Printf.sprintf "Fault.Injected (batch %d, task %d, attempt %d)" batch
+           index attempt)
+    | _ -> None)
+
+let default ~seed = { seed; every = 4; attempts = 1; mode = Raise }
+
+let parse s =
+  let parse_field spec field =
+    match String.index_opt field ':' with
+    | None -> Error (Printf.sprintf "expected key:value, got %S" field)
+    | Some i ->
+      let key = String.sub field 0 i in
+      let value = String.sub field (i + 1) (String.length field - i - 1) in
+      let int_of v =
+        match int_of_string_opt v with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "%s expects an integer, got %S" key v)
+      in
+      (match key with
+       | "seed" -> Result.map (fun seed -> { spec with seed }) (int_of value)
+       | "every" ->
+         Result.bind (int_of value) (fun every ->
+             if every < 1 then Error "every must be at least 1"
+             else Ok { spec with every })
+       | "attempts" ->
+         Result.bind (int_of value) (fun attempts ->
+             if attempts < 1 then Error "attempts must be at least 1"
+             else Ok { spec with attempts })
+       | "stall" -> (
+         match float_of_string_opt value with
+         | Some f when f >= 0.0 -> Ok { spec with mode = Stall f }
+         | _ -> Error (Printf.sprintf "stall expects seconds, got %S" value))
+       | "mode" -> (
+         match value with
+         | "raise" -> Ok { spec with mode = Raise }
+         | _ -> Error (Printf.sprintf "unknown mode %S" value))
+       | _ -> Error (Printf.sprintf "unknown key %S" key))
+  in
+  let fields = String.split_on_char ',' (String.trim s) in
+  let has_seed =
+    List.exists
+      (fun f -> String.length f >= 5 && String.sub f 0 5 = "seed:")
+      fields
+  in
+  if not has_seed then Error "missing required seed:N field"
+  else
+    List.fold_left
+      (fun acc field -> Result.bind acc (fun spec -> parse_field spec field))
+      (Ok (default ~seed:0))
+      fields
+
+let state : spec option Atomic.t =
+  let initial =
+    match Sys.getenv_opt "ACCALS_FAULTS" with
+    | None | Some "" -> None
+    | Some s -> (
+      match parse s with
+      | Ok spec -> Some spec
+      | Error msg ->
+        Printf.eprintf "accals: ignoring invalid ACCALS_FAULTS (%s)\n%!" msg;
+        None)
+  in
+  Atomic.make initial
+
+let arm spec = Atomic.set state (Some spec)
+let disarm () = Atomic.set state None
+let current () = Atomic.get state
+
+let batch_counter = Atomic.make 0
+let fresh_batch () = Atomic.fetch_and_add batch_counter 1
+
+let injections = Atomic.make 0
+let injected_count () = Atomic.get injections
+
+(* splitmix64 finalizer: decisions depend only on (seed, batch, index). *)
+let mix64 x =
+  let open Int64 in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
+  logxor x (shift_right_logical x 31)
+
+let selects spec ~batch ~index =
+  spec.every <= 1
+  ||
+  let key =
+    Int64.add
+      (Int64.mul (Int64.of_int spec.seed) 0x9E3779B97F4A7C15L)
+      (Int64.add
+         (Int64.mul (Int64.of_int batch) 0xD1B54A32D192ED03L)
+         (Int64.of_int index))
+  in
+  Int64.rem (Int64.shift_right_logical (mix64 key) 1) (Int64.of_int spec.every)
+  = 0L
+
+let check ~batch ~index ~attempt =
+  match Atomic.get state with
+  | None -> ()
+  | Some spec ->
+    if attempt < spec.attempts && selects spec ~batch ~index then begin
+      Atomic.incr injections;
+      match spec.mode with
+      | Raise -> raise (Injected { batch; index; attempt })
+      | Stall seconds -> if seconds > 0.0 then Unix.sleepf seconds
+    end

@@ -1,0 +1,61 @@
+(** Deterministic fault injection for the parallel runtime.
+
+    A fault [spec] selects work units by a pure hash of [(seed, batch,
+    index)] — never by wall clock, scheduling order or domain identity — so
+    the set of injected faults is reproducible from the seed alone.  The
+    runtime's fan-out layer consults {!check} once per task attempt; a
+    selected unit either raises {!Injected} (simulating a crashed worker) or
+    stalls for a fixed duration (simulating a hung one).
+
+    Injection is disabled unless a spec is armed, either programmatically
+    ({!arm}) or through the [ACCALS_FAULTS] environment variable read at
+    program start.  The environment syntax is a comma-separated key:value
+    list, e.g. [ACCALS_FAULTS=seed:42,every:4,attempts:1] or
+    [ACCALS_FAULTS=seed:7,every:2,stall:0.002]. *)
+
+type mode =
+  | Raise  (** the selected task attempt raises {!Injected} *)
+  | Stall of float  (** the selected task attempt sleeps this many seconds *)
+
+type spec = {
+  seed : int;  (** hash seed; equal seeds give equal fault sets *)
+  every : int;  (** inject into ~1/[every] of the units; [<= 1] means all *)
+  attempts : int;
+      (** inject only into attempt numbers [< attempts]; with the default 1
+          a retry of the same unit succeeds, with a large value the unit
+          fails persistently and retries exhaust *)
+  mode : mode;
+}
+
+exception Injected of { batch : int; index : int; attempt : int }
+(** The simulated worker crash. Carries the logical batch serial, the task
+    index within the batch and the attempt number (0 = first try). *)
+
+val default : seed:int -> spec
+(** [every = 4], [attempts = 1], [mode = Raise]. *)
+
+val parse : string -> (spec, string) result
+(** Parse the [ACCALS_FAULTS] syntax. [seed:N] is required; [every:N],
+    [attempts:N] and [stall:SECONDS] are optional. *)
+
+val arm : spec -> unit
+(** Enable injection process-wide (all pools, all domains). *)
+
+val disarm : unit -> unit
+
+val current : unit -> spec option
+(** The armed spec, if any. At program start this is the parsed
+    [ACCALS_FAULTS] value (invalid values are reported on stderr once and
+    ignored). *)
+
+val fresh_batch : unit -> int
+(** Next logical batch serial. The fan-out layer draws one serial per
+    logical submission and reuses it for every retry attempt of that
+    submission, keeping the fault decision independent of retries. *)
+
+val check : batch:int -> index:int -> attempt:int -> unit
+(** Consulted once per task attempt. No-op when disarmed; otherwise raises
+    {!Injected} or stalls when the unit is selected by the armed spec. *)
+
+val injected_count : unit -> int
+(** Total injections (raises and stalls) since the process started. *)

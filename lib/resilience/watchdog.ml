@@ -1,0 +1,15 @@
+type t = { started : float; budget : float option }
+
+let start budget = { started = Unix.gettimeofday (); budget }
+
+let unlimited = { started = 0.0; budget = None }
+
+let elapsed t = Unix.gettimeofday () -. t.started
+
+let expired t =
+  match t.budget with None -> false | Some b -> elapsed t >= b
+
+let remaining t =
+  match t.budget with
+  | None -> None
+  | Some b -> Some (Float.max 0.0 (b -. elapsed t))

@@ -1,12 +1,84 @@
 (* All result assembly is positional: task [i] writes slot [i] (or the slots
    of chunk [i]), so the merged output never depends on scheduling. *)
 
+module Fault = Accals_resilience.Fault
+
+exception
+  Runtime_failure of {
+    batch : int;
+    attempts : int;
+    failed : (int * string) list;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Runtime_failure { batch; attempts; failed } ->
+      Some
+        (Printf.sprintf
+           "Runtime_failure (batch %d: %d task%s still failing after %d \
+            attempts; first: task %s)"
+           batch (List.length failed)
+           (if List.length failed = 1 then "" else "s")
+           attempts
+           (match failed with
+            | (i, msg) :: _ -> Printf.sprintf "%d raised %s" i msg
+            | [] -> "?"))
+    | _ -> None)
+
+let max_attempts = 3
+
+(* Run [task 0 .. task (count-1)] on the pool with bounded retry of failed
+   indices. Each attempt resubmits only the still-failing indices, in
+   ascending index order; because every result lands by its original index
+   and each index's computation is pure, a retried batch merges into output
+   bit-identical to a failure-free run. The fault-injection hook wraps every
+   attempt under the same logical batch serial so an armed Fault spec
+   selects the same (batch, index) units no matter how work is scheduled. *)
+let submit pool ~count task =
+  if count > 0 then begin
+    let batch = Fault.fresh_batch () in
+    let attempt_task attempt i =
+      Fault.check ~batch ~index:i ~attempt;
+      task i
+    in
+    let rec go attempt indices =
+      (* [indices = None] is the full range, [Some arr] a failed subset in
+         ascending order. *)
+      let failures =
+        match indices with
+        | None -> Pool.try_run pool ~count (attempt_task attempt)
+        | Some arr ->
+          Pool.try_run pool ~count:(Array.length arr) (fun k ->
+              attempt_task attempt arr.(k))
+          |> List.map (fun (f : Pool.failure) -> { f with Pool.index = arr.(f.Pool.index) })
+      in
+      match failures with
+      | [] -> ()
+      | failures when attempt + 1 >= max_attempts ->
+        raise
+          (Runtime_failure
+             {
+               batch;
+               attempts = attempt + 1;
+               failed =
+                 List.map
+                   (fun (f : Pool.failure) ->
+                     (f.Pool.index, Printexc.to_string f.Pool.exn))
+                   failures;
+             })
+      | failures ->
+        go (attempt + 1)
+          (Some (Array.of_list (List.map (fun (f : Pool.failure) -> f.Pool.index) failures)))
+    in
+    go 0 None
+  end
+
 let map_array pool ~f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
     let results = Array.make n None in
-    Pool.run pool ~count:n (fun i -> results.(i) <- Some (f arr.(i)));
+    submit pool ~count:n (fun i -> results.(i) <- Some (f arr.(i)));
     Array.map (function Some r -> r | None -> assert false) results
   end
 
@@ -35,7 +107,7 @@ let map_array_with pool ~state ~f arr =
   else begin
     let results = Array.make n None in
     let ranges = ranges ~chunks:(default_chunks pool n) n in
-    Pool.run pool ~count:(Array.length ranges) (fun c ->
+    submit pool ~count:(Array.length ranges) (fun c ->
         let lo, len = ranges.(c) in
         let s = state () in
         for i = lo to lo + len - 1 do
@@ -51,7 +123,7 @@ let map_reduce pool ~n ~map ~merge ~init =
   if n = 0 then init
   else begin
     let results = Array.make n None in
-    Pool.run pool ~count:n (fun i -> results.(i) <- Some (map i));
+    submit pool ~count:n (fun i -> results.(i) <- Some (map i));
     Array.fold_left
       (fun acc r -> match r with Some r -> merge acc r | None -> assert false)
       init results

@@ -1,4 +1,5 @@
-(** Deterministic fan-out over index ranges, arrays and lists.
+(** Deterministic fan-out over index ranges, arrays and lists, with bounded
+    recovery from failed work units.
 
     Every function here splits its work into ordered units, runs the units
     on the pool's domains, and assembles results in submission order, so the
@@ -10,7 +11,35 @@
     [state]-carrying variants create one private scratch state per chunk
     with [state ()]; the state must be pure scratch — per-element results
     must not depend on which elements share a state, or determinism across
-    [jobs] values is lost. *)
+    [jobs] values is lost.
+
+    {2 Failure recovery}
+
+    A unit that raises (a real defect, or an injected
+    {!Accals_resilience.Fault} crash) does not abort the fan-out: after the
+    batch drains, the failed units — and only those — are resubmitted in
+    ascending index order, up to two retries. Because results land by index
+    and units must be pure, a recovered run is bit-identical to a
+    failure-free one. Units still failing after the last attempt raise
+    {!Runtime_failure} listing every dead unit, instead of leaking a bare
+    worker exception. *)
+
+exception
+  Runtime_failure of {
+    batch : int;  (** logical submission serial (see {!Accals_resilience.Fault}) *)
+    attempts : int;  (** attempts made, including the first *)
+    failed : (int * string) list;
+        (** still-failing unit indices with their printed exceptions,
+            ascending *)
+  }
+
+val max_attempts : int
+(** Total attempts per unit (first run + retries). *)
+
+val submit : Pool.t -> count:int -> (int -> unit) -> unit
+(** [submit pool ~count task] runs [task 0 .. task (count - 1)] with the
+    retry policy above. All mapping functions below route through this;
+    direct {!Pool.run} bypasses recovery. *)
 
 val map_array : Pool.t -> f:('a -> 'b) -> 'a array -> 'b array
 (** One task per element; [result.(i) = f arr.(i)]. *)
@@ -21,7 +50,8 @@ val map_array_with :
   Pool.t -> state:(unit -> 's) -> f:('s -> 'a -> 'b) -> 'a array -> 'b array
 (** Elements are grouped into contiguous chunks; each chunk task calls
     [state ()] once and folds its elements through [f] left to right.
-    Results land by element index. *)
+    Results land by element index. A retried chunk re-creates its scratch
+    state and recomputes every one of its elements. *)
 
 val map_list_with :
   Pool.t -> state:(unit -> 's) -> f:('s -> 'a -> 'b) -> 'a list -> 'b list

@@ -17,13 +17,15 @@ type t = {
   mutable domains : unit Domain.t list;
 }
 
+type failure = { index : int; exn : exn; backtrace : Printexc.raw_backtrace }
+
 let jobs t = t.jobs
 
 let stats t = t.stats
 
 (* Claim and run tasks until the batch's index space is exhausted. The last
    task to finish clears [t.batch] and wakes everyone: idle workers go back
-   to waiting for the next id, the submitter returns from [run]. *)
+   to waiting for the next id, the submitter returns from [try_run]. *)
 let drain t b =
   let rec go () =
     let i = Atomic.fetch_and_add b.next 1 in
@@ -86,28 +88,33 @@ let create ~jobs =
     t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
   t
 
-let run t ~count task =
-  if count < 0 then invalid_arg "Pool.run: negative count";
-  if count > 0 then begin
+let try_run t ~count task =
+  if count < 0 then invalid_arg "Pool.try_run: negative count";
+  if count = 0 then []
+  else begin
+    (* Failures land by index, so the returned list is in submission order
+       no matter which domain ran (or failed) which task. *)
+    let errors = Array.make count None in
+    let safe i =
+      try task i
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        errors.(i) <- Some (e, bt)
+    in
     if t.jobs = 1 || count = 1 then begin
-      (* Sequential bypass: no batch machinery, no synchronization. *)
+      (* Sequential bypass: no batch machinery, no synchronization. The
+         whole index space still drains even after a failure, mirroring the
+         parallel path. *)
       for i = 0 to count - 1 do
-        task i
+        safe i
       done;
       Stats.add_tasks t.stats count
     end
     else begin
-      let first_error = Atomic.make None in
-      let safe i =
-        try task i
-        with e ->
-          let bt = Printexc.get_raw_backtrace () in
-          ignore (Atomic.compare_and_set first_error None (Some (e, bt)))
-      in
       Mutex.lock t.mutex;
       if t.stop then begin
         Mutex.unlock t.mutex;
-        invalid_arg "Pool.run: pool is shut down"
+        invalid_arg "Pool.try_run: pool is shut down"
       end;
       assert (t.batch = None);
       t.batch_id <- t.batch_id + 1;
@@ -126,15 +133,35 @@ let run t ~count task =
       Mutex.unlock t.mutex;
       drain t b;
       Mutex.lock t.mutex;
-      while Atomic.get b.completed < b.count do
-        Condition.wait t.cond t.mutex
-      done;
-      Mutex.unlock t.mutex;
-      match Atomic.get first_error with
-      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      (* Wait for the last finisher to clear the batch slot, not merely for
+         the completion count: the submitter can observe the final count
+         before the finisher has re-taken the mutex, and an immediate next
+         submission (e.g. a retry of failed units) must find the slot
+         empty. *)
+      let rec await_clear () =
+        match t.batch with
+        | Some _ ->
+          Condition.wait t.cond t.mutex;
+          await_clear ()
+        | None -> ()
+      in
+      await_clear ();
+      Mutex.unlock t.mutex
+    end;
+    let failures = ref [] in
+    for i = count - 1 downto 0 do
+      match errors.(i) with
+      | Some (exn, backtrace) ->
+        failures := { index = i; exn; backtrace } :: !failures
       | None -> ()
-    end
+    done;
+    !failures
   end
+
+let run t ~count task =
+  match try_run t ~count task with
+  | [] -> ()
+  | f :: _ -> Printexc.raise_with_backtrace f.exn f.backtrace
 
 let shutdown t =
   Mutex.lock t.mutex;

@@ -1,15 +1,19 @@
 (** Fixed-size domain pool.
 
     A pool spawns [jobs - 1] worker domains once and reuses them for every
-    subsequent {!run}; the submitting domain always participates too, so a
+    subsequent batch; the submitting domain always participates too, so a
     [jobs]-pool applies [jobs] domains to each batch. With [jobs = 1] no
-    domain is ever spawned and {!run} degenerates to a plain sequential
+    domain is ever spawned and batches degenerate to a plain sequential
     loop — the sequential path stays the reference implementation.
 
-    {!run} is synchronous and must only be driven from one domain at a time
-    (the engine's main loop); workers never submit batches themselves. *)
+    {!run} and {!try_run} are synchronous and must only be driven from one
+    domain at a time (the engine's main loop); workers never submit batches
+    themselves. *)
 
 type t
+
+type failure = { index : int; exn : exn; backtrace : Printexc.raw_backtrace }
+(** One task that raised: its index in the batch and what it raised. *)
 
 val create : jobs:int -> t
 (** [create ~jobs] spawns [jobs - 1] worker domains. [jobs] must be at
@@ -24,8 +28,14 @@ val run : t -> count:int -> (int -> unit) -> unit
 (** [run t ~count task] executes [task 0 .. task (count - 1)], each exactly
     once, distributing indices over the pool's domains, and returns when all
     have finished. Tasks must not depend on execution order or domain
-    placement. If any task raises, the first exception (by completion time)
-    is re-raised in the caller after the whole batch has drained. *)
+    placement. If any task raises, the whole batch still drains and the
+    failure with the lowest index is re-raised in the caller. *)
+
+val try_run : t -> count:int -> (int -> unit) -> failure list
+(** Like {!run}, but collects failures instead of raising: the result lists
+    every task that raised, in ascending index order (empty on full
+    success). The whole index space always drains, so the caller can retry
+    exactly the failed indices — see {!Fan_out}. *)
 
 val shutdown : t -> unit
 (** Join the worker domains. Idempotent; the pool must be idle. A pool that

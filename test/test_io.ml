@@ -79,6 +79,69 @@ let test_parse_errors () =
       ".model m\n.inputs a\n.outputs f\n.end\n";
     ]
 
+let test_parse_error_diagnostics () =
+  (* Each diagnostic names the offending 1-based line and the problem. *)
+  let contains msg fragment =
+    let n = String.length msg and k = String.length fragment in
+    let rec scan i = i + k <= n && (String.sub msg i k = fragment || scan (i + 1)) in
+    k = 0 || scan 0
+  in
+  let expect text fragment =
+    match Blif.parse_string text with
+    | _ -> Alcotest.failf "accepted bad input, wanted %S" fragment
+    | exception Blif.Parse_error msg ->
+      if not (contains msg fragment) then
+        Alcotest.failf "diagnostic %S does not mention %S" msg fragment
+  in
+  (* Wrong cover width on line 5. *)
+  expect ".model m\n.inputs a b\n.outputs f\n.names a b f\n1 1\n.end\n" "line 5";
+  (* Duplicate .names output: the second definition is the error and the
+     diagnostic points back at the first. *)
+  expect
+    ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.names a f\n0 1\n.end\n"
+    "line 6";
+  expect
+    ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.names a f\n0 1\n.end\n"
+    "line 4";
+  (* A .names output that shadows a primary input. *)
+  expect ".model m\n.inputs a\n.outputs f\n.names f a\n1 1\n.end\n"
+    "redefines a primary input";
+  (* Undeclared signal feeding an output. *)
+  expect ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.outputs q\n.end\n"
+    "line 6";
+  (* Missing .end. *)
+  expect ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n" "missing .end";
+  (* Bad cover character. *)
+  expect ".model m\n.inputs a\n.outputs f\n.names a f\nx 1\n.end\n" "line 5";
+  (* Duplicate primary input. *)
+  expect ".model m\n.inputs a a\n.outputs f\n.names a f\n1 1\n.end\n" "line 2"
+
+let test_parse_never_leaks_exceptions () =
+  (* Blif.parse_string must raise Parse_error and nothing else, on any byte
+     string: random garbage, and random mutations of a valid document. *)
+  let rng = Accals_bitvec.Prng.create 2027 in
+  let try_parse text =
+    match Blif.parse_string text with
+    | (_ : Network.t) -> ()
+    | exception Blif.Parse_error _ -> ()
+    | exception e ->
+      Alcotest.failf "leaked %s on %S" (Printexc.to_string e)
+        (String.sub text 0 (min 80 (String.length text)))
+  in
+  for _ = 1 to 200 do
+    let len = 1 + Accals_bitvec.Prng.int rng 120 in
+    try_parse
+      (String.init len (fun _ -> Char.chr (Accals_bitvec.Prng.int rng 256)))
+  done;
+  for _ = 1 to 300 do
+    let bytes = Bytes.of_string sample_blif in
+    for _ = 0 to Accals_bitvec.Prng.int rng 4 do
+      let pos = Accals_bitvec.Prng.int rng (Bytes.length bytes) in
+      Bytes.set bytes pos (Char.chr (Accals_bitvec.Prng.int rng 256))
+    done;
+    try_parse (Bytes.to_string bytes)
+  done
+
 let roundtrip net =
   let text = Blif.to_string net in
   let parsed = Blif.parse_string text in
@@ -163,6 +226,10 @@ let suite =
         Alcotest.test_case "parse constants" `Quick test_parse_const;
         Alcotest.test_case "use before definition" `Quick test_parse_use_before_def;
         Alcotest.test_case "malformed inputs rejected" `Quick test_parse_errors;
+        Alcotest.test_case "line-numbered diagnostics" `Quick
+          test_parse_error_diagnostics;
+        Alcotest.test_case "fuzz: only Parse_error escapes" `Quick
+          test_parse_never_leaks_exceptions;
         Alcotest.test_case "roundtrip small" `Quick test_roundtrip_small;
         Alcotest.test_case "roundtrip adder" `Quick test_roundtrip_adder;
         Alcotest.test_case "roundtrip PO = PI" `Quick test_roundtrip_output_is_input;
