@@ -188,6 +188,17 @@ let validate_arg =
           "Check the network invariants (acyclicity, arity, fanin ranges) \
            at every round boundary, not only before checkpoints.")
 
+let no_incremental_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-incremental" ]
+        ~doc:
+          "Disable the incremental signature engine and rebuild the \
+           per-round state (signatures, criticality, error masks) from \
+           scratch every round. Results are bit-identical either way; the \
+           rebuild path exists as the reference for differential testing.")
+
 let ckpt_tag = "accals-engine"
 
 let rec ensure_dir dir =
@@ -200,7 +211,7 @@ let rec ensure_dir dir =
 let synth_cmd =
   let doc = "Synthesize an approximate circuit under an error bound." in
   let run spec metric bound method_ samples seed jobs out verilog verbose trace
-      ckpt_dir resume run_deadline round_deadline validate =
+      ckpt_dir resume run_deadline round_deadline validate no_incremental =
     if resume && ckpt_dir = None then
       user_error "--resume requires --checkpoint DIR";
     if resume && method_ <> `Accals then
@@ -216,6 +227,7 @@ let synth_cmd =
           run_deadline;
           round_deadline;
           validate_rounds = validate;
+          incremental = not no_incremental;
         }
       in
       Config.for_network ~base net
@@ -270,6 +282,7 @@ let synth_cmd =
     Printf.printf "evaluations  : %d\n" report.Engine.exact_evaluations;
     Printf.printf "degraded     : %b\n" report.Engine.degraded;
     Printf.printf "trace        : %s\n" (Trace.summary report.Engine.rounds);
+    Printf.printf "resim        : %s\n" (Trace.resim_summary report.Engine.rounds);
     Printf.printf "runtime pool : %s\n" (Trace.stats_summary report.Engine.stats);
     Printf.printf "phases       : %s\n" (Trace.phases_summary report.Engine.stats);
     if verbose then
@@ -295,7 +308,7 @@ let synth_cmd =
       const run $ circuit_arg $ metric_arg $ bound_arg $ method_arg $ samples_arg
       $ seed_arg $ jobs_arg $ out_arg $ verilog_arg $ verbose_arg $ trace_arg
       $ checkpoint_arg $ resume_arg $ run_deadline_arg $ round_deadline_arg
-      $ validate_arg)
+      $ validate_arg $ no_incremental_arg)
 
 (* --- convert --- *)
 

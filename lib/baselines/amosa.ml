@@ -8,6 +8,7 @@ module Config = Accals.Config
 module Engine = Accals.Engine
 module Trace = Accals.Trace
 module Conflict_graph = Accals.Conflict_graph
+module Round_eval = Accals.Round_eval
 
 type config = {
   iterations_per_round : int;
@@ -71,10 +72,13 @@ let run ?config ?(amosa = default_config) ?patterns ?pool net ~metric
   let global_archive = ref [ (0.0, 1.0) ] in
   let round_index = ref 0 in
   let finished = ref false in
+  let ev =
+    Round_eval.create ~incremental:config.Config.incremental ~current
+      ~patterns ~golden ~metric
+  in
   while (not !finished) && !round_index < config.Config.max_rounds do
     incr round_index;
-    let ctx = Round_ctx.create !current patterns in
-    let est = Estimator.create ctx ~golden ~metric in
+    let ctx, est = Round_eval.begin_round ev in
     let candidates =
       Candidate_gen.generate ~pool:dpool ctx config.Config.candidate
     in
@@ -83,26 +87,19 @@ let run ?config ?(amosa = default_config) ?patterns ?pool net ~metric
       let scored =
         Estimator.score ~pool:dpool est ~shortlist:amosa.pool_size candidates
       in
-      evaluations := !evaluations + Estimator.evaluations est;
+      evaluations := !evaluations + Round_eval.take_evaluations ev;
       let l_sol, _ = Conflict_graph.find_and_solve scored in
       let pool = Array.of_list l_sol in
       let n = Array.length pool in
       if n = 0 then finished := true
       else begin
-        (* Evaluate a subset: exact error and area after application. *)
+        (* Evaluate a subset: exact error and area after application and
+           sweep, without committing anything. *)
         let evaluate subset =
-          let copy = Network.copy !current in
-          let lacs =
-            List.sort
-              (fun a b -> compare pool.(a).Lac.delta_error pool.(b).Lac.delta_error)
-              subset
-            |> List.map (fun i -> pool.(i))
-          in
-          let applied, _ = Lac.apply_many copy lacs in
-          Cleanup.sweep copy;
-          let e = Evaluate.actual_error copy patterns ~golden metric in
+          let lacs = List.map (fun i -> pool.(i)) subset in
+          let applied, e, area = Round_eval.probe ev lacs in
           incr evaluations;
-          (copy, applied, e, Cost.area copy)
+          (applied, e, area)
         in
         let mutate subset =
           let add () =
@@ -124,7 +121,7 @@ let run ?config ?(amosa = default_config) ?patterns ?pool net ~metric
           | _ -> add () |> fun s -> (match s with [] -> s | _ -> s)
         in
         let state = ref [ Prng.int rng n ] in
-        let _, _, e0, a0 = evaluate !state in
+        let _, e0, a0 = evaluate !state in
         let state_point = ref (e0, a0 /. area0) in
         let round_best = ref None in
         let note_candidate subset point =
@@ -140,7 +137,7 @@ let run ?config ?(amosa = default_config) ?patterns ?pool net ~metric
         for _ = 1 to amosa.iterations_per_round do
           let proposal = mutate !state in
           if proposal <> !state then begin
-            let _, _, e, a = evaluate proposal in
+            let _, e, a = evaluate proposal in
             let point = (e, a /. area0) in
             note_candidate proposal point;
             let accept =
@@ -166,11 +163,14 @@ let run ?config ?(amosa = default_config) ?patterns ?pool net ~metric
         | None -> finished := true
         | Some (subset, _, _) when subset = [] -> finished := true
         | Some (subset, _, _) ->
-          let circuit, applied, e_new, _ = evaluate subset in
+          let applied, e_new, _ = evaluate subset in
           if applied = [] then finished := true else begin
           let e_before = !error in
-          current := circuit;
+          Round_eval.commit_set ev applied;
           error := e_new;
+          let resim_nodes, resim_converged, resim_recycled =
+            Round_eval.take_counters ev
+          in
           rounds :=
             {
               Trace.index = !round_index;
@@ -190,11 +190,14 @@ let run ?config ?(amosa = default_config) ?patterns ?pool net ~metric
                   (fun acc l -> acc +. l.Lac.delta_error)
                   e_before applied;
               reverted = false;
-              area = Cost.area circuit;
+              area = Cost.area !current;
+              resim_nodes;
+              resim_converged;
+              resim_recycled;
             }
             :: !rounds;
           if e_new <= error_bound then begin
-            best := Network.copy circuit;
+            best := Network.copy !current;
             best_error := e_new
           end
           else finished := true

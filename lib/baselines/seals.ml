@@ -6,6 +6,7 @@ module Evaluate = Accals_esterr.Evaluate
 module Config = Accals.Config
 module Engine = Accals.Engine
 module Trace = Accals.Trace
+module Round_eval = Accals.Round_eval
 
 let run ?config ?patterns ?shortlist ?pool net ~metric ~error_bound =
   if error_bound <= 0.0 then invalid_arg "Seals.run: error bound must be positive";
@@ -40,31 +41,27 @@ let run ?config ?patterns ?shortlist ?pool net ~metric ~error_bound =
   let evaluations = ref 0 in
   let round_index = ref 0 in
   let finished = ref false in
+  let ev =
+    Round_eval.create ~incremental:config.Config.incremental ~current
+      ~patterns ~golden ~metric
+  in
   while (not !finished) && !round_index < config.Config.max_rounds do
     incr round_index;
-    let ctx = Round_ctx.create !current patterns in
-    let est = Estimator.create ctx ~golden ~metric in
+    let ctx, est = Round_eval.begin_round ev in
     let candidates = Candidate_gen.generate ~pool ctx config.Config.candidate in
     if candidates = [] then finished := true
     else begin
       let scored = Estimator.score ~pool est ~shortlist candidates in
-      evaluations := !evaluations + Estimator.evaluations est;
-      let rec try_apply = function
-        | [] -> None
-        | lac :: rest -> (
-          let copy = Network.copy !current in
-          match Lac.apply copy lac with
-          | () -> Some (copy, lac)
-          | exception Network.Cycle _ -> try_apply rest)
-      in
-      match try_apply scored with
+      evaluations := !evaluations + Round_eval.take_evaluations ev;
+      match Round_eval.eval_single ev scored with
       | None -> finished := true
-      | Some (circuit, lac) ->
-        Cleanup.sweep circuit;
-        let e_new = Evaluate.actual_error circuit patterns ~golden metric in
+      | Some (lac, e_new) ->
+        Round_eval.commit_single ev lac;
         let e_before = !error in
-        current := circuit;
         error := e_new;
+        let resim_nodes, resim_converged, resim_recycled =
+          Round_eval.take_counters ev
+        in
         rounds :=
           {
             Trace.index = !round_index;
@@ -81,11 +78,14 @@ let run ?config ?patterns ?shortlist ?pool net ~metric ~error_bound =
             error_after = e_new;
             estimated_error = e_before +. lac.Lac.delta_error;
             reverted = false;
-            area = Cost.area circuit;
+            area = Cost.area !current;
+            resim_nodes;
+            resim_converged;
+            resim_recycled;
           }
           :: !rounds;
         if e_new <= error_bound then begin
-          best := Network.copy circuit;
+          best := Network.copy !current;
           best_error := e_new
         end
         else finished := true

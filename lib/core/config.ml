@@ -19,6 +19,7 @@ type t = {
   use_improvement_1 : bool;
   use_improvement_2 : bool;
   exact_estimation : bool;
+  incremental : bool;
   jobs : int;
   round_deadline : float option;
   run_deadline : float option;
@@ -45,6 +46,7 @@ let default =
     use_improvement_1 = true;
     use_improvement_2 = true;
     exact_estimation = true;
+    incremental = true;
     jobs = 1;
     round_deadline = None;
     run_deadline = None;

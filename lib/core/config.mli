@@ -31,6 +31,15 @@ type t = {
   exact_estimation : bool;
       (** resimulate shortlisted candidates exactly (default); off: take
           the cheap criticality estimate as ΔE (VECBEE's fast mode) *)
+  incremental : bool;
+      (** drive each round through the event-driven signature database
+          ([lib/sigdb]): candidate sets are evaluated under an undo journal
+          on the working circuit and only changed fanout cones are
+          resimulated, instead of copying the network and resimulating
+          everything per evaluation. On (default) and off produce
+          bit-identical traces and results for every [jobs] value; off is
+          the reference rebuild-everything path kept for differential
+          testing ([--no-incremental] in the CLI). *)
   jobs : int;
       (** domains for the parallel runtime; 1 (default) runs the reference
           sequential path with no pool. Results are bit-identical for every

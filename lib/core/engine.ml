@@ -48,7 +48,10 @@ type snapshot = {
   s_error_bound : float;
 }
 
-let snapshot_version = 1
+(* 2: [Config.t] gained [incremental] (changing the marshaled snapshot
+   layout) and checkpoints store a tracker-free copy of the working
+   circuit. *)
+let snapshot_version = 2
 
 let snapshot_round s = s.s_round
 let snapshot_finished s = s.s_finished
@@ -71,15 +74,6 @@ let golden_signatures ?config ?patterns net =
 (* Eq. (1): estimated error of applying a LAC set on a circuit with error e. *)
 let estimate_for e lacs =
   List.fold_left (fun acc lac -> acc +. lac.Lac.delta_error) e lacs
-
-(* Apply a LAC set to a copy of [net]; return (copy, applied, skipped). *)
-let apply_to_copy net lacs =
-  let copy = Network.copy net in
-  let ordered =
-    List.sort (fun a b -> compare a.Lac.delta_error b.Lac.delta_error) lacs
-  in
-  let applied, skipped = Lac.apply_many copy ordered in
-  (copy, applied, skipped)
 
 let run_loop ?patterns ?pool ?checkpoint st =
   let config = st.s_config in
@@ -110,11 +104,18 @@ let run_loop ?patterns ?pool ?checkpoint st =
   let round_index = ref st.s_round in
   let finished = ref st.s_finished in
   let degraded = ref st.s_degraded in
+  let ev =
+    Round_eval.create ~incremental:config.Config.incremental ~current
+      ~patterns ~golden ~metric
+  in
   let run_watchdog = Watchdog.start config.Config.run_deadline in
   (* Checkpointed state is validated first: persisting (or handing out) a
      structurally broken network would silently poison every later resume,
      so fail loudly here instead. The PRNG is copied because the loop keeps
-     mutating it after the hook returns. *)
+     mutating it after the hook returns, and the working circuit is copied
+     because the incremental backend mutates it in place (the copy also
+     drops the signature database's change tracker, which must never be
+     marshaled). *)
   let emit_checkpoint () =
     match checkpoint with
     | None -> ()
@@ -124,7 +125,7 @@ let run_loop ?patterns ?pool ?checkpoint st =
       save
         {
           st with
-          s_current = !current;
+          s_current = Network.copy !current;
           s_best = !best;
           s_error = !error;
           s_best_error = !best_error;
@@ -147,8 +148,7 @@ let run_loop ?patterns ?pool ?checkpoint st =
     else begin
     let round_watchdog = Watchdog.start config.Config.round_deadline in
     incr round_index;
-    let ctx = phase "simulate" (fun () -> Round_ctx.create !current patterns) in
-    let est = phase "simulate" (fun () -> Estimator.create ctx ~golden ~metric) in
+    let ctx, est = phase "simulate" (fun () -> Round_eval.begin_round ev) in
     let candidates =
       phase "candidates" (fun () ->
           Candidate_gen.generate ~pool ctx config.Config.candidate)
@@ -169,12 +169,15 @@ let run_loop ?patterns ?pool ?checkpoint st =
                           else config.Config.shortlist)
               candidates)
       in
-      evaluations := !evaluations + Estimator.evaluations est;
+      evaluations := !evaluations + Round_eval.take_evaluations ev;
       (* Round deadline: degrade this round from multi-LAC selection to the
          cheap single-LAC path rather than blowing the budget further. *)
       let single_mode = single_mode || Watchdog.expired round_watchdog in
       let record ~mode ~top ~sol ~indp ~rand ~chose ~applied ~skipped ~e_before
           ~e_after ~e_est ~reverted =
+        let resim_nodes, resim_converged, resim_recycled =
+          Round_eval.take_counters ev
+        in
         rounds :=
           {
             Trace.index = !round_index;
@@ -192,40 +195,26 @@ let run_loop ?patterns ?pool ?checkpoint st =
             estimated_error = e_est;
             reverted;
             area = Cost.area !current;
+            resim_nodes;
+            resim_converged;
+            resim_recycled;
           }
           :: !rounds
-      in
-      (* Apply the single best LAC; used by single mode and by reverts. *)
-      let apply_single () =
-        let rec try_apply = function
-          | [] -> None
-          | lac :: rest -> (
-            let copy = Network.copy !current in
-            match Lac.apply copy lac with
-            | () -> Some (copy, lac)
-            | exception Network.Cycle _ -> try_apply rest)
-        in
-        try_apply scored
       in
       match scored with
       | [] -> finished := true
       | _ when single_mode -> begin
-        match phase "evaluate" apply_single with
+        match phase "evaluate" (fun () -> Round_eval.eval_single ev scored) with
         | None -> finished := true
-        | Some (circuit, lac) ->
-          Cleanup.sweep circuit;
-          let e_new =
-            phase "evaluate" (fun () ->
-                Evaluate.actual_error circuit patterns ~golden metric)
-          in
+        | Some (lac, e_new) ->
+          phase "evaluate" (fun () -> Round_eval.commit_single ev lac);
           let e_before = !error in
-          current := circuit;
           error := e_new;
           record ~mode:Trace.Single ~top:1 ~sol:1 ~indp:0 ~rand:0 ~chose:None
             ~applied:1 ~skipped:0 ~e_before ~e_after:e_new
             ~e_est:(estimate_for e_before [ lac ]) ~reverted:false;
           if e_new <= e_b then begin
-            best := Network.copy circuit;
+            best := Network.copy !current;
             best_error := e_new
           end
           else finished := true
@@ -248,17 +237,14 @@ let run_loop ?patterns ?pool ?checkpoint st =
               in
               (l_indp, l_rand, l_top, l_sol))
         in
-        let (c1, applied1, skipped1), (c2, applied2, skipped2), e1, e2 =
+        let (applied1, skipped1, e1), (applied2, skipped2, e2) =
           phase "evaluate" (fun () ->
-              let r1 = apply_to_copy !current l_indp in
-              let r2 = apply_to_copy !current l_rand in
-              let c1, _, _ = r1 and c2, _, _ = r2 in
-              let e1 = Evaluate.actual_error c1 patterns ~golden metric in
-              let e2 =
-                if l_rand = [] then infinity
-                else Evaluate.actual_error c2 patterns ~golden metric
+              let r1 = Round_eval.eval_set ev l_indp in
+              let r2 =
+                if l_rand = [] then ([], [], infinity)
+                else Round_eval.eval_set ev l_rand
               in
-              (r1, r2, e1, e2))
+              (r1, r2))
         in
         if applied1 = [] && applied2 = [] then finished := true
         else begin
@@ -269,9 +255,9 @@ let run_loop ?patterns ?pool ?checkpoint st =
                 && (e1 < e2
                     || (e1 = e2 && List.length applied1 >= List.length applied2)))
           in
-          let circuit, e_new, applied, skipped =
-            if choose_indp then (c1, e1, applied1, skipped1)
-            else (c2, e2, applied2, skipped2)
+          let e_new, applied, skipped =
+            if choose_indp then (e1, applied1, skipped1)
+            else (e2, applied2, skipped2)
           in
           let e_before = !error in
           let e_est = estimate_for e_before applied in
@@ -281,15 +267,12 @@ let run_loop ?patterns ?pool ?checkpoint st =
           in
           if config.Config.use_improvement_2 && e_new > 0.0 && beta > config.Config.l_d
           then begin
-            match phase "evaluate" apply_single with
+            match
+              phase "evaluate" (fun () -> Round_eval.eval_single ev scored)
+            with
             | None -> finished := true
-            | Some (single_circuit, lac) ->
-              Cleanup.sweep single_circuit;
-              let e_s =
-                phase "evaluate" (fun () ->
-                    Evaluate.actual_error single_circuit patterns ~golden metric)
-              in
-              current := single_circuit;
+            | Some (lac, e_s) ->
+              phase "evaluate" (fun () -> Round_eval.commit_single ev lac);
               error := e_s;
               record ~mode:Trace.Multi ~top:(List.length l_top)
                 ~sol:(List.length l_sol) ~indp:(List.length l_indp)
@@ -298,14 +281,13 @@ let run_loop ?patterns ?pool ?checkpoint st =
                 ~e_before ~e_after:e_s
                 ~e_est:(estimate_for e_before [ lac ]) ~reverted:true;
               if e_s <= e_b then begin
-                best := Network.copy single_circuit;
+                best := Network.copy !current;
                 best_error := e_s
               end
               else finished := true
           end
           else begin
-            Cleanup.sweep circuit;
-            current := circuit;
+            phase "evaluate" (fun () -> Round_eval.commit_set ev applied);
             error := e_new;
             record ~mode:Trace.Multi ~top:(List.length l_top)
               ~sol:(List.length l_sol) ~indp:(List.length l_indp)
@@ -314,7 +296,7 @@ let run_loop ?patterns ?pool ?checkpoint st =
               ~skipped:(List.length skipped)
               ~e_before ~e_after:e_new ~e_est ~reverted:false;
             if e_new <= e_b then begin
-              best := Network.copy circuit;
+              best := Network.copy !current;
               best_error := e_new
             end
             else finished := true

@@ -1,0 +1,280 @@
+open Accals_network
+open Accals_lac
+module Metric = Accals_metrics.Metric
+module Estimator = Accals_esterr.Estimator
+module Evaluate = Accals_esterr.Evaluate
+module Sigdb = Accals_sigdb.Sigdb
+module Bitvec = Accals_bitvec.Bitvec
+
+(* Round evaluation backend: one interface, two implementations.
+
+   [Rebuild] is the reference path the engine historically used — every
+   candidate-set evaluation copies the working circuit, applies the LACs to
+   the copy and resimulates it from scratch, and every round rebuilds the
+   analysis context and the estimator. [Incremental] keeps one signature
+   database attached to the working circuit: evaluations run under an undo
+   journal with cone-only overlay resimulation, commits resimulate the
+   changed cones in place, and the persistent estimator is refreshed from
+   the database's change delta.
+
+   Both paths are bit-identical observable-for-observable: same applied /
+   skipped partitions (the acyclicity guard sees the same network states),
+   same error floats (overlay cone evaluation produces the same output
+   bitvectors as a from-scratch simulation), same committed circuits
+   (re-applying the applied sublist reproduces the evaluated circuit,
+   including fresh node ids). Only the resimulation counters differ — they
+   report the work actually done, which is the point. *)
+
+type rebuild_state = {
+  mutable r_ctx : Round_ctx.t option;
+  mutable r_est : Estimator.t option;
+  mutable r_sim_cost : int;  (* live non-input nodes at round start *)
+  mutable r_nodes : int;  (* accumulated full-simulation node count *)
+}
+
+type incr_state = {
+  mutable i_db : Sigdb.t option;
+  mutable i_ctx : Round_ctx.t option;
+  mutable i_est : Estimator.t option;
+  mutable i_nodes_mark : int;
+  mutable i_conv_mark : int;
+  mutable i_rec_mark : int;
+}
+
+type backend = Rebuild of rebuild_state | Incremental of incr_state
+
+type t = {
+  current : Network.t ref;
+  patterns : Sim.patterns;
+  golden : Bitvec.t array;
+  metric : Metric.kind;
+  backend : backend;
+  mutable evals_mark : int;
+}
+
+let create ~incremental ~current ~patterns ~golden ~metric =
+  let backend =
+    if incremental then
+      Incremental
+        {
+          i_db = None;
+          i_ctx = None;
+          i_est = None;
+          i_nodes_mark = 0;
+          i_conv_mark = 0;
+          i_rec_mark = 0;
+        }
+    else Rebuild { r_ctx = None; r_est = None; r_sim_cost = 0; r_nodes = 0 }
+  in
+  { current; patterns; golden; metric; backend; evals_mark = 0 }
+
+let live_noninput ctx =
+  Array.fold_left
+    (fun acc id ->
+      if Network.is_input ctx.Round_ctx.net id then acc else acc + 1)
+    0 ctx.Round_ctx.order
+
+let db_exn s =
+  match s.i_db with
+  | Some db -> db
+  | None -> invalid_arg "Round_eval: no round started"
+
+let sort_by_delta lacs =
+  List.sort (fun a b -> compare a.Lac.delta_error b.Lac.delta_error) lacs
+
+(* ------------------------------------------------------------------ *)
+
+let begin_round t =
+  match t.backend with
+  | Rebuild s ->
+    let ctx = Round_ctx.create !(t.current) t.patterns in
+    let est = Estimator.create ctx ~golden:t.golden ~metric:t.metric in
+    s.r_ctx <- Some ctx;
+    s.r_est <- Some est;
+    s.r_sim_cost <- live_noninput ctx;
+    s.r_nodes <- s.r_nodes + s.r_sim_cost;
+    t.evals_mark <- 0;
+    (ctx, est)
+  | Incremental s -> (
+    match (s.i_ctx, s.i_est) with
+    | Some ctx, Some est -> (ctx, est)
+    | _ ->
+      let db = Sigdb.create !(t.current) t.patterns in
+      let ctx = Round_ctx.of_sigdb db in
+      let est = Estimator.create ctx ~golden:t.golden ~metric:t.metric in
+      (* The initial full simulation inside [Sigdb.create] is real work;
+         surface it through the same counter as the cone evaluations. *)
+      (Sigdb.counters db).Sigdb.resim_nodes <-
+        (Sigdb.counters db).Sigdb.resim_nodes + live_noninput ctx;
+      s.i_db <- Some db;
+      s.i_ctx <- Some ctx;
+      s.i_est <- Some est;
+      t.evals_mark <- 0;
+      (ctx, est))
+
+let estimator t =
+  match t.backend with
+  | Rebuild { r_est = Some est; _ } | Incremental { i_est = Some est; _ } ->
+    est
+  | _ -> invalid_arg "Round_eval: no round started"
+
+let take_evaluations t =
+  let now = Estimator.evaluations (estimator t) in
+  let delta = now - t.evals_mark in
+  t.evals_mark <- now;
+  delta
+
+let take_counters t =
+  match t.backend with
+  | Rebuild s ->
+    let nodes = s.r_nodes in
+    s.r_nodes <- 0;
+    (nodes, 0, 0)
+  | Incremental s ->
+    let c = Sigdb.counters (db_exn s) in
+    let nodes = c.Sigdb.resim_nodes - s.i_nodes_mark in
+    let conv = c.Sigdb.resim_converged - s.i_conv_mark in
+    let recycled = c.Sigdb.buffers_recycled - s.i_rec_mark in
+    s.i_nodes_mark <- c.Sigdb.resim_nodes;
+    s.i_conv_mark <- c.Sigdb.resim_converged;
+    s.i_rec_mark <- c.Sigdb.buffers_recycled;
+    (nodes, conv, recycled)
+
+(* ------------------------------------------------------------------ *)
+(* Speculative evaluation *)
+
+let measure_outputs t approx =
+  Metric.measure t.metric ~golden:t.golden ~approx
+
+(* Evaluate a LAC set (applied in ascending estimated-error order, as the
+   engine always has) against the working circuit without committing it:
+   returns the applied and skipped partitions and the exact-on-samples
+   error of the would-be circuit, before any cleanup. *)
+let eval_set t lacs =
+  let ordered = sort_by_delta lacs in
+  match t.backend with
+  | Rebuild s ->
+    let copy = Network.copy !(t.current) in
+    let applied, skipped = Lac.apply_many copy ordered in
+    let e = Evaluate.actual_error copy t.patterns ~golden:t.golden t.metric in
+    s.r_nodes <- s.r_nodes + s.r_sim_cost;
+    (applied, skipped, e)
+  | Incremental s ->
+    let db = db_exn s in
+    Sigdb.begin_journal db;
+    let applied, skipped = Lac.apply_many !(t.current) ordered in
+    let e = Sigdb.with_journal_outputs db (measure_outputs t) in
+    Sigdb.undo_journal db;
+    (applied, skipped, e)
+
+(* Try the scored LACs in order until one applies without closing a cycle;
+   return it with the exact-on-samples error of the would-be circuit. The
+   working circuit is left unchanged. *)
+let eval_single t scored =
+  match t.backend with
+  | Rebuild s ->
+    let rec try_apply = function
+      | [] -> None
+      | lac :: rest -> (
+        let copy = Network.copy !(t.current) in
+        match Lac.apply copy lac with
+        | () ->
+          let e =
+            Evaluate.actual_error copy t.patterns ~golden:t.golden t.metric
+          in
+          s.r_nodes <- s.r_nodes + s.r_sim_cost;
+          Some (lac, e)
+        | exception Network.Cycle _ -> try_apply rest)
+    in
+    try_apply scored
+  | Incremental s ->
+    let db = db_exn s in
+    let rec try_apply = function
+      | [] -> None
+      | lac :: rest -> (
+        (* [Lac.apply] leaves the network untouched when it raises [Cycle]
+           (the guard precedes every mutation), so consecutive attempts can
+           share one journal. *)
+        match Lac.apply !(t.current) lac with
+        | () ->
+          let e = Sigdb.with_journal_outputs db (measure_outputs t) in
+          Some (lac, e)
+        | exception Network.Cycle _ -> try_apply rest)
+    in
+    Sigdb.begin_journal db;
+    let result = try_apply scored in
+    Sigdb.undo_journal db;
+    result
+
+(* Evaluate a LAC set the way the AMOSA baseline scores states: apply,
+   sweep, then measure both error and area of the cleaned-up circuit —
+   still without committing anything. *)
+let probe t lacs =
+  let ordered = sort_by_delta lacs in
+  match t.backend with
+  | Rebuild s ->
+    let copy = Network.copy !(t.current) in
+    let applied, _skipped = Lac.apply_many copy ordered in
+    Cleanup.sweep copy;
+    let e = Evaluate.actual_error copy t.patterns ~golden:t.golden t.metric in
+    s.r_nodes <- s.r_nodes + s.r_sim_cost;
+    (applied, e, Cost.area copy)
+  | Incremental s ->
+    let db = db_exn s in
+    Sigdb.begin_journal db;
+    let applied, _skipped = Lac.apply_many !(t.current) ordered in
+    Cleanup.sweep !(t.current);
+    let e = Sigdb.with_journal_outputs db (measure_outputs t) in
+    let area = Cost.area !(t.current) in
+    Sigdb.undo_journal db;
+    (applied, e, area)
+
+(* ------------------------------------------------------------------ *)
+(* Commits *)
+
+let refresh_incremental t s =
+  let db = db_exn s in
+  Sigdb.resimulate db;
+  Cleanup.sweep !(t.current);
+  let delta = Sigdb.refresh db in
+  let ctx = Round_ctx.of_sigdb db in
+  let est =
+    match s.i_est with
+    | Some est -> est
+    | None -> invalid_arg "Round_eval: no round started"
+  in
+  Estimator.refresh est ctx ~sig_changed:delta.Sigdb.sig_changed
+    ~struct_dirty:delta.Sigdb.struct_dirty;
+  s.i_ctx <- Some ctx
+
+(* Commit the applied sublist a prior [eval_set] returned. Re-applying it
+   reproduces the evaluated circuit exactly: the skipped LACs never mutated
+   anything, so each applied LAC meets the same intermediate network (and
+   the same node-id watermark) as during evaluation. *)
+let commit_set t applied =
+  match t.backend with
+  | Rebuild s ->
+    let copy = Network.copy !(t.current) in
+    let applied', _ = Lac.apply_many copy applied in
+    assert (List.length applied' = List.length applied);
+    Cleanup.sweep copy;
+    t.current := copy;
+    s.r_ctx <- None;
+    s.r_est <- None
+  | Incremental s ->
+    let applied', _ = Lac.apply_many !(t.current) applied in
+    assert (List.length applied' = List.length applied);
+    refresh_incremental t s
+
+let commit_single t lac =
+  match t.backend with
+  | Rebuild s ->
+    let copy = Network.copy !(t.current) in
+    Lac.apply copy lac;
+    Cleanup.sweep copy;
+    t.current := copy;
+    s.r_ctx <- None;
+    s.r_est <- None
+  | Incremental s ->
+    Lac.apply !(t.current) lac;
+    refresh_incremental t s

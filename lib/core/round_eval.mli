@@ -1,0 +1,69 @@
+(** Round evaluation backend: candidate-set evaluation, single-LAC
+    evaluation and commits, either by the reference rebuild-everything
+    path (copy the circuit, resimulate from scratch) or through an
+    attached {!Accals_sigdb.Sigdb} database (undo-journaled evaluation
+    with cone-only resimulation). Both paths produce bit-identical
+    applied/skipped partitions, error floats and committed circuits; only
+    the work counters differ. *)
+
+open Accals_network
+open Accals_lac
+module Metric := Accals_metrics.Metric
+module Estimator := Accals_esterr.Estimator
+
+type t
+
+val create :
+  incremental:bool ->
+  current:Network.t ref ->
+  patterns:Sim.patterns ->
+  golden:Accals_bitvec.Bitvec.t array ->
+  metric:Metric.kind ->
+  t
+(** The backend reads and updates the working circuit through [current].
+    On the incremental path the referenced network gets a change tracker
+    attached (on the first {!begin_round}) and is mutated in place by
+    commits; checkpoint a {!Accals_network.Network.copy} of it, never the
+    network itself. On the rebuild path commits replace the ref's content
+    with a fresh copy, as the engine always did. *)
+
+val begin_round : t -> Round_ctx.t * Estimator.t
+(** Analysis context and estimator for the round about to start. Rebuild:
+    fresh ones over the current circuit. Incremental: the persistent pair,
+    already refreshed by the previous round's commit. *)
+
+val take_evaluations : t -> int
+(** Estimator cone resimulations since the previous call (the estimator is
+    persistent on the incremental path, so the raw counter accumulates). *)
+
+val take_counters : t -> int * int * int
+(** [(nodes, converged, recycled)] resimulation counters accumulated since
+    the previous call. Incremental: node evaluations, early-convergence
+    stops and pool hits from the signature database. Rebuild: [nodes]
+    counts the full simulations performed (each costed at the round-start
+    live non-input node count); the other two are 0. *)
+
+val eval_set : t -> Lac.t list -> Lac.t list * Lac.t list * float
+(** Evaluate a LAC set without committing it: apply in ascending
+    [delta_error] order, partition into (applied, skipped) under the
+    acyclicity guard, and return the exact-on-samples error the working
+    circuit would have (measured before any cleanup). The working circuit
+    is unchanged on return. *)
+
+val eval_single : t -> Lac.t list -> (Lac.t * float) option
+(** First LAC of the list that applies without closing a cycle, with the
+    exact-on-samples error of the resulting circuit; [None] if none
+    applies. The working circuit is unchanged on return. *)
+
+val probe : t -> Lac.t list -> Lac.t list * float * float
+(** [(applied, error, area)] of the circuit obtained by applying the set
+    and sweeping, without committing — the AMOSA baseline's state
+    evaluation. Area is measured after the sweep. *)
+
+val commit_set : t -> Lac.t list -> unit
+(** Commit the [applied] list a prior {!eval_set} returned (in that exact
+    order), then sweep. Re-application reproduces the evaluated circuit
+    bit-for-bit, fresh node ids included. *)
+
+val commit_single : t -> Lac.t -> unit
+(** Commit one LAC a prior {!eval_single} returned, then sweep. *)

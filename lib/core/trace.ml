@@ -16,6 +16,9 @@ type round = {
   estimated_error : float;
   reverted : bool;
   area : float;
+  resim_nodes : int;
+  resim_converged : int;
+  resim_recycled : int;
 }
 
 let indp_ratio rounds =
@@ -39,11 +42,13 @@ let to_csv rounds =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     "round,mode,candidates,top,sol,indp,rand,chose_indp,applied,skipped,\
-     error_before,error_after,estimated_error,reverted,area\n";
+     error_before,error_after,estimated_error,reverted,area,\
+     resim_nodes,resim_converged,resim_recycled\n";
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%d,%s,%d,%d,%d,%d,%d,%s,%d,%d,%.9f,%.9f,%.9f,%b,%.1f\n"
+        (Printf.sprintf
+           "%d,%s,%d,%d,%d,%d,%d,%s,%d,%d,%.9f,%.9f,%.9f,%b,%.1f,%d,%d,%d\n"
            r.index
            (match r.mode with Multi -> "multi" | Single -> "single")
            r.candidates r.top_count r.sol_count r.indp_count r.rand_count
@@ -52,7 +57,8 @@ let to_csv rounds =
             | Some false -> "rand"
             | None -> "-")
            r.applied r.skipped_cycles r.error_before r.error_after
-           r.estimated_error r.reverted r.area))
+           r.estimated_error r.reverted r.area r.resim_nodes r.resim_converged
+           r.resim_recycled))
     rounds;
   Buffer.contents buf
 
@@ -67,6 +73,18 @@ let summary rounds =
   let reverts = List.length (List.filter (fun r -> r.reverted) rounds) in
   Printf.sprintf "%d rounds, %d LACs applied, %d reverts, L_indp ratio %.2f" n
     applied reverts (indp_ratio rounds)
+
+let resim_summary rounds =
+  let nodes = List.fold_left (fun acc r -> acc + r.resim_nodes) 0 rounds in
+  let converged =
+    List.fold_left (fun acc r -> acc + r.resim_converged) 0 rounds
+  in
+  let recycled =
+    List.fold_left (fun acc r -> acc + r.resim_recycled) 0 rounds
+  in
+  Printf.sprintf
+    "%d node evaluations (%d stopped early, %d buffers recycled)" nodes
+    converged recycled
 
 (* Runtime accounting (from lib/runtime), formatted next to the round trace
    so synthesis reports carry both the algorithmic and the execution view. *)

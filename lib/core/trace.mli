@@ -19,6 +19,16 @@ type round = {
   estimated_error : float;  (** Eq. (1) estimate for the applied set *)
   reverted : bool;  (** improvement technique 2 fired *)
   area : float;  (** circuit area after the round *)
+  resim_nodes : int;
+      (** node signature evaluations spent this round; on the incremental
+          path only changed fanout cones are re-evaluated, on the rebuild
+          path this counts the full simulations performed *)
+  resim_converged : int;
+      (** evaluations whose result was bit-equal to the stored signature,
+          pruning the rest of their cone (0 on the rebuild path) *)
+  resim_recycled : int;
+      (** signature buffers served from the recycling pool instead of
+          being freshly allocated (0 on the rebuild path) *)
 }
 
 val indp_ratio : round list -> float
@@ -30,6 +40,10 @@ val classify : sigma:float -> round -> [ `Positive | `Independent | `Negative ] 
     for single-LAC rounds. *)
 
 val summary : round list -> string
+
+val resim_summary : round list -> string
+(** Totals of the per-round resimulation counters, e.g.
+    ["8123 node evaluations (402 stopped early, 7310 buffers recycled)"]. *)
 
 val to_csv : round list -> string
 (** One header line plus one row per round; loads directly into pandas /

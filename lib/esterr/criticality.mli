@@ -13,3 +13,11 @@ open Accals_bitvec
 val masks : Round_ctx.t -> Bitvec.t array
 (** [masks ctx].(id) is the criticality mask of node [id]; dead nodes get a
     zero-length dummy. Primary-output drivers are fully critical. *)
+
+val edge_sensitivity :
+  Accals_network.Network.t -> Bitvec.t array -> int -> int -> dst:Bitvec.t -> unit
+(** [edge_sensitivity net sigs id which ~dst] writes the mask of patterns
+    on which the output of node [id] flips when its fanin at position
+    [which] flips, all other fanins held at their values in [sigs]. This
+    is the per-edge ingredient of {!masks}, exposed so the estimator's
+    incremental refresh can recompute individual pull terms. *)

@@ -16,17 +16,22 @@ type scratch = {
   tmp : Bitvec.t;
 }
 
+(* The estimator is persistent across rounds when driven through [refresh]:
+   the expensive state (criticality masks, cone cache) is invalidated
+   selectively from a change delta instead of being rebuilt. [create]
+   followed by per-round [refresh] is value-identical to a fresh [create]
+   per round. *)
 type t = {
-  ctx : Round_ctx.t;
+  mutable ctx : Round_ctx.t;
   golden : Bitvec.t array;
   prepared : Metric.prepared;
   metric : Metric.kind;
-  base_error : float;
-  crit : Bitvec.t array;
+  mutable base_error : float;
+  mutable crit : Bitvec.t array;
   err_mask : Bitvec.t;  (* samples where the current circuit is wrong *)
   err_free : Bitvec.t;  (* complement of [err_mask] *)
   cone_cache : (int, int array) Hashtbl.t;
-  scratch : scratch;
+  mutable scratch : scratch;
   evaluations : int Atomic.t;
 }
 
@@ -76,6 +81,125 @@ let create ctx ~golden ~metric =
   }
 
 let base_error t = t.base_error
+
+(* Selective criticality update. A node's mask is the OR, over its live
+   consumers [c] and every fanin position [which] of [c] holding the node,
+   of [edge_sensitivity c which & crit c], plus all-ones when the node
+   drives a primary output — the pull form of the push accumulation in
+   [Criticality.masks]; OR-ing the same terms in either direction is
+   bit-identical. Only nodes whose terms may have changed (seeds) or with
+   a consumer whose mask changed are recomputed, and recomputation stops
+   propagating wherever the recomputed mask is bit-equal to the stored
+   one. *)
+let refresh_crit t ~sig_changed ~struct_dirty =
+  let ctx = t.ctx in
+  let net = ctx.Round_ctx.net in
+  let n = Network.num_nodes net in
+  let samples = ctx.Round_ctx.patterns.Sim.count in
+  let dummy = Bitvec.create 0 in
+  if Array.length t.crit < n then begin
+    let crit = Array.make n dummy in
+    Array.blit t.crit 0 crit 0 (Array.length t.crit);
+    t.crit <- crit
+  end;
+  let seed = Array.make n false in
+  let mark id = seed.(id) <- true in
+  (* Structurally touched nodes: their own pull set changed (definition,
+     fanouts, liveness or output-driver status), and their fanins see
+     changed edge sensitivities. *)
+  Array.iteri
+    (fun id dirty ->
+      if dirty then begin
+        mark id;
+        Array.iter mark (Network.fanins net id)
+      end)
+    struct_dirty;
+  (* A changed signature changes the edge sensitivities of every sibling
+     fanin position at each live consumer (including the node itself when
+     it appears in several positions). *)
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun c -> Array.iter mark (Network.fanins net c))
+        ctx.Round_ctx.fanouts.(s))
+    sig_changed;
+  let drives = Array.make n false in
+  Array.iter (fun id -> drives.(id) <- true) (Network.outputs net);
+  let changed = Array.make n false in
+  let sens = Bitvec.create samples in
+  let acc = Bitvec.create samples in
+  let order = ctx.Round_ctx.order in
+  for i = Array.length order - 1 downto 0 do
+    let id = order.(i) in
+    let needs =
+      seed.(id) || Array.exists (fun c -> changed.(c)) ctx.Round_ctx.fanouts.(id)
+    in
+    if needs then begin
+      Bitvec.fill acc drives.(id);
+      Array.iter
+        (fun c ->
+          let fis = Network.fanins net c in
+          Array.iteri
+            (fun which f ->
+              if f = id then begin
+                Criticality.edge_sensitivity net ctx.Round_ctx.sigs c which
+                  ~dst:sens;
+                Bitvec.logand_into sens t.crit.(c) ~dst:sens;
+                Bitvec.logor_into acc sens ~dst:acc
+              end)
+            fis)
+        ctx.Round_ctx.fanouts.(id);
+      let old = t.crit.(id) in
+      if Bitvec.length old > 0 && Bitvec.equal acc old then ()
+      else begin
+        let buf = if Bitvec.length old > 0 then old else Bitvec.create samples in
+        Bitvec.blit ~src:acc ~dst:buf;
+        t.crit.(id) <- buf;
+        changed.(id) <- true
+      end
+    end
+  done;
+  (* Dead nodes drop to the shared dummy, as in a fresh [Criticality.masks]. *)
+  for id = 0 to n - 1 do
+    if (not ctx.Round_ctx.live.(id)) && Bitvec.length t.crit.(id) > 0 then
+      t.crit.(id) <- dummy
+  done
+
+let refresh t ctx ~sig_changed ~struct_dirty =
+  t.ctx <- ctx;
+  let n = Network.num_nodes ctx.Round_ctx.net in
+  (* Cone cache: a cached transitive-fanout list stays valid as long as
+     neither the target nor any member was structurally touched (a new
+     member can only attach through an edge or liveness change at an
+     existing member or at the target). Stale topological *order* within a
+     surviving cone is harmless: the cone's internal edges are untouched,
+     so the old relative order is still a valid schedule. *)
+  Hashtbl.filter_map_inplace
+    (fun target cone ->
+      if
+        struct_dirty.(target)
+        || Array.exists (fun m -> struct_dirty.(m)) cone
+      then None
+      else Some cone)
+    t.cone_cache;
+  refresh_crit t ~sig_changed ~struct_dirty;
+  let out = Round_ctx.output_sigs ctx in
+  Bitvec.fill t.err_mask false;
+  Array.iteri
+    (fun i g ->
+      Bitvec.logxor_into g out.(i) ~dst:t.scratch.tmp;
+      Bitvec.logor_into t.err_mask t.scratch.tmp ~dst:t.err_mask)
+    t.golden;
+  Bitvec.lognot_into t.err_mask ~dst:t.err_free;
+  t.base_error <- Metric.measure t.metric ~golden:t.golden ~approx:out;
+  if Array.length t.scratch.overlay < n then
+    t.scratch <-
+      {
+        overlay = Array.make n (Bitvec.create 0);
+        have = Array.make n false;
+        pool = t.scratch.pool;
+        tmp = t.scratch.tmp;
+      }
 
 let take_buf t s =
   match s.pool with
@@ -221,19 +345,23 @@ let exact_delta t lac = exact_delta_in t t.scratch lac
 type mode = Exact | Approximate
 
 let score ?(mode = Exact) ?pool t ~shortlist lacs =
-  let ranked =
-    List.map (fun lac -> (rank_score t lac, lac)) lacs
-    |> List.sort (fun (ra, la) (rb, lb) ->
-           match compare ra rb with
-           | 0 -> compare lb.Lac.area_gain la.Lac.area_gain
-           | c -> c)
+  (* Bounded selection of the shortlist instead of sorting all candidates:
+     the order is total (rank, then larger area gain, then original
+     position), so this equals the former stable sort + take. *)
+  let compare_ranked (ra, ia, la) (rb, ib, lb) =
+    match compare ra rb with
+    | 0 -> (
+      match compare lb.Lac.area_gain la.Lac.area_gain with
+      | 0 -> compare ia ib
+      | c -> c)
+    | c -> c
   in
-  let rec take n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | (_, lac) :: rest -> lac :: take (n - 1) rest
+  let ranked = List.mapi (fun i lac -> (rank_score t lac, i, lac)) lacs in
+  let chosen =
+    List.map
+      (fun (_, _, lac) -> lac)
+      (Top_k.smallest ~k:shortlist ~compare:compare_ranked ranked)
   in
-  let chosen = take shortlist ranked in
   let scored =
     match (mode, pool) with
     | Exact, Some pool when Pool.jobs pool > 1 ->

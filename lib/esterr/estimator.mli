@@ -24,6 +24,21 @@ val create : Round_ctx.t -> golden:Bitvec.t array -> metric:Metric.kind -> t
 val base_error : t -> float
 (** Error of the current circuit against the golden outputs. *)
 
+val refresh : t -> Round_ctx.t -> sig_changed:int list -> struct_dirty:bool array -> unit
+(** Re-point the estimator at the next round's context, updating the
+    persistent state selectively instead of rebuilding it: criticality
+    masks are recomputed only inside the region implied by the delta
+    (with early convergence stopping), the cone cache drops only entries
+    whose target or members were structurally touched, and the error
+    mask/base error are refreshed from the new output signatures.
+
+    [sig_changed] lists nodes whose signature changed and [struct_dirty]
+    flags nodes whose definition, fanout set, liveness or output-driver
+    status changed since the context the estimator last saw (e.g. from
+    {!Accals_sigdb.Sigdb.refresh} — both arguments match its [delta]
+    fields). [create] followed by a sequence of mutate/[refresh] steps is
+    value-identical to a fresh [create] on each successive network. *)
+
 val candidate_signature : t -> Lac.t -> Bitvec.t
 (** The target's new signature under the LAC (freshly allocated). *)
 

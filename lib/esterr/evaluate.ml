@@ -2,8 +2,9 @@ open Accals_network
 module Metric = Accals_metrics.Metric
 
 let output_signatures net patterns =
-  let order = Structure.topo_order net in
-  let sigs = Sim.run net patterns ~order in
+  let live = Structure.live_set net in
+  let order = Structure.topo_order ~live net in
+  let sigs = Sim.run ~live net patterns ~order in
   Array.map (fun id -> sigs.(id)) (Network.outputs net)
 
 let actual_error net patterns ~golden metric =

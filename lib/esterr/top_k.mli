@@ -1,0 +1,9 @@
+(** Bounded k-smallest selection. *)
+
+val smallest : k:int -> compare:('a -> 'a -> int) -> 'a list -> 'a list
+(** [smallest ~k ~compare items] is the [k] smallest elements of [items]
+    under [compare], sorted ascending — equal to
+    [List.sort compare items] truncated to [k], in O(n log k) time and
+    O(k) space. [compare] must be a total order (break ties down to a
+    unique key such as the original index) for the result to be
+    deterministic. *)

@@ -13,12 +13,29 @@ type t = {
 
 let create net patterns =
   let live = Structure.live_set net in
-  let order = Structure.topo_order net in
+  let order = Structure.topo_order ~live net in
   let topo_pos = Array.make (Network.num_nodes net) (-1) in
   Array.iteri (fun i id -> topo_pos.(id) <- i) order;
   let fanouts = Structure.fanouts net in
   let fanout_counts = Structure.fanout_counts net ~live in
-  let sigs = Sim.run net patterns ~order in
+  let sigs = Sim.run ~live net patterns ~order in
   { net; live; order; topo_pos; fanouts; fanout_counts; sigs; patterns }
+
+(* Thin view over an attached signature database: same field contents as
+   [create] (the database recomputes the structural views with the same
+   [Structure] routines and keeps signatures incrementally exact), without
+   any per-round bitvector work. *)
+let of_sigdb db =
+  let module Sigdb = Accals_sigdb.Sigdb in
+  {
+    net = Sigdb.network db;
+    live = Sigdb.live_view db;
+    order = Sigdb.order_view db;
+    topo_pos = Sigdb.topo_pos_view db;
+    fanouts = Sigdb.fanouts_view db;
+    fanout_counts = Sigdb.fanout_counts_view db;
+    sigs = Sigdb.sigs_view db;
+    patterns = Sigdb.patterns db;
+  }
 
 let output_sigs t = Array.map (fun id -> t.sigs.(id)) (Network.outputs t.net)

@@ -20,5 +20,11 @@ type t = {
 
 val create : Network.t -> Sim.patterns -> t
 
+val of_sigdb : Accals_sigdb.Sigdb.t -> t
+(** Zero-copy view over a signature database's current per-round views
+    (capture after {!Accals_sigdb.Sigdb.refresh}; the views stay frozen
+    for the round). Field-for-field equal to what [create] would build on
+    the same network. *)
+
 val output_sigs : t -> Bitvec.t array
 (** Signatures of the primary outputs, in PO order. *)

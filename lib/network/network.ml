@@ -1,3 +1,8 @@
+type change =
+  | Replaced of { id : int; old_op : Gate.op; old_fanins : int array }
+  | Added of int
+  | Outputs_changed of { old_ids : int array; old_names : string array }
+
 type t = {
   mutable name : string;
   mutable ops : Gate.op array;
@@ -7,6 +12,9 @@ type t = {
   mutable input_name_list : string array;
   mutable output_ids : int array;
   mutable output_name_array : string array;
+  (* Change tracker: at most one listener (the signature database). Never
+     checkpointed — [copy] drops it, so copies stay marshal-safe. *)
+  mutable tracker : (change -> unit) option;
 }
 
 exception Cycle of int
@@ -21,7 +29,19 @@ let create ?(name = "net") () =
     input_name_list = [||];
     output_ids = [||];
     output_name_array = [||];
+    tracker = None;
   }
+
+let set_tracker t f =
+  (match (t.tracker, f) with
+   | Some _, Some _ -> invalid_arg "Network.set_tracker: tracker already attached"
+   | _ -> ());
+  t.tracker <- f
+
+let has_tracker t = t.tracker <> None
+
+let notify t change =
+  match t.tracker with None -> () | Some f -> f change
 
 let name t = t.name
 let set_name t s = t.name <- s
@@ -43,7 +63,14 @@ let alloc t op fanins =
   t.ops.(id) <- op;
   t.fanin_arrays.(id) <- fanins;
   t.used <- t.used + 1;
+  notify t (Added id);
   id
+
+let truncate t n =
+  if n < 0 || n > t.used then invalid_arg "Network.truncate: bad watermark";
+  (* Undo-journal support: forget the nodes allocated past [n]. The caller
+     guarantees nothing at ids < n (nor the output table) references them. *)
+  t.used <- n
 
 let add_input t nm =
   let id = alloc t Gate.Input [||] in
@@ -69,8 +96,11 @@ let set_outputs t pairs =
     (fun (_, id) ->
       if id < 0 || id >= t.used then invalid_arg "Network: unknown output id")
     pairs;
+  let old_ids = t.output_ids and old_names = t.output_name_array in
   t.output_ids <- Array.map snd pairs;
-  t.output_name_array <- Array.map fst pairs
+  t.output_name_array <- Array.map fst pairs;
+  if old_ids <> t.output_ids || old_names <> t.output_name_array then
+    notify t (Outputs_changed { old_ids; old_names })
 
 let num_nodes t = t.used
 let op t id = t.ops.(id)
@@ -114,8 +144,15 @@ let replace ?(check_cycle = true) t id op fanins =
     Array.iter
       (fun f -> if f = id || reaches t ~src:id ~dst:f then raise (Cycle id))
       fanins;
-  t.ops.(id) <- op;
-  t.fanin_arrays.(id) <- fanins
+  (* Skip definition-preserving rewrites (common during [Cleanup.sweep]):
+     they carry no information for change listeners, and the assignment
+     would be a no-op anyway. *)
+  if not (t.ops.(id) = op && t.fanin_arrays.(id) = fanins) then begin
+    let old_op = t.ops.(id) and old_fanins = t.fanin_arrays.(id) in
+    t.ops.(id) <- op;
+    t.fanin_arrays.(id) <- fanins;
+    notify t (Replaced { id; old_op; old_fanins })
+  end
 
 let eval t input_values =
   if Array.length input_values <> Array.length t.input_ids then
@@ -153,6 +190,9 @@ let copy t =
     input_name_list = Array.copy t.input_name_list;
     output_ids = Array.copy t.output_ids;
     output_name_array = Array.copy t.output_name_array;
+    (* Trackers are tied to one concrete network instance (and would make
+       the copy unmarshalable); copies start untracked. *)
+    tracker = None;
   }
 
 type violation = { node : int option; reason : string }

@@ -11,6 +11,16 @@
 
 type t
 
+type change =
+  | Replaced of { id : int; old_op : Gate.op; old_fanins : int array }
+      (** Node [id]'s definition changed; the event carries the previous
+          definition (the new one is readable from the network). Only fired
+          for real changes: a {!replace} that re-installs the identical
+          definition is skipped. *)
+  | Added of int  (** A node with this id was just allocated. *)
+  | Outputs_changed of { old_ids : int array; old_names : string array }
+      (** {!set_outputs} installed a different output table. *)
+
 exception Cycle of int
 (** Raised by {!replace} when the new definition would close a combinational
     cycle through the given node. *)
@@ -68,7 +78,24 @@ val eval : t -> bool array -> bool array
     test oracle for the bit-parallel simulator. *)
 
 val copy : t -> t
-(** Deep copy; node ids are preserved. *)
+(** Deep copy; node ids are preserved. The copy has no change tracker
+    attached (and is therefore always safe to marshal). *)
+
+val set_tracker : t -> (change -> unit) option -> unit
+(** Attach (or with [None] detach) the single change listener. The listener
+    fires after each mutation, with enough information to reconstruct the
+    previous state; it is how [lib/sigdb] keeps its incremental structures
+    in sync. Raises [Invalid_argument] when attaching over an existing
+    listener. A network with a tracker attached must not be marshaled —
+    checkpoint a {!copy} instead. *)
+
+val has_tracker : t -> bool
+
+val truncate : t -> int -> unit
+(** [truncate t n] forgets every node with id >= [n] (undo support for
+    speculatively added nodes). The caller must guarantee that no surviving
+    node and no primary output references the removed ids. Does not fire
+    change events. *)
 
 type violation = { node : int option; reason : string }
 (** A broken structural invariant: the offending node (when one can be

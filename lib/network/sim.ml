@@ -61,7 +61,7 @@ let eval_node_into t ~lookup id ~dst =
   | Gate.Mux ->
     Bitvec.mux_into ~sel:(lookup fis.(0)) (lookup fis.(1)) (lookup fis.(2)) ~dst
 
-let run t pats ~order =
+let run ?live t pats ~order =
   let n = Network.num_nodes t in
   let sigs = Array.make n dummy in
   let input_ids = Network.inputs t in
@@ -69,9 +69,11 @@ let run t pats ~order =
     invalid_arg "Sim.run: pattern/input mismatch";
   Array.iteri (fun i id -> sigs.(id) <- pats.by_input.(i)) input_ids;
   let lookup id = sigs.(id) in
+  let dead id = match live with Some l -> not l.(id) | None -> false in
   Array.iter
     (fun id ->
-      if not (Network.is_input t id) then begin
+      (* Dead nodes stay on the shared dummy: no allocation, no eval. *)
+      if not (Network.is_input t id) && not (dead id) then begin
         let dst = Bitvec.create pats.count in
         eval_node_into t ~lookup id ~dst;
         sigs.(id) <- dst

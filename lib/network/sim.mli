@@ -24,6 +24,7 @@ val for_network : ?seed:int -> ?count:int -> ?exhaustive_limit:int -> Network.t 
     inputs, otherwise random with [count] (default 2048) vectors. *)
 
 val run :
+  ?live:bool array ->
   Network.t ->
   patterns ->
   order:int array ->
@@ -31,7 +32,9 @@ val run :
 (** [run t pats ~order] simulates the nodes listed in [order] (a topological
     order, e.g. from {!Structure.topo_order}) and returns signatures indexed
     by node id. Entries for nodes outside [order] are a shared zero-length
-    dummy and must not be used. *)
+    dummy and must not be used. When [live] (e.g. {!Structure.live_set}) is
+    given, dead nodes in [order] are skipped too — they stay on the shared
+    dummy instead of costing an allocation and an evaluation each. *)
 
 val eval_node_into :
   Network.t ->

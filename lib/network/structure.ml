@@ -29,9 +29,13 @@ let live_set t =
   live
 
 (* Kahn's algorithm over the relevant node set. *)
-let topo_order ?(live_only = true) t =
+let topo_order ?live ?(live_only = true) t =
   let n = Network.num_nodes t in
-  let keep = if live_only then live_set t else Array.make n true in
+  let keep =
+    match live with
+    | Some l -> l
+    | None -> if live_only then live_set t else Array.make n true
+  in
   let indeg = Array.make n 0 in
   let fanout_lists = Array.make n [] in
   for id = 0 to n - 1 do

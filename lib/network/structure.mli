@@ -8,9 +8,10 @@ val live_set : Network.t -> bool array
 (** [live_set t].(id) is true when node [id] is reachable from some primary
     output through fanin edges (primary outputs themselves included). *)
 
-val topo_order : ?live_only:bool -> Network.t -> int array
+val topo_order : ?live:bool array -> ?live_only:bool -> Network.t -> int array
 (** Topological order (fanins before fanouts). With [live_only] (default
-    true) only live nodes appear. *)
+    true) only live nodes appear. Passing [live] (a precomputed
+    {!live_set}) avoids recomputing the liveness walk. *)
 
 val fanouts : ?live_only:bool -> Network.t -> int array array
 (** [fanouts t].(id) lists the nodes that use [id] as a fanin (each fanout

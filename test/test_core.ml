@@ -161,6 +161,9 @@ let mk_round ?(chose = None) ?(mode = Trace.Multi) ?(e_est = 0.0) ?(e_after = 0.
     estimated_error = e_est;
     reverted = false;
     area = 100.0;
+    resim_nodes = 0;
+    resim_converged = 0;
+    resim_recycled = 0;
   }
 
 let test_indp_ratio () =

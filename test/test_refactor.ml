@@ -95,6 +95,9 @@ let test_trace_csv () =
       estimated_error = 0.014;
       reverted = false;
       area = 123.0;
+      resim_nodes = 42;
+      resim_converged = 3;
+      resim_recycled = 7;
     }
   in
   let csv = Trace.to_csv [ round; { round with Trace.index = 2; mode = Trace.Single; chose_indp = None } ] in
