@@ -701,6 +701,115 @@ let incremental () =
   close_out oc;
   Printf.printf "wrote %s\n" incremental_json_file
 
+(* ---------- Self-auditing runtime: audit and certification overhead ---------- *)
+
+let audit_json_file = "bench_audit.json"
+
+let audit () =
+  section
+    (Printf.sprintf
+       "Self-auditing runtime: shadow-audit and certification overhead \
+        (JSON -> %s)"
+       audit_json_file);
+  let metric = Metric.Error_rate and bound = 0.03 in
+  let names = [ "mtp8"; "alu4"; "apex6" ] in
+  let strip (r : Trace.round) =
+    { r with Trace.resim_nodes = 0; resim_converged = 0; resim_recycled = 0 }
+  in
+  (* Audits re-derive state on the side and certification re-measures the
+     final circuit; neither may change a single synthesis decision, so the
+     traces must be identical across all variants. *)
+  let variants c =
+    [
+      ("baseline", c);
+      ("audit-4", { c with Config.audit_every = 4 });
+      ("audit-1", { c with Config.audit_every = 1 });
+      ("certify", { c with Config.certify = true });
+      ("audit-1+certify", { c with Config.audit_every = 1; certify = true });
+    ]
+  in
+  Printf.printf "%-8s %-16s %10s %9s %7s %6s %6s\n" "Ckt" "variant" "time (s)"
+    "overhead" "audits" "certs" "ident";
+  let rows =
+    List.map
+      (fun name ->
+        let net = circuit name in
+        let base_config =
+          Config.for_network
+            ~base:{ Config.default with seed = 1; samples = samples (); jobs = 1 }
+            net
+        in
+        let runs =
+          List.map
+            (fun (label, config) ->
+              (label, config, Engine.run ~config net ~metric ~error_bound:bound))
+            (variants base_config)
+        in
+        let _, _, baseline = List.hd runs in
+        let base_t = baseline.Engine.runtime_seconds in
+        let results =
+          List.map
+            (fun (label, _, r) ->
+              (* A certification rollback legitimately replaces the final
+                 circuit; the synthesis decisions (the trace) must still
+                 match the baseline exactly. *)
+              let rolled_back =
+                match r.Engine.certification with
+                | Some o -> o.Accals_audit.Certify.rollback_steps > 0
+                | None -> false
+              in
+              let identical =
+                List.map strip r.Engine.rounds
+                  = List.map strip baseline.Engine.rounds
+                && (rolled_back
+                    || r.Engine.error = baseline.Engine.error
+                       && r.Engine.area_ratio = baseline.Engine.area_ratio)
+              in
+              let overhead =
+                (r.Engine.runtime_seconds -. base_t) /. max 1e-9 base_t
+              in
+              Printf.printf "%-8s %-16s %10.3f %8.1f%% %7d %6d %6b\n" name
+                label r.Engine.runtime_seconds (100.0 *. overhead)
+                r.Engine.audits
+                (match r.Engine.certification with Some _ -> 1 | None -> 0)
+                identical;
+              (label, r, overhead, identical))
+            runs
+        in
+        (name, results))
+      names
+  in
+  (* Hand-rolled JSON, same style as bench_speedup.json. *)
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"metric\": \"%s\",\n" (Metric.kind_to_string metric);
+  Printf.bprintf buf "  \"bound\": %g,\n" bound;
+  Printf.bprintf buf "  \"samples\": %d,\n" (samples ());
+  Buffer.add_string buf "  \"circuits\": [\n";
+  List.iteri
+    (fun i (name, results) ->
+      Printf.bprintf buf "    { \"name\": \"%s\", \"variants\": [\n" name;
+      List.iteri
+        (fun j (label, (r : Engine.report), overhead, identical) ->
+          Printf.bprintf buf
+            "      { \"variant\": \"%s\", \"seconds\": %.6f, \"overhead\": \
+             %.4f,\n\
+            \        \"audits\": %d, \"certified\": %s, \"identical\": %b }%s\n"
+            label r.Engine.runtime_seconds overhead r.Engine.audits
+            (match r.Engine.certification with
+             | Some o -> string_of_bool o.Accals_audit.Certify.certified
+             | None -> "null")
+            identical
+            (if j = List.length results - 1 then "" else ","))
+        results;
+      Printf.bprintf buf "    ] }%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out audit_json_file in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote %s\n" audit_json_file
+
 (* ---------- Bechamel micro-benchmarks: one Test.make per table/figure ---------- *)
 
 let micro () =
@@ -805,6 +914,7 @@ let experiments =
     ("sensitivity", sensitivity);
     ("speedup", speedup);
     ("incremental", incremental);
+    ("audit", audit);
     ("micro", micro);
   ]
 

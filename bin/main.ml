@@ -9,6 +9,9 @@ module Metric = Accals_metrics.Metric
 module Bench_suite = Accals_circuits.Bench_suite
 module Blif = Accals_io.Blif
 module Checkpoint = Accals_resilience.Checkpoint
+module Incident = Accals_audit.Incident
+module Ladder = Accals_audit.Ladder
+module Certify = Accals_audit.Certify
 
 (* Exit codes (also listed in `accals --help`):
      0   success
@@ -199,6 +202,53 @@ let no_incremental_arg =
            scratch every round. Results are bit-identical either way; the \
            rebuild path exists as the reference for differential testing.")
 
+let audit_every_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "audit-every" ] ~docv:"N"
+        ~doc:
+          "Shadow-audit cadence: every $(docv) rounds, re-derive the \
+           round's signatures and error from scratch and compare them with \
+           the incremental engine's state. A divergence is logged as an \
+           incident and permanently degrades the run to the rebuild \
+           backend. 0 (default) disables scheduled audits.")
+
+let certify_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "certify" ]
+        ~doc:
+          "Re-measure the final circuit's error with an independent PRNG \
+           stream (exhaustively when the input width permits) and stamp \
+           the report certified. If the independent measurement violates \
+           the bound, roll back to an earlier constraint-satisfying \
+           circuit instead of emitting a violating result.")
+
+let ckpt_keep_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "ckpt-keep" ] ~docv:"K"
+        ~doc:
+          "Keep the last $(docv) checkpoint generations \
+           ($(i,NAME).ckpt, $(i,NAME).ckpt.1, ...). $(b,--resume) scans \
+           newest-to-oldest and skips corrupt files, so a bit-flipped \
+           latest snapshot falls back to its predecessor.")
+
+let incident_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "incident-log" ] ~docv:"FILE"
+        ~doc:
+          "Append structured incident records (JSONL: audit divergences, \
+           corrupt checkpoints skipped on resume, certification \
+           violations, watchdog expiries) to $(docv). Defaults to \
+           $(i,DIR)/incidents.jsonl when $(b,--checkpoint) $(i,DIR) is \
+           given.")
+
 let ckpt_tag = "accals-engine"
 
 let rec ensure_dir dir =
@@ -211,11 +261,14 @@ let rec ensure_dir dir =
 let synth_cmd =
   let doc = "Synthesize an approximate circuit under an error bound." in
   let run spec metric bound method_ samples seed jobs out verilog verbose trace
-      ckpt_dir resume run_deadline round_deadline validate no_incremental =
+      ckpt_dir resume run_deadline round_deadline validate no_incremental
+      audit_every certify ckpt_keep incident_log =
     if resume && ckpt_dir = None then
       user_error "--resume requires --checkpoint DIR";
     if resume && method_ <> `Accals then
       user_error "--resume is only supported with --method accals";
+    if audit_every < 0 then user_error "--audit-every must be >= 0";
+    if ckpt_keep < 1 then user_error "--ckpt-keep must be >= 1";
     let net = load_circuit spec in
     let config =
       let base =
@@ -228,6 +281,8 @@ let synth_cmd =
           round_deadline;
           validate_rounds = validate;
           incremental = not no_incremental;
+          audit_every;
+          certify;
         }
       in
       Config.for_network ~base net
@@ -241,16 +296,28 @@ let synth_cmd =
     in
     let checkpoint =
       Option.map
-        (fun path snap -> Checkpoint.save ~path ~tag:ckpt_tag snap)
+        (fun path snap -> Checkpoint.save ~keep:ckpt_keep ~path ~tag:ckpt_tag snap)
         ckpt_path
     in
+    (* Incidents observed before the engine runs (corrupt checkpoints skipped
+       during the resume scan), newest first. *)
+    let resume_incidents = ref [] in
     let report =
       match method_ with
       | `Accals -> begin
         let snapshot =
           if resume then
             Option.bind ckpt_path (fun path ->
-                Checkpoint.load ~path ~tag:ckpt_tag)
+                Option.map fst
+                  (Checkpoint.load_rotated ~path ~tag:ckpt_tag ~keep:ckpt_keep
+                     ~on_corrupt:(fun ~path detail ->
+                       Printf.printf "checkpoint   : skipping corrupt %s (%s)\n"
+                         path detail;
+                       resume_incidents :=
+                         Incident.make ~round:0
+                           (Incident.Checkpoint_corrupt { path; detail })
+                         :: !resume_incidents)
+                     ()))
           else None
         in
         match snapshot with
@@ -281,6 +348,27 @@ let synth_cmd =
     Printf.printf "runtime      : %.2fs\n" report.Engine.runtime_seconds;
     Printf.printf "evaluations  : %d\n" report.Engine.exact_evaluations;
     Printf.printf "degraded     : %b\n" report.Engine.degraded;
+    Printf.printf "reason       : %s\n"
+      (match report.Engine.degraded_reason with
+       | Some r -> Ladder.reason_to_string r
+       | None -> "-");
+    Printf.printf "ladder       : %s\n" report.Engine.ladder_summary;
+    Printf.printf "audits       : %d\n" report.Engine.audits;
+    Printf.printf "incidents    : %d\n"
+      (List.length !resume_incidents + List.length report.Engine.incidents);
+    (match report.Engine.certification with
+     | None -> ()
+     | Some o ->
+       Printf.printf "certified    : %s (%s %.6f %s %g via %s%s)\n"
+         (if o.Certify.certified then "yes" else "NO")
+         (Metric.kind_to_string report.Engine.metric)
+         o.Certify.measured
+         (if o.Certify.certified then "<=" else ">")
+         o.Certify.bound
+         (Certify.method_to_string o.Certify.method_)
+         (if o.Certify.rollback_steps > 0 then
+            Printf.sprintf ", rollback %d" o.Certify.rollback_steps
+          else ""));
     Printf.printf "trace        : %s\n" (Trace.summary report.Engine.rounds);
     Printf.printf "resim        : %s\n" (Trace.resim_summary report.Engine.rounds);
     Printf.printf "runtime pool : %s\n" (Trace.stats_summary report.Engine.stats);
@@ -301,14 +389,25 @@ let synth_cmd =
     Option.iter
       (fun path -> Accals_io.Verilog_writer.write_file report.Engine.approximate path)
       verilog;
-    Option.iter (fun path -> Trace.write_csv report.Engine.rounds path) trace
+    Option.iter (fun path -> Trace.write_csv report.Engine.rounds path) trace;
+    let incident_log_path =
+      match incident_log with
+      | Some _ -> incident_log
+      | None -> Option.map (fun dir -> Filename.concat dir "incidents.jsonl") ckpt_dir
+    in
+    Option.iter
+      (fun path ->
+        Incident.append_jsonl ~path
+          (List.rev !resume_incidents @ report.Engine.incidents))
+      incident_log_path
   in
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
       const run $ circuit_arg $ metric_arg $ bound_arg $ method_arg $ samples_arg
       $ seed_arg $ jobs_arg $ out_arg $ verilog_arg $ verbose_arg $ trace_arg
       $ checkpoint_arg $ resume_arg $ run_deadline_arg $ round_deadline_arg
-      $ validate_arg $ no_incremental_arg)
+      $ validate_arg $ no_incremental_arg $ audit_every_arg $ certify_arg
+      $ ckpt_keep_arg $ incident_log_arg)
 
 (* --- convert --- *)
 

@@ -1,0 +1,34 @@
+(** Structured incident records for the self-auditing runtime.
+
+    Every anomaly the runtime survives — a shadow-audit divergence, a
+    corrupt checkpoint skipped during resume, a certification measurement
+    violating the bound, an expired watchdog — is recorded as an incident
+    and (from the CLI) appended to a JSONL incident log: one JSON object
+    per line, no framing, safe to append to across runs. *)
+
+type kind =
+  | Audit_divergence of {
+      backend : string;  (** backend that was audited, e.g. ["incremental"] *)
+      nodes : int list;  (** sample of diverging node ids (at most 8) *)
+      fp_reference : string;  (** CRC-32 fingerprint of the re-derived signatures *)
+      fp_observed : string;  (** fingerprint of the audited backend's signatures *)
+      recorded_error : float;  (** error the round loop recorded *)
+      reference_error : float;  (** error re-derived from scratch *)
+    }
+  | Checkpoint_corrupt of { path : string; detail : string }
+  | Certification_violation of { measured : float; bound : float; step : int }
+  | Watchdog_expired of { scope : string }  (** ["run"] or ["round"] *)
+
+type t = { round : int; kind : kind }
+
+val make : round:int -> kind -> t
+
+val kind_name : t -> string
+(** The stable [kind] discriminator used in the JSON encoding. *)
+
+val to_json : t -> string
+(** One-line JSON object (no trailing newline). *)
+
+val append_jsonl : path:string -> t list -> unit
+(** Append each incident as one line to [path], creating it if needed.
+    No-op on the empty list. *)

@@ -1,0 +1,68 @@
+type level = Incremental | Rebuild | Single_lac
+
+type reason =
+  | Audit_divergence
+  | Watchdog_run
+  | Watchdog_round
+  | Certification_rollback
+  | Manual
+
+type event = { round : int; level : level; reason : reason; transient : bool }
+
+type t = {
+  initial : level;
+  mutable level : level;
+  mutable events : event list; (* newest first *)
+}
+
+let create ~initial = { initial; level = initial; events = [] }
+let copy t = { initial = t.initial; level = t.level; events = t.events }
+let initial t = t.initial
+let level t = t.level
+let events t = List.rev t.events
+
+let rank = function Incremental -> 2 | Rebuild -> 1 | Single_lac -> 0
+
+let level_to_string = function
+  | Incremental -> "incremental"
+  | Rebuild -> "rebuild"
+  | Single_lac -> "single-lac"
+
+let reason_to_string = function
+  | Audit_divergence -> "audit_divergence"
+  | Watchdog_run -> "watchdog_run"
+  | Watchdog_round -> "watchdog_round"
+  | Certification_rollback -> "certification_rollback"
+  | Manual -> "manual"
+
+let descend t ~round ~level:target ~reason =
+  if rank target < rank t.level then begin
+    t.level <- target;
+    t.events <- { round; level = target; reason; transient = false } :: t.events
+  end
+
+let note t ~round ~reason =
+  (* Transient events (round watchdog demotions, run-deadline stops) are
+     recorded once per reason — they describe a mode, not each occurrence,
+     and keep the checkpointed event list bounded. *)
+  if List.exists (fun e -> e.transient && e.reason = reason) t.events then
+    false
+  else begin
+    t.events <- { round; level = t.level; reason; transient = true } :: t.events;
+    true
+  end
+
+let summary t =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf (level_to_string t.initial);
+  List.iter
+    (fun e ->
+      if e.transient then
+        Buffer.add_string buf
+          (Printf.sprintf " [%s@%d]" (reason_to_string e.reason) e.round)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf " -> %s@%d (%s)" (level_to_string e.level) e.round
+             (reason_to_string e.reason)))
+    (events t);
+  Buffer.contents buf

@@ -1,0 +1,53 @@
+(** Shadow audits: re-derive a round's signatures from scratch and compare
+    them against what the incremental engine believes.
+
+    The audit is the rebuild path run once, out-of-band: a fresh liveness
+    walk, a fresh topological order, a fresh bit-parallel simulation of the
+    working circuit, and a fresh error measurement against the golden
+    outputs. {!compare} then checks the incremental signature store (when
+    one is in use) node-by-node and the recorded running error against the
+    re-derived values. The result is either [Clean] or a [Divergence]
+    carrying the diverging node ids and a CRC-32 fingerprint pair —
+    everything an incident record needs. *)
+
+open Accals_network
+
+type divergence = {
+  backend : string;  (** ["incremental"] or ["rebuild"] *)
+  nodes : int list;  (** diverging node ids, ascending, at most 8 reported *)
+  fp_reference : string;  (** fingerprint of the re-derived signatures *)
+  fp_observed : string;  (** fingerprint of the audited store; ["-"] if none *)
+  recorded_error : float;
+  reference_error : float;
+}
+
+type verdict = Clean | Divergence of divergence
+
+val fingerprint :
+  live:bool array -> sigs:Accals_bitvec.Bitvec.t array -> int -> string
+(** CRC-32 over (id, signature words) of every live node below the given
+    bound, as eight hex digits. Equal signature sets give equal
+    fingerprints. *)
+
+val compare :
+  net:Network.t ->
+  patterns:Sim.patterns ->
+  golden:Accals_bitvec.Bitvec.t array ->
+  metric:Accals_metrics.Metric.kind ->
+  recorded_error:float ->
+  observed:(bool array * Accals_bitvec.Bitvec.t array) option ->
+  verdict
+(** [observed] is the incremental store's (live set, signatures) view, or
+    [None] on the rebuild backend — in which case only the recorded error
+    is cross-checked against the re-derivation. *)
+
+(** {1 Self-test hook}
+
+    Arming a round number makes the engine deliberately corrupt one stored
+    signature immediately before that round's audit. The environment
+    variable [ACCALS_AUDIT_SELFTEST=N] arms it at program start; a
+    malformed value exits with code 2. *)
+
+val arm_selftest : round:int -> unit
+val disarm_selftest : unit -> unit
+val selftest_round : unit -> int option

@@ -220,6 +220,16 @@ let run ?config ?(amosa = default_config) ?patterns ?pool net ~metric
       delay_ratio = Cost.delay approximate /. delay0;
       adp_ratio = Cost.adp approximate /. (area0 *. delay0);
       degraded = false;
+      degraded_reason = None;
+      final_level =
+        (if config.Config.incremental then Accals_audit.Ladder.Incremental
+         else Accals_audit.Ladder.Rebuild);
+      ladder_events = [];
+      ladder_summary =
+        (if config.Config.incremental then "incremental" else "rebuild");
+      audits = 0;
+      incidents = [];
+      certification = None;
       stats = Accals_runtime.Stats.snapshot (Accals_runtime.Pool.stats dpool);
     }
   in

@@ -105,5 +105,15 @@ let run ?config ?patterns ?shortlist ?pool net ~metric ~error_bound =
     delay_ratio = Cost.delay approximate /. delay0;
     adp_ratio = Cost.adp approximate /. (area0 *. delay0);
     degraded = false;
+    degraded_reason = None;
+    final_level =
+      (if config.Config.incremental then Accals_audit.Ladder.Incremental
+       else Accals_audit.Ladder.Rebuild);
+    ladder_events = [];
+    ladder_summary =
+      (if config.Config.incremental then "incremental" else "rebuild");
+    audits = 0;
+    incidents = [];
+    certification = None;
     stats = Accals_runtime.Stats.snapshot (Accals_runtime.Pool.stats pool);
   }

@@ -162,6 +162,13 @@ let iter_set t f =
 
 let prefix_word t = t.words.(0)
 
+let fold_words t ~init ~f =
+  let acc = ref init in
+  for i = 0 to Array.length t.words - 1 do
+    acc := f !acc t.words.(i)
+  done;
+  !acc
+
 let pp fmt t =
   for i = 0 to t.len - 1 do
     Format.pp_print_char fmt (if get t i then '1' else '0')

@@ -69,5 +69,9 @@ val prefix_word : t -> int
 (** The first machine word of the payload (up to 62 bits), usable as a fast
     similarity hash: equal vectors have equal prefix words. *)
 
+val fold_words : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Fold over the payload words in order, for hashing/fingerprinting.
+    Padding bits are always zero, so equal vectors fold identically. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints as a 0/1 string, bit 0 first. *)

@@ -24,6 +24,8 @@ type t = {
   round_deadline : float option;
   run_deadline : float option;
   validate_rounds : bool;
+  audit_every : int;
+  certify : bool;
 }
 
 let default =
@@ -51,6 +53,8 @@ let default =
     round_deadline = None;
     run_deadline = None;
     validate_rounds = false;
+    audit_every = 0;
+    certify = false;
   }
 
 let parallel ?jobs base =

@@ -57,6 +57,18 @@ type t = {
   validate_rounds : bool;
       (** run {!Accals_network.Network.validate} on the working circuit at
           every round boundary (always done before checkpointing) *)
+  audit_every : int;
+      (** shadow-audit cadence: every [audit_every] rounds, re-derive the
+          round's signatures and error from scratch and compare them with
+          the incremental engine's view (see [lib/audit]); a divergence is
+          recorded as an incident and permanently demotes the run down the
+          degradation ladder. 0 (default) disables scheduled audits;
+          watermark anomalies still trigger one. *)
+  certify : bool;
+      (** after the final round, re-measure the result circuit's error with
+          an independent PRNG stream (exhaustively when the input width
+          permits) and roll back to an earlier feasible circuit if the
+          independent measurement violates the bound *)
 }
 
 val default : t

@@ -7,6 +7,10 @@ module Prng = Accals_bitvec.Prng
 module Pool = Accals_runtime.Pool
 module Stats = Accals_runtime.Stats
 module Watchdog = Accals_resilience.Watchdog
+module Ladder = Accals_audit.Ladder
+module Incident = Accals_audit.Incident
+module Shadow = Accals_audit.Shadow
+module Certify = Accals_audit.Certify
 
 type report = {
   original : Network.t;
@@ -21,6 +25,13 @@ type report = {
   delay_ratio : float;
   adp_ratio : float;
   degraded : bool;
+  degraded_reason : Ladder.reason option;
+  final_level : Ladder.level;
+  ladder_events : Ladder.event list;
+  ladder_summary : string;
+  audits : int;
+  incidents : Incident.t list;
+  certification : Certify.outcome option;
   stats : Stats.snapshot;
 }
 
@@ -46,12 +57,18 @@ type snapshot = {
   s_config : Config.t;
   s_metric : Metric.kind;
   s_error_bound : float;
+  s_ladder : Ladder.t;
+  s_degraded_reason : Ladder.reason option;
+  s_incidents : Incident.t list;  (* newest first *)
 }
 
 (* 2: [Config.t] gained [incremental] (changing the marshaled snapshot
    layout) and checkpoints store a tracker-free copy of the working
-   circuit. *)
-let snapshot_version = 2
+   circuit.
+   3: [Config.t] gained [audit_every]/[certify]; snapshots carry the
+   degradation ladder, the degradation reason and the incident list, so a
+   resumed run reports the same audit history as an uninterrupted one. *)
+let snapshot_version = 3
 
 let snapshot_round s = s.s_round
 let snapshot_finished s = s.s_finished
@@ -104,9 +121,28 @@ let run_loop ?patterns ?pool ?checkpoint st =
   let round_index = ref st.s_round in
   let finished = ref st.s_finished in
   let degraded = ref st.s_degraded in
+  let ladder = Ladder.copy st.s_ladder in
+  let degraded_reason = ref st.s_degraded_reason in
+  let incidents = ref st.s_incidents in
+  let audits = ref 0 in
+  (* Previously feasible best circuits, newest first, for certification
+     rollback. In-memory only: a resumed run restarts with an empty stack,
+     so its rollback depth is bounded by what it has seen since resuming. *)
+  let max_rollback = 8 in
+  let rollback = ref [] in
   let ev =
     Round_eval.create ~incremental:config.Config.incremental ~current
       ~patterns ~golden ~metric
+  in
+  (* The effective configuration can lose [incremental] mid-run (audit
+     divergence); checkpoints persist the effective one so a resume
+     continues on the degraded backend. *)
+  let eff_config = ref config in
+  let take_best e_new =
+    rollback := List.filteri (fun i _ -> i < max_rollback - 1) !rollback;
+    rollback := (!best, !best_error) :: !rollback;
+    best := Network.copy !current;
+    best_error := e_new
   in
   let run_watchdog = Watchdog.start config.Config.run_deadline in
   (* Checkpointed state is validated first: persisting (or handing out) a
@@ -125,6 +161,7 @@ let run_loop ?patterns ?pool ?checkpoint st =
       save
         {
           st with
+          s_config = !eff_config;
           s_current = Network.copy !current;
           s_best = !best;
           s_error = !error;
@@ -134,8 +171,63 @@ let run_loop ?patterns ?pool ?checkpoint st =
           s_round = !round_index;
           s_finished = !finished;
           s_degraded = !degraded;
+          s_degraded_reason = !degraded_reason;
+          s_ladder = Ladder.copy ladder;
+          s_incidents = !incidents;
           s_rng = Prng.copy rng;
         }
+  in
+  let incident kind =
+    incidents := Incident.make ~round:!round_index kind :: !incidents
+  in
+  (* The shadow audit: re-derive the round's signatures and error from
+     scratch and compare with what the fast path believes. A divergence
+     moves the run permanently down the ladder — incremental to rebuild
+     (abandoning the signature database), rebuild to single-LAC, and at the
+     bottom the run stops with the best circuit so far. *)
+  let maybe_audit () =
+    if not !finished then begin
+      let due =
+        config.Config.audit_every > 0
+        && !round_index mod config.Config.audit_every = 0
+      in
+      let anomaly = not (Round_eval.watermark_ok ev) in
+      if due || anomaly then begin
+        incr audits;
+        (match Shadow.selftest_round () with
+         | Some r when r = !round_index ->
+           ignore (Round_eval.corrupt_for_selftest ev)
+         | _ -> ());
+        match
+          phase "audit" (fun () -> Round_eval.audit ev ~recorded_error:!error)
+        with
+        | Shadow.Clean -> ()
+        | Shadow.Divergence d ->
+          incident
+            (Incident.Audit_divergence
+               {
+                 backend = d.Shadow.backend;
+                 nodes = d.Shadow.nodes;
+                 fp_reference = d.Shadow.fp_reference;
+                 fp_observed = d.Shadow.fp_observed;
+                 recorded_error = d.Shadow.recorded_error;
+                 reference_error = d.Shadow.reference_error;
+               });
+          degraded := true;
+          if !degraded_reason = None then
+            degraded_reason := Some Ladder.Audit_divergence;
+          (match Ladder.level ladder with
+           | Ladder.Incremental ->
+             Round_eval.degrade_to_rebuild ev;
+             eff_config := { !eff_config with Config.incremental = false };
+             Ladder.descend ladder ~round:!round_index ~level:Ladder.Rebuild
+               ~reason:Ladder.Audit_divergence
+           | Ladder.Rebuild ->
+             Ladder.descend ladder ~round:!round_index ~level:Ladder.Single_lac
+               ~reason:Ladder.Audit_divergence
+           | Ladder.Single_lac -> finished := true)
+      end
+    end
   in
   Fun.protect ~finally:(fun () -> if owned_pool then Pool.shutdown pool)
   @@ fun () ->
@@ -143,6 +235,9 @@ let run_loop ?patterns ?pool ?checkpoint st =
     if Watchdog.expired run_watchdog then begin
       (* Run deadline: stop gracefully with the best circuit so far. *)
       degraded := true;
+      if !degraded_reason = None then degraded_reason := Some Ladder.Watchdog_run;
+      if Ladder.note ladder ~round:!round_index ~reason:Ladder.Watchdog_run then
+        incident (Incident.Watchdog_expired { scope = "run" });
       finished := true
     end
     else begin
@@ -156,7 +251,8 @@ let run_loop ?patterns ?pool ?checkpoint st =
     if candidates = [] then finished := true
     else begin
       let single_mode =
-        config.Config.use_improvement_1 && !error > config.Config.l_e *. e_b
+        (config.Config.use_improvement_1 && !error > config.Config.l_e *. e_b)
+        || Ladder.level ladder = Ladder.Single_lac
       in
       let mode =
         if config.Config.exact_estimation then Estimator.Exact
@@ -172,7 +268,11 @@ let run_loop ?patterns ?pool ?checkpoint st =
       evaluations := !evaluations + Round_eval.take_evaluations ev;
       (* Round deadline: degrade this round from multi-LAC selection to the
          cheap single-LAC path rather than blowing the budget further. *)
-      let single_mode = single_mode || Watchdog.expired round_watchdog in
+      let wd_round = Watchdog.expired round_watchdog in
+      if wd_round then
+        if Ladder.note ladder ~round:!round_index ~reason:Ladder.Watchdog_round
+        then incident (Incident.Watchdog_expired { scope = "round" });
+      let single_mode = single_mode || wd_round in
       let record ~mode ~top ~sol ~indp ~rand ~chose ~applied ~skipped ~e_before
           ~e_after ~e_est ~reverted =
         let resim_nodes, resim_converged, resim_recycled =
@@ -213,11 +313,7 @@ let run_loop ?patterns ?pool ?checkpoint st =
           record ~mode:Trace.Single ~top:1 ~sol:1 ~indp:0 ~rand:0 ~chose:None
             ~applied:1 ~skipped:0 ~e_before ~e_after:e_new
             ~e_est:(estimate_for e_before [ lac ]) ~reverted:false;
-          if e_new <= e_b then begin
-            best := Network.copy !current;
-            best_error := e_new
-          end
-          else finished := true
+          if e_new <= e_b then take_best e_new else finished := true
       end
       | _ -> begin
         let l_indp, l_rand, l_top, l_sol =
@@ -280,11 +376,7 @@ let run_loop ?patterns ?pool ?checkpoint st =
                 ~chose:(Some choose_indp) ~applied:1 ~skipped:0
                 ~e_before ~e_after:e_s
                 ~e_est:(estimate_for e_before [ lac ]) ~reverted:true;
-              if e_s <= e_b then begin
-                best := Network.copy !current;
-                best_error := e_s
-              end
-              else finished := true
+              if e_s <= e_b then take_best e_s else finished := true
           end
           else begin
             phase "evaluate" (fun () -> Round_eval.commit_set ev applied);
@@ -305,6 +397,7 @@ let run_loop ?patterns ?pool ?checkpoint st =
       end
     end;
     if config.Config.validate_rounds then Network.validate !current;
+    maybe_audit ();
     emit_checkpoint ()
     end
   done;
@@ -312,12 +405,44 @@ let run_loop ?patterns ?pool ?checkpoint st =
      reproduces its report without redoing any round. *)
   finished := true;
   emit_checkpoint ();
-  let approximate = Cleanup.compact !best in
+  let approximate0 = Cleanup.compact !best in
+  (* Certification: re-measure the result with an independent PRNG stream
+     (exhaustively when the width permits) and, if the independent
+     measurement violates the bound, walk back through earlier feasible
+     circuits — ending at the exact original — rather than emit a violating
+     result. *)
+  let certification, approximate, reported_error =
+    if not config.Config.certify then (None, approximate0, !best_error)
+    else
+      phase "certify" (fun () ->
+          let measure circuit =
+            Certify.measure ~golden:net ~approx:circuit ~metric
+              ~seed:config.Config.seed ~samples:config.Config.samples
+              ~exhaustive_limit:config.Config.exhaustive_limit
+          in
+          let candidates =
+            (fun () -> (approximate0, !best_error))
+            :: List.map (fun (c, e) () -> (Cleanup.compact c, e)) !rollback
+            @ [ (fun () -> (Cleanup.compact net, 0.0)) ]
+          in
+          let outcome, circuit, sampled_error =
+            Certify.certify_with_rollback ~measure ~bound:e_b ~candidates
+              ~on_violation:(fun ~step ~measured ->
+                incident
+                  (Incident.Certification_violation
+                     { measured; bound = e_b; step }))
+          in
+          if outcome.Certify.rollback_steps > 0 then
+            ignore
+              (Ladder.note ladder ~round:!round_index
+                 ~reason:Ladder.Certification_rollback);
+          (Some outcome, circuit, sampled_error))
+  in
   let runtime_seconds = Unix.gettimeofday () -. started in
   {
     original = net;
     approximate;
-    error = !best_error;
+    error = reported_error;
     metric;
     error_bound = e_b;
     rounds = List.rev !rounds;
@@ -327,6 +452,13 @@ let run_loop ?patterns ?pool ?checkpoint st =
     delay_ratio = Cost.delay approximate /. delay0;
     adp_ratio = Cost.adp approximate /. (area0 *. delay0);
     degraded = !degraded;
+    degraded_reason = !degraded_reason;
+    final_level = Ladder.level ladder;
+    ladder_events = Ladder.events ladder;
+    ladder_summary = Ladder.summary ladder;
+    audits = !audits;
+    incidents = List.rev !incidents;
+    certification;
     stats = Stats.snapshot stats;
   }
 
@@ -350,6 +482,13 @@ let run ?config ?patterns ?pool ?checkpoint net ~metric ~error_bound =
       s_config = config;
       s_metric = metric;
       s_error_bound = error_bound;
+      s_ladder =
+        Ladder.create
+          ~initial:
+            (if config.Config.incremental then Ladder.Incremental
+             else Ladder.Rebuild);
+      s_degraded_reason = None;
+      s_incidents = [];
     }
 
 let resume ?jobs ?patterns ?pool ?checkpoint snapshot =
@@ -371,4 +510,5 @@ let resume ?jobs ?patterns ?pool ?checkpoint snapshot =
       s_current = Network.copy snapshot.s_current;
       s_best = Network.copy snapshot.s_best;
       s_rng = Prng.copy snapshot.s_rng;
+      s_ladder = Ladder.copy snapshot.s_ladder;
     }

@@ -4,6 +4,9 @@
 open Accals_network
 open Accals_bitvec
 module Metric := Accals_metrics.Metric
+module Ladder := Accals_audit.Ladder
+module Incident := Accals_audit.Incident
+module Certify := Accals_audit.Certify
 
 type report = {
   original : Network.t;
@@ -18,9 +21,32 @@ type report = {
   delay_ratio : float;
   adp_ratio : float;
   degraded : bool;
-      (** the run-deadline watchdog expired: the report carries the best
-          circuit found before the budget ran out rather than a converged
-          result *)
+      (** the run ended early or off its preferred path — see
+          [degraded_reason]; the report carries the best circuit found
+          rather than a converged result *)
+  degraded_reason : Ladder.reason option;
+      (** why the run degraded: the run-deadline watchdog expired
+          ([Watchdog_run]) or a shadow audit caught the fast path diverging
+          ([Audit_divergence]); [None] iff [degraded = false] *)
+  final_level : Ladder.level;
+      (** where on the degradation ladder the run ended *)
+  ladder_events : Ladder.event list;  (** chronological; survives resume *)
+  ladder_summary : string;
+      (** e.g. ["incremental -> rebuild@4 (audit_divergence)"] *)
+  audits : int;
+      (** shadow audits performed this process (work accounting: a resumed
+          run counts only its own) *)
+  incidents : Incident.t list;
+      (** chronological anomaly records (audit divergences, watchdog
+          expiries, certification violations); checkpointed, so a resumed
+          run reports the same list *)
+  certification : Certify.outcome option;
+      (** present iff [Config.certify]: the independent re-measurement of
+          [approximate] — when it rolled back, [error] and the ratio fields
+          describe the rolled-back circuit actually emitted. Rollback
+          candidates beyond the final best live in memory only, so a run
+          resumed near its end may have fewer to try than the uninterrupted
+          one. *)
   stats : Accals_runtime.Stats.snapshot;
       (** parallel-runtime work accounting and per-phase wall time
           ("simulate", "candidates", "estimate", "select", "evaluate") *)

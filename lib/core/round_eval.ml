@@ -48,7 +48,7 @@ type t = {
   patterns : Sim.patterns;
   golden : Bitvec.t array;
   metric : Metric.kind;
-  backend : backend;
+  mutable backend : backend;
   mutable evals_mark : int;
 }
 
@@ -81,6 +81,53 @@ let db_exn s =
 
 let sort_by_delta lacs =
   List.sort (fun a b -> compare a.Lac.delta_error b.Lac.delta_error) lacs
+
+let backend_kind t =
+  match t.backend with
+  | Rebuild _ -> `Rebuild
+  | Incremental _ -> `Incremental
+
+(* The incremental views are replaced wholesale at every refresh, so a view
+   sized differently from the network it describes can only mean the
+   database missed a change event — the watermark anomaly that forces an
+   immediate audit. *)
+let watermark_ok t =
+  match t.backend with
+  | Rebuild _ -> true
+  | Incremental { i_db = Some db; _ } ->
+    Array.length (Sigdb.live_view db) = Network.num_nodes !(t.current)
+  | Incremental _ -> true
+
+(* Permanently abandon the incremental database and continue on the
+   reference rebuild path. The database's tracker must come off the
+   network first: rebuild-path commits replace the working circuit with
+   untracked copies, and a stale tracker would keep mutating orphaned
+   state. Counter marks reset with it — the counters they tracked are
+   gone. *)
+let degrade_to_rebuild t =
+  match t.backend with
+  | Rebuild _ -> ()
+  | Incremental s ->
+    (match s.i_db with Some db -> Sigdb.detach db | None -> ());
+    t.evals_mark <- 0;
+    t.backend <-
+      Rebuild { r_ctx = None; r_est = None; r_sim_cost = 0; r_nodes = 0 }
+
+let audit t ~recorded_error =
+  let observed =
+    match t.backend with
+    | Rebuild _ -> None
+    | Incremental s ->
+      let db = db_exn s in
+      Some (Sigdb.live_view db, Sigdb.sigs_view db)
+  in
+  Accals_audit.Shadow.compare ~net:!(t.current) ~patterns:t.patterns
+    ~golden:t.golden ~metric:t.metric ~recorded_error ~observed
+
+let corrupt_for_selftest t =
+  match t.backend with
+  | Rebuild _ -> None
+  | Incremental s -> Sigdb.corrupt_signature (db_exn s)
 
 (* ------------------------------------------------------------------ *)
 

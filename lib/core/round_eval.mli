@@ -27,6 +27,32 @@ val create :
     network itself. On the rebuild path commits replace the ref's content
     with a fresh copy, as the engine always did. *)
 
+val backend_kind : t -> [ `Incremental | `Rebuild ]
+(** The backend currently in use (it can change, see
+    {!degrade_to_rebuild}). *)
+
+val watermark_ok : t -> bool
+(** False when the incremental database's frozen views are inconsistent
+    with the working circuit (a missed change event); always true on the
+    rebuild backend. The engine treats false as a forced-audit trigger. *)
+
+val degrade_to_rebuild : t -> unit
+(** Permanently switch to the rebuild backend: the signature database is
+    detached and abandoned, and every subsequent round rebuilds its context
+    from scratch. No-op when already on the rebuild backend. Callable at a
+    round boundary only (not between {!begin_round} and its commit). *)
+
+val audit : t -> recorded_error:float -> Accals_audit.Shadow.verdict
+(** Shadow audit of the working circuit at a round boundary: re-derive
+    liveness, order, signatures and error from scratch and compare with the
+    incremental database's views ({!Accals_audit.Shadow.compare}). On the
+    rebuild backend only the recorded error is cross-checked. *)
+
+val corrupt_for_selftest : t -> int option
+(** Corrupt one stored signature through
+    {!Accals_sigdb.Sigdb.corrupt_signature}; [None] on the rebuild
+    backend. Test hook. *)
+
 val begin_round : t -> Round_ctx.t * Estimator.t
 (** Analysis context and estimator for the round about to start. Rebuild:
     fresh ones over the current circuit. Incremental: the persistent pair,

@@ -154,6 +154,10 @@ let replace ?(check_cycle = true) t id op fanins =
     notify t (Replaced { id; old_op; old_fanins })
   end
 
+let unsafe_set_def t id op fanins =
+  t.ops.(id) <- op;
+  t.fanin_arrays.(id) <- fanins
+
 let eval t input_values =
   if Array.length input_values <> Array.length t.input_ids then
     invalid_arg "Network.eval: wrong input count";

@@ -72,6 +72,12 @@ val reaches : t -> src:int -> dst:int -> bool
 (** True when there is a directed path of fanin edges from [dst] back to
     [src]; i.e. [src] is in the transitive fanin of [dst]. *)
 
+val unsafe_set_def : t -> int -> Gate.op -> int array -> unit
+(** Test hook: overwrite a node's operator and fanins with {e no} checks
+    and {e no} change events — the supported way to inject precisely one
+    invariant violation when property-testing {!validate}. Never use it in
+    synthesis code; it can corrupt the network arbitrarily. *)
+
 val eval : t -> bool array -> bool array
 (** [eval t input_values] evaluates every primary output on one input
     vector (ordered as {!inputs}/{!outputs}). Reference semantics used as a

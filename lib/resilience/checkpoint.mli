@@ -1,30 +1,58 @@
-(** Versioned, atomically-replaced checkpoint files.
+(** Versioned, CRC-sealed, atomically-replaced checkpoint files with
+    snapshot rotation.
 
-    A checkpoint is a one-line header ([ACCALS-CKPT <version> <tag>])
-    followed by a marshalled OCaml value.  {!save} writes to a temporary
-    file in the same directory and renames it over the target, so a reader
-    (or a resumed run) only ever sees either the previous complete
-    checkpoint or the new complete one — never a torn write, even if the
-    writer is SIGKILLed mid-save.
+    A checkpoint is a one-line header
+    ([ACCALS-CKPT <version> <tag> crc=<hex> len=<bytes>]) followed by a
+    marshalled OCaml value. {!save} writes to a temporary file in the same
+    directory and renames it over the target, so a reader (or a resumed
+    run) only ever sees either the previous complete checkpoint or the new
+    complete one — never a torn write, even if the writer is SIGKILLed
+    mid-save.
+
+    The header carries the payload length and CRC-32, so any truncation or
+    bit corruption of the payload is detected {e before} the bytes reach
+    [Marshal] and surfaces as {!Corrupt}. With [~keep:k > 1], {!save}
+    rotates the previous snapshot to [path.1], [path.1] to [path.2], and
+    so on, keeping the last [k] generations; {!load_rotated} scans
+    newest-to-oldest and resumes from the newest intact one, reporting each
+    corrupt file it skips.
 
     The [tag] names the payload type (e.g. ["engine"]); {!load} refuses a
-    file whose version or tag does not match, raising {!Corrupt} instead of
-    letting [Marshal] segfault on a foreign payload.  As with any use of
-    [Marshal], a checkpoint is only portable between binaries built from the
-    same sources. *)
+    file whose version or tag does not match. As with any use of [Marshal],
+    a checkpoint is only portable between binaries built from the same
+    sources. *)
 
 val version : int
 
 exception Corrupt of string
-(** Raised by {!load} on a bad magic line, version/tag mismatch, or a
-    truncated/unreadable payload. *)
+(** Raised on a bad magic line, version/tag mismatch, payload
+    length/CRC mismatch, or an undecodable payload. *)
 
-val save : path:string -> tag:string -> 'a -> unit
-(** [save ~path ~tag v] atomically replaces [path] with a checkpoint
-    holding [v]. The parent directory must exist. *)
+val rotated : string -> int -> string
+(** [rotated path i] is the on-disk name of generation [i]: [path] itself
+    for [i = 0] (the newest), [path.i] otherwise. *)
+
+val save : ?keep:int -> path:string -> tag:string -> 'a -> unit
+(** [save ?keep ~path ~tag v] atomically replaces [path] with a checkpoint
+    holding [v], first rotating existing generations when [keep > 1]
+    (default [1]: no rotation, previous snapshot overwritten). The parent
+    directory must exist. *)
 
 val load : path:string -> tag:string -> 'a option
 (** [load ~path ~tag] is [None] when [path] does not exist, the decoded
-    value when it holds a matching checkpoint, and raises {!Corrupt}
+    value when it holds a matching intact checkpoint, and raises {!Corrupt}
     otherwise. The caller must ascribe the expected type; the [tag] is the
     guard against mixing payload types. *)
+
+val load_rotated :
+  ?on_corrupt:(path:string -> string -> unit) ->
+  path:string ->
+  tag:string ->
+  keep:int ->
+  unit ->
+  ('a * string) option
+(** [load_rotated ~path ~tag ~keep ()] scans generations newest-to-oldest
+    ([path], [path.1], ...) and returns the first intact checkpoint
+    together with the file it came from. Corrupt generations are skipped
+    after calling [on_corrupt ~path msg]. [None] when no checkpoint file
+    exists at all; raises {!Corrupt} when files exist but none is intact. *)

@@ -67,8 +67,10 @@ let state : spec option Atomic.t =
       match parse s with
       | Ok spec -> Some spec
       | Error msg ->
-        Printf.eprintf "accals: ignoring invalid ACCALS_FAULTS (%s)\n%!" msg;
-        None)
+        (* A typo'd fault spec silently running fault-free would defeat the
+           chaos test it was meant to arm: fail loudly at startup instead. *)
+        Printf.eprintf "accals: invalid ACCALS_FAULTS %S: %s\n%!" s msg;
+        exit 2)
   in
   Atomic.make initial
 

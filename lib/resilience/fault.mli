@@ -45,8 +45,10 @@ val disarm : unit -> unit
 
 val current : unit -> spec option
 (** The armed spec, if any. At program start this is the parsed
-    [ACCALS_FAULTS] value (invalid values are reported on stderr once and
-    ignored). *)
+    [ACCALS_FAULTS] value. A malformed value (e.g. [seed:], [foo], a
+    negative count) is a configuration error: the process prints a one-line
+    diagnostic to stderr and exits with code 2 rather than silently running
+    without the requested fault injection. *)
 
 val fresh_batch : unit -> int
 (** Next logical batch serial. The fan-out layer draws one serial per

@@ -514,3 +514,26 @@ let create net patterns =
   db
 
 let detach db = Network.set_tracker db.net None
+
+(* Audit self-test hook: flip one bit of the first live non-input stored
+   signature (in topological order), simulating silent state corruption
+   that a shadow audit must catch. *)
+let corrupt_signature db =
+  let n = Array.length db.live in
+  let rec find i =
+    if i >= Array.length db.order then None
+    else
+      let id = db.order.(i) in
+      if
+        id < n && db.live.(id)
+        && (not (Network.is_input db.net id))
+        && Bitvec.length db.sigs.(id) > 0
+      then Some id
+      else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some id ->
+    let s = db.sigs.(id) in
+    Bitvec.set s 0 (not (Bitvec.get s 0));
+    Some id

@@ -66,6 +66,13 @@ val detach : t -> unit
 (** Detach from the network's change tracker. The database must not be
     used afterwards. *)
 
+val corrupt_signature : t -> int option
+(** Audit self-test hook: flip one bit of the first live non-input stored
+    signature (topological order) and return its node id, or [None] when
+    no such node exists. Deliberately violates the exactness contract so
+    the shadow-audit path (see [lib/audit]) can be exercised end-to-end;
+    never call it outside a self-test. *)
+
 val network : t -> Accals_network.Network.t
 val patterns : t -> Accals_network.Sim.patterns
 

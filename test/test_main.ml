@@ -5,4 +5,5 @@ let () =
    @ Test_mis.suite @ Test_core.suite @ Test_baselines.suite @ Test_twolevel.suite
    @ Test_datapath.suite @ Test_extensions.suite @ Test_aig.suite
    @ Test_analysis.suite @ Test_dsp.suite @ Test_refactor.suite @ Test_fuzz.suite
-   @ Test_runtime.suite @ Test_resilience.suite @ Test_sigdb.suite)
+   @ Test_runtime.suite @ Test_resilience.suite @ Test_sigdb.suite
+   @ Test_audit.suite)
