@@ -18,6 +18,11 @@ module Amosa = Accals_baselines.Amosa
 module Pool = Accals_runtime.Pool
 module Fan_out = Accals_runtime.Fan_out
 module Stats = Accals_runtime.Stats
+module Telemetry = Accals_telemetry.Telemetry
+module Tracer = Accals_telemetry.Tracer
+module Clock = Accals_telemetry.Clock
+module Json = Accals_telemetry.Json
+module Report_json = Accals.Report_json
 
 let full = ref false
 
@@ -810,6 +815,104 @@ let audit () =
   close_out oc;
   Printf.printf "wrote %s\n" audit_json_file
 
+(* ---------- Telemetry overhead: disabled vs tracer+metrics+events ---------- *)
+
+let telemetry_json_file = "bench_telemetry.json"
+
+let telemetry () =
+  section
+    (Printf.sprintf
+       "Telemetry overhead: disabled vs tracer+metrics+events (JSON -> %s)"
+       telemetry_json_file);
+  let name = "mtp8" and metric = Metric.Error_rate and bound = 0.03 in
+  let net = circuit name in
+  let config = config_for net 1 in
+  let timed f =
+    let t0 = Clock.now () in
+    let r = f () in
+    (r, Clock.now () -. t0)
+  in
+  let go () = Engine.run ~config net ~metric ~error_bound:bound in
+  (* Warm-up so allocator and circuit caches are hot before timing. *)
+  ignore (go ());
+  (* Two disabled runs: their spread is the measurement noise floor, and
+     the instrumentation's disabled-path cost must hide below it (the
+     no-op handle makes every telemetry call a cheap branch). *)
+  Telemetry.reset ();
+  let dis1, t_dis1 = timed go in
+  let dis2, t_dis2 = timed go in
+  (* One fully-enabled run: span tracer + events stream + the metrics
+     registry the engine always fills. *)
+  let tracer = Tracer.create () in
+  let events_path = Filename.temp_file "accals_bench_events" ".jsonl" in
+  let events = open_out events_path in
+  Telemetry.install (Telemetry.make ~tracer ~events ());
+  let en, t_en = timed go in
+  Telemetry.reset ();
+  close_out events;
+  let event_lines =
+    let ic = open_in events_path in
+    let n = ref 0 in
+    (try
+       while true do
+         ignore (input_line ic);
+         incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !n
+  in
+  Sys.remove events_path;
+  (* The determinism contract: telemetry observes and never steers, so the
+     enabled run must reproduce the disabled runs decision for decision. *)
+  let identical =
+    dis1.Engine.rounds = dis2.Engine.rounds
+    && dis1.Engine.rounds = en.Engine.rounds
+    && dis1.Engine.error = en.Engine.error
+    && dis1.Engine.area_ratio = en.Engine.area_ratio
+    && dis1.Engine.exact_evaluations = en.Engine.exact_evaluations
+  in
+  let t_dis = Float.min t_dis1 t_dis2 in
+  let noise =
+    Float.abs (t_dis1 -. t_dis2) /. Float.max 1e-9 t_dis
+  in
+  let overhead = (t_en -. t_dis) /. Float.max 1e-9 t_dis in
+  (* Generous: short runs on a loaded machine jitter; the check only has
+     to catch a disabled path that grew real work (hashing, allocation),
+     which shows up as far more than 50%. *)
+  let disabled_within_noise = noise < 0.5 in
+  Printf.printf "%-22s %10.3f s / %.3f s  (spread %.1f%%)\n" "disabled (2 runs)"
+    t_dis1 t_dis2 (100.0 *. noise);
+  Printf.printf "%-22s %10.3f s  (overhead %+.1f%% vs best disabled)\n"
+    "enabled" t_en (100.0 *. overhead);
+  Printf.printf "%-22s %d spans/instants, %d event lines\n" "recorded"
+    (Tracer.event_count tracer) event_lines;
+  Printf.printf "%-22s identical=%b  disabled_within_noise=%b\n" "checks"
+    identical disabled_within_noise;
+  Json.write_file telemetry_json_file
+    (Json.Obj
+       [
+         ("circuit", Json.String name);
+         ("metric", Json.String (Metric.kind_to_string metric));
+         ("bound", Json.Float bound);
+         ("samples", Json.Int (samples ()));
+         ("identical", Json.Bool identical);
+         ("disabled_s", Json.List [ Json.Float t_dis1; Json.Float t_dis2 ]);
+         ("disabled_noise", Json.Float noise);
+         ("disabled_within_noise", Json.Bool disabled_within_noise);
+         ("enabled_s", Json.Float t_en);
+         ("enabled_overhead", Json.Float overhead);
+         ("trace_events", Json.Int (Tracer.event_count tracer));
+         ("event_lines", Json.Int event_lines);
+         (* Same serializer as the CLI's --json so the formats never drift. *)
+         ("report", Report_json.to_json en);
+       ]);
+  Printf.printf "wrote %s\n" telemetry_json_file;
+  if not identical then
+    note_incident "telemetry/mtp8"
+      "telemetry-enabled run diverged from disabled runs (determinism \
+       contract violated)"
+
 (* ---------- Bechamel micro-benchmarks: one Test.make per table/figure ---------- *)
 
 let micro () =
@@ -915,14 +1018,34 @@ let experiments =
     ("speedup", speedup);
     ("incremental", incremental);
     ("audit", audit);
+    ("telemetry", telemetry);
     ("micro", micro);
   ]
+
+(* With --trace-dir, every experiment runs under its own span tracer and
+   leaves DIR/<experiment>.json behind — open any of them in Perfetto to
+   see where a slow table spends its time. *)
+let trace_dir = ref None
+
+let run_experiment name =
+  let f = List.assoc name experiments in
+  match !trace_dir with
+  | None -> f ()
+  | Some dir ->
+    let tracer = Tracer.create () in
+    Telemetry.install (Telemetry.make ~tracer ());
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.reset ();
+        Tracer.write tracer (Filename.concat dir (name ^ ".json")))
+      (fun () -> Telemetry.with_span ~cat:"bench" name f)
 
 let usage () =
   Printf.eprintf "experiments: %s\n" (String.concat " " (List.map fst experiments));
   Printf.eprintf
     "flags: --full    -j/--jobs N (worker domains, default %d)    --timeout \
-     SECS (per-synthesis budget; overrunning circuits keep partial results)\n"
+     SECS (per-synthesis budget; overrunning circuits keep partial results)    \
+     --trace-dir DIR (write DIR/<experiment>.json Chrome traces)\n"
     (Domain.recommended_domain_count ());
   exit 1
 
@@ -954,6 +1077,12 @@ let () =
     | [ "--timeout" ] ->
       Printf.eprintf "--timeout expects an argument\n";
       usage ()
+    | "--trace-dir" :: dir :: rest ->
+      trace_dir := Some dir;
+      parse acc rest
+    | [ "--trace-dir" ] ->
+      Printf.eprintf "--trace-dir expects an argument\n";
+      usage ()
     | "--full" :: rest ->
       full := true;
       parse acc rest
@@ -969,8 +1098,12 @@ let () =
     Printf.eprintf "unknown argument %s\n" other;
     usage ());
   let to_run = if selected = [] then List.map fst experiments else selected in
+  Option.iter
+    (fun dir ->
+      try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    !trace_dir;
   let t0 = Unix.gettimeofday () in
-  List.iter (fun name -> (List.assoc name experiments) ()) to_run;
+  List.iter run_experiment to_run;
   (match !pool_cell with Some p -> Pool.shutdown p | None -> ());
   (match List.rev !incidents with
   | [] -> ()

@@ -12,6 +12,12 @@ module Checkpoint = Accals_resilience.Checkpoint
 module Incident = Accals_audit.Incident
 module Ladder = Accals_audit.Ladder
 module Certify = Accals_audit.Certify
+module Telemetry = Accals_telemetry.Telemetry
+module Tracer = Accals_telemetry.Tracer
+module Progress = Accals_telemetry.Progress
+module Metrics = Accals_telemetry.Metrics
+module Json = Accals_telemetry.Json
+module Report_json = Accals.Report_json
 
 (* Exit codes (also listed in `accals --help`):
      0   success
@@ -249,6 +255,59 @@ let incident_log_arg =
            $(i,DIR)/incidents.jsonl when $(b,--checkpoint) $(i,DIR) is \
            given.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file of the run's span tree \
+           (run, rounds, engine phases, pool batches; workers on their own \
+           lanes). Open in Perfetto (ui.perfetto.dev) or chrome://tracing. \
+           Purely observational: synthesis outputs are bit-identical with \
+           or without it.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's metrics registry (counters, gauges, histograms: \
+           candidates, estimator cache hits, resimulation work, checkpoint \
+           bytes, GC samples, per-phase seconds) in Prometheus text \
+           exposition format.")
+
+let events_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events-out" ] ~docv:"FILE"
+        ~doc:
+          "Stream structured run events (run_start, one object per round, \
+           ladder transitions, run_end) to $(docv) as JSONL, flushed per \
+           line — tail it to watch a long run.")
+
+let progress_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "progress" ]
+        ~doc:
+          "Render a live heartbeat (round, error, area, elapsed, ETA) to \
+           stderr. Never touches stdout.")
+
+let json_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the report as JSON on stdout instead of the text block \
+           (with $(b,--verbose): inline the per-round trace). Notices that \
+           normally print to stdout (resume, checkpoint scan) move to \
+           stderr so stdout stays a single JSON document.")
+
 let ckpt_tag = "accals-engine"
 
 let rec ensure_dir dir =
@@ -262,7 +321,8 @@ let synth_cmd =
   let doc = "Synthesize an approximate circuit under an error bound." in
   let run spec metric bound method_ samples seed jobs out verilog verbose trace
       ckpt_dir resume run_deadline round_deadline validate no_incremental
-      audit_every certify ckpt_keep incident_log =
+      audit_every certify ckpt_keep incident_log trace_out metrics_out
+      events_out progress json =
     if resume && ckpt_dir = None then
       user_error "--resume requires --checkpoint DIR";
     if resume && method_ <> `Accals then
@@ -299,6 +359,29 @@ let synth_cmd =
         (fun path snap -> Checkpoint.save ~keep:ckpt_keep ~path ~tag:ckpt_tag snap)
         ckpt_path
     in
+    (* Telemetry is installed before anything runs so spans, metrics and
+       events from the engine, pool workers and checkpoint writer all land
+       on the same handle. Stays on the disabled no-op handle unless one of
+       the telemetry flags was given. *)
+    let tracer = if trace_out = None then None else Some (Tracer.create ()) in
+    let progress_h = if progress then Some (Progress.create ()) else None in
+    let events_oc = Option.map open_out events_out in
+    if
+      Option.is_some tracer || Option.is_some progress_h
+      || Option.is_some events_oc || Option.is_some metrics_out
+    then
+      Telemetry.install
+        (Telemetry.make ?tracer ?progress:progress_h ?events:events_oc ());
+    (* In --json mode stdout is a single JSON document, so the resume /
+       checkpoint-scan notices move to stderr. Plain mode keeps them on
+       stdout (CI greps for them there). *)
+    let notice fmt =
+      Printf.ksprintf
+        (fun s ->
+          if json then (output_string stderr s; flush stderr)
+          else print_string s)
+        fmt
+    in
     (* Incidents observed before the engine runs (corrupt checkpoints skipped
        during the resume scan), newest first. *)
     let resume_incidents = ref [] in
@@ -311,7 +394,7 @@ let synth_cmd =
                 Option.map fst
                   (Checkpoint.load_rotated ~path ~tag:ckpt_tag ~keep:ckpt_keep
                      ~on_corrupt:(fun ~path detail ->
-                       Printf.printf "checkpoint   : skipping corrupt %s (%s)\n"
+                       notice "checkpoint   : skipping corrupt %s (%s)\n"
                          path detail;
                        resume_incidents :=
                          Incident.make ~round:0
@@ -322,13 +405,13 @@ let synth_cmd =
         in
         match snapshot with
         | Some snap ->
-          Printf.printf "resumed      : %s at round %d\n"
+          notice "resumed      : %s at round %d\n"
             (Engine.snapshot_circuit snap)
             (Engine.snapshot_round snap);
           Engine.resume ~jobs:(max 1 jobs) ?checkpoint snap
         | None ->
           if resume then
-            Printf.printf "resumed      : no checkpoint yet, starting fresh\n";
+            notice "resumed      : no checkpoint yet, starting fresh\n";
           Engine.run ~config ?checkpoint net ~metric ~error_bound:bound
       end
       | `Seals -> Accals_baselines.Seals.run ~config net ~metric ~error_bound:bound
@@ -336,6 +419,20 @@ let synth_cmd =
         (Accals_baselines.Amosa.run ~config net ~metric ~error_bound:bound)
           .Accals_baselines.Amosa.report
     in
+    if json then
+      (* Merge the pre-run resume incidents into the serialized report so
+         the JSON document carries the same incident set the text block
+         counts. *)
+      print_string
+        (Report_json.to_string ~rounds:verbose
+           (match !resume_incidents with
+            | [] -> report
+            | pre ->
+              {
+                report with
+                Engine.incidents = List.rev pre @ report.Engine.incidents;
+              }))
+    else begin
     Printf.printf "circuit      : %s\n" (Network.name net);
     Printf.printf "metric       : %s <= %g\n"
       (Metric.kind_to_string report.Engine.metric)
@@ -384,7 +481,8 @@ let synth_cmd =
             r.Trace.rand_count r.Trace.applied r.Trace.error_before
             r.Trace.error_after r.Trace.estimated_error
             (if r.Trace.reverted then " [reverted]" else ""))
-        report.Engine.rounds;
+        report.Engine.rounds
+    end;
     Option.iter (fun path -> Blif.write_file report.Engine.approximate path) out;
     Option.iter
       (fun path -> Accals_io.Verilog_writer.write_file report.Engine.approximate path)
@@ -399,7 +497,19 @@ let synth_cmd =
       (fun path ->
         Incident.append_jsonl ~path
           (List.rev !resume_incidents @ report.Engine.incidents))
-      incident_log_path
+      incident_log_path;
+    (match (trace_out, tracer) with
+     | Some path, Some t -> Tracer.write t path
+     | _ -> ());
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        (try output_string oc (Metrics.to_prometheus report.Engine.metrics)
+         with e -> close_out oc; raise e);
+        close_out oc)
+      metrics_out;
+    Option.iter close_out events_oc;
+    Telemetry.reset ()
   in
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
@@ -407,7 +517,8 @@ let synth_cmd =
       $ seed_arg $ jobs_arg $ out_arg $ verilog_arg $ verbose_arg $ trace_arg
       $ checkpoint_arg $ resume_arg $ run_deadline_arg $ round_deadline_arg
       $ validate_arg $ no_incremental_arg $ audit_every_arg $ certify_arg
-      $ ckpt_keep_arg $ incident_log_arg)
+      $ ckpt_keep_arg $ incident_log_arg $ trace_out_arg $ metrics_out_arg
+      $ events_out_arg $ progress_arg $ json_arg)
 
 (* --- convert --- *)
 
@@ -452,7 +563,7 @@ let verify_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"APPROX" ~doc:"Approximate circuit (name or file).")
   in
-  let run golden_spec approx_spec jobs =
+  let run golden_spec approx_spec jobs json =
     let golden = load_circuit golden_spec in
     let approx = load_circuit approx_spec in
     let report =
@@ -462,20 +573,49 @@ let verify_cmd =
               ~approx)
       else Accals_analysis.Exhaustive.compare_networks ~golden ~approx
     in
-    Printf.printf "vectors      : %d (exhaustive)\n"
-      report.Accals_analysis.Exhaustive.vectors;
-    Printf.printf "ER           : %.8f\n" report.Accals_analysis.Exhaustive.error_rate;
-    Printf.printf "MED          : %.6f\n"
-      report.Accals_analysis.Exhaustive.mean_error_distance;
-    Printf.printf "NMED         : %.8f\n"
-      report.Accals_analysis.Exhaustive.normalized_mean_error_distance;
-    Printf.printf "MRED         : %.8f\n"
-      report.Accals_analysis.Exhaustive.mean_relative_error_distance;
-    Printf.printf "WCE          : %.1f\n"
-      report.Accals_analysis.Exhaustive.worst_case_error
+    if json then
+      print_string
+        (Json.to_string ~pretty:true
+           (Json.Obj
+              [
+                ("golden", Json.String (Network.name golden));
+                ("approx", Json.String (Network.name approx));
+                ("vectors", Json.Int report.Accals_analysis.Exhaustive.vectors);
+                ( "error_rate",
+                  Json.Float report.Accals_analysis.Exhaustive.error_rate );
+                ( "mean_error_distance",
+                  Json.Float
+                    report.Accals_analysis.Exhaustive.mean_error_distance );
+                ( "normalized_mean_error_distance",
+                  Json.Float
+                    report.Accals_analysis.Exhaustive
+                      .normalized_mean_error_distance );
+                ( "mean_relative_error_distance",
+                  Json.Float
+                    report.Accals_analysis.Exhaustive
+                      .mean_relative_error_distance );
+                ( "worst_case_error",
+                  Json.Float report.Accals_analysis.Exhaustive.worst_case_error
+                );
+              ])
+         ^ "\n")
+    else begin
+      Printf.printf "vectors      : %d (exhaustive)\n"
+        report.Accals_analysis.Exhaustive.vectors;
+      Printf.printf "ER           : %.8f\n"
+        report.Accals_analysis.Exhaustive.error_rate;
+      Printf.printf "MED          : %.6f\n"
+        report.Accals_analysis.Exhaustive.mean_error_distance;
+      Printf.printf "NMED         : %.8f\n"
+        report.Accals_analysis.Exhaustive.normalized_mean_error_distance;
+      Printf.printf "MRED         : %.8f\n"
+        report.Accals_analysis.Exhaustive.mean_relative_error_distance;
+      Printf.printf "WCE          : %.1f\n"
+        report.Accals_analysis.Exhaustive.worst_case_error
+    end
   in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const run $ circuit_arg $ approx_arg $ jobs_arg)
+    Term.(const run $ circuit_arg $ approx_arg $ jobs_arg $ json_arg)
 
 (* --- sweep --- *)
 

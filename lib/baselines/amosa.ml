@@ -206,6 +206,7 @@ let run ?config ?(amosa = default_config) ?patterns ?pool net ~metric
     end
   done;
   let approximate = Cleanup.compact !best in
+  let stats_snap = Accals_runtime.Stats.snapshot (Accals_runtime.Pool.stats dpool) in
   let report =
     {
       Engine.original = net;
@@ -230,7 +231,12 @@ let run ?config ?(amosa = default_config) ?patterns ?pool net ~metric
       audits = 0;
       incidents = [];
       certification = None;
-      stats = Accals_runtime.Stats.snapshot (Accals_runtime.Pool.stats dpool);
+      stats = stats_snap;
+      metrics =
+        Accals_telemetry.Metrics.merge
+          stats_snap.Accals_runtime.Stats.metrics
+          (Accals_telemetry.Metrics.snapshot
+             (Accals_telemetry.Telemetry.metrics ()));
     }
   in
   { report; archive = List.sort compare !global_archive }

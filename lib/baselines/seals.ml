@@ -7,6 +7,9 @@ module Config = Accals.Config
 module Engine = Accals.Engine
 module Trace = Accals.Trace
 module Round_eval = Accals.Round_eval
+module Telemetry = Accals_telemetry.Telemetry
+module Metrics = Accals_telemetry.Metrics
+module Tjson = Accals_telemetry.Json
 
 let run ?config ?patterns ?shortlist ?pool net ~metric ~error_bound =
   if error_bound <= 0.0 then invalid_arg "Seals.run: error bound must be positive";
@@ -27,10 +30,16 @@ let run ?config ?patterns ?shortlist ?pool net ~metric ~error_bound =
         ~exhaustive_limit:config.Config.exhaustive_limit net
   in
   let started = Unix.gettimeofday () in
+  Telemetry.with_span ~cat:"baseline"
+    ~args:[ ("circuit", Tjson.String (Network.name net)) ]
+    "seals.run"
+  @@ fun () ->
   Fun.protect
     ~finally:(fun () -> if owned_pool then Accals_runtime.Pool.shutdown pool)
   @@ fun () ->
-  let golden = Evaluate.output_signatures net patterns in
+  let stats = Accals_runtime.Pool.stats pool in
+  let phase name f = Accals_runtime.Stats.time_phase stats name f in
+  let golden = phase "simulate" (fun () -> Evaluate.output_signatures net patterns) in
   let area0 = Cost.area net in
   let delay0 = Cost.delay net in
   let current = ref (Network.copy net) in
@@ -47,16 +56,25 @@ let run ?config ?patterns ?shortlist ?pool net ~metric ~error_bound =
   in
   while (not !finished) && !round_index < config.Config.max_rounds do
     incr round_index;
-    let ctx, est = Round_eval.begin_round ev in
-    let candidates = Candidate_gen.generate ~pool ctx config.Config.candidate in
+    Telemetry.with_span ~cat:"baseline"
+      ~args:[ ("round", Tjson.Int !round_index) ]
+      "round"
+    @@ fun () ->
+    let ctx, est = phase "simulate" (fun () -> Round_eval.begin_round ev) in
+    let candidates =
+      phase "candidates" (fun () ->
+          Candidate_gen.generate ~pool ctx config.Config.candidate)
+    in
     if candidates = [] then finished := true
     else begin
-      let scored = Estimator.score ~pool est ~shortlist candidates in
+      let scored =
+        phase "estimate" (fun () -> Estimator.score ~pool est ~shortlist candidates)
+      in
       evaluations := !evaluations + Round_eval.take_evaluations ev;
-      match Round_eval.eval_single ev scored with
+      match phase "evaluate" (fun () -> Round_eval.eval_single ev scored) with
       | None -> finished := true
       | Some (lac, e_new) ->
-        Round_eval.commit_single ev lac;
+        phase "evaluate" (fun () -> Round_eval.commit_single ev lac);
         let e_before = !error in
         error := e_new;
         let resim_nodes, resim_converged, resim_recycled =
@@ -92,6 +110,7 @@ let run ?config ?patterns ?shortlist ?pool net ~metric ~error_bound =
     end
   done;
   let approximate = Cleanup.compact !best in
+  let stats_snap = Accals_runtime.Stats.snapshot stats in
   {
     Engine.original = net;
     approximate;
@@ -115,5 +134,8 @@ let run ?config ?patterns ?shortlist ?pool net ~metric ~error_bound =
     audits = 0;
     incidents = [];
     certification = None;
-    stats = Accals_runtime.Stats.snapshot (Accals_runtime.Pool.stats pool);
+    stats = stats_snap;
+    metrics =
+      Metrics.merge stats_snap.Accals_runtime.Stats.metrics
+        (Metrics.snapshot (Telemetry.metrics ()));
   }

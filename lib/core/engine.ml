@@ -11,6 +11,10 @@ module Ladder = Accals_audit.Ladder
 module Incident = Accals_audit.Incident
 module Shadow = Accals_audit.Shadow
 module Certify = Accals_audit.Certify
+module Telemetry = Accals_telemetry.Telemetry
+module Metrics = Accals_telemetry.Metrics
+module Tjson = Accals_telemetry.Json
+module Clock = Accals_telemetry.Clock
 
 type report = {
   original : Network.t;
@@ -33,6 +37,9 @@ type report = {
   incidents : Incident.t list;
   certification : Certify.outcome option;
   stats : Stats.snapshot;
+  metrics : Metrics.snapshot;
+      (* pool registry (work counters, phase seconds, per-round engine
+         metrics) merged with the ambient registry (checkpoint bytes) *)
 }
 
 (* Everything Algorithm 1 carries from one round to the next. A snapshot at
@@ -97,6 +104,14 @@ let run_loop ?patterns ?pool ?checkpoint st =
   let metric = st.s_metric in
   let e_b = st.s_error_bound in
   let net = st.s_original in
+  Telemetry.with_span ~cat:"engine"
+    ~args:
+      [
+        ("circuit", Tjson.String (Network.name net));
+        ("start_round", Tjson.Int st.s_round);
+      ]
+    "engine.run"
+  @@ fun () ->
   let pool, owned_pool =
     match pool with
     | Some p -> (p, false)
@@ -104,10 +119,74 @@ let run_loop ?patterns ?pool ?checkpoint st =
   in
   let stats = Pool.stats pool in
   let phase name f = Stats.time_phase stats name f in
+  (* Per-round engine metrics live in the pool's registry, next to the
+     phase clocks and the work counters they contextualize. *)
+  let m = Stats.metrics stats in
+  let c_rounds =
+    Metrics.counter m "accals_rounds_total" ~help:"Synthesis rounds executed"
+  in
+  let c_candidates =
+    Metrics.counter m "accals_candidates_total"
+      ~help:"LAC candidates generated across all rounds"
+  in
+  let c_applied =
+    Metrics.counter m "accals_lacs_applied_total" ~help:"LACs committed"
+  in
+  let c_skipped =
+    Metrics.counter m "accals_lacs_skipped_total"
+      ~help:"LACs skipped by the acyclicity guard"
+  in
+  let c_evals =
+    Metrics.counter m "accals_estimator_evaluations_total"
+      ~help:"Exact cone resimulations performed by the estimator"
+  in
+  let c_cache_hits =
+    Metrics.counter m "accals_estimator_cone_cache_hits_total"
+      ~help:"Estimator transitive-fanout cone cache hits"
+  in
+  let c_cache_misses =
+    Metrics.counter m "accals_estimator_cone_cache_misses_total"
+      ~help:"Estimator transitive-fanout cone cache misses"
+  in
+  let c_resim_nodes =
+    Metrics.counter m "accals_resim_nodes_total"
+      ~help:"Node evaluations during resimulation"
+  in
+  let c_resim_stops =
+    Metrics.counter m "accals_resim_early_stops_total"
+      ~help:"Resimulation evaluations pruned by bit-equal convergence"
+  in
+  let c_resim_recycles =
+    Metrics.counter m "accals_resim_buffer_recycles_total"
+      ~help:"Signature buffer pool hits during resimulation"
+  in
+  let c_journal_undos =
+    Metrics.counter m "accals_journal_undos_total"
+      ~help:"Sigdb undo-journal reverts"
+  in
+  let c_journal_entries =
+    Metrics.counter m "accals_journal_entries_undone_total"
+      ~help:"Sigdb journal entries reverted (journal depth summed over undos)"
+  in
+  let c_audits =
+    Metrics.counter m "accals_audits_total" ~help:"Shadow audits performed"
+  in
+  let g_gc_minor =
+    Metrics.gauge m "accals_gc_minor_collections"
+      ~help:"GC minor collections since program start (sampled per round)"
+  in
+  let g_gc_major =
+    Metrics.gauge m "accals_gc_major_collections"
+      ~help:"GC major collections since program start (sampled per round)"
+  in
+  let g_gc_heap_words =
+    Metrics.gauge m "accals_gc_heap_words"
+      ~help:"Major heap size in words (sampled per round)"
+  in
   let patterns =
     match patterns with Some p -> p | None -> patterns_for config net
   in
-  let started = Unix.gettimeofday () in
+  let started = Clock.now () in
   let golden = phase "simulate" (fun () -> Evaluate.output_signatures net patterns) in
   let area0 = Cost.area net in
   let delay0 = Cost.delay net in
@@ -180,6 +259,32 @@ let run_loop ?patterns ?pool ?checkpoint st =
   let incident kind =
     incidents := Incident.make ~round:!round_index kind :: !incidents
   in
+  (* Ladder transitions become trace instants and JSONL events; the levels
+     and reasons print with their report names so traces and reports
+     cross-reference directly. *)
+  let ladder_event ~kind ~reason =
+    let args =
+      [
+        ("kind", Tjson.String kind);
+        ("level", Tjson.String (Ladder.level_to_string (Ladder.level ladder)));
+        ("reason", Tjson.String (Ladder.reason_to_string reason));
+        ("round", Tjson.Int !round_index);
+      ]
+    in
+    Telemetry.instant ~cat:"ladder" ~args ("ladder." ^ kind);
+    Telemetry.event (fun () ->
+        Tjson.Obj (("event", Tjson.String "ladder") :: args))
+  in
+  Telemetry.event (fun () ->
+      Tjson.Obj
+        [
+          ("event", Tjson.String "run_start");
+          ("circuit", Tjson.String (Network.name net));
+          ("metric", Tjson.String (Metric.kind_to_string metric));
+          ("error_bound", Tjson.Float e_b);
+          ("start_round", Tjson.Int !round_index);
+          ("jobs", Tjson.Int config.Config.jobs);
+        ]);
   (* The shadow audit: re-derive the round's signatures and error from
      scratch and compare with what the fast path believes. A divergence
      moves the run permanently down the ladder — incremental to rebuild
@@ -194,6 +299,7 @@ let run_loop ?patterns ?pool ?checkpoint st =
       let anomaly = not (Round_eval.watermark_ok ev) in
       if due || anomaly then begin
         incr audits;
+        Metrics.incr c_audits;
         (match Shadow.selftest_round () with
          | Some r when r = !round_index ->
            ignore (Round_eval.corrupt_for_selftest ev)
@@ -225,7 +331,8 @@ let run_loop ?patterns ?pool ?checkpoint st =
            | Ladder.Rebuild ->
              Ladder.descend ladder ~round:!round_index ~level:Ladder.Single_lac
                ~reason:Ladder.Audit_divergence
-           | Ladder.Single_lac -> finished := true)
+           | Ladder.Single_lac -> finished := true);
+          ladder_event ~kind:"descend" ~reason:Ladder.Audit_divergence
       end
     end
   in
@@ -236,13 +343,19 @@ let run_loop ?patterns ?pool ?checkpoint st =
       (* Run deadline: stop gracefully with the best circuit so far. *)
       degraded := true;
       if !degraded_reason = None then degraded_reason := Some Ladder.Watchdog_run;
-      if Ladder.note ladder ~round:!round_index ~reason:Ladder.Watchdog_run then
+      if Ladder.note ladder ~round:!round_index ~reason:Ladder.Watchdog_run then begin
         incident (Incident.Watchdog_expired { scope = "run" });
+        ladder_event ~kind:"note" ~reason:Ladder.Watchdog_run
+      end;
       finished := true
     end
     else begin
-    let round_watchdog = Watchdog.start config.Config.round_deadline in
     incr round_index;
+    Telemetry.with_span ~cat:"engine"
+      ~args:[ ("round", Tjson.Int !round_index) ]
+      "round"
+    @@ fun () ->
+    let round_watchdog = Watchdog.start config.Config.round_deadline in
     let ctx, est = phase "simulate" (fun () -> Round_eval.begin_round ev) in
     let candidates =
       phase "candidates" (fun () ->
@@ -265,13 +378,18 @@ let run_loop ?patterns ?pool ?checkpoint st =
                           else config.Config.shortlist)
               candidates)
       in
-      evaluations := !evaluations + Round_eval.take_evaluations ev;
+      let evals_delta = Round_eval.take_evaluations ev in
+      evaluations := !evaluations + evals_delta;
+      Metrics.add c_evals evals_delta;
       (* Round deadline: degrade this round from multi-LAC selection to the
          cheap single-LAC path rather than blowing the budget further. *)
       let wd_round = Watchdog.expired round_watchdog in
       if wd_round then
         if Ladder.note ladder ~round:!round_index ~reason:Ladder.Watchdog_round
-        then incident (Incident.Watchdog_expired { scope = "round" });
+        then begin
+          incident (Incident.Watchdog_expired { scope = "round" });
+          ladder_event ~kind:"note" ~reason:Ladder.Watchdog_round
+        end;
       let single_mode = single_mode || wd_round in
       let record ~mode ~top ~sol ~indp ~rand ~chose ~applied ~skipped ~e_before
           ~e_after ~e_est ~reverted =
@@ -299,7 +417,44 @@ let run_loop ?patterns ?pool ?checkpoint st =
             resim_converged;
             resim_recycled;
           }
-          :: !rounds
+          :: !rounds;
+        Metrics.incr c_rounds;
+        Metrics.add c_candidates (List.length candidates);
+        Metrics.add c_applied applied;
+        Metrics.add c_skipped skipped;
+        Metrics.add c_resim_nodes resim_nodes;
+        Metrics.add c_resim_stops resim_converged;
+        Metrics.add c_resim_recycles resim_recycled;
+        let aux = Round_eval.take_aux ev in
+        Metrics.add c_cache_hits aux.Round_eval.cache_hits;
+        Metrics.add c_cache_misses aux.Round_eval.cache_misses;
+        Metrics.add c_journal_undos aux.Round_eval.journal_undos;
+        Metrics.add c_journal_entries aux.Round_eval.journal_entries;
+        let gc = Gc.quick_stat () in
+        Metrics.set g_gc_minor (float_of_int gc.Gc.minor_collections);
+        Metrics.set g_gc_major (float_of_int gc.Gc.major_collections);
+        Metrics.set g_gc_heap_words (float_of_int gc.Gc.heap_words);
+        let area = Cost.area !current in
+        Telemetry.event (fun () ->
+            Tjson.Obj
+              [
+                ("event", Tjson.String "round");
+                ("round", Tjson.Int !round_index);
+                ( "mode",
+                  Tjson.String
+                    (match mode with
+                     | Trace.Multi -> "multi"
+                     | Trace.Single -> "single") );
+                ("candidates", Tjson.Int (List.length candidates));
+                ("applied", Tjson.Int applied);
+                ("error", Tjson.Float e_after);
+                ("estimated_error", Tjson.Float e_est);
+                ("area", Tjson.Float area);
+                ("reverted", Tjson.Bool reverted);
+              ]);
+        Telemetry.progress_round ~round:!round_index
+          ~max_rounds:config.Config.max_rounds ~error:e_after ~threshold:e_b
+          ~area
       in
       match scored with
       | [] -> finished := true
@@ -432,13 +587,29 @@ let run_loop ?patterns ?pool ?checkpoint st =
                   (Incident.Certification_violation
                      { measured; bound = e_b; step }))
           in
-          if outcome.Certify.rollback_steps > 0 then
+          if outcome.Certify.rollback_steps > 0 then begin
             ignore
               (Ladder.note ladder ~round:!round_index
                  ~reason:Ladder.Certification_rollback);
+            ladder_event ~kind:"note" ~reason:Ladder.Certification_rollback
+          end;
           (Some outcome, circuit, sampled_error))
   in
-  let runtime_seconds = Unix.gettimeofday () -. started in
+  let runtime_seconds = Clock.now () -. started in
+  Telemetry.progress_finish ();
+  let stats_snap = Stats.snapshot stats in
+  Telemetry.event (fun () ->
+      Tjson.Obj
+        [
+          ("event", Tjson.String "run_end");
+          ("circuit", Tjson.String (Network.name net));
+          ("rounds", Tjson.Int !round_index);
+          ("error", Tjson.Float reported_error);
+          ("runtime_seconds", Tjson.Float runtime_seconds);
+          ("evaluations", Tjson.Int !evaluations);
+          ("audits", Tjson.Int !audits);
+          ("degraded", Tjson.Bool !degraded);
+        ]);
   {
     original = net;
     approximate;
@@ -459,7 +630,10 @@ let run_loop ?patterns ?pool ?checkpoint st =
     audits = !audits;
     incidents = List.rev !incidents;
     certification;
-    stats = Stats.snapshot stats;
+    stats = stats_snap;
+    metrics =
+      Metrics.merge stats_snap.Stats.metrics
+        (Metrics.snapshot (Telemetry.metrics ()));
   }
 
 let run ?config ?patterns ?pool ?checkpoint net ~metric ~error_bound =

@@ -50,6 +50,12 @@ type report = {
   stats : Accals_runtime.Stats.snapshot;
       (** parallel-runtime work accounting and per-phase wall time
           ("simulate", "candidates", "estimate", "select", "evaluate") *)
+  metrics : Accals_telemetry.Metrics.snapshot;
+      (** full telemetry registry snapshot: the pool registry (work
+          counters, phase seconds, per-round engine metrics, GC gauges)
+          merged with the ambient registry (checkpoint counters). This is
+          what [--metrics-out] exports; purely observational, identical
+          synthesis outputs with or without any exporter attached. *)
 }
 
 type snapshot

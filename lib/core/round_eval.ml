@@ -50,6 +50,21 @@ type t = {
   metric : Metric.kind;
   mutable backend : backend;
   mutable evals_mark : int;
+  mutable hits_mark : int;  (* estimator cone-cache hit mark *)
+  mutable misses_mark : int;
+  mutable hits_pending : int;
+      (* cache deltas banked when a rebuild-path estimator retires at
+         commit, so [take_aux] can report them after the round closed *)
+  mutable misses_pending : int;
+  mutable undo_mark : int;  (* sigdb journal undo mark *)
+  mutable jent_mark : int;  (* sigdb journal entries-undone mark *)
+}
+
+type aux = {
+  cache_hits : int;
+  cache_misses : int;
+  journal_undos : int;
+  journal_entries : int;
 }
 
 let create ~incremental ~current ~patterns ~golden ~metric =
@@ -66,7 +81,20 @@ let create ~incremental ~current ~patterns ~golden ~metric =
         }
     else Rebuild { r_ctx = None; r_est = None; r_sim_cost = 0; r_nodes = 0 }
   in
-  { current; patterns; golden; metric; backend; evals_mark = 0 }
+  {
+    current;
+    patterns;
+    golden;
+    metric;
+    backend;
+    evals_mark = 0;
+    hits_mark = 0;
+    misses_mark = 0;
+    hits_pending = 0;
+    misses_pending = 0;
+    undo_mark = 0;
+    jent_mark = 0;
+  }
 
 let live_noninput ctx =
   Array.fold_left
@@ -110,6 +138,10 @@ let degrade_to_rebuild t =
   | Incremental s ->
     (match s.i_db with Some db -> Sigdb.detach db | None -> ());
     t.evals_mark <- 0;
+    t.hits_mark <- 0;
+    t.misses_mark <- 0;
+    t.undo_mark <- 0;
+    t.jent_mark <- 0;
     t.backend <-
       Rebuild { r_ctx = None; r_est = None; r_sim_cost = 0; r_nodes = 0 }
 
@@ -140,7 +172,11 @@ let begin_round t =
     s.r_est <- Some est;
     s.r_sim_cost <- live_noninput ctx;
     s.r_nodes <- s.r_nodes + s.r_sim_cost;
+    (* The estimator is fresh each rebuild round, so its raw counters
+       restart from zero — the marks must follow. *)
     t.evals_mark <- 0;
+    t.hits_mark <- 0;
+    t.misses_mark <- 0;
     (ctx, est)
   | Incremental s -> (
     match (s.i_ctx, s.i_est) with
@@ -157,6 +193,10 @@ let begin_round t =
       s.i_ctx <- Some ctx;
       s.i_est <- Some est;
       t.evals_mark <- 0;
+      t.hits_mark <- 0;
+      t.misses_mark <- 0;
+      t.undo_mark <- 0;
+      t.jent_mark <- 0;
       (ctx, est))
 
 let estimator t =
@@ -186,6 +226,36 @@ let take_counters t =
     s.i_conv_mark <- c.Sigdb.resim_converged;
     s.i_rec_mark <- c.Sigdb.buffers_recycled;
     (nodes, conv, recycled)
+
+(* Bank the live estimator's cache deltas into the pending accumulators.
+   Called when the estimator is about to retire (rebuild-path commit) and
+   by [take_aux] itself. *)
+let bank_cache_stats t =
+  match t.backend with
+  | Rebuild { r_est = Some est; _ } | Incremental { i_est = Some est; _ } ->
+    let hits, misses = Estimator.cache_stats est in
+    t.hits_pending <- t.hits_pending + (hits - t.hits_mark);
+    t.misses_pending <- t.misses_pending + (misses - t.misses_mark);
+    t.hits_mark <- hits;
+    t.misses_mark <- misses
+  | _ -> ()
+
+let take_aux t =
+  bank_cache_stats t;
+  let cache_hits = t.hits_pending in
+  let cache_misses = t.misses_pending in
+  t.hits_pending <- 0;
+  t.misses_pending <- 0;
+  match t.backend with
+  | Rebuild _ ->
+    { cache_hits; cache_misses; journal_undos = 0; journal_entries = 0 }
+  | Incremental s ->
+    let c = Sigdb.counters (db_exn s) in
+    let journal_undos = c.Sigdb.journal_undos - t.undo_mark in
+    let journal_entries = c.Sigdb.journal_entries_undone - t.jent_mark in
+    t.undo_mark <- c.Sigdb.journal_undos;
+    t.jent_mark <- c.Sigdb.journal_entries_undone;
+    { cache_hits; cache_misses; journal_undos; journal_entries }
 
 (* ------------------------------------------------------------------ *)
 (* Speculative evaluation *)
@@ -301,6 +371,7 @@ let refresh_incremental t s =
 let commit_set t applied =
   match t.backend with
   | Rebuild s ->
+    bank_cache_stats t;
     let copy = Network.copy !(t.current) in
     let applied', _ = Lac.apply_many copy applied in
     assert (List.length applied' = List.length applied);
@@ -316,6 +387,7 @@ let commit_set t applied =
 let commit_single t lac =
   match t.backend with
   | Rebuild s ->
+    bank_cache_stats t;
     let copy = Network.copy !(t.current) in
     Lac.apply copy lac;
     Cleanup.sweep copy;

@@ -69,6 +69,18 @@ val take_counters : t -> int * int * int
     counts the full simulations performed (each costed at the round-start
     live non-input node count); the other two are 0. *)
 
+type aux = {
+  cache_hits : int;  (** estimator cone-cache hits *)
+  cache_misses : int;
+  journal_undos : int;  (** sigdb undo-journal reverts (0 on rebuild) *)
+  journal_entries : int;  (** journal entries undone, summed over reverts *)
+}
+
+val take_aux : t -> aux
+(** Secondary work counters accumulated since the previous call — the
+    engine pushes these into the telemetry registry each round. Pure
+    observation: reading them never affects evaluation. *)
+
 val eval_set : t -> Lac.t list -> Lac.t list * Lac.t list * float
 (** Evaluate a LAC set without committing it: apply in ascending
     [delta_error] order, partition into (applied, skipped) under the

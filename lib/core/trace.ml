@@ -62,6 +62,93 @@ let to_csv rounds =
     rounds;
   Buffer.contents buf
 
+(* Strict inverse of [to_csv]: same column set, same encodings. Raises
+   [Failure] on arity or field mismatches so the round-trip test (and any
+   external consumer) catches format drift immediately. *)
+let of_csv text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> failwith "Trace.of_csv: empty input"
+  | header :: rows ->
+    let expected =
+      "round,mode,candidates,top,sol,indp,rand,chose_indp,applied,skipped,\
+       error_before,error_after,estimated_error,reverted,area,\
+       resim_nodes,resim_converged,resim_recycled"
+    in
+    if header <> expected then
+      failwith
+        (Printf.sprintf "Trace.of_csv: unexpected header %S" header);
+    let int ~row ~col s =
+      match int_of_string_opt s with
+      | Some i -> i
+      | None ->
+        failwith
+          (Printf.sprintf "Trace.of_csv: row %d: bad int %S in %s" row s col)
+    in
+    let fl ~row ~col s =
+      match float_of_string_opt s with
+      | Some x -> x
+      | None ->
+        failwith
+          (Printf.sprintf "Trace.of_csv: row %d: bad float %S in %s" row s col)
+    in
+    List.mapi
+      (fun i row ->
+        let rn = i + 1 in
+        match String.split_on_char ',' row with
+        | [
+         index; mode; candidates; top; sol; indp; rand; chose; applied;
+         skipped; e_before; e_after; e_est; reverted; area; r_nodes; r_conv;
+         r_rec;
+        ] ->
+          {
+            index = int ~row:rn ~col:"round" index;
+            mode =
+              (match mode with
+               | "multi" -> Multi
+               | "single" -> Single
+               | m ->
+                 failwith
+                   (Printf.sprintf "Trace.of_csv: row %d: bad mode %S" rn m));
+            candidates = int ~row:rn ~col:"candidates" candidates;
+            top_count = int ~row:rn ~col:"top" top;
+            sol_count = int ~row:rn ~col:"sol" sol;
+            indp_count = int ~row:rn ~col:"indp" indp;
+            rand_count = int ~row:rn ~col:"rand" rand;
+            chose_indp =
+              (match chose with
+               | "indp" -> Some true
+               | "rand" -> Some false
+               | "-" -> None
+               | c ->
+                 failwith
+                   (Printf.sprintf "Trace.of_csv: row %d: bad chose_indp %S"
+                      rn c));
+            applied = int ~row:rn ~col:"applied" applied;
+            skipped_cycles = int ~row:rn ~col:"skipped" skipped;
+            error_before = fl ~row:rn ~col:"error_before" e_before;
+            error_after = fl ~row:rn ~col:"error_after" e_after;
+            estimated_error = fl ~row:rn ~col:"estimated_error" e_est;
+            reverted =
+              (match bool_of_string_opt reverted with
+               | Some b -> b
+               | None ->
+                 failwith
+                   (Printf.sprintf "Trace.of_csv: row %d: bad reverted %S" rn
+                      reverted));
+            area = fl ~row:rn ~col:"area" area;
+            resim_nodes = int ~row:rn ~col:"resim_nodes" r_nodes;
+            resim_converged = int ~row:rn ~col:"resim_converged" r_conv;
+            resim_recycled = int ~row:rn ~col:"resim_recycled" r_rec;
+          }
+        | fields ->
+          failwith
+            (Printf.sprintf "Trace.of_csv: row %d has %d fields, want 18" rn
+               (List.length fields)))
+      rows
+
 let write_csv rounds path =
   let oc = open_out path in
   (try output_string oc (to_csv rounds) with e -> close_out oc; raise e);

@@ -51,6 +51,13 @@ val to_csv : round list -> string
 
 val write_csv : round list -> string -> unit
 
+val of_csv : string -> round list
+(** Strict inverse of {!to_csv}: parses the header plus rows back into
+    rounds, raising [Failure] on header drift, wrong column arity or
+    malformed fields. [of_csv (to_csv rounds)] returns rounds whose float
+    fields are the [%.9f]/[%.1f]-rounded values the CSV carries; all other
+    fields round-trip exactly. *)
+
 (** {1 Parallel-runtime accounting}
 
     The engine's report carries an {!Accals_runtime.Stats.snapshot}; these

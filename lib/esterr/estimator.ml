@@ -33,6 +33,8 @@ type t = {
   cone_cache : (int, int array) Hashtbl.t;
   mutable scratch : scratch;
   evaluations : int Atomic.t;
+  cache_hits : int Atomic.t;
+  cache_misses : int Atomic.t;
 }
 
 let samples t = t.ctx.Round_ctx.patterns.Sim.count
@@ -78,6 +80,8 @@ let create ctx ~golden ~metric =
     cone_cache = Hashtbl.create 64;
     scratch = make_scratch n ctx.Round_ctx.patterns.Sim.count;
     evaluations = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0;
   }
 
 let base_error t = t.base_error
@@ -290,8 +294,11 @@ let rank_score t lac = rank_score_in t t.scratch lac
 
 let cone t target =
   match Hashtbl.find_opt t.cone_cache target with
-  | Some c -> c
+  | Some c ->
+    Atomic.incr t.cache_hits;
+    c
   | None ->
+    Atomic.incr t.cache_misses;
     let c =
       Structure.tfo_list t.ctx.Round_ctx.net ~fanouts:t.ctx.Round_ctx.fanouts
         ~topo_pos:t.ctx.Round_ctx.topo_pos target
@@ -387,3 +394,5 @@ let score ?(mode = Exact) ?pool t ~shortlist lacs =
     scored
 
 let evaluations t = Atomic.get t.evaluations
+
+let cache_stats t = (Atomic.get t.cache_hits, Atomic.get t.cache_misses)

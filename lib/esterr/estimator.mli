@@ -76,3 +76,8 @@ val evaluations : t -> int
 (** Number of exact cone resimulations performed so far (for the bench
     harness's work accounting). [Atomic.t]-backed, so the count stays exact
     when [score] fans out over a pool. *)
+
+val cache_stats : t -> int * int
+(** [(hits, misses)] of the transitive-fanout cone cache since [create].
+    [Atomic.t]-backed like {!evaluations}; pure observation (the telemetry
+    registry reports the deltas per round). *)

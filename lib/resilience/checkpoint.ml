@@ -41,7 +41,20 @@ let save ?(keep = 1) ~path ~tag v =
      raise e);
   close_out oc;
   rotate ~path ~keep;
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  let module T = Accals_telemetry.Telemetry in
+  T.count "accals_checkpoint_saves_total"
+    ~help:"Checkpoints written (including rotations)" 1;
+  T.count "accals_checkpoint_bytes_total"
+    ~help:"Marshalled checkpoint payload bytes written"
+    (Bytes.length payload);
+  T.instant ~cat:"checkpoint"
+    ~args:
+      [
+        ("tag", Accals_telemetry.Json.String tag);
+        ("bytes", Accals_telemetry.Json.Int (Bytes.length payload));
+      ]
+    "checkpoint.save"
 
 let parse_header path line =
   match String.split_on_char ' ' line with

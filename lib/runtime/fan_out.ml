@@ -67,6 +67,14 @@ let submit pool ~count task =
                    failures;
              })
       | failures ->
+        Accals_telemetry.Telemetry.instant ~cat:"pool"
+          ~args:
+            [
+              ("batch", Accals_telemetry.Json.Int batch);
+              ("attempt", Accals_telemetry.Json.Int (attempt + 1));
+              ("failed", Accals_telemetry.Json.Int (List.length failures));
+            ]
+          "fan_out.retry";
         go (attempt + 1)
           (Some (Array.of_list (List.map (fun (f : Pool.failure) -> f.Pool.index) failures)))
     in

@@ -1,3 +1,5 @@
+open Accals_telemetry
+
 type batch = {
   id : int;
   count : int;
@@ -65,7 +67,10 @@ let worker t =
     | None -> ()
     | Some b ->
       last_seen := b.id;
-      drain t b;
+      Telemetry.with_span ~cat:"pool"
+        ~args:[ ("count", Json.Int b.count) ]
+        "pool.drain"
+        (fun () -> drain t b);
       loop ()
   in
   loop ()
@@ -85,7 +90,13 @@ let create ~jobs =
     }
   in
   if jobs > 1 then
-    t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+    t.domains <-
+      List.init (jobs - 1) (fun i ->
+          Domain.spawn (fun () ->
+              (* Worker i occupies trace lane i+1; the submitting domain
+                 keeps tid 0 ("main"). *)
+              Tracer.set_tid (i + 1);
+              worker t));
   t
 
 let try_run t ~count task =
@@ -111,9 +122,15 @@ let try_run t ~count task =
       Stats.add_tasks t.stats count
     end
     else begin
+      let batch_span =
+        Telemetry.begin_span ~cat:"pool"
+          ~args:[ ("count", Json.Int count) ]
+          "pool.batch"
+      in
       Mutex.lock t.mutex;
       if t.stop then begin
         Mutex.unlock t.mutex;
+        Telemetry.end_span batch_span;
         invalid_arg "Pool.try_run: pool is shut down"
       end;
       assert (t.batch = None);
@@ -146,7 +163,8 @@ let try_run t ~count task =
         | None -> ()
       in
       await_clear ();
-      Mutex.unlock t.mutex
+      Mutex.unlock t.mutex;
+      Telemetry.end_span batch_span
     end;
     let failures = ref [] in
     for i = count - 1 downto 0 do

@@ -1,42 +1,54 @@
+open Accals_telemetry
+
+let phase_family = "accals_phase_seconds_total"
+
 type t = {
   jobs : int;
-  tasks : int Atomic.t;
-  batches : int Atomic.t;
-  waits : int Atomic.t;
-  mutex : Mutex.t;  (* guards [phases] *)
-  mutable phases : (string * float ref) list;  (* reverse insertion order *)
+  metrics : Metrics.t;
+  tasks : Metrics.counter;
+  batches : Metrics.counter;
+  waits : Metrics.counter;
 }
 
 let create ~jobs =
+  let metrics = Metrics.create () in
   {
     jobs;
-    tasks = Atomic.make 0;
-    batches = Atomic.make 0;
-    waits = Atomic.make 0;
-    mutex = Mutex.create ();
-    phases = [];
+    metrics;
+    tasks =
+      Metrics.counter metrics "accals_pool_tasks_total"
+        ~help:"Tasks executed by the pool (including sequential bypass)";
+    batches =
+      Metrics.counter metrics "accals_pool_batches_total"
+        ~help:"Pool.run invocations that fanned out to workers";
+    waits =
+      Metrics.counter metrics "accals_pool_waits_total"
+        ~help:"Times a worker domain slept waiting for work";
   }
 
 let jobs t = t.jobs
+let metrics t = t.metrics
 
-let incr_tasks t = Atomic.incr t.tasks
+let incr_tasks t = Metrics.incr t.tasks
+let add_tasks t n = Metrics.add t.tasks n
+let incr_batches t = Metrics.incr t.batches
+let incr_waits t = Metrics.incr t.waits
 
-let add_tasks t n = ignore (Atomic.fetch_and_add t.tasks n)
+let phase_counter t name =
+  Metrics.counter t.metrics phase_family
+    ~help:"Wall-clock seconds accumulated per engine phase"
+    ~labels:[ ("phase", name) ]
 
-let incr_batches t = Atomic.incr t.batches
-
-let incr_waits t = Atomic.incr t.waits
-
-let add_phase t name seconds =
-  Mutex.lock t.mutex;
-  (match List.assoc_opt name t.phases with
-   | Some cell -> cell := !cell +. seconds
-   | None -> t.phases <- (name, ref seconds) :: t.phases);
-  Mutex.unlock t.mutex
+let add_phase t name seconds = Metrics.addf (phase_counter t name) seconds
 
 let time_phase t name f =
-  let started = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> add_phase t name (Unix.gettimeofday () -. started)) f
+  let span = Telemetry.begin_span ~cat:"phase" name in
+  let started = Clock.now () in
+  Fun.protect
+    ~finally:(fun () ->
+      add_phase t name (Clock.now () -. started);
+      Telemetry.end_span span)
+    f
 
 type snapshot = {
   jobs : int;
@@ -44,21 +56,32 @@ type snapshot = {
   batches : int;
   waits : int;
   phases : (string * float) list;
+  metrics : Metrics.snapshot;
 }
 
-let snapshot t =
-  Mutex.lock t.mutex;
-  let phases = List.rev_map (fun (name, cell) -> (name, !cell)) t.phases in
-  Mutex.unlock t.mutex;
+let snapshot (t : t) =
+  let metrics = Metrics.snapshot t.metrics in
+  let phases =
+    List.filter_map
+      (fun s ->
+        if s.Metrics.name = phase_family then
+          match (List.assoc_opt "phase" s.Metrics.labels, s.Metrics.value) with
+          | Some phase, Metrics.Counter seconds -> Some (phase, seconds)
+          | _ -> None
+        else None)
+      metrics
+  in
   {
     jobs = t.jobs;
-    tasks = Atomic.get t.tasks;
-    batches = Atomic.get t.batches;
-    waits = Atomic.get t.waits;
+    tasks = int_of_float (Metrics.counter_value t.tasks);
+    batches = int_of_float (Metrics.counter_value t.batches);
+    waits = int_of_float (Metrics.counter_value t.waits);
     phases;
+    metrics;
   }
 
-let empty = { jobs = 1; tasks = 0; batches = 0; waits = 0; phases = [] }
+let empty =
+  { jobs = 1; tasks = 0; batches = 0; waits = 0; phases = []; metrics = [] }
 
 let phase_seconds snap name =
   match List.assoc_opt name snap.phases with Some s -> s | None -> 0.0

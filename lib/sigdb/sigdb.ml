@@ -26,6 +26,8 @@ type counters = {
   mutable resim_nodes : int;
   mutable resim_converged : int;
   mutable buffers_recycled : int;
+  mutable journal_undos : int;
+  mutable journal_entries_undone : int;
 }
 
 type delta = {
@@ -279,6 +281,9 @@ let end_journal db =
 
 let undo_journal db =
   if db.mode <> Journal then invalid_arg "Sigdb.undo_journal: no active journal";
+  db.counters.journal_undos <- db.counters.journal_undos + 1;
+  db.counters.journal_entries_undone <-
+    db.counters.journal_entries_undone + List.length db.j_entries;
   db.mode <- Silent;
   List.iter
     (function
@@ -497,7 +502,14 @@ let create net patterns =
       fanout_counts;
       version = 0;
       free = [];
-      counters = { resim_nodes = 0; resim_converged = 0; buffers_recycled = 0 };
+      counters =
+        {
+          resim_nodes = 0;
+          resim_converged = 0;
+          buffers_recycled = 0;
+          journal_undos = 0;
+          journal_entries_undone = 0;
+        };
       pending_roots = [];
       pending_touched = [];
       sig_changed = [];

@@ -40,6 +40,10 @@ type counters = {
       (** evaluations whose result was bit-equal to the stored signature,
           pruning their downstream cone *)
   mutable buffers_recycled : int;  (** pool hits when acquiring a buffer *)
+  mutable journal_undos : int;  (** {!undo_journal} invocations *)
+  mutable journal_entries_undone : int;
+      (** total journal entries reverted across all undos (the journal's
+          depth at each undo, summed) *)
 }
 
 type delta = {

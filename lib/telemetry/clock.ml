@@ -1,0 +1,7 @@
+external now_ns : unit -> (int64[@unboxed])
+  = "accals_monotonic_ns_byte" "accals_monotonic_ns"
+[@@noalloc]
+
+let now () = Int64.to_float (now_ns ()) *. 1e-9
+
+let ns_to_us ns = Int64.to_float ns /. 1e3

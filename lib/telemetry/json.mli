@@ -1,0 +1,53 @@
+(** Minimal JSON tree, printer and parser.
+
+    The telemetry subsystem emits several JSON artifacts (Chrome trace
+    files, JSONL event streams, [--json] reports, bench summaries) and the
+    test suite parses them back for schema validation — all through this
+    one module, so the repo needs no external JSON dependency.
+
+    Printing is deterministic: object fields keep their construction
+    order, floats print via [%.17g] (round-trippable), and non-finite
+    floats print as [null] (JSON has no NaN/infinity). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact one-line encoding by default; [~pretty:true] indents with two
+    spaces per level (stable, diff-friendly). *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val write_file : string -> t -> unit
+(** Write [to_string ~pretty:true] plus a trailing newline. *)
+
+val escape : string -> string
+(** The JSON string-literal encoding of a string, without quotes. *)
+
+(** {1 Parsing} *)
+
+val parse : string -> (t, string) result
+(** Strict JSON parser (no trailing garbage, no comments, no trailing
+    commas). Numbers without [.], [e] or [E] that fit in an OCaml [int]
+    parse as [Int], everything else as [Float]. *)
+
+val parse_exn : string -> t
+(** Raises [Failure] with the parse error. *)
+
+(** {1 Accessors (for tests and validators)} *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+val to_list_opt : t -> t list option
+val string_opt : t -> string option
+val int_opt : t -> int option
+
+val number_opt : t -> float option
+(** [Int] or [Float] as a float. *)

@@ -1,0 +1,33 @@
+/* Monotonic clock for the telemetry subsystem.
+ *
+ * CLOCK_MONOTONIC never steps backwards (NTP slews it but cannot jump it),
+ * which is what makes span durations and phase timings trustworthy. The
+ * gettimeofday fallback only exists for platforms without POSIX clocks. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+#include <sys/time.h>
+
+int64_t accals_monotonic_ns(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  {
+    struct timespec ts;
+    if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+      return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+  }
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return (int64_t)tv.tv_sec * 1000000000 + (int64_t)tv.tv_usec * 1000;
+  }
+}
+
+CAMLprim value accals_monotonic_ns_byte(value unit)
+{
+  return caml_copy_int64(accals_monotonic_ns(unit));
+}

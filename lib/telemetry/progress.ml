@@ -1,0 +1,70 @@
+type t = {
+  out : out_channel;
+  min_interval : float;
+  start : float;
+  mutable last_paint : float;
+  mutable painted_width : int;
+  mutable pending : string;  (* most recent line, painted or not *)
+  mutex : Mutex.t;
+}
+
+let create ?(min_interval = 0.1) ?(out = stderr) () =
+  let now = Clock.now () in
+  {
+    out;
+    min_interval;
+    start = now;
+    last_paint = 0.0;
+    painted_width = 0;
+    pending = "";
+    mutex = Mutex.create ();
+  }
+
+let paint t line =
+  (* Pad with spaces so a shorter line fully overwrites a longer one. *)
+  let padded =
+    if String.length line >= t.painted_width then line
+    else line ^ String.make (t.painted_width - String.length line) ' '
+  in
+  Printf.fprintf t.out "\r%s%!" padded;
+  t.painted_width <- String.length line
+
+let eta ~elapsed ~round ~max_rounds =
+  if round <= 0 || max_rounds <= round then None
+  else
+    let per_round = elapsed /. float_of_int round in
+    Some (per_round *. float_of_int (max_rounds - round))
+
+let fmt_seconds s =
+  if s < 60.0 then Printf.sprintf "%.0fs" s
+  else if s < 3600.0 then Printf.sprintf "%dm%02ds" (int_of_float s / 60) (int_of_float s mod 60)
+  else Printf.sprintf "%dh%02dm" (int_of_float s / 3600) (int_of_float s mod 3600 / 60)
+
+let round t ~round ~max_rounds ~error ~threshold ~area =
+  Mutex.lock t.mutex;
+  let now = Clock.now () in
+  let elapsed = now -. t.start in
+  let line =
+    let eta_str =
+      match eta ~elapsed ~round ~max_rounds with
+      | Some s -> Printf.sprintf " eta %s" (fmt_seconds s)
+      | None -> ""
+    in
+    Printf.sprintf "round %d/%d  err %.6f/%.6f  area %.1f  %s%s" round
+      max_rounds error threshold area (fmt_seconds elapsed) eta_str
+  in
+  t.pending <- line;
+  if now -. t.last_paint >= t.min_interval then begin
+    paint t line;
+    t.last_paint <- now
+  end;
+  Mutex.unlock t.mutex
+
+let finish t =
+  Mutex.lock t.mutex;
+  if t.pending <> "" then begin
+    paint t t.pending;
+    output_char t.out '\n';
+    flush t.out
+  end;
+  Mutex.unlock t.mutex

@@ -1,0 +1,32 @@
+(** Live progress heartbeat on stderr.
+
+    Renders a single updating line (round, error, area, ETA) to stderr,
+    carriage-return overwritten, throttled so tight round loops do not
+    flood the terminal. Writes only to stderr — stdout contracts (BLIF
+    output, report blocks, the resume notice CI greps for) are never
+    touched.
+
+    The final state is flushed with a newline by {!finish} so the last
+    heartbeat survives in scroll-back. *)
+
+type t
+
+val create : ?min_interval:float -> ?out:out_channel -> unit -> t
+(** [min_interval] (seconds, default 0.1) is the minimum spacing between
+    repaints; [out] defaults to stderr. *)
+
+val round :
+  t ->
+  round:int ->
+  max_rounds:int ->
+  error:float ->
+  threshold:float ->
+  area:float ->
+  unit
+(** Report the state after a synthesis round. ETA is estimated from the
+    observed per-round pace against [max_rounds] (or against the error
+    budget when error dominates). *)
+
+val finish : t -> unit
+(** Paint the final state followed by a newline. Safe to call when no
+    round was ever reported. *)

@@ -1,0 +1,79 @@
+type t = {
+  tracer : Tracer.t option;
+  metrics : Metrics.t;
+  progress : Progress.t option;
+  events : out_channel option;
+  events_mutex : Mutex.t;
+}
+
+let make ?tracer ?progress ?events () =
+  { tracer; metrics = Metrics.create (); progress; events; events_mutex = Mutex.create () }
+
+let disabled = make ()
+let current = Atomic.make disabled
+let install t = Atomic.set current t
+let reset () = Atomic.set current disabled
+let get () = Atomic.get current
+
+(* ------------------------------------------------------------------ *)
+(* Tracing *)
+
+let tracing () = (Atomic.get current).tracer <> None
+
+let with_span ?cat ?args name f =
+  match (Atomic.get current).tracer with
+  | None -> f ()
+  | Some tr -> Tracer.with_span tr ?cat ?args name f
+
+type span = Tracer.span option
+
+let begin_span ?cat ?args name =
+  match (Atomic.get current).tracer with
+  | None -> None
+  | Some tr -> Some (Tracer.begin_span tr ?cat ?args name)
+
+let end_span = function None -> () | Some s -> Tracer.end_span s
+
+let instant ?cat ?args name =
+  match (Atomic.get current).tracer with
+  | None -> ()
+  | Some tr -> Tracer.instant tr ?cat ?args name
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let metrics () = (Atomic.get current).metrics
+
+let count ?labels ?help name n =
+  Metrics.add (Metrics.counter (metrics ()) ?help ?labels name) n
+
+let countf ?labels ?help name x =
+  Metrics.addf (Metrics.counter (metrics ()) ?help ?labels name) x
+
+let gauge_set ?labels ?help name x =
+  Metrics.set (Metrics.gauge (metrics ()) ?help ?labels name) x
+
+(* ------------------------------------------------------------------ *)
+(* Events and progress *)
+
+let event mk =
+  let t = Atomic.get current in
+  match t.events with
+  | None -> ()
+  | Some oc ->
+    let line = Json.to_string (mk ()) in
+    Mutex.lock t.events_mutex;
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock t.events_mutex
+
+let progress_round ~round ~max_rounds ~error ~threshold ~area =
+  match (Atomic.get current).progress with
+  | None -> ()
+  | Some p -> Progress.round p ~round ~max_rounds ~error ~threshold ~area
+
+let progress_finish () =
+  match (Atomic.get current).progress with
+  | None -> ()
+  | Some p -> Progress.finish p

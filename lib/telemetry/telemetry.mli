@@ -1,0 +1,81 @@
+(** Ambient telemetry handle: one place the whole runtime reports to.
+
+    The synthesis engine, pool, estimator, checkpoint writer and audit
+    ladder all talk to the handle installed by {!install} — no telemetry
+    parameter threads through their APIs. When nothing is installed every
+    call is a no-op (the disabled handle has no tracer, no progress, no
+    event stream, and a throwaway metrics registry), so instrumented code
+    costs almost nothing in normal runs.
+
+    Determinism contract: the handle only records. No synthesis decision
+    ever reads it back, so enabling any combination of tracer / metrics /
+    progress / events cannot change BLIF output, round traces,
+    checkpoints or reports. *)
+
+type t
+
+val make :
+  ?tracer:Tracer.t ->
+  ?progress:Progress.t ->
+  ?events:out_channel ->
+  unit ->
+  t
+(** [events] is a JSONL stream: one compact JSON object per
+    {!event}, flushed per line. The channel is owned by the caller. *)
+
+val disabled : t
+(** No tracer, no progress, no events; metrics go to a registry nobody
+    exports. This is the installed handle at startup. *)
+
+val install : t -> unit
+val reset : unit -> unit
+(** Reinstall {!disabled}. *)
+
+val get : unit -> t
+
+(** {1 Tracing} *)
+
+val tracing : unit -> bool
+(** True when the installed handle has a tracer. *)
+
+val with_span :
+  ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** Run a thunk under a span on the ambient tracer; just the thunk when
+    tracing is off. *)
+
+type span
+(** An open ambient span — [None]-like when tracing is off. Carries its
+    tracer, so it closes correctly even if the handle changes mid-span. *)
+
+val begin_span : ?cat:string -> ?args:(string * Json.t) list -> string -> span
+val end_span : span -> unit
+
+val instant : ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+
+(** {1 Metrics} *)
+
+val metrics : unit -> Metrics.t
+(** The installed handle's registry (per-run when installed by the CLI;
+    a throwaway on the disabled handle). *)
+
+val count : ?labels:Metrics.labels -> ?help:string -> string -> int -> unit
+(** Add to a counter in the ambient registry. *)
+
+val countf : ?labels:Metrics.labels -> ?help:string -> string -> float -> unit
+val gauge_set : ?labels:Metrics.labels -> ?help:string -> string -> float -> unit
+
+(** {1 Events and progress} *)
+
+val event : (unit -> Json.t) -> unit
+(** Append one line to the JSONL event stream if one is attached; the
+    thunk is not evaluated otherwise. *)
+
+val progress_round :
+  round:int ->
+  max_rounds:int ->
+  error:float ->
+  threshold:float ->
+  area:float ->
+  unit
+
+val progress_finish : unit -> unit

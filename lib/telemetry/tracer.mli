@@ -1,0 +1,56 @@
+(** Hierarchical span tracer emitting Chrome trace-event JSON.
+
+    Spans are recorded as "X" (complete) events with microsecond [ts] and
+    [dur] taken from the monotonic {!Clock}; point-in-time marks are "i"
+    (instant) events. The output is the array form of the Chrome
+    trace-event format, loadable in Perfetto or [chrome://tracing].
+
+    Threads: each domain registers a small integer [tid] through
+    {!set_tid} (the pool assigns worker [i] tid [i+1]; the main domain is
+    tid 0). Thread-name metadata ("M") events are emitted on export so
+    Perfetto shows "main" / "worker-N" lanes.
+
+    The tracer never reorders or drops events and is safe to use from any
+    domain (one mutex around the event list; spans themselves are plain
+    values so nesting needs no shared state). *)
+
+type t
+
+type span
+(** An open span: created by {!begin_span}, closed by {!end_span}. The
+    span remembers its tracer, so it stays valid even if the ambient
+    telemetry handle changes mid-span. *)
+
+val create : unit -> t
+
+val set_tid : int -> unit
+(** Register the calling domain's thread id for subsequent events.
+    Defaults to 0 (main). *)
+
+val begin_span :
+  t -> ?cat:string -> ?args:(string * Json.t) list -> string -> span
+
+val end_span : span -> unit
+(** Record the complete event. Calling [end_span] twice on the same span
+    records the event twice — callers close each span exactly once
+    (typically via [Fun.protect]). *)
+
+val with_span :
+  t -> ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** [begin_span]/[end_span] around a thunk; the span is closed even if the
+    thunk raises. *)
+
+val instant :
+  t -> ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+(** Record an "i" (instant) event at the current time. *)
+
+val event_count : t -> int
+(** Number of span/instant events recorded so far (metadata events not
+    included). *)
+
+val to_json : t -> Json.t
+(** The full trace as a Chrome trace-event array: thread-name metadata
+    events first, then all recorded events sorted by timestamp. *)
+
+val write : t -> string -> unit
+(** Write [to_json] to a file (pretty-printed). *)
