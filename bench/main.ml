@@ -23,6 +23,9 @@ module Tracer = Accals_telemetry.Tracer
 module Clock = Accals_telemetry.Clock
 module Json = Accals_telemetry.Json
 module Report_json = Accals.Report_json
+module Server = Accals_server.Server
+module Sclient = Accals_server.Client
+module Sproto = Accals_server.Protocol
 
 let full = ref false
 
@@ -913,6 +916,186 @@ let telemetry () =
       "telemetry-enabled run diverged from disabled runs (determinism \
        contract violated)"
 
+(* ---------- serve: daemon load generator ---------- *)
+
+let serve_json_file = "bench_serve.json"
+
+(* Boot an in-process daemon on a temp Unix socket, fire N >= 8 concurrent
+   mixed-size jobs at it through the client library, and report throughput
+   and latency percentiles. A second identical pass must be answered
+   entirely from the result cache, and a cancel of a long-running job must
+   land in the cancelled state. *)
+let serve () =
+  section
+    "Service mode: daemon load generator (throughput, latency percentiles, \
+     cache + cancel checks)";
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "accals_serve_bench.%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let sock = Filename.concat dir "bench.sock" in
+  let max_concurrent = max 2 (min 4 !jobs) in
+  let server =
+    Server.create
+      {
+        Server.default_config with
+        Server.socket = sock;
+        jobs = max 1 !jobs;
+        max_concurrent;
+        cache_dir = Some (Filename.concat dir "cache");
+        default_samples = 256;
+        log = false;
+      }
+  in
+  let daemon = Domain.spawn (fun () -> Server.run server) in
+  let spec ?budget ?(samples = 256) ~tenant name bound =
+    {
+      Sproto.source = Sproto.Named name;
+      metric = Metric.Error_rate;
+      bound;
+      budget;
+      priority = 0;
+      tenant;
+      samples = Some samples;
+      seed = 1;
+    }
+  in
+  (* 8 mixed-size jobs across two tenants; distinct (circuit, bound) pairs
+     so nothing coalesces inside a pass. *)
+  let workload =
+    [
+      ("rca32", 0.05); ("mtp8", 0.02); ("cla32", 0.05); ("wal8", 0.02);
+      ("ksa32", 0.05); ("c880", 0.03); ("rca32", 0.02); ("mtp8", 0.05);
+    ]
+  in
+  let percentile p xs =
+    match List.sort compare xs with
+    | [] -> nan
+    | sorted ->
+      let a = Array.of_list sorted in
+      let n = Array.length a in
+      a.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+  in
+  let run_pass () =
+    let c = Sclient.connect_unix_retry sock in
+    let t0 = Clock.now () in
+    let submitted =
+      List.map
+        (fun (name, bound) ->
+          let tenant = if bound < 0.03 then "tenant-a" else "tenant-b" in
+          match Sclient.submit c (spec ~tenant name bound) with
+          | Ok (id, cached) -> (id, cached, Clock.now ())
+          | Error msg -> failwith (Printf.sprintf "submit %s: %s" name msg))
+        workload
+    in
+    (* Round-robin polling records each job's latency when it is first seen
+       in a terminal state, so a fast job is not charged for a slow one
+       ahead of it in the wait order. *)
+    let latencies = ref [] in
+    let remaining =
+      ref (List.map (fun (id, _, t) -> (id, t)) submitted)
+    in
+    while !remaining <> [] do
+      remaining :=
+        List.filter
+          (fun (id, t_submit) ->
+            match Sclient.rpc c (Sproto.Status id) with
+            | Ok resp -> (
+              match
+                Option.bind (Json.member "state" resp) Json.string_opt
+              with
+              | Some ("done" | "failed" | "cancelled") ->
+                latencies := (Clock.now () -. t_submit) :: !latencies;
+                false
+              | _ -> true)
+            | Error msg -> failwith ("status: " ^ msg))
+          !remaining;
+      if !remaining <> [] then Unix.sleepf 0.01
+    done;
+    let wall = Clock.now () -. t0 in
+    let cached = List.length (List.filter (fun (_, c, _) -> c) submitted) in
+    Sclient.close c;
+    (wall, !latencies, cached)
+  in
+  let wall1, lat1, cached1 = run_pass () in
+  let wall2, lat2, cached2 = run_pass () in
+  let n = List.length workload in
+  let all_cached = cached2 = n in
+  (* Cancellation: a tight bound on the EPFL divider at a high sample
+     count runs for many seconds single-domain — plenty of time to catch
+     it mid-run. Cancelled jobs must report terminal state "cancelled" and
+     free their pool share (the daemon would not drain otherwise). *)
+  let c = Sclient.connect_unix_retry sock in
+  let cancel_state =
+    match
+      Sclient.submit c (spec ~tenant:"tenant-a" ~samples:4096 "div" 0.01)
+    with
+    | Error msg -> "submit failed: " ^ msg
+    | Ok (id, _) -> (
+      Unix.sleepf 0.2;
+      match Sclient.rpc c (Sproto.Cancel id) with
+      | Error msg -> "cancel failed: " ^ msg
+      | Ok _ -> (
+        match Sclient.wait ~timeout:60.0 c id with
+        | Error msg -> "wait failed: " ^ msg
+        | Ok resp ->
+          Option.value
+            (Option.bind (Json.member "state" resp) Json.string_opt)
+            ~default:"?"))
+  in
+  let prom =
+    match Sclient.rpc c (Sproto.Metrics) with
+    | Ok resp ->
+      Option.value
+        (Option.bind (Json.member "metrics" resp) Json.string_opt)
+        ~default:""
+    | Error _ -> ""
+  in
+  Sclient.close c;
+  Server.stop server;
+  Domain.join daemon;
+  let p50_1 = percentile 0.50 lat1 and p95_1 = percentile 0.95 lat1 in
+  let p50_2 = percentile 0.50 lat2 and p95_2 = percentile 0.95 lat2 in
+  Printf.printf "%-28s %d jobs, %d domains, %d concurrent\n" "workload" n
+    !jobs max_concurrent;
+  Printf.printf "%-28s %.2f s wall, %.2f jobs/s, p50 %.3f s, p95 %.3f s (%d cached)\n"
+    "pass 1 (cold)" wall1
+    (float_of_int n /. wall1)
+    p50_1 p95_1 cached1;
+  Printf.printf "%-28s %.2f s wall, %.2f jobs/s, p50 %.3f s, p95 %.3f s (%d cached)\n"
+    "pass 2 (resubmit)" wall2
+    (float_of_int n /. wall2)
+    p50_2 p95_2 cached2;
+  Printf.printf "%-28s all_cached=%b  cancel_state=%s\n" "checks" all_cached
+    cancel_state;
+  Json.write_file serve_json_file
+    (Json.Obj
+       [
+         ("n_jobs", Json.Int n);
+         ("jobs", Json.Int !jobs);
+         ("max_concurrent", Json.Int max_concurrent);
+         ("wall_s", Json.Float wall1);
+         ("throughput_jobs_per_s", Json.Float (float_of_int n /. wall1));
+         ("latency_p50_s", Json.Float p50_1);
+         ("latency_p95_s", Json.Float p95_1);
+         ("latencies_s", Json.List (List.map (fun l -> Json.Float l) lat1));
+         ("resubmit_wall_s", Json.Float wall2);
+         ("resubmit_p50_s", Json.Float p50_2);
+         ("resubmit_p95_s", Json.Float p95_2);
+         ("resubmit_all_cached", Json.Bool all_cached);
+         ("cancel_state", Json.String cancel_state);
+         ("metrics", Json.String prom);
+       ]);
+  Printf.printf "wrote %s\n" serve_json_file;
+  if not all_cached then
+    note_incident "serve/resubmit"
+      "resubmission pass was not served entirely from the result cache";
+  if cancel_state <> "cancelled" then
+    note_incident "serve/cancel"
+      (Printf.sprintf "cancelled job ended in state %s" cancel_state)
+
 (* ---------- Bechamel micro-benchmarks: one Test.make per table/figure ---------- *)
 
 let micro () =
@@ -1019,6 +1202,7 @@ let experiments =
     ("incremental", incremental);
     ("audit", audit);
     ("telemetry", telemetry);
+    ("serve", serve);
     ("micro", micro);
   ]
 

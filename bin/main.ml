@@ -18,6 +18,10 @@ module Progress = Accals_telemetry.Progress
 module Metrics = Accals_telemetry.Metrics
 module Json = Accals_telemetry.Json
 module Report_json = Accals.Report_json
+module Server = Accals_server.Server
+module Client = Accals_server.Client
+module Sproto = Accals_server.Protocol
+module Graceful = Accals_server.Graceful
 
 (* Exit codes (also listed in `accals --help`):
      0   success
@@ -121,12 +125,26 @@ let seed_arg =
 let jobs_arg =
   Arg.(
     value
-    & opt int (Domain.recommended_domain_count ())
+    & opt int 0
     & info [ "j"; "jobs" ] ~docv:"JOBS"
         ~doc:
-          "Worker domains for the parallel runtime (default: the \
-           recommended domain count). Results are bit-identical for every \
-           value; 1 runs the reference sequential path.")
+          "Worker domains for the parallel runtime. 0 (the default) \
+           auto-detects the machine's recommended domain count, clamped \
+           to [1, 64], and logs the choice to stderr. Results are \
+           bit-identical for every value; 1 runs the reference sequential \
+           path.")
+
+(* --jobs 0 auto-detection, shared by synth/verify/sweep (the daemon does
+   the same resolution in [Server.create]). *)
+let resolve_jobs jobs =
+  if jobs > 0 then jobs
+  else
+    let detected = Domain.recommended_domain_count () in
+    let clamped = max 1 (min 64 detected) in
+    Printf.eprintf "accals: jobs auto-detected: %d domain(s)%s\n%!" detected
+      (if clamped <> detected then Printf.sprintf " (clamped to %d)" clamped
+       else "");
+    clamped
 
 let out_arg =
   Arg.(
@@ -329,6 +347,8 @@ let synth_cmd =
       user_error "--resume is only supported with --method accals";
     if audit_every < 0 then user_error "--audit-every must be >= 0";
     if ckpt_keep < 1 then user_error "--ckpt-keep must be >= 1";
+    let jobs = resolve_jobs jobs in
+    Graceful.install ();
     let net = load_circuit spec in
     let config =
       let base =
@@ -336,7 +356,7 @@ let synth_cmd =
           Config.default with
           samples;
           seed;
-          jobs = max 1 jobs;
+          jobs;
           run_deadline;
           round_deadline;
           validate_rounds = validate;
@@ -354,10 +374,15 @@ let synth_cmd =
           Filename.concat dir (Network.name net ^ ".ckpt"))
         ckpt_dir
     in
-    let checkpoint =
-      Option.map
-        (fun path snap -> Checkpoint.save ~keep:ckpt_keep ~path ~tag:ckpt_tag snap)
-        ckpt_path
+    (* The hook is always installed: saving the snapshot (when --checkpoint
+       was given) comes first, then [Graceful.check] — so on SIGINT/SIGTERM
+       the just-written snapshot is the final checkpoint and the run unwinds
+       at the next round boundary with the documented 130/143 exit code. *)
+    let checkpoint snap =
+      Option.iter
+        (fun path -> Checkpoint.save ~keep:ckpt_keep ~path ~tag:ckpt_tag snap)
+        ckpt_path;
+      Graceful.check ()
     in
     (* Telemetry is installed before anything runs so spans, metrics and
        events from the engine, pool workers and checkpoint writer all land
@@ -372,6 +397,20 @@ let synth_cmd =
     then
       Telemetry.install
         (Telemetry.make ?tracer ?progress:progress_h ?events:events_oc ());
+    let incident_log_path =
+      match incident_log with
+      | Some _ -> incident_log
+      | None -> Option.map (fun dir -> Filename.concat dir "incidents.jsonl") ckpt_dir
+    in
+    (* Flush hooks for the graceful-shutdown path: run (newest-first) by
+       the top-level [Interrupted] handler so partial telemetry survives an
+       interrupt. The normal completion path below writes these itself. *)
+    Graceful.on_shutdown "telemetry" (fun () -> Telemetry.reset ());
+    Graceful.on_shutdown "events" (fun () -> Option.iter close_out events_oc);
+    Graceful.on_shutdown "tracer" (fun () ->
+        match (trace_out, tracer) with
+        | Some path, Some t -> Tracer.write t path
+        | _ -> ());
     (* In --json mode stdout is a single JSON document, so the resume /
        checkpoint-scan notices move to stderr. Plain mode keeps them on
        stdout (CI greps for them there). *)
@@ -408,11 +447,11 @@ let synth_cmd =
           notice "resumed      : %s at round %d\n"
             (Engine.snapshot_circuit snap)
             (Engine.snapshot_round snap);
-          Engine.resume ~jobs:(max 1 jobs) ?checkpoint snap
+          Engine.resume ~jobs ~checkpoint snap
         | None ->
           if resume then
             notice "resumed      : no checkpoint yet, starting fresh\n";
-          Engine.run ~config ?checkpoint net ~metric ~error_bound:bound
+          Engine.run ~config ~checkpoint net ~metric ~error_bound:bound
       end
       | `Seals -> Accals_baselines.Seals.run ~config net ~metric ~error_bound:bound
       | `Amosa ->
@@ -488,11 +527,6 @@ let synth_cmd =
       (fun path -> Accals_io.Verilog_writer.write_file report.Engine.approximate path)
       verilog;
     Option.iter (fun path -> Trace.write_csv report.Engine.rounds path) trace;
-    let incident_log_path =
-      match incident_log with
-      | Some _ -> incident_log
-      | None -> Option.map (fun dir -> Filename.concat dir "incidents.jsonl") ckpt_dir
-    in
     Option.iter
       (fun path ->
         Incident.append_jsonl ~path
@@ -509,7 +543,8 @@ let synth_cmd =
         close_out oc)
       metrics_out;
     Option.iter close_out events_oc;
-    Telemetry.reset ()
+    Telemetry.reset ();
+    List.iter Graceful.remove_hook [ "telemetry"; "events"; "tracer" ]
   in
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
@@ -564,6 +599,7 @@ let verify_cmd =
       & info [] ~docv:"APPROX" ~doc:"Approximate circuit (name or file).")
   in
   let run golden_spec approx_spec jobs json =
+    let jobs = resolve_jobs jobs in
     let golden = load_circuit golden_spec in
     let approx = load_circuit approx_spec in
     let report =
@@ -631,7 +667,7 @@ let sweep_cmd =
     let net = load_circuit spec in
     let config =
       Config.for_network
-        ~base:{ Config.default with jobs = max 1 jobs }
+        ~base:{ Config.default with jobs = resolve_jobs jobs }
         net
     in
     let results = Accals.Pareto.sweep ~config net ~metric ~bounds in
@@ -647,6 +683,253 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const run $ circuit_arg $ metric_arg $ bounds_arg $ jobs_arg)
 
+(* --- serve / client --- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "accals.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on (or is reached at).")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Also listen on (or connect to) TCP. $(docv) may be a bare port; \
+           the host defaults to 127.0.0.1. Port 0 binds an ephemeral port \
+           (the daemon logs the choice).")
+
+let parse_hostport s =
+  let split =
+    match String.rindex_opt s ':' with
+    | Some i ->
+      ( String.sub s 0 i,
+        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+    | None -> ("", int_of_string_opt s)
+  in
+  match split with
+  | host, Some port when port >= 0 && port < 65536 ->
+    ((if host = "" then "127.0.0.1" else host), port)
+  | _ -> user_error "bad --tcp %S (expected HOST:PORT or PORT)" s
+
+let serve_cmd =
+  let doc =
+    "Run the synthesis daemon: a job scheduler with a content-addressed \
+     result cache behind a newline-delimited JSON protocol."
+  in
+  let max_concurrent_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "max-concurrent" ] ~docv:"N"
+          ~doc:
+            "Jobs running simultaneously; the $(b,--jobs) domain budget is \
+             split evenly across them.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist finished results content-addressed by circuit digest \
+             and request parameters; identical submissions (across \
+             restarts too) are answered from $(docv) without re-running \
+             the engine.")
+  in
+  let state_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Crash/shutdown state: the queue checkpoint re-admitted on \
+             restart, plus final metrics, per-job event logs and Chrome \
+             traces written during shutdown.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No chatter on stderr.")
+  in
+  let run socket tcp jobs max_concurrent cache_dir state_dir samples quiet =
+    if max_concurrent < 1 then user_error "--max-concurrent must be >= 1";
+    let server =
+      Server.create
+        {
+          Server.socket;
+          tcp = Option.map parse_hostport tcp;
+          jobs;
+          max_concurrent;
+          cache_dir;
+          state_dir;
+          default_samples = samples;
+          log = not quiet;
+        }
+    in
+    (* SIGTERM/SIGINT: the handler only flips flags and wakes the select
+       loop; [Server.run] then drains (checkpointing the queue, joining
+       workers) and returns, and the process exits 130/143. *)
+    Graceful.install ~on_signal:(fun _ -> Server.stop server) ();
+    Server.run server;
+    Graceful.run_hooks ();
+    match Graceful.stop_requested () with
+    | Some signal -> exit (Graceful.exit_code signal)
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ jobs_arg $ max_concurrent_arg
+      $ cache_dir_arg $ state_dir_arg $ samples_arg $ quiet_arg)
+
+let client_cmd =
+  let doc = "Talk to a running daemon (submit jobs, poll them, scrape metrics)." in
+  let req_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REQ"
+          ~doc:
+            "One of: submit, status, result, cancel, list, metrics, trace, \
+             events, ping, shutdown.")
+  in
+  let operand_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"ARG"
+          ~doc:"Circuit (for submit) or job id (status/result/cancel/trace/events).")
+  in
+  let client_bound_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "b"; "bound" ] ~docv:"BOUND" ~doc:"Error bound (submit).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"SECS"
+          ~doc:"Per-job run budget; an over-budget job returns its best \
+                circuit so far marked degraded (and is never cached).")
+  in
+  let priority_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "priority" ] ~docv:"P" ~doc:"Higher runs first (submit).")
+  in
+  let tenant_arg =
+    Arg.(
+      value
+      & opt string "default"
+      & info [ "tenant" ] ~docv:"NAME"
+          ~doc:"Fair-share scheduling group (submit).")
+  in
+  let client_samples_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "samples" ] ~docv:"N"
+          ~doc:"Simulation patterns; defaults to the daemon's setting.")
+  in
+  let wait_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "wait" ]
+          ~doc:"After submit, poll until the job finishes and print the \
+                result response too.")
+  in
+  let run socket tcp req operand metric bound budget priority tenant samples
+      seed wait_ =
+    let need_operand what =
+      match operand with
+      | Some a -> a
+      | None -> user_error "%s needs a %s operand" req what
+    in
+    let request =
+      match req with
+      | "submit" ->
+        let spec = need_operand "circuit" in
+        let bound =
+          match bound with
+          | Some b -> b
+          | None -> user_error "submit requires --bound"
+        in
+        let source =
+          (* A registered name travels as a name; anything else is loaded
+             locally (so errors surface here) and shipped as BLIF text. *)
+          if Sys.file_exists spec then
+            Sproto.Blif_text (Blif.to_string (load_circuit spec))
+          else if List.mem_assoc spec Bench_suite.all then Sproto.Named spec
+          else
+            user_error
+              "unknown circuit %s (not a file, not a registered benchmark)"
+              spec
+        in
+        Sproto.Submit
+          { Sproto.source; metric; bound; budget; priority; tenant; samples; seed }
+      | "status" -> Sproto.Status (need_operand "job id")
+      | "result" -> Sproto.Result (need_operand "job id")
+      | "cancel" -> Sproto.Cancel (need_operand "job id")
+      | "trace" -> Sproto.Trace (need_operand "job id")
+      | "events" -> Sproto.Events (need_operand "job id")
+      | "list" -> Sproto.List
+      | "metrics" -> Sproto.Metrics
+      | "ping" -> Sproto.Ping
+      | "shutdown" -> Sproto.Shutdown
+      | other ->
+        user_error
+          "unknown request %s (expected submit, status, result, cancel, \
+           list, metrics, trace, events, ping or shutdown)"
+          other
+    in
+    let c =
+      try
+        match tcp with
+        | Some hp ->
+          let host, port = parse_hostport hp in
+          Client.connect_tcp host port
+        | None -> Client.connect_unix socket
+      with Unix.Unix_error (e, _, _) ->
+        user_error "cannot connect to the daemon: %s" (Unix.error_message e)
+    in
+    let print_response resp =
+      (* `metrics` prints the raw Prometheus exposition so the output can
+         be scraped/diffed directly; everything else pretty-prints JSON. *)
+      match (req, Option.bind (Json.member "metrics" resp) Json.string_opt) with
+      | "metrics", Some text -> print_string text
+      | _ -> print_string (Json.to_string ~pretty:true resp ^ "\n")
+    in
+    let fail_rpc msg =
+      Printf.eprintf "accals: %s\n" msg;
+      exit failure_exit
+    in
+    (match Client.rpc c request with
+     | Error msg -> fail_rpc msg
+     | Ok resp ->
+       print_response resp;
+       if not (Client.ok resp) then exit failure_exit;
+       if wait_ && req = "submit" then
+         match Option.bind (Json.member "job" resp) Json.string_opt with
+         | None -> fail_rpc "submit response missing job id"
+         | Some job -> (
+           match Client.wait c job with
+           | Error msg -> fail_rpc msg
+           | Ok r ->
+             print_string (Json.to_string ~pretty:true r ^ "\n");
+             if not (Client.ok r) then exit failure_exit));
+    Client.close c
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ req_arg $ operand_arg $ metric_arg
+      $ client_bound_arg $ budget_arg $ priority_arg $ tenant_arg
+      $ client_samples_arg $ seed_arg $ wait_flag)
+
 let () =
   let doc = "Approximate logic synthesis with multi-LAC selection (AccALS)." in
   let exits =
@@ -661,12 +944,21 @@ let () =
           "on usage errors: bad command line, unknown circuit, unreadable \
            or malformed input file.";
       Cmd.Exit.info internal_exit ~doc:"on unexpected internal errors.";
+      Cmd.Exit.info 130
+        ~doc:
+          "when interrupted by SIGINT: telemetry sinks are flushed, the \
+           final round checkpoint is kept (synth) or the job queue is \
+           checkpointed (serve) before exiting.";
+      Cmd.Exit.info 143 ~doc:"likewise for SIGTERM.";
     ]
   in
   let info = Cmd.info "accals" ~version:"1.0.0" ~doc ~exits in
   let group =
     Cmd.group info
-      [ list_cmd; stats_cmd; synth_cmd; convert_cmd; verify_cmd; sweep_cmd ]
+      [
+        list_cmd; stats_cmd; synth_cmd; convert_cmd; verify_cmd; sweep_cmd;
+        serve_cmd; client_cmd;
+      ]
   in
   let fail code fmt =
     Printf.ksprintf
@@ -690,6 +982,9 @@ let () =
       fail failure_exit "%s" (Printexc.to_string e)
     | exception Checkpoint.Corrupt msg ->
       fail failure_exit "corrupt checkpoint: %s" msg
+    | exception Graceful.Interrupted signal ->
+      Graceful.run_hooks ();
+      fail (Graceful.exit_code signal) "interrupted, shut down gracefully"
     | exception Unix.Unix_error (err, fn, arg) ->
       fail failure_exit "%s: %s (%s)" fn (Unix.error_message err) arg
     | exception e ->

@@ -199,6 +199,89 @@ let copy t =
     tracker = None;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Canonical digest *)
+
+(* 64-bit FNV-1a.  CRC-32 (lib/resilience) is too narrow for a cache key
+   space shared across users and runs; FNV-1a is dependency-free and its
+   64-bit collision odds are negligible at any realistic cache size. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+let fnv_add h x = Int64.mul (Int64.logxor h (Int64.of_int x)) fnv_prime
+
+let op_tag = function
+  | Gate.Const false -> 0
+  | Gate.Const true -> 1
+  | Gate.Input -> 2
+  | Gate.Buf -> 3
+  | Gate.Not -> 4
+  | Gate.And -> 5
+  | Gate.Or -> 6
+  | Gate.Nand -> 7
+  | Gate.Nor -> 8
+  | Gate.Xor -> 9
+  | Gate.Xnor -> 10
+  | Gate.Mux -> 11
+
+let digest t =
+  (* Canonical ids: pre-order DFS from the outputs in declaration order,
+     fanins in order.  The numbering depends only on the reachable graph
+     shape, never on allocation order, so isomorphic builds that allocated
+     their nodes differently digest identically.  Dead nodes are skipped:
+     the digest covers exactly the logic a reader of the BLIF would see. *)
+  let n = max 1 t.used in
+  let canon = Array.make n (-1) in
+  let count = ref 0 in
+  let visit root =
+    if canon.(root) < 0 then begin
+      let stack = ref [ root ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | id :: rest ->
+          stack := rest;
+          if canon.(id) < 0 then begin
+            canon.(id) <- !count;
+            incr count;
+            let fis = t.fanin_arrays.(id) in
+            (* Reverse push so fanin 0 is explored first. *)
+            for k = Array.length fis - 1 downto 0 do
+              let f = fis.(k) in
+              if canon.(f) < 0 then stack := f :: !stack
+            done
+          end
+      done
+    end
+  in
+  Array.iter visit t.output_ids;
+  let by_canon = Array.make (max 1 !count) 0 in
+  for id = 0 to t.used - 1 do
+    if canon.(id) >= 0 then by_canon.(canon.(id)) <- id
+  done;
+  (* Primary inputs hash as their declaration index: eval binds input
+     values by position, so swapping two PI wires must change the digest
+     even when the graph shapes are isomorphic. *)
+  let input_pos = Array.make n (-1) in
+  Array.iteri (fun i id -> input_pos.(id) <- i) t.input_ids;
+  let h = ref fnv_offset in
+  let add x = h := fnv_add !h x in
+  add (Array.length t.input_ids);
+  add !count;
+  for c = 0 to !count - 1 do
+    let id = by_canon.(c) in
+    let op = t.ops.(id) in
+    add (op_tag op);
+    if op = Gate.Input then add input_pos.(id)
+    else begin
+      let fis = t.fanin_arrays.(id) in
+      add (Array.length fis);
+      Array.iter (fun f -> add canon.(f)) fis
+    end
+  done;
+  add (Array.length t.output_ids);
+  Array.iter (fun id -> add canon.(id)) t.output_ids;
+  Printf.sprintf "%016Lx" !h
+
 type violation = { node : int option; reason : string }
 
 exception Invariant_violation of violation

@@ -103,6 +103,23 @@ val truncate : t -> int -> unit
     node and no primary output references the removed ids. Does not fire
     change events. *)
 
+val digest : t -> string
+(** Canonical 64-bit structural digest, as 16 lowercase hex digits.
+
+    The digest is computed over a canonical renumbering (pre-order DFS
+    from the outputs in declaration order, fanins in order), so it is
+    invariant under node-id renumbering of isomorphic builds and under
+    dead nodes, the circuit name, and PI/PO {e names} — but sensitive to
+    any change in the live logic: a single gate operator or fanin edit,
+    a swapped pair of primary-input wires, or a reordered output list all
+    produce a different digest.  Primary inputs hash as their declaration
+    index (evaluation binds input values by position).
+
+    This is the content address used by the result cache of the
+    synthesis service ([lib/server]): two submissions whose networks
+    digest equally are guaranteed to synthesize identically under equal
+    (metric, bound, samples, seed). *)
+
 type violation = { node : int option; reason : string }
 (** A broken structural invariant: the offending node (when one can be
     named) and a human-readable reason. *)

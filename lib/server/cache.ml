@@ -1,0 +1,88 @@
+module Json = Accals_telemetry.Json
+module Metric = Accals_metrics.Metric
+
+type t = { dir : string }
+
+type entry = { key : string; report : Json.t; blif : string }
+
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir =
+  ensure_dir dir;
+  { dir }
+
+let dir t = t.dir
+
+let key ~digest ~metric ~bound ~samples ~seed =
+  (* Readable on purpose: `ls` of the cache directory shows what is
+     cached.  %h is the shortest exact float encoding, hex so the key
+     never depends on decimal rounding. *)
+  Printf.sprintf "%s-%s-%h-s%d-r%d" digest
+    (String.lowercase_ascii (Metric.kind_to_string metric))
+    bound samples seed
+  |> String.map (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' | '_' -> c
+         | _ -> '_')
+
+let path t key = Filename.concat t.dir (key ^ ".json")
+
+let find t k =
+  let file = path t k in
+  match
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    contents
+  with
+  | exception Sys_error _ -> None
+  | contents -> (
+    match Json.parse contents with
+    | Error _ -> None
+    | Ok v -> (
+      let str f = Option.bind (Json.member f v) Json.string_opt in
+      match (str "key", Json.member "report" v, str "blif") with
+      | Some stored_key, Some report, Some blif when stored_key = k ->
+        Some { key = k; report; blif }
+      | _ -> None))
+
+let store t e =
+  let final = path t e.key in
+  let tmp =
+    Filename.temp_file ~temp_dir:t.dir ("." ^ e.key) ".tmp"
+  in
+  let payload =
+    Json.Obj
+      [
+        ("key", Json.String e.key);
+        ("report", e.report);
+        ("blif", Json.String e.blif);
+      ]
+  in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (Json.to_string payload);
+     output_char oc '\n'
+   with ex ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise ex);
+  close_out oc;
+  Sys.rename tmp final
+
+let size t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> 0
+  | files ->
+    Array.fold_left
+      (fun acc f ->
+        if Filename.check_suffix f ".json" && not (String.length f > 0 && f.[0] = '.')
+        then acc + 1
+        else acc)
+      0 files

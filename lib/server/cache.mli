@@ -1,0 +1,46 @@
+(** Content-addressed, on-disk result cache for the synthesis service.
+
+    An entry maps a {!key} — the canonical circuit digest
+    ({!Accals_network.Network.digest}) combined with the
+    result-determining request parameters (metric, bound, samples, seed;
+    {e not} the job count, which never changes a result) — to the full
+    certified report JSON and the synthesized BLIF. Entries are one JSON
+    file each, written atomically (temp file + rename in the cache
+    directory), so the cache survives daemon restarts and concurrent
+    writers, and a half-written entry can never be observed. A corrupt or
+    unreadable entry behaves as a miss.
+
+    Budget-degraded results are never stored (the caller enforces this):
+    a cached entry always describes the budget-independent, fully
+    converged synthesis of its key. *)
+
+module Json := Accals_telemetry.Json
+module Metric := Accals_metrics.Metric
+
+type t
+
+type entry = {
+  key : string;
+  report : Json.t;  (** the full report, [Report_json] schema *)
+  blif : string;  (** the synthesized circuit *)
+}
+
+val create : dir:string -> t
+(** Open (creating if needed) the cache directory. *)
+
+val dir : t -> string
+
+val key :
+  digest:string -> metric:Metric.kind -> bound:float -> samples:int ->
+  seed:int -> string
+(** Deterministic, filename-safe cache key. *)
+
+val find : t -> string -> entry option
+(** Look a key up on disk; [None] on a missing, corrupt or mismatched
+    entry. *)
+
+val store : t -> entry -> unit
+(** Atomically persist an entry (last writer wins). *)
+
+val size : t -> int
+(** Number of entry files currently on disk. *)

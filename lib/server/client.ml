@@ -1,0 +1,109 @@
+module Json = Accals_telemetry.Json
+module Clock = Accals_telemetry.Clock
+
+type t = { ic : in_channel; oc : out_channel }
+
+let of_fd fd =
+  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  of_fd fd
+
+let connect_unix_retry ?(attempts = 100) ?(delay = 0.05) path =
+  let rec go n =
+    match connect_unix path with
+    | t -> t
+    | exception e ->
+      if n <= 1 then raise e
+      else begin
+        Unix.sleepf delay;
+        go (n - 1)
+      end
+  in
+  go (max 1 attempts)
+
+let connect_tcp host port =
+  let addr =
+    match Unix.inet_addr_of_string host with
+    | a -> a
+    | exception Failure _ -> (
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> failwith (Printf.sprintf "cannot resolve %S" host))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  of_fd fd
+
+let close t =
+  (* The channels share one fd; close the output side (flushes and closes
+     the fd), then only discard the input buffer. *)
+  close_out_noerr t.oc;
+  close_in_noerr t.ic
+
+let rpc t req =
+  match
+    output_string t.oc (Json.to_string (Protocol.request_to_json req));
+    output_char t.oc '\n';
+    flush t.oc;
+    input_line t.ic
+  with
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | line -> (
+    match Json.parse line with
+    | Ok v -> Ok v
+    | Error msg -> Error (Printf.sprintf "malformed response: %s" msg))
+
+let ok resp =
+  match Json.member "ok" resp with Some (Json.Bool b) -> b | _ -> false
+
+let error_message resp =
+  match Option.bind (Json.member "error" resp) Json.string_opt with
+  | Some msg -> msg
+  | None -> "server error"
+
+let submit t spec =
+  match rpc t (Protocol.Submit spec) with
+  | Error _ as e -> e
+  | Ok resp when not (ok resp) -> Error (error_message resp)
+  | Ok resp -> (
+    match Option.bind (Json.member "job" resp) Json.string_opt with
+    | None -> Error "submit response missing job id"
+    | Some id ->
+      let cached =
+        match Json.member "cached" resp with
+        | Some (Json.Bool b) -> b
+        | _ -> false
+      in
+      Ok (id, cached))
+
+let wait ?(poll_interval = 0.05) ?timeout t job =
+  let deadline = Option.map (fun s -> Clock.now () +. s) timeout in
+  let rec go () =
+    match rpc t (Protocol.Status job) with
+    | Error _ as e -> e
+    | Ok resp when not (ok resp) -> Error (error_message resp)
+    | Ok resp -> (
+      match Option.bind (Json.member "state" resp) Json.string_opt with
+      | Some ("done" | "failed" | "cancelled") -> rpc t (Protocol.Result job)
+      | _ -> (
+        match deadline with
+        | Some d when Clock.now () > d ->
+          Error (Printf.sprintf "timed out waiting for %s" job)
+        | _ ->
+          Unix.sleepf poll_interval;
+          go ()))
+  in
+  go ()
+
+let ping t =
+  match rpc t Protocol.Ping with Ok resp -> ok resp | Error _ -> false

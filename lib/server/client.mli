@@ -1,0 +1,46 @@
+(** Blocking client for the daemon's newline-delimited JSON protocol —
+    the library under [accals client] and the bench load generator. *)
+
+module Json := Accals_telemetry.Json
+
+type t
+
+val connect_unix : string -> t
+(** Connect to a Unix-domain socket. Raises [Unix.Unix_error]. *)
+
+val connect_unix_retry : ?attempts:int -> ?delay:float -> string -> t
+(** Retry [connect_unix] (default 100 attempts, 50ms apart) — for
+    racing a daemon that is still booting. Raises the last error. *)
+
+val connect_tcp : string -> int -> t
+(** Connect to [host, port]. Raises [Unix.Unix_error] / [Failure]. *)
+
+val close : t -> unit
+
+val rpc : t -> Protocol.request -> (Json.t, string) result
+(** Send one request, read one response line. [Error] on connection
+    loss or a malformed response; a server-side [{"ok": false}] is
+    still [Ok] — inspect with {!ok} / {!error_message}. *)
+
+val ok : Json.t -> bool
+(** The response's ["ok"] field. *)
+
+val error_message : Json.t -> string
+(** The response's ["error"] field (or a placeholder). *)
+
+val submit : t -> Protocol.job_spec -> (string * bool, string) result
+(** Submit and return [(job id, cached)]; [Error] on rejection. *)
+
+val wait :
+  ?poll_interval:float ->
+  ?timeout:float ->
+  t ->
+  string ->
+  (Json.t, string) result
+(** Poll [status] until the job reaches a terminal state (polling every
+    [poll_interval] seconds, default 0.05), then fetch and return the
+    [result] response. [Error] after [timeout] seconds (default: no
+    timeout). *)
+
+val ping : t -> bool
+(** One ping round-trip; [false] on any failure. *)

@@ -1,0 +1,60 @@
+exception Interrupted of int
+
+let () =
+  Printexc.register_printer (function
+    | Interrupted s -> Some (Printf.sprintf "Graceful.Interrupted (signal %d)" s)
+    | _ -> None)
+
+(* The recorded signal: 0 = none.  OCaml signal numbers are negative, so
+   the sentinel cannot collide. *)
+let requested = Atomic.make 0
+
+let request_stop signal = ignore (Atomic.compare_and_set requested 0 signal)
+
+let stop_requested () =
+  match Atomic.get requested with 0 -> None | s -> Some s
+
+let check () =
+  match Atomic.get requested with 0 -> () | s -> raise (Interrupted s)
+
+let clear () = Atomic.set requested 0
+
+let installed = Atomic.make false
+
+let install ?(signals = [ Sys.sigint; Sys.sigterm ]) ?on_signal () =
+  if not (Atomic.exchange installed true) then
+    List.iter
+      (fun s ->
+        Sys.set_signal s
+          (Sys.Signal_handle
+             (fun s ->
+               request_stop s;
+               match on_signal with None -> () | Some f -> f s)))
+      signals
+
+(* ------------------------------------------------------------------ *)
+(* Flush hooks *)
+
+let hooks : (string * (unit -> unit)) list ref = ref []
+let hooks_mutex = Mutex.create ()
+
+let on_shutdown name f =
+  Mutex.protect hooks_mutex (fun () ->
+      hooks := (name, f) :: List.remove_assoc name !hooks)
+
+let remove_hook name =
+  Mutex.protect hooks_mutex (fun () -> hooks := List.remove_assoc name !hooks)
+
+let run_hooks () =
+  let to_run =
+    Mutex.protect hooks_mutex (fun () ->
+        let h = !hooks in
+        hooks := [];
+        h)
+  in
+  List.iter (fun (_, f) -> try f () with _ -> ()) to_run
+
+let exit_code signal =
+  if signal = Sys.sigint then 130
+  else if signal = Sys.sigterm then 143
+  else 128

@@ -1,0 +1,51 @@
+(** Graceful-shutdown path shared by the one-shot CLI and the daemon.
+
+    A SIGTERM/SIGINT handler installed by {!install} records the signal;
+    long-running code polls {!check} at safe boundaries (the synthesis
+    engine's per-round checkpoint hook, the daemon's accept loop) and
+    unwinds via {!Interrupted}. On the way out the process runs its
+    registered flush hooks — telemetry sinks, metrics exports, incident
+    logs, final checkpoints — and exits with the conventional
+    [128 + signal] code (130 for SIGINT, 143 for SIGTERM), which the CLI
+    documents in [accals --help].
+
+    Handlers only set an atomic flag, so they are async-signal-safe; all
+    real work happens on the polling thread. *)
+
+exception Interrupted of int
+(** Carries the OCaml signal number ({!Sys.sigint} / {!Sys.sigterm}). *)
+
+val install : ?signals:int list -> ?on_signal:(int -> unit) -> unit -> unit
+(** Install handlers for [signals] (default SIGINT and SIGTERM) that
+    record the signal for {!check}/{!stop_requested}. When [on_signal] is
+    given it is also called from the handler with the OCaml signal number
+    — the daemon uses it to wake its select loop. Idempotent. *)
+
+val request_stop : int -> unit
+(** Record a stop request by hand (what the installed handler does). *)
+
+val stop_requested : unit -> int option
+(** The first recorded signal, if any. *)
+
+val check : unit -> unit
+(** Raise {!Interrupted} if a stop was requested; otherwise return. *)
+
+val clear : unit -> unit
+(** Forget a recorded stop request (for tests). *)
+
+(** {1 Flush hooks} *)
+
+val on_shutdown : string -> (unit -> unit) -> unit
+(** Register a named flush hook. Re-registering a name replaces the
+    previous hook. *)
+
+val remove_hook : string -> unit
+
+val run_hooks : unit -> unit
+(** Run every registered hook exactly once, newest-first, swallowing
+    exceptions (a failed flush must not mask the others), and unregister
+    them. Safe to call repeatedly. *)
+
+val exit_code : int -> int
+(** [128 + signal] under the system's numbering: 130 for SIGINT, 143 for
+    SIGTERM, 128 for anything unmapped. *)

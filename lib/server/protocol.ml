@@ -1,0 +1,140 @@
+module Json = Accals_telemetry.Json
+module Metric = Accals_metrics.Metric
+
+type source = Blif_text of string | Named of string
+
+type job_spec = {
+  source : source;
+  metric : Metric.kind;
+  bound : float;
+  budget : float option;
+  priority : int;
+  tenant : string;
+  samples : int option;
+  seed : int;
+}
+
+type request =
+  | Submit of job_spec
+  | Status of string
+  | Result of string
+  | Cancel of string
+  | List
+  | Metrics
+  | Trace of string
+  | Events of string
+  | Ping
+  | Shutdown
+
+let max_request_bytes = 16 * 1024 * 1024
+
+let request_to_json = function
+  | Submit spec ->
+    let source_field =
+      match spec.source with
+      | Blif_text s -> ("circuit", Json.String s)
+      | Named n -> ("name", Json.String n)
+    in
+    Json.Obj
+      ([
+         ("req", Json.String "submit");
+         source_field;
+         ("metric", Json.String (Metric.kind_to_string spec.metric));
+         ("bound", Json.Float spec.bound);
+       ]
+      @ (match spec.budget with
+         | Some b -> [ ("budget", Json.Float b) ]
+         | None -> [])
+      @ (if spec.priority <> 0 then [ ("priority", Json.Int spec.priority) ]
+         else [])
+      @ (if spec.tenant <> "default" then
+           [ ("tenant", Json.String spec.tenant) ]
+         else [])
+      @ (match spec.samples with
+         | Some s -> [ ("samples", Json.Int s) ]
+         | None -> [])
+      @ if spec.seed <> 1 then [ ("seed", Json.Int spec.seed) ] else [])
+  | Status job -> Json.Obj [ ("req", Json.String "status"); ("job", Json.String job) ]
+  | Result job -> Json.Obj [ ("req", Json.String "result"); ("job", Json.String job) ]
+  | Cancel job -> Json.Obj [ ("req", Json.String "cancel"); ("job", Json.String job) ]
+  | List -> Json.Obj [ ("req", Json.String "list") ]
+  | Metrics -> Json.Obj [ ("req", Json.String "metrics") ]
+  | Trace job -> Json.Obj [ ("req", Json.String "trace"); ("job", Json.String job) ]
+  | Events job -> Json.Obj [ ("req", Json.String "events"); ("job", Json.String job) ]
+  | Ping -> Json.Obj [ ("req", Json.String "ping") ]
+  | Shutdown -> Json.Obj [ ("req", Json.String "shutdown") ]
+
+let spec_of_json v =
+  let str key = Option.bind (Json.member key v) Json.string_opt in
+  let num key = Option.bind (Json.member key v) Json.number_opt in
+  let int_field key = Option.bind (Json.member key v) Json.int_opt in
+  let source =
+    match (str "circuit", str "name") with
+    | Some blif, None -> Ok (Blif_text blif)
+    | None, Some name -> Ok (Named name)
+    | Some _, Some _ -> Error "submit: give either \"circuit\" or \"name\", not both"
+    | None, None -> Error "submit: missing \"circuit\" (BLIF text) or \"name\""
+  in
+  match source with
+  | Error _ as e -> e
+  | Ok source -> (
+    match str "metric" with
+    | None -> Error "submit: missing \"metric\""
+    | Some m -> (
+      match Metric.kind_of_string m with
+      | None -> Error (Printf.sprintf "submit: unknown metric %S" m)
+      | Some metric -> (
+        match num "bound" with
+        | None -> Error "submit: missing numeric \"bound\""
+        | Some bound when bound <= 0.0 -> Error "submit: bound must be positive"
+        | Some bound -> (
+          let budget = num "budget" in
+          match budget with
+          | Some b when b <= 0.0 -> Error "submit: budget must be positive"
+          | _ -> (
+            match int_field "samples" with
+            | Some s when s < 1 -> Error "submit: samples must be >= 1"
+            | samples ->
+              Ok
+                {
+                  source;
+                  metric;
+                  bound;
+                  budget;
+                  priority = Option.value (int_field "priority") ~default:0;
+                  tenant = Option.value (str "tenant") ~default:"default";
+                  samples;
+                  seed = Option.value (int_field "seed") ~default:1;
+                })))))
+
+let request_of_json v =
+  match Option.bind (Json.member "req" v) Json.string_opt with
+  | None -> Error "missing \"req\" field"
+  | Some req -> (
+    let with_job k =
+      match Option.bind (Json.member "job" v) Json.string_opt with
+      | Some job -> Ok (k job)
+      | None -> Error (Printf.sprintf "%s: missing \"job\" field" req)
+    in
+    match req with
+    | "submit" -> Result.map (fun spec -> Submit spec) (spec_of_json v)
+    | "status" -> with_job (fun j -> Status j)
+    | "result" -> with_job (fun j -> Result j)
+    | "cancel" -> with_job (fun j -> Cancel j)
+    | "list" -> Ok List
+    | "metrics" -> Ok Metrics
+    | "trace" -> with_job (fun j -> Trace j)
+    | "events" -> with_job (fun j -> Events j)
+    | "ping" -> Ok Ping
+    | "shutdown" -> Ok Shutdown
+    | other -> Error (Printf.sprintf "unknown request %S" other))
+
+let parse_request line =
+  match Json.parse ~max_bytes:max_request_bytes line with
+  | Error msg -> Error msg
+  | Ok v -> request_of_json v
+
+let error_response msg =
+  Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]
+
+let ok_response fields = Json.Obj (("ok", Json.Bool true) :: fields)

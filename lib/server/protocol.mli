@@ -1,0 +1,67 @@
+(** Wire protocol of the [accals serve] daemon.
+
+    Newline-delimited JSON over a Unix-domain (or TCP) socket: each
+    request is one JSON object on one line, each response is one JSON
+    object on one line. The codec reuses the dependency-free
+    {!Accals_telemetry.Json} tree; requests are parsed with the hardened
+    limits ({!max_request_bytes}, nesting depth) because the daemon reads
+    them from untrusted clients.
+
+    Requests carry a ["req"] discriminator:
+    - [submit]: a synthesis job — inline BLIF text (["circuit"]) or a
+      registered benchmark name (["name"]), plus ["metric"], ["bound"]
+      and optional ["budget"] (seconds), ["priority"] (higher runs
+      first), ["tenant"] (fair-share identity), ["samples"], ["seed"].
+    - [status] / [result] / [cancel] / [trace] / [events]: per-job, keyed
+      by ["job"].
+    - [list], [metrics], [ping], [shutdown]: server-wide.
+
+    Responses always carry ["ok"] ([true]/[false]); failures add
+    ["error"]. *)
+
+module Json := Accals_telemetry.Json
+module Metric := Accals_metrics.Metric
+
+type source =
+  | Blif_text of string  (** inline BLIF document *)
+  | Named of string  (** registered benchmark name *)
+
+type job_spec = {
+  source : source;
+  metric : Metric.kind;
+  bound : float;
+  budget : float option;  (** per-job run-deadline, seconds *)
+  priority : int;  (** default 0; higher is scheduled first *)
+  tenant : string;  (** fair-share identity; default ["default"] *)
+  samples : int option;  (** [None]: the server default *)
+  seed : int;  (** default 1 *)
+}
+
+type request =
+  | Submit of job_spec
+  | Status of string
+  | Result of string
+  | Cancel of string
+  | List
+  | Metrics
+  | Trace of string
+  | Events of string
+  | Ping
+  | Shutdown
+
+val max_request_bytes : int
+(** Upper bound on one request line (16 MiB — a large BLIF fits, a
+    hostile stream does not). Servers close the connection when a line
+    exceeds it. *)
+
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> (request, string) result
+
+val parse_request : string -> (request, string) result
+(** Parse one request line under the hardened limits. *)
+
+val error_response : string -> Json.t
+(** [{"ok": false, "error": msg}]. *)
+
+val ok_response : (string * Json.t) list -> Json.t
+(** [{"ok": true, ...fields}]. *)

@@ -1,0 +1,303 @@
+module Json = Accals_telemetry.Json
+module Clock = Accals_telemetry.Clock
+module Metric = Accals_metrics.Metric
+
+type state = Queued | Running | Done | Failed | Cancelled
+
+let state_to_string = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed -> "failed"
+  | Cancelled -> "cancelled"
+
+type job = {
+  id : string;
+  seq : int;
+  spec : Protocol.job_spec;
+  circuit : string;
+  digest : string;
+  key : string;
+  submitted_wall : float;  (* Unix epoch, for display *)
+  submitted_mono : float;  (* Clock.now, for durations *)
+  cancel_flag : bool Atomic.t;
+  mutable state : state;
+  mutable started_mono : float option;
+  mutable finished_mono : float option;
+  mutable cached : bool;
+  mutable degraded : bool;
+  mutable result : Cache.entry option;
+  mutable failure : string option;
+  mutable events : Json.t list;  (* newest first *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  tbl : (string, job) Hashtbl.t;
+  mutable jobs : job list;  (* newest first *)
+  mutable next_seq : int;
+}
+
+let create () =
+  { mutex = Mutex.create (); tbl = Hashtbl.create 64; jobs = []; next_seq = 1 }
+
+let locked t f = Mutex.protect t.mutex f
+
+let id j = j.id
+let spec j = j.spec
+let key j = j.key
+let digest j = j.digest
+let cancel_requested j = Atomic.get j.cancel_flag
+
+let push_event j name fields =
+  let ev =
+    Json.Obj
+      (("ts", Json.Float (Clock.now ()))
+      :: ("job", Json.String j.id)
+      :: ("event", Json.String name)
+      :: fields)
+  in
+  j.events <- ev :: j.events
+
+let record_event t j name fields = locked t (fun () -> push_event j name fields)
+
+let submit t ~spec ~circuit ~digest ~key ?cached () =
+  locked t (fun () ->
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      let j =
+        {
+          id = Printf.sprintf "j-%06d" seq;
+          seq;
+          spec;
+          circuit;
+          digest;
+          key;
+          submitted_wall = Unix.gettimeofday ();
+          submitted_mono = Clock.now ();
+          cancel_flag = Atomic.make false;
+          state = (match cached with Some _ -> Done | None -> Queued);
+          started_mono = None;
+          finished_mono = None;
+          cached = Option.is_some cached;
+          degraded = false;
+          result = cached;
+          failure = None;
+          events = [];
+        }
+      in
+      (match cached with
+       | Some _ ->
+         j.started_mono <- Some j.submitted_mono;
+         j.finished_mono <- Some j.submitted_mono
+       | None -> ());
+      Hashtbl.replace t.tbl j.id j;
+      t.jobs <- j :: t.jobs;
+      push_event j "submitted"
+        [
+          ("circuit", Json.String circuit);
+          ("digest", Json.String digest);
+          ("tenant", Json.String spec.Protocol.tenant);
+          ("priority", Json.Int spec.Protocol.priority);
+          ("cached", Json.Bool j.cached);
+        ];
+      j)
+
+let find t id = locked t (fun () -> Hashtbl.find_opt t.tbl id)
+let all t = locked t (fun () -> List.rev t.jobs)
+let state t j = locked t (fun () -> j.state)
+
+let active_by_key t k ~budget =
+  locked t (fun () ->
+      (* The fold runs newest-to-oldest and overwrites, so the oldest
+         match wins — coalescing is stable across lookups.  In-flight
+         jobs only coalesce when the budgets agree (a budget can degrade
+         a result); finished ones only count when they converged. *)
+      List.fold_left
+        (fun acc j ->
+          match j.state with
+          | (Queued | Running) when j.spec.Protocol.budget = budget -> Some j
+          | Done when j.result <> None && not j.degraded -> Some j
+          | _ -> acc)
+        None
+        (List.filter (fun j -> j.key = k) t.jobs))
+
+(* Scheduling policy: strict priority, then fewest running jobs for the
+   tenant (fair share), then submission order. *)
+let policy_order running_of_tenant a b =
+  let c = compare b.spec.Protocol.priority a.spec.Protocol.priority in
+  if c <> 0 then c
+  else
+    let c =
+      compare
+        (running_of_tenant a.spec.Protocol.tenant)
+        (running_of_tenant b.spec.Protocol.tenant)
+    in
+    if c <> 0 then c else compare a.seq b.seq
+
+let queued_in_order t =
+  (* Call with the lock held. *)
+  let running = Hashtbl.create 8 in
+  List.iter
+    (fun j ->
+      if j.state = Running then
+        let tenant = j.spec.Protocol.tenant in
+        Hashtbl.replace running tenant
+          (1 + Option.value (Hashtbl.find_opt running tenant) ~default:0))
+    t.jobs;
+  let running_of_tenant tenant =
+    Option.value (Hashtbl.find_opt running tenant) ~default:0
+  in
+  List.filter (fun j -> j.state = Queued) t.jobs
+  |> List.sort (policy_order running_of_tenant)
+
+let pick t =
+  locked t (fun () ->
+      match queued_in_order t with
+      | [] -> None
+      | j :: _ ->
+        j.state <- Running;
+        j.started_mono <- Some (Clock.now ());
+        push_event j "started" [];
+        Some j)
+
+let cancel t j =
+  locked t (fun () ->
+      match j.state with
+      | Queued ->
+        j.state <- Cancelled;
+        j.finished_mono <- Some (Clock.now ());
+        push_event j "cancelled" [ ("while", Json.String "queued") ];
+        `Cancelled_queued
+      | Running ->
+        Atomic.set j.cancel_flag true;
+        push_event j "cancel_requested" [];
+        `Cancel_requested
+      | Done | Failed | Cancelled -> `Already_finished)
+
+let finish t j entry ~degraded =
+  locked t (fun () ->
+      j.state <- Done;
+      j.degraded <- degraded;
+      j.result <- Some entry;
+      j.finished_mono <- Some (Clock.now ());
+      push_event j "done" [ ("degraded", Json.Bool degraded) ])
+
+let fail t j msg =
+  locked t (fun () ->
+      j.state <- Failed;
+      j.failure <- Some msg;
+      j.finished_mono <- Some (Clock.now ());
+      push_event j "failed" [ ("error", Json.String msg) ])
+
+let finished_cancelled t j =
+  locked t (fun () ->
+      j.state <- Cancelled;
+      j.finished_mono <- Some (Clock.now ());
+      push_event j "cancelled" [ ("while", Json.String "running") ])
+
+type view = {
+  v_id : string;
+  v_state : state;
+  v_circuit : string;
+  v_metric : string;
+  v_bound : float;
+  v_tenant : string;
+  v_priority : int;
+  v_cached : bool;
+  v_degraded : bool;
+  v_queue_position : int option;
+  v_submitted_at : float;
+  v_wait_s : float option;
+  v_run_s : float option;
+  v_failure : string option;
+}
+
+let view t j =
+  locked t (fun () ->
+      let position =
+        if j.state = Queued then
+          let queued = queued_in_order t in
+          let rec index i = function
+            | [] -> None
+            | x :: _ when x.id = j.id -> Some i
+            | _ :: rest -> index (i + 1) rest
+          in
+          index 0 queued
+        else None
+      in
+      {
+        v_id = j.id;
+        v_state = j.state;
+        v_circuit = j.circuit;
+        v_metric = Metric.kind_to_string j.spec.Protocol.metric;
+        v_bound = j.spec.Protocol.bound;
+        v_tenant = j.spec.Protocol.tenant;
+        v_priority = j.spec.Protocol.priority;
+        v_cached = j.cached;
+        v_degraded = j.degraded;
+        v_queue_position = position;
+        v_submitted_at = j.submitted_wall;
+        v_wait_s =
+          Option.map (fun s -> s -. j.submitted_mono) j.started_mono;
+        v_run_s =
+          (match (j.started_mono, j.finished_mono) with
+           | Some s, Some f -> Some (f -. s)
+           | Some s, None -> Some (Clock.now () -. s)
+           | _ -> None);
+        v_failure = j.failure;
+      })
+
+let result t j = locked t (fun () -> j.result)
+let events t j = locked t (fun () -> List.rev j.events)
+
+let trace_events t j =
+  locked t (fun () ->
+      let us x = 1e6 *. x in
+      let span name ts_s dur_s =
+        Json.Obj
+          [
+            ("name", Json.String name);
+            ("cat", Json.String "job");
+            ("ph", Json.String "X");
+            ("ts", Json.Float (us ts_s));
+            ("dur", Json.Float (us dur_s));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int j.seq);
+            ("args", Json.Obj [ ("job", Json.String j.id) ]);
+          ]
+      in
+      let now = Clock.now () in
+      let queued_end = Option.value j.started_mono ~default:now in
+      let spans =
+        span "queued" j.submitted_mono (queued_end -. j.submitted_mono)
+        ::
+        (match j.started_mono with
+         | None -> []
+         | Some s ->
+           let e = Option.value j.finished_mono ~default:now in
+           [ span (state_to_string j.state) s (e -. s) ])
+      in
+      let meta =
+        Json.Obj
+          [
+            ("name", Json.String "thread_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int j.seq);
+            ("args", Json.Obj [ ("name", Json.String j.id) ]);
+          ]
+      in
+      meta :: spans)
+
+let counts t =
+  locked t (fun () ->
+      List.map
+        (fun s -> (s, List.length (List.filter (fun j -> j.state = s) t.jobs)))
+        [ Queued; Running; Done; Failed; Cancelled ])
+
+let queued_specs t =
+  locked t (fun () ->
+      List.rev t.jobs
+      |> List.filter (fun j -> j.state = Queued || j.state = Running)
+      |> List.map (fun j -> j.spec))

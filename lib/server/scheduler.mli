@@ -1,0 +1,121 @@
+(** Multi-tenant job table and scheduling policy for the daemon.
+
+    The scheduler owns every job the daemon has admitted: a mutex-guarded
+    table mapping job ids to their spec, lifecycle state, timestamps,
+    event log and (once finished) result. The daemon's main loop asks
+    {!pick} for the next job to run; worker domains report back through
+    {!finish} / {!fail} / {!finished_cancelled}. All mutation goes
+    through this module's functions, so workers and the accept loop never
+    race on a job record.
+
+    Scheduling policy (deterministic given the table state):
+    {ol
+    {- strict priority — a higher [priority] job always runs first;}
+    {- fair share within a priority — among equal-priority queued jobs,
+       the tenant with the fewest currently running jobs wins, so one
+       tenant flooding the queue cannot starve the others;}
+    {- FIFO within a tenant — ties break on submission order.}}
+
+    Lifecycle: [Queued -> Running -> Done | Failed | Cancelled], plus
+    [Queued -> Cancelled] directly and [Queued/Done] at admission for
+    cache hits. Cancellation of a running job is cooperative: {!cancel}
+    sets a flag the worker polls at every round boundary (the engine's
+    checkpoint hook), and the worker then reports
+    {!finished_cancelled}. *)
+
+module Json := Accals_telemetry.Json
+module Protocol := Protocol
+
+type state = Queued | Running | Done | Failed | Cancelled
+
+val state_to_string : state -> string
+
+type job
+(** Opaque; read through {!view} / {!result} / {!events}. *)
+
+type t
+
+val create : unit -> t
+
+val submit :
+  t ->
+  spec:Protocol.job_spec ->
+  circuit:string ->
+  digest:string ->
+  key:string ->
+  ?cached:Cache.entry ->
+  unit ->
+  job
+(** Admit a job. With [cached] it is born [Done] with that result and
+    marked as a cache hit. [circuit] is the display name. *)
+
+val find : t -> string -> job option
+val all : t -> job list
+(** Submission order. *)
+
+val id : job -> string
+val spec : job -> Protocol.job_spec
+val key : job -> string
+val digest : job -> string
+val state : t -> job -> state
+
+val active_by_key : t -> string -> budget:float option -> job option
+(** The coalescing/in-memory-cache lookup: a [Queued]/[Running] job with
+    this cache key and the same [budget], or a successfully (converged,
+    non-degraded) [Done] one regardless of budget. *)
+
+val pick : t -> job option
+(** Select the next queued job under the scheduling policy, mark it
+    [Running], stamp [started_at], and return it. [None] when nothing is
+    queued. *)
+
+val cancel_requested : job -> bool
+(** Polled by workers (atomic flag; no lock needed on the hot path). *)
+
+val cancel :
+  t -> job -> [ `Cancelled_queued | `Cancel_requested | `Already_finished ]
+(** Cancel a queued job immediately, or request cooperative cancellation
+    of a running one. *)
+
+val finish : t -> job -> Cache.entry -> degraded:bool -> unit
+val fail : t -> job -> string -> unit
+val finished_cancelled : t -> job -> unit
+(** A worker observed the cancel flag and unwound. *)
+
+val record_event : t -> job -> string -> (string * Json.t) list -> unit
+(** Append a timestamped event to the job's JSONL event log. *)
+
+type view = {
+  v_id : string;
+  v_state : state;
+  v_circuit : string;
+  v_metric : string;
+  v_bound : float;
+  v_tenant : string;
+  v_priority : int;
+  v_cached : bool;
+  v_degraded : bool;
+  v_queue_position : int option;  (** 0-based among queued jobs, policy order *)
+  v_submitted_at : float;  (** wall clock, Unix epoch seconds *)
+  v_wait_s : float option;  (** submit -> start *)
+  v_run_s : float option;  (** start -> finish *)
+  v_failure : string option;
+}
+
+val view : t -> job -> view
+val result : t -> job -> Cache.entry option
+val events : t -> job -> Json.t list
+(** Chronological. *)
+
+val trace_events : t -> job -> Json.t list
+(** The job's lifecycle as Chrome trace-event objects (one "X" span for
+    the queued phase, one for the running phase, instants for the rest)
+    — loadable in Perfetto next to any engine trace. *)
+
+val counts : t -> (state * int) list
+(** Jobs per state, for gauges. *)
+
+val queued_specs : t -> Protocol.job_spec list
+(** Specs of jobs that have not finished (queued or still running), in
+    submission order — what a shutting-down daemon checkpoints so a
+    restart can re-admit them. *)

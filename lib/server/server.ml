@@ -1,0 +1,707 @@
+module Json = Accals_telemetry.Json
+module Clock = Accals_telemetry.Clock
+module Metrics = Accals_telemetry.Metrics
+module Checkpoint = Accals_resilience.Checkpoint
+module Network = Accals_network.Network
+module Blif = Accals_io.Blif
+module Bench_suite = Accals_circuits.Bench_suite
+module Engine = Accals.Engine
+module Config = Accals.Config
+module Report_json = Accals.Report_json
+
+type config = {
+  socket : string;
+  tcp : (string * int) option;
+  jobs : int;
+  max_concurrent : int;
+  cache_dir : string option;
+  state_dir : string option;
+  default_samples : int;
+  log : bool;
+}
+
+let default_config =
+  {
+    socket = "accals.sock";
+    tcp = None;
+    jobs = 0;
+    max_concurrent = 2;
+    cache_dir = None;
+    state_dir = None;
+    default_samples = 2048;
+    log = true;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  peer : string;
+  mutable pending : string;
+  mutable closed : bool;
+}
+
+type t = {
+  cfg : config;
+  per_job_jobs : int;  (** engine domains per running job *)
+  unix_listener : Unix.file_descr;
+  tcp_listener : Unix.file_descr option;
+  tcp_port : int option;
+  pipe_r : Unix.file_descr;  (** self-pipe: workers wake the select loop *)
+  pipe_w : Unix.file_descr;
+  sched : Scheduler.t;
+  cache : Cache.t option;
+  nets_mutex : Mutex.t;
+  nets : (string, Network.t) Hashtbl.t;  (** job id -> parsed circuit *)
+  mutable conns : conn list;
+  mutable workers : (unit Domain.t * Scheduler.job) list;
+  stopped : bool Atomic.t;
+  started_mono : float;
+  reg : Metrics.t;
+  m_submitted : Metrics.counter;
+  m_cache_hit_mem : Metrics.counter;
+  m_cache_hit_disk : Metrics.counter;
+  m_cache_miss : Metrics.counter;
+  g_queue : Metrics.gauge;
+  g_running : Metrics.gauge;
+  g_cache : Metrics.gauge;
+  g_conns : Metrics.gauge;
+  h_wait : Metrics.histogram;
+  h_run : Metrics.histogram;
+}
+
+exception Job_cancelled
+
+let queue_tag = "serve-queue"
+
+let log t fmt =
+  Printf.ksprintf
+    (fun s -> if t.cfg.log then Printf.eprintf "[accals-serve] %s\n%!" s)
+    fmt
+
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let resolve_jobs jobs =
+  if jobs > 0 then jobs
+  else max 1 (min 64 (Domain.recommended_domain_count ()))
+
+(* -- sockets ------------------------------------------------------------- *)
+
+let listen_unix path =
+  (match Unix.lstat path with
+   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+   | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path)
+   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd 64
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let listen_tcp host port =
+  let addr =
+    match Unix.inet_addr_of_string host with
+    | a -> a
+    | exception Failure _ -> (
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> failwith (Printf.sprintf "cannot resolve %S" host))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (addr, port));
+     Unix.listen fd 64
+   with e ->
+     Unix.close fd;
+     raise e);
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  (fd, bound_port)
+
+let wake t =
+  try ignore (Unix.write t.pipe_w (Bytes.make 1 'w') 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _)
+  -> ()
+
+let drain_pipe t =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.pipe_r buf 0 64 with
+    | n when n = 64 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  go ()
+
+(* -- construction -------------------------------------------------------- *)
+
+let create cfg =
+  let cfg = { cfg with jobs = resolve_jobs cfg.jobs } in
+  let max_concurrent = max 1 cfg.max_concurrent in
+  let cfg = { cfg with max_concurrent } in
+  let unix_listener = listen_unix cfg.socket in
+  let tcp_listener, tcp_port =
+    match cfg.tcp with
+    | None -> (None, None)
+    | Some (host, port) ->
+      let fd, bound = listen_tcp host port in
+      (Some fd, Some bound)
+  in
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  Unix.set_nonblock pipe_w;
+  let reg = Metrics.create () in
+  let counter ?labels name help = Metrics.counter reg ~help ?labels name in
+  let gauge name help = Metrics.gauge reg ~help name in
+  let latency_buckets =
+    [| 0.001; 0.005; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0; 30.0; 120.0; 600.0 |]
+  in
+  let t =
+    {
+      cfg;
+      per_job_jobs = max 1 (cfg.jobs / max_concurrent);
+      unix_listener;
+      tcp_listener;
+      tcp_port;
+      pipe_r;
+      pipe_w;
+      sched = Scheduler.create ();
+      cache = Option.map (fun dir -> Cache.create ~dir) cfg.cache_dir;
+      nets_mutex = Mutex.create ();
+      nets = Hashtbl.create 16;
+      conns = [];
+      workers = [];
+      stopped = Atomic.make false;
+      started_mono = Clock.now ();
+      reg;
+      m_submitted =
+        counter "accals_server_jobs_submitted_total" "Jobs admitted";
+      m_cache_hit_mem =
+        counter "accals_server_cache_hits_total"
+          ~labels:[ ("source", "memory") ]
+          "Submissions answered by a finished in-memory job";
+      m_cache_hit_disk =
+        counter "accals_server_cache_hits_total"
+          ~labels:[ ("source", "disk") ]
+          "Submissions answered by the on-disk result cache";
+      m_cache_miss =
+        counter "accals_server_cache_misses_total"
+          "Submissions that had to run the engine";
+      g_queue = gauge "accals_server_queue_depth" "Jobs waiting to run";
+      g_running = gauge "accals_server_running_jobs" "Jobs currently running";
+      g_cache = gauge "accals_server_cache_entries" "Result cache entries on disk";
+      g_conns = gauge "accals_server_connections" "Open client connections";
+      h_wait =
+        Metrics.histogram reg ~help:"Queue wait per job, seconds"
+          ~buckets:latency_buckets "accals_server_job_wait_seconds";
+      h_run =
+        Metrics.histogram reg ~help:"Engine run per job, seconds"
+          ~buckets:latency_buckets "accals_server_job_run_seconds";
+    }
+  in
+  log t "listening on %s%s (engine domains: %d total, %d per job, %d concurrent jobs)"
+    cfg.socket
+    (match tcp_port with
+     | Some p -> Printf.sprintf " and tcp port %d" p
+     | None -> "")
+    cfg.jobs t.per_job_jobs max_concurrent;
+  t
+
+let tcp_port t = t.tcp_port
+let stop t =
+  Atomic.set t.stopped true;
+  wake t
+
+let request_counter t name =
+  Metrics.counter t.reg ~help:"Requests handled"
+    ~labels:[ ("req", name) ]
+    "accals_server_requests_total"
+
+let finished_counter t state =
+  Metrics.counter t.reg ~help:"Jobs finished"
+    ~labels:[ ("state", state) ]
+    "accals_server_jobs_finished_total"
+
+let update_gauges t =
+  let counts = Scheduler.counts t.sched in
+  let n s = float_of_int (Option.value (List.assoc_opt s counts) ~default:0) in
+  Metrics.set t.g_queue (n Scheduler.Queued);
+  Metrics.set t.g_running (n Scheduler.Running);
+  Metrics.set t.g_conns (float_of_int (List.length t.conns));
+  Option.iter (fun c -> Metrics.set t.g_cache (float_of_int (Cache.size c))) t.cache
+
+let metrics t =
+  update_gauges t;
+  Metrics.snapshot t.reg
+
+(* -- admission ----------------------------------------------------------- *)
+
+let net_of_source = function
+  | Protocol.Named name -> (
+    match Bench_suite.load name with
+    | net -> Ok net
+    | exception Not_found -> Error (Printf.sprintf "unknown circuit %S" name))
+  | Protocol.Blif_text text -> (
+    match Blif.parse_string text with
+    | net -> Ok net
+    | exception Blif.Parse_error msg -> Error ("blif: " ^ msg))
+
+let retain_net t id net =
+  Mutex.protect t.nets_mutex (fun () -> Hashtbl.replace t.nets id net)
+
+let take_net t id =
+  Mutex.protect t.nets_mutex (fun () ->
+      let net = Hashtbl.find_opt t.nets id in
+      Hashtbl.remove t.nets id;
+      net)
+
+(* [admit] is the single path every submission takes (socket submits and
+   checkpointed re-admissions alike): parse, digest, cache-key, then
+   dedup against finished/in-flight work before queueing. *)
+let admit t (spec : Protocol.job_spec) =
+  match net_of_source spec.Protocol.source with
+  | Error _ as e -> e
+  | Ok net ->
+    let digest = Network.digest net in
+    let samples =
+      Option.value spec.Protocol.samples ~default:t.cfg.default_samples
+    in
+    let key =
+      Cache.key ~digest ~metric:spec.Protocol.metric ~bound:spec.Protocol.bound
+        ~samples ~seed:spec.Protocol.seed
+    in
+    (match Scheduler.active_by_key t.sched key ~budget:spec.Protocol.budget with
+     | Some j ->
+       let done_ = Scheduler.state t.sched j = Scheduler.Done in
+       if done_ then Metrics.incr t.m_cache_hit_mem;
+       log t "%s %s onto %s" (if done_ then "cache hit (memory):" else "coalesced")
+         (Network.name net) (Scheduler.id j);
+       Ok (j, `Coalesced done_)
+     | None -> (
+       Metrics.incr t.m_submitted;
+       match Option.bind t.cache (fun c -> Cache.find c key) with
+       | Some entry ->
+         Metrics.incr t.m_cache_hit_disk;
+         let j =
+           Scheduler.submit t.sched ~spec ~circuit:(Network.name net) ~digest
+             ~key ~cached:entry ()
+         in
+         log t "cache hit (disk): %s -> %s" (Network.name net) (Scheduler.id j);
+         Ok (j, `Cached)
+       | None ->
+         Metrics.incr t.m_cache_miss;
+         let j =
+           Scheduler.submit t.sched ~spec ~circuit:(Network.name net) ~digest
+             ~key ()
+         in
+         retain_net t (Scheduler.id j) net;
+         log t "queued %s as %s (key %s)" (Network.name net) (Scheduler.id j)
+           key;
+         Ok (j, `Queued)))
+
+let restore_queue t =
+  match t.cfg.state_dir with
+  | None -> ()
+  | Some dir -> (
+    let path = Filename.concat dir "queue.ckpt" in
+    match
+      (try Checkpoint.load ~path ~tag:queue_tag
+       with Checkpoint.Corrupt msg ->
+         log t "ignoring corrupt queue checkpoint: %s" msg;
+         None)
+    with
+    | None -> ()
+    | Some (specs : Protocol.job_spec list) ->
+      (try Sys.remove path with Sys_error _ -> ());
+      List.iter
+        (fun spec ->
+          match admit t spec with
+          | Ok (j, _) -> log t "re-admitted %s from queue checkpoint" (Scheduler.id j)
+          | Error msg -> log t "dropped checkpointed job: %s" msg)
+        specs)
+
+(* -- workers ------------------------------------------------------------- *)
+
+let worker_body t job net =
+  let spec = Scheduler.spec job in
+  (try
+     let samples =
+       Option.value spec.Protocol.samples ~default:t.cfg.default_samples
+     in
+     let base =
+       {
+         Config.default with
+         Config.samples;
+         seed = spec.Protocol.seed;
+         jobs = t.per_job_jobs;
+         run_deadline = spec.Protocol.budget;
+       }
+     in
+     let config = Config.for_network ~base net in
+     (* Raising from the checkpoint hook aborts the run at a round
+        boundary and unwinds through the engine's [Fun.protect], which
+        shuts the job's pool down — cancellation frees its domains. *)
+     let checkpoint _snap =
+       if Scheduler.cancel_requested job then raise Job_cancelled
+     in
+     let report =
+       Engine.run ~config ~checkpoint net ~metric:spec.Protocol.metric
+         ~error_bound:spec.Protocol.bound
+     in
+     let entry =
+       {
+         Cache.key = Scheduler.key job;
+         report = Report_json.to_json ~rounds:true report;
+         blif = Blif.to_string report.Engine.approximate;
+       }
+     in
+     Scheduler.finish t.sched job entry ~degraded:report.Engine.degraded;
+     (* A budget-degraded result is request-specific; only converged
+        results are content-addressable. *)
+     if not report.Engine.degraded then
+       Option.iter
+         (fun c ->
+           try Cache.store c entry
+           with e ->
+             log t "cache store failed for %s: %s" (Scheduler.key job)
+               (Printexc.to_string e))
+         t.cache;
+     Metrics.incr (finished_counter t "done")
+   with
+   | Job_cancelled ->
+     Scheduler.finished_cancelled t.sched job;
+     Metrics.incr (finished_counter t "cancelled")
+   | e ->
+     Scheduler.fail t.sched job (Printexc.to_string e);
+     Metrics.incr (finished_counter t "failed"));
+  (let v = Scheduler.view t.sched job in
+   Option.iter (Metrics.observe t.h_wait) v.Scheduler.v_wait_s;
+   Option.iter (Metrics.observe t.h_run) v.Scheduler.v_run_s);
+  wake t
+
+let reap t =
+  let finished, alive =
+    List.partition
+      (fun (_, job) -> Scheduler.state t.sched job <> Scheduler.Running)
+      t.workers
+  in
+  List.iter (fun (d, _) -> Domain.join d) finished;
+  t.workers <- alive
+
+let dispatch t =
+  let continue = ref true in
+  while !continue && List.length t.workers < t.cfg.max_concurrent do
+    match Scheduler.pick t.sched with
+    | None -> continue := false
+    | Some job -> (
+      match take_net t (Scheduler.id job) with
+      | None -> Scheduler.fail t.sched job "internal error: circuit not retained"
+      | Some net ->
+        log t "start %s" (Scheduler.id job);
+        let d = Domain.spawn (fun () -> worker_body t job net) in
+        t.workers <- (d, job) :: t.workers)
+  done
+
+(* -- request handling ---------------------------------------------------- *)
+
+let opt_json f = function None -> Json.Null | Some x -> f x
+
+let view_fields (v : Scheduler.view) =
+  [
+    ("job", Json.String v.Scheduler.v_id);
+    ("state", Json.String (Scheduler.state_to_string v.Scheduler.v_state));
+    ("circuit", Json.String v.Scheduler.v_circuit);
+    ("metric", Json.String v.Scheduler.v_metric);
+    ("bound", Json.Float v.Scheduler.v_bound);
+    ("tenant", Json.String v.Scheduler.v_tenant);
+    ("priority", Json.Int v.Scheduler.v_priority);
+    ("cached", Json.Bool v.Scheduler.v_cached);
+    ("degraded", Json.Bool v.Scheduler.v_degraded);
+    ("queue_position", opt_json (fun i -> Json.Int i) v.Scheduler.v_queue_position);
+    ("submitted_at", Json.Float v.Scheduler.v_submitted_at);
+    ("wait_s", opt_json (fun x -> Json.Float x) v.Scheduler.v_wait_s);
+    ("run_s", opt_json (fun x -> Json.Float x) v.Scheduler.v_run_s);
+    ("failure", opt_json (fun s -> Json.String s) v.Scheduler.v_failure);
+  ]
+
+let with_job t id f =
+  match Scheduler.find t.sched id with
+  | None -> Protocol.error_response (Printf.sprintf "unknown job %S" id)
+  | Some j -> f j
+
+let handle_submit t spec =
+  match admit t spec with
+  | Error msg -> Protocol.error_response msg
+  | Ok (j, how) ->
+    let v = Scheduler.view t.sched j in
+    let cached =
+      match how with `Cached | `Coalesced true -> true | _ -> false
+    in
+    let coalesced = match how with `Coalesced _ -> true | _ -> false in
+    (* The view's "cached" field describes the job; for a submit response
+       the effective answer (which includes coalescing onto a finished
+       duplicate) is what the client needs. *)
+    let fields =
+      List.filter (fun (k, _) -> k <> "cached") (view_fields v)
+    in
+    Protocol.ok_response
+      (fields
+      @ [ ("cached", Json.Bool cached); ("coalesced", Json.Bool coalesced) ])
+
+let handle_request t req =
+  match req with
+  | Protocol.Submit spec -> handle_submit t spec
+  | Protocol.Status id -> with_job t id (fun j ->
+      Protocol.ok_response (view_fields (Scheduler.view t.sched j)))
+  | Protocol.Result id ->
+    with_job t id (fun j ->
+        let fields = view_fields (Scheduler.view t.sched j) in
+        match Scheduler.result t.sched j with
+        | Some e ->
+          Protocol.ok_response
+            (fields
+            @ [ ("report", e.Cache.report); ("blif", Json.String e.Cache.blif) ])
+        | None -> Protocol.ok_response fields)
+  | Protocol.Cancel id ->
+    with_job t id (fun j ->
+        let outcome =
+          match Scheduler.cancel t.sched j with
+          | `Cancelled_queued -> "cancelled"
+          | `Cancel_requested -> "cancel_requested"
+          | `Already_finished -> "already_finished"
+        in
+        Protocol.ok_response
+          (view_fields (Scheduler.view t.sched j)
+          @ [ ("cancel", Json.String outcome) ]))
+  | Protocol.List ->
+    let jobs =
+      List.map
+        (fun j -> Json.Obj (view_fields (Scheduler.view t.sched j)))
+        (Scheduler.all t.sched)
+    in
+    Protocol.ok_response [ ("jobs", Json.List jobs) ]
+  | Protocol.Metrics ->
+    Protocol.ok_response
+      [ ("metrics", Json.String (Metrics.to_prometheus (metrics t))) ]
+  | Protocol.Trace id ->
+    with_job t id (fun j ->
+        Protocol.ok_response
+          [ ("trace", Json.List (Scheduler.trace_events t.sched j)) ])
+  | Protocol.Events id ->
+    with_job t id (fun j ->
+        Protocol.ok_response
+          [ ("events", Json.List (Scheduler.events t.sched j)) ])
+  | Protocol.Ping ->
+    Protocol.ok_response
+      [
+        ("pong", Json.Bool true);
+        ("uptime_s", Json.Float (Clock.now () -. t.started_mono));
+        ("jobs", Json.Int t.cfg.jobs);
+        ("max_concurrent", Json.Int t.cfg.max_concurrent);
+      ]
+  | Protocol.Shutdown ->
+    Atomic.set t.stopped true;
+    Protocol.ok_response [ ("stopping", Json.Bool true) ]
+
+let request_name = function
+  | Protocol.Submit _ -> "submit"
+  | Protocol.Status _ -> "status"
+  | Protocol.Result _ -> "result"
+  | Protocol.Cancel _ -> "cancel"
+  | Protocol.List -> "list"
+  | Protocol.Metrics -> "metrics"
+  | Protocol.Trace _ -> "trace"
+  | Protocol.Events _ -> "events"
+  | Protocol.Ping -> "ping"
+  | Protocol.Shutdown -> "shutdown"
+
+let handle_line t line =
+  match Protocol.parse_request line with
+  | Error msg ->
+    Metrics.incr (request_counter t "invalid");
+    Protocol.error_response msg
+  | Ok req ->
+    Metrics.incr (request_counter t (request_name req));
+    handle_request t req
+
+(* -- connection plumbing ------------------------------------------------- *)
+
+let close_conn t c =
+  if not c.closed then begin
+    c.closed <- true;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    t.conns <- List.filter (fun c' -> c' != c) t.conns
+  end
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd b off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let send t c resp =
+  try write_all c.fd (Json.to_string resp ^ "\n")
+  with Unix.Unix_error _ ->
+    log t "dropping connection %s (write failed)" c.peer;
+    close_conn t c
+
+let accept_conn t listener =
+  match Unix.accept listener with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    -> ()
+  | fd, addr ->
+    let peer =
+      match addr with
+      | Unix.ADDR_UNIX _ -> "unix"
+      | Unix.ADDR_INET (a, p) ->
+        Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+    in
+    t.conns <- { fd; peer; pending = ""; closed = false } :: t.conns
+
+let rec process_pending t c =
+  if not c.closed then
+    match String.index_opt c.pending '\n' with
+    | None ->
+      if String.length c.pending > Protocol.max_request_bytes then begin
+        send t c (Protocol.error_response "request exceeds maximum size");
+        close_conn t c
+      end
+    | Some i ->
+      let line =
+        let raw = String.sub c.pending 0 i in
+        if raw <> "" && raw.[String.length raw - 1] = '\r' then
+          String.sub raw 0 (String.length raw - 1)
+        else raw
+      in
+      c.pending <-
+        String.sub c.pending (i + 1) (String.length c.pending - i - 1);
+      if String.trim line <> "" then send t c (handle_line t line);
+      process_pending t c
+
+let handle_readable t c =
+  let buf = Bytes.create 65536 in
+  match Unix.read c.fd buf 0 65536 with
+  | 0 -> close_conn t c
+  | n ->
+    c.pending <- c.pending ^ Bytes.sub_string buf 0 n;
+    process_pending t c
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    -> ()
+  | exception Unix.Unix_error _ -> close_conn t c
+
+(* -- main loop and teardown ---------------------------------------------- *)
+
+let write_text_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let drain t =
+  log t "shutting down: %d connection(s), %d worker(s)" (List.length t.conns)
+    (List.length t.workers);
+  (* Checkpoint unfinished work first, then cancel it: a restart with the
+     same state dir re-admits exactly what this process did not finish. *)
+  let pending = Scheduler.queued_specs t.sched in
+  (match t.cfg.state_dir with
+   | Some dir ->
+     ensure_dir dir;
+     let path = Filename.concat dir "queue.ckpt" in
+     if pending = [] then (try Sys.remove path with Sys_error _ -> ())
+     else (
+       try
+         Checkpoint.save ~path ~tag:queue_tag pending;
+         log t "checkpointed %d unfinished job(s)" (List.length pending)
+       with e -> log t "queue checkpoint failed: %s" (Printexc.to_string e))
+   | None ->
+     if pending <> [] then
+       log t "dropping %d unfinished job(s) (no state dir)"
+         (List.length pending));
+  List.iter
+    (fun j -> ignore (Scheduler.cancel t.sched j))
+    (Scheduler.all t.sched);
+  List.iter (fun (d, _) -> Domain.join d) t.workers;
+  t.workers <- [];
+  (* Flush observability artifacts so a post-mortem needs no live daemon. *)
+  (match t.cfg.state_dir with
+   | None -> ()
+   | Some dir ->
+     ensure_dir dir;
+     (try
+        write_text_file
+          (Filename.concat dir "metrics.prom")
+          (Metrics.to_prometheus (metrics t))
+      with Sys_error _ -> ());
+     (try
+        let buf = Buffer.create 4096 in
+        List.iter
+          (fun j ->
+            List.iter
+              (fun ev ->
+                Buffer.add_string buf (Json.to_string ev);
+                Buffer.add_char buf '\n')
+              (Scheduler.events t.sched j))
+          (Scheduler.all t.sched);
+        write_text_file (Filename.concat dir "events.jsonl") (Buffer.contents buf)
+      with Sys_error _ -> ());
+     let traces = Filename.concat dir "traces" in
+     ensure_dir traces;
+     List.iter
+       (fun j ->
+         try
+           Json.write_file
+             (Filename.concat traces (Scheduler.id j ^ ".trace.json"))
+             (Json.Obj
+                [
+                  ("traceEvents",
+                   Json.List (Scheduler.trace_events t.sched j));
+                  ("displayTimeUnit", Json.String "ms");
+                ])
+         with Sys_error _ -> ())
+       (Scheduler.all t.sched));
+  List.iter (fun c -> close_conn t c) t.conns;
+  (try Unix.close t.unix_listener with Unix.Unix_error _ -> ());
+  Option.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    t.tcp_listener;
+  (try Unix.unlink t.cfg.socket with Unix.Unix_error _ | Sys_error _ -> ());
+  (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.pipe_w with Unix.Unix_error _ -> ());
+  log t "bye"
+
+let run t =
+  restore_queue t;
+  let listeners =
+    t.unix_listener
+    :: (match t.tcp_listener with Some fd -> [ fd ] | None -> [])
+  in
+  while not (Atomic.get t.stopped) do
+    reap t;
+    dispatch t;
+    let read_set = (t.pipe_r :: listeners) @ List.map (fun c -> c.fd) t.conns in
+    match Unix.select read_set [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+      List.iter
+        (fun fd ->
+          if fd = t.pipe_r then drain_pipe t
+          else if List.memq fd listeners then accept_conn t fd
+          else
+            match List.find_opt (fun c -> c.fd = fd) t.conns with
+            | Some c -> handle_readable t c
+            | None -> ())
+        ready
+  done;
+  drain t

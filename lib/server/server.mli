@@ -1,0 +1,72 @@
+(** The [accals serve] daemon: a synthesis-as-a-service front end over
+    the engine.
+
+    One process owns a listening Unix-domain socket (and, optionally, a
+    loopback TCP socket), a {!Scheduler} job table, a {!Cache} of
+    finished results, and a pool of worker domains. Clients speak the
+    newline-delimited JSON protocol of {!Protocol}: one request object
+    per line, one response object per line, connections are persistent.
+
+    Concurrency model: the main loop is single-threaded ([Unix.select]
+    over the listeners, the live connections and a self-pipe) and is the
+    only thread that touches sockets. Each running job gets its own
+    worker domain, which runs [Engine.run] with [jobs = max 1 (jobs /
+    max_concurrent)] domains of its own and reports back through the
+    mutex-guarded scheduler; a one-byte write to the self-pipe wakes the
+    select loop so finished workers are reaped promptly. Cancellation is
+    cooperative: the worker's checkpoint hook polls the job's cancel
+    flag at every round boundary and unwinds through the engine's
+    [Fun.protect], so the job's domains are released.
+
+    Admission de-duplicates work at two levels keyed by
+    {!Cache.key} (canonical circuit digest + result-determining
+    parameters): a disk hit answers immediately with the stored result,
+    and a duplicate of a queued/running job coalesces onto it instead of
+    running twice.
+
+    Crash safety: on graceful shutdown the daemon checkpoints the specs
+    of unfinished jobs to [state_dir/queue.ckpt]
+    ({!Accals_resilience.Checkpoint}) and re-admits them on the next
+    start; the result cache lives on disk and needs no recovery. *)
+
+module Metrics := Accals_telemetry.Metrics
+
+type config = {
+  socket : string;  (** Unix-domain socket path *)
+  tcp : (string * int) option;  (** optional [host, port]; port 0 = ephemeral *)
+  jobs : int;  (** total worker domains to spread over running jobs *)
+  max_concurrent : int;  (** jobs running simultaneously *)
+  cache_dir : string option;  (** [None] disables the on-disk cache *)
+  state_dir : string option;  (** queue checkpoint + shutdown artifacts *)
+  default_samples : int;  (** when a submit omits [samples] *)
+  log : bool;  (** chatter on stderr *)
+}
+
+val default_config : config
+(** [socket = "accals.sock"], no TCP, [jobs = 0] (auto-detect),
+    [max_concurrent = 2], no cache, no state dir, [default_samples =
+    2048], logging on. *)
+
+type t
+
+val create : config -> t
+(** Bind the sockets, open the cache, re-admit any checkpointed queue.
+    Raises [Unix.Unix_error] / [Failure] when a socket cannot be
+    bound. *)
+
+val tcp_port : t -> int option
+(** The bound TCP port (useful with port 0). *)
+
+val run : t -> unit
+(** Serve until {!stop} is called (from a signal handler or another
+    domain) or a client sends [shutdown]. On return the daemon has
+    cancelled outstanding jobs, joined every worker, checkpointed the
+    queue, written final metrics/event artifacts to [state_dir], and
+    closed and unlinked its sockets. *)
+
+val stop : t -> unit
+(** Request a graceful shutdown; safe to call from a signal handler
+    (atomic flag + self-pipe write). *)
+
+val metrics : t -> Metrics.snapshot
+(** Current server registry snapshot (jobs, cache, queue gauges). *)

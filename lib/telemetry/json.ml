@@ -100,8 +100,16 @@ let write_file path v =
 
 exception Parse_error of string
 
-let parse_exn s =
+let default_max_depth = 512
+
+let parse_exn ?(max_depth = default_max_depth) ?max_bytes s =
   let n = String.length s in
+  (match max_bytes with
+   | Some limit when n > limit ->
+     raise
+       (Parse_error
+          (Printf.sprintf "payload too large: %d bytes (limit %d)" n limit))
+   | _ -> ());
   let pos = ref 0 in
   let fail fmt =
     Printf.ksprintf
@@ -157,10 +165,15 @@ let parse_exn s =
            if !pos + 4 > n then fail "truncated \\u escape";
            let hex = String.sub s !pos 4 in
            pos := !pos + 4;
-           let code =
-             try int_of_string ("0x" ^ hex)
-             with _ -> fail "bad \\u escape %s" hex
-           in
+           (* Exactly four hex digits — [int_of_string "0x..."] is too
+              lenient for untrusted input (it accepts underscores and an
+              empty digit string would slip through on short tails). *)
+           String.iter
+             (function
+               | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+               | _ -> fail "bad \\u escape %s" hex)
+             hex;
+           let code = int_of_string ("0x" ^ hex) in
            (* Encode the code point as UTF-8; surrogate pairs are not
               recombined (the validators never feed us any). *)
            if code < 0x80 then Buffer.add_char buf (Char.chr code)
@@ -176,6 +189,11 @@ let parse_exn s =
          | c -> fail "bad escape \\%c" c);
         go ()
       end
+      else if Char.code c < 0x20 then
+        (* RFC 8259: control characters must be escaped.  The printer
+           always escapes them, so rejecting raw ones loses nothing and
+           closes a smuggling channel on untrusted input. *)
+        fail "unescaped control character 0x%02x in string" (Char.code c)
       else begin
         Buffer.add_char buf c;
         go ()
@@ -219,7 +237,7 @@ let parse_exn s =
       | Some i -> Int i
       | None -> Float (float_of_string text)
   in
-  let rec parse_value () =
+  let rec parse_value depth =
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -228,6 +246,10 @@ let parse_exn s =
     | Some 'f' -> literal "false" (Bool false)
     | Some 'n' -> literal "null" Null
     | Some '[' ->
+      (* The depth limit bounds both this parser's recursion (stack
+         safety on adversarial input) and what a hostile client can make
+         downstream consumers walk. *)
+      if depth >= max_depth then fail "nesting deeper than %d" max_depth;
       advance ();
       skip_ws ();
       if peek () = Some ']' then begin
@@ -237,7 +259,7 @@ let parse_exn s =
       else begin
         let items = ref [] in
         let rec items_loop () =
-          items := parse_value () :: !items;
+          items := parse_value (depth + 1) :: !items;
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -250,6 +272,7 @@ let parse_exn s =
         List (List.rev !items)
       end
     | Some '{' ->
+      if depth >= max_depth then fail "nesting deeper than %d" max_depth;
       advance ();
       skip_ws ();
       if peek () = Some '}' then begin
@@ -263,7 +286,7 @@ let parse_exn s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           fields := (k, v) :: !fields;
           skip_ws ();
           match peek () with
@@ -278,16 +301,17 @@ let parse_exn s =
       end
     | Some _ -> parse_number ()
   in
-  let v = parse_value () in
+  let v = parse_value 0 in
   skip_ws ();
   if !pos <> n then fail "trailing garbage";
   v
 
-let parse_exn s =
-  try parse_exn s with Parse_error msg -> failwith ("Json.parse: " ^ msg)
+let parse_exn ?max_depth ?max_bytes s =
+  try parse_exn ?max_depth ?max_bytes s
+  with Parse_error msg -> failwith ("Json.parse: " ^ msg)
 
-let parse s =
-  match parse_exn s with
+let parse ?max_depth ?max_bytes s =
+  match parse_exn ?max_depth ?max_bytes s with
   | v -> Ok v
   | exception Failure msg -> Error msg
 

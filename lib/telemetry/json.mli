@@ -30,14 +30,29 @@ val write_file : string -> t -> unit
 val escape : string -> string
 (** The JSON string-literal encoding of a string, without quotes. *)
 
-(** {1 Parsing} *)
+(** {1 Parsing}
 
-val parse : string -> (t, string) result
-(** Strict JSON parser (no trailing garbage, no comments, no trailing
-    commas). Numbers without [.], [e] or [E] that fit in an OCaml [int]
-    parse as [Int], everything else as [Float]. *)
+    The parser is strict enough for untrusted input (the [accals serve]
+    daemon parses request bodies with it): no trailing garbage, no
+    comments, no trailing commas, exactly four hex digits per [\u]
+    escape, and raw control characters inside strings are rejected
+    (RFC 8259 requires them escaped; the printer always escapes them). *)
 
-val parse_exn : string -> t
+val default_max_depth : int
+(** Nesting limit applied when [max_depth] is not given (512). *)
+
+val parse : ?max_depth:int -> ?max_bytes:int -> string -> (t, string) result
+(** Strict JSON parser. Numbers without [.], [e] or [E] that fit in an
+    OCaml [int] parse as [Int], everything else as [Float].
+
+    [max_depth] (default {!default_max_depth}) bounds array/object
+    nesting — it protects the parser's own recursion and every
+    downstream consumer from adversarially deep documents. [max_bytes]
+    (default: unlimited) rejects oversized payloads before any parsing
+    work is done; servers should set it from their request-size
+    policy. *)
+
+val parse_exn : ?max_depth:int -> ?max_bytes:int -> string -> t
 (** Raises [Failure] with the parse error. *)
 
 (** {1 Accessors (for tests and validators)} *)

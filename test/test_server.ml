@@ -1,0 +1,596 @@
+(* lib/server: circuit digests, hardened JSON parsing, the wire protocol,
+   the result cache, the scheduling policy, graceful shutdown, and an
+   end-to-end daemon round-trip checked against one-shot engine runs. *)
+
+open Accals_network
+module Engine = Accals.Engine
+module Config = Accals.Config
+module Metric = Accals_metrics.Metric
+module Bench_suite = Accals_circuits.Bench_suite
+module Blif = Accals_io.Blif
+module Json = Accals_telemetry.Json
+module Protocol = Accals_server.Protocol
+module Cache = Accals_server.Cache
+module Scheduler = Accals_server.Scheduler
+module Graceful = Accals_server.Graceful
+module Server = Accals_server.Server
+module Client = Accals_server.Client
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+(* --- Network.digest --- *)
+
+(* The same two-output function, assembled in different node orders and
+   with an optional dead node and different names: the canonical digest
+   must not see any of that. *)
+let build_pair ~scrambled ~with_dead ~names =
+  let t = Network.create ~name:(fst names) () in
+  let a = Network.add_input t "a" in
+  let b = Network.add_input t "b" in
+  if scrambled then begin
+    let o = Network.add_node t Gate.Or [| a; b |] in
+    if with_dead then ignore (Network.add_node t Gate.Nand [| a; a |]);
+    let n = Network.add_node t Gate.And [| a; b |] in
+    let x = Network.add_node t Gate.Xor [| n; o |] in
+    Network.set_outputs t [| (snd names, x); ("carry", n) |]
+  end
+  else begin
+    let n = Network.add_node t Gate.And [| a; b |] in
+    let o = Network.add_node t Gate.Or [| a; b |] in
+    let x = Network.add_node t Gate.Xor [| n; o |] in
+    Network.set_outputs t [| (snd names, x); ("carry", n) |]
+  end;
+  t
+
+let test_digest_renumbering () =
+  let d1 =
+    Network.digest
+      (build_pair ~scrambled:false ~with_dead:false ~names:("m1", "y"))
+  in
+  let d2 =
+    Network.digest
+      (build_pair ~scrambled:true ~with_dead:false ~names:("m2", "z"))
+  in
+  let d3 =
+    Network.digest
+      (build_pair ~scrambled:true ~with_dead:true ~names:("m3", "w"))
+  in
+  check_string "node order does not change the digest" d1 d2;
+  check_string "dead nodes and names do not change the digest" d1 d3;
+  (* A benchmark circuit keeps its digest when rebuilt node by node in
+     reverse-DFS order — every internal id changes, the structure does
+     not. *)
+  let net = Bench_suite.load "mtp8" in
+  let rebuilt = Network.create ~name:"rebuilt" () in
+  let map = Hashtbl.create 97 in
+  let input_names = Network.input_names net in
+  Array.iteri
+    (fun k i -> Hashtbl.replace map i (Network.add_input rebuilt input_names.(k)))
+    (Network.inputs net);
+  let rec clone i =
+    match Hashtbl.find_opt map i with
+    | Some j -> j
+    | None ->
+      let fis = Network.fanins net i in
+      (* visit fanins right-to-left so sibling insertion order flips *)
+      for k = Array.length fis - 1 downto 0 do
+        ignore (clone fis.(k))
+      done;
+      let j =
+        Network.add_node rebuilt (Network.op net i)
+          (Array.map (fun f -> Hashtbl.find map f) fis)
+      in
+      Hashtbl.replace map i j;
+      j
+  in
+  let outs = Network.outputs net in
+  let names = Network.output_names net in
+  (* clone outputs last-to-first: maximally different creation order *)
+  for k = Array.length outs - 1 downto 0 do
+    ignore (clone outs.(k))
+  done;
+  Network.set_outputs rebuilt
+    (Array.mapi (fun k o -> (names.(k), Hashtbl.find map o)) outs);
+  Network.validate rebuilt;
+  check_string "benchmark digest survives a full renumbering"
+    (Network.digest net) (Network.digest rebuilt)
+
+let test_digest_sensitivity () =
+  let base = build_pair ~scrambled:false ~with_dead:false ~names:("m", "y") in
+  let d0 = Network.digest base in
+  (* Single-gate edit: Or -> Nor. *)
+  let edited = build_pair ~scrambled:false ~with_dead:false ~names:("m", "y") in
+  let o_node =
+    (* the Or node is the unique Or in the network *)
+    let found = ref (-1) in
+    for i = 0 to Network.num_nodes edited - 1 do
+      if Network.op edited i = Gate.Or then found := i
+    done;
+    !found
+  in
+  Network.replace edited o_node Gate.Nor (Network.fanins edited o_node);
+  check "single-gate edit changes the digest" true
+    (d0 <> Network.digest edited);
+  (* Positional input swap changes the function, so it must change the
+     digest even though the graph shape is identical. *)
+  let asym swap =
+    let t = Network.create ~name:"asym" () in
+    let i0 = Network.add_input t "a" in
+    let i1 = Network.add_input t "b" in
+    let x, y = if swap then (i1, i0) else (i0, i1) in
+    let n = Network.add_node t Gate.Not [| y |] in
+    let g = Network.add_node t Gate.And [| x; n |] in
+    Network.set_outputs t [| ("y", g) |];
+    Network.digest t
+  in
+  check "input declaration order is significant" true (asym false <> asym true);
+  check "different circuits have different digests" true
+    (Network.digest (Bench_suite.load "rca32")
+    <> Network.digest (Bench_suite.load "mtp8"))
+
+(* --- hardened JSON parsing --- *)
+
+let test_json_hardening () =
+  let deep n = String.make n '[' ^ "1" ^ String.make n ']' in
+  check "shallow nesting parses" true
+    (Result.is_ok (Json.parse (deep 100)));
+  check "nesting beyond the depth limit is rejected" true
+    (Result.is_error (Json.parse (deep (Json.default_max_depth + 1))));
+  check "custom depth limit applies" true
+    (Result.is_error (Json.parse ~max_depth:10 (deep 11)));
+  check "oversized payload is rejected" true
+    (Result.is_error (Json.parse ~max_bytes:8 "\"123456789\""));
+  check "payload within the byte limit parses" true
+    (Result.is_ok (Json.parse ~max_bytes:64 "\"small\""));
+  (match Json.parse {|"A"|} with
+  | Ok (Json.String "A") -> ()
+  | _ -> Alcotest.fail "valid \\u escape");
+  check "non-hex \\u escape is rejected" true
+    (Result.is_error (Json.parse {|"\u12G4"|}));
+  check "underscore in \\u escape is rejected" true
+    (Result.is_error (Json.parse {|"\u00_1"|}));
+  check "truncated \\u escape is rejected" true
+    (Result.is_error (Json.parse {|"\u00"|}));
+  check "unescaped control character is rejected" true
+    (Result.is_error (Json.parse "\"a\x01b\""));
+  check "trailing garbage is rejected" true
+    (Result.is_error (Json.parse "{} x"));
+  check "unknown escape is rejected" true
+    (Result.is_error (Json.parse {|"\q"|}))
+
+(* --- protocol --- *)
+
+let spec ?(name = "rca32") ?(bound = 0.05) ?budget ?(priority = 0)
+    ?(tenant = "default") ?samples ?(seed = 1) () =
+  {
+    Protocol.source = Protocol.Named name;
+    metric = Metric.Error_rate;
+    bound;
+    budget;
+    priority;
+    tenant;
+    samples;
+    seed;
+  }
+
+let test_protocol_roundtrip () =
+  let requests =
+    [
+      Protocol.Submit (spec ());
+      Protocol.Submit
+        (spec ~bound:0.01 ~budget:2.5 ~priority:3 ~tenant:"t" ~samples:64
+           ~seed:9 ());
+      Protocol.Submit
+        { (spec ()) with Protocol.source = Protocol.Blif_text "blif here" };
+      Protocol.Status "j-000001";
+      Protocol.Result "j-000002";
+      Protocol.Cancel "j-000003";
+      Protocol.List;
+      Protocol.Metrics;
+      Protocol.Trace "j-000004";
+      Protocol.Events "j-000005";
+      Protocol.Ping;
+      Protocol.Shutdown;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.parse_request (Json.to_string (Protocol.request_to_json r)) with
+      | Ok r' -> check "request survives the wire" true (r = r')
+      | Error msg -> Alcotest.failf "round-trip failed: %s" msg)
+    requests
+
+let test_protocol_validation () =
+  let reject s =
+    check (Printf.sprintf "%S rejected" s) true
+      (Result.is_error (Protocol.parse_request s))
+  in
+  reject "not json";
+  reject {|{"req": "warp"}|};
+  reject {|{"req": "submit"}|};
+  reject {|{"req": "submit", "name": "rca32"}|};
+  reject {|{"req": "submit", "name": "rca32", "metric": "XYZ", "bound": 0.1}|};
+  reject {|{"req": "submit", "name": "rca32", "metric": "ER", "bound": -1}|};
+  reject {|{"req": "submit", "name": "rca32", "metric": "ER", "bound": 0.1, "budget": 0}|};
+  reject {|{"req": "submit", "name": "rca32", "metric": "ER", "bound": 0.1, "samples": 0}|};
+  reject
+    {|{"req": "submit", "name": "rca32", "circuit": ".model m", "metric": "ER", "bound": 0.1}|};
+  reject {|{"req": "status"}|};
+  match
+    Protocol.parse_request
+      {|{"req": "submit", "name": "rca32", "metric": "ER", "bound": 0.1}|}
+  with
+  | Ok (Protocol.Submit s) ->
+    check "defaults" true
+      (s.Protocol.priority = 0 && s.Protocol.tenant = "default"
+      && s.Protocol.samples = None && s.Protocol.seed = 1
+      && s.Protocol.budget = None)
+  | _ -> Alcotest.fail "minimal submit should parse"
+
+(* --- result cache --- *)
+
+let test_cache_roundtrip () =
+  let dir = temp_dir "accals_cache" in
+  let cache = Cache.create ~dir in
+  let key =
+    Cache.key ~digest:"0123456789abcdef" ~metric:Metric.Error_rate ~bound:0.05
+      ~samples:256 ~seed:1
+  in
+  check "fresh cache misses" true (Cache.find cache key = None);
+  let entry =
+    { Cache.key; report = Json.Obj [ ("x", Json.Int 1) ]; blif = ".model m\n" }
+  in
+  Cache.store cache entry;
+  (match Cache.find cache key with
+  | Some e ->
+    check_string "blif survives" entry.Cache.blif e.Cache.blif;
+    check "report survives" true (e.Cache.report = entry.Cache.report)
+  | None -> Alcotest.fail "stored entry not found");
+  check_int "one entry on disk" 1 (Cache.size cache);
+  (* A separate handle on the same directory sees the entry (restart). *)
+  let cache2 = Cache.create ~dir in
+  check "entry survives a reopen" true (Cache.find cache2 key <> None);
+  (* Corruption behaves as a miss, never an error. *)
+  let oc = open_out (Filename.concat dir (key ^ ".json")) in
+  output_string oc "{ corrupt";
+  close_out oc;
+  check "corrupt entry is a miss" true (Cache.find cache key = None)
+
+let test_cache_keys () =
+  let key ?(digest = "d") ?(bound = 0.05) ?(samples = 256) ?(seed = 1)
+      ?(metric = Metric.Error_rate) () =
+    Cache.key ~digest ~metric ~bound ~samples ~seed
+  in
+  let base = key () in
+  check "digest is part of the key" true (base <> key ~digest:"e" ());
+  check "bound is part of the key" true (base <> key ~bound:0.04 ());
+  check "samples are part of the key" true (base <> key ~samples:512 ());
+  check "seed is part of the key" true (base <> key ~seed:2 ());
+  check "metric is part of the key" true (base <> key ~metric:Metric.Nmed ());
+  check_string "key is deterministic" base (key ())
+
+(* --- scheduler --- *)
+
+let submit_job sched ?(key = "k") ?budget ~tenant ~priority name =
+  Scheduler.submit sched
+    ~spec:(spec ~name ~tenant ~priority ?budget ())
+    ~circuit:name ~digest:"d" ~key ()
+
+let test_scheduler_policy () =
+  let s = Scheduler.create () in
+  let j_low = submit_job s ~key:"k1" ~tenant:"a" ~priority:0 "one" in
+  let j_high = submit_job s ~key:"k2" ~tenant:"a" ~priority:5 "two" in
+  let j_other = submit_job s ~key:"k3" ~tenant:"b" ~priority:0 "three" in
+  let j_last = submit_job s ~key:"k4" ~tenant:"a" ~priority:0 "four" in
+  (* Strict priority first. *)
+  (match Scheduler.pick s with
+  | Some j -> check "priority wins" true (Scheduler.id j = Scheduler.id j_high)
+  | None -> Alcotest.fail "expected a pick");
+  (* Fair share: tenant a now has a running job, so tenant b goes next
+     even though tenant a submitted first. *)
+  (match Scheduler.pick s with
+  | Some j -> check "fair share wins" true (Scheduler.id j = Scheduler.id j_other)
+  | None -> Alcotest.fail "expected a pick");
+  (* FIFO within the tenant. *)
+  (match Scheduler.pick s with
+  | Some j -> check "fifo wins" true (Scheduler.id j = Scheduler.id j_low)
+  | None -> Alcotest.fail "expected a pick");
+  (match Scheduler.pick s with
+  | Some j -> check "last job" true (Scheduler.id j = Scheduler.id j_last)
+  | None -> Alcotest.fail "expected a pick");
+  check "queue drained" true (Scheduler.pick s = None)
+
+let test_scheduler_lifecycle () =
+  let s = Scheduler.create () in
+  let j1 = submit_job s ~key:"k1" ~tenant:"a" ~priority:0 "one" in
+  let j2 = submit_job s ~key:"k2" ~tenant:"a" ~priority:0 "two" in
+  (* Cancel while queued: terminal immediately, never picked. *)
+  check "queued cancel" true (Scheduler.cancel s j1 = `Cancelled_queued);
+  (match Scheduler.pick s with
+  | Some j -> check "cancelled job skipped" true (Scheduler.id j = Scheduler.id j2)
+  | None -> Alcotest.fail "expected a pick");
+  (* Cancel while running: cooperative flag, then terminal on report. *)
+  check "running cancel is a request" true
+    (Scheduler.cancel s j2 = `Cancel_requested);
+  check "worker sees the flag" true (Scheduler.cancel_requested j2);
+  Scheduler.finished_cancelled s j2;
+  check "terminal cancel" true (Scheduler.cancel s j2 = `Already_finished);
+  let v = Scheduler.view s j2 in
+  check "view state" true (v.Scheduler.v_state = Scheduler.Cancelled);
+  check "events recorded" true (List.length (Scheduler.events s j2) >= 3);
+  check "trace events synthesized" true
+    (List.length (Scheduler.trace_events s j2) >= 2)
+
+let test_scheduler_coalescing () =
+  let s = Scheduler.create () in
+  let j = submit_job s ~key:"kk" ~tenant:"a" ~priority:0 "one" in
+  (* In-flight jobs coalesce only when budgets agree. *)
+  check "same budget coalesces" true
+    (Scheduler.active_by_key s "kk" ~budget:None <> None);
+  check "different budget does not coalesce" true
+    (Scheduler.active_by_key s "kk" ~budget:(Some 1.0) = None);
+  check "other keys do not match" true
+    (Scheduler.active_by_key s "zz" ~budget:None = None);
+  (* A degraded result is not reusable; a converged one is, regardless of
+     budget. *)
+  ignore (Scheduler.pick s);
+  let entry = { Cache.key = "kk"; report = Json.Null; blif = "b" } in
+  Scheduler.finish s j entry ~degraded:true;
+  check "degraded result is not a hit" true
+    (Scheduler.active_by_key s "kk" ~budget:None = None);
+  let j2 = submit_job s ~key:"kk" ~tenant:"a" ~priority:0 "one" in
+  ignore (Scheduler.pick s);
+  Scheduler.finish s j2 entry ~degraded:false;
+  check "converged result is a hit for any budget" true
+    (Scheduler.active_by_key s "kk" ~budget:(Some 9.0) <> None)
+
+(* --- graceful shutdown --- *)
+
+let test_graceful () =
+  Graceful.clear ();
+  check "idle" true (Graceful.stop_requested () = None);
+  Graceful.check ();
+  Graceful.request_stop Sys.sigterm;
+  Graceful.request_stop Sys.sigint;
+  check "first signal wins" true (Graceful.stop_requested () = Some Sys.sigterm);
+  check "check raises" true
+    (match Graceful.check () with
+    | exception Graceful.Interrupted s -> s = Sys.sigterm
+    | () -> false);
+  Graceful.clear ();
+  check "cleared" true (Graceful.stop_requested () = None);
+  check_int "sigint exit code" 130 (Graceful.exit_code Sys.sigint);
+  check_int "sigterm exit code" 143 (Graceful.exit_code Sys.sigterm);
+  let hits = ref [] in
+  Graceful.on_shutdown "a" (fun () -> hits := "a" :: !hits);
+  Graceful.on_shutdown "b" (fun () -> hits := "b" :: !hits);
+  Graceful.on_shutdown "boom" (fun () -> failwith "flush failure");
+  Graceful.run_hooks ();
+  Graceful.run_hooks ();
+  check "hooks ran exactly once each, failures swallowed" true
+    (List.sort compare !hits = [ "a"; "b" ])
+
+(* --- end-to-end daemon --- *)
+
+let get_string field v =
+  match Option.bind (Json.member field v) Json.string_opt with
+  | Some s -> s
+  | None -> Alcotest.failf "response missing %S" field
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "%s: %s" what msg
+
+let e2e_samples = 128
+
+let e2e_spec ?budget ?(samples = e2e_samples) name bound =
+  {
+    Protocol.source = Protocol.Named name;
+    metric = Metric.Error_rate;
+    bound;
+    budget;
+    priority = 0;
+    tenant = "default";
+    samples = Some samples;
+    seed = 1;
+  }
+
+let one_shot name bound =
+  let net = Bench_suite.load name in
+  let base = { Config.default with Config.samples = e2e_samples; seed = 1; jobs = 1 } in
+  let report =
+    Engine.run
+      ~config:(Config.for_network ~base net)
+      net ~metric:Metric.Error_rate ~error_bound:bound
+  in
+  Blif.to_string report.Engine.approximate
+
+let test_daemon_e2e () =
+  let dir = temp_dir "accals_daemon" in
+  let sock n = Filename.concat dir (Printf.sprintf "t%d.sock" n) in
+  let mk_server n =
+    Server.create
+      {
+        Server.default_config with
+        Server.socket = sock n;
+        jobs = 2;
+        max_concurrent = 2;
+        cache_dir = Some (Filename.concat dir "cache");
+        state_dir = Some (Filename.concat dir "state");
+        default_samples = e2e_samples;
+        log = false;
+      }
+  in
+  let server = mk_server 1 in
+  let daemon = Domain.spawn (fun () -> Server.run server) in
+  let c = Client.connect_unix_retry (sock 1) in
+  check "ping" true (Client.ping c);
+  (* Two concurrent jobs; their results must be bit-identical to one-shot
+     synth runs of the same configuration. *)
+  let id1, cached1 = ok_exn "submit rca32" (Client.submit c (e2e_spec "rca32" 0.05)) in
+  let id2, cached2 = ok_exn "submit mtp8" (Client.submit c (e2e_spec "mtp8" 0.02)) in
+  check "cold submissions are not cached" false (cached1 || cached2);
+  let r1 = ok_exn "wait rca32" (Client.wait ~timeout:300.0 c id1) in
+  let r2 = ok_exn "wait mtp8" (Client.wait ~timeout:300.0 c id2) in
+  check_string "job 1 done" "done" (get_string "state" r1);
+  check_string "job 2 done" "done" (get_string "state" r2);
+  check_string "daemon rca32 = one-shot rca32" (one_shot "rca32" 0.05)
+    (get_string "blif" r1);
+  check_string "daemon mtp8 = one-shot mtp8" (one_shot "mtp8" 0.02)
+    (get_string "blif" r2);
+  (* Duplicate submission: answered from the finished job, no re-run. *)
+  let id_dup, cached_dup =
+    ok_exn "dup submit" (Client.submit c (e2e_spec "rca32" 0.05))
+  in
+  check "duplicate is served from cache" true cached_dup;
+  check_string "duplicate coalesces onto the finished job" id1 id_dup;
+  (* Cancel mid-run frees the slot and lands terminal. *)
+  let id_slow, _ =
+    ok_exn "submit slow" (Client.submit c (e2e_spec ~samples:4096 "div" 0.01))
+  in
+  Unix.sleepf 0.3;
+  let cancel_resp = ok_exn "cancel" (Client.rpc c (Protocol.Cancel id_slow)) in
+  check "cancel accepted" true (Client.ok cancel_resp);
+  let r_slow = ok_exn "wait cancelled" (Client.wait ~timeout:300.0 c id_slow) in
+  check_string "cancelled state" "cancelled" (get_string "state" r_slow);
+  (* Observability endpoints. *)
+  let m = ok_exn "metrics" (Client.rpc c Protocol.Metrics) in
+  let prom = get_string "metrics" m in
+  check "prometheus text has server families" true
+    (let has needle =
+       let rec go i =
+         i + String.length needle <= String.length prom
+         && (String.sub prom i (String.length needle) = needle || go (i + 1))
+       in
+       go 0
+     in
+     has "accals_server_jobs_submitted_total" && has "accals_server_queue_depth");
+  let ev = ok_exn "events" (Client.rpc c (Protocol.Events id1)) in
+  (match Json.member "events" ev with
+  | Some (Json.List l) -> check "job event stream" true (List.length l >= 2)
+  | _ -> Alcotest.fail "events endpoint");
+  let tr = ok_exn "trace" (Client.rpc c (Protocol.Trace id1)) in
+  (match Json.member "trace" tr with
+  | Some (Json.List l) -> check "job chrome trace" true (List.length l >= 2)
+  | _ -> Alcotest.fail "trace endpoint");
+  (* Clean shutdown over the wire. *)
+  let bye = ok_exn "shutdown" (Client.rpc c Protocol.Shutdown) in
+  check "shutdown acknowledged" true (Client.ok bye);
+  Domain.join daemon;
+  Client.close c;
+  (* Restart with the same cache directory: the rca32 result must be served
+     from disk without running the engine. *)
+  let server2 = mk_server 2 in
+  let daemon2 = Domain.spawn (fun () -> Server.run server2) in
+  let c2 = Client.connect_unix_retry (sock 2) in
+  let t0 = Unix.gettimeofday () in
+  let id_re, cached_re =
+    ok_exn "resubmit" (Client.submit c2 (e2e_spec "rca32" 0.05))
+  in
+  check "disk cache hit across restart" true cached_re;
+  check "disk hit is immediate" true (Unix.gettimeofday () -. t0 < 5.0);
+  let r_re = ok_exn "wait resubmit" (Client.wait ~timeout:60.0 c2 id_re) in
+  check_string "restarted daemon returns the identical circuit"
+    (get_string "blif" r1) (get_string "blif" r_re);
+  let m2 = ok_exn "metrics2" (Client.rpc c2 Protocol.Metrics) in
+  let prom2 = get_string "metrics" m2 in
+  check "restart counted a disk cache hit" true
+    (let needle = {|accals_server_cache_hits_total{source="disk"} 1|} in
+     let rec go i =
+       i + String.length needle <= String.length prom2
+       && (String.sub prom2 i (String.length needle) = needle || go (i + 1))
+     in
+     go 0);
+  Server.stop server2;
+  Domain.join daemon2;
+  Client.close c2
+
+let test_server_rejects_bad_requests () =
+  let dir = temp_dir "accals_daemon_err" in
+  let sock = Filename.concat dir "t.sock" in
+  let server =
+    Server.create
+      {
+        Server.default_config with
+        Server.socket = sock;
+        jobs = 1;
+        max_concurrent = 1;
+        log = false;
+      }
+  in
+  let daemon = Domain.spawn (fun () -> Server.run server) in
+  let c = Client.connect_unix_retry sock in
+  (* Unknown job / unknown circuit / malformed line each produce an error
+     response, and the connection stays usable afterwards. *)
+  let r = ok_exn "status" (Client.rpc c (Protocol.Status "j-999999")) in
+  check "unknown job rejected" false (Client.ok r);
+  let r =
+    ok_exn "bad circuit"
+      (Client.rpc c
+         (Protocol.Submit
+            { (e2e_spec "rca32" 0.05) with Protocol.source = Protocol.Named "nope" }))
+  in
+  check "unknown circuit rejected" false (Client.ok r);
+  let r =
+    ok_exn "bad blif"
+      (Client.rpc c
+         (Protocol.Submit
+            {
+              (e2e_spec "rca32" 0.05) with
+              Protocol.source = Protocol.Blif_text ".model broken\n.wat\n";
+            }))
+  in
+  check "malformed blif rejected" false (Client.ok r);
+  check "connection still works" true (Client.ping c);
+  Server.stop server;
+  Domain.join daemon;
+  Client.close c
+
+let suite =
+  [
+    ( "server digest",
+      [
+        Alcotest.test_case "invariant under renumbering" `Quick
+          test_digest_renumbering;
+        Alcotest.test_case "sensitive to logic edits" `Quick
+          test_digest_sensitivity;
+      ] );
+    ( "server json hardening",
+      [ Alcotest.test_case "untrusted input limits" `Quick test_json_hardening ] );
+    ( "server protocol",
+      [
+        Alcotest.test_case "request round-trip" `Quick test_protocol_roundtrip;
+        Alcotest.test_case "request validation" `Quick test_protocol_validation;
+      ] );
+    ( "server cache",
+      [
+        Alcotest.test_case "store/find/corrupt/reopen" `Quick
+          test_cache_roundtrip;
+        Alcotest.test_case "key composition" `Quick test_cache_keys;
+      ] );
+    ( "server scheduler",
+      [
+        Alcotest.test_case "priority + fair share + fifo" `Quick
+          test_scheduler_policy;
+        Alcotest.test_case "lifecycle and cancellation" `Quick
+          test_scheduler_lifecycle;
+        Alcotest.test_case "coalescing rules" `Quick test_scheduler_coalescing;
+      ] );
+    ( "server graceful",
+      [ Alcotest.test_case "signals, codes, hooks" `Quick test_graceful ] );
+    ( "server daemon",
+      [
+        Alcotest.test_case "e2e: submit/cache/cancel/metrics/restart" `Slow
+          test_daemon_e2e;
+        Alcotest.test_case "error handling on the wire" `Quick
+          test_server_rejects_bad_requests;
+      ] );
+  ]
