@@ -750,16 +750,30 @@ let serve_cmd =
              restart, plus final metrics, per-job event logs and Chrome \
              traces written during shutdown.")
   in
+  let tcp_token_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp-token" ] ~docv:"SECRET"
+          ~doc:
+            "Shared secret TCP clients must present (as a \"token\" \
+             request field, or $(b,client --token)) for privileged \
+             requests: result, cancel, trace, events, shutdown. Without \
+             it those are refused over TCP; the Unix socket is always \
+             fully trusted.")
+  in
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"No chatter on stderr.")
   in
-  let run socket tcp jobs max_concurrent cache_dir state_dir samples quiet =
+  let run socket tcp tcp_token jobs max_concurrent cache_dir state_dir samples
+      quiet =
     if max_concurrent < 1 then user_error "--max-concurrent must be >= 1";
     let server =
       Server.create
         {
           Server.socket;
           tcp = Option.map parse_hostport tcp;
+          tcp_token;
           jobs;
           max_concurrent;
           cache_dir;
@@ -780,8 +794,9 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run $ socket_arg $ tcp_arg $ jobs_arg $ max_concurrent_arg
-      $ cache_dir_arg $ state_dir_arg $ samples_arg $ quiet_arg)
+      const run $ socket_arg $ tcp_arg $ tcp_token_arg $ jobs_arg
+      $ max_concurrent_arg $ cache_dir_arg $ state_dir_arg $ samples_arg
+      $ quiet_arg)
 
 let client_cmd =
   let doc = "Talk to a running daemon (submit jobs, poll them, scrape metrics)." in
@@ -843,8 +858,18 @@ let client_cmd =
           ~doc:"After submit, poll until the job finishes and print the \
                 result response too.")
   in
-  let run socket tcp req operand metric bound budget priority tenant samples
-      seed wait_ =
+  let token_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "token" ] ~docv:"SECRET"
+          ~doc:
+            "Shared secret sent with every request; required for \
+             privileged requests over $(b,--tcp) when the daemon runs \
+             with $(b,--tcp-token).")
+  in
+  let run socket tcp token req operand metric bound budget priority tenant
+      samples seed wait_ =
     let need_operand what =
       match operand with
       | Some a -> a
@@ -892,8 +917,8 @@ let client_cmd =
         match tcp with
         | Some hp ->
           let host, port = parse_hostport hp in
-          Client.connect_tcp host port
-        | None -> Client.connect_unix socket
+          Client.connect_tcp ?token host port
+        | None -> Client.connect_unix ?token socket
       with Unix.Unix_error (e, _, _) ->
         user_error "cannot connect to the daemon: %s" (Unix.error_message e)
     in
@@ -926,8 +951,8 @@ let client_cmd =
   in
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
-      const run $ socket_arg $ tcp_arg $ req_arg $ operand_arg $ metric_arg
-      $ client_bound_arg $ budget_arg $ priority_arg $ tenant_arg
+      const run $ socket_arg $ tcp_arg $ token_arg $ req_arg $ operand_arg
+      $ metric_arg $ client_bound_arg $ budget_arg $ priority_arg $ tenant_arg
       $ client_samples_arg $ seed_arg $ wait_flag)
 
 let () =

@@ -202,12 +202,12 @@ let copy t =
 (* ------------------------------------------------------------------ *)
 (* Canonical digest *)
 
-(* 64-bit FNV-1a.  CRC-32 (lib/resilience) is too narrow for a cache key
-   space shared across users and runs; FNV-1a is dependency-free and its
-   64-bit collision odds are negligible at any realistic cache size. *)
-let fnv_offset = 0xcbf29ce484222325L
-let fnv_prime = 0x100000001b3L
-let fnv_add h x = Int64.mul (Int64.logxor h (Int64.of_int x)) fnv_prime
+(* The digest keys a result cache shared across tenants and persisted
+   across restarts, so it must be collision-resistant against an
+   adversary: a non-cryptographic hash (CRC-32, FNV) admits deliberately
+   constructed collisions with which one tenant could poison another's
+   cache entry.  SHA-256 (lib/network/sha256.ml, dependency-free) over
+   the canonical encoding closes that off. *)
 
 let op_tag = function
   | Gate.Const false -> 0
@@ -263,8 +263,8 @@ let digest t =
      even when the graph shapes are isomorphic. *)
   let input_pos = Array.make n (-1) in
   Array.iteri (fun i id -> input_pos.(id) <- i) t.input_ids;
-  let h = ref fnv_offset in
-  let add x = h := fnv_add !h x in
+  let ctx = Sha256.create () in
+  let add x = Sha256.feed_int ctx x in
   add (Array.length t.input_ids);
   add !count;
   for c = 0 to !count - 1 do
@@ -280,7 +280,7 @@ let digest t =
   done;
   add (Array.length t.output_ids);
   Array.iter (fun id -> add canon.(id)) t.output_ids;
-  Printf.sprintf "%016Lx" !h
+  Sha256.hex ctx
 
 type violation = { node : int option; reason : string }
 

@@ -104,7 +104,8 @@ val truncate : t -> int -> unit
     change events. *)
 
 val digest : t -> string
-(** Canonical 64-bit structural digest, as 16 lowercase hex digits.
+(** Canonical structural digest: the SHA-256 of a canonical encoding,
+    as 64 lowercase hex digits.
 
     The digest is computed over a canonical renumbering (pre-order DFS
     from the outputs in declaration order, fanins in order), so it is
@@ -118,7 +119,10 @@ val digest : t -> string
     This is the content address used by the result cache of the
     synthesis service ([lib/server]): two submissions whose networks
     digest equally are guaranteed to synthesize identically under equal
-    (metric, bound, samples, seed). *)
+    (metric, bound, samples, seed).  The cache is shared across tenants
+    and persisted across restarts, so the digest is cryptographic
+    ({!Sha256}) — a constructed collision, not just an accidental one,
+    would let one tenant poison another's cached result. *)
 
 type violation = { node : int option; reason : string }
 (** A broken structural invariant: the offending node (when one can be

@@ -1,0 +1,130 @@
+(* FIPS 180-4 SHA-256, dependency-free.
+
+   The result cache behind [Network.digest] is shared across tenants and
+   survives restarts, so the digest must be collision-resistant against
+   an adversary, not just against chance: a 64-bit non-cryptographic hash
+   (FNV, CRC) admits constructed collisions that would let one tenant
+   poison another's cache entry.  Words are plain OCaml [int]s masked to
+   32 bits — no boxing, no Int32 churn. *)
+
+type t = {
+  h : int array;  (* 8 words of chaining state *)
+  block : Bytes.t;  (* 64-byte input block being filled *)
+  w : int array;  (* 64-word message schedule, reused per block *)
+  mutable fill : int;  (* bytes currently in [block] *)
+  mutable total : int64;  (* message length so far, in bytes *)
+}
+
+let k =
+  [|
+    0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+    0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+    0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+    0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+    0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+    0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+    0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+    0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+    0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+    0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+    0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2;
+  |]
+
+let create () =
+  {
+    h =
+      [|
+        0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
+        0x9b05688c; 0x1f83d9ab; 0x5be0cd19;
+      |];
+    block = Bytes.create 64;
+    w = Array.make 64 0;
+    fill = 0;
+    total = 0L;
+  }
+
+let mask = 0xffffffff
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+
+let compress t =
+  let w = t.w in
+  let b = t.block in
+  for i = 0 to 15 do
+    w.(i) <-
+      (Char.code (Bytes.get b (4 * i)) lsl 24)
+      lor (Char.code (Bytes.get b ((4 * i) + 1)) lsl 16)
+      lor (Char.code (Bytes.get b ((4 * i) + 2)) lsl 8)
+      lor Char.code (Bytes.get b ((4 * i) + 3))
+  done;
+  for i = 16 to 63 do
+    let x = w.(i - 15) and y = w.(i - 2) in
+    let s0 = rotr x 7 lxor rotr x 18 lxor (x lsr 3) in
+    let s1 = rotr y 17 lxor rotr y 19 lxor (y lsr 10) in
+    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask
+  done;
+  let a = ref t.h.(0) and b' = ref t.h.(1) and c = ref t.h.(2) in
+  let d = ref t.h.(3) and e = ref t.h.(4) and f = ref t.h.(5) in
+  let g = ref t.h.(6) and h = ref t.h.(7) in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = !e land !f lxor (lnot !e land mask land !g) in
+    let t1 = (!h + s1 + ch + k.(i) + w.(i)) land mask in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = !a land !b' lxor (!a land !c) lxor (!b' land !c) in
+    let t2 = (s0 + maj) land mask in
+    h := !g;
+    g := !f;
+    f := !e;
+    e := (!d + t1) land mask;
+    d := !c;
+    c := !b';
+    b' := !a;
+    a := (t1 + t2) land mask
+  done;
+  t.h.(0) <- (t.h.(0) + !a) land mask;
+  t.h.(1) <- (t.h.(1) + !b') land mask;
+  t.h.(2) <- (t.h.(2) + !c) land mask;
+  t.h.(3) <- (t.h.(3) + !d) land mask;
+  t.h.(4) <- (t.h.(4) + !e) land mask;
+  t.h.(5) <- (t.h.(5) + !f) land mask;
+  t.h.(6) <- (t.h.(6) + !g) land mask;
+  t.h.(7) <- (t.h.(7) + !h) land mask
+
+let feed_byte t c =
+  Bytes.set t.block t.fill (Char.unsafe_chr (c land 0xff));
+  t.fill <- t.fill + 1;
+  t.total <- Int64.add t.total 1L;
+  if t.fill = 64 then begin
+    compress t;
+    t.fill <- 0
+  end
+
+let feed_string t s = String.iter (fun c -> feed_byte t (Char.code c)) s
+
+(* 8-byte big-endian two's-complement, so any OCaml int feeds losslessly
+   and unambiguously (fixed width: no length-extension-style framing
+   ambiguity between adjacent values). *)
+let feed_int64_be t x64 =
+  for i = 0 to 7 do
+    feed_byte t
+      (Int64.to_int (Int64.shift_right_logical x64 (56 - (8 * i))) land 0xff)
+  done
+
+let feed_int t x = feed_int64_be t (Int64.of_int x)
+
+let hex t =
+  let bits = Int64.mul t.total 8L in
+  feed_byte t 0x80;
+  while t.fill <> 56 do
+    feed_byte t 0
+  done;
+  feed_int64_be t bits;
+  assert (t.fill = 0);
+  let buf = Buffer.create 64 in
+  Array.iter (fun w -> Buffer.add_string buf (Printf.sprintf "%08x" w)) t.h;
+  Buffer.contents buf
+
+let hex_of_string s =
+  let t = create () in
+  feed_string t s;
+  hex t

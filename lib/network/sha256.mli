@@ -1,0 +1,26 @@
+(** FIPS 180-4 SHA-256, dependency-free.
+
+    Backs {!Network.digest}: the daemon's result cache is shared across
+    tenants and persisted across restarts, so cache keys must resist
+    {e constructed} collisions, not merely accidental ones. *)
+
+type t
+(** Incremental hashing state.  Single-use: {!hex} finalizes in place. *)
+
+val create : unit -> t
+
+val feed_byte : t -> int -> unit
+(** Absorb the low 8 bits of the argument. *)
+
+val feed_string : t -> string -> unit
+
+val feed_int : t -> int -> unit
+(** Absorb an OCaml [int] as 8 big-endian two's-complement bytes; the
+    fixed width keeps adjacent values unambiguous in the stream. *)
+
+val hex : t -> string
+(** Finalize and return the digest as 64 lowercase hex digits.  The
+    state must not be fed again afterwards. *)
+
+val hex_of_string : string -> string
+(** [hex_of_string s] is the SHA-256 of [s], as 64 lowercase hex digits. *)

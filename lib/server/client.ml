@@ -1,22 +1,25 @@
 module Json = Accals_telemetry.Json
 module Clock = Accals_telemetry.Clock
 
-type t = { ic : in_channel; oc : out_channel }
+type t = { ic : in_channel; oc : out_channel; token : string option }
 
-let of_fd fd =
-  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+let of_fd ?token fd =
+  (* A daemon that dies mid-response must not take the client down with
+     a SIGPIPE on the next flush; EPIPE surfaces as an error instead. *)
+  Graceful.ignore_sigpipe ();
+  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd; token }
 
-let connect_unix path =
+let connect_unix ?token path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_UNIX path)
    with e ->
      Unix.close fd;
      raise e);
-  of_fd fd
+  of_fd ?token fd
 
-let connect_unix_retry ?(attempts = 100) ?(delay = 0.05) path =
+let connect_unix_retry ?(attempts = 100) ?(delay = 0.05) ?token path =
   let rec go n =
-    match connect_unix path with
+    match connect_unix ?token path with
     | t -> t
     | exception e ->
       if n <= 1 then raise e
@@ -27,7 +30,7 @@ let connect_unix_retry ?(attempts = 100) ?(delay = 0.05) path =
   in
   go (max 1 attempts)
 
-let connect_tcp host port =
+let connect_tcp ?token host port =
   let addr =
     match Unix.inet_addr_of_string host with
     | a -> a
@@ -40,7 +43,7 @@ let connect_tcp host port =
    with e ->
      Unix.close fd;
      raise e);
-  of_fd fd
+  of_fd ?token fd
 
 let close t =
   (* The channels share one fd; close the output side (flushes and closes
@@ -50,7 +53,8 @@ let close t =
 
 let rpc t req =
   match
-    output_string t.oc (Json.to_string (Protocol.request_to_json req));
+    output_string t.oc
+      (Json.to_string (Protocol.with_token t.token (Protocol.request_to_json req)));
     output_char t.oc '\n';
     flush t.oc;
     input_line t.ic

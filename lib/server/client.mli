@@ -5,14 +5,20 @@ module Json := Accals_telemetry.Json
 
 type t
 
-val connect_unix : string -> t
+(** Connecting ignores SIGPIPE process-wide ({!Graceful.ignore_sigpipe})
+    so a daemon that disconnects mid-request surfaces as an [Error], not
+    a dead client process.  [?token] is attached to every request — the
+    daemon requires it for privileged requests over TCP. *)
+
+val connect_unix : ?token:string -> string -> t
 (** Connect to a Unix-domain socket. Raises [Unix.Unix_error]. *)
 
-val connect_unix_retry : ?attempts:int -> ?delay:float -> string -> t
+val connect_unix_retry :
+  ?attempts:int -> ?delay:float -> ?token:string -> string -> t
 (** Retry [connect_unix] (default 100 attempts, 50ms apart) — for
     racing a daemon that is still booting. Raises the last error. *)
 
-val connect_tcp : string -> int -> t
+val connect_tcp : ?token:string -> string -> int -> t
 (** Connect to [host, port]. Raises [Unix.Unix_error] / [Failure]. *)
 
 val close : t -> unit

@@ -19,6 +19,19 @@ let check () =
 
 let clear () = Atomic.set requested 0
 
+(* SIGPIPE's default action kills the process, so a client that
+   disconnects mid-response would take the whole multi-tenant daemon
+   down with it.  Ignoring the signal turns the failed write into an
+   EPIPE [Unix.Unix_error] that the writer handles by dropping the one
+   connection.  Deliberately NOT part of [install]: the one-shot CLI
+   keeps the conventional die-on-closed-stdout-pipe behaviour. *)
+let sigpipe_ignored = Atomic.make false
+
+let ignore_sigpipe () =
+  if not (Atomic.exchange sigpipe_ignored true) then
+    try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+    with Invalid_argument _ | Sys_error _ -> ()
+
 let installed = Atomic.make false
 
 let install ?(signals = [ Sys.sigint; Sys.sigterm ]) ?on_signal () =

@@ -21,6 +21,15 @@ val install : ?signals:int list -> ?on_signal:(int -> unit) -> unit -> unit
     given it is also called from the handler with the OCaml signal number
     — the daemon uses it to wake its select loop. Idempotent. *)
 
+val ignore_sigpipe : unit -> unit
+(** Set SIGPIPE to ignored, so a write to a disconnected peer raises
+    [Unix.Unix_error (EPIPE, _, _)] instead of killing the process.
+    Called by {!Server.create} and by the client on connect — a client
+    that submits and disconnects before reading its response must cost
+    the daemon one connection, not the whole multi-tenant process.
+    Idempotent; deliberately not part of {!install}, so the one-shot CLI
+    keeps conventional SIGPIPE-on-closed-stdout behaviour. *)
+
 val request_stop : int -> unit
 (** Record a stop request by hand (what the installed handler does). *)
 

@@ -129,10 +129,27 @@ let request_of_json v =
     | "shutdown" -> Ok Shutdown
     | other -> Error (Printf.sprintf "unknown request %S" other))
 
-let parse_request line =
+let token_of_json v = Option.bind (Json.member "token" v) Json.string_opt
+
+let with_token token json =
+  match (token, json) with
+  | Some tk, Json.Obj fields -> Json.Obj (fields @ [ ("token", Json.String tk) ])
+  | _ -> json
+
+let parse_request_full line =
   match Json.parse ~max_bytes:max_request_bytes line with
   | Error msg -> Error msg
-  | Ok v -> request_of_json v
+  | Ok v -> Result.map (fun req -> (req, token_of_json v)) (request_of_json v)
+
+let parse_request line = Result.map fst (parse_request_full line)
+
+(* Requests that control or read other tenants' jobs.  Over TCP these
+   require the daemon's shared token; the Unix socket is trusted (access
+   to it is filesystem permissions).  Submit/status/list/metrics/ping
+   stay open — they create or observe, they cannot steal or destroy. *)
+let privileged = function
+  | Result _ | Cancel _ | Trace _ | Events _ | Shutdown -> true
+  | Submit _ | Status _ | List | Metrics | Ping -> false
 
 let error_response msg =
   Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]

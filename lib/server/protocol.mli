@@ -17,7 +17,16 @@
     - [list], [metrics], [ping], [shutdown]: server-wide.
 
     Responses always carry ["ok"] ([true]/[false]); failures add
-    ["error"]. *)
+    ["error"].
+
+    {b Trust model.} The Unix-domain socket is the trusted control
+    plane: whoever can open it (filesystem permissions on the socket
+    path) can do everything.  TCP is for remote {e submission and
+    observation} only — requests classified {!privileged} (result,
+    cancel, trace, events, shutdown) are refused on TCP connections
+    unless the daemon was started with a shared [--tcp-token] and the
+    request carries a matching ["token"] field.  The token travels in
+    clear text, so TCP mode is still only for trusted networks. *)
 
 module Json := Accals_telemetry.Json
 module Metric := Accals_metrics.Metric
@@ -59,6 +68,17 @@ val request_of_json : Json.t -> (request, string) result
 
 val parse_request : string -> (request, string) result
 (** Parse one request line under the hardened limits. *)
+
+val parse_request_full : string -> (request * string option, string) result
+(** As {!parse_request}, also returning the optional ["token"] field —
+    parsed from the same JSON tree, so a 16 MiB submit is decoded once. *)
+
+val with_token : string option -> Json.t -> Json.t
+(** Attach a ["token"] field to an encoded request (client side). *)
+
+val privileged : request -> bool
+(** Whether the request controls or reads other tenants' jobs and hence
+    requires the shared token over TCP (see the trust model above). *)
 
 val error_response : string -> Json.t
 (** [{"ok": false, "error": msg}]. *)

@@ -36,10 +36,33 @@ type t = {
   tbl : (string, job) Hashtbl.t;
   mutable jobs : job list;  (* newest first *)
   mutable next_seq : int;
+  rng : Random.State.t;
 }
 
+(* Job ids are capabilities of a sort — [result]/[cancel] take nothing
+   but the id — so they must not be guessable from watching one's own
+   submissions.  Seed from the system entropy pool; the fallback only
+   matters on systems without /dev/urandom. *)
+let seed_rng () =
+  match
+    let ic = open_in_bin "/dev/urandom" in
+    let s = really_input_string ic 16 in
+    close_in ic;
+    s
+  with
+  | s -> Random.State.make (Array.init 16 (fun i -> Char.code s.[i]))
+  | exception Sys_error _ | exception End_of_file ->
+    Random.State.make
+      [| int_of_float (Unix.gettimeofday () *. 1e6); Unix.getpid () |]
+
 let create () =
-  { mutex = Mutex.create (); tbl = Hashtbl.create 64; jobs = []; next_seq = 1 }
+  {
+    mutex = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    jobs = [];
+    next_seq = 1;
+    rng = seed_rng ();
+  }
 
 let locked t f = Mutex.protect t.mutex f
 
@@ -65,9 +88,15 @@ let submit t ~spec ~circuit ~digest ~key ?cached () =
   locked t (fun () ->
       let seq = t.next_seq in
       t.next_seq <- seq + 1;
+      (* 64 random bits after the readable sequence number. *)
+      let nonce =
+        Int64.logor
+          (Int64.shift_left (Random.State.int64 t.rng Int64.max_int) 1)
+          (Int64.of_int (Random.State.int t.rng 2))
+      in
       let j =
         {
-          id = Printf.sprintf "j-%06d" seq;
+          id = Printf.sprintf "j-%06d-%016Lx" seq nonce;
           seq;
           spec;
           circuit;

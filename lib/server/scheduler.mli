@@ -54,6 +54,10 @@ val all : t -> job list
 (** Submission order. *)
 
 val id : job -> string
+(** ["j-<seq>-<64 random bits in hex>"]: the readable sequence number
+    plus an unguessable nonce, because [result]/[cancel] are keyed by
+    nothing but the id. *)
+
 val spec : job -> Protocol.job_spec
 val key : job -> string
 val digest : job -> string

@@ -12,6 +12,7 @@ module Report_json = Accals.Report_json
 type config = {
   socket : string;
   tcp : (string * int) option;
+  tcp_token : string option;
   jobs : int;
   max_concurrent : int;
   cache_dir : string option;
@@ -24,6 +25,7 @@ let default_config =
   {
     socket = "accals.sock";
     tcp = None;
+    tcp_token = None;
     jobs = 0;
     max_concurrent = 2;
     cache_dir = None;
@@ -35,9 +37,23 @@ let default_config =
 type conn = {
   fd : Unix.file_descr;
   peer : string;
+  origin : [ `Unix | `Tcp ];
   mutable pending : string;
+  (* Outbound bytes the non-blocking socket has not accepted yet:
+     response chunks oldest-first, with [out_off] the progress into the
+     head chunk and [out_bytes] the total for the back-pressure bound. *)
+  outbox : string Queue.t;
+  mutable out_off : int;
+  mutable out_bytes : int;
   mutable closed : bool;
 }
+
+(* A client that pipelines requests without reading responses gets this
+   much buffered on its behalf; beyond it the connection is dropped so
+   one misbehaving client cannot hold daemon memory hostage.  Sized so a
+   full result payload (16 MiB request bound, comparable response) plus
+   slack fits. *)
+let max_outbox_bytes = 64 * 1024 * 1024
 
 type t = {
   cfg : config;
@@ -145,6 +161,11 @@ let drain_pipe t =
 (* -- construction -------------------------------------------------------- *)
 
 let create cfg =
+  (* A client that disconnects while a response is in flight must cost
+     one connection (EPIPE -> close), not kill the daemon: the default
+     SIGPIPE action would terminate every tenant's queued and running
+     jobs. *)
+  Graceful.ignore_sigpipe ();
   let cfg = { cfg with jobs = resolve_jobs cfg.jobs } in
   let max_concurrent = max 1 cfg.max_concurrent in
   let cfg = { cfg with max_concurrent } in
@@ -524,14 +545,45 @@ let request_name = function
   | Protocol.Ping -> "ping"
   | Protocol.Shutdown -> "shutdown"
 
-let handle_line t line =
-  match Protocol.parse_request line with
+(* Constant-time comparison: a byte-wise early-exit compare would leak
+   the token prefix through response timing. *)
+let token_eq a b =
+  String.length a = String.length b
+  &&
+  let d = ref 0 in
+  String.iteri (fun i c -> d := !d lor (Char.code c lxor Char.code b.[i])) a;
+  !d = 0
+
+(* The Unix socket is the trusted control plane (filesystem permissions
+   on the socket path).  Over TCP, privileged requests need the shared
+   token; without [--tcp-token] configured they are refused outright. *)
+let authorized t origin req ~token =
+  match origin with
+  | `Unix -> true
+  | `Tcp ->
+    (not (Protocol.privileged req))
+    || (match (t.cfg.tcp_token, token) with
+       | Some secret, Some presented -> token_eq secret presented
+       | _ -> false)
+
+let handle_line t origin line =
+  match Protocol.parse_request_full line with
   | Error msg ->
     Metrics.incr (request_counter t "invalid");
     Protocol.error_response msg
-  | Ok req ->
-    Metrics.incr (request_counter t (request_name req));
-    handle_request t req
+  | Ok (req, token) ->
+    if not (authorized t origin req ~token) then begin
+      Metrics.incr (request_counter t "unauthorized");
+      Protocol.error_response
+        (Printf.sprintf "%s is not allowed over TCP%s" (request_name req)
+           (match t.cfg.tcp_token with
+            | None -> " (daemon started without --tcp-token)"
+            | Some _ -> " without a valid \"token\""))
+    end
+    else begin
+      Metrics.incr (request_counter t (request_name req));
+      handle_request t req
+    end
 
 (* -- connection plumbing ------------------------------------------------- *)
 
@@ -542,34 +594,80 @@ let close_conn t c =
     t.conns <- List.filter (fun c' -> c' != c) t.conns
   end
 
-let write_all fd s =
-  let b = Bytes.of_string s in
-  let len = Bytes.length b in
-  let rec go off =
-    if off < len then
-      let n = Unix.write fd b off (len - off) in
-      go (off + n)
-  in
-  go 0
+(* Write as much of the outbox as the non-blocking socket will take
+   right now; the rest waits for the select loop to report the fd
+   writable again.  The daemon never blocks on a slow or stalled reader
+   — that would stall every other tenant's accepts and dispatches. *)
+let rec flush_outbox t c =
+  if (not c.closed) && not (Queue.is_empty c.outbox) then begin
+    let head = Queue.peek c.outbox in
+    let len = String.length head - c.out_off in
+    match Unix.write_substring c.fd head c.out_off len with
+    | n ->
+      c.out_bytes <- c.out_bytes - n;
+      if n = len then begin
+        ignore (Queue.pop c.outbox);
+        c.out_off <- 0;
+        flush_outbox t c
+      end
+      else c.out_off <- c.out_off + n
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+    | exception Unix.Unix_error _ ->
+      log t "dropping connection %s (write failed)" c.peer;
+      close_conn t c
+  end
 
 let send t c resp =
-  try write_all c.fd (Json.to_string resp ^ "\n")
-  with Unix.Unix_error _ ->
-    log t "dropping connection %s (write failed)" c.peer;
-    close_conn t c
+  if not c.closed then begin
+    let s = Json.to_string resp ^ "\n" in
+    Queue.push s c.outbox;
+    c.out_bytes <- c.out_bytes + String.length s;
+    if c.out_bytes > max_outbox_bytes then begin
+      log t "dropping connection %s (outbound buffer over %d bytes)" c.peer
+        max_outbox_bytes;
+      close_conn t c
+    end
+    else flush_outbox t c
+  end
 
-let accept_conn t listener =
+(* Shutdown-time flush: switch the socket back to blocking with a short
+   send timeout so the final response (e.g. the shutdown ack) reaches a
+   well-behaved client, without letting a stalled one hold up drain. *)
+let flush_outbox_closing t c =
+  if (not c.closed) && not (Queue.is_empty c.outbox) then begin
+    (try
+       Unix.clear_nonblock c.fd;
+       Unix.setsockopt_float c.fd Unix.SO_SNDTIMEO 1.0
+     with Unix.Unix_error _ -> ());
+    flush_outbox t c
+  end
+
+let accept_conn t listener ~origin =
   match Unix.accept listener with
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
     -> ()
   | fd, addr ->
+    Unix.set_nonblock fd;
     let peer =
       match addr with
       | Unix.ADDR_UNIX _ -> "unix"
       | Unix.ADDR_INET (a, p) ->
         Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
     in
-    t.conns <- { fd; peer; pending = ""; closed = false } :: t.conns
+    t.conns <-
+      {
+        fd;
+        peer;
+        origin;
+        pending = "";
+        outbox = Queue.create ();
+        out_off = 0;
+        out_bytes = 0;
+        closed = false;
+      }
+      :: t.conns
 
 let rec process_pending t c =
   if not c.closed then
@@ -588,7 +686,7 @@ let rec process_pending t c =
       in
       c.pending <-
         String.sub c.pending (i + 1) (String.length c.pending - i - 1);
-      if String.trim line <> "" then send t c (handle_line t line);
+      if String.trim line <> "" then send t c (handle_line t c.origin line);
       process_pending t c
 
 let handle_readable t c =
@@ -671,6 +769,7 @@ let drain t =
                 ])
          with Sys_error _ -> ())
        (Scheduler.all t.sched));
+  List.iter (fun c -> flush_outbox_closing t c) t.conns;
   List.iter (fun c -> close_conn t c) t.conns;
   (try Unix.close t.unix_listener with Unix.Unix_error _ -> ());
   Option.iter
@@ -691,17 +790,30 @@ let run t =
     reap t;
     dispatch t;
     let read_set = (t.pipe_r :: listeners) @ List.map (fun c -> c.fd) t.conns in
-    match Unix.select read_set [] [] 0.25 with
+    let write_set =
+      List.filter_map
+        (fun c -> if Queue.is_empty c.outbox then None else Some c.fd)
+        t.conns
+    in
+    match Unix.select read_set write_set [] 0.25 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | ready, _, _ ->
+    | ready_r, ready_w, _ ->
+      List.iter
+        (fun fd ->
+          match List.find_opt (fun c -> c.fd = fd) t.conns with
+          | Some c -> flush_outbox t c
+          | None -> ())
+        ready_w;
       List.iter
         (fun fd ->
           if fd = t.pipe_r then drain_pipe t
-          else if List.memq fd listeners then accept_conn t fd
+          else if List.memq fd listeners then
+            accept_conn t fd
+              ~origin:(if fd = t.unix_listener then `Unix else `Tcp)
           else
             match List.find_opt (fun c -> c.fd = fd) t.conns with
             | Some c -> handle_readable t c
             | None -> ())
-        ready
+        ready_r
   done;
   drain t

@@ -18,6 +18,13 @@
     flag at every round boundary and unwinds through the engine's
     [Fun.protect], so the job's domains are released.
 
+    Client sockets are non-blocking and responses are buffered per
+    connection (bounded; overflow drops the connection), so a client
+    that pipelines requests without reading responses cannot stall the
+    event loop for the other tenants. {!create} ignores SIGPIPE
+    process-wide ({!Graceful.ignore_sigpipe}): a peer that disconnects
+    mid-response costs its own connection (EPIPE), never the daemon.
+
     Admission de-duplicates work at two levels keyed by
     {!Cache.key} (canonical circuit digest + result-determining
     parameters): a disk hit answers immediately with the stored result,
@@ -34,6 +41,9 @@ module Metrics := Accals_telemetry.Metrics
 type config = {
   socket : string;  (** Unix-domain socket path *)
   tcp : (string * int) option;  (** optional [host, port]; port 0 = ephemeral *)
+  tcp_token : string option;
+      (** shared secret required for privileged requests over TCP (see
+          the {!Protocol} trust model); [None] refuses them there *)
   jobs : int;  (** total worker domains to spread over running jobs *)
   max_concurrent : int;  (** jobs running simultaneously *)
   cache_dir : string option;  (** [None] disables the on-disk cache *)
@@ -43,9 +53,9 @@ type config = {
 }
 
 val default_config : config
-(** [socket = "accals.sock"], no TCP, [jobs = 0] (auto-detect),
-    [max_concurrent = 2], no cache, no state dir, [default_samples =
-    2048], logging on. *)
+(** [socket = "accals.sock"], no TCP, no TCP token, [jobs = 0]
+    (auto-detect), [max_concurrent = 2], no cache, no state dir,
+    [default_samples = 2048], logging on. *)
 
 type t
 

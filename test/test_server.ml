@@ -136,6 +136,33 @@ let test_digest_sensitivity () =
     (Network.digest (Bench_suite.load "rca32")
     <> Network.digest (Bench_suite.load "mtp8"))
 
+(* The digest keys a cache shared across tenants, so it must be
+   collision-resistant against construction, not just chance: check the
+   SHA-256 core against the FIPS 180-4 vectors, and that the digest is
+   the full 256 bits (a truncation would reopen birthday attacks). *)
+let test_digest_cryptographic () =
+  check_string "sha256 of empty string"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hex_of_string "");
+  check_string "sha256 of abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hex_of_string "abc");
+  check_string "sha256 two-block vector"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hex_of_string
+       "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  (let t = Sha256.create () in
+   for _ = 1 to 1_000_000 do
+     Sha256.feed_byte t (Char.code 'a')
+   done;
+   check_string "sha256 of a million 'a' (incremental feeding)"
+     "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+     (Sha256.hex t));
+  let d = Network.digest (Bench_suite.load "rca32") in
+  check_int "digest is 64 hex digits (full 256 bits)" 64 (String.length d);
+  check "digest is lowercase hex" true
+    (String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) d)
+
 (* --- hardened JSON parsing --- *)
 
 let test_json_hardening () =
@@ -352,6 +379,25 @@ let test_scheduler_coalescing () =
   check "converged result is a hit for any budget" true
     (Scheduler.active_by_key s "kk" ~budget:(Some 9.0) <> None)
 
+(* Job ids act as capabilities (result/cancel take nothing else), so the
+   sequential counter must be extended with an unguessable nonce. *)
+let test_scheduler_job_ids () =
+  let id_of sched = Scheduler.id (submit_job sched ~tenant:"a" ~priority:0 "c") in
+  let a = id_of (Scheduler.create ()) in
+  let b = id_of (Scheduler.create ()) in
+  check_int "id carries a 64-bit nonce" (String.length "j-000001-0123456789abcdef")
+    (String.length a);
+  check "same sequence number, different ids across instances" true (a <> b);
+  let nonce s = String.sub s 9 16 in
+  check "nonce is hex" true
+    (String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       (nonce a));
+  check "find by id still works" true
+    (let s = Scheduler.create () in
+     let j = submit_job s ~tenant:"a" ~priority:0 "c" in
+     Scheduler.find s (Scheduler.id j) <> None)
+
 (* --- graceful shutdown --- *)
 
 let test_graceful () =
@@ -554,6 +600,201 @@ let test_server_rejects_bad_requests () =
   Domain.join daemon;
   Client.close c
 
+(* --- hostile-client behaviour --- *)
+
+let raw_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let raw_write fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring fd s off (len - off))
+  in
+  go 0
+
+let contains s needle =
+  let ls = String.length s and ln = String.length needle in
+  let rec go i = i + ln <= ls && (String.sub s i ln = needle || go (i + 1)) in
+  go 0
+
+let boot_server cfg =
+  let server = Server.create cfg in
+  let daemon = Domain.spawn (fun () -> Server.run server) in
+  (server, daemon)
+
+(* A client that sends a request and slams the connection shut before
+   reading the response makes the daemon write into a closed socket.
+   With SIGPIPE at its default action that would kill the whole daemon
+   (here: this test process); ignored, it costs one connection. *)
+let test_disconnect_mid_response () =
+  let dir = temp_dir "accals_daemon_pipe" in
+  let sock = Filename.concat dir "t.sock" in
+  let server, daemon =
+    boot_server
+      {
+        Server.default_config with
+        Server.socket = sock;
+        jobs = 1;
+        max_concurrent = 1;
+        log = false;
+      }
+  in
+  let c = Client.connect_unix_retry sock in
+  check "daemon up" true (Client.ping c);
+  for i = 1 to 20 do
+    let fd = raw_connect sock in
+    (* Alternate a submit (the review's exact scenario: submit, quit
+       before the response) with metrics, whose response is large enough
+       to still be mid-write when the close lands. *)
+    raw_write fd
+      (if i mod 2 = 0 then "{\"req\": \"metrics\"}\n"
+       else
+         "{\"req\": \"submit\", \"name\": \"nope\", \"metric\": \"ER\", \
+          \"bound\": 0.05}\n");
+    Unix.close fd
+  done;
+  Unix.sleepf 0.3;
+  check "daemon survived 20 submit-and-quit clients" true (Client.ping c);
+  Server.stop server;
+  Domain.join daemon;
+  Client.close c
+
+(* A client that pipelines requests without ever reading responses must
+   not stall the single-threaded select loop: responses are buffered per
+   connection (bounded) and other tenants keep getting served. *)
+let test_pipelined_backpressure () =
+  let dir = temp_dir "accals_daemon_pipeline" in
+  let sock = Filename.concat dir "t.sock" in
+  let server, daemon =
+    boot_server
+      {
+        Server.default_config with
+        Server.socket = sock;
+        jobs = 1;
+        max_concurrent = 1;
+        log = false;
+      }
+  in
+  let c_probe = Client.connect_unix_retry sock in
+  check "daemon up" true (Client.ping c_probe);
+  let fd = raw_connect sock in
+  let n = 5_000 in
+  (* ~400 KB of responses: well past a Unix socket buffer, so the daemon
+     must park the excess in the connection's outbox. *)
+  let batch = String.concat "" (List.init 50 (fun _ -> "{\"req\": \"ping\"}\n")) in
+  for _ = 1 to n / 50 do
+    raw_write fd batch
+  done;
+  check "daemon responsive while a pipelining client leaves responses unread"
+    true
+    (Client.ping c_probe);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+  let ic = Unix.in_channel_of_descr fd in
+  let count = ref 0 in
+  (try
+     for _ = 1 to n do
+       ignore (input_line ic);
+       incr count
+     done
+   with End_of_file | Sys_error _ -> ());
+  check_int "every pipelined response was eventually delivered" n !count;
+  close_in_noerr ic;
+  check "daemon still healthy afterwards" true (Client.ping c_probe);
+  Server.stop server;
+  Domain.join daemon;
+  Client.close c_probe
+
+(* Privileged requests over TCP require the shared token; the Unix
+   socket is the trusted control plane and never needs one. *)
+let test_tcp_token_gate () =
+  let dir = temp_dir "accals_daemon_tcp" in
+  let sock = Filename.concat dir "t.sock" in
+  let server, daemon =
+    boot_server
+      {
+        Server.default_config with
+        Server.socket = sock;
+        tcp = Some ("127.0.0.1", 0);
+        tcp_token = Some "sekrit";
+        jobs = 1;
+        max_concurrent = 1;
+        log = false;
+      }
+  in
+  let port =
+    match Server.tcp_port server with
+    | Some p -> p
+    | None -> Alcotest.fail "daemon did not bind a TCP port"
+  in
+  let c_unix = Client.connect_unix_retry sock in
+  check "unix ping" true (Client.ping c_unix);
+  let denied resp =
+    match resp with
+    | Ok r ->
+      (not (Client.ok r))
+      && contains (Client.error_message r) "not allowed over TCP"
+    | Error _ -> false
+  in
+  let reaches_handler resp =
+    (* Authorization passed: the request fails on its own terms (the job
+       does not exist), not on the trust boundary. *)
+    match resp with
+    | Ok r ->
+      (not (Client.ok r)) && contains (Client.error_message r) "unknown job"
+    | Error _ -> false
+  in
+  let tcp_anon = Client.connect_tcp "127.0.0.1" port in
+  check "unprivileged over TCP without token: ping" true (Client.ping tcp_anon);
+  check "cancel denied over TCP without token" true
+    (denied (Client.rpc tcp_anon (Protocol.Cancel "j-1")));
+  check "result denied over TCP without token" true
+    (denied (Client.rpc tcp_anon (Protocol.Result "j-1")));
+  check "shutdown denied over TCP without token" true
+    (denied (Client.rpc tcp_anon Protocol.Shutdown));
+  check "daemon ignored the unauthorized shutdown" true (Client.ping c_unix);
+  let tcp_bad = Client.connect_tcp ~token:"wrong" "127.0.0.1" port in
+  check "wrong token denied" true
+    (denied (Client.rpc tcp_bad (Protocol.Cancel "j-1")));
+  let tcp_ok = Client.connect_tcp ~token:"sekrit" "127.0.0.1" port in
+  check "valid token reaches the handler" true
+    (reaches_handler (Client.rpc tcp_ok (Protocol.Cancel "j-1")));
+  check "unix socket needs no token even for privileged requests" true
+    (reaches_handler (Client.rpc c_unix (Protocol.Cancel "j-1")));
+  Server.stop server;
+  Domain.join daemon;
+  List.iter Client.close [ tcp_anon; tcp_bad; tcp_ok; c_unix ];
+  (* Without --tcp-token there is no way to authorize over TCP at all. *)
+  let server2, daemon2 =
+    boot_server
+      {
+        Server.default_config with
+        Server.socket = sock;
+        tcp = Some ("127.0.0.1", 0);
+        jobs = 1;
+        max_concurrent = 1;
+        log = false;
+      }
+  in
+  let port2 =
+    match Server.tcp_port server2 with
+    | Some p -> p
+    | None -> Alcotest.fail "daemon did not bind a TCP port"
+  in
+  let c2_unix = Client.connect_unix_retry sock in
+  let tcp2 = Client.connect_tcp ~token:"sekrit" "127.0.0.1" port2 in
+  check "tokenless daemon refuses privileged TCP regardless of token" true
+    (match Client.rpc tcp2 (Protocol.Cancel "j-1") with
+     | Ok r ->
+       (not (Client.ok r))
+       && contains (Client.error_message r) "without --tcp-token"
+     | Error _ -> false);
+  Server.stop server2;
+  Domain.join daemon2;
+  Client.close tcp2;
+  Client.close c2_unix
+
 let suite =
   [
     ( "server digest",
@@ -562,6 +803,8 @@ let suite =
           test_digest_renumbering;
         Alcotest.test_case "sensitive to logic edits" `Quick
           test_digest_sensitivity;
+        Alcotest.test_case "collision-resistant (sha-256 vectors)" `Quick
+          test_digest_cryptographic;
       ] );
     ( "server json hardening",
       [ Alcotest.test_case "untrusted input limits" `Quick test_json_hardening ] );
@@ -583,6 +826,7 @@ let suite =
         Alcotest.test_case "lifecycle and cancellation" `Quick
           test_scheduler_lifecycle;
         Alcotest.test_case "coalescing rules" `Quick test_scheduler_coalescing;
+        Alcotest.test_case "unguessable job ids" `Quick test_scheduler_job_ids;
       ] );
     ( "server graceful",
       [ Alcotest.test_case "signals, codes, hooks" `Quick test_graceful ] );
@@ -592,5 +836,11 @@ let suite =
           test_daemon_e2e;
         Alcotest.test_case "error handling on the wire" `Quick
           test_server_rejects_bad_requests;
+        Alcotest.test_case "survives disconnect mid-response (SIGPIPE)" `Quick
+          test_disconnect_mid_response;
+        Alcotest.test_case "pipelining client cannot stall the loop" `Quick
+          test_pipelined_backpressure;
+        Alcotest.test_case "TCP privilege gate (--tcp-token)" `Quick
+          test_tcp_token_gate;
       ] );
   ]
