@@ -26,6 +26,7 @@ module Report_json = Accals.Report_json
 module Server = Accals_server.Server
 module Sclient = Accals_server.Client
 module Sproto = Accals_server.Protocol
+module Sbackoff = Accals_server.Backoff
 
 let full = ref false
 
@@ -956,6 +957,7 @@ let serve () =
       metric = Metric.Error_rate;
       bound;
       budget;
+      deadline = None;
       priority = 0;
       tenant;
       samples = Some samples;
@@ -1096,6 +1098,153 @@ let serve () =
     note_incident "serve/cancel"
       (Printf.sprintf "cancelled job ended in state %s" cancel_state)
 
+(* ---------- overload: admission control under flood ---------- *)
+
+let overload_json_file = "bench_overload.json"
+
+(* Boot a deliberately tiny daemon (1 slot, 2-deep queue, 1 queued job
+   per tenant) and flood it with distinct jobs from 3 tenants.  The
+   protection contract under test: the flood is shed with structured
+   "overloaded" + retry_after_ms responses (never silently dropped or
+   queued unboundedly), the daemon stays responsive to health probes
+   throughout, and a shed client retrying under the shared backoff
+   policy eventually lands its job once the queue drains. *)
+let overload () =
+  section
+    "Service mode: overload protection (shed responses, retry_after, \
+     health probe)";
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "accals_overload_bench.%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let sock = Filename.concat dir "bench.sock" in
+  let max_queue = 2 in
+  let server =
+    Server.create
+      {
+        Server.default_config with
+        Server.socket = sock;
+        jobs = max 1 !jobs;
+        max_concurrent = 1;
+        max_queue;
+        tenant_max_queued = 1;
+        cache_dir = Some (Filename.concat dir "cache");
+        default_samples = 256;
+        log = false;
+      }
+  in
+  let daemon = Domain.spawn (fun () -> Server.run server) in
+  let spec ~tenant ~seed =
+    {
+      Sproto.source = Sproto.Named "rca32";
+      metric = Metric.Error_rate;
+      bound = 0.05;
+      budget = Some 2.0;
+      deadline = None;
+      priority = 0;
+      tenant;
+      samples = Some 256;
+      seed;
+    }
+  in
+  (* 4x the queue capacity, spread over 3 tenants; distinct seeds make
+     distinct cache keys, so nothing coalesces. *)
+  let flood_n = 4 * (max_queue + 1) in
+  let c = Sclient.connect_unix_retry sock in
+  let accepted = ref [] and shed = ref 0 and shed_with_hint = ref 0 in
+  let shed_specs = ref [] in
+  for i = 1 to flood_n do
+    let sp = spec ~tenant:(Printf.sprintf "tenant-%d" (i mod 3)) ~seed:i in
+    match Sclient.rpc c (Sproto.Submit sp) with
+    | Error msg -> failwith ("submit: " ^ msg)
+    | Ok resp ->
+      if Sclient.ok resp then
+        accepted :=
+          Option.get (Option.bind (Json.member "job" resp) Json.string_opt)
+          :: !accepted
+      else begin
+        incr shed;
+        if
+          Sclient.error_code resp = Some "overloaded"
+          && Sclient.retry_after resp <> None
+        then incr shed_with_hint;
+        shed_specs := sp :: !shed_specs
+      end
+  done;
+  (* The daemon must answer a health probe mid-flood, and its view must
+     reflect the bounded queue. *)
+  let health_ok, health_queue =
+    match Sclient.health c with
+    | Error _ -> (false, -1)
+    | Ok resp ->
+      ( true,
+        Option.value
+          (Option.bind (Json.member "queue_depth" resp) Json.int_opt)
+          ~default:(-1) )
+  in
+  (* A shed client that retries with backoff (honoring retry_after_ms)
+     must eventually get in once the queue drains. *)
+  let retry_ok =
+    match !shed_specs with
+    | [] -> false
+    | sp :: _ -> (
+      let policy = { Sbackoff.default with Sbackoff.max_total = 120.0 } in
+      match Sclient.submit_retry ~policy c sp with
+      | Ok (id, _) ->
+        accepted := id :: !accepted;
+        true
+      | Error _ -> false)
+  in
+  List.iter
+    (fun id ->
+      match Sclient.wait ~timeout:120.0 c id with
+      | Ok _ -> ()
+      | Error msg -> failwith ("wait: " ^ msg))
+    !accepted;
+  let final_shed_total =
+    match Sclient.health c with
+    | Ok resp ->
+      Option.value
+        (Option.bind (Json.member "shed_total" resp) Json.int_opt)
+        ~default:(-1)
+    | Error _ -> -1
+  in
+  Sclient.close c;
+  Server.stop server;
+  Domain.join daemon;
+  Printf.printf "%-28s %d submitted, %d accepted, %d shed (%d with hint)\n"
+    "flood" flood_n
+    (List.length !accepted)
+    !shed !shed_with_hint;
+  Printf.printf "%-28s health_ok=%b queue_depth=%d retry_ok=%b shed_total=%d\n"
+    "checks" health_ok health_queue retry_ok final_shed_total;
+  Json.write_file overload_json_file
+    (Json.Obj
+       [
+         ("flood_n", Json.Int flood_n);
+         ("max_queue", Json.Int max_queue);
+         ("accepted", Json.Int (List.length !accepted));
+         ("shed", Json.Int !shed);
+         ("shed_with_hint", Json.Int !shed_with_hint);
+         ("health_ok", Json.Bool health_ok);
+         ("health_queue_depth", Json.Int health_queue);
+         ("retry_ok", Json.Bool retry_ok);
+         ("shed_total", Json.Int final_shed_total);
+       ]);
+  Printf.printf "wrote %s\n" overload_json_file;
+  if !shed = 0 then
+    note_incident "overload/shed" "flood past queue capacity shed nothing";
+  if !shed <> !shed_with_hint then
+    note_incident "overload/hint"
+      "some shed responses lacked code=overloaded or retry_after_ms";
+  if not health_ok then
+    note_incident "overload/health" "daemon unresponsive to health mid-flood";
+  if not retry_ok then
+    note_incident "overload/retry"
+      "backoff retry of a shed submission did not eventually succeed"
+
 (* ---------- Bechamel micro-benchmarks: one Test.make per table/figure ---------- *)
 
 let micro () =
@@ -1203,6 +1352,7 @@ let experiments =
     ("audit", audit);
     ("telemetry", telemetry);
     ("serve", serve);
+    ("overload", overload);
     ("micro", micro);
   ]
 

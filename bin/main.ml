@@ -22,6 +22,7 @@ module Server = Accals_server.Server
 module Client = Accals_server.Client
 module Sproto = Accals_server.Protocol
 module Graceful = Accals_server.Graceful
+module Backoff = Accals_server.Backoff
 
 (* Exit codes (also listed in `accals --help`):
      0   success
@@ -762,12 +763,75 @@ let serve_cmd =
              it those are refused over TCP; the Unix socket is always \
              fully trusted.")
   in
+  let max_queue_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.max_queue
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Queued-jobs bound; past it new submissions are rejected with \
+             code \"overloaded\" and a retry_after_ms hint. 0 = unlimited.")
+  in
+  let tenant_max_queued_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.tenant_max_queued
+      & info [ "tenant-max-queued" ] ~docv:"N"
+          ~doc:
+            "Per-tenant queued-jobs quota (shed past it). 0 = unlimited.")
+  in
+  let tenant_max_running_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.tenant_max_running
+      & info [ "tenant-max-running" ] ~docv:"N"
+          ~doc:
+            "Per-tenant running-slots cap; over-quota jobs wait queued \
+             while other tenants run. 0 = unlimited.")
+  in
+  let deadline_grace_arg =
+    Arg.(
+      value
+      & opt float Server.default_config.Server.deadline_grace
+      & info [ "deadline-grace" ] ~docv:"SECS"
+          ~doc:
+            "How long past a job's deadline its worker may keep running \
+             before the daemon abandons it and reuses the slot.")
+  in
+  let quarantine_threshold_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.quarantine_threshold
+      & info [ "quarantine-threshold" ] ~docv:"N"
+          ~doc:
+            "Abnormal worker deaths for one job fingerprint before its \
+             resubmissions are refused. 0 disables quarantine.")
+  in
+  let quarantine_cooldown_arg =
+    Arg.(
+      value
+      & opt float Server.default_config.Server.quarantine_cooldown
+      & info [ "quarantine-cooldown" ] ~docv:"SECS"
+          ~doc:"How long a quarantined fingerprint is refused admission.")
+  in
+  let cache_max_mb_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "cache-max-mb" ] ~docv:"MB"
+          ~doc:
+            "Evict the on-disk result cache (corrupt entries first, then \
+             least recently used) past this size. 0 = unlimited.")
+  in
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"No chatter on stderr.")
   in
-  let run socket tcp tcp_token jobs max_concurrent cache_dir state_dir samples
-      quiet =
+  let run socket tcp tcp_token jobs max_concurrent max_queue tenant_max_queued
+      tenant_max_running deadline_grace quarantine_threshold
+      quarantine_cooldown cache_dir cache_max_mb state_dir samples quiet =
     if max_concurrent < 1 then user_error "--max-concurrent must be >= 1";
+    if deadline_grace < 0.0 then user_error "--deadline-grace must be >= 0";
+    if cache_max_mb < 0 then user_error "--cache-max-mb must be >= 0";
     let server =
       Server.create
         {
@@ -776,7 +840,14 @@ let serve_cmd =
           tcp_token;
           jobs;
           max_concurrent;
+          max_queue;
+          tenant_max_queued;
+          tenant_max_running;
+          deadline_grace;
+          quarantine_threshold;
+          quarantine_cooldown;
           cache_dir;
+          cache_max_bytes = cache_max_mb * 1024 * 1024;
           state_dir;
           default_samples = samples;
           log = not quiet;
@@ -795,8 +866,10 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ tcp_arg $ tcp_token_arg $ jobs_arg
-      $ max_concurrent_arg $ cache_dir_arg $ state_dir_arg $ samples_arg
-      $ quiet_arg)
+      $ max_concurrent_arg $ max_queue_arg $ tenant_max_queued_arg
+      $ tenant_max_running_arg $ deadline_grace_arg
+      $ quarantine_threshold_arg $ quarantine_cooldown_arg $ cache_dir_arg
+      $ cache_max_mb_arg $ state_dir_arg $ samples_arg $ quiet_arg)
 
 let client_cmd =
   let doc = "Talk to a running daemon (submit jobs, poll them, scrape metrics)." in
@@ -806,8 +879,8 @@ let client_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"REQ"
           ~doc:
-            "One of: submit, status, result, cancel, list, metrics, trace, \
-             events, ping, shutdown.")
+            "One of: submit, status, result, cancel, list, metrics, health, \
+             trace, events, ping, shutdown.")
   in
   let operand_arg =
     Arg.(
@@ -829,6 +902,26 @@ let client_cmd =
       & info [ "budget" ] ~docv:"SECS"
           ~doc:"Per-job run budget; an over-budget job returns its best \
                 circuit so far marked degraded (and is never cached).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock deadline from submission; past it the job is \
+             failed as deadline_exceeded (a hard fault, unlike --budget's \
+             graceful degradation).")
+  in
+  let retry_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "retry" ]
+          ~doc:
+            "Retry \"overloaded\"/\"quarantined\" rejections with jittered \
+             exponential backoff, honoring the daemon's retry_after_ms \
+             hint (bounded total wait).")
   in
   let priority_arg =
     Arg.(
@@ -868,8 +961,8 @@ let client_cmd =
              privileged requests over $(b,--tcp) when the daemon runs \
              with $(b,--tcp-token).")
   in
-  let run socket tcp token req operand metric bound budget priority tenant
-      samples seed wait_ =
+  let run socket tcp token req operand metric bound budget deadline priority
+      tenant samples seed wait_ retry =
     let need_operand what =
       match operand with
       | Some a -> a
@@ -896,7 +989,17 @@ let client_cmd =
               spec
         in
         Sproto.Submit
-          { Sproto.source; metric; bound; budget; priority; tenant; samples; seed }
+          {
+            Sproto.source;
+            metric;
+            bound;
+            budget;
+            deadline;
+            priority;
+            tenant;
+            samples;
+            seed;
+          }
       | "status" -> Sproto.Status (need_operand "job id")
       | "result" -> Sproto.Result (need_operand "job id")
       | "cancel" -> Sproto.Cancel (need_operand "job id")
@@ -904,12 +1007,13 @@ let client_cmd =
       | "events" -> Sproto.Events (need_operand "job id")
       | "list" -> Sproto.List
       | "metrics" -> Sproto.Metrics
+      | "health" -> Sproto.Health
       | "ping" -> Sproto.Ping
       | "shutdown" -> Sproto.Shutdown
       | other ->
         user_error
           "unknown request %s (expected submit, status, result, cancel, \
-           list, metrics, trace, events, ping or shutdown)"
+           list, metrics, health, trace, events, ping or shutdown)"
           other
     in
     let c =
@@ -933,7 +1037,33 @@ let client_cmd =
       Printf.eprintf "accals: %s\n" msg;
       exit failure_exit
     in
-    (match Client.rpc c request with
+    (* With --retry, shed responses are retried under the shared backoff
+       policy; the daemon's retry_after_ms hint floors each delay.  Safe
+       for submit because submissions are content-addressed (a retry
+       coalesces or hits the cache, never duplicating work). *)
+    let rpc_retrying request =
+      if not retry then Client.rpc c request
+      else
+        let schedule = Backoff.start Backoff.default in
+        let rec go () =
+          match Client.rpc c request with
+          | Ok resp
+            when (not (Client.ok resp))
+                 && List.mem (Client.error_code resp)
+                      [ Some "overloaded"; Some "quarantined" ] -> (
+            match
+              Backoff.next_with_floor schedule
+                ~floor:(Option.value (Client.retry_after resp) ~default:0.0)
+            with
+            | None -> Ok resp
+            | Some d ->
+              Unix.sleepf d;
+              go ())
+          | r -> r
+        in
+        go ()
+    in
+    (match rpc_retrying request with
      | Error msg -> fail_rpc msg
      | Ok resp ->
        print_response resp;
@@ -952,8 +1082,9 @@ let client_cmd =
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
       const run $ socket_arg $ tcp_arg $ token_arg $ req_arg $ operand_arg
-      $ metric_arg $ client_bound_arg $ budget_arg $ priority_arg $ tenant_arg
-      $ client_samples_arg $ seed_arg $ wait_flag)
+      $ metric_arg $ client_bound_arg $ budget_arg $ deadline_arg
+      $ priority_arg $ tenant_arg $ client_samples_arg $ seed_arg $ wait_flag
+      $ retry_flag)
 
 let () =
   let doc = "Approximate logic synthesis with multi-LAC selection (AccALS)." in

@@ -10,6 +10,8 @@ type kind =
   | Checkpoint_corrupt of { path : string; detail : string }
   | Certification_violation of { measured : float; bound : float; step : int }
   | Watchdog_expired of { scope : string }
+  | Deadline_exceeded of { job : string; phase : string; deadline_s : float }
+  | Job_quarantined of { fingerprint : string; failures : int; cooldown_s : float }
 
 type t = { round : int; kind : kind }
 
@@ -21,6 +23,8 @@ let kind_name t =
   | Checkpoint_corrupt _ -> "checkpoint_corrupt"
   | Certification_violation _ -> "certification_violation"
   | Watchdog_expired _ -> "watchdog_expired"
+  | Deadline_exceeded _ -> "deadline_exceeded"
+  | Job_quarantined _ -> "job_quarantined"
 
 let escape s =
   let buf = Buffer.create (String.length s + 2) in
@@ -64,7 +68,17 @@ let to_json t =
           v.measured v.bound v.step)
    | Watchdog_expired w ->
      Buffer.add_string buf
-       (Printf.sprintf ", \"scope\": \"%s\"" (escape w.scope)));
+       (Printf.sprintf ", \"scope\": \"%s\"" (escape w.scope))
+   | Deadline_exceeded d ->
+     Buffer.add_string buf
+       (Printf.sprintf
+          ", \"job\": \"%s\", \"phase\": \"%s\", \"deadline_s\": %.9g"
+          (escape d.job) (escape d.phase) d.deadline_s)
+   | Job_quarantined q ->
+     Buffer.add_string buf
+       (Printf.sprintf
+          ", \"fingerprint\": \"%s\", \"failures\": %d, \"cooldown_s\": %.9g"
+          (escape q.fingerprint) q.failures q.cooldown_s));
   Buffer.add_char buf '}';
   Buffer.contents buf
 

@@ -18,8 +18,20 @@ type kind =
   | Checkpoint_corrupt of { path : string; detail : string }
   | Certification_violation of { measured : float; bound : float; step : int }
   | Watchdog_expired of { scope : string }  (** ["run"] or ["round"] *)
+  | Deadline_exceeded of {
+      job : string;  (** daemon job id *)
+      phase : string;  (** ["queued"] (expired before starting) or ["running"] *)
+      deadline_s : float;  (** the client-requested deadline, seconds *)
+    }  (** A service job blew its client-supplied wall-clock deadline. *)
+  | Job_quarantined of {
+      fingerprint : string;  (** digest/budget fingerprint of the poison job *)
+      failures : int;  (** abnormal worker deaths observed *)
+      cooldown_s : float;  (** how long resubmissions will be refused *)
+    }  (** Crash-loop detection tripped: the job is refused admission. *)
 
 type t = { round : int; kind : kind }
+(** [round] is 0 for service-side incidents (they are not tied to an
+    engine round). *)
 
 val make : round:int -> kind -> t
 

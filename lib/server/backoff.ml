@@ -1,0 +1,62 @@
+type t = {
+  base : float;
+  factor : float;
+  max_delay : float;
+  max_total : float;
+  jitter : float;
+}
+
+let default =
+  { base = 0.05; factor = 2.0; max_delay = 2.0; max_total = 30.0; jitter = 0.25 }
+
+(* SplitMix64 finalizer over the attempt counter: a cheap, stateless way
+   to get a well-distributed jitter factor that is a pure function of the
+   attempt number — reproducible schedules, no shared RNG state. *)
+let mix64 x =
+  let open Int64 in
+  let x = logxor x (shift_right_logical x 33) in
+  let x = mul x 0xff51afd7ed558ccdL in
+  let x = logxor x (shift_right_logical x 33) in
+  let x = mul x 0xc4ceb9fe1a85ec53L in
+  logxor x (shift_right_logical x 33)
+
+let unit_float attempt =
+  (* 53 uniform bits -> [0, 1). *)
+  let bits =
+    Int64.shift_right_logical (mix64 (Int64.of_int (attempt + 0x9e37)) ) 11
+  in
+  Int64.to_float bits /. 9007199254740992.0
+
+let delay t ~attempt =
+  let attempt = max 1 attempt in
+  let raw = t.base *. (t.factor ** float_of_int (attempt - 1)) in
+  let capped = Float.min raw t.max_delay in
+  let j = Float.max 0.0 (Float.min 1.0 t.jitter) in
+  (* scale in [1 - j, 1 + j], deterministic in the attempt number *)
+  let scale = 1.0 -. j +. (2.0 *. j *. unit_float attempt) in
+  Float.max 0.0 (capped *. scale)
+
+type schedule = {
+  policy : t;
+  mutable attempt : int;
+  mutable slept : float;
+}
+
+let start policy = { policy; attempt = 0; slept = 0.0 }
+
+let next_with_floor s ~floor =
+  let remaining = s.policy.max_total -. s.slept in
+  if remaining <= 0.0 then None
+  else begin
+    s.attempt <- s.attempt + 1;
+    let d = Float.max (delay s.policy ~attempt:s.attempt) floor in
+    (* Never grant more than the remaining budget: the schedule's total
+       sleep is hard-bounded by [max_total]. *)
+    let d = Float.min d remaining in
+    s.slept <- s.slept +. d;
+    Some d
+  end
+
+let next s = next_with_floor s ~floor:0.0
+let total_slept s = s.slept
+let attempts s = s.attempt

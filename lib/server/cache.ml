@@ -32,25 +32,49 @@ let key ~digest ~metric ~bound ~samples ~seed =
 
 let path t key = Filename.concat t.dir (key ^ ".json")
 
+let parse_entry k contents =
+  match Json.parse contents with
+  | Error _ -> None
+  | Ok v -> (
+    let str f = Option.bind (Json.member f v) Json.string_opt in
+    match (str "key", Json.member "report" v, str "blif") with
+    | Some stored_key, Some report, Some blif when stored_key = k ->
+      Some { key = k; report; blif }
+    | _ -> None)
+
+(* Reading must never leak the channel and must treat *any* failure as a
+   miss: a truncated entry makes [really_input_string] raise
+   [End_of_file], which a [Sys_error]-only handler would let escape —
+   taking the input channel with it.  [Fun.protect] owns the close. *)
+let read_file file =
+  match open_in_bin file with
+  | exception Sys_error _ -> None
+  | ic -> (
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic (in_channel_length ic) with
+        | contents -> Some contents
+        | exception _ -> None))
+
+let remove_quietly file = try Sys.remove file with Sys_error _ -> ()
+
+(* Touch an entry on every hit so the file mtime orders the entries by
+   last use — the eviction pass below is LRU because of this. *)
+let touch file = try Unix.utimes file 0.0 0.0 with Unix.Unix_error _ -> ()
+
 let find t k =
   let file = path t k in
-  match
-    let ic = open_in_bin file in
-    let len = in_channel_length ic in
-    let contents = really_input_string ic len in
-    close_in ic;
-    contents
-  with
-  | exception Sys_error _ -> None
-  | contents -> (
-    match Json.parse contents with
-    | Error _ -> None
-    | Ok v -> (
-      let str f = Option.bind (Json.member f v) Json.string_opt in
-      match (str "key", Json.member "report" v, str "blif") with
-      | Some stored_key, Some report, Some blif when stored_key = k ->
-        Some { key = k; report; blif }
-      | _ -> None))
+  match Option.bind (read_file file) (parse_entry k) with
+  | Some e ->
+    touch file;
+    Some e
+  | None ->
+    (* A corrupt or mismatched entry can never become a hit; delete it
+       so it stops costing an open + parse on every lookup. A missing
+       file makes [remove_quietly] a no-op. *)
+    if Sys.file_exists file then remove_quietly file;
+    None
 
 let store t e =
   let final = path t e.key in
@@ -76,13 +100,73 @@ let store t e =
   close_out oc;
   Sys.rename tmp final
 
-let size t =
+let entry_files t =
   match Sys.readdir t.dir with
-  | exception Sys_error _ -> 0
+  | exception Sys_error _ -> []
   | files ->
-    Array.fold_left
-      (fun acc f ->
-        if Filename.check_suffix f ".json" && not (String.length f > 0 && f.[0] = '.')
-        then acc + 1
-        else acc)
-      0 files
+    Array.to_list files
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".json"
+           && not (String.length f > 0 && f.[0] = '.'))
+
+let size t = List.length (entry_files t)
+
+let bytes t =
+  List.fold_left
+    (fun acc f ->
+      match Unix.stat (Filename.concat t.dir f) with
+      | st -> acc + st.Unix.st_size
+      | exception Unix.Unix_error _ -> acc)
+    0 (entry_files t)
+
+type eviction = { removed_corrupt : int; removed_lru : int; bytes_after : int }
+
+let evict t ~max_bytes =
+  let stats =
+    List.filter_map
+      (fun f ->
+        let file = Filename.concat t.dir f in
+        match Unix.stat file with
+        | st -> Some (file, st.Unix.st_size, st.Unix.st_mtime)
+        | exception Unix.Unix_error _ -> None)
+      (entry_files t)
+  in
+  let total = List.fold_left (fun acc (_, sz, _) -> acc + sz) 0 stats in
+  if total <= max_bytes then
+    { removed_corrupt = 0; removed_lru = 0; bytes_after = total }
+  else begin
+    (* Over the cap: corrupt entries go first (they can never be hits),
+       then least-recently-used entries until the cache fits.  The
+       entry's own key is recorded inside the file, so corruption is
+       detected exactly as [find] would: unreadable, unparsable, or a
+       stored key that does not match the filename. *)
+    let key_of file = Filename.remove_extension (Filename.basename file) in
+    let corrupt, valid =
+      List.partition
+        (fun (file, _, _) ->
+          Option.bind (read_file file) (parse_entry (key_of file)) = None)
+        stats
+    in
+    List.iter (fun (file, _, _) -> remove_quietly file) corrupt;
+    let total =
+      List.fold_left (fun acc (_, sz, _) -> acc + sz) 0 valid
+    in
+    let by_age =
+      List.sort (fun (_, _, a) (_, _, b) -> compare a b) valid
+    in
+    let removed_lru = ref 0 in
+    let remaining = ref total in
+    List.iter
+      (fun (file, sz, _) ->
+        if !remaining > max_bytes then begin
+          remove_quietly file;
+          remaining := !remaining - sz;
+          incr removed_lru
+        end)
+      by_age;
+    {
+      removed_corrupt = List.length corrupt;
+      removed_lru = !removed_lru;
+      bytes_after = !remaining;
+    }
+  end

@@ -37,10 +37,31 @@ val key :
 
 val find : t -> string -> entry option
 (** Look a key up on disk; [None] on a missing, corrupt or mismatched
-    entry. *)
+    entry. Any read or parse failure is a miss — the channel is always
+    closed (a truncated file must not leak an fd per lookup) and a
+    corrupt entry is deleted so it stops costing an open + parse on
+    every subsequent lookup. A hit refreshes the entry's mtime, which
+    is the recency order {!evict} uses. *)
 
 val store : t -> entry -> unit
 (** Atomically persist an entry (last writer wins). *)
 
 val size : t -> int
 (** Number of entry files currently on disk. *)
+
+val bytes : t -> int
+(** Total size of the entry files on disk, in bytes. *)
+
+type eviction = {
+  removed_corrupt : int;  (** unreadable / mismatched entries deleted *)
+  removed_lru : int;  (** valid entries deleted oldest-mtime-first *)
+  bytes_after : int;
+}
+
+val evict : t -> max_bytes:int -> eviction
+(** Bring the cache under [max_bytes]: a no-op when it already fits;
+    otherwise corrupt entries are removed first (they can never be
+    hits), then valid entries least-recently-used first ({!find} hits
+    refresh mtimes) until the total fits. Each removal is a single
+    [unlink] — concurrent readers see an atomic miss, never a torn
+    entry. *)

@@ -17,18 +17,19 @@ let connect_unix ?token path =
      raise e);
   of_fd ?token fd
 
-let connect_unix_retry ?(attempts = 100) ?(delay = 0.05) ?token path =
-  let rec go n =
+let connect_unix_retry ?(policy = Backoff.default) ?token path =
+  let schedule = Backoff.start policy in
+  let rec go () =
     match connect_unix ?token path with
     | t -> t
-    | exception e ->
-      if n <= 1 then raise e
-      else begin
-        Unix.sleepf delay;
-        go (n - 1)
-      end
+    | exception e -> (
+      match Backoff.next schedule with
+      | None -> raise e
+      | Some d ->
+        Unix.sleepf d;
+        go ())
   in
-  go (max 1 attempts)
+  go ()
 
 let connect_tcp ?token host port =
   let addr =
@@ -75,6 +76,13 @@ let error_message resp =
   | Some msg -> msg
   | None -> "server error"
 
+let error_code resp = Option.bind (Json.member "code" resp) Json.string_opt
+
+let retry_after resp =
+  Option.map
+    (fun ms -> float_of_int ms /. 1000.0)
+    (Option.bind (Json.member "retry_after_ms" resp) Json.int_opt)
+
 let submit t spec =
   match rpc t (Protocol.Submit spec) with
   | Error _ as e -> e
@@ -89,6 +97,45 @@ let submit t spec =
         | _ -> false
       in
       Ok (id, cached))
+
+(* Retrying a submit is safe by construction: submissions are
+   content-addressed (digest + parameters), so a retry either coalesces
+   onto the first attempt's job or hits its cached result — it can never
+   run the work twice.  The schedule honors the daemon's
+   [retry_after_ms] hint as a floor on each delay and is hard-bounded by
+   the policy's [max_total]. *)
+let submit_retry ?(policy = Backoff.default) t spec =
+  let schedule = Backoff.start policy in
+  let rec go () =
+    match rpc t (Protocol.Submit spec) with
+    | Error _ as e -> e
+    | Ok resp when ok resp -> (
+      match Option.bind (Json.member "job" resp) Json.string_opt with
+      | None -> Error "submit response missing job id"
+      | Some id ->
+        let cached =
+          match Json.member "cached" resp with
+          | Some (Json.Bool b) -> b
+          | _ -> false
+        in
+        Ok (id, cached))
+    | Ok resp -> (
+      match error_code resp with
+      | Some ("overloaded" | "quarantined") -> (
+        let floor = Option.value (retry_after resp) ~default:0.0 in
+        match Backoff.next_with_floor schedule ~floor with
+        | None ->
+          Error
+            (Printf.sprintf "%s (gave up after %d attempt(s), %.1fs)"
+               (error_message resp)
+               (Backoff.attempts schedule)
+               (Backoff.total_slept schedule))
+        | Some d ->
+          Unix.sleepf d;
+          go ())
+      | _ -> Error (error_message resp))
+  in
+  go ()
 
 let wait ?(poll_interval = 0.05) ?timeout t job =
   let deadline = Option.map (fun s -> Clock.now () +. s) timeout in
@@ -111,3 +158,9 @@ let wait ?(poll_interval = 0.05) ?timeout t job =
 
 let ping t =
   match rpc t Protocol.Ping with Ok resp -> ok resp | Error _ -> false
+
+let health t =
+  match rpc t Protocol.Health with
+  | Error _ as e -> e
+  | Ok resp when not (ok resp) -> Error (error_message resp)
+  | Ok resp -> Ok resp

@@ -13,10 +13,11 @@ type t
 val connect_unix : ?token:string -> string -> t
 (** Connect to a Unix-domain socket. Raises [Unix.Unix_error]. *)
 
-val connect_unix_retry :
-  ?attempts:int -> ?delay:float -> ?token:string -> string -> t
-(** Retry [connect_unix] (default 100 attempts, 50ms apart) — for
-    racing a daemon that is still booting. Raises the last error. *)
+val connect_unix_retry : ?policy:Backoff.t -> ?token:string -> string -> t
+(** Retry [connect_unix] under a {!Backoff} schedule (default
+    {!Backoff.default}: jittered exponential, 30s total budget) — for
+    racing a daemon that is still booting. Raises the last error once
+    the schedule is exhausted. *)
 
 val connect_tcp : ?token:string -> string -> int -> t
 (** Connect to [host, port]. Raises [Unix.Unix_error] / [Failure]. *)
@@ -34,8 +35,23 @@ val ok : Json.t -> bool
 val error_message : Json.t -> string
 (** The response's ["error"] field (or a placeholder). *)
 
+val error_code : Json.t -> string option
+(** The response's structured ["code"] field, e.g. ["overloaded"]. *)
+
+val retry_after : Json.t -> float option
+(** The response's ["retry_after_ms"] hint, converted to seconds. *)
+
 val submit : t -> Protocol.job_spec -> (string * bool, string) result
 (** Submit and return [(job id, cached)]; [Error] on rejection. *)
+
+val submit_retry :
+  ?policy:Backoff.t -> t -> Protocol.job_spec -> (string * bool, string) result
+(** As {!submit}, but retry [overloaded] / [quarantined] rejections
+    under a {!Backoff} schedule, honoring the daemon's [retry_after_ms]
+    hint as a per-step floor. Safe because submissions are
+    content-addressed: a retry coalesces onto the first attempt or hits
+    its cache entry, never duplicating work. [Error] once the policy's
+    [max_total] sleep budget is exhausted. *)
 
 val wait :
   ?poll_interval:float ->
@@ -50,3 +66,7 @@ val wait :
 
 val ping : t -> bool
 (** One ping round-trip; [false] on any failure. *)
+
+val health : t -> (Json.t, string) result
+(** The daemon's [health] response (queue depth, slots, cache size,
+    shed / deadline / quarantine totals, open fds). *)

@@ -8,6 +8,7 @@ type job_spec = {
   metric : Metric.kind;
   bound : float;
   budget : float option;
+  deadline : float option;
   priority : int;
   tenant : string;
   samples : int option;
@@ -21,6 +22,7 @@ type request =
   | Cancel of string
   | List
   | Metrics
+  | Health
   | Trace of string
   | Events of string
   | Ping
@@ -28,14 +30,24 @@ type request =
 
 let max_request_bytes = 16 * 1024 * 1024
 
-let request_to_json = function
+(* Major protocol version. Clients stamp every request with ["v"];
+   servers refuse versions they do not speak with a structured error
+   carrying their own version, so an incompatible client fails loud at
+   the first request instead of tripping over a missing field later.
+   A request without ["v"] is treated as version 1 (the field was
+   introduced in version 1, so absence can only mean a v1 writer). *)
+let version = 1
+
+let request_to_json req =
+  let obj fields = Json.Obj (("v", Json.Int version) :: fields) in
+  match req with
   | Submit spec ->
     let source_field =
       match spec.source with
       | Blif_text s -> ("circuit", Json.String s)
       | Named n -> ("name", Json.String n)
     in
-    Json.Obj
+    obj
       ([
          ("req", Json.String "submit");
          source_field;
@@ -44,6 +56,9 @@ let request_to_json = function
        ]
       @ (match spec.budget with
          | Some b -> [ ("budget", Json.Float b) ]
+         | None -> [])
+      @ (match spec.deadline with
+         | Some d -> [ ("deadline", Json.Float d) ]
          | None -> [])
       @ (if spec.priority <> 0 then [ ("priority", Json.Int spec.priority) ]
          else [])
@@ -54,15 +69,16 @@ let request_to_json = function
          | Some s -> [ ("samples", Json.Int s) ]
          | None -> [])
       @ if spec.seed <> 1 then [ ("seed", Json.Int spec.seed) ] else [])
-  | Status job -> Json.Obj [ ("req", Json.String "status"); ("job", Json.String job) ]
-  | Result job -> Json.Obj [ ("req", Json.String "result"); ("job", Json.String job) ]
-  | Cancel job -> Json.Obj [ ("req", Json.String "cancel"); ("job", Json.String job) ]
-  | List -> Json.Obj [ ("req", Json.String "list") ]
-  | Metrics -> Json.Obj [ ("req", Json.String "metrics") ]
-  | Trace job -> Json.Obj [ ("req", Json.String "trace"); ("job", Json.String job) ]
-  | Events job -> Json.Obj [ ("req", Json.String "events"); ("job", Json.String job) ]
-  | Ping -> Json.Obj [ ("req", Json.String "ping") ]
-  | Shutdown -> Json.Obj [ ("req", Json.String "shutdown") ]
+  | Status job -> obj [ ("req", Json.String "status"); ("job", Json.String job) ]
+  | Result job -> obj [ ("req", Json.String "result"); ("job", Json.String job) ]
+  | Cancel job -> obj [ ("req", Json.String "cancel"); ("job", Json.String job) ]
+  | List -> obj [ ("req", Json.String "list") ]
+  | Metrics -> obj [ ("req", Json.String "metrics") ]
+  | Health -> obj [ ("req", Json.String "health") ]
+  | Trace job -> obj [ ("req", Json.String "trace"); ("job", Json.String job) ]
+  | Events job -> obj [ ("req", Json.String "events"); ("job", Json.String job) ]
+  | Ping -> obj [ ("req", Json.String "ping") ]
+  | Shutdown -> obj [ ("req", Json.String "shutdown") ]
 
 let spec_of_json v =
   let str key = Option.bind (Json.member key v) Json.string_opt in
@@ -92,20 +108,25 @@ let spec_of_json v =
           match budget with
           | Some b when b <= 0.0 -> Error "submit: budget must be positive"
           | _ -> (
-            match int_field "samples" with
-            | Some s when s < 1 -> Error "submit: samples must be >= 1"
-            | samples ->
-              Ok
-                {
-                  source;
-                  metric;
-                  bound;
-                  budget;
-                  priority = Option.value (int_field "priority") ~default:0;
-                  tenant = Option.value (str "tenant") ~default:"default";
-                  samples;
-                  seed = Option.value (int_field "seed") ~default:1;
-                })))))
+            let deadline = num "deadline" in
+            match deadline with
+            | Some d when d <= 0.0 -> Error "submit: deadline must be positive"
+            | _ -> (
+              match int_field "samples" with
+              | Some s when s < 1 -> Error "submit: samples must be >= 1"
+              | samples ->
+                Ok
+                  {
+                    source;
+                    metric;
+                    bound;
+                    budget;
+                    deadline;
+                    priority = Option.value (int_field "priority") ~default:0;
+                    tenant = Option.value (str "tenant") ~default:"default";
+                    samples;
+                    seed = Option.value (int_field "seed") ~default:1;
+                  }))))))
 
 let request_of_json v =
   match Option.bind (Json.member "req" v) Json.string_opt with
@@ -123,6 +144,7 @@ let request_of_json v =
     | "cancel" -> with_job (fun j -> Cancel j)
     | "list" -> Ok List
     | "metrics" -> Ok Metrics
+    | "health" -> Ok Health
     | "trace" -> with_job (fun j -> Trace j)
     | "events" -> with_job (fun j -> Events j)
     | "ping" -> Ok Ping
@@ -136,22 +158,53 @@ let with_token token json =
   | Some tk, Json.Obj fields -> Json.Obj (fields @ [ ("token", Json.String tk) ])
   | _ -> json
 
-let parse_request_full line =
+type reject = Malformed of string | Unsupported_version of int
+
+let parse_request_v line =
   match Json.parse ~max_bytes:max_request_bytes line with
-  | Error msg -> Error msg
-  | Ok v -> Result.map (fun req -> (req, token_of_json v)) (request_of_json v)
+  | Error msg -> Error (Malformed msg)
+  | Ok v -> (
+    (* Version gate first: an incompatible client gets the structured
+       version error even when the rest of its request would not parse. *)
+    match Json.member "v" v with
+    | Some (Json.Int w) when w <> version -> Error (Unsupported_version w)
+    | Some (Json.Int _) | None -> (
+      match request_of_json v with
+      | Error msg -> Error (Malformed msg)
+      | Ok req -> Ok (req, token_of_json v))
+    | Some _ -> Error (Malformed "\"v\" must be an integer"))
+
+let reject_message = function
+  | Malformed msg -> msg
+  | Unsupported_version w ->
+    Printf.sprintf "unsupported protocol version %d (server speaks %d)" w
+      version
+
+let parse_request_full line =
+  Result.map_error reject_message (parse_request_v line)
 
 let parse_request line = Result.map fst (parse_request_full line)
 
 (* Requests that control or read other tenants' jobs.  Over TCP these
    require the daemon's shared token; the Unix socket is trusted (access
-   to it is filesystem permissions).  Submit/status/list/metrics/ping
-   stay open — they create or observe, they cannot steal or destroy. *)
+   to it is filesystem permissions).  Submit/status/list/metrics/ping/
+   health stay open — they create or observe, they cannot steal or
+   destroy. *)
 let privileged = function
   | Result _ | Cancel _ | Trace _ | Events _ | Shutdown -> true
-  | Submit _ | Status _ | List | Metrics | Ping -> false
+  | Submit _ | Status _ | List | Metrics | Health | Ping -> false
 
 let error_response msg =
   Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]
+
+(* Structured failure: machine-readable ["code"] plus code-specific
+   fields (e.g. ["retry_after_ms"] on "overloaded"), so clients can
+   react without parsing the human-readable message. *)
+let error_response_code ~code ?(extra = []) msg =
+  Json.Obj
+    (("ok", Json.Bool false)
+    :: ("error", Json.String msg)
+    :: ("code", Json.String code)
+    :: extra)
 
 let ok_response fields = Json.Obj (("ok", Json.Bool true) :: fields)

@@ -40,6 +40,12 @@ type job_spec = {
   metric : Metric.kind;
   bound : float;
   budget : float option;  (** per-job run-deadline, seconds *)
+  deadline : float option;
+      (** wall-clock deadline in seconds from submission; past it the
+          job is failed as [deadline_exceeded] — in-queue (never
+          started) or in-flight (slot reclaimed by the watchdog).
+          Unlike [budget], which degrades gracefully to the best
+          circuit found, a deadline is a hard fault. *)
   priority : int;  (** default 0; higher is scheduled first *)
   tenant : string;  (** fair-share identity; default ["default"] *)
   samples : int option;  (** [None]: the server default *)
@@ -53,6 +59,9 @@ type request =
   | Cancel of string
   | List
   | Metrics
+  | Health
+      (** load-balancer probe: queue depth, slots, cache size, shed /
+          deadline / quarantine counters, open fds *)
   | Trace of string
   | Events of string
   | Ping
@@ -62,6 +71,12 @@ val max_request_bytes : int
 (** Upper bound on one request line (16 MiB — a large BLIF fits, a
     hostile stream does not). Servers close the connection when a line
     exceeds it. *)
+
+val version : int
+(** Major protocol version, stamped on every encoded request as ["v"].
+    Servers refuse other versions with a structured
+    [code = "unsupported_version"] error carrying their own version; a
+    request without ["v"] is treated as version 1. *)
 
 val request_to_json : request -> Json.t
 val request_of_json : Json.t -> (request, string) result
@@ -73,6 +88,17 @@ val parse_request_full : string -> (request * string option, string) result
 (** As {!parse_request}, also returning the optional ["token"] field —
     parsed from the same JSON tree, so a 16 MiB submit is decoded once. *)
 
+type reject =
+  | Malformed of string  (** bad JSON or a bad request shape *)
+  | Unsupported_version of int  (** the client's ["v"] *)
+
+val parse_request_v : string -> (request * string option, reject) result
+(** As {!parse_request_full} with a typed rejection, so servers can
+    answer an {!Unsupported_version} with the structured error instead
+    of a generic parse failure. *)
+
+val reject_message : reject -> string
+
 val with_token : string option -> Json.t -> Json.t
 (** Attach a ["token"] field to an encoded request (client side). *)
 
@@ -82,6 +108,14 @@ val privileged : request -> bool
 
 val error_response : string -> Json.t
 (** [{"ok": false, "error": msg}]. *)
+
+val error_response_code :
+  code:string -> ?extra:(string * Json.t) list -> string -> Json.t
+(** [{"ok": false, "error": msg, "code": code, ...extra}] — a
+    structured failure clients can react to without parsing the
+    message. Codes in use: ["overloaded"] (with ["retry_after_ms"]),
+    ["quarantined"] (with ["retry_after_ms"]),
+    ["unsupported_version"] (with ["v"], the server's version). *)
 
 val ok_response : (string * Json.t) list -> Json.t
 (** [{"ok": true, ...fields}]. *)

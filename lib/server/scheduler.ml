@@ -20,6 +20,7 @@ type job = {
   key : string;
   submitted_wall : float;  (* Unix epoch, for display *)
   submitted_mono : float;  (* Clock.now, for durations *)
+  deadline_mono : float option;  (* absolute Clock.now deadline *)
   cancel_flag : bool Atomic.t;
   mutable state : state;
   mutable started_mono : float option;
@@ -94,6 +95,7 @@ let submit t ~spec ~circuit ~digest ~key ?cached () =
           (Int64.shift_left (Random.State.int64 t.rng Int64.max_int) 1)
           (Int64.of_int (Random.State.int t.rng 2))
       in
+      let now_mono = Clock.now () in
       let j =
         {
           id = Printf.sprintf "j-%06d-%016Lx" seq nonce;
@@ -103,7 +105,9 @@ let submit t ~spec ~circuit ~digest ~key ?cached () =
           digest;
           key;
           submitted_wall = Unix.gettimeofday ();
-          submitted_mono = Clock.now ();
+          submitted_mono = now_mono;
+          deadline_mono =
+            Option.map (fun d -> now_mono +. d) spec.Protocol.deadline;
           cancel_flag = Atomic.make false;
           state = (match cached with Some _ -> Done | None -> Queued);
           started_mono = None;
@@ -164,7 +168,7 @@ let policy_order running_of_tenant a b =
     in
     if c <> 0 then c else compare a.seq b.seq
 
-let queued_in_order t =
+let running_by_tenant t =
   (* Call with the lock held. *)
   let running = Hashtbl.create 8 in
   List.iter
@@ -174,21 +178,37 @@ let queued_in_order t =
         Hashtbl.replace running tenant
           (1 + Option.value (Hashtbl.find_opt running tenant) ~default:0))
     t.jobs;
-  let running_of_tenant tenant =
-    Option.value (Hashtbl.find_opt running tenant) ~default:0
-  in
+  fun tenant -> Option.value (Hashtbl.find_opt running tenant) ~default:0
+
+let queued_in_order t =
+  (* Call with the lock held. *)
+  let running_of_tenant = running_by_tenant t in
   List.filter (fun j -> j.state = Queued) t.jobs
   |> List.sort (policy_order running_of_tenant)
 
-let pick t =
+let pick ?tenant_max_running t =
   locked t (fun () ->
-      match queued_in_order t with
+      let running_of_tenant = running_by_tenant t in
+      let admissible j =
+        (* The per-tenant running quota is enforced at pick time: an
+           over-quota tenant's queued jobs wait (they are not shed — the
+           queue quota already bounded them at admission), and the next
+           tenant in policy order runs instead. *)
+        match tenant_max_running with
+        | Some cap when cap > 0 ->
+          running_of_tenant j.spec.Protocol.tenant < cap
+        | _ -> true
+      in
+      match List.filter admissible (queued_in_order t) with
       | [] -> None
       | j :: _ ->
         j.state <- Running;
         j.started_mono <- Some (Clock.now ());
         push_event j "started" [];
         Some j)
+
+let terminal j =
+  match j.state with Done | Failed | Cancelled -> true | Queued | Running -> false
 
 let cancel t j =
   locked t (fun () ->
@@ -204,26 +224,94 @@ let cancel t j =
         `Cancel_requested
       | Done | Failed | Cancelled -> `Already_finished)
 
+(* Terminal transitions are idempotent no-ops once a job is terminal:
+   the deadline watchdog may reclaim an abandoned job's slot and fail it
+   while its worker domain is still unwinding — whatever that worker
+   reports afterwards must not resurrect or overwrite the verdict. *)
+
 let finish t j entry ~degraded =
   locked t (fun () ->
-      j.state <- Done;
-      j.degraded <- degraded;
-      j.result <- Some entry;
-      j.finished_mono <- Some (Clock.now ());
-      push_event j "done" [ ("degraded", Json.Bool degraded) ])
+      if not (terminal j) then begin
+        j.state <- Done;
+        j.degraded <- degraded;
+        j.result <- Some entry;
+        j.finished_mono <- Some (Clock.now ());
+        push_event j "done" [ ("degraded", Json.Bool degraded) ]
+      end)
 
 let fail t j msg =
   locked t (fun () ->
-      j.state <- Failed;
-      j.failure <- Some msg;
-      j.finished_mono <- Some (Clock.now ());
-      push_event j "failed" [ ("error", Json.String msg) ])
+      if not (terminal j) then begin
+        j.state <- Failed;
+        j.failure <- Some msg;
+        j.finished_mono <- Some (Clock.now ());
+        push_event j "failed" [ ("error", Json.String msg) ]
+      end)
 
 let finished_cancelled t j =
   locked t (fun () ->
-      j.state <- Cancelled;
-      j.finished_mono <- Some (Clock.now ());
-      push_event j "cancelled" [ ("while", Json.String "running") ])
+      if not (terminal j) then begin
+        j.state <- Cancelled;
+        j.finished_mono <- Some (Clock.now ());
+        push_event j "cancelled" [ ("while", Json.String "running") ]
+      end)
+
+let deadline_failure = "deadline_exceeded"
+
+let expire t j =
+  locked t (fun () ->
+      match j.state with
+      | Queued | Running ->
+        let phase = if j.state = Queued then "queued" else "running" in
+        (* The worker (if any) still holds the cooperative flag; set it
+           so an abandoned domain unwinds at its next round boundary. *)
+        Atomic.set j.cancel_flag true;
+        j.state <- Failed;
+        j.failure <- Some deadline_failure;
+        j.finished_mono <- Some (Clock.now ());
+        push_event j "deadline_exceeded" [ ("while", Json.String phase) ];
+        Some phase
+      | Done | Failed | Cancelled -> None)
+
+let deadline_mono j = j.deadline_mono
+
+let deadline_expired j ~now =
+  match j.deadline_mono with None -> false | Some d -> now >= d
+
+let expired t ~now =
+  locked t (fun () ->
+      List.filter
+        (fun j ->
+          (j.state = Queued || j.state = Running) && deadline_expired j ~now)
+        (List.rev t.jobs))
+
+(* Admission-control inputs: how much is queued/running overall and per
+   tenant.  Reading and the subsequent submit both happen on the
+   daemon's single select-loop thread, so check-then-admit does not
+   race; workers can only shrink these counts in between, which makes
+   admission conservative, never over-permissive. *)
+
+let totals t =
+  locked t (fun () ->
+      List.fold_left
+        (fun (q, r) j ->
+          match j.state with
+          | Queued -> (q + 1, r)
+          | Running -> (q, r + 1)
+          | _ -> (q, r))
+        (0, 0) t.jobs)
+
+let tenant_load t tenant =
+  locked t (fun () ->
+      List.fold_left
+        (fun (q, r) j ->
+          if j.spec.Protocol.tenant <> tenant then (q, r)
+          else
+            match j.state with
+            | Queued -> (q + 1, r)
+            | Running -> (q, r + 1)
+            | _ -> (q, r))
+        (0, 0) t.jobs)
 
 type view = {
   v_id : string;

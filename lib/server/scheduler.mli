@@ -68,10 +68,12 @@ val active_by_key : t -> string -> budget:float option -> job option
     this cache key and the same [budget], or a successfully (converged,
     non-degraded) [Done] one regardless of budget. *)
 
-val pick : t -> job option
+val pick : ?tenant_max_running:int -> t -> job option
 (** Select the next queued job under the scheduling policy, mark it
     [Running], stamp [started_at], and return it. [None] when nothing is
-    queued. *)
+    queued. With [tenant_max_running > 0], queued jobs of a tenant that
+    already has that many jobs running are passed over (they wait, they
+    are not shed) and the next tenant in policy order runs instead. *)
 
 val cancel_requested : job -> bool
 (** Polled by workers (atomic flag; no lock needed on the hot path). *)
@@ -84,7 +86,36 @@ val cancel :
 val finish : t -> job -> Cache.entry -> degraded:bool -> unit
 val fail : t -> job -> string -> unit
 val finished_cancelled : t -> job -> unit
-(** A worker observed the cancel flag and unwound. *)
+(** A worker observed the cancel flag and unwound.
+
+    All three terminal transitions are idempotent no-ops on a job that
+    is already terminal: the deadline watchdog may {!expire} an
+    abandoned job while its worker domain is still unwinding, and the
+    worker's late report must not overwrite the verdict. *)
+
+val deadline_failure : string
+(** The failure string ({!view}'s [v_failure]) of a deadline-expired
+    job: ["deadline_exceeded"]. *)
+
+val expire : t -> job -> string option
+(** Fail a queued or running job as {!deadline_failure}, setting its
+    cooperative cancel flag so an abandoned worker unwinds at the next
+    round boundary. Returns the phase it was in (["queued"] /
+    ["running"]), or [None] if the job was already terminal. *)
+
+val deadline_mono : job -> float option
+(** The absolute monotonic deadline ([Clock.now]-based), if any. *)
+
+val expired : t -> now:float -> job list
+(** Queued or running jobs whose deadline is at or past [now], in
+    submission order — the watchdog sweep's work list. *)
+
+val totals : t -> int * int
+(** [(queued, running)] across all tenants. *)
+
+val tenant_load : t -> string -> int * int
+(** [(queued, running)] for one tenant — the admission-control input
+    for per-tenant quotas. *)
 
 val record_event : t -> job -> string -> (string * Json.t) list -> unit
 (** Append a timestamped event to the job's JSONL event log. *)

@@ -8,6 +8,7 @@ module Bench_suite = Accals_circuits.Bench_suite
 module Engine = Accals.Engine
 module Config = Accals.Config
 module Report_json = Accals.Report_json
+module Incident = Accals_audit.Incident
 
 type config = {
   socket : string;
@@ -15,7 +16,14 @@ type config = {
   tcp_token : string option;
   jobs : int;
   max_concurrent : int;
+  max_queue : int;
+  tenant_max_queued : int;
+  tenant_max_running : int;
+  deadline_grace : float;
+  quarantine_threshold : int;
+  quarantine_cooldown : float;
   cache_dir : string option;
+  cache_max_bytes : int;
   state_dir : string option;
   default_samples : int;
   log : bool;
@@ -28,7 +36,14 @@ let default_config =
     tcp_token = None;
     jobs = 0;
     max_concurrent = 2;
+    max_queue = 256;
+    tenant_max_queued = 64;
+    tenant_max_running = 0;
+    deadline_grace = 2.0;
+    quarantine_threshold = 3;
+    quarantine_cooldown = 300.0;
     cache_dir = None;
+    cache_max_bytes = 0;
     state_dir = None;
     default_samples = 2048;
     log = true;
@@ -55,6 +70,23 @@ type conn = {
    slack fits. *)
 let max_outbox_bytes = 64 * 1024 * 1024
 
+(* One worker domain per running job.  [w_completed] is the join
+   condition: OCaml domains cannot be killed, so the main loop only ever
+   joins a domain whose body has finished (set in the spawn closure's
+   [Fun.protect]).  A wedged worker past its job's deadline + grace is
+   moved off the slot-holding list instead (see [sweep_deadlines]) and
+   joined later, if it ever unwinds. *)
+type worker = {
+  w_domain : unit Domain.t;
+  w_job : Scheduler.job;
+  w_completed : bool Atomic.t;
+}
+
+(* Crash-loop record for one job fingerprint (cache key + budget).
+   [q_until] is an absolute [Clock.now] instant; 0.0 means "failures
+   observed but not quarantined yet". *)
+type quarantine_entry = { mutable q_failures : int; mutable q_until : float }
+
 type t = {
   cfg : config;
   per_job_jobs : int;  (** engine domains per running job *)
@@ -68,7 +100,19 @@ type t = {
   nets_mutex : Mutex.t;
   nets : (string, Network.t) Hashtbl.t;  (** job id -> parsed circuit *)
   mutable conns : conn list;
-  mutable workers : (unit Domain.t * Scheduler.job) list;
+  mutable workers : worker list;
+  mutable zombies : worker list;
+      (** abandoned (deadline-wedged) workers: no longer hold a slot,
+          joined opportunistically once they unwind *)
+  quarantine : (string, quarantine_entry) Hashtbl.t;
+      (** main-loop only: reaping, sweeping and admission all run on the
+          select-loop thread *)
+  run_mutex : Mutex.t;
+  mutable run_total_s : float;  (** guarded by [run_mutex] *)
+  mutable run_count : int;  (** guarded by [run_mutex] *)
+  mutable n_shed : int;  (** main-loop only; mirrors [m_shed] for health *)
+  mutable n_deadline : int;
+  mutable n_quarantined : int;
   stopped : bool Atomic.t;
   started_mono : float;
   reg : Metrics.t;
@@ -76,9 +120,13 @@ type t = {
   m_cache_hit_mem : Metrics.counter;
   m_cache_hit_disk : Metrics.counter;
   m_cache_miss : Metrics.counter;
+  m_shed : Metrics.counter;
+  m_deadline : Metrics.counter;
+  m_quarantined : Metrics.counter;
   g_queue : Metrics.gauge;
   g_running : Metrics.gauge;
   g_cache : Metrics.gauge;
+  g_cache_bytes : Metrics.gauge;
   g_conns : Metrics.gauge;
   h_wait : Metrics.histogram;
   h_run : Metrics.histogram;
@@ -201,6 +249,14 @@ let create cfg =
       nets = Hashtbl.create 16;
       conns = [];
       workers = [];
+      zombies = [];
+      quarantine = Hashtbl.create 16;
+      run_mutex = Mutex.create ();
+      run_total_s = 0.0;
+      run_count = 0;
+      n_shed = 0;
+      n_deadline = 0;
+      n_quarantined = 0;
       stopped = Atomic.make false;
       started_mono = Clock.now ();
       reg;
@@ -217,9 +273,20 @@ let create cfg =
       m_cache_miss =
         counter "accals_server_cache_misses_total"
           "Submissions that had to run the engine";
+      m_shed =
+        counter "accals_server_shed_total"
+          "Submissions rejected by admission control (queue or quota full)";
+      m_deadline =
+        counter "accals_server_deadline_exceeded_total"
+          "Jobs failed for blowing their client-supplied deadline";
+      m_quarantined =
+        counter "accals_server_quarantined_total"
+          "Job fingerprints placed in crash-loop quarantine";
       g_queue = gauge "accals_server_queue_depth" "Jobs waiting to run";
       g_running = gauge "accals_server_running_jobs" "Jobs currently running";
       g_cache = gauge "accals_server_cache_entries" "Result cache entries on disk";
+      g_cache_bytes =
+        gauge "accals_server_cache_bytes" "Result cache size on disk, bytes";
       g_conns = gauge "accals_server_connections" "Open client connections";
       h_wait =
         Metrics.histogram reg ~help:"Queue wait per job, seconds"
@@ -258,13 +325,127 @@ let update_gauges t =
   Metrics.set t.g_queue (n Scheduler.Queued);
   Metrics.set t.g_running (n Scheduler.Running);
   Metrics.set t.g_conns (float_of_int (List.length t.conns));
-  Option.iter (fun c -> Metrics.set t.g_cache (float_of_int (Cache.size c))) t.cache
+  Option.iter
+    (fun c ->
+      Metrics.set t.g_cache (float_of_int (Cache.size c));
+      Metrics.set t.g_cache_bytes (float_of_int (Cache.bytes c)))
+    t.cache
 
 let metrics t =
   update_gauges t;
   Metrics.snapshot t.reg
 
+(* -- incidents and overload hints ---------------------------------------- *)
+
+let record_incident t kind =
+  match t.cfg.state_dir with
+  | None -> ()
+  | Some dir -> (
+    ensure_dir dir;
+    try
+      Incident.append_jsonl
+        ~path:(Filename.concat dir "incidents.jsonl")
+        [ Incident.make ~round:0 kind ]
+    with Sys_error _ -> ())
+
+let observe_run t seconds =
+  Mutex.protect t.run_mutex (fun () ->
+      t.run_total_s <- t.run_total_s +. seconds;
+      t.run_count <- t.run_count + 1)
+
+(* How long a shed client should wait before retrying: the observed
+   average job run time scaled by the backlog per slot, clamped to
+   [100ms, 60s].  A heuristic, not a promise — but it is derived from
+   this daemon's actual service rate, so a queue of long syntheses hints
+   minutes where a queue of cache-warm repeats hints milliseconds. *)
+let retry_after_ms t =
+  let avg =
+    Mutex.protect t.run_mutex (fun () ->
+        if t.run_count = 0 then 0.5
+        else t.run_total_s /. float_of_int t.run_count)
+  in
+  let queued, running = Scheduler.totals t.sched in
+  let backlog =
+    float_of_int (queued + running) /. float_of_int t.cfg.max_concurrent
+  in
+  let hint_s = avg *. Float.max 1.0 backlog in
+  int_of_float (Float.max 100.0 (Float.min 60_000.0 (hint_s *. 1000.0)))
+
+(* -- quarantine ----------------------------------------------------------- *)
+
+(* A poison job is identified by what reaches the engine: the cache key
+   (digest + result-determining parameters) plus the budget, which
+   shapes the run.  All quarantine state lives on the main loop. *)
+let fingerprint_of ~key ~budget =
+  key ^ match budget with None -> "" | Some b -> Printf.sprintf "-b%h" b
+
+let fingerprint job =
+  fingerprint_of ~key:(Scheduler.key job)
+    ~budget:(Scheduler.spec job).Protocol.budget
+
+let quarantined t fp =
+  match Hashtbl.find_opt t.quarantine fp with
+  | Some e when e.q_until > Clock.now () ->
+    Some (int_of_float (Float.ceil ((e.q_until -. Clock.now ()) *. 1000.0)))
+  | _ -> None
+
+(* Called exactly once per reaped worker (normal or zombie): count
+   abnormal deaths toward quarantine, clear the record on success.  A
+   deadline reap is the watchdog's verdict, not the job's fault, so it
+   does not count. *)
+let note_worker_outcome t job =
+  if t.cfg.quarantine_threshold > 0 then begin
+    let fp = fingerprint job in
+    match Scheduler.state t.sched job with
+    | Scheduler.Failed
+      when (Scheduler.view t.sched job).Scheduler.v_failure
+           <> Some Scheduler.deadline_failure ->
+      let entry =
+        match Hashtbl.find_opt t.quarantine fp with
+        | Some e -> e
+        | None ->
+          let e = { q_failures = 0; q_until = 0.0 } in
+          Hashtbl.add t.quarantine fp e;
+          e
+      in
+      entry.q_failures <- entry.q_failures + 1;
+      if
+        entry.q_failures >= t.cfg.quarantine_threshold
+        && entry.q_until <= Clock.now ()
+      then begin
+        entry.q_until <- Clock.now () +. t.cfg.quarantine_cooldown;
+        t.n_quarantined <- t.n_quarantined + 1;
+        Metrics.incr t.m_quarantined;
+        log t "quarantined %s for %.0fs after %d abnormal worker death(s)" fp
+          t.cfg.quarantine_cooldown entry.q_failures;
+        record_incident t
+          (Incident.Job_quarantined
+             {
+               fingerprint = fp;
+               failures = entry.q_failures;
+               cooldown_s = t.cfg.quarantine_cooldown;
+             })
+      end
+    | Scheduler.Done -> Hashtbl.remove t.quarantine fp
+    | _ -> ()
+  end
+
 (* -- admission ----------------------------------------------------------- *)
+
+(* Structured admission failures, so [handle_submit] can answer with a
+   machine-readable code and a retry hint instead of prose alone. *)
+type reject =
+  | Bad_request of string
+  | Overloaded of { scope : string; retry_after_ms : int }
+  | Quarantined of { fingerprint : string; retry_after_ms : int }
+
+let reject_to_string = function
+  | Bad_request msg -> msg
+  | Overloaded { scope; retry_after_ms } ->
+    Printf.sprintf "overloaded (%s); retry in ~%dms" scope retry_after_ms
+  | Quarantined { fingerprint; retry_after_ms } ->
+    Printf.sprintf "quarantined (%s); retry in ~%dms" fingerprint
+      retry_after_ms
 
 let net_of_source = function
   | Protocol.Named name -> (
@@ -287,10 +468,13 @@ let take_net t id =
 
 (* [admit] is the single path every submission takes (socket submits and
    checkpointed re-admissions alike): parse, digest, cache-key, then
-   dedup against finished/in-flight work before queueing. *)
+   dedup against finished/in-flight work, and only if the job would
+   actually consume a queue slot apply admission control (quarantine,
+   global queue bound, per-tenant queued quota).  Coalesced and cached
+   answers are never shed — they cost nothing to serve. *)
 let admit t (spec : Protocol.job_spec) =
   match net_of_source spec.Protocol.source with
-  | Error _ as e -> e
+  | Error msg -> Error (Bad_request msg)
   | Ok net ->
     let digest = Network.digest net in
     let samples =
@@ -308,9 +492,9 @@ let admit t (spec : Protocol.job_spec) =
          (Network.name net) (Scheduler.id j);
        Ok (j, `Coalesced done_)
      | None -> (
-       Metrics.incr t.m_submitted;
        match Option.bind t.cache (fun c -> Cache.find c key) with
        | Some entry ->
+         Metrics.incr t.m_submitted;
          Metrics.incr t.m_cache_hit_disk;
          let j =
            Scheduler.submit t.sched ~spec ~circuit:(Network.name net) ~digest
@@ -318,16 +502,45 @@ let admit t (spec : Protocol.job_spec) =
          in
          log t "cache hit (disk): %s -> %s" (Network.name net) (Scheduler.id j);
          Ok (j, `Cached)
-       | None ->
-         Metrics.incr t.m_cache_miss;
-         let j =
-           Scheduler.submit t.sched ~spec ~circuit:(Network.name net) ~digest
-             ~key ()
-         in
-         retain_net t (Scheduler.id j) net;
-         log t "queued %s as %s (key %s)" (Network.name net) (Scheduler.id j)
-           key;
-         Ok (j, `Queued)))
+       | None -> (
+         let fp = fingerprint_of ~key ~budget:spec.Protocol.budget in
+         match quarantined t fp with
+         | Some retry_after_ms ->
+           log t "refused %s: fingerprint %s is quarantined"
+             (Network.name net) fp;
+           Error (Quarantined { fingerprint = fp; retry_after_ms })
+         | None ->
+           let shed scope =
+             t.n_shed <- t.n_shed + 1;
+             Metrics.incr t.m_shed;
+             let retry_after_ms = retry_after_ms t in
+             log t "shed %s (%s; retry in ~%dms)" (Network.name net) scope
+               retry_after_ms;
+             Error (Overloaded { scope; retry_after_ms })
+           in
+           let queued_total, _ = Scheduler.totals t.sched in
+           if t.cfg.max_queue > 0 && queued_total >= t.cfg.max_queue then
+             shed "queue full"
+           else
+             let tenant_queued, _ =
+               Scheduler.tenant_load t.sched spec.Protocol.tenant
+             in
+             if
+               t.cfg.tenant_max_queued > 0
+               && tenant_queued >= t.cfg.tenant_max_queued
+             then shed (Printf.sprintf "tenant %S queue quota" spec.Protocol.tenant)
+             else begin
+               Metrics.incr t.m_submitted;
+               Metrics.incr t.m_cache_miss;
+               let j =
+                 Scheduler.submit t.sched ~spec ~circuit:(Network.name net)
+                   ~digest ~key ()
+               in
+               retain_net t (Scheduler.id j) net;
+               log t "queued %s as %s (key %s)" (Network.name net)
+                 (Scheduler.id j) key;
+               Ok (j, `Queued)
+             end)))
 
 let restore_queue t =
   match t.cfg.state_dir with
@@ -347,7 +560,7 @@ let restore_queue t =
         (fun spec ->
           match admit t spec with
           | Ok (j, _) -> log t "re-admitted %s from queue checkpoint" (Scheduler.id j)
-          | Error msg -> log t "dropped checkpointed job: %s" msg)
+          | Error r -> log t "dropped checkpointed job: %s" (reject_to_string r))
         specs)
 
 (* -- workers ------------------------------------------------------------- *)
@@ -391,7 +604,16 @@ let worker_body t job net =
      if not report.Engine.degraded then
        Option.iter
          (fun c ->
-           try Cache.store c entry
+           try
+             Cache.store c entry;
+             if t.cfg.cache_max_bytes > 0 then begin
+               let ev = Cache.evict c ~max_bytes:t.cfg.cache_max_bytes in
+               if ev.Cache.removed_corrupt + ev.Cache.removed_lru > 0 then
+                 log t
+                   "cache eviction: removed %d corrupt + %d lru entries, %d bytes remain"
+                   ev.Cache.removed_corrupt ev.Cache.removed_lru
+                   ev.Cache.bytes_after
+             end
            with e ->
              log t "cache store failed for %s: %s" (Scheduler.key job)
                (Printexc.to_string e))
@@ -406,30 +628,101 @@ let worker_body t job net =
      Metrics.incr (finished_counter t "failed"));
   (let v = Scheduler.view t.sched job in
    Option.iter (Metrics.observe t.h_wait) v.Scheduler.v_wait_s;
-   Option.iter (Metrics.observe t.h_run) v.Scheduler.v_run_s);
-  wake t
+   Option.iter
+     (fun s ->
+       Metrics.observe t.h_run s;
+       observe_run t s)
+     v.Scheduler.v_run_s)
 
+(* Join only domains whose body has finished ([w_completed]): a
+   scheduler-state check would deadlock-adjacent-block on a worker whose
+   job the watchdog failed while the domain is still crunching. *)
 let reap t =
-  let finished, alive =
+  let reap_list workers =
+    let finished, alive =
+      List.partition (fun w -> Atomic.get w.w_completed) workers
+    in
+    List.iter
+      (fun w ->
+        Domain.join w.w_domain;
+        note_worker_outcome t w.w_job)
+      finished;
+    alive
+  in
+  t.workers <- reap_list t.workers;
+  t.zombies <- reap_list t.zombies
+
+(* Deadline enforcement, run every loop tick.  Two stages: any queued or
+   running job past its deadline is failed as [deadline_exceeded]
+   immediately (the cooperative cancel flag is set so a live worker
+   unwinds at the next round boundary, and the idempotent terminal
+   transitions make its late report a no-op); a worker still not done at
+   deadline + grace is abandoned — moved off the slot-holding list so
+   [dispatch] reuses the slot — because domains cannot be killed. *)
+let sweep_deadlines t =
+  let now = Clock.now () in
+  List.iter
+    (fun job ->
+      match Scheduler.expire t.sched job with
+      | None -> ()
+      | Some phase ->
+        t.n_deadline <- t.n_deadline + 1;
+        Metrics.incr t.m_deadline;
+        let deadline_s =
+          Option.value (Scheduler.spec job).Protocol.deadline ~default:0.0
+        in
+        log t "%s exceeded its %.1fs deadline while %s" (Scheduler.id job)
+          deadline_s phase;
+        record_incident t
+          (Incident.Deadline_exceeded
+             { job = Scheduler.id job; phase; deadline_s });
+        (* An expired queued job never starts; drop its parsed circuit. *)
+        if phase = "queued" then ignore (take_net t (Scheduler.id job)))
+    (Scheduler.expired t.sched ~now);
+  let wedged, alive =
     List.partition
-      (fun (_, job) -> Scheduler.state t.sched job <> Scheduler.Running)
+      (fun w ->
+        (not (Atomic.get w.w_completed))
+        &&
+        match Scheduler.deadline_mono w.w_job with
+        | Some d -> now >= d +. t.cfg.deadline_grace
+        | None -> false)
       t.workers
   in
-  List.iter (fun (d, _) -> Domain.join d) finished;
-  t.workers <- alive
+  if wedged <> [] then begin
+    t.workers <- alive;
+    List.iter
+      (fun w ->
+        log t "abandoning wedged worker for %s (deadline + %.1fs grace)"
+          (Scheduler.id w.w_job) t.cfg.deadline_grace)
+      wedged;
+    t.zombies <- wedged @ t.zombies
+  end
 
 let dispatch t =
   let continue = ref true in
   while !continue && List.length t.workers < t.cfg.max_concurrent do
-    match Scheduler.pick t.sched with
+    let tenant_max_running =
+      if t.cfg.tenant_max_running > 0 then Some t.cfg.tenant_max_running
+      else None
+    in
+    match Scheduler.pick ?tenant_max_running t.sched with
     | None -> continue := false
     | Some job -> (
       match take_net t (Scheduler.id job) with
       | None -> Scheduler.fail t.sched job "internal error: circuit not retained"
       | Some net ->
         log t "start %s" (Scheduler.id job);
-        let d = Domain.spawn (fun () -> worker_body t job net) in
-        t.workers <- (d, job) :: t.workers)
+        let completed = Atomic.make false in
+        let d =
+          Domain.spawn (fun () ->
+              Fun.protect
+                ~finally:(fun () ->
+                  Atomic.set completed true;
+                  wake t)
+                (fun () -> worker_body t job net))
+        in
+        t.workers <- { w_domain = d; w_job = job; w_completed = completed } :: t.workers)
   done
 
 (* -- request handling ---------------------------------------------------- *)
@@ -461,7 +754,17 @@ let with_job t id f =
 
 let handle_submit t spec =
   match admit t spec with
-  | Error msg -> Protocol.error_response msg
+  | Error (Bad_request msg) -> Protocol.error_response msg
+  | Error (Overloaded { scope; retry_after_ms }) ->
+    Protocol.error_response_code ~code:"overloaded"
+      ~extra:[ ("retry_after_ms", Json.Int retry_after_ms) ]
+      (Printf.sprintf "overloaded: %s" scope)
+  | Error (Quarantined { fingerprint; retry_after_ms }) ->
+    Protocol.error_response_code ~code:"quarantined"
+      ~extra:[ ("retry_after_ms", Json.Int retry_after_ms) ]
+      (Printf.sprintf
+         "fingerprint %s is quarantined after repeated worker failures"
+         fingerprint)
   | Ok (j, how) ->
     let v = Scheduler.view t.sched j in
     let cached =
@@ -521,6 +824,37 @@ let handle_request t req =
     with_job t id (fun j ->
         Protocol.ok_response
           [ ("events", Json.List (Scheduler.events t.sched j)) ])
+  | Protocol.Health ->
+    (* Everything a load balancer or the CI soak needs in one cheap,
+       unprivileged round-trip.  [open_fds] exposes the daemon's own fd
+       count (via /proc; -1 where unavailable) so a soak can assert the
+       daemon does not leak descriptors under flood. *)
+    let queued, running = Scheduler.totals t.sched in
+    let open_fds =
+      match Sys.readdir "/proc/self/fd" with
+      | entries -> Array.length entries
+      | exception Sys_error _ -> -1
+    in
+    Protocol.ok_response
+      [
+        ("queue_depth", Json.Int queued);
+        ("running", Json.Int running);
+        ("slots", Json.Int t.cfg.max_concurrent);
+        ("slots_free",
+         Json.Int (max 0 (t.cfg.max_concurrent - List.length t.workers)));
+        ("max_queue", Json.Int t.cfg.max_queue);
+        ("zombies", Json.Int (List.length t.zombies));
+        ("connections", Json.Int (List.length t.conns));
+        ("cache_entries",
+         opt_json (fun c -> Json.Int (Cache.size c)) t.cache);
+        ("cache_bytes",
+         opt_json (fun c -> Json.Int (Cache.bytes c)) t.cache);
+        ("shed_total", Json.Int t.n_shed);
+        ("deadline_exceeded_total", Json.Int t.n_deadline);
+        ("quarantined_total", Json.Int t.n_quarantined);
+        ("uptime_s", Json.Float (Clock.now () -. t.started_mono));
+        ("open_fds", Json.Int open_fds);
+      ]
   | Protocol.Ping ->
     Protocol.ok_response
       [
@@ -540,6 +874,7 @@ let request_name = function
   | Protocol.Cancel _ -> "cancel"
   | Protocol.List -> "list"
   | Protocol.Metrics -> "metrics"
+  | Protocol.Health -> "health"
   | Protocol.Trace _ -> "trace"
   | Protocol.Events _ -> "events"
   | Protocol.Ping -> "ping"
@@ -567,8 +902,15 @@ let authorized t origin req ~token =
        | _ -> false)
 
 let handle_line t origin line =
-  match Protocol.parse_request_full line with
-  | Error msg ->
+  match Protocol.parse_request_v line with
+  | Error (Protocol.Unsupported_version _ as r) ->
+    (* Structured: a newer client learns the server's version from the
+       first response instead of misparsing a generic error. *)
+    Metrics.incr (request_counter t "invalid");
+    Protocol.error_response_code ~code:"unsupported_version"
+      ~extra:[ ("v", Json.Int Protocol.version) ]
+      (Protocol.reject_message r)
+  | Error (Protocol.Malformed msg) ->
     Metrics.incr (request_counter t "invalid");
     Protocol.error_response msg
   | Ok (req, token) ->
@@ -730,8 +1072,28 @@ let drain t =
   List.iter
     (fun j -> ignore (Scheduler.cancel t.sched j))
     (Scheduler.all t.sched);
-  List.iter (fun (d, _) -> Domain.join d) t.workers;
+  List.iter (fun w -> Domain.join w.w_domain) t.workers;
   t.workers <- [];
+  (* Abandoned workers cannot be joined unless they unwind on their own;
+     give them a bounded window (their cancel flags are set), then leak
+     the rest — process exit reclaims them, and blocking shutdown on a
+     wedged domain is exactly what abandonment was for. *)
+  (let give_up = Clock.now () +. 5.0 in
+   let rec wait_zombies () =
+     let dead, undead =
+       List.partition (fun w -> Atomic.get w.w_completed) t.zombies
+     in
+     List.iter (fun w -> Domain.join w.w_domain) dead;
+     t.zombies <- undead;
+     if undead <> [] && Clock.now () < give_up then begin
+       Unix.sleepf 0.05;
+       wait_zombies ()
+     end
+   in
+   wait_zombies ();
+   if t.zombies <> [] then
+     log t "leaking %d still-wedged worker domain(s) at exit"
+       (List.length t.zombies));
   (* Flush observability artifacts so a post-mortem needs no live daemon. *)
   (match t.cfg.state_dir with
    | None -> ()
@@ -788,6 +1150,7 @@ let run t =
   in
   while not (Atomic.get t.stopped) do
     reap t;
+    sweep_deadlines t;
     dispatch t;
     let read_set = (t.pipe_r :: listeners) @ List.map (fun c -> c.fd) t.conns in
     let write_set =

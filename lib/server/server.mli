@@ -34,7 +34,40 @@
     Crash safety: on graceful shutdown the daemon checkpoints the specs
     of unfinished jobs to [state_dir/queue.ckpt]
     ({!Accals_resilience.Checkpoint}) and re-admits them on the next
-    start; the result cache lives on disk and needs no recovery. *)
+    start; the result cache lives on disk and needs no recovery.
+
+    {b Overload protection.} Admission control bounds the queue: past
+    [max_queue] total queued jobs, or [tenant_max_queued] for one
+    tenant, a genuinely new submission (cache hits and coalesces are
+    free and never shed) is rejected with a structured
+    [code = "overloaded"] error carrying [retry_after_ms] — derived
+    from the observed average run time and the backlog per slot.
+    [tenant_max_running] additionally caps how many jobs one tenant
+    may occupy slots with at once, enforced at pick time (over-quota
+    jobs wait, they are not shed).
+
+    {b Deadlines.} A submit may carry a wall-clock [deadline]; the
+    per-tick sweep fails any job past it as [deadline_exceeded]
+    (queued jobs never start) and records an {!Accals_audit.Incident}.
+    A running worker first gets the cooperative cancel flag; if it is
+    still not done [deadline_grace] seconds past the deadline it is
+    {e abandoned} — domains cannot be killed, so the worker is moved
+    off the slot-holding list (the slot is immediately reusable) and
+    joined whenever it finally unwinds. Terminal scheduler transitions
+    are idempotent, so a late report from an abandoned worker cannot
+    overwrite the [deadline_exceeded] verdict.
+
+    {b Quarantine.} A job fingerprint (cache key + budget) whose
+    workers die abnormally [quarantine_threshold] times is refused
+    admission for [quarantine_cooldown] seconds with
+    [code = "quarantined"] — a crash-looping input cannot grind the
+    service down. A successful run clears the fingerprint's history.
+
+    {b Capacity.} With [cache_max_bytes > 0] the on-disk result cache
+    is evicted after each store: corrupt entries first, then
+    least-recently-used. The [health] request reports queue depth,
+    slots, cache size, shed/deadline/quarantine totals and the
+    daemon's open-fd count in one unprivileged round-trip. *)
 
 module Metrics := Accals_telemetry.Metrics
 
@@ -46,16 +79,31 @@ type config = {
           the {!Protocol} trust model); [None] refuses them there *)
   jobs : int;  (** total worker domains to spread over running jobs *)
   max_concurrent : int;  (** jobs running simultaneously *)
+  max_queue : int;  (** queued-jobs bound before shedding; 0 = unlimited *)
+  tenant_max_queued : int;  (** per-tenant queued bound; 0 = unlimited *)
+  tenant_max_running : int;
+      (** per-tenant running-slots cap (pick-time); 0 = unlimited *)
+  deadline_grace : float;
+      (** seconds past a job's deadline before its worker is abandoned *)
+  quarantine_threshold : int;
+      (** abnormal worker deaths per fingerprint before quarantine;
+          0 disables quarantine *)
+  quarantine_cooldown : float;  (** quarantine duration, seconds *)
   cache_dir : string option;  (** [None] disables the on-disk cache *)
-  state_dir : string option;  (** queue checkpoint + shutdown artifacts *)
+  cache_max_bytes : int;  (** evict the cache past this; 0 = unlimited *)
+  state_dir : string option;
+      (** queue checkpoint + shutdown artifacts + incidents.jsonl *)
   default_samples : int;  (** when a submit omits [samples] *)
   log : bool;  (** chatter on stderr *)
 }
 
 val default_config : config
 (** [socket = "accals.sock"], no TCP, no TCP token, [jobs = 0]
-    (auto-detect), [max_concurrent = 2], no cache, no state dir,
-    [default_samples = 2048], logging on. *)
+    (auto-detect), [max_concurrent = 2], [max_queue = 256],
+    [tenant_max_queued = 64], [tenant_max_running = 0] (unlimited),
+    [deadline_grace = 2.0], [quarantine_threshold = 3],
+    [quarantine_cooldown = 300.0], no cache, [cache_max_bytes = 0], no
+    state dir, [default_samples = 2048], logging on. *)
 
 type t
 

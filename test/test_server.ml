@@ -9,8 +9,10 @@ module Metric = Accals_metrics.Metric
 module Bench_suite = Accals_circuits.Bench_suite
 module Blif = Accals_io.Blif
 module Json = Accals_telemetry.Json
+module Clock = Accals_telemetry.Clock
 module Protocol = Accals_server.Protocol
 module Cache = Accals_server.Cache
+module Backoff = Accals_server.Backoff
 module Scheduler = Accals_server.Scheduler
 module Graceful = Accals_server.Graceful
 module Server = Accals_server.Server
@@ -195,13 +197,14 @@ let test_json_hardening () =
 
 (* --- protocol --- *)
 
-let spec ?(name = "rca32") ?(bound = 0.05) ?budget ?(priority = 0)
+let spec ?(name = "rca32") ?(bound = 0.05) ?budget ?deadline ?(priority = 0)
     ?(tenant = "default") ?samples ?(seed = 1) () =
   {
     Protocol.source = Protocol.Named name;
     metric = Metric.Error_rate;
     bound;
     budget;
+    deadline;
     priority;
     tenant;
     samples;
@@ -215,6 +218,7 @@ let test_protocol_roundtrip () =
       Protocol.Submit
         (spec ~bound:0.01 ~budget:2.5 ~priority:3 ~tenant:"t" ~samples:64
            ~seed:9 ());
+      Protocol.Submit (spec ~deadline:30.0 ());
       Protocol.Submit
         { (spec ()) with Protocol.source = Protocol.Blif_text "blif here" };
       Protocol.Status "j-000001";
@@ -222,6 +226,7 @@ let test_protocol_roundtrip () =
       Protocol.Cancel "j-000003";
       Protocol.List;
       Protocol.Metrics;
+      Protocol.Health;
       Protocol.Trace "j-000004";
       Protocol.Events "j-000005";
       Protocol.Ping;
@@ -247,6 +252,8 @@ let test_protocol_validation () =
   reject {|{"req": "submit", "name": "rca32", "metric": "XYZ", "bound": 0.1}|};
   reject {|{"req": "submit", "name": "rca32", "metric": "ER", "bound": -1}|};
   reject {|{"req": "submit", "name": "rca32", "metric": "ER", "bound": 0.1, "budget": 0}|};
+  reject {|{"req": "submit", "name": "rca32", "metric": "ER", "bound": 0.1, "deadline": 0}|};
+  reject {|{"req": "submit", "name": "rca32", "metric": "ER", "bound": 0.1, "deadline": -2}|};
   reject {|{"req": "submit", "name": "rca32", "metric": "ER", "bound": 0.1, "samples": 0}|};
   reject
     {|{"req": "submit", "name": "rca32", "circuit": ".model m", "metric": "ER", "bound": 0.1}|};
@@ -259,8 +266,48 @@ let test_protocol_validation () =
     check "defaults" true
       (s.Protocol.priority = 0 && s.Protocol.tenant = "default"
       && s.Protocol.samples = None && s.Protocol.seed = 1
-      && s.Protocol.budget = None)
+      && s.Protocol.budget = None && s.Protocol.deadline = None)
   | _ -> Alcotest.fail "minimal submit should parse"
+
+(* The version stamp gates compatibility: encoded requests carry "v",
+   an unknown major version is a structured rejection (so old clients
+   get a actionable error, not a parse failure), and unstamped requests
+   are grandfathered in as version 1. *)
+let test_protocol_versioning () =
+  (match Json.member "v" (Protocol.request_to_json Protocol.Ping) with
+  | Some (Json.Int v) -> check_int "requests are stamped" Protocol.version v
+  | _ -> Alcotest.fail "encoded request missing the version stamp");
+  (match Protocol.parse_request_v {|{"req": "ping", "v": 1}|} with
+  | Ok (Protocol.Ping, None) -> ()
+  | _ -> Alcotest.fail "current version accepted");
+  (match Protocol.parse_request_v {|{"req": "ping"}|} with
+  | Ok (Protocol.Ping, None) -> ()
+  | _ -> Alcotest.fail "unstamped request treated as v1");
+  (match Protocol.parse_request_v {|{"req": "warp", "v": 99}|} with
+  | Error (Protocol.Unsupported_version 99) ->
+    (* the version gate runs before shape validation: a client two majors
+       ahead may use requests this server cannot even parse *)
+    check "reject message names the version" true
+      (let m = Protocol.reject_message (Protocol.Unsupported_version 99) in
+       String.length m > 0)
+  | _ -> Alcotest.fail "unknown version rejected before shape parsing");
+  (match Protocol.parse_request_v {|{"req": "ping", "v": "one"}|} with
+  | Error (Protocol.Malformed _) -> ()
+  | _ -> Alcotest.fail "non-integer version is malformed");
+  (match Protocol.parse_request_v {|{"req": "ping", "token": "s"}|} with
+  | Ok (Protocol.Ping, Some "s") -> ()
+  | _ -> Alcotest.fail "token still extracted");
+  check "health is unprivileged (load balancers need no token)" false
+    (Protocol.privileged Protocol.Health);
+  let structured =
+    Protocol.error_response_code ~code:"overloaded"
+      ~extra:[ ("retry_after_ms", Json.Int 250) ]
+      "queue full"
+  in
+  check "structured errors carry code and extras" true
+    (Json.member "code" structured = Some (Json.String "overloaded")
+    && Json.member "retry_after_ms" structured = Some (Json.Int 250)
+    && Json.member "ok" structured = Some (Json.Bool false))
 
 (* --- result cache --- *)
 
@@ -303,6 +350,117 @@ let test_cache_keys () =
   check "seed is part of the key" true (base <> key ~seed:2 ());
   check "metric is part of the key" true (base <> key ~metric:Metric.Nmed ());
   check_string "key is deterministic" base (key ())
+
+let open_fds () =
+  match Sys.readdir "/proc/self/fd" with
+  | entries -> Array.length entries
+  | exception Sys_error _ -> -1
+
+(* A lookup that hits a truncated or corrupt entry must close its channel
+   (an fd leaked per lookup starves the select loop of descriptors) and
+   delete the entry so it stops costing an open + parse every time. *)
+let test_cache_fd_hygiene () =
+  let dir = temp_dir "accals_cache_fd" in
+  let cache = Cache.create ~dir in
+  let file = Filename.concat dir "bad.json" in
+  ignore (Cache.find cache "bad");
+  let baseline = open_fds () in
+  for _ = 1 to 50 do
+    let oc = open_out file in
+    output_string oc "{ \"key\": \"bad\", truncated";
+    close_out oc;
+    check "corrupt entry is a miss" true (Cache.find cache "bad" = None);
+    check "corrupt entry deleted on first miss" false (Sys.file_exists file)
+  done;
+  if baseline >= 0 then
+    check_int "no fd leaked across 50 corrupt lookups" baseline (open_fds ())
+
+let test_cache_eviction () =
+  let dir = temp_dir "accals_cache_evict" in
+  let cache = Cache.create ~dir in
+  let blif = String.make 1024 'x' in
+  let entry k =
+    { Cache.key = k; report = Json.Obj [ ("k", Json.String k) ]; blif }
+  in
+  List.iter (fun k -> Cache.store cache (entry k)) [ "a"; "b"; "c" ];
+  let file k = Filename.concat dir (k ^ ".json") in
+  (* Pin the recency order: a oldest, then b, then c. *)
+  List.iteri
+    (fun i k ->
+      let t = float_of_int ((i + 1) * 1000) in
+      Unix.utimes (file k) t t)
+    [ "a"; "b"; "c" ];
+  (* A hit refreshes recency, so a becomes the most recently used and b
+     inherits the eviction slot. *)
+  check "hit before eviction" true (Cache.find cache "a" <> None);
+  (* Corrupt garbage occupies bytes but can never be a hit again. *)
+  let oc = open_out (file "zz") in
+  output_string oc (String.make 2048 '{');
+  close_out oc;
+  let keep = Unix.((stat (file "a")).st_size + (stat (file "c")).st_size) in
+  check "over the cap before eviction" true (Cache.bytes cache > keep);
+  let ev = Cache.evict cache ~max_bytes:keep in
+  check_int "corrupt entry evicted first" 1 ev.Cache.removed_corrupt;
+  check_int "one valid entry evicted" 1 ev.Cache.removed_lru;
+  check "least-recently-used entry was the victim" false
+    (Sys.file_exists (file "b"));
+  check "touched entry survived" true (Sys.file_exists (file "a"));
+  check "newest entry survived" true (Sys.file_exists (file "c"));
+  check "under the cap afterwards" true (ev.Cache.bytes_after <= keep);
+  check_int "bytes_after reflects the disk" (Cache.bytes cache)
+    ev.Cache.bytes_after;
+  let ev2 = Cache.evict cache ~max_bytes:keep in
+  check "eviction under the cap is a no-op" true
+    (ev2.Cache.removed_corrupt = 0 && ev2.Cache.removed_lru = 0);
+  check "survivors still hit" true
+    (Cache.find cache "a" <> None && Cache.find cache "c" <> None)
+
+(* --- backoff --- *)
+
+let test_backoff () =
+  let p = Backoff.default in
+  for a = 1 to 12 do
+    check "schedule is deterministic" true
+      (Backoff.delay p ~attempt:a = Backoff.delay p ~attempt:a);
+    let d = Backoff.delay p ~attempt:a in
+    check "delay is positive" true (d > 0.0);
+    check "delay respects the cap" true
+      (d <= p.Backoff.max_delay *. (1.0 +. p.Backoff.jitter))
+  done;
+  check "jitter de-synchronizes attempts" true
+    (Backoff.delay p ~attempt:1 <> Backoff.delay p ~attempt:2
+    || Backoff.delay p ~attempt:2 <> Backoff.delay p ~attempt:3);
+  check "delays grow exponentially below the cap" true
+    (Backoff.delay p ~attempt:5 > Backoff.delay p ~attempt:1);
+  (* max_total is a hard bound on the sum of all granted delays. *)
+  let s = Backoff.start { p with Backoff.max_total = 1.0 } in
+  let total = ref 0.0 and steps = ref 0 in
+  let rec drain () =
+    match Backoff.next s with
+    | Some d ->
+      total := !total +. d;
+      incr steps;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check "schedule grants at least one step" true (!steps > 0);
+  check "schedule terminates within its budget" true (!total <= 1.0 +. 1e-9);
+  check "total_slept accounts every grant" true
+    (abs_float (Backoff.total_slept s -. !total) < 1e-9);
+  check_int "attempts counted" !steps (Backoff.attempts s);
+  (* A server retry_after hint floors one step; the floored amount still
+     burns the budget, so hints cannot extend the total wait. *)
+  let s2 = Backoff.start { p with Backoff.max_total = 10.0 } in
+  (match Backoff.next_with_floor s2 ~floor:3.0 with
+  | Some d -> check "server hint floors the delay" true (d >= 3.0)
+  | None -> Alcotest.fail "budget should allow a floored step");
+  check "floored step burns the budget" true (Backoff.total_slept s2 >= 3.0);
+  (* A hint larger than the remaining budget is clamped, never exceeded. *)
+  let s3 = Backoff.start { p with Backoff.max_total = 0.5 } in
+  (match Backoff.next_with_floor s3 ~floor:60.0 with
+  | Some d -> check "floor clamped to the remaining budget" true (d <= 0.5)
+  | None -> Alcotest.fail "first step should be granted")
 
 (* --- scheduler --- *)
 
@@ -398,6 +556,100 @@ let test_scheduler_job_ids () =
      let j = submit_job s ~tenant:"a" ~priority:0 "c" in
      Scheduler.find s (Scheduler.id j) <> None)
 
+(* Per-tenant running quotas: a tenant at its cap is passed over — its
+   jobs wait in the queue rather than being shed — and other tenants
+   keep getting slots. *)
+let test_scheduler_quota () =
+  let s = Scheduler.create () in
+  let a1 = submit_job s ~key:"a1" ~tenant:"a" ~priority:0 "one" in
+  let a2 = submit_job s ~key:"a2" ~tenant:"a" ~priority:0 "two" in
+  let b1 = submit_job s ~key:"b1" ~tenant:"b" ~priority:0 "three" in
+  check "totals before" true (Scheduler.totals s = (3, 0));
+  check "tenant a load before" true (Scheduler.tenant_load s "a" = (2, 0));
+  check "unknown tenant load" true (Scheduler.tenant_load s "nope" = (0, 0));
+  (match Scheduler.pick ~tenant_max_running:1 s with
+  | Some j ->
+    check "first pick follows policy" true (Scheduler.id j = Scheduler.id a1)
+  | None -> Alcotest.fail "expected a pick");
+  (* Tenant a is now at its quota: its second job must not starve b. *)
+  (match Scheduler.pick ~tenant_max_running:1 s with
+  | Some j ->
+    check "tenant at quota cannot starve others" true
+      (Scheduler.id j = Scheduler.id b1)
+  | None -> Alcotest.fail "expected a pick");
+  (* Every tenant at quota: the surplus job waits; it is not dropped. *)
+  check "over-quota job waits instead of running" true
+    (Scheduler.pick ~tenant_max_running:1 s = None);
+  check "waiting job is still queued" true (Scheduler.totals s = (1, 2));
+  check "tenant a load at quota" true (Scheduler.tenant_load s "a" = (1, 1));
+  (* Finishing a job frees the quota and the waiting job runs. *)
+  Scheduler.finish s a1
+    { Cache.key = "a1"; report = Json.Null; blif = "b" }
+    ~degraded:false;
+  (match Scheduler.pick ~tenant_max_running:1 s with
+  | Some j ->
+    check "freed quota admits the waiting job" true
+      (Scheduler.id j = Scheduler.id a2)
+  | None -> Alcotest.fail "expected a pick");
+  check "totals after" true (Scheduler.totals s = (0, 2))
+
+(* Wall-clock deadlines: overdue jobs are failed as deadline_exceeded in
+   either phase, the cancel flag tells an abandoned worker to unwind, and
+   the worker's late report can never overwrite the verdict. *)
+let test_scheduler_deadline () =
+  let s = Scheduler.create () in
+  let mk key deadline =
+    Scheduler.submit s
+      ~spec:(spec ~name:"one" ~tenant:"a" ?deadline ())
+      ~circuit:"one" ~digest:"d" ~key ()
+  in
+  let j_r = mk "r" (Some 0.001) in
+  (match Scheduler.pick s with
+  | Some j -> check "r started" true (Scheduler.id j = Scheduler.id j_r)
+  | None -> Alcotest.fail "expected a pick");
+  let j_q = mk "q" (Some 0.001) in
+  let j_n = mk "n" None in
+  check "deadline stamped as absolute time" true
+    (Scheduler.deadline_mono j_q <> None);
+  check "no deadline, no clock" true (Scheduler.deadline_mono j_n = None);
+  Unix.sleepf 0.01;
+  let overdue = Scheduler.expired s ~now:(Clock.now ()) in
+  check_int "both overdue jobs listed" 2 (List.length overdue);
+  check "job without a deadline never expires" true
+    (not
+       (List.exists (fun j -> Scheduler.id j = Scheduler.id j_n) overdue));
+  check "running job expires in its phase" true
+    (Scheduler.expire s j_r = Some "running");
+  check "queued job expires in its phase" true
+    (Scheduler.expire s j_q = Some "queued");
+  check "expire is idempotent" true (Scheduler.expire s j_q = None);
+  check "expired job is failed" true (Scheduler.state s j_q = Scheduler.Failed);
+  check "failure names the deadline" true
+    ((Scheduler.view s j_q).Scheduler.v_failure
+    = Some Scheduler.deadline_failure);
+  check "abandoned worker is told to unwind" true
+    (Scheduler.cancel_requested j_r);
+  (* The abandoned worker eventually notices the flag and reports — by
+     then the verdict is already written and must stand. *)
+  Scheduler.finished_cancelled s j_r;
+  check "late cancel report is a no-op" true
+    (Scheduler.state s j_r = Scheduler.Failed
+    && (Scheduler.view s j_r).Scheduler.v_failure
+       = Some Scheduler.deadline_failure);
+  Scheduler.finish s j_r
+    { Cache.key = "r"; report = Json.Null; blif = "b" }
+    ~degraded:false;
+  check "late success report is a no-op" true
+    (Scheduler.state s j_r = Scheduler.Failed
+    && Scheduler.result s j_r = None);
+  (* The expired queued job is terminal: the dispatcher skips it. *)
+  (match Scheduler.pick s with
+  | Some j ->
+    check "healthy job picked over the expired one" true
+      (Scheduler.id j = Scheduler.id j_n)
+  | None -> Alcotest.fail "expected a pick");
+  check "queue drained" true (Scheduler.pick s = None)
+
 (* --- graceful shutdown --- *)
 
 let test_graceful () =
@@ -437,16 +689,18 @@ let ok_exn what = function
 
 let e2e_samples = 128
 
-let e2e_spec ?budget ?(samples = e2e_samples) name bound =
+let e2e_spec ?budget ?deadline ?(tenant = "default") ?(seed = 1)
+    ?(samples = e2e_samples) name bound =
   {
     Protocol.source = Protocol.Named name;
     metric = Metric.Error_rate;
     bound;
     budget;
+    deadline;
     priority = 0;
-    tenant = "default";
+    tenant;
     samples = Some samples;
-    seed = 1;
+    seed;
   }
 
 let one_shot name bound =
@@ -795,6 +1049,233 @@ let test_tcp_token_gate () =
   Client.close tcp2;
   Client.close c2_unix
 
+(* --- overload protection and fault containment --- *)
+
+(* Wall-clock deadlines end to end, against a single-slot daemon:
+   a job too big to reach a cooperative checkpoint before its deadline is
+   failed by the watchdog and its slot reclaimed after the grace period
+   (the worker domain cannot be killed, only abandoned); a queued job
+   whose deadline passes before a slot frees is failed without ever
+   starting; and the reclaimed slot produces bit-identical results. *)
+let test_daemon_deadline () =
+  let dir = temp_dir "accals_daemon_deadline" in
+  let sock = Filename.concat dir "t.sock" in
+  let server, daemon =
+    boot_server
+      {
+        Server.default_config with
+        Server.socket = sock;
+        jobs = 2;
+        max_concurrent = 1;
+        deadline_grace = 0.5;
+        cache_dir = Some (Filename.concat dir "cache");
+        default_samples = e2e_samples;
+        log = false;
+      }
+  in
+  let c = Client.connect_unix_retry sock in
+  let id_wedge, _ =
+    ok_exn "submit wedge"
+      (Client.submit c (e2e_spec ~samples:4096 ~deadline:0.5 "div" 0.01))
+  in
+  Unix.sleepf 0.3;
+  (* Queued behind the wedge with a deadline it cannot make. *)
+  let id_queued, _ =
+    ok_exn "submit queued"
+      (Client.submit c (e2e_spec ~seed:7 ~deadline:0.2 "rca32" 0.05))
+  in
+  let r_q = ok_exn "wait queued" (Client.wait ~timeout:30.0 c id_queued) in
+  check_string "queued job failed" "failed" (get_string "state" r_q);
+  check_string "queued job is deadline_exceeded" "deadline_exceeded"
+    (get_string "failure" r_q);
+  check "queued job never started" true
+    (Json.member "wait_s" r_q = Some Json.Null);
+  let r_w = ok_exn "wait wedge" (Client.wait ~timeout:30.0 c id_wedge) in
+  check_string "wedged job failed" "failed" (get_string "state" r_w);
+  check_string "wedged job is deadline_exceeded" "deadline_exceeded"
+    (get_string "failure" r_w);
+  (* Past deadline + grace the slot is usable again even though the
+     abandoned domain is still crunching. *)
+  let id_ok, _ =
+    ok_exn "submit after reap" (Client.submit c (e2e_spec "rca32" 0.05))
+  in
+  let r_ok = ok_exn "wait after reap" (Client.wait ~timeout:300.0 c id_ok) in
+  check_string "reclaimed slot runs jobs" "done" (get_string "state" r_ok);
+  check_string "bit-identical result from the reclaimed slot"
+    (one_shot "rca32" 0.05) (get_string "blif" r_ok);
+  let h = ok_exn "health" (Client.health c) in
+  let int_field f =
+    match Json.member f h with
+    | Some (Json.Int n) -> n
+    | _ -> Alcotest.failf "health missing %s" f
+  in
+  check "deadline counter covers both phases" true
+    (int_field "deadline_exceeded_total" >= 2);
+  check "fd count exposed for soak checks" true
+    (int_field "open_fds" > 0 || int_field "open_fds" = -1);
+  Server.stop server;
+  Domain.join daemon;
+  Client.close c
+
+(* Admission control end to end: per-tenant and global queue bounds shed
+   with a structured [overloaded] + [retry_after_ms] rejection (never a
+   silent drop or a hang), health stays responsive at the bound, and a
+   retrying client is eventually admitted once capacity frees. *)
+let test_daemon_overload () =
+  let dir = temp_dir "accals_daemon_overload" in
+  let sock = Filename.concat dir "t.sock" in
+  let server, daemon =
+    boot_server
+      {
+        Server.default_config with
+        Server.socket = sock;
+        jobs = 2;
+        max_concurrent = 1;
+        max_queue = 2;
+        tenant_max_queued = 1;
+        default_samples = e2e_samples;
+        log = false;
+      }
+  in
+  let c = Client.connect_unix_retry sock in
+  (* Occupy the only slot with a long job. *)
+  let id_hog, _ =
+    ok_exn "submit hog"
+      (Client.submit c (e2e_spec ~tenant:"hog" ~samples:2048 "div" 0.01))
+  in
+  Unix.sleepf 0.4;
+  (* Tenant t1 fills its per-tenant queue quota... *)
+  let id_q1, _ =
+    ok_exn "queue t1"
+      (Client.submit c (e2e_spec ~tenant:"t1" ~seed:11 "rca32" 0.05))
+  in
+  (* ...so its next submission is shed — while other tenants still fit. *)
+  let r_t1 =
+    ok_exn "flood t1"
+      (Client.rpc c
+         (Protocol.Submit (e2e_spec ~tenant:"t1" ~seed:12 "rca32" 0.05)))
+  in
+  check "tenant-quota shed is a rejection" false (Client.ok r_t1);
+  check "tenant-quota shed carries the overloaded code" true
+    (Client.error_code r_t1 = Some "overloaded");
+  let id_q2, _ =
+    ok_exn "queue t2"
+      (Client.submit c (e2e_spec ~tenant:"t2" ~seed:21 "rca32" 0.05))
+  in
+  (* The global queue is now at its bound: everyone is shed, with a hint. *)
+  let r_t3 =
+    ok_exn "flood t3"
+      (Client.rpc c
+         (Protocol.Submit (e2e_spec ~tenant:"t3" ~seed:31 "rca32" 0.05)))
+  in
+  check "queue-full shed is a rejection" false (Client.ok r_t3);
+  check "queue-full shed carries the overloaded code" true
+    (Client.error_code r_t3 = Some "overloaded");
+  (match Client.retry_after r_t3 with
+  | Some s -> check "retry_after_ms hint is sane" true (s >= 0.1 && s <= 60.0)
+  | None -> Alcotest.fail "overloaded response missing retry_after_ms");
+  (* The daemon answers health probes while saturated, and the books
+     balance: sheds were rejected, not silently dropped from the queue. *)
+  let h = ok_exn "health at the bound" (Client.health c) in
+  let int_field f =
+    match Json.member f h with
+    | Some (Json.Int n) -> n
+    | _ -> Alcotest.failf "health missing %s" f
+  in
+  check_int "queue depth at the bound" 2 (int_field "queue_depth");
+  check_int "hog still running" 1 (int_field "running");
+  check_int "both sheds counted" 2 (int_field "shed_total");
+  (* Free the slot from a second connection while this client retries
+     against the full queue: the retry must eventually be admitted. *)
+  let canceller =
+    Domain.spawn (fun () ->
+        Unix.sleepf 1.0;
+        let c2 = Client.connect_unix sock in
+        ignore (Client.rpc c2 (Protocol.Cancel id_hog));
+        Client.close c2)
+  in
+  let id_retry, _ =
+    ok_exn "submit_retry against a full queue"
+      (Client.submit_retry
+         ~policy:{ Backoff.default with Backoff.max_total = 240.0 }
+         c
+         (e2e_spec ~tenant:"t3" ~seed:31 "rca32" 0.05))
+  in
+  Domain.join canceller;
+  let wait_done what id =
+    let r = ok_exn what (Client.wait ~timeout:300.0 c id) in
+    check_string (what ^ " completes") "done" (get_string "state" r)
+  in
+  wait_done "admitted t1 job" id_q1;
+  wait_done "admitted t2 job" id_q2;
+  wait_done "retried t3 job" id_retry;
+  Server.stop server;
+  Domain.join daemon;
+  Client.close c
+
+(* Restart re-admits the checkpointed queue through the same admission
+   control: a daemon restarted with a tighter queue bound sheds the
+   excess instead of resurrecting jobs past its limits. *)
+let test_daemon_restart_admission () =
+  let dir = temp_dir "accals_daemon_restartq" in
+  let sock n = Filename.concat dir (Printf.sprintf "t%d.sock" n) in
+  let state_dir = Filename.concat dir "state" in
+  let _server, daemon =
+    boot_server
+      {
+        Server.default_config with
+        Server.socket = sock 1;
+        jobs = 2;
+        max_concurrent = 1;
+        state_dir = Some state_dir;
+        default_samples = e2e_samples;
+        log = false;
+      }
+  in
+  let c = Client.connect_unix_retry (sock 1) in
+  (* One running + two queued jobs at shutdown: three checkpointed specs. *)
+  let _ =
+    ok_exn "hog"
+      (Client.submit c (e2e_spec ~tenant:"r" ~samples:2048 "div" 0.01))
+  in
+  let _ =
+    ok_exn "q1" (Client.submit c (e2e_spec ~tenant:"r" ~seed:41 "rca32" 0.05))
+  in
+  let _ =
+    ok_exn "q2" (Client.submit c (e2e_spec ~tenant:"r" ~seed:42 "rca32" 0.05))
+  in
+  let bye = ok_exn "shutdown" (Client.rpc c Protocol.Shutdown) in
+  check "shutdown acknowledged" true (Client.ok bye);
+  Domain.join daemon;
+  Client.close c;
+  let server2, daemon2 =
+    boot_server
+      {
+        Server.default_config with
+        Server.socket = sock 2;
+        jobs = 2;
+        max_concurrent = 1;
+        max_queue = 1;
+        state_dir = Some state_dir;
+        default_samples = e2e_samples;
+        log = false;
+      }
+  in
+  let c2 = Client.connect_unix_retry (sock 2) in
+  let h = ok_exn "health after restart" (Client.health c2) in
+  (match Json.member "shed_total" h with
+  | Some (Json.Int n) -> check_int "restore shed the excess" 2 n
+  | _ -> Alcotest.fail "health missing shed_total");
+  let l = ok_exn "list" (Client.rpc c2 Protocol.List) in
+  (match Json.member "jobs" l with
+  | Some (Json.List jobs) ->
+    check_int "exactly the admissible prefix was restored" 1
+      (List.length jobs)
+  | _ -> Alcotest.fail "list endpoint");
+  Server.stop server2;
+  Domain.join daemon2;
+  Client.close c2
+
 let suite =
   [
     ( "server digest",
@@ -812,12 +1293,22 @@ let suite =
       [
         Alcotest.test_case "request round-trip" `Quick test_protocol_roundtrip;
         Alcotest.test_case "request validation" `Quick test_protocol_validation;
+        Alcotest.test_case "version gate" `Quick test_protocol_versioning;
       ] );
     ( "server cache",
       [
         Alcotest.test_case "store/find/corrupt/reopen" `Quick
           test_cache_roundtrip;
         Alcotest.test_case "key composition" `Quick test_cache_keys;
+        Alcotest.test_case "fd hygiene on corrupt entries" `Quick
+          test_cache_fd_hygiene;
+        Alcotest.test_case "size-capped LRU eviction" `Quick
+          test_cache_eviction;
+      ] );
+    ( "server backoff",
+      [
+        Alcotest.test_case "deterministic jitter and budgets" `Quick
+          test_backoff;
       ] );
     ( "server scheduler",
       [
@@ -827,6 +1318,10 @@ let suite =
           test_scheduler_lifecycle;
         Alcotest.test_case "coalescing rules" `Quick test_scheduler_coalescing;
         Alcotest.test_case "unguessable job ids" `Quick test_scheduler_job_ids;
+        Alcotest.test_case "per-tenant running quotas" `Quick
+          test_scheduler_quota;
+        Alcotest.test_case "deadline expiry in both phases" `Quick
+          test_scheduler_deadline;
       ] );
     ( "server graceful",
       [ Alcotest.test_case "signals, codes, hooks" `Quick test_graceful ] );
@@ -842,5 +1337,11 @@ let suite =
           test_pipelined_backpressure;
         Alcotest.test_case "TCP privilege gate (--tcp-token)" `Quick
           test_tcp_token_gate;
+        Alcotest.test_case "deadline watchdog reclaims a wedged slot" `Slow
+          test_daemon_deadline;
+        Alcotest.test_case "overload shed + retry_after + retry" `Slow
+          test_daemon_overload;
+        Alcotest.test_case "restart re-admits through admission control" `Slow
+          test_daemon_restart_admission;
       ] );
   ]
