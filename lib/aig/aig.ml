@@ -50,6 +50,24 @@ let add_input t name =
   t.input_lits <- Array.append t.input_lits [| (name, l) |];
   l
 
+let add_inputs t names =
+  (* Bulk variant of [add_input]: one table append for the batch (k single
+     appends would cost O(k^2) — see Network.add_inputs). *)
+  let lits =
+    Array.map (fun nm -> lit_of_node (alloc t (Input_node nm))) names
+  in
+  t.input_lits <-
+    Array.append t.input_lits
+      (Array.map2 (fun nm l -> (nm, l)) names lits);
+  lits
+
+let rename_input t k name =
+  if k < 0 || k >= Array.length t.input_lits then
+    invalid_arg "Aig.rename_input: no such input";
+  let _, l = t.input_lits.(k) in
+  t.input_lits.(k) <- (name, l);
+  t.nodes.(node_of_lit l) <- Input_node name
+
 let land_ t a b =
   let a, b = if a <= b then (a, b) else (b, a) in
   if a = false_ then false_

@@ -20,6 +20,16 @@ val create : unit -> t
 
 val add_input : t -> string -> lit
 
+val add_inputs : t -> string array -> lit array
+(** Batch {!add_input}: one input-table append for the whole batch, so k
+    inputs cost O(k) instead of O(k^2). *)
+
+val rename_input : t -> int -> string -> unit
+(** [rename_input t k name] renames the [k]-th input (declaration
+    order). O(1); lets a streaming reader create inputs with placeholder
+    names and patch them when the symbol table arrives at the end of the
+    file. Raises [Invalid_argument] if there is no such input. *)
+
 val land_ : t -> lit -> lit -> lit
 (** Hashed, folded AND: returns an existing node when possible, applies
     the constant/idempotence/complement rules. *)

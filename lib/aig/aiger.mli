@@ -15,4 +15,10 @@ val parse_string : string -> Aig.t
     simplified (function preserved). *)
 
 val write_file : Aig.t -> string -> unit
+
 val parse_file : string -> Aig.t
+(** Stream-parse an "aag" file without buffering it whole; linear time
+    and memory in the file size. *)
+
+val parse_channel : in_channel -> Aig.t
+(** Stream-parse from an open channel (the channel is not closed). *)

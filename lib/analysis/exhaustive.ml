@@ -93,8 +93,8 @@ let compare_gen pool ~golden ~approx =
   let totals =
     match pool with
     | Some pool ->
-      Accals_runtime.Fan_out.map_reduce pool ~n:chunks ~map:tally ~merge
-        ~init:zero
+      Accals_runtime.Fan_out.map_reduce ~label:"exhaustive" pool ~n:chunks
+        ~map:tally ~merge ~init:zero
     | None ->
       let acc = ref zero in
       for c = 0 to chunks - 1 do

@@ -1,12 +1,13 @@
 open Accals_network
 
-type category = Iscas_small | Epfl | Lgsynt91 | Extras
+type category = Iscas_small | Epfl | Lgsynt91 | Extras | Synthetic
 
 let category_to_string = function
   | Iscas_small -> "ISCAS & small arithmetic"
   | Epfl -> "EPFL arithmetic"
   | Lgsynt91 -> "LGSynt91"
   | Extras -> "Extras"
+  | Synthetic -> "Synthetic (scaling)"
 
 let registry : (string * (category * (unit -> Network.t))) list =
   [
@@ -46,6 +47,21 @@ let registry : (string * (category * (unit -> Network.t))) list =
     ("fadd8", (Extras, fun () -> Dsp.float_adder ~exp_bits:5 ~mantissa_bits:8));
     ("sobel6", (Extras, fun () -> Image.sobel_magnitude ~pixel_bits:6));
     ("gray12", (Extras, fun () -> Image.rgb_to_gray ~pixel_bits:12));
+    (* EPFL-class scale points for parallel-speedup and streaming-reader
+       experiments; far beyond what the quality benchmarks need, so they
+       get a light cleanup pipeline in [load]. *)
+    ( "synth10k",
+      (Synthetic, fun () ->
+        Random_logic.make ~name:"synth10k" ~inputs:192 ~outputs:96
+          ~gates:14_000 ~seed:9010) );
+    ( "synth30k",
+      (Synthetic, fun () ->
+        Random_logic.make ~name:"synth30k" ~inputs:256 ~outputs:128
+          ~gates:42_000 ~seed:9030) );
+    ( "synth100k",
+      (Synthetic, fun () ->
+        Random_logic.make ~name:"synth100k" ~inputs:384 ~outputs:192
+          ~gates:140_000 ~seed:9100) );
   ]
 
 let all = List.map (fun (name, (cat, _)) -> (name, cat)) registry
@@ -64,16 +80,30 @@ let build name =
 
 let load name =
   let t = build name in
-  (* Stand-in for the paper's ABC optimization script (strash; resyn2; amap):
-     simplify, share structure, rewrite small cones exactly, simplify again,
-     and renumber densely. *)
-  Cleanup.sweep t;
-  Cleanup.strash t;
-  Cleanup.sweep t;
-  ignore (Accals_twolevel.Refactor.run t);
-  Cleanup.sweep t;
-  Cleanup.strash t;
-  Cleanup.sweep t;
+  let category =
+    match List.assoc_opt name registry with
+    | Some (c, _) -> c
+    | None -> Extras
+  in
+  (match category with
+  | Synthetic ->
+    (* Scale points skip the exact-SOP refactor (quadratic-ish in cone
+       count, minutes at 100k nodes); light cleanup keeps them honest
+       netlists while load time stays linear. *)
+    Cleanup.sweep t;
+    Cleanup.strash t;
+    Cleanup.sweep t
+  | Iscas_small | Epfl | Lgsynt91 | Extras ->
+    (* Stand-in for the paper's ABC optimization script
+       (strash; resyn2; amap): simplify, share structure, rewrite small
+       cones exactly, simplify again, and renumber densely. *)
+    Cleanup.sweep t;
+    Cleanup.strash t;
+    Cleanup.sweep t;
+    ignore (Accals_twolevel.Refactor.run t);
+    Cleanup.sweep t;
+    Cleanup.strash t;
+    Cleanup.sweep t);
   let t = Cleanup.compact t in
   Network.set_name t name;
   t

@@ -14,6 +14,11 @@ type category =
   | Extras
       (** additional approximate-computing workloads (not in the paper's
           Table I): datapath, DSP and image-processing circuits *)
+  | Synthetic
+      (** generated EPFL-class scale points (10k-100k nodes) for
+          parallel-speedup and streaming-reader experiments; [load]
+          gives these a light cleanup pipeline (no exact-SOP refactor)
+          so loading stays linear in circuit size *)
 
 val category_to_string : category -> string
 
@@ -32,4 +37,5 @@ val build : string -> Network.t
 
 val load : string -> Network.t
 (** [build] followed by constant propagation, buffer sweeping and
-    compaction — the stand-in for the paper's ABC optimization script. *)
+    compaction — the stand-in for the paper's ABC optimization script.
+    {!Synthetic} circuits get a light pipeline (no exact-SOP refactor). *)

@@ -21,8 +21,27 @@ let make ~name ~inputs ~outputs ~gates ~seed =
   let rng = Prng.create seed in
   let t = Network.create ~name () in
   let ins = B.bus t "x" inputs in
-  let pool = ref (Array.to_list ins) in
-  let pool_arr () = Array.of_list (List.rev !pool) in
+  (* Growable pool in insertion order (inputs first, then every created
+     gate); rebuilding it per gate from a list would make generation
+     quadratic in [gates]. *)
+  let pool = ref (Array.make (inputs + gates + 8) 0) in
+  let pool_len = ref 0 in
+  let pool_add id =
+    if !pool_len = Array.length !pool then begin
+      let bigger = Array.make (2 * !pool_len) 0 in
+      Array.blit !pool 0 bigger 0 !pool_len;
+      pool := bigger
+    end;
+    !pool.(!pool_len) <- id;
+    incr pool_len
+  in
+  (* Historical quirk kept for reproducibility: the pool has always held
+     the inputs in reverse declaration order (an artifact of the original
+     list-push construction); every registered seed's circuit depends on
+     it. *)
+  for i = inputs - 1 downto 0 do
+    pool_add ins.(i)
+  done;
   (* Seed phase: combine consecutive inputs so each input is used. *)
   let seeded = ref 0 in
   for i = 0 to inputs - 2 do
@@ -30,13 +49,13 @@ let make ~name ~inputs ~outputs ~gates ~seed =
       | 0 -> Gate.And | 1 -> Gate.Or | 2 -> Gate.Nand | _ -> Gate.Xor
     in
     let id = Network.add_node t op [| ins.(i); ins.(i + 1) |] in
-    pool := id :: !pool;
+    pool_add id;
     incr seeded
   done;
   let remaining = max 0 (gates - !seeded) in
   for _ = 1 to remaining do
-    let arr = pool_arr () in
-    let size = Array.length arr in
+    let arr = !pool in
+    let size = !pool_len in
     let f1 = arr.(pick_local rng size) in
     let f2 = arr.(pick_local rng size) in
     (* Balance-preserving operators (XOR/XNOR/MUX) keep deep signals from
@@ -55,12 +74,12 @@ let make ~name ~inputs ~outputs ~gates ~seed =
         let f3 = arr.(pick_local rng size) in
         Network.add_node t Gate.Mux [| f1; f2; f3 |]
     in
-    pool := id :: !pool
+    pool_add id
   done;
   (* Outputs: prefer deep signals whose sampled activity is balanced, so the
      circuit is not trivially approximable by constants (control-dominated
      LGSynt91 circuits have busy outputs). *)
-  let arr = pool_arr () in
+  let arr = Array.sub !pool 0 !pool_len in
   let size = Array.length arr in
   let probe = Array.init size (fun i -> ("y" ^ string_of_int i, arr.(i))) in
   Network.set_outputs t probe;

@@ -478,7 +478,8 @@ let run_loop ?patterns ?pool ?checkpoint st =
               in
               let l_sol, _n_sol = Conflict_graph.find_and_solve l_top in
               let l_indp =
-                Independent_select.select config ctx ~l_sol ~e:!error ~e_b
+                Independent_select.select ~pool config ctx ~l_sol ~e:!error
+                  ~e_b
               in
               let l_rand =
                 if config.Config.use_random_comparison then

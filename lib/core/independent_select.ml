@@ -23,14 +23,14 @@ let budget_prefix ~r_sel ~lambda ~e ~e_b lacs =
       | chosen -> chosen
     end
 
-let select cfg ctx ~l_sol ~e ~e_b =
+let select ?pool cfg ctx ~l_sol ~e ~e_b =
   match l_sol with
   | [] -> []
   | _ ->
     let targets = Array.of_list (List.map (fun l -> l.Lac.target) l_sol) in
     let keep = Array.make (Array.length targets) false in
     if cfg.Config.use_mis then begin
-      let graph = Influence.build_graph ctx ~targets ~t_b:cfg.Config.t_b in
+      let graph = Influence.build_graph ?pool ctx ~targets ~t_b:cfg.Config.t_b in
       let chosen_indices = Mis.solve ~seed:cfg.Config.seed graph in
       List.iter (fun i -> keep.(i) <- true) chosen_indices
     end

@@ -21,7 +21,13 @@ val budget_prefix :
     tests). *)
 
 val select :
-  Config.t -> Round_ctx.t -> l_sol:Lac.t list -> e:float -> e_b:float -> Lac.t list
+  ?pool:Accals_runtime.Pool.t ->
+  Config.t ->
+  Round_ctx.t ->
+  l_sol:Lac.t list ->
+  e:float ->
+  e_b:float ->
+  Lac.t list
 
 val select_random :
   Config.t -> Prng.t -> l_sol:Lac.t list -> e:float -> e_b:float -> Lac.t list

@@ -3,15 +3,24 @@ open Accals_lac
 module Graph = Accals_mis.Graph
 module Bitvec = Accals_bitvec.Bitvec
 
-let pair_index (ctx : Round_ctx.t) ~tfo_j ~tfo_i n_j n_i =
+let pair_index ?limit (ctx : Round_ctx.t) ~tfo_j ~tfo_i n_j n_i =
   (* n_j is topologically before n_i. *)
   if Bitvec.get tfo_j n_i then begin
+    let full = Network.num_nodes ctx.net in
+    let limit = Option.value limit ~default:full in
     match
       Structure.shortest_path_bounded ctx.net ~fanouts:ctx.fanouts ~src:n_j
-        ~dst:n_i ~limit:(Network.num_nodes ctx.net)
+        ~dst:n_i ~limit
     with
     | Some d when d > 0 -> 1.0 /. float_of_int d
-    | Some _ | None -> 1.0
+    | Some _ -> 1.0
+    | None ->
+      (* The TFO test said a path exists, so [None] can only mean the
+         search was cut off at [limit]: the true distance d exceeds it,
+         bounding the index by 1/(limit+1). Callers pick [limit] so that
+         this is at most their edge threshold, making 0 equivalent. With
+         the default full limit this case is unreachable. *)
+      if limit >= full then 1.0 else 0.0
   end
   else begin
     let inter = Bitvec.popcount (Bitvec.logand tfo_j tfo_i) in
@@ -28,22 +37,56 @@ let index (ctx : Round_ctx.t) a b =
   let tfo_i = Structure.tfo_set ctx.net ~fanouts:ctx.fanouts n_i in
   pair_index ctx ~tfo_j ~tfo_i n_j n_i
 
-let build_graph (ctx : Round_ctx.t) ~targets ~t_b =
+let build_graph ?pool (ctx : Round_ctx.t) ~targets ~t_b =
   let n = Array.length targets in
   let g = Graph.create n in
+  let tfo_of id = Structure.tfo_set ctx.net ~fanouts:ctx.fanouts id in
   let tfos =
-    Array.map (fun id -> Structure.tfo_set ctx.net ~fanouts:ctx.fanouts id) targets
+    (* One transitive-fanout DFS per target; independent, so fanned out. *)
+    match pool with
+    | Some pool when n > 1 ->
+      Accals_runtime.Fan_out.map_array ~label:"influence.tfo" pool ~f:tfo_of
+        targets
+    | _ -> Array.map tfo_of targets
   in
-  for a = 0 to n - 1 do
-    for b = a + 1 to n - 1 do
+  (* Pair row for [a]: the b > a partners it conflicts with. Each row only
+     reads immutable round state, so rows are computed in parallel; edges
+     are then inserted sequentially in a fixed order, keeping the graph
+     bit-identical to the sequential build. (Overlapping pairs cost a
+     bounded shortest-path search each — the dominant select-phase cost on
+     large circuits.) *)
+  (* An edge needs index > t_b; in the path case the index is 1/d, so any
+     path longer than [path_limit] hops cannot produce one — cutting the
+     per-pair search there changes nothing about the resulting graph. *)
+  let path_limit =
+    if t_b <= 0.0 then Network.num_nodes ctx.net
+    else begin
+      let l = int_of_float (1.0 /. t_b) in
+      let l = if float_of_int l *. t_b >= 1.0 then l - 1 else l in
+      max 1 l
+    end
+  in
+  let row a =
+    let edges = ref [] in
+    for b = n - 1 downto a + 1 do
       let j, i =
         if ctx.topo_pos.(targets.(a)) <= ctx.topo_pos.(targets.(b)) then (a, b)
         else (b, a)
       in
       let p =
-        pair_index ctx ~tfo_j:tfos.(j) ~tfo_i:tfos.(i) targets.(j) targets.(i)
+        pair_index ~limit:path_limit ctx ~tfo_j:tfos.(j) ~tfo_i:tfos.(i)
+          targets.(j) targets.(i)
       in
-      if p > t_b then Graph.add_edge g a b
-    done
-  done;
+      if p > t_b then edges := b :: !edges
+    done;
+    !edges
+  in
+  let rows =
+    match pool with
+    | Some pool when n > 1 ->
+      Accals_runtime.Fan_out.map_array ~label:"influence" pool ~f:row
+        (Array.init n (fun a -> a))
+    | _ -> Array.init n row
+  in
+  Array.iteri (fun a bs -> List.iter (fun b -> Graph.add_edge g a b) bs) rows;
   g

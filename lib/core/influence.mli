@@ -15,6 +15,13 @@ val index : Round_ctx.t -> int -> int -> float
 (** [index ctx a b]: the order of arguments is irrelevant; the function
     orients the pair by topological position internally. *)
 
-val build_graph : Round_ctx.t -> targets:int array -> t_b:float -> Graph.t
+val build_graph :
+  ?pool:Accals_runtime.Pool.t ->
+  Round_ctx.t ->
+  targets:int array ->
+  t_b:float ->
+  Graph.t
 (** Influence graph G_sol over target indices: vertex [k] stands for
-    [targets.(k)]; edges join pairs with index > t_b. *)
+    [targets.(k)]; edges join pairs with index > t_b. With [pool], the
+    per-target fanout sets and the pairwise index rows are computed in
+    parallel (bit-identical to the sequential build). *)

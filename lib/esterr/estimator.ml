@@ -4,11 +4,15 @@ module Bitvec = Accals_bitvec.Bitvec
 module Metric = Accals_metrics.Metric
 module Pool = Accals_runtime.Pool
 module Fan_out = Accals_runtime.Fan_out
+module Arena = Accals_sigdb.Arena
 
 (* Resimulation scratch. Every domain participating in a parallel shortlist
-   pass owns a private [scratch]; the estimator's own one serves the
+   pass owns a private, persistent [scratch] (an {!Arena} instance that
+   lives as long as the estimator); the estimator's own one serves the
    sequential entry points. All buffers are write-before-read, so a fresh
-   scratch produces bit-identical results to a reused one. *)
+   scratch produces bit-identical results to a reused one — which is what
+   makes per-domain reuse sound, and what stops signature-buffer
+   allocations from bouncing between domains on every chunk. *)
 type scratch = {
   overlay : Bitvec.t array;  (* per-node substituted signatures *)
   have : bool array;  (* overlay validity *)
@@ -32,6 +36,7 @@ type t = {
   err_free : Bitvec.t;  (* complement of [err_mask] *)
   cone_cache : (int, int array) Hashtbl.t;
   mutable scratch : scratch;
+  arena : scratch ref Arena.t;  (* per-worker-domain scratches *)
   evaluations : int Atomic.t;
   cache_hits : int Atomic.t;
   cache_misses : int Atomic.t;
@@ -60,8 +65,26 @@ let make_scratch nodes samples =
     tmp = Bitvec.create samples;
   }
 
-let fresh_scratch t =
-  make_scratch (Network.num_nodes t.ctx.Round_ctx.net) (samples t)
+(* This domain's persistent scratch, grown (never shrunk) to the current
+   node count. Buffer pool and tmp survive a grow, like [refresh]'s
+   resize of the sequential scratch. *)
+let domain_scratch t =
+  let cell = Arena.local t.arena in
+  let s = !cell in
+  let n = Network.num_nodes t.ctx.Round_ctx.net in
+  if Array.length s.overlay < n then begin
+    let grown =
+      {
+        overlay = Array.make n (Bitvec.create 0);
+        have = Array.make n false;
+        pool = s.pool;
+        tmp = s.tmp;
+      }
+    in
+    cell := grown;
+    grown
+  end
+  else s
 
 let create ctx ~golden ~metric =
   let approx = Round_ctx.output_sigs ctx in
@@ -79,6 +102,9 @@ let create ctx ~golden ~metric =
     err_free = Bitvec.lognot err_mask;
     cone_cache = Hashtbl.create 64;
     scratch = make_scratch n ctx.Round_ctx.patterns.Sim.count;
+    arena =
+      (let samples = ctx.Round_ctx.patterns.Sim.count in
+       Arena.create (fun () -> ref (make_scratch 0 samples)));
     evaluations = Atomic.make 0;
     cache_hits = Atomic.make 0;
     cache_misses = Atomic.make 0;
@@ -377,8 +403,8 @@ let score ?(mode = Exact) ?pool t ~shortlist lacs =
          workers only ever read the cache; each chunk of candidates gets a
          private resimulation scratch. *)
       List.iter (fun lac -> ignore (cone t lac.Lac.target)) chosen;
-      Fan_out.map_list_with pool
-        ~state:(fun () -> fresh_scratch t)
+      Fan_out.map_list_with ~label:"estimate" pool
+        ~state:(fun () -> domain_scratch t)
         ~f:(fun s lac -> Lac.with_delta lac (exact_delta_in t s lac))
         chosen
     | Exact, _ ->

@@ -103,37 +103,57 @@ type raw_names = {
   rows : (int * string * char) list;  (* (line, pattern, output) *)
 }
 
-let tokenize_lines text =
-  (* Join continuation lines (trailing backslash), drop comments, keep the
-     1-based line number of each logical line. *)
-  let lines = List.mapi (fun i l -> (i + 1, l)) (String.split_on_char '\n' text) in
-  let rec join acc = function
-    | [] -> List.rev acc
-    | (n, line) :: rest ->
-      let line =
-        match String.index_opt line '#' with
-        | Some i -> String.sub line 0 i
-        | None -> line
-      in
-      let line =
-        String.map (fun c -> if c = '\t' || c = '\r' then ' ' else c) line
-      in
-      let line = String.trim line in
-      if String.length line > 0 && line.[String.length line - 1] = '\\' then
-        match rest with
-        | (_, next) :: rest' ->
-          join acc
-            ((n, String.sub line 0 (String.length line - 1) ^ " " ^ next)
-             :: rest')
-        | [] -> fail_at n "dangling line continuation"
-      else join ((n, line) :: acc) rest
-  in
-  join [] lines
-  |> List.filter (fun (_, l) -> l <> "")
-  |> List.map (fun (n, l) ->
-         (n, String.split_on_char ' ' l |> List.filter (fun s -> s <> "")))
+(* ----- logical-line streaming -----
 
-let parse_string text =
+   The reader pulls one physical line at a time from a producer, strips
+   comments, normalizes whitespace, joins continuation lines and
+   tokenizes — one pass, with token-list accumulation instead of string
+   re-concatenation, so a continuation chain (EPFL-style circuits
+   declare tens of thousands of inputs across continued [.inputs]
+   lines) costs linear time, and a multi-megabyte file is never held in
+   memory as a whole. *)
+
+(* Comment-strip, normalize, trim; flag a trailing continuation '\\'. *)
+let clean_physical line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line =
+    String.map (fun c -> if c = '\t' || c = '\r' then ' ' else c) line
+  in
+  let line = String.trim line in
+  if String.length line > 0 && line.[String.length line - 1] = '\\' then
+    (true, String.sub line 0 (String.length line - 1))
+  else (false, line)
+
+let split_tokens s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+(* Next non-empty logical line as [(first_line_number, tokens)]. *)
+let rec next_logical next_line lineno =
+  match next_line () with
+  | None -> None
+  | Some raw ->
+    incr lineno;
+    let start = !lineno in
+    let rec go chunks raw =
+      let continued, text = clean_physical raw in
+      let chunks = split_tokens text :: chunks in
+      if not continued then List.concat (List.rev chunks)
+      else
+        match next_line () with
+        | None -> fail_at start "dangling line continuation"
+        | Some raw' ->
+          incr lineno;
+          go chunks raw'
+    in
+    (match go [] raw with
+     | [] -> next_logical next_line lineno
+     | tokens -> Some (start, tokens))
+
+let parse_lines next_line =
   let guarded body =
     (* Anything other than [Parse_error] leaking from here is a parser bug;
        convert it rather than crash callers feeding untrusted bytes. *)
@@ -150,99 +170,112 @@ let parse_string text =
     | Stack_overflow -> raise (Parse_error "input too deeply nested")
   in
   guarded @@ fun () ->
-  let groups = tokenize_lines text in
+  let lineno = ref 0 in
   let model = ref "blif" in
-  let inputs : (string * int) list ref = ref [] in
-  let outputs : (string * int) list ref = ref [] in
-  let names : raw_names list ref = ref [] in
+  (* All accumulators are built in reverse and reversed once at the end:
+     appending per directive would be quadratic in the directive count. *)
+  let rev_inputs : (string * int) list ref = ref [] in
+  let rev_outputs : (string * int) list ref = ref [] in
+  let rev_names : raw_names list ref = ref [] in
   let current : raw_names option ref = ref None in
   let saw_end = ref false in
   let flush () =
     match !current with
-    | Some r -> names := { r with rows = List.rev r.rows } :: !names; current := None
+    | Some r ->
+      rev_names := { r with rows = List.rev r.rows } :: !rev_names;
+      current := None
     | None -> ()
   in
-  List.iter
-    (fun (ln, tokens) ->
-      if not !saw_end then
-        match tokens with
-        | ".model" :: rest ->
-          flush ();
-          (match rest with
-           | [ m ] -> model := m
-           | [] -> fail_at ln ".model expects a name"
-           | _ -> fail_at ln ".model expects a single name")
-        | ".inputs" :: rest ->
-          flush ();
-          inputs := !inputs @ List.map (fun nm -> (nm, ln)) rest
-        | ".outputs" :: rest ->
-          flush ();
-          outputs := !outputs @ List.map (fun nm -> (nm, ln)) rest
-        | ".names" :: rest ->
-          flush ();
-          (match List.rev rest with
-           | target :: rev_fanins ->
-             current :=
-               Some
-                 {
-                   decl_line = ln;
-                   fanin_names = List.rev rev_fanins;
-                   target;
-                   rows = [];
-                 }
-           | [] -> fail_at ln ".names with no signals")
-        | ".end" :: _ ->
-          flush ();
-          saw_end := true
-        | ".latch" :: _ -> fail_at ln "latches are not supported"
-        | ".subckt" :: _ -> fail_at ln "subcircuits are not supported"
-        | directive :: _ when String.length directive > 0 && directive.[0] = '.'
-          ->
-          flush () (* ignore unknown directives such as .default_input_arrival *)
-        | row_tokens -> begin
-          match !current with
-          | None ->
-            fail_at ln "cover row outside .names: %s"
-              (String.concat " " row_tokens)
-          | Some r ->
-            let pattern, out =
-              match row_tokens with
-              | [ out ] when r.fanin_names = [] -> ("", out)
-              | [ pattern; out ] -> (pattern, out)
-              | _ -> fail_at ln "malformed cover row"
-            in
-            let out_char =
-              if out = "1" then '1'
-              else if out = "0" then '0'
-              else fail_at ln "cover output must be 0 or 1, got %s" out
-            in
-            if String.length pattern <> List.length r.fanin_names then
-              fail_at ln "cover row width %d does not match the %d inputs of %s"
-                (String.length pattern)
-                (List.length r.fanin_names)
-                r.target;
-            String.iter
-              (fun c ->
-                match c with
-                | '0' | '1' | '-' -> ()
-                | c -> fail_at ln "bad cover character %c" c)
-              pattern;
-            current := Some { r with rows = (ln, pattern, out_char) :: r.rows }
-        end)
-    groups;
+  let handle ln tokens =
+    match tokens with
+    | ".model" :: rest ->
+      flush ();
+      (match rest with
+       | [ m ] -> model := m
+       | [] -> fail_at ln ".model expects a name"
+       | _ -> fail_at ln ".model expects a single name")
+    | ".inputs" :: rest ->
+      flush ();
+      List.iter (fun nm -> rev_inputs := (nm, ln) :: !rev_inputs) rest
+    | ".outputs" :: rest ->
+      flush ();
+      List.iter (fun nm -> rev_outputs := (nm, ln) :: !rev_outputs) rest
+    | ".names" :: rest ->
+      flush ();
+      (match List.rev rest with
+       | target :: rev_fanins ->
+         current :=
+           Some
+             {
+               decl_line = ln;
+               fanin_names = List.rev rev_fanins;
+               target;
+               rows = [];
+             }
+       | [] -> fail_at ln ".names with no signals")
+    | ".end" :: _ ->
+      flush ();
+      saw_end := true
+    | ".latch" :: _ -> fail_at ln "latches are not supported"
+    | ".subckt" :: _ -> fail_at ln "subcircuits are not supported"
+    | directive :: _ when String.length directive > 0 && directive.[0] = '.' ->
+      flush () (* ignore unknown directives such as .default_input_arrival *)
+    | row_tokens -> begin
+      match !current with
+      | None ->
+        fail_at ln "cover row outside .names: %s" (String.concat " " row_tokens)
+      | Some r ->
+        let pattern, out =
+          match row_tokens with
+          | [ out ] when r.fanin_names = [] -> ("", out)
+          | [ pattern; out ] -> (pattern, out)
+          | _ -> fail_at ln "malformed cover row"
+        in
+        let out_char =
+          if out = "1" then '1'
+          else if out = "0" then '0'
+          else fail_at ln "cover output must be 0 or 1, got %s" out
+        in
+        if String.length pattern <> List.length r.fanin_names then
+          fail_at ln "cover row width %d does not match the %d inputs of %s"
+            (String.length pattern)
+            (List.length r.fanin_names)
+            r.target;
+        String.iter
+          (fun c ->
+            match c with
+            | '0' | '1' | '-' -> ()
+            | c -> fail_at ln "bad cover character %c" c)
+          pattern;
+        current := Some { r with rows = (ln, pattern, out_char) :: r.rows }
+    end
+  in
+  let rec pump () =
+    if not !saw_end then
+      match next_logical next_line lineno with
+      | None -> ()
+      | Some (ln, tokens) ->
+        handle ln tokens;
+        pump ()
+  in
+  pump ();
   if not !saw_end then raise (Parse_error "missing .end");
-  let names = List.rev !names in
+  let names = List.rev !rev_names in
+  let inputs = List.rev !rev_inputs in
+  let outputs = List.rev !rev_outputs in
   let net = Network.create ~name:!model () in
   let by_name : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let input_names : (string, int) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (nm, ln) ->
-      (match Hashtbl.find_opt input_names nm with
-       | Some first ->
-         fail_at ln "duplicate input %s (first declared at line %d)" nm first
-       | None -> Hashtbl.add input_names nm ln);
-      Hashtbl.add by_name nm (Network.add_input net nm))
-    !inputs;
+      match Hashtbl.find_opt input_names nm with
+      | Some first ->
+        fail_at ln "duplicate input %s (first declared at line %d)" nm first
+      | None -> Hashtbl.add input_names nm ln)
+    inputs;
+  let input_name_arr = Array.of_list (List.map fst inputs) in
+  let input_ids = Network.add_inputs net input_name_arr in
+  Array.iteri (fun k nm -> Hashtbl.add by_name nm input_ids.(k)) input_name_arr;
   (* Create placeholder nodes for every defined signal, then fill in
      definitions; BLIF permits use-before-definition. *)
   let defined : (string, int) Hashtbl.t = Hashtbl.create 64 in
@@ -319,13 +352,36 @@ let parse_string text =
          | Some s, _ -> Network.replace ~check_cycle:false net target Gate.Not [| s |]))
     names;
   Network.set_outputs net
-    (Array.of_list (List.map (fun (nm, ln) -> (nm, lookup ~line:ln nm)) !outputs));
+    (Array.of_list (List.map (fun (nm, ln) -> (nm, lookup ~line:ln nm)) outputs));
   Network.validate net;
   net
 
+(* Producer over an in-memory string, matching [String.split_on_char]
+   line semantics (so diagnostics agree with the old whole-text path). *)
+let string_lines text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let exhausted = ref false in
+  fun () ->
+    if !exhausted then None
+    else
+      match String.index_from_opt text !pos '\n' with
+      | Some i ->
+        let l = String.sub text !pos (i - !pos) in
+        pos := i + 1;
+        Some l
+      | None ->
+        exhausted := true;
+        Some (String.sub text !pos (n - !pos))
+
+let channel_lines ic () = match input_line ic with
+  | line -> Some line
+  | exception End_of_file -> None
+
+let parse_string text = parse_lines (string_lines text)
+
+let parse_channel ic = parse_lines (channel_lines ic)
+
 let parse_file path =
   let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  parse_string text
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> parse_channel ic)

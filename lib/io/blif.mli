@@ -19,6 +19,14 @@ val parse_string : string -> Network.t
     raises, on any byte string. *)
 
 val parse_file : string -> Network.t
+(** Stream-parse a BLIF file without buffering it whole; time and peak
+    memory are linear in the file size. [Sys_error] escapes on I/O
+    failure; parse failures raise {!Parse_error} as for
+    {!parse_string}. *)
+
+val parse_channel : in_channel -> Network.t
+(** Stream-parse from an open channel (reads to [.end] or EOF; the
+    channel is not closed). *)
 
 val to_string : Network.t -> string
 (** Serialize the live part of a network as BLIF. N-ary XOR/XNOR gates with

@@ -379,20 +379,38 @@ let candidates_for_target (ctx : Round_ctx.t) config ~buckets ~all_cuts target =
     target;
   List.rev !acc
 
+let enumerate_cuts (ctx : Round_ctx.t) config =
+  if config.sops_per_target > 0 then
+    Cut_enum.enumerate ctx.net ~order:ctx.order
+      ~k:(min config.cut_size Truth.max_vars)
+      ~per_node:config.cuts_per_node
+  else [||]
+
 let generate ?pool (ctx : Round_ctx.t) config =
-  let buckets = similarity_buckets ctx in
-  let all_cuts =
-    if config.sops_per_target > 0 then
-      Cut_enum.enumerate ctx.net ~order:ctx.order
-        ~k:(min config.cut_size Truth.max_vars)
-        ~per_node:config.cuts_per_node
-    else [||]
-  in
-  let per_target = candidates_for_target ctx config ~buckets ~all_cuts in
   match pool with
   | Some pool when Accals_runtime.Pool.jobs pool > 1 ->
+    (* The two pre-passes are independent, so overlap them instead of
+       running them back to back: cut enumeration is forked to the worker
+       domains while the submitting domain computes the similarity
+       buckets. Both are pure functions of [ctx], so the overlap cannot
+       change their results; [Fan_out.join] publishes the forked write. *)
+    let all_cuts = ref [||] in
+    let ticket =
+      Accals_runtime.Fan_out.fork ~label:"candidates.cuts" pool ~count:1
+        (fun _ -> all_cuts := enumerate_cuts ctx config)
+    in
+    let buckets = similarity_buckets ctx in
+    Accals_runtime.Fan_out.join pool ticket;
+    let per_target =
+      candidates_for_target ctx config ~buckets ~all_cuts:!all_cuts
+    in
     (* Per-target enumeration fans out; concatenating the per-target lists
        in topological-order position reproduces the sequential emission
        order exactly. *)
-    Accals_runtime.Fan_out.concat_map_array pool ~f:per_target ctx.order
-  | _ -> List.concat_map per_target (Array.to_list ctx.order)
+    Accals_runtime.Fan_out.concat_map_array ~label:"candidates" pool
+      ~f:per_target ctx.order
+  | _ ->
+    let buckets = similarity_buckets ctx in
+    let all_cuts = enumerate_cuts ctx config in
+    let per_target = candidates_for_target ctx config ~buckets ~all_cuts in
+    List.concat_map per_target (Array.to_list ctx.order)

@@ -78,6 +78,16 @@ let add_input t nm =
   t.input_name_list <- Array.append t.input_name_list [| nm |];
   id
 
+let add_inputs t names =
+  (* Bulk variant: one table append for the whole batch, so creating k
+     inputs costs O(existing + k) instead of the O(k^2) that k single
+     appends would — the difference between linear and quadratic parsing
+     for input-heavy netlists. *)
+  let ids = Array.map (fun _ -> alloc t Gate.Input [||]) names in
+  t.input_ids <- Array.append t.input_ids ids;
+  t.input_name_list <- Array.append t.input_name_list names;
+  ids
+
 let check_def t op fanins =
   if not (Gate.arity_ok op (Array.length fanins)) then
     invalid_arg "Network: arity violation";

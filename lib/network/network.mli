@@ -34,6 +34,12 @@ val set_name : t -> string -> unit
 val add_input : t -> string -> int
 (** Append a primary input; returns its node id. *)
 
+val add_inputs : t -> string array -> int array
+(** Append a batch of primary inputs in order; returns their node ids.
+    Equivalent to mapping {!add_input}, but costs one input-table append
+    for the whole batch — use it when creating many inputs (streaming
+    readers), where repeated single appends would be quadratic. *)
+
 val add_node : t -> Gate.op -> int array -> int
 (** [add_node t op fanins] appends a gate. All fanins must be existing node
     ids. Raises [Invalid_argument] on arity violation or unknown fanin. *)

@@ -1,0 +1,105 @@
+(* Chase–Lev work-stealing deque.
+
+   Layout: a growable circular buffer indexed by two monotonically
+   increasing counters. [top] is advanced by successful steals (and by
+   the owner when it takes the last element), [bottom] by owner pushes.
+   The live region is [top, bottom).
+
+   Memory-model notes (OCaml 5):
+   - [top] and [bottom] are [Atomic.t]; OCaml atomics are SC, so a plain
+     array write made by the owner before its [Atomic.set bottom]
+     publication is visible to any thief that observed the new bottom.
+   - The buffer pointer itself is a plain mutable field. A thief racing
+     with {!grow} may read the old buffer record, but grow copies the
+     live region before the owner publishes the new record, and the
+     owner never writes into the old buffer afterwards, so the stale
+     read still yields the correct element for any index whose CAS on
+     [top] subsequently succeeds. Bundling the array and its mask into
+     one record keeps the pair consistent under such races.
+   - A slot read can be stale only when the CAS on [top] fails; stale
+     values are therefore always discarded. *)
+
+type 'a buffer = { arr : 'a option array; mask : int }
+
+type 'a t = {
+  mutable buf : 'a buffer;
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+}
+
+type 'a steal_result = Stolen of 'a | Empty | Retry
+
+let min_capacity = 16
+
+let make_buffer capacity = { arr = Array.make capacity None; mask = capacity - 1 }
+
+let create () =
+  {
+    buf = make_buffer min_capacity;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+  }
+
+(* Owner only: double the buffer, copying the live region [t, b). *)
+let grow q top bottom =
+  let old = q.buf in
+  let next = make_buffer ((old.mask + 1) * 2) in
+  for i = top to bottom - 1 do
+    next.arr.(i land next.mask) <- old.arr.(i land old.mask)
+  done;
+  q.buf <- next
+
+let push q v =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  if b - t > q.buf.mask then grow q t b;
+  let buf = q.buf in
+  buf.arr.(b land buf.mask) <- Some v;
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  let size = b - t in
+  if size < 0 then begin
+    (* Was empty; undo the reservation. *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let buf = q.buf in
+    let slot = b land buf.mask in
+    let v = buf.arr.(slot) in
+    if size > 0 then begin
+      buf.arr.(slot) <- None;
+      v
+    end
+    else begin
+      (* Exactly one element left: race thieves for it via [top]. *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then begin
+        buf.arr.(slot) <- None;
+        v
+      end
+      else None
+    end
+  end
+
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if b - t <= 0 then Empty
+  else begin
+    let buf = q.buf in
+    let v = buf.arr.(t land buf.mask) in
+    if Atomic.compare_and_set q.top t (t + 1) then
+      match v with
+      | Some x -> Stolen x
+      | None ->
+        (* Only reachable through a stale buffer read that nonetheless
+           won the CAS; treat as a lost race so the caller re-observes. *)
+        Retry
+    else Retry
+  end

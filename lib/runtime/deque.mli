@@ -1,0 +1,30 @@
+(** Chase–Lev work-stealing deque (SPAA'05, with the C11 adaptation of
+    Lê et al., PPoPP'13).
+
+    Single-owner, multi-thief: exactly one domain — the owner — may call
+    {!push} and {!pop}; any other domain may call {!steal}. The owner
+    works LIFO off the bottom (cache-warm), thieves take FIFO off the
+    top (oldest chunks first, which keeps stolen work coarse).
+
+    The buffer grows automatically; pushes never block or fail. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only. Push onto the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only. Pop from the bottom; [None] when empty (including when
+    the last element was lost to a concurrent thief). *)
+
+type 'a steal_result =
+  | Stolen of 'a
+  | Empty  (** no work observed — safe to move to the next victim *)
+  | Retry  (** lost a race with the owner or another thief; try again *)
+
+val steal : 'a t -> 'a steal_result
+(** Any domain. Take from the top. [Retry] means the deque was non-empty
+    but the CAS on [top] lost; callers sweeping several victims should
+    treat it as "victim still interesting". *)

@@ -1,0 +1,189 @@
+(* Each hub domain parks on its own condvar between jobs. A job handle
+   carries its own completion latch (mutex + condvar + flag), because
+   the domain that ran a job moves on to other jobs while old handles
+   are still being waited on.
+
+   Abandonment race: [abandon] must kill reuse of the domain only if it
+   is still wedged on *this* handle's job — a late abandon after the
+   domain picked up a new job must not poison it. The worker keeps a
+   generation counter, bumped per assignment under its mutex, and the
+   handle records the generation it was assigned; abandon compares the
+   two under the same mutex. *)
+
+type worker = {
+  wk_mutex : Mutex.t;
+  wk_cond : Condition.t;
+  mutable wk_task : (unit -> unit) option;
+  mutable wk_stop : bool;
+  mutable wk_abandoned : bool;
+  mutable wk_busy : bool;
+  mutable wk_gen : int;
+  mutable wk_domain : unit Domain.t option;  (* set right after spawn *)
+}
+
+type handle = {
+  h_mutex : Mutex.t;
+  h_cond : Condition.t;
+  mutable h_done : bool;
+  h_worker : worker;
+  h_gen : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  mutable idle : worker list;
+  mutable all : worker list;
+  mutable stopped : bool;
+  spawned : int Atomic.t;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    idle = [];
+    all = [];
+    stopped = false;
+    spawned = Atomic.make 0;
+  }
+
+let spawned t = Atomic.get t.spawned
+let live t =
+  Mutex.lock t.mutex;
+  let n = List.length t.all in
+  Mutex.unlock t.mutex;
+  n
+
+(* Runs on the hub domain. Returns [true] to keep serving, [false] when
+   the domain should exit (stop or abandoned). *)
+let serve_one w =
+  Mutex.lock w.wk_mutex;
+  while w.wk_task = None && not w.wk_stop do
+    Condition.wait w.wk_cond w.wk_mutex
+  done;
+  let task = w.wk_task in
+  w.wk_task <- None;
+  Mutex.unlock w.wk_mutex;
+  match task with
+  | None -> false (* stop *)
+  | Some task ->
+    Mutex.lock w.wk_mutex;
+    w.wk_busy <- true;
+    Mutex.unlock w.wk_mutex;
+    (try task () with _ -> ());
+    Mutex.lock w.wk_mutex;
+    w.wk_busy <- false;
+    let keep = not (w.wk_abandoned || w.wk_stop) in
+    Mutex.unlock w.wk_mutex;
+    keep
+
+let rec worker_loop t w =
+  if serve_one w then begin
+    Mutex.lock t.mutex;
+    if t.stopped then Mutex.unlock t.mutex
+    else begin
+      t.idle <- w :: t.idle;
+      Mutex.unlock t.mutex;
+      worker_loop t w
+    end
+  end
+
+let spawn_worker t =
+  let w =
+    {
+      wk_mutex = Mutex.create ();
+      wk_cond = Condition.create ();
+      wk_task = None;
+      wk_stop = false;
+      wk_abandoned = false;
+      wk_busy = false;
+      wk_gen = 0;
+      wk_domain = None;
+    }
+  in
+  Atomic.incr t.spawned;
+  w.wk_domain <- Some (Domain.spawn (fun () -> worker_loop t w));
+  w
+
+let submit t thunk =
+  Mutex.lock t.mutex;
+  if t.stopped then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Domain_hub.submit: hub is shut down"
+  end;
+  let w =
+    match t.idle with
+    | w :: rest ->
+      t.idle <- rest;
+      Mutex.unlock t.mutex;
+      w
+    | [] ->
+      let w = spawn_worker t in
+      t.all <- w :: t.all;
+      Mutex.unlock t.mutex;
+      w
+  in
+  Mutex.lock w.wk_mutex;
+  w.wk_gen <- w.wk_gen + 1;
+  let h =
+    {
+      h_mutex = Mutex.create ();
+      h_cond = Condition.create ();
+      h_done = false;
+      h_worker = w;
+      h_gen = w.wk_gen;
+    }
+  in
+  w.wk_task <-
+    Some
+      (fun () ->
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.lock h.h_mutex;
+            h.h_done <- true;
+            Condition.broadcast h.h_cond;
+            Mutex.unlock h.h_mutex)
+          thunk);
+  Condition.signal w.wk_cond;
+  Mutex.unlock w.wk_mutex;
+  h
+
+let is_done h =
+  Mutex.lock h.h_mutex;
+  let d = h.h_done in
+  Mutex.unlock h.h_mutex;
+  d
+
+let wait h =
+  Mutex.lock h.h_mutex;
+  while not h.h_done do
+    Condition.wait h.h_cond h.h_mutex
+  done;
+  Mutex.unlock h.h_mutex
+
+let abandon _t h =
+  (* A parked worker has unwound its job, so [is_done] is true and no
+     mark lands — the idle set never contains an abandoned worker. *)
+  let w = h.h_worker in
+  Mutex.lock w.wk_mutex;
+  if w.wk_gen = h.h_gen && not (is_done h) then w.wk_abandoned <- true;
+  Mutex.unlock w.wk_mutex
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopped <- true;
+  let all = t.all in
+  t.all <- [];
+  t.idle <- [];
+  Mutex.unlock t.mutex;
+  List.iter
+    (fun w ->
+      Mutex.lock w.wk_mutex;
+      w.wk_stop <- true;
+      Condition.signal w.wk_cond;
+      (* An abandoned worker that already unwound has exited on its own
+         (instant join); one still wedged in its job can never be joined
+         and is leaked for process exit to reclaim. *)
+      let joinable = not (w.wk_abandoned && w.wk_busy) in
+      Mutex.unlock w.wk_mutex;
+      if joinable then Option.iter Domain.join w.wk_domain)
+    all

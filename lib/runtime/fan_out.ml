@@ -34,7 +34,7 @@ let max_attempts = 3
    bit-identical to a failure-free run. The fault-injection hook wraps every
    attempt under the same logical batch serial so an armed Fault spec
    selects the same (batch, index) units no matter how work is scheduled. *)
-let submit pool ~count task =
+let submit ?label pool ~count task =
   if count > 0 then begin
     let batch = Fault.fresh_batch () in
     let attempt_task attempt i =
@@ -46,9 +46,9 @@ let submit pool ~count task =
          ascending order. *)
       let failures =
         match indices with
-        | None -> Pool.try_run pool ~count (attempt_task attempt)
+        | None -> Pool.try_run ?label pool ~count (attempt_task attempt)
         | Some arr ->
-          Pool.try_run pool ~count:(Array.length arr) (fun k ->
+          Pool.try_run ?label pool ~count:(Array.length arr) (fun k ->
               attempt_task attempt arr.(k))
           |> List.map (fun (f : Pool.failure) -> { f with Pool.index = arr.(f.Pool.index) })
       in
@@ -81,17 +81,17 @@ let submit pool ~count task =
     go 0 None
   end
 
-let map_array pool ~f arr =
+let map_array ?label pool ~f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
     let results = Array.make n None in
-    submit pool ~count:n (fun i -> results.(i) <- Some (f arr.(i)));
+    submit ?label pool ~count:n (fun i -> results.(i) <- Some (f arr.(i)));
     Array.map (function Some r -> r | None -> assert false) results
   end
 
-let map_list pool ~f items =
-  Array.to_list (map_array pool ~f (Array.of_list items))
+let map_list ?label pool ~f items =
+  Array.to_list (map_array ?label pool ~f (Array.of_list items))
 
 (* Contiguous chunk ranges covering [0, n): at most [chunks] of them, sized
    within one element of each other. The layout depends only on [n] and
@@ -109,13 +109,19 @@ let default_chunks pool n =
      state creation stays negligible. *)
   min n (4 * Pool.jobs pool)
 
-let map_array_with pool ~state ~f arr =
+(* The [state]-carrying variants chunk here (one state per chunk), so the
+   pool sees one task per chunk. They use a "<label>#chunk" cost key so
+   their per-chunk durations never pollute the per-element cost model of
+   a flat fan-out sharing the same label. *)
+let chunk_label = Option.map (fun l -> l ^ "#chunk")
+
+let map_array_with ?label pool ~state ~f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
     let results = Array.make n None in
     let ranges = ranges ~chunks:(default_chunks pool n) n in
-    submit pool ~count:(Array.length ranges) (fun c ->
+    submit ?label:(chunk_label label) pool ~count:(Array.length ranges) (fun c ->
         let lo, len = ranges.(c) in
         let s = state () in
         for i = lo to lo + len - 1 do
@@ -124,18 +130,28 @@ let map_array_with pool ~state ~f arr =
     Array.map (function Some r -> r | None -> assert false) results
   end
 
-let map_list_with pool ~state ~f items =
-  Array.to_list (map_array_with pool ~state ~f (Array.of_list items))
+let map_list_with ?label pool ~state ~f items =
+  Array.to_list (map_array_with ?label pool ~state ~f (Array.of_list items))
 
-let map_reduce pool ~n ~map ~merge ~init =
+let map_reduce ?label pool ~n ~map ~merge ~init =
   if n = 0 then init
   else begin
     let results = Array.make n None in
-    submit pool ~count:n (fun i -> results.(i) <- Some (map i));
+    submit ?label pool ~count:n (fun i -> results.(i) <- Some (map i));
     Array.fold_left
       (fun acc r -> match r with Some r -> merge acc r | None -> assert false)
       init results
   end
 
-let concat_map_array pool ~f arr =
-  List.concat (Array.to_list (map_array pool ~f arr))
+let concat_map_array ?label pool ~f arr =
+  List.concat (Array.to_list (map_array ?label pool ~f arr))
+
+(* Overlapping fork/join. No fault-injection hook and no retry: a forked
+   side computation is for pure compute the submitter wants to overlap
+   with its own work, and a failure simply re-raises at [join]. *)
+let fork ?label pool ~count task = Pool.fork ?label pool ~count task
+
+let join pool ticket =
+  match Pool.await pool ticket with
+  | [] -> ()
+  | f :: _ -> Printexc.raise_with_backtrace f.Pool.exn f.Pool.backtrace

@@ -36,34 +36,69 @@ exception
 val max_attempts : int
 (** Total attempts per unit (first run + retries). *)
 
-val submit : Pool.t -> count:int -> (int -> unit) -> unit
+val submit : ?label:string -> Pool.t -> count:int -> (int -> unit) -> unit
 (** [submit pool ~count task] runs [task 0 .. task (count - 1)] with the
     retry policy above. All mapping functions below route through this;
-    direct {!Pool.run} bypasses recovery. *)
+    direct {!Pool.run} bypasses recovery. [label] keys the pool's
+    per-task cost model (chunk sizing, sequential-inline cutoff) and the
+    [accals_pool_task_cost_seconds] histogram; fan-outs doing the same
+    kind of work should share a label. *)
 
-val map_array : Pool.t -> f:('a -> 'b) -> 'a array -> 'b array
+val map_array : ?label:string -> Pool.t -> f:('a -> 'b) -> 'a array -> 'b array
 (** One task per element; [result.(i) = f arr.(i)]. *)
 
-val map_list : Pool.t -> f:('a -> 'b) -> 'a list -> 'b list
+val map_list : ?label:string -> Pool.t -> f:('a -> 'b) -> 'a list -> 'b list
 
 val map_array_with :
-  Pool.t -> state:(unit -> 's) -> f:('s -> 'a -> 'b) -> 'a array -> 'b array
+  ?label:string ->
+  Pool.t ->
+  state:(unit -> 's) ->
+  f:('s -> 'a -> 'b) ->
+  'a array ->
+  'b array
 (** Elements are grouped into contiguous chunks; each chunk task calls
     [state ()] once and folds its elements through [f] left to right.
     Results land by element index. A retried chunk re-creates its scratch
     state and recomputes every one of its elements. *)
 
 val map_list_with :
-  Pool.t -> state:(unit -> 's) -> f:('s -> 'a -> 'b) -> 'a list -> 'b list
+  ?label:string ->
+  Pool.t ->
+  state:(unit -> 's) ->
+  f:('s -> 'a -> 'b) ->
+  'a list ->
+  'b list
 
 val map_reduce :
-  Pool.t -> n:int -> map:(int -> 'b) -> merge:('b -> 'b -> 'b) -> init:'b -> 'b
+  ?label:string ->
+  Pool.t ->
+  n:int ->
+  map:(int -> 'b) ->
+  merge:('b -> 'b -> 'b) ->
+  init:'b ->
+  'b
 (** [map_reduce p ~n ~map ~merge ~init] computes [map i] for [0 <= i < n]
     in parallel and folds [merge] over the results in index order:
     [merge (... (merge init (map 0)) ...) (map (n-1))]. The merge runs on
     the submitting domain, so [merge] needs no synchronization and the
     association order is fixed — the result does not depend on [jobs]. *)
 
-val concat_map_array : Pool.t -> f:('a -> 'b list) -> 'a array -> 'b list
+val concat_map_array :
+  ?label:string -> Pool.t -> f:('a -> 'b list) -> 'a array -> 'b list
 (** [concat_map_array p ~f arr] is [List.concat_map f (Array.to_list arr)]
     with the per-element lists computed in parallel. *)
+
+(** {2 Overlapping fork/join}
+
+    For a side computation the submitting domain wants to overlap with
+    its own sequential work: fork it, compute, then join before reading
+    anything the forked tasks wrote. Unlike {!submit} there is no
+    fault-injection hook and no retry — a task failure re-raises at
+    {!join}. Publication of the forked tasks' writes to the joiner is
+    guaranteed by {!Pool.await}. *)
+
+val fork : ?label:string -> Pool.t -> count:int -> (int -> unit) -> Pool.ticket
+
+val join : Pool.t -> Pool.ticket -> unit
+(** Wait for a forked fan-out; re-raises the lowest-index failure, if
+    any. Join each ticket exactly once. *)

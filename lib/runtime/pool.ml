@@ -1,77 +1,153 @@
 open Accals_telemetry
 
+(* Persistent work-stealing pool.
+
+   One deque per domain (slot 0 is the submitting domain, slots 1.. the
+   workers). A fan-out is split into contiguous chunks — sized from the
+   measured per-task cost of its label — which are handed round-robin to
+   the workers through small mutex-protected inboxes; each worker moves
+   its inbox into its own Chase–Lev deque, works LIFO off the bottom,
+   and steals FIFO from the top of the others when it runs dry. The
+   submitting domain participates too (it owns slot 0 and steals like
+   everyone else while awaiting), so a [jobs]-pool applies [jobs]
+   domains to each batch.
+
+   There is no per-batch barrier: a batch is a reference-counted bag of
+   chunks ([b_remaining]), several batches can be in flight at once
+   ({!fork}/{!await}), and workers park on a condition variable only
+   when a full steal sweep finds every deque empty.
+
+   Determinism: chunk layout depends only on (count, chunk count), each
+   task index writes only its own slot of the caller's result array, and
+   failures are collected by index — so results are bit-identical for
+   every [jobs] value and any steal interleaving. The chunk count itself
+   adapts to measured cost, which is scheduling-dependent, but it only
+   changes which domain computes an index, never what lands at it. *)
+
 type batch = {
-  id : int;
-  count : int;
-  task : int -> unit;  (* exception-safe wrapper around the user task *)
-  next : int Atomic.t;  (* next index to claim *)
-  completed : int Atomic.t;  (* finished tasks, equals [count] when done *)
+  b_task : int -> unit;  (* exception-safe wrapper around the user task *)
+  b_label : string;
+  b_remaining : int Atomic.t;  (* chunks not yet fully executed *)
+}
+
+type chunk = { c_lo : int; c_len : int; c_batch : batch }
+
+type slot = {
+  deque : chunk Deque.t;  (* owner: the domain bound to this slot *)
+  inbox_mutex : Mutex.t;
+  mutable inbox : chunk list;  (* submitter -> owner handoff *)
 }
 
 type t = {
   jobs : int;
   stats : Stats.t;
+  slots : slot array;
   mutex : Mutex.t;
-  cond : Condition.t;  (* workers: batch posted; submitter: batch finished *)
-  mutable batch : batch option;
-  mutable batch_id : int;
+  work_cond : Condition.t;  (* workers park here between fan-outs *)
+  done_cond : Condition.t;  (* awaiters park here until a batch drains *)
+  mutable seq : int;  (* bumped on every distribution; wakes workers *)
   mutable stop : bool;
   mutable domains : unit Domain.t list;
 }
 
 type failure = { index : int; exn : exn; backtrace : Printexc.raw_backtrace }
 
+type ticket = {
+  tk_batch : batch option;  (* [None]: ran inline at fork time *)
+  tk_count : int;
+  tk_errors : (exn * Printexc.raw_backtrace) option array;
+}
+
 let jobs t = t.jobs
-
 let stats t = t.stats
+let default_label = "_unlabelled"
 
-(* Claim and run tasks until the batch's index space is exhausted. The last
-   task to finish clears [t.batch] and wakes everyone: idle workers go back
-   to waiting for the next id, the submitter returns from [try_run]. *)
-let drain t b =
-  let rec go () =
-    let i = Atomic.fetch_and_add b.next 1 in
-    if i < b.count then begin
-      b.task i;
-      Stats.incr_tasks t.stats;
-      let finished = 1 + Atomic.fetch_and_add b.completed 1 in
-      if finished = b.count then begin
-        Mutex.lock t.mutex;
-        t.batch <- None;
-        Condition.broadcast t.cond;
-        Mutex.unlock t.mutex
-      end;
-      go ()
-    end
+(* Predicted-too-cheap fan-outs run inline on the submitter: below this
+   much total predicted work, waking workers costs more than it buys. *)
+let inline_cutoff = 50e-6
+
+(* Chunk sizing aims here; small enough to load-balance, large enough
+   that per-chunk bookkeeping (one cost sample, one refcount decrement)
+   disappears in the noise. *)
+let chunk_target_seconds = 200e-6
+
+let exec_chunk t c =
+  let b = c.c_batch in
+  let started = Clock.now () in
+  for i = c.c_lo to c.c_lo + c.c_len - 1 do
+    b.b_task i
+  done;
+  Stats.note_task_cost t.stats ~label:b.b_label ~tasks:c.c_len
+    ~seconds:(Clock.now () -. started);
+  Stats.add_tasks t.stats c.c_len;
+  if Atomic.fetch_and_add b.b_remaining (-1) = 1 then begin
+    (* Last chunk of its batch: wake any awaiter. The mutex hop orders
+       this broadcast against an awaiter that just re-checked
+       [b_remaining] and is about to wait. *)
+    Mutex.lock t.mutex;
+    Condition.broadcast t.done_cond;
+    Mutex.unlock t.mutex
+  end
+
+let drain_inbox t me =
+  let s = t.slots.(me) in
+  if s.inbox != [] then begin
+    Mutex.lock s.inbox_mutex;
+    let cs = s.inbox in
+    s.inbox <- [];
+    Mutex.unlock s.inbox_mutex;
+    List.iter (Deque.push s.deque) cs
+  end
+
+(* Execute everything reachable from slot [me]: own inbox and deque
+   first, then steal from the other slots. Returns when a full sweep
+   over every other deque comes back empty. *)
+let participate t me =
+  let n = Array.length t.slots in
+  let rec own () =
+    drain_inbox t me;
+    match Deque.pop t.slots.(me).deque with
+    | Some c ->
+      exec_chunk t c;
+      own ()
+    | None -> sweep 1
+  and sweep k =
+    if k < n then
+      match Deque.steal t.slots.((me + k) mod n).deque with
+      | Deque.Stolen c ->
+        Stats.incr_steals t.stats;
+        exec_chunk t c;
+        own ()
+      | Deque.Empty -> sweep (k + 1)
+      | Deque.Retry ->
+        Domain.cpu_relax ();
+        sweep k
   in
-  go ()
+  own ()
 
-let worker t =
+let worker t me =
   let last_seen = ref 0 in
   let rec loop () =
+    participate t me;
     Mutex.lock t.mutex;
-    let rec await () =
-      match t.batch with
-      | Some b when b.id <> !last_seen -> Some b
-      | _ ->
-        if t.stop then None
-        else begin
-          Stats.incr_waits t.stats;
-          Condition.wait t.cond t.mutex;
-          await ()
-        end
+    let rec park () =
+      if t.stop then false
+      else if t.seq <> !last_seen then begin
+        last_seen := t.seq;
+        true
+      end
+      else begin
+        Stats.incr_waits t.stats;
+        Stats.worker_parked t.stats;
+        let slept = Clock.now () in
+        Condition.wait t.work_cond t.mutex;
+        Stats.worker_unparked t.stats (Clock.now () -. slept);
+        park ()
+      end
     in
-    let next = await () in
+    let go = park () in
     Mutex.unlock t.mutex;
-    match next with
-    | None -> ()
-    | Some b ->
-      last_seen := b.id;
-      Telemetry.with_span ~cat:"pool"
-        ~args:[ ("count", Json.Int b.count) ]
-        "pool.drain"
-        (fun () -> drain t b);
-      loop ()
+    if go then loop ()
   in
   loop ()
 
@@ -81,10 +157,17 @@ let create ~jobs =
     {
       jobs;
       stats = Stats.create ~jobs;
+      slots =
+        Array.init jobs (fun _ ->
+            {
+              deque = Deque.create ();
+              inbox_mutex = Mutex.create ();
+              inbox = [];
+            });
       mutex = Mutex.create ();
-      cond = Condition.create ();
-      batch = None;
-      batch_id = 0;
+      work_cond = Condition.create ();
+      done_cond = Condition.create ();
+      seq = 0;
       stop = false;
       domains = [];
     }
@@ -96,95 +179,152 @@ let create ~jobs =
               (* Worker i occupies trace lane i+1; the submitting domain
                  keeps tid 0 ("main"). *)
               Tracer.set_tid (i + 1);
-              worker t));
+              worker t (i + 1)));
   t
 
-let try_run t ~count task =
-  if count < 0 then invalid_arg "Pool.try_run: negative count";
-  if count = 0 then []
-  else begin
-    (* Failures land by index, so the returned list is in submission order
-       no matter which domain ran (or failed) which task. *)
-    let errors = Array.make count None in
-    let safe i =
-      try task i
-      with e ->
-        let bt = Printexc.get_raw_backtrace () in
-        errors.(i) <- Some (e, bt)
+(* How many chunks to cut [count] tasks into. With no cost measurement
+   yet, fall back to 4 chunks per domain (enough slack for stealing to
+   balance); once the label's EWMA is known, aim for
+   [chunk_target_seconds] per chunk, clamped between one chunk per
+   domain and 8 per domain. *)
+let plan_chunks t ~label ~count =
+  match Stats.task_cost t.stats label with
+  | None -> min count (4 * t.jobs)
+  | Some c when c <= 0.0 -> min count (4 * t.jobs)
+  | Some c ->
+    let ideal =
+      int_of_float (ceil (float_of_int count *. c /. chunk_target_seconds))
     in
-    if t.jobs = 1 || count = 1 then begin
-      (* Sequential bypass: no batch machinery, no synchronization. The
-         whole index space still drains even after a failure, mirroring the
-         parallel path. *)
-      for i = 0 to count - 1 do
-        safe i
-      done;
-      Stats.add_tasks t.stats count
+    max (min count t.jobs) (min (min count (8 * t.jobs)) ideal)
+
+let predicted_inline t ~label ~count =
+  match Stats.task_cost t.stats label with
+  | Some c -> c *. float_of_int count < inline_cutoff
+  | None -> false
+
+let run_inline t errors count task =
+  (* No batch machinery, no synchronization; the whole index space still
+     drains after a failure, mirroring the parallel path. *)
+  let safe i =
+    try task i
+    with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+  in
+  for i = 0 to count - 1 do
+    safe i
+  done;
+  Stats.add_tasks t.stats count
+
+let fork ?(label = default_label) t ~count task =
+  if count < 0 then invalid_arg "Pool.fork: negative count";
+  if count = 0 then { tk_batch = None; tk_count = 0; tk_errors = [||] }
+  else begin
+    let errors = Array.make count None in
+    (* [count = 1] is only inlined on the synchronous path ([try_run]):
+       a forked singleton must actually run on a worker, or fork/join
+       overlap would silently degrade to sequential execution. *)
+    if t.jobs = 1 || predicted_inline t ~label ~count then begin
+      run_inline t errors count task;
+      { tk_batch = None; tk_count = count; tk_errors = errors }
     end
     else begin
-      let batch_span =
-        Telemetry.begin_span ~cat:"pool"
-          ~args:[ ("count", Json.Int count) ]
-          "pool.batch"
+      let safe i =
+        try task i
+        with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
       in
+      let chunks = plan_chunks t ~label ~count in
+      let base = count / chunks and extra = count mod chunks in
+      let b =
+        { b_task = safe; b_label = label; b_remaining = Atomic.make chunks }
+      in
+      let workers = t.jobs - 1 in
       Mutex.lock t.mutex;
       if t.stop then begin
         Mutex.unlock t.mutex;
-        Telemetry.end_span batch_span;
-        invalid_arg "Pool.try_run: pool is shut down"
+        invalid_arg "Pool.fork: pool is shut down"
       end;
-      assert (t.batch = None);
-      t.batch_id <- t.batch_id + 1;
-      let b =
-        {
-          id = t.batch_id;
-          count;
-          task = safe;
-          next = Atomic.make 0;
-          completed = Atomic.make 0;
-        }
-      in
-      t.batch <- Some b;
+      (* Hand chunks to the worker slots round-robin; the submitter's own
+         slot stays empty so a forked batch makes progress even while the
+         submitting domain is busy elsewhere. The submitter still helps
+         via stealing once it awaits. (Nesting inbox mutexes inside
+         [t.mutex] is safe: no path acquires [t.mutex] while holding an
+         inbox mutex.) *)
+      for k = 0 to chunks - 1 do
+        let lo = (k * base) + min k extra in
+        let len = base + if k < extra then 1 else 0 in
+        let c = { c_lo = lo; c_len = len; c_batch = b } in
+        let s = t.slots.(1 + (k mod workers)) in
+        Mutex.lock s.inbox_mutex;
+        s.inbox <- c :: s.inbox;
+        Mutex.unlock s.inbox_mutex
+      done;
       Stats.incr_batches t.stats;
-      Condition.broadcast t.cond;
+      t.seq <- t.seq + 1;
+      Condition.broadcast t.work_cond;
       Mutex.unlock t.mutex;
-      drain t b;
-      Mutex.lock t.mutex;
-      (* Wait for the last finisher to clear the batch slot, not merely for
-         the completion count: the submitter can observe the final count
-         before the finisher has re-taken the mutex, and an immediate next
-         submission (e.g. a retry of failed units) must find the slot
-         empty. *)
-      let rec await_clear () =
-        match t.batch with
-        | Some _ ->
-          Condition.wait t.cond t.mutex;
-          await_clear ()
-        | None -> ()
-      in
-      await_clear ();
-      Mutex.unlock t.mutex;
-      Telemetry.end_span batch_span
-    end;
-    let failures = ref [] in
-    for i = count - 1 downto 0 do
-      match errors.(i) with
-      | Some (exn, backtrace) ->
-        failures := { index = i; exn; backtrace } :: !failures
-      | None -> ()
-    done;
-    !failures
+      { tk_batch = Some b; tk_count = count; tk_errors = errors }
+    end
   end
 
-let run t ~count task =
-  match try_run t ~count task with
+let collect_failures tk =
+  let failures = ref [] in
+  for i = tk.tk_count - 1 downto 0 do
+    match tk.tk_errors.(i) with
+    | Some (exn, backtrace) ->
+      failures := { index = i; exn; backtrace } :: !failures
+    | None -> ()
+  done;
+  !failures
+
+let await t tk =
+  (match tk.tk_batch with
+  | None -> ()
+  | Some b ->
+    (* Help drain: run chunks of any in-flight batch, not just this
+       one — executing a sibling ticket's chunk is always sound because
+       every chunk is self-describing. *)
+    participate t 0;
+    if Atomic.get b.b_remaining > 0 then begin
+      Mutex.lock t.mutex;
+      while Atomic.get b.b_remaining > 0 do
+        Condition.wait t.done_cond t.mutex
+      done;
+      Mutex.unlock t.mutex
+    end);
+  (* The final [b_remaining] load (SC atomic) orders every worker's
+     error/result writes before the reads below. *)
+  collect_failures tk
+
+let try_run ?(label = default_label) t ~count task =
+  if count < 0 then invalid_arg "Pool.try_run: negative count";
+  if count = 0 then []
+  else begin
+    if count = 1 || t.jobs = 1 then begin
+      let tk =
+        { tk_batch = None; tk_count = count; tk_errors = Array.make count None }
+      in
+      run_inline t tk.tk_errors count task;
+      collect_failures tk
+    end
+    else
+    let tk = fork ~label t ~count task in
+    match tk.tk_batch with
+    | None -> collect_failures tk
+    | Some _ ->
+      Telemetry.with_span ~cat:"pool"
+        ~args:[ ("count", Json.Int count); ("label", Json.String label) ]
+        "pool.batch"
+        (fun () -> await t tk)
+  end
+
+let run ?label t ~count task =
+  match try_run ?label t ~count task with
   | [] -> ()
   | f :: _ -> Printexc.raise_with_backtrace f.exn f.backtrace
 
 let shutdown t =
   Mutex.lock t.mutex;
   t.stop <- true;
-  Condition.broadcast t.cond;
+  Condition.broadcast t.work_cond;
   Mutex.unlock t.mutex;
   List.iter Domain.join t.domains;
   t.domains <- []

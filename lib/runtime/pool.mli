@@ -1,14 +1,30 @@
-(** Fixed-size domain pool.
+(** Persistent work-stealing domain pool.
 
     A pool spawns [jobs - 1] worker domains once and reuses them for every
-    subsequent batch; the submitting domain always participates too, so a
-    [jobs]-pool applies [jobs] domains to each batch. With [jobs = 1] no
-    domain is ever spawned and batches degenerate to a plain sequential
+    subsequent fan-out. Each domain owns a Chase–Lev deque ({!Deque});
+    submitted work is cut into contiguous chunks — sized from the measured
+    per-task cost of the fan-out's [label] — and handed to the workers,
+    who steal from each other when their own deque runs dry. The
+    submitting domain always participates too (it steals while awaiting),
+    so a [jobs]-pool applies [jobs] domains to each batch. With [jobs = 1]
+    no domain is ever spawned and batches degenerate to a plain sequential
     loop — the sequential path stays the reference implementation.
 
-    {!run} and {!try_run} are synchronous and must only be driven from one
-    domain at a time (the engine's main loop); workers never submit batches
-    themselves. *)
+    There is no per-batch barrier: {!fork} returns a {!ticket} without
+    waiting, several tickets can be in flight at once, and workers park
+    only when every deque is empty. Fan-outs whose predicted total cost
+    (per-task EWMA × count) is below a cutoff run inline on the submitter
+    instead of waking workers — this is what keeps tiny phases (e.g.
+    [simulate] on small circuits) from paying coordination for nothing.
+
+    Determinism: chunk layout and stealing decide only {e which domain}
+    computes an index, never what lands at it — task [i] must write only
+    slot [i] of its output, and then results are bit-identical for every
+    [jobs] value.
+
+    {!run}, {!try_run}, {!fork} and {!await} must only be driven from one
+    domain at a time (the engine's main loop); workers never submit
+    batches themselves. *)
 
 type t
 
@@ -17,29 +33,53 @@ type failure = { index : int; exn : exn; backtrace : Printexc.raw_backtrace }
 
 val create : jobs:int -> t
 (** [create ~jobs] spawns [jobs - 1] worker domains. [jobs] must be at
-    least 1. The workers idle on a condition variable between batches. *)
+    least 1. The workers park on a condition variable when idle. *)
 
 val jobs : t -> int
 
 val stats : t -> Stats.t
 (** Shared work-accounting record; see {!Stats}. *)
 
-val run : t -> count:int -> (int -> unit) -> unit
+val run : ?label:string -> t -> count:int -> (int -> unit) -> unit
 (** [run t ~count task] executes [task 0 .. task (count - 1)], each exactly
     once, distributing indices over the pool's domains, and returns when all
     have finished. Tasks must not depend on execution order or domain
     placement. If any task raises, the whole batch still drains and the
-    failure with the lowest index is re-raised in the caller. *)
+    failure with the lowest index is re-raised in the caller. [label] keys
+    the per-task cost model (chunk sizing and the sequential-inline
+    cutoff); fan-outs doing the same kind of work should share a label. *)
 
-val try_run : t -> count:int -> (int -> unit) -> failure list
+val try_run : ?label:string -> t -> count:int -> (int -> unit) -> failure list
 (** Like {!run}, but collects failures instead of raising: the result lists
     every task that raised, in ascending index order (empty on full
     success). The whole index space always drains, so the caller can retry
     exactly the failed indices — see {!Fan_out}. *)
 
+(** {1 Fork/join}
+
+    Independent fan-outs can overlap: fork one, keep computing on the
+    submitting domain (or fork more), and join later. Forked work runs
+    entirely on the worker domains until {!await}, where the submitter
+    helps drain. *)
+
+type ticket
+(** An in-flight (or already-inlined) fan-out. Await exactly once. *)
+
+val fork : ?label:string -> t -> count:int -> (int -> unit) -> ticket
+(** Submit without waiting. When the pool is sequential ([jobs = 1]), the
+    count is 1, or the label's predicted cost is below the inline cutoff,
+    the tasks run inline before [fork] returns (the ticket is then already
+    complete). *)
+
+val await : t -> ticket -> failure list
+(** Block until the ticket's batch has fully drained, helping execute
+    outstanding chunks (of any ticket) meanwhile. Returns the failures in
+    ascending index order. *)
+
 val shutdown : t -> unit
-(** Join the worker domains. Idempotent; the pool must be idle. A pool that
-    is never shut down leaks its domains until program exit. *)
+(** Join the worker domains. Idempotent; the pool must be idle (no ticket
+    outstanding). A pool that is never shut down leaks its domains until
+    program exit. *)
 
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down

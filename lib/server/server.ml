@@ -5,6 +5,7 @@ module Checkpoint = Accals_resilience.Checkpoint
 module Network = Accals_network.Network
 module Blif = Accals_io.Blif
 module Bench_suite = Accals_circuits.Bench_suite
+module Domain_hub = Accals_runtime.Domain_hub
 module Engine = Accals.Engine
 module Config = Accals.Config
 module Report_json = Accals.Report_json
@@ -70,14 +71,19 @@ type conn = {
    slack fits. *)
 let max_outbox_bytes = 64 * 1024 * 1024
 
-(* One worker domain per running job.  [w_completed] is the join
-   condition: OCaml domains cannot be killed, so the main loop only ever
-   joins a domain whose body has finished (set in the spawn closure's
-   [Fun.protect]).  A wedged worker past its job's deadline + grace is
-   moved off the slot-holding list instead (see [sweep_deadlines]) and
-   joined later, if it ever unwinds. *)
+(* One hub job per running synthesis job.  Jobs run on the daemon's
+   persistent {!Domain_hub} domains (spawned on demand, reused across
+   jobs) instead of one ad-hoc [Domain.spawn] each, so steady traffic
+   stops paying a domain spawn/join per request.  [w_completed] is the
+   reclaim condition: OCaml domains cannot be killed, so the main loop
+   only ever waits on a job whose body has finished (set in the
+   submitted closure's [Fun.protect]).  A wedged worker past its job's
+   deadline + grace is moved off the slot-holding list instead (see
+   [sweep_deadlines]) and its hub domain abandoned — the hub never
+   schedules another job behind it, and spawns a replacement domain on
+   demand. *)
 type worker = {
-  w_domain : unit Domain.t;
+  w_handle : Domain_hub.handle;
   w_job : Scheduler.job;
   w_completed : bool Atomic.t;
 }
@@ -100,6 +106,7 @@ type t = {
   nets_mutex : Mutex.t;
   nets : (string, Network.t) Hashtbl.t;  (** job id -> parsed circuit *)
   mutable conns : conn list;
+  hub : Domain_hub.t;  (** persistent job domains *)
   mutable workers : worker list;
   mutable zombies : worker list;
       (** abandoned (deadline-wedged) workers: no longer hold a slot,
@@ -248,6 +255,7 @@ let create cfg =
       nets_mutex = Mutex.create ();
       nets = Hashtbl.create 16;
       conns = [];
+      hub = Domain_hub.create ();
       workers = [];
       zombies = [];
       quarantine = Hashtbl.create 16;
@@ -644,7 +652,7 @@ let reap t =
     in
     List.iter
       (fun w ->
-        Domain.join w.w_domain;
+        Domain_hub.wait w.w_handle;
         note_worker_outcome t w.w_job)
       finished;
     alive
@@ -694,7 +702,10 @@ let sweep_deadlines t =
     List.iter
       (fun w ->
         log t "abandoning wedged worker for %s (deadline + %.1fs grace)"
-          (Scheduler.id w.w_job) t.cfg.deadline_grace)
+          (Scheduler.id w.w_job) t.cfg.deadline_grace;
+        (* The hub domain never takes another job and a fresh domain is
+           spawned on demand, so a wedged job cannot wedge the slot. *)
+        Domain_hub.abandon t.hub w.w_handle)
       wedged;
     t.zombies <- wedged @ t.zombies
   end
@@ -714,15 +725,15 @@ let dispatch t =
       | Some net ->
         log t "start %s" (Scheduler.id job);
         let completed = Atomic.make false in
-        let d =
-          Domain.spawn (fun () ->
+        let h =
+          Domain_hub.submit t.hub (fun () ->
               Fun.protect
                 ~finally:(fun () ->
                   Atomic.set completed true;
                   wake t)
                 (fun () -> worker_body t job net))
         in
-        t.workers <- { w_domain = d; w_job = job; w_completed = completed } :: t.workers)
+        t.workers <- { w_handle = h; w_job = job; w_completed = completed } :: t.workers)
   done
 
 (* -- request handling ---------------------------------------------------- *)
@@ -844,6 +855,8 @@ let handle_request t req =
          Json.Int (max 0 (t.cfg.max_concurrent - List.length t.workers)));
         ("max_queue", Json.Int t.cfg.max_queue);
         ("zombies", Json.Int (List.length t.zombies));
+        ("hub_domains_spawned", Json.Int (Domain_hub.spawned t.hub));
+        ("hub_domains_live", Json.Int (Domain_hub.live t.hub));
         ("connections", Json.Int (List.length t.conns));
         ("cache_entries",
          opt_json (fun c -> Json.Int (Cache.size c)) t.cache);
@@ -1072,7 +1085,7 @@ let drain t =
   List.iter
     (fun j -> ignore (Scheduler.cancel t.sched j))
     (Scheduler.all t.sched);
-  List.iter (fun w -> Domain.join w.w_domain) t.workers;
+  List.iter (fun w -> Domain_hub.wait w.w_handle) t.workers;
   t.workers <- [];
   (* Abandoned workers cannot be joined unless they unwind on their own;
      give them a bounded window (their cancel flags are set), then leak
@@ -1083,7 +1096,7 @@ let drain t =
      let dead, undead =
        List.partition (fun w -> Atomic.get w.w_completed) t.zombies
      in
-     List.iter (fun w -> Domain.join w.w_domain) dead;
+     List.iter (fun w -> Domain_hub.wait w.w_handle) dead;
      t.zombies <- undead;
      if undead <> [] && Clock.now () < give_up then begin
        Unix.sleepf 0.05;
@@ -1094,6 +1107,9 @@ let drain t =
    if t.zombies <> [] then
      log t "leaking %d still-wedged worker domain(s) at exit"
        (List.length t.zombies));
+  (* Joins idle and reclaimable hub domains; still-wedged abandoned ones
+     are leaked, exactly as before. *)
+  Domain_hub.shutdown t.hub;
   (* Flush observability artifacts so a post-mortem needs no live daemon. *)
   (match t.cfg.state_dir with
    | None -> ()

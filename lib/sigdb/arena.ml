@@ -1,0 +1,18 @@
+(* Domain-local storage keyed per arena. [Domain.DLS] slots are cheap
+   (one array slot per domain per key) but keys cannot be reclaimed, so
+   arenas are meant for long-lived structures — one per estimator, not
+   one per fan-out. *)
+
+type 'a t = { key : 'a Domain.DLS.key; count : int Atomic.t }
+
+let create make =
+  let count = Atomic.make 0 in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        Atomic.incr count;
+        make ())
+  in
+  { key; count }
+
+let local t = Domain.DLS.get t.key
+let instances t = Atomic.get t.count

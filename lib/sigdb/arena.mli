@@ -1,0 +1,27 @@
+(** Per-domain scratch arenas.
+
+    An ['a Arena.t] hands each domain its own private instance of some
+    scratch structure (signature-buffer pools, overlay arrays, ...),
+    created lazily on the domain's first access and then reused for the
+    domain's lifetime. This is what keeps candidate scoring from
+    bouncing buffer allocations across domains: a worker that scored
+    candidates once already owns warmed buffers for every later chunk it
+    runs, no matter which fan-out (or round) the chunk belongs to.
+
+    Soundness requires the scratch to be write-before-read — results
+    must be bit-identical whether an instance is fresh or reused, which
+    is the same contract {!Fan_out} already imposes on per-chunk
+    states. Instances are never shared between domains and never moved,
+    so no synchronization is involved on the access path. *)
+
+type 'a t
+
+val create : (unit -> 'a) -> 'a t
+(** [create make] is an arena whose per-domain instances are produced by
+    [make] (called at most once per domain, on that domain). *)
+
+val local : 'a t -> 'a
+(** This domain's instance. *)
+
+val instances : 'a t -> int
+(** How many domains have materialized an instance so far (telemetry). *)

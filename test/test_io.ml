@@ -217,6 +217,143 @@ let test_file_io () =
   Sys.remove path;
   Alcotest.(check int) "inputs survive" 9 (Array.length (Network.inputs parsed))
 
+
+(* --- streaming reader --- *)
+
+let test_streaming_large_roundtrip () =
+  (* A generated 100k-node circuit through the writer and both streaming
+     entry points: file parse and string parse must build the very same
+     network, and the parsed circuit must compute the same function. *)
+  let net = Bench_suite.build "synth100k" in
+  let text = Blif.to_string net in
+  let path = Filename.temp_file "accals_big" ".blif" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      let from_file = Blif.parse_file path in
+      let from_string = Blif.parse_string text in
+      check "file and string parses agree" true
+        (Network.digest from_file = Network.digest from_string);
+      let k = Array.length (Network.inputs net) in
+      Alcotest.(check int) "inputs survive" k
+        (Array.length (Network.inputs from_file));
+      Alcotest.(check int)
+        "outputs survive"
+        (Array.length (Network.outputs net))
+        (Array.length (Network.outputs from_file));
+      let rng = Accals_bitvec.Prng.create 77 in
+      for _ = 1 to 5 do
+        let ins = Array.init k (fun _ -> Accals_bitvec.Prng.bool rng) in
+        check "function preserved" true
+          (Network.eval net ins = Network.eval from_file ins)
+      done)
+
+let test_streaming_truncation_fuzz () =
+  (* Random truncations and byte mutations of a substantial generated
+     document (the PR 2 mutation harness discipline, pointed at the
+     reader): the parser accepts or raises Parse_error, nothing else. *)
+  let net = Random_logic.make ~name:"trunc" ~inputs:24 ~outputs:12 ~gates:400 ~seed:404 in
+  let text = Blif.to_string net in
+  let rng = Accals_bitvec.Prng.create 505 in
+  let try_parse t =
+    match Blif.parse_string t with
+    | (_ : Network.t) -> ()
+    | exception Blif.Parse_error _ -> ()
+    | exception e ->
+      Alcotest.failf "BLIF leaked %s on a %d-byte document"
+        (Printexc.to_string e) (String.length t)
+  in
+  for _ = 1 to 200 do
+    try_parse (String.sub text 0 (Accals_bitvec.Prng.int rng (String.length text)))
+  done;
+  for _ = 1 to 200 do
+    let bytes = Bytes.of_string text in
+    for _ = 0 to Accals_bitvec.Prng.int rng 8 do
+      let pos = Accals_bitvec.Prng.int rng (Bytes.length bytes) in
+      Bytes.set bytes pos (Char.chr (Accals_bitvec.Prng.int rng 256))
+    done;
+    try_parse (Bytes.to_string bytes)
+  done
+
+let test_streaming_parse_linear_time () =
+  (* Parse time must stay linear in document size. The document leans on
+     the spots that were once quadratic: per-directive input/output
+     accumulation and continuation-line joining. The bound is an absolute
+     budget with a wide margin — the quadratic versions took several
+     seconds here, the streaming parser a few hundredths. *)
+  let doc k =
+    let buf = Buffer.create (1 lsl 20) in
+    Buffer.add_string buf ".model lin\n";
+    for i = 0 to k - 1 do
+      Printf.bprintf buf ".inputs x%d\n" i
+    done;
+    Buffer.add_string buf ".inputs \\\n";
+    for i = 0 to k - 1 do
+      Printf.bprintf buf " y%d \\\n" i
+    done;
+    Buffer.add_string buf " z\n";
+    for i = 0 to k - 1 do
+      Printf.bprintf buf ".outputs o%d\n" i
+    done;
+    for i = 0 to k - 1 do
+      Printf.bprintf buf ".names x%d o%d\n1 1\n" i i
+    done;
+    Buffer.add_string buf ".end\n";
+    Buffer.contents buf
+  in
+  let time_parse text =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (Blif.parse_string text);
+      best := min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let t = time_parse (doc 20_000) in
+  if t > 2.0 then
+    Alcotest.failf "parsing a 20k-input document took %.2fs (budget 2s)" t
+
+let test_aiger_streaming_contract () =
+  (* Same truncation/garbage discipline for the AIGER reader. *)
+  let module Aig = Accals_aig.Aig in
+  let module Aiger = Accals_aig.Aiger in
+  let net = Random_logic.make ~name:"atrunc" ~inputs:12 ~outputs:6 ~gates:120 ~seed:606 in
+  let text = Aiger.to_string (Aig.of_network net) in
+  let rng = Accals_bitvec.Prng.create 707 in
+  let try_parse t =
+    match Aiger.parse_string t with
+    | (_ : Aig.t) -> ()
+    | exception Aiger.Parse_error _ -> ()
+    | exception e ->
+      Alcotest.failf "AIGER leaked %s" (Printexc.to_string e)
+  in
+  for _ = 1 to 200 do
+    try_parse (String.sub text 0 (Accals_bitvec.Prng.int rng (String.length text)))
+  done;
+  for _ = 1 to 200 do
+    let bytes = Bytes.of_string text in
+    for _ = 0 to Accals_bitvec.Prng.int rng 6 do
+      let pos = Accals_bitvec.Prng.int rng (Bytes.length bytes) in
+      Bytes.set bytes pos (Char.chr (Accals_bitvec.Prng.int rng 256))
+    done;
+    try_parse (Bytes.to_string bytes)
+  done;
+  (* File and string parses of a valid document agree. *)
+  let path = Filename.temp_file "accals_aig" ".aag" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      let a = Aiger.parse_file path and b = Aiger.parse_string text in
+      check "aiger file = string parse" true
+        (Aiger.to_string a = Aiger.to_string b))
+
 let suite =
   [
     ( "blif",
@@ -236,6 +373,17 @@ let suite =
         Alcotest.test_case "roundtrip random logic" `Quick test_roundtrip_random_logic;
         Alcotest.test_case "roundtrip shared PO driver" `Quick test_roundtrip_shared_output_driver;
         Alcotest.test_case "file io" `Quick test_file_io;
+      ] );
+    ( "streaming readers",
+      [
+        Alcotest.test_case "100k-node roundtrip" `Slow
+          test_streaming_large_roundtrip;
+        Alcotest.test_case "truncation/garbage fuzz" `Quick
+          test_streaming_truncation_fuzz;
+        Alcotest.test_case "parse time linear" `Slow
+          test_streaming_parse_linear_time;
+        Alcotest.test_case "aiger streaming contract" `Quick
+          test_aiger_streaming_contract;
       ] );
     ( "verilog/dot",
       [

@@ -205,6 +205,186 @@ let test_exhaustive_pool_deterministic () =
   in
   check "exhaustive reports identical" true (seq = par)
 
+
+(* --- Chase-Lev deque --- *)
+
+module Deque = Accals_runtime.Deque
+
+let test_deque_owner_order () =
+  let d = Deque.create () in
+  for i = 1 to 100 do
+    Deque.push d i
+  done;
+  (* Owner pops LIFO... *)
+  check "pop is LIFO" true (Deque.pop d = Some 100);
+  check "pop is LIFO 2" true (Deque.pop d = Some 99);
+  (* ...thieves steal FIFO from the opposite end. *)
+  check "steal is FIFO" true (Deque.steal d = Deque.Stolen 1);
+  check "steal is FIFO 2" true (Deque.steal d = Deque.Stolen 2);
+  let rec drain n = match Deque.pop d with Some _ -> drain (n + 1) | None -> n in
+  check_int "remaining items" 96 (drain 0);
+  check "empty steal" true (Deque.steal d = Deque.Empty);
+  check "empty pop" true (Deque.pop d = None)
+
+let test_deque_growth () =
+  (* Push far past the initial capacity; nothing is lost or duplicated. *)
+  let d = Deque.create () in
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    Deque.push d i
+  done;
+  let seen = Array.make n false in
+  let rec drain () =
+    match Deque.pop d with
+    | Some i ->
+      check "no duplicate" false seen.(i);
+      seen.(i) <- true;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check "all present" true (Array.for_all Fun.id seen)
+
+let test_deque_concurrent_steal () =
+  (* One owner pushing and popping, three thieves stealing concurrently:
+     every item is consumed exactly once. *)
+  let d = Deque.create () in
+  let n = 20_000 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  let stolen = Atomic.make 0 in
+  let done_ = Atomic.make false in
+  let thief () =
+    let rec loop () =
+      match Deque.steal d with
+      | Deque.Stolen i ->
+        Atomic.incr hits.(i);
+        Atomic.incr stolen;
+        loop ()
+      | Deque.Retry ->
+        Domain.cpu_relax ();
+        loop ()
+      | Deque.Empty -> if not (Atomic.get done_) then loop ()
+    in
+    loop ()
+  in
+  let thieves = List.init 3 (fun _ -> Domain.spawn thief) in
+  for i = 0 to n - 1 do
+    Deque.push d i;
+    if i land 7 = 0 then
+      match Deque.pop d with
+      | Some j -> Atomic.incr hits.(j)
+      | None -> ()
+  done;
+  let rec drain () =
+    match Deque.pop d with
+    | Some j ->
+      Atomic.incr hits.(j);
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set done_ true;
+  List.iter Domain.join thieves;
+  check "each item consumed exactly once" true
+    (Array.for_all (fun a -> Atomic.get a = 1) hits)
+
+(* --- fork/join tickets --- *)
+
+let test_fork_join_overlap () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let a = Array.make 500 0 and b = Array.make 300 0 in
+      let ta = Fan_out.fork ~label:"fork.a" pool ~count:500 (fun i -> a.(i) <- i + 1) in
+      let tb = Fan_out.fork ~label:"fork.b" pool ~count:300 (fun i -> b.(i) <- 2 * i) in
+      (* Join out of submission order: batches are independent. *)
+      Fan_out.join pool tb;
+      Fan_out.join pool ta;
+      check "batch a complete" true (Array.for_all2 ( = ) a (Array.init 500 (fun i -> i + 1)));
+      check "batch b complete" true (Array.for_all2 ( = ) b (Array.init 300 (fun i -> 2 * i))))
+
+let test_fork_join_failure () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let t =
+        Fan_out.fork pool ~count:64 (fun i -> if i = 7 || i = 13 then failwith "unit died")
+      in
+      (match Fan_out.join pool t with
+       | () -> Alcotest.fail "expected the forked failure to re-raise"
+       | exception Failure m -> check "first failure wins" true (m = "unit died"));
+      (* The pool survives a failed ticket. *)
+      let ok = ref 0 in
+      Pool.run pool ~count:10 (fun _ -> incr ok);
+      check_int "pool alive after failure" 10 !ok)
+
+let test_forked_singleton_not_inlined () =
+  (* A forked count=1 batch must return before its task necessarily ran —
+     fork must not silently degrade to a synchronous call. We can't assert
+     scheduling, but we can assert completion via join and that fork/join
+     on jobs=1 still works inline. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let cell = ref 0 in
+      let t = Fan_out.fork pool ~count:1 (fun _ -> cell := 41) in
+      Fan_out.join pool t;
+      check_int "singleton ran" 41 !cell);
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let cell = ref 0 in
+      let t = Fan_out.fork pool ~count:1 (fun _ -> cell := 42) in
+      Fan_out.join pool t;
+      check_int "jobs=1 inline fork" 42 !cell)
+
+(* --- task-cost model and pool telemetry --- *)
+
+let test_task_cost_model () =
+  let stats = Stats.create ~jobs:2 in
+  check "no cost yet" true (Stats.task_cost stats "phase-x" = None);
+  Stats.note_task_cost stats ~label:"phase-x" ~tasks:10 ~seconds:1e-3;
+  (match Stats.task_cost stats "phase-x" with
+   | Some c -> check "first sample sets the EWMA" true (abs_float (c -. 1e-4) < 1e-12)
+   | None -> Alcotest.fail "cost model empty after a sample");
+  (* Further samples move the estimate toward the new cost, smoothly. *)
+  Stats.note_task_cost stats ~label:"phase-x" ~tasks:10 ~seconds:2e-3;
+  (match Stats.task_cost stats "phase-x" with
+   | Some c ->
+     check "EWMA moved up" true (c > 1e-4);
+     check "EWMA not overshooting" true (c < 2e-4)
+   | None -> Alcotest.fail "cost model lost its label");
+  check "labels are independent" true (Stats.task_cost stats "phase-y" = None)
+
+let test_pool_telemetry_series () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Fan_out.submit ~label:"telemetry-probe" pool ~count:256 (fun i -> Sys.opaque_identity (ignore i));
+      let snap = Stats.snapshot (Pool.stats pool) in
+      check "steal counter non-negative" true (snap.Stats.steals >= 0);
+      check "idle seconds non-negative" true (snap.Stats.idle_seconds >= 0.0);
+      let prom =
+        Accals_telemetry.Metrics.to_prometheus
+          (Accals_telemetry.Metrics.snapshot (Stats.metrics (Pool.stats pool)))
+      in
+      let contains needle =
+        let n = String.length needle and h = String.length prom in
+        let rec go i = i + n <= h && (String.sub prom i n = needle || go (i + 1)) in
+        go 0
+      in
+      check "steal series exported" true (contains "accals_pool_steal_total");
+      check "idle time series exported" true (contains "accals_pool_idle_seconds_total");
+      check "idle workers gauge exported" true (contains "accals_pool_workers_idle");
+      check "task cost histogram exported" true (contains "accals_pool_task_cost_seconds");
+      check "histogram labelled by phase" true (contains "phase=\"telemetry-probe\""))
+
+let test_many_batches_deterministic () =
+  (* Several in-flight batches, joined in reverse, repeated: results always
+     equal the sequential reference. *)
+  let reference = Array.init 200 (fun i -> (i * 37) mod 101) in
+  Pool.with_pool ~jobs:3 (fun pool ->
+      for _ = 1 to 10 do
+        let results = Array.init 4 (fun _ -> Array.make 200 (-1)) in
+        let tickets =
+          List.init 4 (fun k ->
+              Fan_out.fork ~label:"det" pool ~count:200 (fun i ->
+                  results.(k).(i) <- (i * 37) mod 101))
+        in
+        List.iter (Fan_out.join pool) (List.rev tickets);
+        Array.iter (fun r -> check "batch equals reference" true (r = reference)) results
+      done)
+
 let suite =
   [
     ( "runtime pool",
@@ -213,6 +393,25 @@ let suite =
         Alcotest.test_case "jobs=1 bypass" `Quick test_pool_sequential_bypass;
         Alcotest.test_case "empty batch" `Quick test_pool_empty_batch;
         Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+      ] );
+    ( "runtime deque",
+      [
+        Alcotest.test_case "owner LIFO, thief FIFO" `Quick test_deque_owner_order;
+        Alcotest.test_case "growth" `Quick test_deque_growth;
+        Alcotest.test_case "concurrent stealing" `Quick test_deque_concurrent_steal;
+      ] );
+    ( "runtime fork/join",
+      [
+        Alcotest.test_case "overlapping tickets" `Quick test_fork_join_overlap;
+        Alcotest.test_case "failure re-raised at join" `Quick test_fork_join_failure;
+        Alcotest.test_case "forked singleton" `Quick test_forked_singleton_not_inlined;
+        Alcotest.test_case "many batches deterministic" `Quick
+          test_many_batches_deterministic;
+      ] );
+    ( "runtime telemetry",
+      [
+        Alcotest.test_case "task-cost model" `Quick test_task_cost_model;
+        Alcotest.test_case "pool metric series" `Quick test_pool_telemetry_series;
       ] );
     ( "runtime fan-out",
       [
