@@ -27,6 +27,8 @@ module Server = Accals_server.Server
 module Sclient = Accals_server.Client
 module Sproto = Accals_server.Protocol
 module Sbackoff = Accals_server.Backoff
+module Fault_io = Accals_resilience.Fault_io
+module Scache = Accals_server.Cache
 
 let full = ref false
 
@@ -1310,6 +1312,225 @@ let overload () =
     note_incident "overload/retry"
       "backoff retry of a shed submission did not eventually succeed"
 
+(* ---------- resource: soak under memory / disk budgets + injected faults ---------- *)
+
+let resource_json_file = "bench_resource.json"
+
+(* The resource-exhaustion contract under soak: flood a daemon that runs
+   with a tight per-job memory budget, a state dir the disk governor
+   believes is nearly full (an absurd headroom floor makes every
+   free-space probe fail, so the proactive eviction path runs before
+   every store), and deterministic ENOSPC injection on a fraction of all
+   governed cache/checkpoint writes.  Kill the daemon mid-flood, inspect
+   the state dir cold (zero corrupt cache entries, zero temp residue),
+   then restart with the faults disarmed and re-submit everything.  The
+   recovered answers must be bit-identical — BLIF for BLIF — to an
+   unbudgeted, unfaulted baseline pass. *)
+let resource () =
+  section
+    "Service mode: resource-exhaustion soak (memory budget, near-full \
+     state dir, ENOSPC injection, kill + recover)";
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "accals_resource_bench.%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let sock = Filename.concat dir "bench.sock" in
+  let cache_dir = Filename.concat dir "cache" in
+  let state_dir = Filename.concat dir "state" in
+  let base_cache_dir = Filename.concat dir "cache_baseline" in
+  (* Tight but survivable: a fixed slack above the heap the bench has
+     already grown, so the engine governor sees real pressure without
+     being pushed straight to the shed rung. *)
+  let heap_mb =
+    (Gc.quick_stat ()).Gc.heap_words * (Sys.word_size / 8) / (1024 * 1024)
+  in
+  let max_memory_mb = heap_mb + 512 in
+  let workload =
+    [
+      ("rca32", 0.05); ("mtp8", 0.02); ("cla32", 0.05); ("wal8", 0.02);
+      ("ksa32", 0.05); ("c880", 0.03); ("rca32", 0.02); ("mtp8", 0.05);
+    ]
+  in
+  let spec (name, bound) =
+    {
+      Sproto.source = Sproto.Named name;
+      metric = Metric.Error_rate;
+      bound;
+      budget = Some 10.0;
+      deadline = None;
+      priority = 0;
+      tenant = "soak";
+      samples = Some 256;
+      seed = 1;
+    }
+  in
+  let boot ~budgeted =
+    let server =
+      Server.create
+        {
+          Server.default_config with
+          Server.socket = sock;
+          jobs = max 1 !jobs;
+          max_concurrent = 2;
+          cache_dir = Some (if budgeted then cache_dir else base_cache_dir);
+          state_dir = (if budgeted then Some state_dir else None);
+          default_samples = 256;
+          max_memory_mb = (if budgeted then max_memory_mb else 0);
+          (* A petabyte of required headroom: every probe of the real
+             filesystem reports "nearly full", exercising the
+             evict-before-store path on every store. *)
+          statedir_headroom_mb = (if budgeted then 1 lsl 30 else 0);
+          log = false;
+        }
+    in
+    (server, Domain.spawn (fun () -> Server.run server))
+  in
+  let submit_all c =
+    List.map
+      (fun w ->
+        match Sclient.submit c (spec w) with
+        | Ok (id, _) -> (w, id)
+        | Error msg -> failwith (Printf.sprintf "submit %s: %s" (fst w) msg))
+      workload
+  in
+  let blif_of resp = Option.bind (Json.member "blif" resp) Json.string_opt in
+  let collect c submitted =
+    List.map
+      (fun (w, id) ->
+        match Sclient.wait ~timeout:240.0 c id with
+        | Ok resp -> (w, blif_of resp)
+        | Error msg -> failwith (Printf.sprintf "wait %s: %s" (fst w) msg))
+      submitted
+  in
+  (* Baseline: no budgets, no faults, its own cache dir. *)
+  let server, daemon = boot ~budgeted:false in
+  let c = Sclient.connect_unix_retry sock in
+  let baseline = collect c (submit_all c) in
+  Sclient.close c;
+  Server.stop server;
+  Domain.join daemon;
+  (* Phase 1: budgeted flood with a fraction of every governed write
+     failing ENOSPC, killed while jobs are still queued. *)
+  let faults =
+    match Fault_io.parse "seed:7,write:enospc%5" with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  Fault_io.arm faults;
+  let phase1_injected, phase1_resource_total =
+    Fun.protect ~finally:Fault_io.disarm (fun () ->
+        let server, daemon = boot ~budgeted:true in
+        let c = Sclient.connect_unix_retry sock in
+        let submitted = submit_all c in
+        (* Let the head of the flood land, then pull the plug with the
+           tail still queued: the drain path must checkpoint the queue
+           through the same faulted writes. *)
+        (match submitted with
+        | (_, id1) :: (_, id2) :: _ ->
+          ignore (Sclient.wait ~timeout:240.0 c id1);
+          ignore (Sclient.wait ~timeout:240.0 c id2)
+        | _ -> ());
+        let resource_total =
+          match Sclient.health c with
+          | Ok resp ->
+            Option.value
+              (Option.bind
+                 (Json.member "resource_exhausted_total" resp)
+                 Json.int_opt)
+              ~default:(-1)
+          | Error _ -> -1
+        in
+        Sclient.close c;
+        Server.stop server;
+        Domain.join daemon;
+        (Fault_io.injected_count (), resource_total))
+  in
+  (* Cold inspection of what phase 1 left on disk.  Every cache entry
+     must parse and match its key ([Scache.find] deletes it otherwise),
+     and no atomic-write temp file may have leaked anywhere. *)
+  let residue_in d =
+    match Sys.readdir d with
+    | exception Sys_error _ -> 0
+    | files ->
+      Array.fold_left
+        (fun acc f ->
+          let is_tmp =
+            List.exists
+              (fun part -> String.length part >= 3 && String.sub part 0 3 = "tmp")
+              (String.split_on_char '.' f)
+          in
+          if is_tmp then acc + 1 else acc)
+        0 files
+  in
+  let cache = Scache.create ~dir:cache_dir in
+  let entries_before = Scache.size cache in
+  let corrupt =
+    match Sys.readdir cache_dir with
+    | exception Sys_error _ -> 0
+    | files ->
+      Array.fold_left
+        (fun acc f ->
+          if Filename.check_suffix f ".json" then
+            let key = Filename.remove_extension f in
+            match Scache.find cache key with Some _ -> acc | None -> acc + 1
+          else acc)
+        0 files
+  in
+  let tmp_residue = residue_in cache_dir + residue_in state_dir in
+  (* Phase 2: recovery.  Same budgets, faults disarmed; the daemon
+     re-admits whatever the queue checkpoint preserved, and re-submitting
+     the full workload coalesces onto it / hits the surviving cache. *)
+  let server, daemon = boot ~budgeted:true in
+  let c = Sclient.connect_unix_retry sock in
+  let recovered = collect c (submit_all c) in
+  Sclient.close c;
+  Server.stop server;
+  Domain.join daemon;
+  let complete = List.for_all (fun (_, b) -> b <> None) recovered in
+  let identical =
+    complete
+    && List.for_all2 (fun (_, a) (_, b) -> a = b) baseline recovered
+  in
+  Printf.printf "%-28s %d jobs, budget %d MB (heap was %d MB)\n" "workload"
+    (List.length workload) max_memory_mb heap_mb;
+  Printf.printf "%-28s %d injected, resource_total=%d\n" "phase1 faults"
+    phase1_injected phase1_resource_total;
+  Printf.printf "%-28s %d entries, %d corrupt, %d tmp residue\n" "cold cache"
+    entries_before corrupt tmp_residue;
+  Printf.printf "%-28s complete=%b identical=%b\n" "recovery" complete
+    identical;
+  Json.write_file resource_json_file
+    (Json.Obj
+       [
+         ("workload_n", Json.Int (List.length workload));
+         ("max_memory_mb", Json.Int max_memory_mb);
+         ("heap_mb_at_boot", Json.Int heap_mb);
+         ("fault_spec", Json.String "seed:7,write:enospc%5");
+         ("injected_faults", Json.Int phase1_injected);
+         ("resource_exhausted_total", Json.Int phase1_resource_total);
+         ("cache_entries_cold", Json.Int entries_before);
+         ("corrupt_entries", Json.Int corrupt);
+         ("tmp_residue", Json.Int tmp_residue);
+         ("recovery_complete", Json.Bool complete);
+         ("recovery_identical", Json.Bool identical);
+       ]);
+  Printf.printf "wrote %s\n" resource_json_file;
+  if corrupt > 0 then
+    note_incident "resource/corrupt"
+      (Printf.sprintf "%d corrupt cache entries survived the faulted flood"
+         corrupt);
+  if tmp_residue > 0 then
+    note_incident "resource/residue"
+      (Printf.sprintf "%d atomic-write temp files leaked" tmp_residue);
+  if not complete then
+    note_incident "resource/complete"
+      "a recovered job finished without a result payload";
+  if not identical then
+    note_incident "resource/identity"
+      "recovered results are not bit-identical to the unbudgeted baseline"
+
 (* ---------- Bechamel micro-benchmarks: one Test.make per table/figure ---------- *)
 
 let micro () =
@@ -1418,6 +1639,7 @@ let experiments =
     ("telemetry", telemetry);
     ("serve", serve);
     ("overload", overload);
+    ("resource", resource);
     ("micro", micro);
   ]
 

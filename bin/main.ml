@@ -198,6 +198,19 @@ let run_deadline_arg =
           "Whole-run budget in seconds; on expiry the best circuit found so \
            far is reported with degraded = true.")
 
+let max_memory_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "max-memory-mb" ] ~docv:"MB"
+        ~doc:
+          "Memory budget for the run, enforced at round boundaries: under \
+           pressure the engine first drops its caches and buffer pools, \
+           then falls back to the rebuild backend, and only as a last \
+           resort checkpoints and sheds the run (degraded = true, never \
+           the OOM killer). Results stay bit-identical until the shed \
+           rung. 0 = unlimited.")
+
 let round_deadline_arg =
   Arg.(
     value
@@ -339,15 +352,16 @@ let rec ensure_dir dir =
 let synth_cmd =
   let doc = "Synthesize an approximate circuit under an error bound." in
   let run spec metric bound method_ samples seed jobs out verilog verbose trace
-      ckpt_dir resume run_deadline round_deadline validate no_incremental
-      audit_every certify ckpt_keep incident_log trace_out metrics_out
-      events_out progress json =
+      ckpt_dir resume run_deadline round_deadline max_memory_mb validate
+      no_incremental audit_every certify ckpt_keep incident_log trace_out
+      metrics_out events_out progress json =
     if resume && ckpt_dir = None then
       user_error "--resume requires --checkpoint DIR";
     if resume && method_ <> `Accals then
       user_error "--resume is only supported with --method accals";
     if audit_every < 0 then user_error "--audit-every must be >= 0";
     if ckpt_keep < 1 then user_error "--ckpt-keep must be >= 1";
+    if max_memory_mb < 0 then user_error "--max-memory-mb must be >= 0";
     let jobs = resolve_jobs jobs in
     Graceful.install ();
     let net = load_circuit spec in
@@ -360,6 +374,7 @@ let synth_cmd =
           jobs;
           run_deadline;
           round_deadline;
+          max_memory_mb;
           validate_rounds = validate;
           incremental = not no_incremental;
           audit_every;
@@ -552,7 +567,8 @@ let synth_cmd =
       const run $ circuit_arg $ metric_arg $ bound_arg $ method_arg $ samples_arg
       $ seed_arg $ jobs_arg $ out_arg $ verilog_arg $ verbose_arg $ trace_arg
       $ checkpoint_arg $ resume_arg $ run_deadline_arg $ round_deadline_arg
-      $ validate_arg $ no_incremental_arg $ audit_every_arg $ certify_arg
+      $ max_memory_arg $ validate_arg $ no_incremental_arg $ audit_every_arg
+      $ certify_arg
       $ ckpt_keep_arg $ incident_log_arg $ trace_out_arg $ metrics_out_arg
       $ events_out_arg $ progress_arg $ json_arg)
 
@@ -823,15 +839,44 @@ let serve_cmd =
             "Evict the on-disk result cache (corrupt entries first, then \
              least recently used) past this size. 0 = unlimited.")
   in
+  let statedir_headroom_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "statedir-headroom-mb" ] ~docv:"MB"
+          ~doc:
+            "Free-space floor for the filesystem backing $(b,--state-dir) \
+             and $(b,--cache-dir): under it the result cache is evicted \
+             before anything new is stored. The reactive ENOSPC responses \
+             (evict-and-retry on cache stores, evict-cache-then-retry on \
+             the shutdown queue checkpoint) run regardless. 0 disables \
+             the proactive check.")
+  in
+  let fd_reserve_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.fd_reserve
+      & info [ "fd-reserve" ] ~docv:"N"
+          ~doc:
+            "File descriptors kept free for the daemon's own files: new \
+             connections are refused with code \"resource_exhausted\" \
+             (and a retry_after_ms hint) once accepting one more would \
+             leave less than $(docv) under the soft RLIMIT_NOFILE.")
+  in
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"No chatter on stderr.")
   in
   let run socket tcp tcp_token jobs max_concurrent max_queue tenant_max_queued
       tenant_max_running deadline_grace quarantine_threshold
-      quarantine_cooldown cache_dir cache_max_mb state_dir samples quiet =
+      quarantine_cooldown cache_dir cache_max_mb state_dir samples
+      max_memory_mb statedir_headroom_mb fd_reserve quiet =
     if max_concurrent < 1 then user_error "--max-concurrent must be >= 1";
     if deadline_grace < 0.0 then user_error "--deadline-grace must be >= 0";
     if cache_max_mb < 0 then user_error "--cache-max-mb must be >= 0";
+    if max_memory_mb < 0 then user_error "--max-memory-mb must be >= 0";
+    if statedir_headroom_mb < 0 then
+      user_error "--statedir-headroom-mb must be >= 0";
+    if fd_reserve < 0 then user_error "--fd-reserve must be >= 0";
     let server =
       Server.create
         {
@@ -850,6 +895,9 @@ let serve_cmd =
           cache_max_bytes = cache_max_mb * 1024 * 1024;
           state_dir;
           default_samples = samples;
+          max_memory_mb;
+          statedir_headroom_mb;
+          fd_reserve;
           log = not quiet;
         }
     in
@@ -869,7 +917,8 @@ let serve_cmd =
       $ max_concurrent_arg $ max_queue_arg $ tenant_max_queued_arg
       $ tenant_max_running_arg $ deadline_grace_arg
       $ quarantine_threshold_arg $ quarantine_cooldown_arg $ cache_dir_arg
-      $ cache_max_mb_arg $ state_dir_arg $ samples_arg $ quiet_arg)
+      $ cache_max_mb_arg $ state_dir_arg $ samples_arg $ max_memory_arg
+      $ statedir_headroom_arg $ fd_reserve_arg $ quiet_arg)
 
 let client_cmd =
   let doc = "Talk to a running daemon (submit jobs, poll them, scrape metrics)." in
@@ -1050,7 +1099,10 @@ let client_cmd =
           | Ok resp
             when (not (Client.ok resp))
                  && List.mem (Client.error_code resp)
-                      [ Some "overloaded"; Some "quarantined" ] -> (
+                      [
+                        Some "overloaded"; Some "quarantined";
+                        Some "resource_exhausted";
+                      ] -> (
             match
               Backoff.next_with_floor schedule
                 ~floor:(Option.value (Client.retry_after resp) ~default:0.0)

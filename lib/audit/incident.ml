@@ -12,6 +12,7 @@ type kind =
   | Watchdog_expired of { scope : string }
   | Deadline_exceeded of { job : string; phase : string; deadline_s : float }
   | Job_quarantined of { fingerprint : string; failures : int; cooldown_s : float }
+  | Resource_exhausted of { resource : string; limit : float; observed : float }
 
 type t = { round : int; kind : kind }
 
@@ -25,6 +26,7 @@ let kind_name t =
   | Watchdog_expired _ -> "watchdog_expired"
   | Deadline_exceeded _ -> "deadline_exceeded"
   | Job_quarantined _ -> "job_quarantined"
+  | Resource_exhausted _ -> "resource_exhausted"
 
 let escape s =
   let buf = Buffer.create (String.length s + 2) in
@@ -78,7 +80,12 @@ let to_json t =
      Buffer.add_string buf
        (Printf.sprintf
           ", \"fingerprint\": \"%s\", \"failures\": %d, \"cooldown_s\": %.9g"
-          (escape q.fingerprint) q.failures q.cooldown_s));
+          (escape q.fingerprint) q.failures q.cooldown_s)
+   | Resource_exhausted r ->
+     Buffer.add_string buf
+       (Printf.sprintf
+          ", \"resource\": \"%s\", \"limit\": %.9g, \"observed\": %.9g"
+          (escape r.resource) r.limit r.observed));
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -88,9 +95,11 @@ let append_jsonl ~path incidents =
       open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
     in
     Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+    (* Governed write: the incident log shares --state-dir with checkpoints
+       and the cache, so chaos runs must be able to starve it too. *)
     List.iter
       (fun t ->
-        output_string oc (to_json t);
+        Accals_resilience.Fault_io.output_string oc (to_json t);
         output_char oc '\n')
       incidents;
     flush oc

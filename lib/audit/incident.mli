@@ -28,6 +28,14 @@ type kind =
       failures : int;  (** abnormal worker deaths observed *)
       cooldown_s : float;  (** how long resubmissions will be refused *)
     }  (** Crash-loop detection tripped: the job is refused admission. *)
+  | Resource_exhausted of {
+      resource : string;  (** ["memory"], ["disk"] or ["fds"] *)
+      limit : float;  (** the configured ceiling, in the resource's unit *)
+      observed : float;  (** the measurement that tripped the governor *)
+    }
+      (** A budget governor ran out of non-destructive responses: the work
+          was checkpointed and shed (memory), degraded (disk), or refused
+          (fds) — never left to the OOM killer or a failing [accept]. *)
 
 type t = { round : int; kind : kind }
 (** [round] is 0 for service-side incidents (they are not tied to an

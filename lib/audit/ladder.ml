@@ -1,11 +1,14 @@
 type level = Incremental | Rebuild | Single_lac
 
+(* New constructors go at the END: the reason is marshaled inside engine
+   snapshots and appending keeps existing tags decodable. *)
 type reason =
   | Audit_divergence
   | Watchdog_run
   | Watchdog_round
   | Certification_rollback
   | Manual
+  | Resource_pressure
 
 type event = { round : int; level : level; reason : reason; transient : bool }
 
@@ -34,6 +37,7 @@ let reason_to_string = function
   | Watchdog_round -> "watchdog_round"
   | Certification_rollback -> "certification_rollback"
   | Manual -> "manual"
+  | Resource_pressure -> "resource_pressure"
 
 let descend t ~round ~level:target ~reason =
   if rank target < rank t.level then begin

@@ -19,6 +19,9 @@ type reason =
   | Certification_rollback
       (** independent measurement rejected a result circuit *)
   | Manual  (** operator choice, e.g. [--no-incremental] *)
+  | Resource_pressure
+      (** the [--max-memory-mb] governor demanded a cheaper backend or a
+          checkpoint-and-shed stop *)
 
 type event = { round : int; level : level; reason : reason; transient : bool }
 

@@ -26,6 +26,7 @@ type t = {
   validate_rounds : bool;
   audit_every : int;
   certify : bool;
+  max_memory_mb : int;
 }
 
 let default =
@@ -55,6 +56,7 @@ let default =
     validate_rounds = false;
     audit_every = 0;
     certify = false;
+    max_memory_mb = 0;
   }
 
 let parallel ?jobs base =

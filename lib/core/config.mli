@@ -69,6 +69,15 @@ type t = {
           an independent PRNG stream (exhaustively when the input width
           permits) and roll back to an earlier feasible circuit if the
           independent measurement violates the bound *)
+  max_memory_mb : int;
+      (** memory budget for the run in MiB; 0 (default) disables the
+          governor. When the sampled footprint (GC major heap plus sigdb
+          pool counters) crosses the budget the engine escalates through
+          result-preserving relief (drop the cone cache and signature
+          buffer pool, compact), then a rebuild-backend descent, and
+          finally a checkpoint-and-stop with [report.degraded = true] —
+          every rung is bit-identity-preserving for the circuits it does
+          emit, and the OOM killer is never the failure mode *)
 }
 
 val default : t

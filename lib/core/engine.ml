@@ -7,6 +7,7 @@ module Prng = Accals_bitvec.Prng
 module Pool = Accals_runtime.Pool
 module Stats = Accals_runtime.Stats
 module Watchdog = Accals_resilience.Watchdog
+module Budget = Accals_resilience.Budget
 module Ladder = Accals_audit.Ladder
 module Incident = Accals_audit.Incident
 module Shadow = Accals_audit.Shadow
@@ -74,8 +75,10 @@ type snapshot = {
    circuit.
    3: [Config.t] gained [audit_every]/[certify]; snapshots carry the
    degradation ladder, the degradation reason and the incident list, so a
-   resumed run reports the same audit history as an uninterrupted one. *)
-let snapshot_version = 3
+   resumed run reports the same audit history as an uninterrupted one.
+   4: [Config.t] gained [max_memory_mb] and [Ladder.reason] gained
+   [Resource_pressure]. *)
+let snapshot_version = 4
 
 let snapshot_round s = s.s_round
 let snapshot_finished s = s.s_finished
@@ -182,6 +185,13 @@ let run_loop ?patterns ?pool ?checkpoint st =
   let g_gc_heap_words =
     Metrics.gauge m "accals_gc_heap_words"
       ~help:"Major heap size in words (sampled per round)"
+  in
+  let g_memory_bytes =
+    Metrics.gauge m "accals_memory_bytes"
+      ~help:
+        "Estimated process footprint: GC major heap plus discardable \
+         derived state (cone cache, signature buffer pool), sampled per \
+         round"
   in
   let patterns =
     match patterns with Some p -> p | None -> patterns_for config net
@@ -335,6 +345,89 @@ let run_loop ?patterns ?pool ?checkpoint st =
           ladder_event ~kind:"descend" ~reason:Ladder.Audit_divergence
       end
     end
+  in
+  (* The memory governor. Sampled once per round boundary; responses
+     escalate and each rung preserves the bit-identity contract for every
+     circuit the run does emit:
+     - soft pressure (>= 85% of the budget): drop the discardable derived
+       state — estimator cone cache, idle signature buffers — and compact.
+       Pure space/time trade; scores and tie-breaks cannot change.
+     - hard pressure (>= 100%) surviving that relief: descend the ladder to
+       the rebuild backend, abandoning the signature database (the
+       documented bit-identical reference path).
+     - hard pressure even on the cheapest backend: checkpoint and stop
+       degraded with a [Resource_exhausted] incident — the caller (or the
+       serve daemon) sheds the job with a structured error instead of
+       letting the OOM killer pick a victim. *)
+  let mem_budget =
+    if config.Config.max_memory_mb <= 0 then None
+    else begin
+      let b =
+        Budget.Memory.create
+          ~limit_bytes:(config.Config.max_memory_mb * 1024 * 1024)
+      in
+      Budget.Memory.register_source b ~name:"round_eval" (fun () ->
+          Round_eval.aux_bytes ev);
+      Some b
+    end
+  in
+  let govern_memory () =
+    match mem_budget with
+    | None -> ()
+    | Some mb ->
+      let used = Budget.Memory.sample mb in
+      Metrics.set g_memory_bytes (float_of_int used);
+      if Budget.Memory.classify mb ~bytes:used <> Budget.Memory.Nominal
+         && not !finished
+      then begin
+        let cones, bufs = phase "govern" (fun () ->
+            let relief = Round_eval.relieve_memory ev in
+            Gc.compact ();
+            relief)
+        in
+        let used' = Budget.Memory.sample mb in
+        Metrics.set g_memory_bytes (float_of_int used');
+        Telemetry.instant ~cat:"budget"
+          ~args:
+            [
+              ("bytes_before", Tjson.Int used);
+              ("bytes_after", Tjson.Int used');
+              ("limit_bytes", Tjson.Int (Budget.Memory.limit_bytes mb));
+              ("cones_dropped", Tjson.Int cones);
+              ("buffers_dropped", Tjson.Int bufs);
+            ]
+          "budget.memory_relief";
+        if Budget.Memory.classify mb ~bytes:used' = Budget.Memory.Hard then begin
+          degraded := true;
+          if !degraded_reason = None then
+            degraded_reason := Some Ladder.Resource_pressure;
+          match Ladder.level ladder with
+          | Ladder.Incremental ->
+            (* Next-cheapest mode: the rebuild backend holds no persistent
+               signature database at all, and stays bit-identical. *)
+            Round_eval.degrade_to_rebuild ev;
+            Gc.compact ();
+            eff_config := { !eff_config with Config.incremental = false };
+            Ladder.descend ladder ~round:!round_index ~level:Ladder.Rebuild
+              ~reason:Ladder.Resource_pressure;
+            ladder_event ~kind:"descend" ~reason:Ladder.Resource_pressure
+          | Ladder.Rebuild | Ladder.Single_lac ->
+            (* Nothing cheaper left: checkpoint (below) and stop with the
+               best circuit so far, reporting the exhaustion. *)
+            if
+              Ladder.note ladder ~round:!round_index
+                ~reason:Ladder.Resource_pressure
+            then ladder_event ~kind:"note" ~reason:Ladder.Resource_pressure;
+            incident
+              (Incident.Resource_exhausted
+                 {
+                   resource = "memory";
+                   limit = float_of_int (Budget.Memory.limit_bytes mb);
+                   observed = float_of_int used';
+                 });
+            finished := true
+        end
+      end
   in
   Fun.protect ~finally:(fun () -> if owned_pool then Pool.shutdown pool)
   @@ fun () ->
@@ -554,6 +647,7 @@ let run_loop ?patterns ?pool ?checkpoint st =
     end;
     if config.Config.validate_rounds then Network.validate !current;
     maybe_audit ();
+    govern_memory ();
     emit_checkpoint ()
     end
   done;

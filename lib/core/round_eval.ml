@@ -258,6 +258,39 @@ let take_aux t =
     { cache_hits; cache_misses; journal_undos; journal_entries }
 
 (* ------------------------------------------------------------------ *)
+(* Memory-governor hooks.
+
+   [aux_bytes] is the footprint of the backend's discardable derived state
+   — the estimator's cone cache and the signature database's idle buffer
+   pool. [relieve_memory] gives exactly that state back: both stores are
+   rebuilt on demand from the per-round views, so dropping them costs time
+   but cannot change scores, tie-breaks or committed circuits. Round
+   boundary only (a parallel [Estimator.score] reads the cone cache
+   concurrently). *)
+
+let aux_bytes t =
+  match t.backend with
+  | Rebuild { r_est = Some est; _ } -> Estimator.cone_cache_bytes est
+  | Rebuild _ -> 0
+  | Incremental s ->
+    (match s.i_est with Some est -> Estimator.cone_cache_bytes est | None -> 0)
+    + (match s.i_db with Some db -> Sigdb.pool_bytes db | None -> 0)
+
+let relieve_memory t =
+  let cones =
+    match t.backend with
+    | Rebuild { r_est = Some est; _ } | Incremental { i_est = Some est; _ } ->
+      Estimator.drop_cone_cache est
+    | _ -> 0
+  in
+  let bufs =
+    match t.backend with
+    | Incremental { i_db = Some db; _ } -> Sigdb.trim_pool db
+    | _ -> 0
+  in
+  (cones, bufs)
+
+(* ------------------------------------------------------------------ *)
 (* Speculative evaluation *)
 
 let measure_outputs t approx =

@@ -81,6 +81,18 @@ val take_aux : t -> aux
     engine pushes these into the telemetry registry each round. Pure
     observation: reading them never affects evaluation. *)
 
+val aux_bytes : t -> int
+(** Estimated bytes held by discardable derived state: the estimator's
+    cone cache plus the signature database's idle buffer pool. Feeds the
+    [--max-memory-mb] governor's footprint sample. *)
+
+val relieve_memory : t -> int * int
+(** Memory-pressure relief: drop the cone cache and the idle signature
+    buffer pool, returning [(cones_dropped, buffers_dropped)]. Both stores
+    are derived data rebuilt on demand, so evaluation results are
+    bit-identical with or without the relief — only time is lost. Round
+    boundary only. *)
+
 val eval_set : t -> Lac.t list -> Lac.t list * Lac.t list * float
 (** Evaluate a LAC set without committing it: apply in ascending
     [delta_error] order, partition into (applied, skipped) under the

@@ -422,3 +422,18 @@ let score ?(mode = Exact) ?pool t ~shortlist lacs =
 let evaluations t = Atomic.get t.evaluations
 
 let cache_stats t = (Atomic.get t.cache_hits, Atomic.get t.cache_misses)
+
+let cone_cache_bytes t =
+  let word = Sys.word_size / 8 in
+  Hashtbl.fold
+    (fun _ cone acc -> acc + ((Array.length cone + 3) * word))
+    t.cone_cache 0
+
+(* Memory-pressure relief. Cones are derived data, recomputed on demand
+   from the same per-round views, so dropping them costs time but cannot
+   change scores. Only call between rounds: during a parallel [score] the
+   workers read the cache concurrently. *)
+let drop_cone_cache t =
+  let n = Hashtbl.length t.cone_cache in
+  Hashtbl.reset t.cone_cache;
+  n

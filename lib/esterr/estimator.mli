@@ -81,3 +81,13 @@ val cache_stats : t -> int * int
 (** [(hits, misses)] of the transitive-fanout cone cache since [create].
     [Atomic.t]-backed like {!evaluations}; pure observation (the telemetry
     registry reports the deltas per round). *)
+
+val cone_cache_bytes : t -> int
+(** Estimated bytes held by the cone cache (for the memory governor). *)
+
+val drop_cone_cache : t -> int
+(** Memory-pressure relief: empty the cone cache and return how many
+    entries were dropped. Cones are derived data recomputed on demand, so
+    scores — and therefore results — cannot change; only the time to
+    rebuild the cache is lost. Must not be called while a parallel
+    {!score} is in flight (workers read the cache concurrently). *)

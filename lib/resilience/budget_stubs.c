@@ -1,0 +1,53 @@
+/* Resource probes OCaml's Unix module does not expose.
+ *
+ * statvfs gives the free bytes on the filesystem backing --state-dir (the
+ * disk governor's headroom check must see the same number the kernel will
+ * enforce with ENOSPC, not a du(1)-style walk of one directory), and
+ * getrlimit(RLIMIT_NOFILE) gives the fd ceiling the accept loop must stay
+ * under. Both return -1 on platforms or paths where the probe fails; the
+ * governors treat that as "unknown" and stand down rather than guess. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <stdint.h>
+
+#ifdef _WIN32
+
+CAMLprim value accals_statvfs_free_bytes(value path)
+{
+  CAMLparam1(path);
+  CAMLreturn(caml_copy_int64(-1));
+}
+
+CAMLprim value accals_fd_soft_limit(value unit)
+{
+  (void)unit;
+  return caml_copy_int64(-1);
+}
+
+#else
+
+#include <sys/statvfs.h>
+#include <sys/resource.h>
+
+CAMLprim value accals_statvfs_free_bytes(value path)
+{
+  CAMLparam1(path);
+  struct statvfs st;
+  int64_t free_bytes = -1;
+  if (statvfs(String_val(path), &st) == 0)
+    free_bytes = (int64_t)st.f_bavail * (int64_t)st.f_frsize;
+  CAMLreturn(caml_copy_int64(free_bytes));
+}
+
+CAMLprim value accals_fd_soft_limit(value unit)
+{
+  (void)unit;
+  struct rlimit rl;
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0 || rl.rlim_cur == RLIM_INFINITY)
+    return caml_copy_int64(-1);
+  return caml_copy_int64((int64_t)rl.rlim_cur);
+}
+
+#endif

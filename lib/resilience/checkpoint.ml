@@ -23,25 +23,31 @@ let rotate ~path ~keep =
       if Sys.file_exists src then Sys.rename src (rotated path (i + 1))
     done
 
+(* All durable I/O goes through Fault_io so chaos runs can make precisely
+   the Nth open/write/fsync/rename observe ENOSPC, EMFILE or a torn write.
+   With no spec armed these are the plain stdlib calls. *)
 let save ?(keep = 1) ~path ~tag v =
   let payload = Marshal.to_bytes v [] in
   let crc = Crc32.digest_bytes payload in
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
-  let oc = open_out_bin tmp in
+  let oc = Fault_io.open_out_bin tmp in
   (try
-     output_string oc (header ~tag ~crc ~length:(Bytes.length payload));
+     Fault_io.output_string oc (header ~tag ~crc ~length:(Bytes.length payload));
      output_char oc '\n';
-     output_bytes oc payload;
+     Fault_io.output_bytes oc payload;
      flush oc;
      (* Land the bytes before the rename makes them the checkpoint. *)
-     Unix.fsync (Unix.descr_of_out_channel oc)
+     Fault_io.fsync (Unix.descr_of_out_channel oc)
    with e ->
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
   close_out oc;
   rotate ~path ~keep;
-  Sys.rename tmp path;
+  (try Fault_io.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
   let module T = Accals_telemetry.Telemetry in
   T.count "accals_checkpoint_saves_total"
     ~help:"Checkpoints written (including rotations)" 1;

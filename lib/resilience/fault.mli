@@ -61,3 +61,8 @@ val check : batch:int -> index:int -> attempt:int -> unit
 
 val injected_count : unit -> int
 (** Total injections (raises and stalls) since the process started. *)
+
+val mix64 : int64 -> int64
+(** The splitmix64 finalizer behind fault selection, exposed so sibling
+    injectors ({!Fault_io}) key their deterministic decisions off the same
+    hash. *)

@@ -76,30 +76,6 @@ let find t k =
     if Sys.file_exists file then remove_quietly file;
     None
 
-let store t e =
-  let final = path t e.key in
-  let tmp =
-    Filename.temp_file ~temp_dir:t.dir ("." ^ e.key) ".tmp"
-  in
-  let payload =
-    Json.Obj
-      [
-        ("key", Json.String e.key);
-        ("report", e.report);
-        ("blif", Json.String e.blif);
-      ]
-  in
-  let oc = open_out_bin tmp in
-  (try
-     output_string oc (Json.to_string payload);
-     output_char oc '\n'
-   with ex ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise ex);
-  close_out oc;
-  Sys.rename tmp final
-
 let entry_files t =
   match Sys.readdir t.dir with
   | exception Sys_error _ -> []
@@ -170,3 +146,46 @@ let evict t ~max_bytes =
       bytes_after = !remaining;
     }
   end
+
+module Fault_io = Accals_resilience.Fault_io
+
+let store ?(max_bytes = 0) t e =
+  let final = path t e.key in
+  let payload =
+    Json.to_string
+      (Json.Obj
+         [
+           ("key", Json.String e.key);
+           ("report", e.report);
+           ("blif", Json.String e.blif);
+         ])
+    ^ "\n"
+  in
+  (* Make room *before* writing: a store into an almost-full cache must
+     never overshoot the cap, even transiently (a concurrent du / quota
+     check would see the excursion). The new entry's own size is part of
+     the target, so the write below fits by construction. *)
+  if max_bytes > 0 && bytes t + String.length payload > max_bytes then
+    ignore (evict t ~max_bytes:(max 0 (max_bytes - String.length payload)));
+  let tmp =
+    Filename.temp_file ~temp_dir:t.dir ("." ^ e.key) ".tmp"
+  in
+  (* Durable I/O runs through [Fault_io] so chaos specs can hand this
+     path ENOSPC and torn writes; the temp file is removed on any
+     failure, leaving the previous entry (if any) untouched. *)
+  let oc =
+    try Fault_io.open_out_bin tmp
+    with ex ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise ex
+  in
+  (try Fault_io.output_string oc payload
+   with ex ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise ex);
+  close_out oc;
+  try Fault_io.rename tmp final
+  with ex ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise ex

@@ -43,8 +43,14 @@ val find : t -> string -> entry option
     every subsequent lookup. A hit refreshes the entry's mtime, which
     is the recency order {!evict} uses. *)
 
-val store : t -> entry -> unit
-(** Atomically persist an entry (last writer wins). *)
+val store : ?max_bytes:int -> t -> entry -> unit
+(** Atomically persist an entry (last writer wins). With [max_bytes > 0],
+    eviction runs {e before} the write whenever the cache plus the new
+    entry would exceed the cap, so the on-disk total never overshoots it
+    — not even transiently. Writes go through
+    {!Accals_resilience.Fault_io}; on any failure (real or injected
+    [ENOSPC]/torn write) the temp file is removed and the previous entry
+    for the key, if any, survives intact. *)
 
 val size : t -> int
 (** Number of entry files currently on disk. *)

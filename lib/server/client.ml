@@ -53,16 +53,30 @@ let close t =
   close_in_noerr t.ic
 
 let rpc t req =
-  match
-    output_string t.oc
-      (Json.to_string (Protocol.with_token t.token (Protocol.request_to_json req)));
-    output_char t.oc '\n';
-    flush t.oc;
-    input_line t.ic
-  with
-  | exception End_of_file -> Error "connection closed by server"
-  | exception Sys_error msg -> Error msg
-  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  (* Write and read are handled separately: a daemon shedding under fd
+     pressure writes one structured error line and closes without ever
+     reading the request, so this write can fail (EPIPE) with the
+     verdict the caller needs already sitting in the socket buffer.
+     Always attempt the read; fall back to the write's error only when
+     nothing could be drained. *)
+  let write_err =
+    match
+      output_string t.oc
+        (Json.to_string
+           (Protocol.with_token t.token (Protocol.request_to_json req)));
+      output_char t.oc '\n';
+      flush t.oc
+    with
+    | () -> None
+    | exception Sys_error msg -> Some msg
+    | exception Unix.Unix_error (e, _, _) -> Some (Unix.error_message e)
+  in
+  match input_line t.ic with
+  | exception End_of_file ->
+    Error (Option.value write_err ~default:"connection closed by server")
+  | exception Sys_error msg -> Error (Option.value write_err ~default:msg)
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Option.value write_err ~default:(Unix.error_message e))
   | line -> (
     match Json.parse line with
     | Ok v -> Ok v
@@ -121,7 +135,7 @@ let submit_retry ?(policy = Backoff.default) t spec =
         Ok (id, cached))
     | Ok resp -> (
       match error_code resp with
-      | Some ("overloaded" | "quarantined") -> (
+      | Some ("overloaded" | "quarantined" | "resource_exhausted") -> (
         let floor = Option.value (retry_after resp) ~default:0.0 in
         match Backoff.next_with_floor schedule ~floor with
         | None ->

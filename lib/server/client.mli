@@ -27,7 +27,10 @@ val close : t -> unit
 val rpc : t -> Protocol.request -> (Json.t, string) result
 (** Send one request, read one response line. [Error] on connection
     loss or a malformed response; a server-side [{"ok": false}] is
-    still [Ok] — inspect with {!ok} / {!error_message}. *)
+    still [Ok] — inspect with {!ok} / {!error_message}. A response the
+    daemon sent before closing (e.g. the unprompted
+    [code = "resource_exhausted"] shed under fd pressure) is drained
+    and returned even when sending the request itself failed. *)
 
 val ok : Json.t -> bool
 (** The response's ["ok"] field. *)
@@ -46,7 +49,8 @@ val submit : t -> Protocol.job_spec -> (string * bool, string) result
 
 val submit_retry :
   ?policy:Backoff.t -> t -> Protocol.job_spec -> (string * bool, string) result
-(** As {!submit}, but retry [overloaded] / [quarantined] rejections
+(** As {!submit}, but retry [overloaded] / [quarantined] /
+    [resource_exhausted] rejections
     under a {!Backoff} schedule, honoring the daemon's [retry_after_ms]
     hint as a per-step floor. Safe because submissions are
     content-addressed: a retry coalesces onto the first attempt or hits

@@ -257,6 +257,7 @@ let finished_cancelled t j =
       end)
 
 let deadline_failure = "deadline_exceeded"
+let resource_failure = "resource_exhausted"
 
 let expire t j =
   locked t (fun () ->

@@ -97,6 +97,12 @@ val deadline_failure : string
 (** The failure string ({!view}'s [v_failure]) of a deadline-expired
     job: ["deadline_exceeded"]. *)
 
+val resource_failure : string
+(** The failure string of a job the engine checkpointed and shed under a
+    resource budget: ["resource_exhausted"]. Like {!deadline_failure}, it
+    is the environment's verdict, not the job's fault — it never counts
+    toward quarantine. *)
+
 val expire : t -> job -> string option
 (** Fail a queued or running job as {!deadline_failure}, setting its
     cooperative cancel flag so an abandoned worker unwinds at the next

@@ -10,6 +10,7 @@ module Engine = Accals.Engine
 module Config = Accals.Config
 module Report_json = Accals.Report_json
 module Incident = Accals_audit.Incident
+module Budget = Accals_resilience.Budget
 
 type config = {
   socket : string;
@@ -27,6 +28,9 @@ type config = {
   cache_max_bytes : int;
   state_dir : string option;
   default_samples : int;
+  max_memory_mb : int;
+  statedir_headroom_mb : int;
+  fd_reserve : int;
   log : bool;
 }
 
@@ -47,6 +51,9 @@ let default_config =
     cache_max_bytes = 0;
     state_dir = None;
     default_samples = 2048;
+    max_memory_mb = 0;
+    statedir_headroom_mb = 0;
+    fd_reserve = 8;
     log = true;
   }
 
@@ -120,6 +127,12 @@ type t = {
   mutable n_shed : int;  (** main-loop only; mirrors [m_shed] for health *)
   mutable n_deadline : int;
   mutable n_quarantined : int;
+  mutable n_resource : int;  (** jobs/connections shed by a budget governor *)
+  mutable n_zombies_leaked : int;
+      (** abandoned workers that outlived the shutdown drain window *)
+  mutable fd_shedding : bool;
+      (** inside an fd-pressure episode: one incident per episode, not
+          one per refused connection *)
   stopped : bool Atomic.t;
   started_mono : float;
   reg : Metrics.t;
@@ -130,11 +143,16 @@ type t = {
   m_shed : Metrics.counter;
   m_deadline : Metrics.counter;
   m_quarantined : Metrics.counter;
+  m_resource : Metrics.counter;
+  m_zombies_leaked : Metrics.counter;
   g_queue : Metrics.gauge;
   g_running : Metrics.gauge;
   g_cache : Metrics.gauge;
   g_cache_bytes : Metrics.gauge;
   g_conns : Metrics.gauge;
+  g_memory : Metrics.gauge;
+  g_statedir : Metrics.gauge;
+  g_open_fds : Metrics.gauge;
   h_wait : Metrics.histogram;
   h_run : Metrics.histogram;
 }
@@ -265,6 +283,9 @@ let create cfg =
       n_shed = 0;
       n_deadline = 0;
       n_quarantined = 0;
+      n_resource = 0;
+      n_zombies_leaked = 0;
+      fd_shedding = false;
       stopped = Atomic.make false;
       started_mono = Clock.now ();
       reg;
@@ -290,12 +311,22 @@ let create cfg =
       m_quarantined =
         counter "accals_server_quarantined_total"
           "Job fingerprints placed in crash-loop quarantine";
+      m_resource =
+        counter "accals_server_resource_exhausted_total"
+          "Jobs or connections shed by a resource budget governor";
+      m_zombies_leaked =
+        counter "accals_server_zombies_leaked_total"
+          "Abandoned worker domains that outlived the shutdown drain";
       g_queue = gauge "accals_server_queue_depth" "Jobs waiting to run";
       g_running = gauge "accals_server_running_jobs" "Jobs currently running";
       g_cache = gauge "accals_server_cache_entries" "Result cache entries on disk";
       g_cache_bytes =
         gauge "accals_server_cache_bytes" "Result cache size on disk, bytes";
       g_conns = gauge "accals_server_connections" "Open client connections";
+      g_memory = gauge "accals_memory_bytes" "Daemon major-heap size, bytes";
+      g_statedir =
+        gauge "accals_statedir_bytes" "Bytes under --state-dir (and cache)";
+      g_open_fds = gauge "accals_open_fds" "Open file descriptors";
       h_wait =
         Metrics.histogram reg ~help:"Queue wait per job, seconds"
           ~buckets:latency_buckets "accals_server_job_wait_seconds";
@@ -337,7 +368,23 @@ let update_gauges t =
     (fun c ->
       Metrics.set t.g_cache (float_of_int (Cache.size c));
       Metrics.set t.g_cache_bytes (float_of_int (Cache.bytes c)))
-    t.cache
+    t.cache;
+  Metrics.set t.g_memory
+    (float_of_int
+       ((Gc.quick_stat ()).Gc.heap_words * (Sys.word_size / 8)));
+  (let statedir_bytes =
+     (match t.cfg.state_dir with
+      | Some d -> Budget.Disk.usage_bytes d
+      | None -> 0)
+     +
+     match t.cache with
+     | Some c when t.cfg.state_dir <> Some (Cache.dir c) -> Cache.bytes c
+     | _ -> 0
+   in
+   Metrics.set t.g_statedir (float_of_int statedir_bytes));
+  Option.iter
+    (fun n -> Metrics.set t.g_open_fds (float_of_int n))
+    (Budget.Fd.open_fds ())
 
 let metrics t =
   update_gauges t;
@@ -399,15 +446,25 @@ let quarantined t fp =
 
 (* Called exactly once per reaped worker (normal or zombie): count
    abnormal deaths toward quarantine, clear the record on success.  A
-   deadline reap is the watchdog's verdict, not the job's fault, so it
-   does not count. *)
+   deadline reap is the watchdog's verdict and a resource shed is the
+   budget governor's — neither is the job's fault, so neither counts. *)
 let note_worker_outcome t job =
+  (* Health's [resource_exhausted_total] counts on the main loop (like
+     [n_shed]); the worker only records the verdict in the scheduler. *)
+  (match Scheduler.state t.sched job with
+   | Scheduler.Failed
+     when (Scheduler.view t.sched job).Scheduler.v_failure
+          = Some Scheduler.resource_failure ->
+     t.n_resource <- t.n_resource + 1;
+     Metrics.incr t.m_resource
+   | _ -> ());
   if t.cfg.quarantine_threshold > 0 then begin
     let fp = fingerprint job in
     match Scheduler.state t.sched job with
     | Scheduler.Failed
-      when (Scheduler.view t.sched job).Scheduler.v_failure
-           <> Some Scheduler.deadline_failure ->
+      when (let f = (Scheduler.view t.sched job).Scheduler.v_failure in
+            f <> Some Scheduler.deadline_failure
+            && f <> Some Scheduler.resource_failure) ->
       let entry =
         match Hashtbl.find_opt t.quarantine fp with
         | Some e -> e
@@ -586,6 +643,7 @@ let worker_body t job net =
          seed = spec.Protocol.seed;
          jobs = t.per_job_jobs;
          run_deadline = spec.Protocol.budget;
+         max_memory_mb = t.cfg.max_memory_mb;
        }
      in
      let config = Config.for_network ~base net in
@@ -599,34 +657,85 @@ let worker_body t job net =
        Engine.run ~config ~checkpoint net ~metric:spec.Protocol.metric
          ~error_bound:spec.Protocol.bound
      in
-     let entry =
-       {
-         Cache.key = Scheduler.key job;
-         report = Report_json.to_json ~rounds:true report;
-         blif = Blif.to_string report.Engine.approximate;
-       }
-     in
-     Scheduler.finish t.sched job entry ~degraded:report.Engine.degraded;
-     (* A budget-degraded result is request-specific; only converged
-        results are content-addressable. *)
-     if not report.Engine.degraded then
-       Option.iter
-         (fun c ->
-           try
-             Cache.store c entry;
-             if t.cfg.cache_max_bytes > 0 then begin
-               let ev = Cache.evict c ~max_bytes:t.cfg.cache_max_bytes in
-               if ev.Cache.removed_corrupt + ev.Cache.removed_lru > 0 then
-                 log t
-                   "cache eviction: removed %d corrupt + %d lru entries, %d bytes remain"
-                   ev.Cache.removed_corrupt ev.Cache.removed_lru
-                   ev.Cache.bytes_after
-             end
-           with e ->
-             log t "cache store failed for %s: %s" (Scheduler.key job)
-               (Printexc.to_string e))
-         t.cache;
-     Metrics.incr (finished_counter t "done")
+     match
+       List.find_map
+         (fun i ->
+           match i.Incident.kind with
+           | Incident.Resource_exhausted _ -> Some i.Incident.kind
+           | _ -> None)
+         report.Engine.incidents
+     with
+     | Some kind ->
+       (* The engine's memory governor ran out of non-destructive
+          responses: it checkpointed the run and shed it.  The partial
+          result is not published — the job fails with the structured
+          resource verdict, which admission treats like a deadline
+          (never quarantine-worthy). *)
+       record_incident t kind;
+       Scheduler.fail t.sched job Scheduler.resource_failure;
+       Metrics.incr (finished_counter t "failed")
+     | None ->
+       let entry =
+         {
+           Cache.key = Scheduler.key job;
+           report = Report_json.to_json ~rounds:true report;
+           blif = Blif.to_string report.Engine.approximate;
+         }
+       in
+       Scheduler.finish t.sched job entry ~degraded:report.Engine.degraded;
+       (* A budget-degraded result is request-specific; only converged
+          results are content-addressable. *)
+       if not report.Engine.degraded then
+         Option.iter
+           (fun c ->
+             (* Disk governor, cache branch: keep [--statedir-headroom-mb]
+                free proactively, pre-evict to the byte cap inside
+                [Cache.store], and treat a real ENOSPC as
+                evict-then-retry-once — the entry is an optimization, the
+                filesystem's last blocks are not worth crashing over. *)
+             let headroom = t.cfg.statedir_headroom_mb * 1024 * 1024 in
+             if
+               headroom > 0
+               && not
+                    (Budget.Disk.has_headroom ~dir:(Cache.dir c)
+                       ~headroom_bytes:headroom)
+             then begin
+               let ev = Cache.evict c ~max_bytes:(Cache.bytes c / 2) in
+               log t
+                 "state dir under %d MiB free; evicted %d cache entries"
+                 t.cfg.statedir_headroom_mb
+                 (ev.Cache.removed_corrupt + ev.Cache.removed_lru)
+             end;
+             let store () =
+               Cache.store ~max_bytes:t.cfg.cache_max_bytes c entry
+             in
+             try store () with
+             | Unix.Unix_error (Unix.ENOSPC, _, _) -> (
+               let observed =
+                 match Budget.Disk.free_bytes (Cache.dir c) with
+                 | Some n -> float_of_int n
+                 | None -> 0.0
+               in
+               record_incident t
+                 (Incident.Resource_exhausted
+                    {
+                      resource = "disk";
+                      limit = float_of_int headroom;
+                      observed;
+                    });
+               let ev = Cache.evict c ~max_bytes:(Cache.bytes c / 2) in
+               log t
+                 "cache store hit ENOSPC; evicted %d entries and retrying"
+                 (ev.Cache.removed_corrupt + ev.Cache.removed_lru);
+               try store ()
+               with e ->
+                 log t "cache store failed for %s after eviction: %s"
+                   (Scheduler.key job) (Printexc.to_string e))
+             | e ->
+               log t "cache store failed for %s: %s" (Scheduler.key job)
+                 (Printexc.to_string e))
+           t.cache;
+       Metrics.incr (finished_counter t "done")
    with
    | Job_cancelled ->
      Scheduler.finished_cancelled t.sched job;
@@ -758,6 +867,20 @@ let view_fields (v : Scheduler.view) =
     ("failure", opt_json (fun s -> Json.String s) v.Scheduler.v_failure);
   ]
 
+(* A resource-shed job's status carries the structured code and a retry
+   hint, exactly like an admission shed — the client's backoff logic
+   need not care whether the governor ran at admission or mid-run. *)
+let resource_fields t j =
+  if
+    (Scheduler.view t.sched j).Scheduler.v_failure
+    = Some Scheduler.resource_failure
+  then
+    [
+      ("code", Json.String "resource_exhausted");
+      ("retry_after_ms", Json.Int (retry_after_ms t));
+    ]
+  else []
+
 let with_job t id f =
   match Scheduler.find t.sched id with
   | None -> Protocol.error_response (Printf.sprintf "unknown job %S" id)
@@ -796,10 +919,13 @@ let handle_request t req =
   match req with
   | Protocol.Submit spec -> handle_submit t spec
   | Protocol.Status id -> with_job t id (fun j ->
-      Protocol.ok_response (view_fields (Scheduler.view t.sched j)))
+      Protocol.ok_response
+        (view_fields (Scheduler.view t.sched j) @ resource_fields t j))
   | Protocol.Result id ->
     with_job t id (fun j ->
-        let fields = view_fields (Scheduler.view t.sched j) in
+        let fields =
+          view_fields (Scheduler.view t.sched j) @ resource_fields t j
+        in
         match Scheduler.result t.sched j with
         | Some e ->
           Protocol.ok_response
@@ -865,8 +991,19 @@ let handle_request t req =
         ("shed_total", Json.Int t.n_shed);
         ("deadline_exceeded_total", Json.Int t.n_deadline);
         ("quarantined_total", Json.Int t.n_quarantined);
+        ("resource_exhausted_total", Json.Int t.n_resource);
+        ("zombies_leaked_total", Json.Int t.n_zombies_leaked);
         ("uptime_s", Json.Float (Clock.now () -. t.started_mono));
         ("open_fds", Json.Int open_fds);
+        ("fd_limit",
+         Json.Int (Option.value (Budget.Fd.limit ()) ~default:(-1)));
+        ("memory_bytes",
+         Json.Int ((Gc.quick_stat ()).Gc.heap_words * (Sys.word_size / 8)));
+        ("statedir_bytes",
+         Json.Int
+           (match t.cfg.state_dir with
+            | Some d -> Budget.Disk.usage_bytes d
+            | None -> 0));
       ]
   | Protocol.Ping ->
     Protocol.ok_response
@@ -999,11 +1136,57 @@ let flush_outbox_closing t c =
     flush_outbox t c
   end
 
-let accept_conn t listener ~origin =
+(* Fd governor: refuse a connection {e before} the descriptor table is
+   exhausted.  The listener is readable, so this [accept] still succeeds
+   — but admitting the connection would leave fewer than [fd_reserve]
+   descriptors for the daemon's own files (cache entries, checkpoints,
+   incident log), whose [open] failing is far worse than one client
+   retrying.  The peer gets a structured one-line error and a retry
+   hint, never a connection reset from a failing [accept]. *)
+let shed_accept t listener =
   match Unix.accept listener with
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-    -> ()
-  | fd, addr ->
+  | exception Unix.Unix_error _ -> ()
+  | fd, _ ->
+    t.n_resource <- t.n_resource + 1;
+    Metrics.incr t.m_resource;
+    if not t.fd_shedding then begin
+      (* One incident per pressure episode, not one per refused
+         connection — a flood must not flood incidents.jsonl too. *)
+      t.fd_shedding <- true;
+      let count probe = match probe with Some n -> float_of_int n | None -> 0.0 in
+      let observed = count (Budget.Fd.open_fds ()) in
+      let limit = count (Budget.Fd.limit ()) in
+      log t "fd budget: %.0f of %.0f descriptors open (reserve %d); \
+             shedding new connections" observed limit t.cfg.fd_reserve;
+      record_incident t
+        (Incident.Resource_exhausted { resource = "fds"; limit; observed })
+    end;
+    let resp =
+      Json.to_string
+        (Protocol.error_response_code ~code:"resource_exhausted"
+           ~extra:[ ("retry_after_ms", Json.Int (retry_after_ms t)) ]
+           "file descriptor budget exhausted")
+      ^ "\n"
+    in
+    (try
+       Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
+       ignore (Unix.write_substring fd resp 0 (String.length resp))
+     with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let accept_conn t listener ~origin =
+  if not (Budget.Fd.should_accept ~reserve:t.cfg.fd_reserve) then
+    shed_accept t listener
+  else begin
+    if t.fd_shedding then begin
+      t.fd_shedding <- false;
+      log t "fd pressure cleared; accepting connections again"
+    end;
+    match Unix.accept listener with
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+    | fd, addr ->
     Unix.set_nonblock fd;
     let peer =
       match addr with
@@ -1023,6 +1206,7 @@ let accept_conn t listener ~origin =
         closed = false;
       }
       :: t.conns
+  end
 
 let rec process_pending t c =
   if not c.closed then
@@ -1074,10 +1258,39 @@ let drain t =
      let path = Filename.concat dir "queue.ckpt" in
      if pending = [] then (try Sys.remove path with Sys_error _ -> ())
      else (
+       let save () = Checkpoint.save ~path ~tag:queue_tag pending in
        try
-         Checkpoint.save ~path ~tag:queue_tag pending;
+         save ();
          log t "checkpointed %d unfinished job(s)" (List.length pending)
-       with e -> log t "queue checkpoint failed: %s" (Printexc.to_string e))
+       with
+       | Unix.Unix_error (Unix.ENOSPC, _, _) -> (
+         (* Disk governor, checkpoint branch: the queue checkpoint
+            outranks every cached result — cache entries can be
+            recomputed, unfinished jobs cannot.  Evict the whole cache,
+            retry once, and only then degrade to dropping the queue.
+            [Checkpoint.save] already removed its temp file, so the
+            previous checkpoint (if any) is intact either way. *)
+         Option.iter (fun c -> ignore (Cache.evict c ~max_bytes:0)) t.cache;
+         record_incident t
+           (Incident.Resource_exhausted
+              {
+                resource = "disk";
+                limit =
+                  float_of_int (t.cfg.statedir_headroom_mb * 1024 * 1024);
+                observed =
+                  (match Budget.Disk.free_bytes dir with
+                   | Some n -> float_of_int n
+                   | None -> 0.0);
+              });
+         match save () with
+         | () ->
+           log t
+             "checkpointed %d unfinished job(s) after evicting the cache"
+             (List.length pending)
+         | exception e ->
+           log t "queue checkpoint failed twice: %s (dropping %d job(s))"
+             (Printexc.to_string e) (List.length pending))
+       | e -> log t "queue checkpoint failed: %s" (Printexc.to_string e))
    | None ->
      if pending <> [] then
        log t "dropping %d unfinished job(s) (no state dir)"
@@ -1104,9 +1317,15 @@ let drain t =
      end
    in
    wait_zombies ();
-   if t.zombies <> [] then
-     log t "leaking %d still-wedged worker domain(s) at exit"
-       (List.length t.zombies));
+   if t.zombies <> [] then begin
+     (* Count the leak before the final metrics/health snapshots below:
+        a soak that kills and restarts the daemon reads the tally from
+        state_dir/metrics.prom. *)
+     let leaked = List.length t.zombies in
+     t.n_zombies_leaked <- t.n_zombies_leaked + leaked;
+     Metrics.add t.m_zombies_leaked leaked;
+     log t "leaking %d still-wedged worker domain(s) at exit" leaked
+   end);
   (* Joins idle and reclaimable hub domains; still-wedged abandoned ones
      are leaked, exactly as before. *)
   Domain_hub.shutdown t.hub;

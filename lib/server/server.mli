@@ -94,6 +94,22 @@ type config = {
   state_dir : string option;
       (** queue checkpoint + shutdown artifacts + incidents.jsonl *)
   default_samples : int;  (** when a submit omits [samples] *)
+  max_memory_mb : int;
+      (** per-job engine memory budget, passed through to
+          {!Accals.Config.max_memory_mb}; 0 disables it.  A job the
+          engine checkpoints and sheds under the budget fails with
+          {!Scheduler.resource_failure} and a [retry_after_ms] hint, and
+          never counts toward quarantine. *)
+  statedir_headroom_mb : int;
+      (** free-space floor for the filesystem backing the cache and
+          state dir: under it the result cache is evicted before new
+          stores; 0 disables the proactive check (the reactive
+          [ENOSPC] evict-and-retry paths always run). *)
+  fd_reserve : int;
+      (** descriptors kept free for the daemon's own files: new
+          connections are refused with a structured
+          [code = "resource_exhausted"] error once accepting one more
+          would leave less than this under the soft [RLIMIT_NOFILE]. *)
   log : bool;  (** chatter on stderr *)
 }
 
@@ -103,7 +119,8 @@ val default_config : config
     [tenant_max_queued = 64], [tenant_max_running = 0] (unlimited),
     [deadline_grace = 2.0], [quarantine_threshold = 3],
     [quarantine_cooldown = 300.0], no cache, [cache_max_bytes = 0], no
-    state dir, [default_samples = 2048], logging on. *)
+    state dir, [default_samples = 2048], [max_memory_mb = 0],
+    [statedir_headroom_mb = 0], [fd_reserve = 8], logging on. *)
 
 type t
 

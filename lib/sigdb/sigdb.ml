@@ -100,6 +100,21 @@ let take_buf db =
 
 let release_buf db b = if Bitvec.length b > 0 then db.free <- b :: db.free
 
+let buf_bytes b =
+  let bpw = Bitvec.bits_per_word in
+  (Bitvec.length b + bpw - 1) / bpw * (bpw / 8)
+
+let pool_size db = List.length db.free
+let pool_bytes db = List.fold_left (fun acc b -> acc + buf_bytes b) 0 db.free
+
+(* Memory-pressure relief: drop the recycled buffers. Purely a perf/space
+   trade — the next resimulation allocates fresh ones, and nothing about
+   signatures or enumeration order changes. *)
+let trim_pool db =
+  let n = pool_size db in
+  db.free <- [];
+  n
+
 (* ------------------------------------------------------------------ *)
 (* Incremental full-fanout maintenance.
 

@@ -86,6 +86,23 @@ val version : t -> int
 val counters : t -> counters
 (** Live counter record (monotonic); callers snapshot and diff. *)
 
+(** {2 Buffer-pool accounting}
+
+    The recycled-buffer pool trades memory for allocation churn; under a
+    [--max-memory-mb] budget the governor reads its footprint and, at soft
+    pressure, gives the memory back. *)
+
+val pool_size : t -> int
+(** Buffers currently idle in the pool. *)
+
+val pool_bytes : t -> int
+(** Estimated bytes held by idle pooled buffers. *)
+
+val trim_pool : t -> int
+(** Drop every idle pooled buffer and return how many were dropped. Purely
+    a space/time trade: signatures, views and enumeration order are
+    untouched, so results cannot change. *)
+
 (** {2 Frozen per-round views}
 
     All views are replaced (not mutated) by {!refresh}, so values captured

@@ -4,8 +4,12 @@
 
 open Accals_network
 module Fault = Accals_resilience.Fault
+module Fault_io = Accals_resilience.Fault_io
+module Budget = Accals_resilience.Budget
 module Watchdog = Accals_resilience.Watchdog
 module Checkpoint = Accals_resilience.Checkpoint
+module Incident = Accals_audit.Incident
+module Ladder = Accals_audit.Ladder
 module Pool = Accals_runtime.Pool
 module Fan_out = Accals_runtime.Fan_out
 module Engine = Accals.Engine
@@ -76,6 +80,239 @@ let test_fault_deterministic_selection () =
   (* attempts:1 means only attempt 0 is faulted: a retry succeeds. *)
   check "retry attempt not faulted" true
     (selected spec ~batch:5 ~count:200 ~attempt:1 = [])
+
+(* --- Syscall-level fault injection (Fault_io) --- *)
+
+let with_io_faults spec f =
+  let before = Fault_io.current () in
+  Fault_io.arm spec;
+  Fun.protect
+    ~finally:(fun () ->
+      match before with
+      | Some s -> Fault_io.arm s
+      | None -> Fault_io.disarm ())
+    f
+
+let io_spec s =
+  match Fault_io.parse s with
+  | Ok spec -> spec
+  | Error e -> Alcotest.failf "spec %S rejected: %s" s e
+
+let test_fault_io_parse () =
+  let one = io_spec "write:enospc@3" in
+  check "single occurrence clause" true
+    (one.Fault_io.clauses
+    = [ { Fault_io.site = Fault_io.Write; kind = Fault_io.Enospc;
+          sel = `At (3, 3) } ]);
+  let range = io_spec "open:emfile@1..4" in
+  check "range clause" true
+    (range.Fault_io.clauses
+    = [ { Fault_io.site = Fault_io.Open; kind = Fault_io.Emfile;
+          sel = `At (1, 4) } ]);
+  let prob = io_spec "seed:9,rename:enospc%8" in
+  check_int "seed carried" 9 prob.Fault_io.seed;
+  check "probabilistic clause" true
+    (prob.Fault_io.clauses
+    = [ { Fault_io.site = Fault_io.Rename; kind = Fault_io.Enospc;
+          sel = `Every 8 } ]);
+  check "multi-clause spec" true
+    (List.length (io_spec "write:short@2,fsync:enospc@1").Fault_io.clauses = 2);
+  let rejected s =
+    match Fault_io.parse s with Error _ -> true | Ok _ -> false
+  in
+  check "% without seed rejected" true (rejected "write:enospc%4");
+  check "unknown site rejected" true (rejected "frobnicate:enospc@1");
+  check "unknown kind rejected" true (rejected "write:eio@1");
+  check "zero occurrence rejected" true (rejected "write:enospc@0");
+  check "inverted range rejected" true (rejected "write:enospc@4..2");
+  check "bare seed rejected" true (rejected "seed:3");
+  check "garbage rejected" true (rejected "%%%")
+
+let test_fault_io_occurrence_counting () =
+  let tmp = Filename.temp_file "accals_fio" ".txt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+  @@ fun () ->
+  let write_n oc n =
+    List.init n (fun i ->
+        match Fault_io.output_string oc (Printf.sprintf "line%d\n" i) with
+        | () -> false
+        | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> true)
+  in
+  with_io_faults (io_spec "write:enospc@2") (fun () ->
+      let oc = Fault_io.open_out_bin tmp in
+      let hits = write_n oc 4 in
+      close_out_noerr oc;
+      check "exactly the 2nd governed write fails" true
+        (hits = [ false; true; false; false ]);
+      check_int "one injection recorded" 1 (Fault_io.injected_count ());
+      (* Re-arming resets the per-site occurrence counters. *)
+      Fault_io.arm (io_spec "write:enospc@2");
+      let oc = Fault_io.open_out_bin tmp in
+      check "counter reset on arm" true
+        (write_n oc 3 = [ false; true; false ]);
+      close_out_noerr oc);
+  (* Disarmed wrappers are the plain calls. *)
+  let oc = Fault_io.open_out_bin tmp in
+  Fault_io.output_string oc "clean";
+  close_out oc;
+  check "disarmed write lands" true
+    (In_channel.with_open_bin tmp In_channel.input_all = "clean")
+
+let test_fault_io_short_write_is_torn () =
+  let tmp = Filename.temp_file "accals_fio_torn" ".txt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+  @@ fun () ->
+  let payload = "0123456789abcdef" in
+  with_io_faults (io_spec "write:short@1") (fun () ->
+      let oc = Fault_io.open_out_bin tmp in
+      check "short write raises ENOSPC" true
+        (match Fault_io.output_string oc payload with
+        | () -> false
+        | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> true);
+      close_out_noerr oc);
+  let on_disk = In_channel.with_open_bin tmp In_channel.input_all in
+  check "a strict prefix landed (torn file)" true
+    (String.length on_disk > 0
+    && String.length on_disk < String.length payload
+    && on_disk = String.sub payload 0 (String.length on_disk))
+
+let test_fault_io_probabilistic_determinism () =
+  let run spec =
+    with_io_faults spec (fun () ->
+        let oc = Fault_io.open_out_bin "/dev/null" in
+        let hits =
+          List.init 64 (fun _ ->
+              match Fault_io.output_string oc "x" with
+              | () -> false
+              | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> true)
+        in
+        close_out_noerr oc;
+        hits)
+  in
+  let a = run (io_spec "seed:5,write:enospc%4") in
+  check "some faults injected" true (List.exists Fun.id a);
+  check "not every write faulted" true (List.exists not a);
+  check "same seed -> same fault positions" true
+    (a = run (io_spec "seed:5,write:enospc%4"));
+  check "different seed -> different positions" true
+    (a <> run (io_spec "seed:6,write:enospc%4"))
+
+(* Checkpoints under injected faults: whatever fails — open, write, torn
+   write, fsync, rename — the previous checkpoint must survive intact and
+   no temp file may linger. *)
+let test_checkpoint_survives_injected_faults () =
+  let path = Filename.temp_file "accals_ckpt_fault" ".ckpt" in
+  let dir = Filename.dirname path in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Checkpoint.save ~path ~tag:"t" ([ 1; 2; 3 ], "v1");
+  let no_temps () =
+    Array.for_all
+      (fun f -> not (String.length f > 0 && Filename.check_suffix f
+                       (Printf.sprintf ".tmp.%d" (Unix.getpid ()))))
+      (Sys.readdir dir)
+  in
+  List.iter
+    (fun spec_s ->
+      with_io_faults (io_spec spec_s) (fun () ->
+          check (spec_s ^ " raises") true
+            (match Checkpoint.save ~path ~tag:"t" ([ 9 ], "v2") with
+            | () -> false
+            | exception Unix.Unix_error ((Unix.ENOSPC | Unix.EMFILE), _, _) ->
+              true));
+      check (spec_s ^ ": no temp residue") true (no_temps ());
+      check (spec_s ^ ": previous checkpoint intact") true
+        (Checkpoint.load ~path ~tag:"t" = Some ([ 1; 2; 3 ], "v1")))
+    [
+      "open:emfile@1";
+      "write:enospc@1";
+      "write:short@1";
+      "write:short@2";
+      "fsync:enospc@1";
+      "rename:enospc@1";
+    ];
+  (* After the chaos, a clean save goes through. *)
+  Checkpoint.save ~path ~tag:"t" ([ 9 ], "v2");
+  check "clean save after faults" true
+    (Checkpoint.load ~path ~tag:"t" = Some ([ 9 ], "v2"))
+
+(* --- Budget governors --- *)
+
+let test_budget_memory_classify () =
+  let m = Budget.Memory.create ~limit_bytes:1000 in
+  check "well under -> Nominal" true
+    (Budget.Memory.classify m ~bytes:500 = Budget.Memory.Nominal);
+  check "just under soft -> Nominal" true
+    (Budget.Memory.classify m ~bytes:849 = Budget.Memory.Nominal);
+  check "85% -> Soft" true
+    (Budget.Memory.classify m ~bytes:850 = Budget.Memory.Soft);
+  check "at limit -> Hard" true
+    (Budget.Memory.classify m ~bytes:1000 = Budget.Memory.Hard);
+  check "over limit -> Hard" true
+    (Budget.Memory.classify m ~bytes:5000 = Budget.Memory.Hard);
+  let off = Budget.Memory.create ~limit_bytes:0 in
+  check "disabled limit never pressures" true
+    (Budget.Memory.classify off ~bytes:max_int = Budget.Memory.Nominal)
+
+let test_budget_memory_sources () =
+  let m = Budget.Memory.create ~limit_bytes:0 in
+  let base = Budget.Memory.sample m in
+  check "base sample is the GC heap" true (base > 0);
+  Budget.Memory.register_source m ~name:"arena" (fun () -> 10_000_000);
+  check "sources add on top" true (Budget.Memory.sample m >= base + 10_000_000);
+  (* Same name replaces, a raising source counts zero, negatives clamp. *)
+  Budget.Memory.register_source m ~name:"arena" (fun () -> failwith "probe");
+  Budget.Memory.register_source m ~name:"neg" (fun () -> -42);
+  let resampled = Budget.Memory.sample m in
+  check "raising/negative sources stand down" true
+    (resampled < base + 10_000_000)
+
+let test_budget_disk () =
+  let dir = Filename.temp_file "accals_budget" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  check_int "empty dir usage" 0 (Budget.Disk.usage_bytes dir);
+  let write name bytes =
+    let oc = open_out_bin (Filename.concat dir name) in
+    output_string oc (String.make bytes 'x');
+    close_out oc
+  in
+  write "a" 100;
+  write "b" 23;
+  check_int "usage sums regular files" 123 (Budget.Disk.usage_bytes dir);
+  check_int "missing dir usage" 0 (Budget.Disk.usage_bytes "/nonexistent/x");
+  check "zero headroom always passes" true
+    (Budget.Disk.has_headroom ~dir ~headroom_bytes:0);
+  (match Budget.Disk.free_bytes dir with
+  | None -> () (* platform without statvfs: governors stand down *)
+  | Some free ->
+    check "free space is positive" true (free > 0);
+    check "headroom below free passes" true
+      (Budget.Disk.has_headroom ~dir ~headroom_bytes:1);
+    check "headroom above free fails" false
+      (Budget.Disk.has_headroom ~dir ~headroom_bytes:max_int))
+
+let test_budget_fd () =
+  (match Budget.Fd.open_fds () with
+  | None -> () (* no /proc *)
+  | Some n -> check "some descriptors open" true (n > 0));
+  (match (Budget.Fd.open_fds (), Budget.Fd.limit ()) with
+  | Some _, Some lim ->
+    check "limit sane" true (lim > 0);
+    check "normal reserve accepts" true (Budget.Fd.should_accept ~reserve:0);
+    check "impossible reserve refuses" false
+      (Budget.Fd.should_accept ~reserve:max_int)
+  | _ ->
+    (* Probes unavailable: the governor must stand down, not refuse. *)
+    check "unknown probes always accept" true
+      (Budget.Fd.should_accept ~reserve:max_int))
 
 (* --- Pool.try_run failure collection --- *)
 
@@ -331,6 +568,58 @@ let test_round_deadline_forces_single () =
     (List.for_all (fun rd -> rd.Trace.mode = Trace.Single) r.Engine.rounds);
   Network.validate r.Engine.approximate
 
+(* --- Memory budget governor --- *)
+
+let test_memory_budget_generous_identical () =
+  (* A budget the run never approaches must not perturb the result: the
+     governor samples every round but takes no action. *)
+  let net = Accals_circuits.Bench_suite.load "mtp8" in
+  let clean =
+    Engine.run ~config:(small_config net) net ~metric:Metric.Error_rate
+      ~error_bound:0.03
+  in
+  let budgeted =
+    Engine.run
+      ~config:{ (small_config net) with Config.max_memory_mb = 1 lsl 20 }
+      net ~metric:Metric.Error_rate ~error_bound:0.03
+  in
+  check "generous budget bit-identical" true
+    (report_fingerprint clean = report_fingerprint budgeted)
+
+let test_memory_budget_sheds_not_crashes () =
+  (* A 1 MiB budget is below any real heap: the governor descends the
+     whole ladder — relief, rebuild, then checkpoint-and-shed — and the
+     run ends degraded with a Resource_exhausted incident and a final
+     finished snapshot, never an allocation failure. *)
+  let net = Accals_circuits.Bench_suite.load "mtp8" in
+  let last_snap = ref None in
+  let r =
+    Engine.run
+      ~config:{ (small_config net) with Config.max_memory_mb = 1 }
+      ~checkpoint:(fun s -> last_snap := Some s)
+      net ~metric:Metric.Error_rate ~error_bound:0.03
+  in
+  check "run degraded" true r.Engine.degraded;
+  check "degraded for resource pressure" true
+    (r.Engine.degraded_reason = Some Ladder.Resource_pressure);
+  check "resource_exhausted incident recorded" true
+    (List.exists
+       (fun i ->
+         match i.Incident.kind with
+         | Incident.Resource_exhausted { resource; limit; observed } ->
+           resource = "memory" && limit > 0.0 && observed >= limit
+         | _ -> false)
+       r.Engine.incidents);
+  (* The shed still hands back a valid best-so-far circuit ... *)
+  Network.validate r.Engine.approximate;
+  check "error still within bound" true (r.Engine.error <= 0.03);
+  (* ... and the last checkpoint is terminal, so a restart with more
+     memory resumes instead of redoing the work. *)
+  match !last_snap with
+  | None -> Alcotest.fail "no checkpoint emitted"
+  | Some snap -> check "final snapshot finished" true
+                   (Engine.snapshot_finished snap)
+
 (* --- Invariant guards --- *)
 
 let test_validate_self_loop () =
@@ -365,6 +654,30 @@ let suite =
         Alcotest.test_case "spec parsing" `Quick test_fault_parse;
         Alcotest.test_case "deterministic selection" `Quick
           test_fault_deterministic_selection;
+      ] );
+    ( "resilience syscall faults",
+      [
+        Alcotest.test_case "spec parsing" `Quick test_fault_io_parse;
+        Alcotest.test_case "per-site occurrence counting" `Quick
+          test_fault_io_occurrence_counting;
+        Alcotest.test_case "short write tears the file" `Quick
+          test_fault_io_short_write_is_torn;
+        Alcotest.test_case "probabilistic clauses deterministic" `Quick
+          test_fault_io_probabilistic_determinism;
+        Alcotest.test_case "checkpoint survives every fault site" `Quick
+          test_checkpoint_survives_injected_faults;
+      ] );
+    ( "resilience budgets",
+      [
+        Alcotest.test_case "memory pressure thresholds" `Quick
+          test_budget_memory_classify;
+        Alcotest.test_case "memory sources" `Quick test_budget_memory_sources;
+        Alcotest.test_case "disk probes" `Quick test_budget_disk;
+        Alcotest.test_case "fd governor" `Quick test_budget_fd;
+        Alcotest.test_case "generous budget is bit-identical" `Slow
+          test_memory_budget_generous_identical;
+        Alcotest.test_case "tiny budget sheds gracefully" `Quick
+          test_memory_budget_sheds_not_crashes;
       ] );
     ( "resilience pool recovery",
       [

@@ -415,6 +415,75 @@ let test_cache_eviction () =
   check "survivors still hit" true
     (Cache.find cache "a" <> None && Cache.find cache "c" <> None)
 
+(* A store into a cache already at (or over) its byte cap must evict
+   first: the on-disk total never overshoots the cap, even transiently. *)
+let test_cache_store_evicts_at_cap () =
+  let dir = temp_dir "accals_cache_cap" in
+  let cache = Cache.create ~dir in
+  let blif = String.make 1024 'x' in
+  let entry k =
+    { Cache.key = k; report = Json.Obj [ ("k", Json.String k) ]; blif }
+  in
+  List.iter (fun k -> Cache.store cache (entry k)) [ "a"; "b" ];
+  let file k = Filename.concat dir (k ^ ".json") in
+  (* Pin recency: a is the LRU victim. *)
+  List.iteri
+    (fun i k ->
+      let t = float_of_int ((i + 1) * 1000) in
+      Unix.utimes (file k) t t)
+    [ "a"; "b" ];
+  let cap = Cache.bytes cache + 100 (* room for less than one entry *) in
+  Cache.store ~max_bytes:cap cache (entry "c");
+  check "LRU entry evicted to make room" false (Sys.file_exists (file "a"));
+  check "recent entry survived" true (Sys.file_exists (file "b"));
+  check "new entry stored" true (Cache.find cache "c" <> None);
+  check "never over the cap" true (Cache.bytes cache <= cap);
+  (* Cap large enough for everything: no eviction at all. *)
+  Cache.store ~max_bytes:(1 lsl 30) cache (entry "d");
+  check "roomy cap evicts nothing" true
+    (Sys.file_exists (file "b") && Sys.file_exists (file "c")
+    && Sys.file_exists (file "d"))
+
+module Fault_io = Accals_resilience.Fault_io
+
+let with_io_faults spec_s f =
+  (match Fault_io.parse spec_s with
+  | Ok spec -> Fault_io.arm spec
+  | Error e -> Alcotest.failf "bad fault spec %S: %s" spec_s e);
+  Fun.protect ~finally:Fault_io.disarm f
+
+(* A store that hits ENOSPC (real or injected) must leave the previous
+   entry for the key intact and no temp residue — the caller's
+   evict-and-retry can then run against a clean directory. *)
+let test_cache_store_enospc_keeps_old_entry () =
+  let dir = temp_dir "accals_cache_enospc" in
+  let cache = Cache.create ~dir in
+  let entry k blif =
+    { Cache.key = k; report = Json.Obj [ ("k", Json.String k) ]; blif }
+  in
+  Cache.store cache (entry "k" "v1");
+  List.iter
+    (fun spec ->
+      with_io_faults spec (fun () ->
+          check (spec ^ " surfaces as Unix_error") true
+            (match Cache.store cache (entry "k" "v2") with
+            | () -> false
+            | exception Unix.Unix_error ((Unix.ENOSPC | Unix.EMFILE), _, _)
+              -> true));
+      (match Cache.find cache "k" with
+      | Some e -> check_string (spec ^ ": old entry intact") "v1" e.Cache.blif
+      | None -> Alcotest.failf "%s: entry lost" spec);
+      check (spec ^ ": no temp residue") true
+        (Array.for_all
+           (fun f -> Filename.check_suffix f ".json")
+           (Sys.readdir dir)))
+    [ "open:emfile@1"; "write:enospc@1"; "write:short@1"; "rename:enospc@1" ];
+  Cache.store cache (entry "k" "v2");
+  check "clean store after faults wins" true
+    (match Cache.find cache "k" with
+    | Some e -> e.Cache.blif = "v2"
+    | None -> false)
+
 (* --- backoff --- *)
 
 let test_backoff () =
@@ -675,6 +744,49 @@ let test_graceful () =
   Graceful.run_hooks ();
   check "hooks ran exactly once each, failures swallowed" true
     (List.sort compare !hits = [ "a"; "b" ])
+
+(* Satellite of the shutdown path: a flush hook whose durable write hits
+   an injected fault (ENOSPC, torn write) raises out of the hook, but the
+   remaining hooks must still run and the signal-derived exit code must
+   be unaffected — a full disk cannot turn a clean SIGTERM into a crash. *)
+let test_graceful_flush_under_write_failure () =
+  Graceful.clear ();
+  let dir = temp_dir "accals_flush_fault" in
+  List.iter
+    (fun spec ->
+      let hits = ref [] in
+      let failed = ref false in
+      with_io_faults spec (fun () ->
+          Graceful.on_shutdown "sink-late" (fun () ->
+              hits := "sink-late" :: !hits);
+          Graceful.on_shutdown "flaky-flush" (fun () ->
+              let oc =
+                Fault_io.open_out_bin (Filename.concat dir "flush.out")
+              in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () ->
+                  try Fault_io.output_string oc "final telemetry\n"
+                  with e ->
+                    failed := true;
+                    raise e));
+          Graceful.on_shutdown "sink-early" (fun () ->
+              hits := "sink-early" :: !hits);
+          Graceful.request_stop Sys.sigterm;
+          Graceful.run_hooks ());
+      check (spec ^ ": hook write actually failed") true !failed;
+      check (spec ^ ": surviving hooks all ran") true
+        (List.sort compare !hits = [ "sink-early"; "sink-late" ]);
+      (* The recorded signal — what the CLI turns into the exit code —
+         survives the failing flush. *)
+      check (spec ^ ": signal preserved") true
+        (Graceful.stop_requested () = Some Sys.sigterm);
+      check_int (spec ^ ": exit code still 143") 143
+        (Graceful.exit_code Sys.sigterm);
+      check_int (spec ^ ": sigint mapping untouched") 130
+        (Graceful.exit_code Sys.sigint);
+      Graceful.clear ())
+    [ "write:enospc@1"; "write:short@1" ]
 
 (* --- end-to-end daemon --- *)
 
@@ -1213,6 +1325,57 @@ let test_daemon_overload () =
   Domain.join daemon;
   Client.close c
 
+(* Fd governor: with an impossible [fd_reserve] every connection is over
+   the descriptor budget. The daemon must still accept each one just long
+   enough to hand it a structured resource_exhausted error — never a
+   connection reset, never a crashed accept loop — and keep serving its
+   control plane (stop/join still work). *)
+let test_daemon_fd_governor_sheds () =
+  let dir = temp_dir "accals_daemon_fd" in
+  let sock = Filename.concat dir "t.sock" in
+  let server, daemon =
+    boot_server
+      {
+        Server.default_config with
+        Server.socket = sock;
+        jobs = 1;
+        fd_reserve = 1_000_000;
+        log = false;
+      }
+  in
+  (* The shed error arrives unprompted — the daemon writes it straight
+     from the accept path — so read it without sending anything (a sent
+     request could race the daemon's close into EPIPE). *)
+  let shed_once n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+    let ic = Unix.in_channel_of_descr fd in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic)
+    @@ fun () ->
+    let r =
+      match Json.parse (input_line ic) with
+      | Ok v -> v
+      | Error e -> Alcotest.failf "connection %d: bad shed response: %s" n e
+      | exception End_of_file ->
+        Alcotest.failf "connection %d closed without a shed response" n
+    in
+    check (Printf.sprintf "connection %d refused" n) false (Client.ok r);
+    check (Printf.sprintf "connection %d carries the code" n) true
+      (Client.error_code r = Some "resource_exhausted");
+    match Client.retry_after r with
+    | Some s ->
+      check (Printf.sprintf "connection %d retry hint sane" n) true
+        (s >= 0.1 && s <= 60.0)
+    | None -> Alcotest.fail "shed response missing retry_after_ms"
+  in
+  (* Every connection of a sustained flood is shed the same way; the
+     daemon survives all of them. *)
+  for n = 1 to 5 do shed_once n done;
+  Server.stop server;
+  Domain.join daemon;
+  check "socket unlinked on clean shutdown" false (Sys.file_exists sock)
+
 (* Restart re-admits the checkpointed queue through the same admission
    control: a daemon restarted with a tighter queue bound sheds the
    excess instead of resurrecting jobs past its limits. *)
@@ -1304,6 +1467,10 @@ let suite =
           test_cache_fd_hygiene;
         Alcotest.test_case "size-capped LRU eviction" `Quick
           test_cache_eviction;
+        Alcotest.test_case "store-time eviction never overshoots" `Quick
+          test_cache_store_evicts_at_cap;
+        Alcotest.test_case "store under ENOSPC keeps the old entry" `Quick
+          test_cache_store_enospc_keeps_old_entry;
       ] );
     ( "server backoff",
       [
@@ -1324,7 +1491,11 @@ let suite =
           test_scheduler_deadline;
       ] );
     ( "server graceful",
-      [ Alcotest.test_case "signals, codes, hooks" `Quick test_graceful ] );
+      [
+        Alcotest.test_case "signals, codes, hooks" `Quick test_graceful;
+        Alcotest.test_case "flush hooks under injected write failures"
+          `Quick test_graceful_flush_under_write_failure;
+      ] );
     ( "server daemon",
       [
         Alcotest.test_case "e2e: submit/cache/cancel/metrics/restart" `Slow
@@ -1341,6 +1512,8 @@ let suite =
           test_daemon_deadline;
         Alcotest.test_case "overload shed + retry_after + retry" `Slow
           test_daemon_overload;
+        Alcotest.test_case "fd governor sheds with a structured error"
+          `Quick test_daemon_fd_governor_sheds;
         Alcotest.test_case "restart re-admits through admission control" `Slow
           test_daemon_restart_admission;
       ] );
