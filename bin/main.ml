@@ -17,6 +17,10 @@ module Tracer = Accals_telemetry.Tracer
 module Progress = Accals_telemetry.Progress
 module Metrics = Accals_telemetry.Metrics
 module Json = Accals_telemetry.Json
+module Clock = Accals_telemetry.Clock
+module Trace_context = Accals_telemetry.Trace_context
+module Profiler = Accals_telemetry.Profiler
+module Build_info = Accals_telemetry.Build_info
 module Report_json = Accals.Report_json
 module Server = Accals_server.Server
 module Client = Accals_server.Client
@@ -329,6 +333,43 @@ let progress_arg =
           "Render a live heartbeat (round, error, area, elapsed, ETA) to \
            stderr. Never touches stdout.")
 
+let profile_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:
+          "Run the sampling profiler for the whole synthesis and write \
+           flamegraph-compatible folded stacks to $(docv) (plus a JSON \
+           summary to $(docv).json). Like every telemetry sink, purely \
+           observational: results are bit-identical with or without it.")
+
+let profile_hz_arg =
+  Arg.(
+    value
+    & opt int 97
+    & info [ "profile-hz" ] ~docv:"HZ"
+        ~doc:
+          "Profiler sampling rate (default 97 — prime, so samples do not \
+           phase-lock with periodic work).")
+
+let profile_mode_arg =
+  let parse s =
+    match Profiler.mode_of_string s with
+    | Some m -> `Ok m
+    | None -> `Error (Printf.sprintf "unknown profile mode %s (cpu or wall)" s)
+  in
+  let print fmt m = Format.pp_print_string fmt (Profiler.mode_name m) in
+  let mode_conv = (parse, print) in
+  Arg.(
+    value
+    & opt mode_conv Profiler.Cpu
+    & info [ "profile-mode" ] ~docv:"MODE"
+        ~doc:
+          "What a profiler tick means: $(b,cpu) samples while the process \
+           burns CPU time (ITIMER_PROF), $(b,wall) in real time even when \
+           blocked (ITIMER_REAL).")
+
 let json_arg =
   Arg.(
     value
@@ -354,7 +395,7 @@ let synth_cmd =
   let run spec metric bound method_ samples seed jobs out verilog verbose trace
       ckpt_dir resume run_deadline round_deadline max_memory_mb validate
       no_incremental audit_every certify ckpt_keep incident_log trace_out
-      metrics_out events_out progress json =
+      metrics_out events_out progress profile_out profile_hz profile_mode json =
     if resume && ckpt_dir = None then
       user_error "--resume requires --checkpoint DIR";
     if resume && method_ <> `Accals then
@@ -413,6 +454,19 @@ let synth_cmd =
     then
       Telemetry.install
         (Telemetry.make ?tracer ?progress:progress_h ?events:events_oc ());
+    let profiler =
+      Option.map
+        (fun _ -> Profiler.start ~hz:profile_hz ~mode:profile_mode ())
+        profile_out
+    in
+    let write_profile () =
+      match (profile_out, profiler) with
+      | Some path, Some p ->
+        Profiler.stop p;
+        Profiler.write_folded p path;
+        Json.write_file (path ^ ".json") (Profiler.summary p)
+      | _ -> ()
+    in
     let incident_log_path =
       match incident_log with
       | Some _ -> incident_log
@@ -427,6 +481,7 @@ let synth_cmd =
         match (trace_out, tracer) with
         | Some path, Some t -> Tracer.write t path
         | _ -> ());
+    Graceful.on_shutdown "profiler" (fun () -> write_profile ());
     (* In --json mode stdout is a single JSON document, so the resume /
        checkpoint-scan notices move to stderr. Plain mode keeps them on
        stdout (CI greps for them there). *)
@@ -559,8 +614,9 @@ let synth_cmd =
         close_out oc)
       metrics_out;
     Option.iter close_out events_oc;
+    write_profile ();
     Telemetry.reset ();
-    List.iter Graceful.remove_hook [ "telemetry"; "events"; "tracer" ]
+    List.iter Graceful.remove_hook [ "telemetry"; "events"; "tracer"; "profiler" ]
   in
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
@@ -570,7 +626,8 @@ let synth_cmd =
       $ max_memory_arg $ validate_arg $ no_incremental_arg $ audit_every_arg
       $ certify_arg
       $ ckpt_keep_arg $ incident_log_arg $ trace_out_arg $ metrics_out_arg
-      $ events_out_arg $ progress_arg $ json_arg)
+      $ events_out_arg $ progress_arg $ profile_out_arg $ profile_hz_arg
+      $ profile_mode_arg $ json_arg)
 
 (* --- convert --- *)
 
@@ -866,10 +923,46 @@ let serve_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"No chatter on stderr.")
   in
+  let slo_target_arg =
+    Arg.(
+      value
+      & opt float Server.default_config.Server.slo_target_ms
+      & info [ "slo-target-ms" ] ~docv:"MS"
+          ~doc:
+            "End-to-end latency a job must beat to count as good in the \
+             per-tenant SLO accounting (the \"slo\" request and the \
+             accals_slo_* metrics).")
+  in
+  let slo_objective_arg =
+    Arg.(
+      value
+      & opt float Server.default_config.Server.slo_objective
+      & info [ "slo-objective" ] ~docv:"FRACTION"
+          ~doc:
+            "Target good fraction in (0, 1), e.g. 0.99; the rolling \
+             burn rate is the observed bad fraction over the allowed one.")
+  in
+  let profile_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-dir" ] ~docv:"DIR"
+          ~doc:
+            "Run the sampling profiler (CPU mode) for the daemon's \
+             lifetime and write server.folded (flamegraph-compatible) \
+             plus server.profile.json to $(docv) at shutdown.")
+  in
+  let serve_profile_hz_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.profile_hz
+      & info [ "profile-hz" ] ~docv:"HZ" ~doc:"Profiler sampling rate.")
+  in
   let run socket tcp tcp_token jobs max_concurrent max_queue tenant_max_queued
       tenant_max_running deadline_grace quarantine_threshold
       quarantine_cooldown cache_dir cache_max_mb state_dir samples
-      max_memory_mb statedir_headroom_mb fd_reserve quiet =
+      max_memory_mb statedir_headroom_mb fd_reserve slo_target_ms
+      slo_objective profile_dir profile_hz quiet =
     if max_concurrent < 1 then user_error "--max-concurrent must be >= 1";
     if deadline_grace < 0.0 then user_error "--deadline-grace must be >= 0";
     if cache_max_mb < 0 then user_error "--cache-max-mb must be >= 0";
@@ -877,6 +970,10 @@ let serve_cmd =
     if statedir_headroom_mb < 0 then
       user_error "--statedir-headroom-mb must be >= 0";
     if fd_reserve < 0 then user_error "--fd-reserve must be >= 0";
+    if slo_target_ms <= 0.0 then user_error "--slo-target-ms must be > 0";
+    if not (slo_objective > 0.0 && slo_objective < 1.0) then
+      user_error "--slo-objective must be in (0, 1)";
+    if profile_hz < 1 then user_error "--profile-hz must be >= 1";
     let server =
       Server.create
         {
@@ -898,6 +995,10 @@ let serve_cmd =
           max_memory_mb;
           statedir_headroom_mb;
           fd_reserve;
+          slo_target_ms;
+          slo_objective;
+          profile_dir;
+          profile_hz;
           log = not quiet;
         }
     in
@@ -918,7 +1019,9 @@ let serve_cmd =
       $ tenant_max_running_arg $ deadline_grace_arg
       $ quarantine_threshold_arg $ quarantine_cooldown_arg $ cache_dir_arg
       $ cache_max_mb_arg $ state_dir_arg $ samples_arg $ max_memory_arg
-      $ statedir_headroom_arg $ fd_reserve_arg $ quiet_arg)
+      $ statedir_headroom_arg $ fd_reserve_arg $ slo_target_arg
+      $ slo_objective_arg $ profile_dir_arg $ serve_profile_hz_arg
+      $ quiet_arg)
 
 let client_cmd =
   let doc = "Talk to a running daemon (submit jobs, poll them, scrape metrics)." in
@@ -929,7 +1032,7 @@ let client_cmd =
       & info [] ~docv:"REQ"
           ~doc:
             "One of: submit, status, result, cancel, list, metrics, health, \
-             trace, events, ping, shutdown.")
+             slo, trace, events, ping, shutdown.")
   in
   let operand_arg =
     Arg.(
@@ -1010,8 +1113,20 @@ let client_cmd =
              privileged requests over $(b,--tcp) when the daemon runs \
              with $(b,--tcp-token).")
   in
+  let trace_id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-id" ] ~docv:"ID"
+          ~doc:
+            "Trace-context id for submit (16 hex digits). Every span the \
+             daemon records for the job is tagged with it, and the \
+             $(b,trace) request returns one merged Chrome trace under it. \
+             Minted automatically when omitted; the effective id is in \
+             the submit response.")
+  in
   let run socket tcp token req operand metric bound budget deadline priority
-      tenant samples seed wait_ retry =
+      tenant samples seed trace_id_opt wait_ retry =
     let need_operand what =
       match operand with
       | Some a -> a
@@ -1025,6 +1140,20 @@ let client_cmd =
           match bound with
           | Some b -> b
           | None -> user_error "submit requires --bound"
+        in
+        (* Every submission is traceable: honor --trace-id (validated
+           here, so a typo fails before touching the daemon) or mint
+           one. [client_ts] shares the daemon's monotonic epoch on the
+           same machine, giving the merged trace a client-submit span. *)
+        let trace_id =
+          match trace_id_opt with
+          | None -> Some (Trace_context.mint ())
+          | Some raw -> (
+            match Trace_context.normalize raw with
+            | Some id -> Some id
+            | None ->
+              user_error "--trace-id must be %d hex digits, got %S"
+                Trace_context.length raw)
         in
         let source =
           (* A registered name travels as a name; anything else is loaded
@@ -1048,6 +1177,8 @@ let client_cmd =
             tenant;
             samples;
             seed;
+            trace_id;
+            client_ts = Some (Clock.now ());
           }
       | "status" -> Sproto.Status (need_operand "job id")
       | "result" -> Sproto.Result (need_operand "job id")
@@ -1057,12 +1188,13 @@ let client_cmd =
       | "list" -> Sproto.List
       | "metrics" -> Sproto.Metrics
       | "health" -> Sproto.Health
+      | "slo" -> Sproto.Slo
       | "ping" -> Sproto.Ping
       | "shutdown" -> Sproto.Shutdown
       | other ->
         user_error
           "unknown request %s (expected submit, status, result, cancel, \
-           list, metrics, health, trace, events, ping or shutdown)"
+           list, metrics, health, slo, trace, events, ping or shutdown)"
           other
     in
     let c =
@@ -1135,8 +1267,211 @@ let client_cmd =
     Term.(
       const run $ socket_arg $ tcp_arg $ token_arg $ req_arg $ operand_arg
       $ metric_arg $ client_bound_arg $ budget_arg $ deadline_arg
-      $ priority_arg $ tenant_arg $ client_samples_arg $ seed_arg $ wait_flag
-      $ retry_flag)
+      $ priority_arg $ tenant_arg $ client_samples_arg $ seed_arg
+      $ trace_id_arg $ wait_flag $ retry_flag)
+
+(* --- top --- *)
+
+let top_cmd =
+  let doc =
+    "Live terminal dashboard over a running daemon: queue and slot \
+     occupancy, per-tenant SLO burn, resource gauges and recent jobs."
+  in
+  let interval_arg =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "interval" ] ~docv:"SECS" ~doc:"Refresh period.")
+  in
+  let once_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "once" ] ~doc:"Render a single snapshot and exit (no screen \
+                              clearing) — for scripts and CI.")
+  in
+  let top_json_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "json" ]
+          ~doc:
+            "With $(b,--once): emit the raw snapshot (health + slo + jobs) \
+             as one JSON object on stdout instead of the rendered board.")
+  in
+  let token_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "token" ] ~docv:"SECRET" ~doc:"Shared secret for TCP daemons.")
+  in
+  (* Tolerant readers: a field the daemon does not send renders as a
+     dash, never a crash — top must work against older daemons too. *)
+  let jint resp key =
+    match Option.bind (Json.member key resp) Json.int_opt with
+    | Some v -> string_of_int v
+    | None -> "-"
+  in
+  let jnum resp key = Option.bind (Json.member key resp) Json.number_opt in
+  let mib bytes = float_of_int bytes /. (1024.0 *. 1024.0) in
+  let render health slo jobs =
+    let b = Buffer.create 2048 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+    let build =
+      match Json.member "build" health with
+      | Some bj ->
+        let f k =
+          Option.value
+            (Option.bind (Json.member k bj) Json.string_opt)
+            ~default:"?"
+        in
+        Printf.sprintf "%s (%s)" (f "version") (f "commit")
+      | None -> "-"
+    in
+    line "accals top — up %.0fs — build %s — protocol v%s"
+      (Option.value (jnum health "uptime_seconds") ~default:0.0)
+      build
+      (jint health "protocol_version");
+    line "queue %s   running %s/%s (free %s)   conns %s   zombies %s"
+      (jint health "queue_depth") (jint health "running")
+      (jint health "slots") (jint health "slots_free")
+      (jint health "connections") (jint health "zombies");
+    (let gauge k =
+       match Option.bind (Json.member k health) Json.int_opt with
+       | Some v -> Printf.sprintf "%.1f MiB" (mib v)
+       | None -> "-"
+     in
+     line "mem %s   statedir %s   cache %s entries   fds %s/%s"
+       (gauge "memory_bytes") (gauge "statedir_bytes")
+       (jint health "cache_entries") (jint health "open_fds")
+       (jint health "fd_limit"));
+    line "shed %s   deadline %s   quarantined %s   resource %s"
+      (jint health "shed_total")
+      (jint health "deadline_exceeded_total")
+      (jint health "quarantined_total")
+      (jint health "resource_exhausted_total");
+    (match (jnum slo "target_ms", jnum slo "objective") with
+     | Some target, Some obj ->
+       line "tenants (SLO: %.0fms at %.3g):" target obj
+     | _ -> line "tenants:");
+    (match Json.member "tenants" slo with
+     | Some (Json.List tenants) when tenants <> [] ->
+       List.iter
+         (fun tn ->
+           let s k =
+             Option.value
+               (Option.bind (Json.member k tn) Json.string_opt)
+               ~default:"?"
+           in
+           let latency phase =
+             match Json.member "latency" tn with
+             | Some lat -> (
+               match Json.member phase lat with
+               | Some p -> (
+                 match Option.bind (Json.member "p99_ms" p) Json.number_opt with
+                 | Some ms -> Printf.sprintf "%.0fms" ms
+                 | None -> "-")
+               | None -> "-")
+             | None -> "-"
+           in
+           line "  %-12s good %-5s violated %-4s burn %-6.2f p99 wait %s run %s e2e %s"
+             (s "tenant") (jint tn "good") (jint tn "violated")
+             (Option.value (jnum tn "burn_rate") ~default:0.0)
+             (latency "queue_wait") (latency "run") (latency "end_to_end"))
+         tenants
+     | _ -> line "  (no traffic yet)");
+    (match Json.member "jobs" jobs with
+     | Some (Json.List all) ->
+       let n = List.length all in
+       let recent =
+         (* Last 8, newest last (list is submission-ordered). *)
+         let rec drop k = function
+           | l when k <= 0 -> l
+           | _ :: tl -> drop (k - 1) tl
+           | [] -> []
+         in
+         drop (max 0 (n - 8)) all
+       in
+       line "jobs (%d total, showing %d):" n (List.length recent);
+       List.iter
+         (fun j ->
+           let s k =
+             Option.value
+               (Option.bind (Json.member k j) Json.string_opt)
+               ~default:"-"
+           in
+           line "  %-24s %-9s %-10s tenant %-10s run %ss"
+             (s "job") (s "state") (s "circuit") (s "tenant")
+             (match jnum j "run_s" with
+              | Some r -> Printf.sprintf "%.2f" r
+              | None -> "-"))
+         recent
+     | _ -> ());
+    Buffer.contents b
+  in
+  let run socket tcp token interval once json =
+    if interval <= 0.0 then user_error "--interval must be > 0";
+    if json && not once then user_error "--json requires --once";
+    let c =
+      try
+        match tcp with
+        | Some hp ->
+          let host, port = parse_hostport hp in
+          Client.connect_tcp ?token host port
+        | None -> Client.connect_unix ?token socket
+      with Unix.Unix_error (e, _, _) ->
+        user_error "cannot connect to the daemon: %s" (Unix.error_message e)
+    in
+    Graceful.install ();
+    let fail msg =
+      Printf.eprintf "accals: %s\n" msg;
+      exit failure_exit
+    in
+    let snapshot () =
+      match (Client.health c, Client.slo c, Client.rpc c Sproto.List) with
+      | Ok health, Ok slo, Ok jobs -> (health, slo, jobs)
+      | Error msg, _, _ | _, Error msg, _ | _, _, Error msg -> fail msg
+    in
+    let tick () =
+      let health, slo, jobs = snapshot () in
+      if json then
+        print_string
+          (Json.to_string ~pretty:true
+             (Json.Obj
+                [
+                  ("health", health); ("slo", slo); ("jobs", jobs);
+                  ("build", Build_info.to_json ());
+                ])
+           ^ "\n")
+      else begin
+        if not once then
+          (* Clear screen + home, like top(1); never emitted in --once
+             mode so piped output stays clean. *)
+          print_string "\x1b[2J\x1b[H";
+        print_string (render health slo jobs)
+      end;
+      flush stdout
+    in
+    tick ();
+    if not once then begin
+      let stop = ref false in
+      while not !stop do
+        Unix.sleepf interval;
+        (match Graceful.stop_requested () with
+         | Some _ -> stop := true
+         | None -> tick ());
+      done
+    end;
+    Client.close c;
+    Graceful.run_hooks ();
+    match Graceful.stop_requested () with
+    | Some signal -> exit (Graceful.exit_code signal)
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ token_arg $ interval_arg $ once_flag
+      $ top_json_flag)
 
 let () =
   let doc = "Approximate logic synthesis with multi-LAC selection (AccALS)." in
@@ -1165,7 +1500,7 @@ let () =
     Cmd.group info
       [
         list_cmd; stats_cmd; synth_cmd; convert_cmd; verify_cmd; sweep_cmd;
-        serve_cmd; client_cmd;
+        serve_cmd; client_cmd; top_cmd;
       ]
   in
   let fail code fmt =

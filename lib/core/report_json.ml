@@ -74,6 +74,9 @@ let stats_json (s : Stats.snapshot) =
 let to_json ?(rounds = false) (r : Engine.report) =
   let base =
     [
+      (* Header first: which binary produced this report.  Lets a sweep
+         or CI artifact be tied back to an exact build after the fact. *)
+      ("build", Accals_telemetry.Build_info.to_json ());
       ("circuit", Json.String (Network.name r.Engine.original));
       ("metric", Json.String (Metric.kind_to_string r.Engine.metric));
       ("error_bound", Json.Float r.Engine.error_bound);

@@ -6,7 +6,9 @@
     telemetry {!Accals_telemetry.Json} printer) and carries everything the
     printf report block shows: headline numbers, ladder summary and
     events, incident list, certification outcome, runtime-pool stats and
-    phase times. Round rows are summarized by default ([~rounds:false])
+    phase times. A [build] header ({!Accals_telemetry.Build_info.to_json})
+    opens every document so an archived report can be tied back to the
+    exact binary that produced it. Round rows are summarized by default ([~rounds:false])
     because the CSV trace already carries them; pass [~rounds:true] to
     inline them. *)
 

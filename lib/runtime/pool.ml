@@ -71,12 +71,18 @@ let inline_cutoff = 50e-6
    disappears in the noise. *)
 let chunk_target_seconds = 200e-6
 
-let exec_chunk t c =
+let exec_chunk t me c =
   let b = c.c_batch in
+  (* Workers cannot be stack-sampled from domain 0, so each publishes
+     the phase label of the chunk it is running; the profiler's signal
+     handler snapshots these lock-free. Slot 0 is the submitting domain
+     (real stacks), so it stays unlabeled. *)
+  if me > 0 then Profiler.set_label me b.b_label;
   let started = Clock.now () in
   for i = c.c_lo to c.c_lo + c.c_len - 1 do
     b.b_task i
   done;
+  if me > 0 then Profiler.clear_label me;
   Stats.note_task_cost t.stats ~label:b.b_label ~tasks:c.c_len
     ~seconds:(Clock.now () -. started);
   Stats.add_tasks t.stats c.c_len;
@@ -108,7 +114,7 @@ let participate t me =
     drain_inbox t me;
     match Deque.pop t.slots.(me).deque with
     | Some c ->
-      exec_chunk t c;
+      exec_chunk t me c;
       own ()
     | None -> sweep 1
   and sweep k =
@@ -116,7 +122,7 @@ let participate t me =
       match Deque.steal t.slots.((me + k) mod n).deque with
       | Deque.Stolen c ->
         Stats.incr_steals t.stats;
-        exec_chunk t c;
+        exec_chunk t me c;
         own ()
       | Deque.Empty -> sweep (k + 1)
       | Deque.Retry ->
@@ -172,6 +178,11 @@ let create ~jobs =
       domains = [];
     }
   in
+  (* Workers report to whatever telemetry handle is effective on the
+     creating domain — in the daemon that is the per-job handle scoped
+     by [Telemetry.with_handle], so a job's pool spans land on that
+     job's tracer instead of a neighbours'. *)
+  let ambient = Telemetry.get () in
   if jobs > 1 then
     t.domains <-
       List.init (jobs - 1) (fun i ->
@@ -179,6 +190,7 @@ let create ~jobs =
               (* Worker i occupies trace lane i+1; the submitting domain
                  keeps tid 0 ("main"). *)
               Tracer.set_tid (i + 1);
+              Telemetry.set_local ambient;
               worker t (i + 1)));
   t
 

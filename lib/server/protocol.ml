@@ -1,4 +1,5 @@
 module Json = Accals_telemetry.Json
+module Trace_context = Accals_telemetry.Trace_context
 module Metric = Accals_metrics.Metric
 
 type source = Blif_text of string | Named of string
@@ -13,6 +14,15 @@ type job_spec = {
   tenant : string;
   samples : int option;
   seed : int;
+  trace_id : string option;
+      (* 16-hex trace-context id minted by the client (or forced with
+         --trace-id); every span the daemon records for this job is
+         tagged with it. *)
+  client_ts : float option;
+      (* The client's monotonic clock (seconds) at submit time. On the
+         same machine (Unix socket) this shares an epoch with the
+         daemon's clock, so the merged trace can show a client-submit
+         span covering the socket + queue admission latency. *)
 }
 
 type request =
@@ -25,6 +35,7 @@ type request =
   | Health
   | Trace of string
   | Events of string
+  | Slo
   | Ping
   | Shutdown
 
@@ -68,7 +79,14 @@ let request_to_json req =
       @ (match spec.samples with
          | Some s -> [ ("samples", Json.Int s) ]
          | None -> [])
-      @ if spec.seed <> 1 then [ ("seed", Json.Int spec.seed) ] else [])
+      @ (if spec.seed <> 1 then [ ("seed", Json.Int spec.seed) ] else [])
+      @ (match spec.trace_id with
+         | Some id -> [ ("trace_id", Json.String id) ]
+         | None -> [])
+      @
+      match spec.client_ts with
+      | Some ts -> [ ("client_ts", Json.Float ts) ]
+      | None -> [])
   | Status job -> obj [ ("req", Json.String "status"); ("job", Json.String job) ]
   | Result job -> obj [ ("req", Json.String "result"); ("job", Json.String job) ]
   | Cancel job -> obj [ ("req", Json.String "cancel"); ("job", Json.String job) ]
@@ -77,6 +95,7 @@ let request_to_json req =
   | Health -> obj [ ("req", Json.String "health") ]
   | Trace job -> obj [ ("req", Json.String "trace"); ("job", Json.String job) ]
   | Events job -> obj [ ("req", Json.String "events"); ("job", Json.String job) ]
+  | Slo -> obj [ ("req", Json.String "slo") ]
   | Ping -> obj [ ("req", Json.String "ping") ]
   | Shutdown -> obj [ ("req", Json.String "shutdown") ]
 
@@ -114,19 +133,29 @@ let spec_of_json v =
             | _ -> (
               match int_field "samples" with
               | Some s when s < 1 -> Error "submit: samples must be >= 1"
-              | samples ->
-                Ok
-                  {
-                    source;
-                    metric;
-                    bound;
-                    budget;
-                    deadline;
-                    priority = Option.value (int_field "priority") ~default:0;
-                    tenant = Option.value (str "tenant") ~default:"default";
-                    samples;
-                    seed = Option.value (int_field "seed") ~default:1;
-                  }))))))
+              | samples -> (
+                match str "trace_id" with
+                | Some raw when Trace_context.normalize raw = None ->
+                  Error
+                    (Printf.sprintf
+                       "submit: trace_id must be %d hex digits, got %S"
+                       Trace_context.length raw)
+                | trace_raw ->
+                  Ok
+                    {
+                      source;
+                      metric;
+                      bound;
+                      budget;
+                      deadline;
+                      priority = Option.value (int_field "priority") ~default:0;
+                      tenant = Option.value (str "tenant") ~default:"default";
+                      samples;
+                      seed = Option.value (int_field "seed") ~default:1;
+                      trace_id =
+                        Option.bind trace_raw Trace_context.normalize;
+                      client_ts = num "client_ts";
+                    })))))))
 
 let request_of_json v =
   match Option.bind (Json.member "req" v) Json.string_opt with
@@ -147,6 +176,7 @@ let request_of_json v =
     | "health" -> Ok Health
     | "trace" -> with_job (fun j -> Trace j)
     | "events" -> with_job (fun j -> Events j)
+    | "slo" -> Ok Slo
     | "ping" -> Ok Ping
     | "shutdown" -> Ok Shutdown
     | other -> Error (Printf.sprintf "unknown request %S" other))
@@ -192,7 +222,7 @@ let parse_request line = Result.map fst (parse_request_full line)
    destroy. *)
 let privileged = function
   | Result _ | Cancel _ | Trace _ | Events _ | Shutdown -> true
-  | Submit _ | Status _ | List | Metrics | Health | Ping -> false
+  | Submit _ | Status _ | List | Metrics | Health | Slo | Ping -> false
 
 let error_response msg =
   Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]

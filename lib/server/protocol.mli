@@ -50,6 +50,18 @@ type job_spec = {
   tenant : string;  (** fair-share identity; default ["default"] *)
   samples : int option;  (** [None]: the server default *)
   seed : int;  (** default 1 *)
+  trace_id : string option;
+      (** 16-hex trace-context id (see
+          {!Accals_telemetry.Trace_context}). The client mints one per
+          submission (or the user forces one with [--trace-id]); every
+          span the daemon records for the job — queue-wait, dispatch,
+          engine rounds, delivery — is tagged with it, so the [trace]
+          request returns one merged Chrome trace for the whole job.
+          Validated on parse: a malformed id rejects the submit. *)
+  client_ts : float option;
+      (** Client's monotonic clock (seconds) at submit. Comparable with
+          the daemon's clock on the same machine (Unix socket), letting
+          the merged trace include a client-submit span. *)
 }
 
 type request =
@@ -61,9 +73,14 @@ type request =
   | Metrics
   | Health
       (** load-balancer probe: queue depth, slots, cache size, shed /
-          deadline / quarantine counters, open fds *)
+          deadline / quarantine counters, open fds, uptime, build
+          identity *)
   | Trace of string
   | Events of string
+  | Slo
+      (** per-tenant SLO accounting: latency percentiles by phase,
+          failure breakdowns, rolling burn rate (server-wide, no job
+          payloads — unprivileged like [metrics]) *)
   | Ping
   | Shutdown
 

@@ -1,5 +1,6 @@
 module Json = Accals_telemetry.Json
 module Clock = Accals_telemetry.Clock
+module Trace_context = Accals_telemetry.Trace_context
 module Metric = Accals_metrics.Metric
 
 type state = Queued | Running | Done | Failed | Cancelled
@@ -15,21 +16,29 @@ type job = {
   id : string;
   seq : int;
   spec : Protocol.job_spec;
+  trace_id : string;  (* from the spec, or minted at admission *)
   circuit : string;
   digest : string;
   key : string;
   submitted_wall : float;  (* Unix epoch, for display *)
   submitted_mono : float;  (* Clock.now, for durations *)
+  lookup_s : float;  (* cache-lookup cost paid at admission *)
   deadline_mono : float option;  (* absolute Clock.now deadline *)
   cancel_flag : bool Atomic.t;
   mutable state : state;
-  mutable started_mono : float option;
+  mutable started_mono : float option;  (* picked by the dispatcher *)
+  mutable run_begin_mono : float option;  (* engine actually entered *)
   mutable finished_mono : float option;
+  mutable delivered_mono : float option;  (* first successful result fetch *)
   mutable cached : bool;
   mutable degraded : bool;
   mutable result : Cache.entry option;
   mutable failure : string option;
   mutable events : Json.t list;  (* newest first *)
+  mutable engine_trace : Json.t list;
+      (* The job's engine-side Chrome-trace events, already rebased to
+         absolute monotonic microseconds and relocated off the lifecycle
+         lane (see [attach_trace]); merged into [trace_events]. *)
 }
 
 type t = {
@@ -71,6 +80,7 @@ let id j = j.id
 let spec j = j.spec
 let key j = j.key
 let digest j = j.digest
+let trace_id j = j.trace_id
 let cancel_requested j = Atomic.get j.cancel_flag
 
 let push_event j name fields =
@@ -85,7 +95,7 @@ let push_event j name fields =
 
 let record_event t j name fields = locked t (fun () -> push_event j name fields)
 
-let submit t ~spec ~circuit ~digest ~key ?cached () =
+let submit t ~spec ~circuit ~digest ~key ?cached ?(lookup_s = 0.0) () =
   locked t (fun () ->
       let seq = t.next_seq in
       t.next_seq <- seq + 1;
@@ -101,22 +111,30 @@ let submit t ~spec ~circuit ~digest ~key ?cached () =
           id = Printf.sprintf "j-%06d-%016Lx" seq nonce;
           seq;
           spec;
+          trace_id =
+            (match spec.Protocol.trace_id with
+             | Some id -> id
+             | None -> Trace_context.mint ());
           circuit;
           digest;
           key;
           submitted_wall = Unix.gettimeofday ();
           submitted_mono = now_mono;
+          lookup_s;
           deadline_mono =
             Option.map (fun d -> now_mono +. d) spec.Protocol.deadline;
           cancel_flag = Atomic.make false;
           state = (match cached with Some _ -> Done | None -> Queued);
           started_mono = None;
+          run_begin_mono = None;
           finished_mono = None;
+          delivered_mono = None;
           cached = Option.is_some cached;
           degraded = false;
           result = cached;
           failure = None;
           events = [];
+          engine_trace = [];
         }
       in
       (match cached with
@@ -133,6 +151,7 @@ let submit t ~spec ~circuit ~digest ~key ?cached () =
           ("tenant", Json.String spec.Protocol.tenant);
           ("priority", Json.Int spec.Protocol.priority);
           ("cached", Json.Bool j.cached);
+          ("trace_id", Json.String j.trace_id);
         ];
       j)
 
@@ -209,6 +228,22 @@ let pick ?tenant_max_running t =
 
 let terminal j =
   match j.state with Done | Failed | Cancelled -> true | Queued | Running -> false
+
+let note_run_begin t j =
+  locked t (fun () ->
+      if j.run_begin_mono = None && not (terminal j) then begin
+        j.run_begin_mono <- Some (Clock.now ());
+        push_event j "run_begin" []
+      end)
+
+let note_delivered t j =
+  locked t (fun () ->
+      if j.delivered_mono = None && terminal j then begin
+        j.delivered_mono <- Some (Clock.now ());
+        push_event j "delivered" []
+      end)
+
+let attach_trace t j evs = locked t (fun () -> j.engine_trace <- evs)
 
 let cancel t j =
   locked t (fun () ->
@@ -369,32 +404,102 @@ let view t j =
 let result t j = locked t (fun () -> j.result)
 let events t j = locked t (fun () -> List.rev j.events)
 
+(* The per-job merged trace: lifecycle spans synthesized from the job's
+   timestamps on lane 0 ("lifecycle"), plus the engine's own events
+   (attached by the server, already rebased/relocated) on lanes 1..n.
+   Everything shares pid 1 and carries the job's trace_id in args, so
+   one file tells the job's whole story: client submit, cache lookup,
+   queue wait, dispatch, engine rounds/phases, delivery. *)
 let trace_events t j =
   locked t (fun () ->
       let us x = 1e6 *. x in
-      let span name ts_s dur_s =
+      let args extra =
+        ( "args",
+          Json.Obj
+            (("job", Json.String j.id)
+            :: ("trace_id", Json.String j.trace_id)
+            :: extra) )
+      in
+      let span ?(extra = []) name ts_s dur_s =
         Json.Obj
           [
             ("name", Json.String name);
             ("cat", Json.String "job");
             ("ph", Json.String "X");
             ("ts", Json.Float (us ts_s));
-            ("dur", Json.Float (us dur_s));
+            ("dur", Json.Float (us (Float.max 0.0 dur_s)));
             ("pid", Json.Int 1);
-            ("tid", Json.Int j.seq);
-            ("args", Json.Obj [ ("job", Json.String j.id) ]);
+            ("tid", Json.Int 0);
+            args extra;
+          ]
+      in
+      let instant ?(extra = []) name ts_s =
+        Json.Obj
+          [
+            ("name", Json.String name);
+            ("cat", Json.String "job");
+            ("ph", Json.String "i");
+            ("ts", Json.Float (us ts_s));
+            ("s", Json.String "t");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int 0);
+            args extra;
           ]
       in
       let now = Clock.now () in
+      (* The client's monotonic clock only shares an epoch with ours on
+         the same machine; an implausible gap (remote client, clock
+         mixup) drops the span rather than drawing a nonsense bar. *)
+      let client_submit =
+        match j.spec.Protocol.client_ts with
+        | Some c when c <= j.submitted_mono && j.submitted_mono -. c < 300.0
+          ->
+          [ span "client.submit" c (j.submitted_mono -. c) ]
+        | _ -> []
+      in
+      let cache_lookup =
+        if j.lookup_s > 0.0 then
+          [
+            span "cache.lookup" j.submitted_mono j.lookup_s
+              ~extra:[ ("hit", Json.Bool j.cached) ];
+          ]
+        else []
+      in
       let queued_end = Option.value j.started_mono ~default:now in
-      let spans =
-        span "queued" j.submitted_mono (queued_end -. j.submitted_mono)
-        ::
-        (match j.started_mono with
-         | None -> []
-         | Some s ->
-           let e = Option.value j.finished_mono ~default:now in
-           [ span (state_to_string j.state) s (e -. s) ])
+      let queue_wait =
+        [ span "queue.wait" j.submitted_mono (queued_end -. j.submitted_mono) ]
+      in
+      let dispatch =
+        match j.started_mono with
+        | None -> []
+        | Some s ->
+          let e = Option.value j.run_begin_mono ~default:s in
+          [ span "dispatch" s (e -. s) ]
+      in
+      let run =
+        match (j.cached, j.started_mono) with
+        | true, _ | _, None -> []
+        | false, Some s ->
+          let b = Option.value j.run_begin_mono ~default:s in
+          let e = Option.value j.finished_mono ~default:now in
+          [ span "run" b (e -. b) ]
+      in
+      let terminal_mark =
+        match j.finished_mono with
+        | None -> []
+        | Some f ->
+          [
+            instant (state_to_string j.state) f
+              ~extra:
+                (match j.failure with
+                 | Some msg -> [ ("error", Json.String msg) ]
+                 | None -> []);
+          ]
+      in
+      let delivery =
+        match (j.finished_mono, j.delivered_mono) with
+        | Some f, Some d -> [ span "result.delivery" f (d -. f) ]
+        | _ -> []
       in
       let meta =
         Json.Obj
@@ -402,11 +507,13 @@ let trace_events t j =
             ("name", Json.String "thread_name");
             ("ph", Json.String "M");
             ("pid", Json.Int 1);
-            ("tid", Json.Int j.seq);
-            ("args", Json.Obj [ ("name", Json.String j.id) ]);
+            ("tid", Json.Int 0);
+            ("args", Json.Obj [ ("name", Json.String "lifecycle") ]);
           ]
       in
-      meta :: spans)
+      (meta :: client_submit)
+      @ cache_lookup @ queue_wait @ dispatch @ run @ terminal_mark @ delivery
+      @ j.engine_trace)
 
 let counts t =
   locked t (fun () ->

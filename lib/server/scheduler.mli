@@ -44,10 +44,14 @@ val submit :
   digest:string ->
   key:string ->
   ?cached:Cache.entry ->
+  ?lookup_s:float ->
   unit ->
   job
 (** Admit a job. With [cached] it is born [Done] with that result and
-    marked as a cache hit. [circuit] is the display name. *)
+    marked as a cache hit. [circuit] is the display name. [lookup_s] is
+    the cache-lookup cost the daemon paid at admission, drawn as the
+    "cache.lookup" span in the merged trace. A job without a
+    [spec.trace_id] gets one minted here, so every job is traceable. *)
 
 val find : t -> string -> job option
 val all : t -> job list
@@ -61,6 +65,11 @@ val id : job -> string
 val spec : job -> Protocol.job_spec
 val key : job -> string
 val digest : job -> string
+
+val trace_id : job -> string
+(** The job's trace-context id: the client's, or minted at admission.
+    Always a valid {!Accals_telemetry.Trace_context} id. *)
+
 val state : t -> job -> state
 
 val active_by_key : t -> string -> budget:float option -> job option
@@ -82,6 +91,22 @@ val cancel :
   t -> job -> [ `Cancelled_queued | `Cancel_requested | `Already_finished ]
 (** Cancel a queued job immediately, or request cooperative cancellation
     of a running one. *)
+
+val note_run_begin : t -> job -> unit
+(** The worker domain is about to enter the engine: closes the
+    "dispatch" span (pick -> run) in the merged trace and logs a
+    [run_begin] event. Idempotent; no-op once terminal. *)
+
+val note_delivered : t -> job -> unit
+(** A client fetched the job's result for the first time: closes the
+    "result.delivery" span. Idempotent; no-op until terminal. *)
+
+val attach_trace : t -> job -> Json.t list -> unit
+(** Attach the job's engine-side Chrome-trace events, already rebased
+    to absolute monotonic microseconds and relocated off lane 0 (the
+    server uses {!Accals_telemetry.Tracer.events_json} with the
+    tracer's epoch and a tid offset). They are appended verbatim to
+    {!trace_events}. *)
 
 val finish : t -> job -> Cache.entry -> degraded:bool -> unit
 val fail : t -> job -> string -> unit
@@ -149,9 +174,13 @@ val events : t -> job -> Json.t list
 (** Chronological. *)
 
 val trace_events : t -> job -> Json.t list
-(** The job's lifecycle as Chrome trace-event objects (one "X" span for
-    the queued phase, one for the running phase, instants for the rest)
-    — loadable in Perfetto next to any engine trace. *)
+(** The job's merged Chrome trace: lifecycle spans synthesized from its
+    timestamps on lane 0 — [client.submit] (when the client sent a
+    plausible same-machine [client_ts]), [cache.lookup], [queue.wait],
+    [dispatch], [run], a terminal-state instant and [result.delivery] —
+    followed by the engine events attached via {!attach_trace} on lanes
+    1..n. One pid, every event tagged with the job's [trace_id];
+    loadable in Perfetto as a single coherent timeline. *)
 
 val counts : t -> (state * int) list
 (** Jobs per state, for gauges. *)

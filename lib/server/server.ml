@@ -1,6 +1,10 @@
 module Json = Accals_telemetry.Json
 module Clock = Accals_telemetry.Clock
 module Metrics = Accals_telemetry.Metrics
+module Telemetry = Accals_telemetry.Telemetry
+module Tracer = Accals_telemetry.Tracer
+module Profiler = Accals_telemetry.Profiler
+module Build_info = Accals_telemetry.Build_info
 module Checkpoint = Accals_resilience.Checkpoint
 module Network = Accals_network.Network
 module Blif = Accals_io.Blif
@@ -31,6 +35,12 @@ type config = {
   max_memory_mb : int;
   statedir_headroom_mb : int;
   fd_reserve : int;
+  slo_target_ms : float;
+  slo_objective : float;
+  profile_dir : string option;
+      (** run the sampling profiler for the daemon's lifetime and write
+          folded stacks + a summary here at drain *)
+  profile_hz : int;
   log : bool;
 }
 
@@ -54,6 +64,10 @@ let default_config =
     max_memory_mb = 0;
     statedir_headroom_mb = 0;
     fd_reserve = 8;
+    slo_target_ms = Slo.default_spec.Slo.target_ms;
+    slo_objective = Slo.default_spec.Slo.objective;
+    profile_dir = None;
+    profile_hz = 97;
     log = true;
   }
 
@@ -135,6 +149,11 @@ type t = {
           one per refused connection *)
   stopped : bool Atomic.t;
   started_mono : float;
+  slo : Slo.t;
+  lanes : (string, int) Hashtbl.t;
+      (** job id -> concurrency-slot lane, assigned at dispatch; drives
+          the per-slot lanes of the server-wide trace (main-loop only) *)
+  mutable profiler : Profiler.t option;
   reg : Metrics.t;
   m_submitted : Metrics.counter;
   m_cache_hit_mem : Metrics.counter;
@@ -288,6 +307,16 @@ let create cfg =
       fd_shedding = false;
       stopped = Atomic.make false;
       started_mono = Clock.now ();
+      slo =
+        Slo.create
+          ~spec:
+            {
+              Slo.target_ms = cfg.slo_target_ms;
+              Slo.objective = cfg.slo_objective;
+            }
+          ();
+      lanes = Hashtbl.create 16;
+      profiler = None;
       reg;
       m_submitted =
         counter "accals_server_jobs_submitted_total" "Jobs admitted";
@@ -388,7 +417,9 @@ let update_gauges t =
 
 let metrics t =
   update_gauges t;
-  Metrics.snapshot t.reg
+  (* The SLO module keeps its own registry (per-tenant instruments are
+     created on demand there); the exposition is the union. *)
+  Metrics.merge (Metrics.snapshot t.reg) (Slo.registry_snapshot t.slo)
 
 (* -- incidents and overload hints ---------------------------------------- *)
 
@@ -549,6 +580,7 @@ let admit t (spec : Protocol.job_spec) =
       Cache.key ~digest ~metric:spec.Protocol.metric ~bound:spec.Protocol.bound
         ~samples ~seed:spec.Protocol.seed
     in
+    let lookup_begin = Clock.now () in
     (match Scheduler.active_by_key t.sched key ~budget:spec.Protocol.budget with
      | Some j ->
        let done_ = Scheduler.state t.sched j = Scheduler.Done in
@@ -561,9 +593,10 @@ let admit t (spec : Protocol.job_spec) =
        | Some entry ->
          Metrics.incr t.m_submitted;
          Metrics.incr t.m_cache_hit_disk;
+         let lookup_s = Clock.now () -. lookup_begin in
          let j =
            Scheduler.submit t.sched ~spec ~circuit:(Network.name net) ~digest
-             ~key ~cached:entry ()
+             ~key ~cached:entry ~lookup_s ()
          in
          log t "cache hit (disk): %s -> %s" (Network.name net) (Scheduler.id j);
          Ok (j, `Cached)
@@ -573,11 +606,14 @@ let admit t (spec : Protocol.job_spec) =
          | Some retry_after_ms ->
            log t "refused %s: fingerprint %s is quarantined"
              (Network.name net) fp;
+           Slo.observe_shed t.slo ~tenant:spec.Protocol.tenant
+             ~kind:"quarantined";
            Error (Quarantined { fingerprint = fp; retry_after_ms })
          | None ->
            let shed scope =
              t.n_shed <- t.n_shed + 1;
              Metrics.incr t.m_shed;
+             Slo.observe_shed t.slo ~tenant:spec.Protocol.tenant ~kind:"shed";
              let retry_after_ms = retry_after_ms t in
              log t "shed %s (%s; retry in ~%dms)" (Network.name net) scope
                retry_after_ms;
@@ -597,9 +633,10 @@ let admit t (spec : Protocol.job_spec) =
              else begin
                Metrics.incr t.m_submitted;
                Metrics.incr t.m_cache_miss;
+               let lookup_s = Clock.now () -. lookup_begin in
                let j =
                  Scheduler.submit t.sched ~spec ~circuit:(Network.name net)
-                   ~digest ~key ()
+                   ~digest ~key ~lookup_s ()
                in
                retain_net t (Scheduler.id j) net;
                log t "queued %s as %s (key %s)" (Network.name net)
@@ -630,8 +667,42 @@ let restore_queue t =
 
 (* -- workers ------------------------------------------------------------- *)
 
+(* Engine traces can run to hundreds of thousands of events on a long
+   synthesis; the merged per-job trace keeps the daemon's memory bounded
+   by only attaching traces below this count (the run/lifecycle spans
+   are always there — it is the per-round detail that is shed). *)
+let max_attached_trace_events = 20_000
+
 let worker_body t job net =
   let spec = Scheduler.spec job in
+  Scheduler.note_run_begin t.sched job;
+  (* Every engine observation for this job — spans, structured events,
+     round progress — flows through a job-private telemetry handle, so
+     concurrent jobs never interleave in each other's traces.  The
+     job's pool workers inherit it (Pool.create captures the creating
+     domain's effective handle). *)
+  let tr = Tracer.create () in
+  let last_progress = ref 0.0 in
+  let handle =
+    Telemetry.make ~tracer:tr
+      ~on_event:(fun ev ->
+        Scheduler.record_event t.sched job "engine" [ ("detail", ev) ])
+      ~on_progress:(fun ~round ~max_rounds ~error ~area ->
+        (* Heartbeat, not a firehose: at most ~2 progress events per
+           second land on the job's event log, however fast rounds go. *)
+        let now = Clock.now () in
+        if now -. !last_progress >= 0.5 then begin
+          last_progress := now;
+          Scheduler.record_event t.sched job "progress"
+            [
+              ("round", Json.Int round);
+              ("max_rounds", Json.Int max_rounds);
+              ("error", Json.Float error);
+              ("area", Json.Float area);
+            ]
+        end)
+      ()
+  in
   (try
      let samples =
        Option.value spec.Protocol.samples ~default:t.cfg.default_samples
@@ -654,8 +725,9 @@ let worker_body t job net =
        if Scheduler.cancel_requested job then raise Job_cancelled
      in
      let report =
-       Engine.run ~config ~checkpoint net ~metric:spec.Protocol.metric
-         ~error_bound:spec.Protocol.bound
+       Telemetry.with_handle handle (fun () ->
+           Engine.run ~config ~checkpoint net ~metric:spec.Protocol.metric
+             ~error_bound:spec.Protocol.bound)
      in
      match
        List.find_map
@@ -743,13 +815,44 @@ let worker_body t job net =
    | e ->
      Scheduler.fail t.sched job (Printexc.to_string e);
      Metrics.incr (finished_counter t "failed"));
+  (* The engine trace is attached on failure too — a post-mortem wants
+     the rounds that led up to the crash, not just the happy path. *)
+  if Tracer.event_count tr > 0 && Tracer.event_count tr <= max_attached_trace_events
+  then
+    Scheduler.attach_trace t.sched job
+      (Tracer.events_json ~ts_offset_us:(Tracer.epoch_us tr) ~tid_offset:1
+         ~pid:1
+         ~thread_name:(fun tid ->
+           if tid = 0 then "engine" else Printf.sprintf "engine-worker-%d" tid)
+         tr);
   (let v = Scheduler.view t.sched job in
    Option.iter (Metrics.observe t.h_wait) v.Scheduler.v_wait_s;
    Option.iter
      (fun s ->
        Metrics.observe t.h_run s;
        observe_run t s)
-     v.Scheduler.v_run_s)
+     v.Scheduler.v_run_s;
+   (* SLO accounting: good/violated on success, a bounded-cardinality
+      failure kind otherwise (free-form exception text must not mint
+      Prometheus label values). *)
+   let failure =
+     match Scheduler.state t.sched job with
+     | Scheduler.Done -> None
+     | Scheduler.Cancelled -> Some "cancelled"
+     | Scheduler.Failed ->
+       Some
+         (match v.Scheduler.v_failure with
+          | Some f
+            when f = Scheduler.deadline_failure
+                 || f = Scheduler.resource_failure ->
+            f
+          | _ -> "error")
+     | Scheduler.Queued | Scheduler.Running -> Some "error"
+   in
+   let wait_s = Option.value v.Scheduler.v_wait_s ~default:0.0 in
+   let run_s = Option.value v.Scheduler.v_run_s ~default:0.0 in
+   Slo.observe_job t.slo ~tenant:v.Scheduler.v_tenant ?failure ~wait_s ~run_s
+     ~total_s:(wait_s +. run_s) ())
 
 (* Join only domains whose body has finished ([w_completed]): a
    scheduler-state check would deadlock-adjacent-block on a worker whose
@@ -793,8 +896,15 @@ let sweep_deadlines t =
         record_incident t
           (Incident.Deadline_exceeded
              { job = Scheduler.id job; phase; deadline_s });
-        (* An expired queued job never starts; drop its parsed circuit. *)
-        if phase = "queued" then ignore (take_net t (Scheduler.id job)))
+        (* An expired queued job never starts; drop its parsed circuit.
+           It also never reaches a worker, so its SLO verdict lands
+           here (a running job's lands in the worker's epilogue). *)
+        if phase = "queued" then begin
+          ignore (take_net t (Scheduler.id job));
+          Slo.observe_shed t.slo
+            ~tenant:(Scheduler.spec job).Protocol.tenant
+            ~kind:Scheduler.deadline_failure
+        end)
     (Scheduler.expired t.sched ~now);
   let wedged, alive =
     List.partition
@@ -833,6 +943,16 @@ let dispatch t =
       | None -> Scheduler.fail t.sched job "internal error: circuit not retained"
       | Some net ->
         log t "start %s" (Scheduler.id job);
+        (* Stable slot lane for the server-wide trace: the smallest
+           lane no live worker holds, so a job's run span lands on the
+           concurrency slot it actually occupied. *)
+        (let used =
+           List.filter_map
+             (fun w -> Hashtbl.find_opt t.lanes (Scheduler.id w.w_job))
+             (t.workers @ t.zombies)
+         in
+         let rec free lane = if List.mem lane used then free (lane + 1) else lane in
+         Hashtbl.replace t.lanes (Scheduler.id job) (free 1));
         let completed = Atomic.make false in
         let h =
           Domain_hub.submit t.hub (fun () ->
@@ -913,7 +1033,13 @@ let handle_submit t spec =
     in
     Protocol.ok_response
       (fields
-      @ [ ("cached", Json.Bool cached); ("coalesced", Json.Bool coalesced) ])
+      @ [
+          ("cached", Json.Bool cached);
+          ("coalesced", Json.Bool coalesced);
+          (* The effective trace-context id (the client's, or minted at
+             admission) — what to pass to the [trace] request. *)
+          ("trace_id", Json.String (Scheduler.trace_id j));
+        ])
 
 let handle_request t req =
   match req with
@@ -928,6 +1054,8 @@ let handle_request t req =
         in
         match Scheduler.result t.sched j with
         | Some e ->
+          (* First successful fetch closes the result.delivery span. *)
+          Scheduler.note_delivered t.sched j;
           Protocol.ok_response
             (fields
             @ [ ("report", e.Cache.report); ("blif", Json.String e.Cache.blif) ])
@@ -961,6 +1089,10 @@ let handle_request t req =
     with_job t id (fun j ->
         Protocol.ok_response
           [ ("events", Json.List (Scheduler.events t.sched j)) ])
+  | Protocol.Slo -> (
+    match Slo.to_json t.slo with
+    | Json.Obj fields -> Protocol.ok_response fields
+    | other -> Protocol.ok_response [ ("slo", other) ])
   | Protocol.Health ->
     (* Everything a load balancer or the CI soak needs in one cheap,
        unprivileged round-trip.  [open_fds] exposes the daemon's own fd
@@ -994,6 +1126,11 @@ let handle_request t req =
         ("resource_exhausted_total", Json.Int t.n_resource);
         ("zombies_leaked_total", Json.Int t.n_zombies_leaked);
         ("uptime_s", Json.Float (Clock.now () -. t.started_mono));
+        (* [uptime_seconds] is the documented name; [uptime_s] stays for
+           existing probes. *)
+        ("uptime_seconds", Json.Float (Clock.now () -. t.started_mono));
+        ("protocol_version", Json.Int Protocol.version);
+        ("build", Build_info.to_json ());
         ("open_fds", Json.Int open_fds);
         ("fd_limit",
          Json.Int (Option.value (Budget.Fd.limit ()) ~default:(-1)));
@@ -1027,6 +1164,7 @@ let request_name = function
   | Protocol.Health -> "health"
   | Protocol.Trace _ -> "trace"
   | Protocol.Events _ -> "events"
+  | Protocol.Slo -> "slo"
   | Protocol.Ping -> "ping"
   | Protocol.Shutdown -> "shutdown"
 
@@ -1246,7 +1384,79 @@ let write_text_file path contents =
   output_string oc contents;
   close_out oc
 
+(* The server-wide trace: every job's lifecycle spans on shared lanes.
+   Admission-side spans (client.submit, cache.lookup, queue.wait,
+   dispatch) stack on lane 0; the run and everything after it lands on
+   the concurrency slot the job actually occupied, so slot contention is
+   visible at a glance.  Per-round engine detail stays in the per-job
+   traces — this is the fleet view, not the microscope. *)
+let server_trace t =
+  let admission_span name =
+    List.mem name [ "client.submit"; "cache.lookup"; "queue.wait"; "dispatch" ]
+  in
+  let max_lane = ref 0 in
+  let events =
+    List.concat_map
+      (fun j ->
+        let lane =
+          Option.value (Hashtbl.find_opt t.lanes (Scheduler.id j)) ~default:0
+        in
+        if lane > !max_lane then max_lane := lane;
+        List.filter_map
+          (fun ev ->
+            match (Json.member "ph" ev, Json.member "tid" ev, ev) with
+            | Some (Json.String "M"), _, _ -> None
+            | _, Some (Json.Int 0), Json.Obj fields ->
+              let name =
+                match Json.member "name" ev with
+                | Some (Json.String n) -> n
+                | _ -> ""
+              in
+              let tid = if admission_span name then 0 else lane in
+              Some
+                (Json.Obj
+                   (List.map
+                      (fun (k, v) ->
+                        if k = "tid" then (k, Json.Int tid) else (k, v))
+                      fields))
+            | _ -> None (* engine lanes: per-job traces only *))
+          (Scheduler.trace_events t.sched j))
+      (Scheduler.all t.sched)
+  in
+  let meta tid name =
+    Json.Obj
+      [
+        ("ph", Json.String "M");
+        ("name", Json.String "thread_name");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.String name) ]);
+      ]
+  in
+  meta 0 "admission"
+  :: List.init !max_lane (fun i -> meta (i + 1) (Printf.sprintf "slot-%d" (i + 1)))
+  @ events
+
 let drain t =
+  (* Stop sampling before teardown I/O: past this point no signal can
+     interrupt the artifact writes, and the profile covers exactly the
+     serving lifetime. *)
+  (match t.profiler with
+   | None -> ()
+   | Some p ->
+     t.profiler <- None;
+     Profiler.stop p;
+     Option.iter
+       (fun dir ->
+         ensure_dir dir;
+         (try Profiler.write_folded p (Filename.concat dir "server.folded")
+          with Sys_error _ -> ());
+         try
+           Json.write_file
+             (Filename.concat dir "server.profile.json")
+             (Profiler.summary p)
+         with Sys_error _ -> ())
+       t.cfg.profile_dir);
   log t "shutting down: %d connection(s), %d worker(s)" (List.length t.conns)
     (List.length t.workers);
   (* Checkpoint unfinished work first, then cancel it: a restart with the
@@ -1365,7 +1575,16 @@ let drain t =
                   ("displayTimeUnit", Json.String "ms");
                 ])
          with Sys_error _ -> ())
-       (Scheduler.all t.sched));
+       (Scheduler.all t.sched);
+     try
+       Json.write_file
+         (Filename.concat dir "server.trace.json")
+         (Json.Obj
+            [
+              ("traceEvents", Json.List (server_trace t));
+              ("displayTimeUnit", Json.String "ms");
+            ])
+     with Sys_error _ -> ());
   List.iter (fun c -> flush_outbox_closing t c) t.conns;
   List.iter (fun c -> close_conn t c) t.conns;
   (try Unix.close t.unix_listener with Unix.Unix_error _ -> ());
@@ -1378,6 +1597,16 @@ let drain t =
   log t "bye"
 
 let run t =
+  (match t.cfg.profile_dir with
+   | None -> ()
+   | Some _ -> (
+     (* CPU-time sampling: SIGPROF only fires while the daemon burns
+        CPU, so an idle select loop costs nothing and never has its
+        blocking syscalls interrupted. *)
+     try
+       t.profiler <-
+         Some (Profiler.start ~hz:t.cfg.profile_hz ~mode:Profiler.Cpu ())
+     with Invalid_argument msg -> log t "profiler not started: %s" msg));
   restore_queue t;
   let listeners =
     t.unix_listener

@@ -110,6 +110,17 @@ type config = {
           connections are refused with a structured
           [code = "resource_exhausted"] error once accepting one more
           would leave less than this under the soft [RLIMIT_NOFILE]. *)
+  slo_target_ms : float;
+      (** end-to-end latency a job must beat to count as {e good} in
+          the per-tenant SLO accounting (see {!Slo}) *)
+  slo_objective : float;
+      (** target good fraction in (0, 1); drives the burn-rate
+          denominator *)
+  profile_dir : string option;
+      (** run the sampling {!Accals_telemetry.Profiler} (CPU mode) for
+          the daemon's lifetime and write [server.folded] +
+          [server.profile.json] here at shutdown; [None] disables *)
+  profile_hz : int;  (** profiler sampling rate *)
   log : bool;  (** chatter on stderr *)
 }
 
@@ -120,7 +131,9 @@ val default_config : config
     [deadline_grace = 2.0], [quarantine_threshold = 3],
     [quarantine_cooldown = 300.0], no cache, [cache_max_bytes = 0], no
     state dir, [default_samples = 2048], [max_memory_mb = 0],
-    [statedir_headroom_mb = 0], [fd_reserve = 8], logging on. *)
+    [statedir_headroom_mb = 0], [fd_reserve = 8],
+    [slo_target_ms = 30000.0], [slo_objective = 0.99], no profiling,
+    [profile_hz = 97], logging on. *)
 
 type t
 

@@ -1,0 +1,27 @@
+(* Build/runtime identity stamped into health responses and report
+   headers, so a trace or incident can be tied back to the binary that
+   produced it. There is no build-time code generation in this project,
+   so the commit id comes from the environment (CI exports it as
+   ACCALS_BUILD_COMMIT when building release artifacts) and falls back
+   to "unknown" for local builds. *)
+
+let version = "0.10.0"
+
+let commit =
+  match Sys.getenv_opt "ACCALS_BUILD_COMMIT" with
+  | Some c when c <> "" -> c
+  | _ -> "unknown"
+
+let ocaml = Sys.ocaml_version
+
+let identity () =
+  Printf.sprintf "accals %s (%s, ocaml %s)" version commit ocaml
+
+let to_json () =
+  Json.Obj
+    [
+      ("version", Json.String version);
+      ("commit", Json.String commit);
+      ("ocaml", Json.String ocaml);
+      ("word_size", Json.Int Sys.word_size);
+    ]

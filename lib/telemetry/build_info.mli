@@ -1,0 +1,20 @@
+(** Build/runtime identity for health responses and report headers.
+
+    Ties observability artifacts (traces, incidents, reports) back to
+    the binary that produced them. *)
+
+val version : string
+(** The accals release version. *)
+
+val commit : string
+(** Source commit id, from [ACCALS_BUILD_COMMIT] in the environment at
+    process start (CI exports it); ["unknown"] for local builds. *)
+
+val ocaml : string
+(** Compiler version the binary was built with. *)
+
+val identity : unit -> string
+(** One-line human-readable identity string. *)
+
+val to_json : unit -> Json.t
+(** [{"version": ..., "commit": ..., "ocaml": ..., "word_size": ...}] *)

@@ -2,6 +2,12 @@ external now_ns : unit -> (int64[@unboxed])
   = "accals_monotonic_ns_byte" "accals_monotonic_ns"
 [@@noalloc]
 
+external cpu_ns : unit -> (int64[@unboxed])
+  = "accals_process_cputime_ns_byte" "accals_process_cputime_ns"
+[@@noalloc]
+
 let now () = Int64.to_float (now_ns ()) *. 1e-9
+
+let cpu () = Int64.to_float (cpu_ns ()) *. 1e-9
 
 let ns_to_us ns = Int64.to_float ns /. 1e3

@@ -34,7 +34,43 @@ let create () = { mutex = Mutex.create (); table = Hashtbl.create 32; order = []
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
+(* Prometheus identifier grammar: metric names admit [a-zA-Z_:][a-zA-Z0-9_:]*,
+   label names [a-zA-Z_][a-zA-Z0-9_]* (and no colons). A bad name silently
+   poisons the whole exposition for every scraper, so reject it at
+   registration time where the call site is on the stack. *)
+let valid_metric_name name =
+  String.length name > 0
+  && (match name.[0] with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+      | _ -> false)
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       name
+
+let valid_label_name name =
+  String.length name > 0
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+         | _ -> false)
+       name
+  (* "__"-prefixed label names are reserved for Prometheus internals. *)
+  && not (String.length name >= 2 && name.[0] = '_' && name.[1] = '_')
+
 let register t name labels help make =
+  if not (valid_metric_name name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  List.iter
+    (fun (k, _) ->
+      if not (valid_label_name k) then
+        invalid_arg
+          (Printf.sprintf "Metrics: invalid label name %S on metric %s" k name))
+    labels;
   Mutex.lock t.mutex;
   let entry =
     match Hashtbl.find_opt t.table (name, labels) with
@@ -211,6 +247,19 @@ let prom_label_value v =
     v;
   Buffer.contents buf
 
+(* HELP text uses a smaller escape set than label values: backslash and
+   newline only (a raw newline would terminate the comment mid-text). *)
+let prom_help_text h =
+  let buf = Buffer.create (String.length h + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    h;
+  Buffer.contents buf
+
 let prom_labels = function
   | [] -> ""
   | labels ->
@@ -239,8 +288,7 @@ let to_prometheus snap =
       let members = List.filter (fun s -> s.name = family) snap in
       let first = List.hd members in
       if first.help <> "" then
-        Printf.bprintf buf "# HELP %s %s\n" family
-          (String.map (fun c -> if c = '\n' then ' ' else c) first.help);
+        Printf.bprintf buf "# HELP %s %s\n" family (prom_help_text first.help);
       Printf.bprintf buf "# TYPE %s %s\n" family (value_kind first.value);
       List.iter
         (fun s ->

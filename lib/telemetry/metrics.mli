@@ -35,10 +35,18 @@ type t
 
 val create : unit -> t
 
+val valid_metric_name : string -> bool
+(** Prometheus metric-name grammar: [[a-zA-Z_:][a-zA-Z0-9_:]*]. *)
+
+val valid_label_name : string -> bool
+(** Prometheus label-name grammar: [[a-zA-Z_][a-zA-Z0-9_]*] (no colons). *)
+
 val counter : t -> ?help:string -> ?labels:labels -> string -> counter
 (** Register (or fetch) a counter. Raises [Invalid_argument] if the
     (name, labels) pair is already registered as a different instrument
-    kind. *)
+    kind, if the metric name is not a valid Prometheus identifier, or if
+    any label name is invalid (registration-time rejection keeps a single
+    bad name from poisoning the whole exposition). *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
@@ -94,7 +102,10 @@ val find : snapshot -> ?labels:labels -> string -> value option
 val to_prometheus : snapshot -> string
 (** Prometheus text exposition format (version 0.0.4): one [# HELP] and
     [# TYPE] line per family, samples grouped by family, histograms
-    expanded to cumulative [_bucket{le=...}] plus [_sum]/[_count]. *)
+    expanded to cumulative [_bucket{le=...}] plus [_sum]/[_count].
+    Label values are escaped (backslash, double-quote, newline), HELP
+    text escapes backslash and newline, so arbitrary strings round-trip
+    safely. *)
 
 val to_jsonl : snapshot -> string
 (** One JSON object per line, one line per sample:

@@ -1,0 +1,69 @@
+(** Sampling profiler with flamegraph-compatible folded-stack output.
+
+    An interval timer (ITIMER_PROF for cpu time, ITIMER_REAL for wall
+    time) delivers SIGPROF/SIGALRM at a configurable rate. OCaml 5
+    runs signal handlers on domain 0 at safepoints, so each tick
+    captures two things:
+
+    - a real [Printexc] callstack of the handling domain ("main" rows
+      in the folded output), and
+    - a lock-free snapshot of every worker domain's published phase
+      label ("worker-N;phase" rows) — workers cannot be stack-sampled
+      from another domain, so they publish what they are doing into a
+      fixed atomic slot indexed by their {!Tracer} tid instead (see
+      {!set_label}; the pool and phase timers do this automatically).
+
+    A [Gc.alarm] additionally records cumulative allocation at the end
+    of every major collection, giving an allocation-rate series.
+
+    Determinism contract: like the rest of the telemetry layer, the
+    profiler only observes. Sampling on or off never changes synthesis
+    results — the overhead is bounded and gated by [bench observe].
+
+    The interval timer and signal disposition are process-global:
+    at most one profiler may run at a time, started and stopped from
+    the main domain. *)
+
+type mode =
+  | Cpu  (** ITIMER_PROF: ticks while the process burns CPU. *)
+  | Wall  (** ITIMER_REAL: ticks in real time, even when blocked. *)
+
+val mode_name : mode -> string
+val mode_of_string : string -> mode option
+
+type t
+
+val start : ?hz:int -> ?mode:mode -> ?max_samples:int -> unit -> t
+(** Install the signal handler, arm the interval timer at [hz]
+    samples/second (default 97 — prime, to avoid phase-locking with
+    periodic work) and register the Gc alarm. Raises
+    [Invalid_argument] if [hz] is out of range or a profiler is
+    already running. After [max_samples] captured samples further
+    ticks are counted but dropped (memory bound). *)
+
+val stop : t -> unit
+(** Disarm the timer, restore the previous signal disposition, delete
+    the Gc alarm and freeze the counters. Idempotent. *)
+
+val ticks : t -> int
+val sample_count : t -> int
+val dropped : t -> int
+
+val folded : t -> string
+(** Folded stacks ("frame;frame;... count", root first), rows sorted,
+    ready for [flamegraph.pl] or speedscope. *)
+
+val write_folded : t -> string -> unit
+
+val summary : t -> Json.t
+(** Mode, rate, tick/sample/drop counts, wall and process-CPU seconds,
+    allocated words and allocation rate, major-GC cycle count. *)
+
+(** {1 Worker phase labels} *)
+
+val set_label : int -> string -> unit
+(** [set_label tid phase] publishes what worker [tid] is doing; ticks
+    record it until the next set/clear. Lock-free, callable from any
+    domain, no-op for out-of-range tids. *)
+
+val clear_label : int -> unit

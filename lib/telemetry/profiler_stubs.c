@@ -1,0 +1,36 @@
+/* Process CPU time for the sampling profiler.
+ *
+ * CLOCK_PROCESS_CPUTIME_ID sums the CPU time of every thread (OCaml
+ * domain) in the process, which is the denominator the profiler's
+ * overhead gate and cpu-mode sample rate are judged against. The
+ * getrusage fallback only exists for platforms without POSIX clocks. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+#include <sys/time.h>
+#include <sys/resource.h>
+
+int64_t accals_process_cputime_ns(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  {
+    struct timespec ts;
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0)
+      return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+  }
+#endif
+  {
+    struct rusage ru;
+    getrusage(RUSAGE_SELF, &ru);
+    return (int64_t)(ru.ru_utime.tv_sec + ru.ru_stime.tv_sec) * 1000000000
+         + (int64_t)(ru.ru_utime.tv_usec + ru.ru_stime.tv_usec) * 1000;
+  }
+}
+
+CAMLprim value accals_process_cputime_ns_byte(value unit)
+{
+  return caml_copy_int64(accals_process_cputime_ns(unit));
+}

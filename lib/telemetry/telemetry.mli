@@ -18,10 +18,18 @@ val make :
   ?tracer:Tracer.t ->
   ?progress:Progress.t ->
   ?events:out_channel ->
+  ?on_event:(Json.t -> unit) ->
+  ?on_progress:
+    (round:int -> max_rounds:int -> error:float -> area:float -> unit) ->
   unit ->
   t
 (** [events] is a JSONL stream: one compact JSON object per
-    {!event}, flushed per line. The channel is owned by the caller. *)
+    {!event}, flushed per line. The channel is owned by the caller.
+    [on_event] is an in-process sink called with the same object (after
+    the channel write, if both are set) — the daemon uses it to route a
+    job's engine events onto that job's event log. [on_progress] is the
+    in-process analogue of the stderr {!Progress} heartbeat. Sinks run
+    on the emitting domain and must be thread-safe. *)
 
 val disabled : t
 (** No tracer, no progress, no events; metrics go to a registry nobody
@@ -32,6 +40,28 @@ val reset : unit -> unit
 (** Reinstall {!disabled}. *)
 
 val get : unit -> t
+(** The effective handle: the calling domain's local override when one
+    is set (see {!with_handle} / {!set_local}), the globally installed
+    handle otherwise. *)
+
+(** {1 Domain-local override}
+
+    The daemon runs several jobs concurrently in separate worker
+    domains; a single global handle would interleave their traces. A
+    domain-local override scopes a handle to one domain, and
+    [Pool.create] captures the creating domain's effective handle for
+    its workers, so a job's whole engine — orchestrator and pool
+    workers — reports to that job's handle. *)
+
+val with_handle : t -> (unit -> 'a) -> 'a
+(** Run a thunk with [t] as the calling domain's effective handle; the
+    previous override is restored afterwards (even on raise). *)
+
+val set_local : t -> unit
+(** Set the calling domain's override without scoping — used by pool
+    workers at domain startup. *)
+
+val clear_local : unit -> unit
 
 (** {1 Tracing} *)
 

@@ -1,0 +1,38 @@
+(* A trace id is 16 lowercase hex digits (64 bits) — long enough that
+   independent clients never collide, short enough to paste into a
+   Perfetto query. Minted from the system entropy pool so ids are not
+   guessable from watching one's own submissions; the fallback only
+   matters on systems without /dev/urandom. *)
+
+let length = 16
+
+let is_valid id =
+  String.length id = length
+  && String.for_all
+       (fun c ->
+         match c with 'a' .. 'f' | '0' .. '9' -> true | _ -> false)
+       id
+
+let hex_of_bytes s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Printf.bprintf buf "%02x" (Char.code c)) s;
+  Buffer.contents buf
+
+let mint () =
+  match
+    let ic = open_in_bin "/dev/urandom" in
+    let s = really_input_string ic (length / 2) in
+    close_in ic;
+    s
+  with
+  | s -> hex_of_bytes s
+  | exception Sys_error _ | exception End_of_file ->
+    (* Entropy-poor fallback: clock bits and the pid, hashed. Uniqueness
+       per machine is all callers rely on (ids only group spans). *)
+    let a = Hashtbl.hash (Clock.now_ns (), Unix.getpid ()) land 0xFFFFFFFF in
+    let b = Hashtbl.hash (Unix.gettimeofday (), a) land 0xFFFFFFFF in
+    Printf.sprintf "%08x%08x" a b
+
+let normalize id =
+  let lowered = String.lowercase_ascii id in
+  if is_valid lowered then Some lowered else None

@@ -1,0 +1,25 @@
+(** Trace-context identifiers for end-to-end job tracing.
+
+    A trace id names one logical operation across process boundaries:
+    the client mints one (or the user supplies [--trace-id]), the
+    protocol carries it on the job spec, and every span the scheduler,
+    worker domain and engine record for that job is tagged with it — so
+    a single merged Chrome trace can be assembled per job.
+
+    Format: exactly 16 lowercase hex digits (64 bits). This is
+    deliberately a subset of the W3C traceparent trace-id alphabet so
+    ids can be embedded in standard headers later without re-encoding. *)
+
+val length : int
+(** Number of hex digits in a valid id (16). *)
+
+val mint : unit -> string
+(** A fresh id from /dev/urandom (clock+pid hash fallback). Always
+    valid per {!is_valid}. *)
+
+val is_valid : string -> bool
+(** Exactly {!length} characters, all [0-9a-f]. *)
+
+val normalize : string -> string option
+(** Lowercase the id and validate it: [Some id] when well-formed,
+    [None] otherwise. Use on ids arriving from users or the wire. *)

@@ -126,4 +126,59 @@ let to_json t =
   in
   Json.List (List.map thread_name_json tids @ List.map ev_json events)
 
+let epoch_us t = Clock.ns_to_us t.epoch
+
+let default_thread_name tid =
+  if tid = 0 then "main" else Printf.sprintf "worker-%d" tid
+
+let events_json ?(ts_offset_us = 0.0) ?(tid_offset = 0) ?pid:pid_override
+    ?thread_name t =
+  (* Re-timed / re-laned export for merging this tracer's events into a
+     larger timeline (a scheduler's per-job trace): [ts_offset_us] shifts
+     relative timestamps onto the host timeline (pass [epoch_us] to get
+     absolute monotonic time), [tid_offset] relocates the lanes so they
+     do not collide with the host's, and [thread_name] renames them
+     (receives the original, un-offset tid). *)
+  let name_of = Option.value thread_name ~default:default_thread_name in
+  let p = match pid_override with Some p -> p | None -> Lazy.force pid in
+  Mutex.lock t.mutex;
+  let events = t.events in
+  let tids = List.sort compare t.tids in
+  Mutex.unlock t.mutex;
+  let events =
+    List.stable_sort (fun a b -> Int64.compare a.ev_ts b.ev_ts) (List.rev events)
+  in
+  let meta tid =
+    Json.Obj
+      [
+        ("name", Json.String "thread_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int p);
+        ("tid", Json.Int (tid + tid_offset));
+        ("args", Json.Obj [ ("name", Json.String (name_of tid)) ]);
+      ]
+  in
+  let ev_json ev =
+    let base =
+      [
+        ("name", Json.String ev.ev_name);
+        ("ph", Json.String ev.ev_ph);
+        ("ts", Json.Float (Clock.ns_to_us ev.ev_ts +. ts_offset_us));
+        ("pid", Json.Int p);
+        ("tid", Json.Int (ev.ev_tid + tid_offset));
+      ]
+    in
+    let base =
+      if ev.ev_cat = "" then base else base @ [ ("cat", Json.String ev.ev_cat) ]
+    in
+    let base =
+      if ev.ev_ph = "X" then
+        base @ [ ("dur", Json.Float (Clock.ns_to_us ev.ev_dur)) ]
+      else base @ [ ("s", Json.String "t") ]
+    in
+    if ev.ev_args = [] then Json.Obj base
+    else Json.Obj (base @ [ ("args", Json.Obj ev.ev_args) ])
+  in
+  List.map meta tids @ List.map ev_json events
+
 let write t path = Json.write_file path (to_json t)

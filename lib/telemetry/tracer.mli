@@ -52,5 +52,24 @@ val to_json : t -> Json.t
 (** The full trace as a Chrome trace-event array: thread-name metadata
     events first, then all recorded events sorted by timestamp. *)
 
+val epoch_us : t -> float
+(** The tracer's creation time in microseconds on the monotonic clock —
+    the offset to pass to {!events_json} to rebase its relative
+    timestamps onto absolute monotonic time. *)
+
+val events_json :
+  ?ts_offset_us:float ->
+  ?tid_offset:int ->
+  ?pid:int ->
+  ?thread_name:(int -> string) ->
+  t ->
+  Json.t list
+(** Export for merging into a host timeline: thread-name metadata plus
+    all events, with [ts_offset_us] added to every timestamp,
+    [tid_offset] added to every lane id, [pid] overriding the process id
+    and [thread_name] renaming lanes (it receives the original tid).
+    Used by the daemon to graft a job's engine trace onto the
+    scheduler's lifecycle spans as one Chrome trace. *)
+
 val write : t -> string -> unit
 (** Write [to_json] to a file (pretty-printed). *)

@@ -6,4 +6,5 @@ let () =
    @ Test_datapath.suite @ Test_extensions.suite @ Test_aig.suite
    @ Test_analysis.suite @ Test_dsp.suite @ Test_refactor.suite @ Test_fuzz.suite
    @ Test_runtime.suite @ Test_resilience.suite @ Test_sigdb.suite
-   @ Test_audit.suite @ Test_telemetry.suite @ Test_server.suite)
+   @ Test_audit.suite @ Test_telemetry.suite @ Test_server.suite
+   @ Test_observe.suite)

@@ -198,7 +198,7 @@ let test_json_hardening () =
 (* --- protocol --- *)
 
 let spec ?(name = "rca32") ?(bound = 0.05) ?budget ?deadline ?(priority = 0)
-    ?(tenant = "default") ?samples ?(seed = 1) () =
+    ?(tenant = "default") ?samples ?(seed = 1) ?trace_id ?client_ts () =
   {
     Protocol.source = Protocol.Named name;
     metric = Metric.Error_rate;
@@ -209,6 +209,8 @@ let spec ?(name = "rca32") ?(bound = 0.05) ?budget ?deadline ?(priority = 0)
     tenant;
     samples;
     seed;
+    trace_id;
+    client_ts;
   }
 
 let test_protocol_roundtrip () =
@@ -802,7 +804,7 @@ let ok_exn what = function
 let e2e_samples = 128
 
 let e2e_spec ?budget ?deadline ?(tenant = "default") ?(seed = 1)
-    ?(samples = e2e_samples) name bound =
+    ?(samples = e2e_samples) ?trace_id name bound =
   {
     Protocol.source = Protocol.Named name;
     metric = Metric.Error_rate;
@@ -813,6 +815,8 @@ let e2e_spec ?budget ?deadline ?(tenant = "default") ?(seed = 1)
     tenant;
     samples = Some samples;
     seed;
+    trace_id;
+    client_ts = None;
   }
 
 let one_shot name bound =
